@@ -1,0 +1,25 @@
+//! # ads-baselines — comparison structures for the evaluation
+//!
+//! The structures adaptive zonemaps are measured against, all implementing
+//! the [`ads_core::SkippingIndex`] framework trait:
+//!
+//! * [`FullScan`] — no skipping at all; the speedup denominator.
+//! * [`StaticZonemap`](ads_core::StaticZonemap) — lives in `ads-core`; the
+//!   classic fixed-granularity zonemap.
+//! * [`ColumnImprints`] — cache-line bit sketches (Sidirourgos & Kersten,
+//!   SIGMOD 2013), the main non-adaptive in-memory skipping alternative.
+//! * [`CrackerColumn`] — database cracking (Idreos et al., CIDR 2007), the
+//!   adaptive-indexing-by-reorganisation alternative.
+//! * [`SortedOracle`] — a fully sorted projection; the upper bound.
+
+#![warn(missing_docs)]
+
+pub mod cracking;
+pub mod fullscan;
+pub mod imprints;
+pub mod sorted_oracle;
+
+pub use cracking::CrackerColumn;
+pub use fullscan::FullScan;
+pub use imprints::ColumnImprints;
+pub use sorted_oracle::SortedOracle;

@@ -1,0 +1,47 @@
+//! Microbenches for the storage scan kernels: the per-tuple costs the
+//! cost model's `probe_cost_tuples` ratio is measured against.
+
+use ads_storage::scan;
+use ads_workloads::data;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+const N: usize = 1 << 20;
+
+fn bench_kernels(c: &mut Criterion) {
+    let values = data::uniform(N, 1_000_000, 7);
+    let mut group = c.benchmark_group("scan_kernels");
+    group.throughput(Throughput::Elements(N as u64));
+
+    group.bench_function("count_in_range", |b| {
+        b.iter(|| scan::count_in_range(black_box(&values), 100_000, 200_000))
+    });
+    group.bench_function("count_in_range_with_minmax", |b| {
+        b.iter(|| scan::count_in_range_with_minmax(black_box(&values), 100_000, 200_000))
+    });
+    group.bench_function("sum_in_range", |b| {
+        b.iter(|| scan::sum_in_range(black_box(&values), 100_000, 200_000))
+    });
+    group.bench_function("aggregate_in_range", |b| {
+        b.iter(|| scan::aggregate_in_range(black_box(&values), 100_000, 200_000))
+    });
+    group.bench_function("min_max", |b| b.iter(|| scan::min_max(black_box(&values))));
+    group.finish();
+}
+
+fn bench_selectivity_independence(c: &mut Criterion) {
+    // Branchless kernels should cost the same regardless of hit rate.
+    let values = data::uniform(N, 1_000_000, 7);
+    let mut group = c.benchmark_group("count_by_selectivity");
+    group.throughput(Throughput::Elements(N as u64));
+    for sel_pct in [0u64, 1, 10, 50, 100] {
+        let hi = (1_000_000 * sel_pct / 100) as i64;
+        group.bench_with_input(BenchmarkId::from_parameter(sel_pct), &hi, |b, &hi| {
+            b.iter(|| scan::count_in_range(black_box(&values), 0, hi))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels, bench_selectivity_independence);
+criterion_main!(benches);

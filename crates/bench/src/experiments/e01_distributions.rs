@@ -1,0 +1,51 @@
+//! E1 — "Scans benefit from data skipping when the data order is sorted,
+//! semi-sorted, or comprised of clustered values."
+//!
+//! Static zonemaps vs plain scans across the abstract's distribution
+//! classes: large wins where order/clustering exists, nothing on uniform.
+
+use crate::report::{fmt_us, fmt_x, Report};
+use crate::runner::{assert_same_answers, replay, Scale};
+use ads_engine::Strategy;
+use ads_workloads::{DataSpec, QuerySpec};
+
+/// Runs the experiment.
+pub fn run(scale: Scale) -> Report {
+    let mut report = Report::new(
+        "e1",
+        "skipping benefit by data distribution (static zonemaps vs full scan)",
+        &[
+            "distribution",
+            "strategy",
+            "mean µs/query",
+            "rows scanned/query",
+            "skip %",
+            "speedup",
+        ],
+    );
+    report.note(format!(
+        "{} rows, {} COUNT queries @1% value-domain selectivity",
+        scale.rows, scale.queries
+    ));
+
+    let queries =
+        QuerySpec::UniformRandom { selectivity: 0.01 }.generate(scale.queries, scale.domain, scale.seed);
+    for spec in DataSpec::standard_suite() {
+        let data = spec.generate(scale.rows, scale.domain, scale.seed);
+        let base = replay(&data, &queries, &Strategy::FullScan);
+        let zm = replay(&data, &queries, &Strategy::StaticZonemap { zone_rows: 4096 });
+        assert_same_answers(&[base.clone(), zm.clone()]);
+        for r in [&base, &zm] {
+            let scanned_per_q = r.totals.rows_scanned as f64 / r.totals.queries as f64;
+            report.row(vec![
+                spec.label(),
+                r.label.clone(),
+                fmt_us(r.mean_ns()),
+                format!("{scanned_per_q:.0}"),
+                format!("{:.1}", 100.0 * (1.0 - scanned_per_q / scale.rows as f64)),
+                fmt_x(r.speedup_vs(&base)),
+            ]);
+        }
+    }
+    report
+}

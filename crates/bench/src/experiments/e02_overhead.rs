@@ -1,0 +1,53 @@
+//! E2 — "Applying data skipping techniques over non-sorted data can
+//! significantly decrease query performance since the extra cost of
+//! metadata reads results in no corresponding scan performance gains."
+//!
+//! Static zonemaps on uniform data at several granularities: every probe
+//! is pure overhead; finer zones mean more probes and a bigger slowdown.
+
+use crate::report::{fmt_us, Report};
+use crate::runner::{assert_same_answers, replay, Scale};
+use ads_engine::Strategy;
+use ads_workloads::{DataSpec, QuerySpec};
+
+/// Runs the experiment.
+pub fn run(scale: Scale) -> Report {
+    let mut report = Report::new(
+        "e2",
+        "metadata overhead of static zonemaps on uniform (unsorted) data",
+        &[
+            "strategy",
+            "zones probed/query",
+            "zones skipped/query",
+            "mean µs/query",
+            "slowdown vs full scan",
+        ],
+    );
+    report.note(format!(
+        "{} uniformly random rows, {} COUNT queries @1% selectivity — skips never fire",
+        scale.rows, scale.queries
+    ));
+
+    let data = DataSpec::Uniform.generate(scale.rows, scale.domain, scale.seed);
+    let queries =
+        QuerySpec::UniformRandom { selectivity: 0.01 }.generate(scale.queries, scale.domain, scale.seed);
+
+    let base = replay(&data, &queries, &Strategy::FullScan);
+    let mut results = vec![base.clone()];
+    for zone_rows in [65536, 16384, 4096, 1024, 256, 64] {
+        results.push(replay(&data, &queries, &Strategy::StaticZonemap { zone_rows }));
+    }
+    assert_same_answers(&results);
+
+    for r in &results {
+        let q = r.totals.queries as f64;
+        report.row(vec![
+            r.label.clone(),
+            format!("{:.0}", r.totals.zones_probed as f64 / q),
+            format!("{:.1}", r.totals.zones_skipped as f64 / q),
+            fmt_us(r.mean_ns()),
+            format!("{:.2}x", r.totals.wall_ns as f64 / base.totals.wall_ns.max(1) as f64),
+        ]);
+    }
+    report
+}

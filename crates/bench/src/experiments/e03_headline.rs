@@ -1,0 +1,57 @@
+//! E3 — the headline claim: "adaptive data skipping has potential for
+//! 1.4X speedup."
+//!
+//! Full strategy roster across the distribution suite, reporting total
+//! workload time and speedup over the no-skipping baseline. The paper's
+//! 1.4X refers to adaptive zonemaps over workloads where static skipping
+//! is partially effective (semi-sorted / mixed data); the sorted and
+//! clustered rows show the larger wins any skipping gets there, and the
+//! uniform row shows adaptive skipping refusing to lose.
+
+use crate::report::{fmt_ms, fmt_x, Report};
+use crate::runner::{assert_same_answers, replay, Scale};
+use ads_engine::Strategy;
+use ads_workloads::{DataSpec, QuerySpec};
+
+/// Runs the experiment.
+pub fn run(scale: Scale) -> Report {
+    let mut report = Report::new(
+        "e3",
+        "headline: total workload time and speedup vs full scan",
+        &[
+            "distribution",
+            "strategy",
+            "queries ms",
+            "build ms",
+            "speedup",
+            "speedup w/ build",
+        ],
+    );
+    report.note(format!(
+        "{} rows, {} COUNT queries @1% selectivity; speedup = full-scan time / strategy time",
+        scale.rows, scale.queries
+    ));
+
+    let queries =
+        QuerySpec::UniformRandom { selectivity: 0.01 }.generate(scale.queries, scale.domain, scale.seed);
+    for spec in DataSpec::standard_suite() {
+        let data = spec.generate(scale.rows, scale.domain, scale.seed);
+        let results: Vec<_> = Strategy::roster()
+            .iter()
+            .map(|s| replay(&data, &queries, s))
+            .collect();
+        assert_same_answers(&results);
+        let base = results[0].clone();
+        for r in &results {
+            report.row(vec![
+                spec.label(),
+                r.label.clone(),
+                fmt_ms(r.totals.wall_ns),
+                fmt_ms(r.totals.build_ns),
+                fmt_x(r.speedup_vs(&base)),
+                fmt_x(r.speedup_with_build_vs(&base)),
+            ]);
+        }
+    }
+    report
+}

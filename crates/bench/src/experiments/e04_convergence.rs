@@ -1,0 +1,61 @@
+//! E4 — adaptation convergence: per-query latency over the sequence.
+//!
+//! The cracking-style curve: adaptive structures pay early queries to make
+//! later ones cheap. Reported as mean latency per query window, one column
+//! per strategy, on semi-sorted data.
+
+use crate::report::{fmt_us, Report};
+use crate::runner::{assert_same_answers, replay, window_mean_ns, Scale};
+use ads_core::adaptive::AdaptiveConfig;
+use ads_engine::Strategy;
+use ads_workloads::{DataSpec, QuerySpec};
+
+/// Query windows reported as rows (start, end).
+fn windows(total: usize) -> Vec<(usize, usize)> {
+    let mut out = vec![(0, 1), (1, 2), (2, 5), (5, 10), (10, 20), (20, 50), (50, 100)];
+    out.retain(|&(a, _)| a < total);
+    if total > 100 {
+        out.push((100, total));
+    }
+    out
+}
+
+/// Runs the experiment.
+pub fn run(scale: Scale) -> Report {
+    let strategies = vec![
+        Strategy::FullScan,
+        Strategy::StaticZonemap { zone_rows: 4096 },
+        Strategy::Adaptive(AdaptiveConfig::default()),
+        Strategy::Cracking,
+    ];
+    let mut headers = vec!["queries".to_string()];
+    headers.extend(strategies.iter().map(|s| format!("{} µs", s.label())));
+    let mut report = Report::new(
+        "e4",
+        "convergence: mean per-query latency by query window (semi-sorted data)",
+        &headers.iter().map(String::as_str).collect::<Vec<_>>(),
+    );
+    report.note(format!(
+        "{} rows semi-sorted(5%), {} COUNT queries @1% selectivity",
+        scale.rows, scale.queries
+    ));
+
+    let data = DataSpec::AlmostSorted { noise: 0.05 }.generate(scale.rows, scale.domain, scale.seed);
+    let queries =
+        QuerySpec::UniformRandom { selectivity: 0.01 }.generate(scale.queries, scale.domain, scale.seed);
+    let results: Vec<_> = strategies.iter().map(|s| replay(&data, &queries, s)).collect();
+    assert_same_answers(&results);
+
+    for (a, b) in windows(scale.queries) {
+        let mut row = vec![if b - a == 1 {
+            format!("#{}", a + 1)
+        } else {
+            format!("#{}–{}", a + 1, b)
+        }];
+        for r in &results {
+            row.push(fmt_us(window_mean_ns(&r.history, a, b)));
+        }
+        report.row(row);
+    }
+    report
+}

@@ -1,0 +1,63 @@
+//! E5 — zone-size sensitivity: the tuning knob adaptivity removes.
+//!
+//! Static zonemap total time as a function of zone size, per distribution;
+//! the adaptive zonemap appears as a single extra row — no knob — and
+//! should land near each column's per-distribution optimum.
+
+use crate::report::{fmt_ms, Report};
+use crate::runner::{assert_same_answers, replay, Scale};
+use ads_core::adaptive::AdaptiveConfig;
+use ads_engine::Strategy;
+use ads_workloads::{DataSpec, QuerySpec};
+
+/// Runs the experiment.
+pub fn run(scale: Scale) -> Report {
+    let distributions = vec![
+        DataSpec::Sorted,
+        DataSpec::AlmostSorted { noise: 0.05 },
+        DataSpec::Clustered { clusters: 64 },
+        DataSpec::Sawtooth { periods: 32 },
+        DataSpec::Uniform,
+    ];
+    let mut headers = vec!["strategy".to_string()];
+    headers.extend(distributions.iter().map(|d| format!("{} ms", d.label())));
+    let mut report = Report::new(
+        "e5",
+        "zone-size sensitivity: total query time per static granularity vs adaptive",
+        &headers.iter().map(String::as_str).collect::<Vec<_>>(),
+    );
+    report.note(format!(
+        "{} rows, {} COUNT queries @1% selectivity; cells are total query ms",
+        scale.rows, scale.queries
+    ));
+
+    let queries =
+        QuerySpec::UniformRandom { selectivity: 0.01 }.generate(scale.queries, scale.domain, scale.seed);
+    let datasets: Vec<Vec<i64>> = distributions
+        .iter()
+        .map(|d| d.generate(scale.rows, scale.domain, scale.seed))
+        .collect();
+
+    let mut strategies: Vec<Strategy> = [512usize, 2048, 8192, 32768, 131072]
+        .iter()
+        .map(|&zone_rows| Strategy::StaticZonemap { zone_rows })
+        .collect();
+    strategies.push(Strategy::Adaptive(AdaptiveConfig::default()));
+    strategies.push(Strategy::FullScan);
+
+    // Per distribution, all strategies must agree on answers.
+    let mut table: Vec<Vec<String>> = vec![Vec::new(); strategies.len()];
+    for data in &datasets {
+        let results: Vec<_> = strategies.iter().map(|s| replay(data, &queries, s)).collect();
+        assert_same_answers(&results);
+        for (row, r) in table.iter_mut().zip(&results) {
+            row.push(fmt_ms(r.totals.wall_ns));
+        }
+    }
+    for (strategy, cells) in strategies.iter().zip(table) {
+        let mut row = vec![strategy.label()];
+        row.extend(cells);
+        report.row(row);
+    }
+    report
+}

@@ -1,0 +1,41 @@
+//! E6 — response to the query workload: selectivity sweep.
+//!
+//! Skipping pays most for selective queries (few candidate zones) and
+//! fades as predicates widen; full-match detection keeps wide COUNT
+//! queries cheap for zonemaps. Speedups vs full scan per selectivity.
+
+use crate::report::{fmt_x, Report};
+use crate::runner::{assert_same_answers, replay, Scale};
+use ads_engine::Strategy;
+use ads_workloads::{DataSpec, QuerySpec};
+
+/// Runs the experiment.
+pub fn run(scale: Scale) -> Report {
+    let strategies = Strategy::roster();
+    let mut headers = vec!["selectivity".to_string()];
+    headers.extend(strategies.iter().map(|s| s.label()));
+    let mut report = Report::new(
+        "e6",
+        "speedup vs full scan across predicate selectivities (semi-sorted data)",
+        &headers.iter().map(String::as_str).collect::<Vec<_>>(),
+    );
+    report.note(format!(
+        "{} rows semi-sorted(5%), {} COUNT queries per point",
+        scale.rows, scale.queries
+    ));
+
+    let data = DataSpec::AlmostSorted { noise: 0.05 }.generate(scale.rows, scale.domain, scale.seed);
+    for selectivity in [0.0001, 0.001, 0.01, 0.1, 0.5] {
+        let queries =
+            QuerySpec::UniformRandom { selectivity }.generate(scale.queries, scale.domain, scale.seed);
+        let results: Vec<_> = strategies.iter().map(|s| replay(&data, &queries, s)).collect();
+        assert_same_answers(&results);
+        let base = results[0].clone();
+        let mut row = vec![format!("{}%", selectivity * 100.0)];
+        for r in &results {
+            row.push(fmt_x(r.speedup_vs(&base)));
+        }
+        report.row(row);
+    }
+    report
+}

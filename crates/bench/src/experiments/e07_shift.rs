@@ -1,0 +1,77 @@
+//! E7 — workload shift: the hotspot jumps mid-sequence.
+//!
+//! Adaptive structures invest where queries land; when the workload moves,
+//! that investment is stranded and must be re-earned (and, for adaptive
+//! zonemaps, reclaimed via merge/deactivate/revive). Reported as mean
+//! latency per phase on mixed-region data.
+
+use crate::report::{fmt_us, Report};
+use crate::runner::{assert_same_answers, replay, window_mean_ns, Scale};
+use ads_core::adaptive::AdaptiveConfig;
+use ads_engine::Strategy;
+use ads_workloads::{DataSpec, QuerySpec};
+
+/// Runs the experiment.
+pub fn run(scale: Scale) -> Report {
+    let phases = 3usize;
+    let queries_total = scale.queries.max(phases * 20);
+    let adaptive_cfg = AdaptiveConfig {
+        // Faster revival so stranded dead regions get their second chance
+        // within the experiment's horizon.
+        revival_base_queries: Some(64),
+        ..AdaptiveConfig::default()
+    };
+    let strategies = vec![
+        Strategy::FullScan,
+        Strategy::StaticZonemap { zone_rows: 4096 },
+        Strategy::Adaptive(adaptive_cfg),
+        Strategy::Cracking,
+    ];
+    let mut headers = vec!["phase".to_string()];
+    headers.extend(strategies.iter().map(|s| format!("{} µs", s.label())));
+    let mut report = Report::new(
+        "e7",
+        "workload shift: mean per-query latency per hotspot phase (mixed-region data)",
+        &headers.iter().map(String::as_str).collect::<Vec<_>>(),
+    );
+    report.note(format!(
+        "{} rows mixed-regions, {} queries @0.5% selectivity, hotspot jumps every {} queries",
+        scale.rows,
+        queries_total,
+        queries_total / phases
+    ));
+
+    let data = DataSpec::MixedRegions.generate(scale.rows, scale.domain, scale.seed);
+    let queries = QuerySpec::ShiftingHotspot {
+        selectivity: 0.005,
+        phases,
+    }
+    .generate(queries_total, scale.domain, scale.seed);
+
+    let results: Vec<_> = strategies.iter().map(|s| replay(&data, &queries, s)).collect();
+    assert_same_answers(&results);
+
+    let per_phase = queries_total / phases;
+    for p in 0..phases {
+        let (a, b) = (p * per_phase, (p + 1) * per_phase);
+        // Sub-windows inside each phase show re-convergence.
+        let early = (a, a + per_phase / 4);
+        let late = (b - per_phase / 4, b);
+        for (label, (wa, wb)) in [
+            (format!("phase {} early", p + 1), early),
+            (format!("phase {} late", p + 1), late),
+        ] {
+            let mut row = vec![label];
+            for r in &results {
+                row.push(fmt_us(window_mean_ns(&r.history, wa, wb)));
+            }
+            report.row(row);
+        }
+    }
+    for r in &results {
+        if r.totals.adapt_events > 0 {
+            report.note(format!("{}: {} adaptation events", r.label, r.totals.adapt_events));
+        }
+    }
+    report
+}

@@ -1,0 +1,50 @@
+//! E8 — "lightweight indexes": build cost and memory footprint.
+//!
+//! What each structure costs before the first query (build time) and in
+//! steady state (metadata bytes, data-copy bytes) after the workload ran.
+
+use crate::report::{fmt_bytes, fmt_ms, Report};
+use crate::runner::{replay, Scale};
+use ads_engine::Strategy;
+use ads_workloads::{DataSpec, QuerySpec};
+
+/// Runs the experiment.
+pub fn run(scale: Scale) -> Report {
+    let mut report = Report::new(
+        "e8",
+        "index build cost and memory footprint after the workload",
+        &[
+            "distribution",
+            "strategy",
+            "build ms",
+            "metadata",
+            "data copy",
+            "bytes/row",
+        ],
+    );
+    report.note(format!(
+        "{} rows ({} of raw column data), footprints measured after {} queries",
+        scale.rows,
+        fmt_bytes(scale.rows * 8),
+        scale.queries
+    ));
+
+    let queries =
+        QuerySpec::UniformRandom { selectivity: 0.01 }.generate(scale.queries, scale.domain, scale.seed);
+    for spec in [DataSpec::Sorted, DataSpec::Uniform] {
+        let data = spec.generate(scale.rows, scale.domain, scale.seed);
+        for strategy in Strategy::roster() {
+            let r = replay(&data, &queries, &strategy);
+            let total = r.metadata_bytes + r.data_copy_bytes;
+            report.row(vec![
+                spec.label(),
+                r.label.clone(),
+                fmt_ms(r.totals.build_ns),
+                fmt_bytes(r.metadata_bytes),
+                fmt_bytes(r.data_copy_bytes),
+                format!("{:.2}", total as f64 / scale.rows as f64),
+            ]);
+        }
+    }
+    report
+}

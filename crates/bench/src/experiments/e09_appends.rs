@@ -1,0 +1,76 @@
+//! E9 — appends and freshness: main-memory stores ingest continuously.
+//!
+//! Queries interleave with append batches; every strategy must stay
+//! correct while paying its own maintenance. Lazy metadata (adaptive
+//! zonemaps) absorbs appends for free; eager copies (sorted oracle) pay
+//! re-sorts; cracking degrades through tail scans and index rebuilds.
+
+use crate::report::{fmt_ms, fmt_us, Report};
+use crate::runner::Scale;
+use ads_core::RangePredicate;
+use ads_engine::{AggKind, ColumnSession, Strategy};
+use ads_workloads::{data, queries};
+
+/// Runs the experiment.
+pub fn run(scale: Scale) -> Report {
+    let mut report = Report::new(
+        "e9",
+        "interleaved appends: query time vs maintenance time",
+        &[
+            "strategy",
+            "mean µs/query",
+            "total query ms",
+            "maintenance ms",
+            "total ms",
+        ],
+    );
+    let initial = scale.rows / 2;
+    let batches = 20usize;
+    let batch_rows = (scale.rows - initial) / batches;
+    let queries_per_batch = (scale.queries / batches).max(1);
+    report.note(format!(
+        "start {initial} rows; {batches} batches of {batch_rows} appended rows, {queries_per_batch} queries between batches; semi-sorted stream"
+    ));
+
+    // A semi-sorted stream: the column grows in timestamp-ish order.
+    let full = data::almost_sorted(scale.rows, scale.domain, 0.05, 256, scale.seed);
+    let qs = queries::uniform_ranges(
+        batches * queries_per_batch,
+        scale.domain,
+        0.01,
+        scale.seed ^ 0xabcd,
+    );
+
+    let mut checksums: Vec<(String, u64)> = Vec::new();
+    for strategy in Strategy::roster() {
+        let mut session = ColumnSession::new(full[..initial].to_vec(), &strategy);
+        let mut maintenance_ns = 0u64;
+        let mut checksum = 0u64;
+        let mut qi = 0usize;
+        for b in 0..batches {
+            for _ in 0..queries_per_batch {
+                let q = qs[qi];
+                qi += 1;
+                let (ans, _) = session.query(RangePredicate::between(q.lo, q.hi), AggKind::Count);
+                checksum = checksum.wrapping_add(ans.count);
+            }
+            let start = initial + b * batch_rows;
+            maintenance_ns += session.append(&full[start..start + batch_rows]);
+        }
+        checksums.push((session.label().to_string(), checksum));
+        let t = session.totals();
+        report.row(vec![
+            session.label().to_string(),
+            fmt_us(t.mean_latency_ns()),
+            fmt_ms(t.wall_ns),
+            fmt_ms(maintenance_ns + t.build_ns),
+            fmt_ms(t.wall_ns + maintenance_ns + t.build_ns),
+        ]);
+    }
+    let first = checksums[0].1;
+    for (label, c) in &checksums {
+        assert_eq!(*c, first, "{label} disagreed under appends");
+    }
+    report.note("all strategies returned identical answers throughout".to_string());
+    report
+}

@@ -1,0 +1,82 @@
+//! E10 — ablation of the adaptive components.
+//!
+//! Which of the framework's techniques earns its keep where: lazy building
+//! alone, + refinement splits, + coarsening merges, + deactivation. The
+//! uniform column is where merge/deactivate matter; the clustered and
+//! mixed columns are where splits matter.
+
+use crate::report::{fmt_ms, Report};
+use crate::runner::{assert_same_answers, replay, Scale};
+use ads_core::adaptive::AdaptiveConfig;
+use ads_engine::Strategy;
+use ads_workloads::{DataSpec, QuerySpec};
+
+/// Runs the experiment.
+pub fn run(scale: Scale) -> Report {
+    let variants: Vec<(&str, AdaptiveConfig)> = vec![
+        ("lazy only", AdaptiveConfig::lazy_only()),
+        ("+split", AdaptiveConfig::split_only()),
+        (
+            "+split+merge",
+            AdaptiveConfig {
+                enable_mask: false,
+                ..AdaptiveConfig::no_deactivate()
+            },
+        ),
+        ("+deactivate", AdaptiveConfig::no_mask()),
+        ("full (+masks)", AdaptiveConfig::default()),
+    ];
+    let distributions = vec![
+        DataSpec::AlmostSorted { noise: 0.05 },
+        DataSpec::Clustered { clusters: 64 },
+        DataSpec::Uniform,
+        DataSpec::MixedRegions,
+    ];
+    let mut headers = vec!["variant".to_string()];
+    for d in &distributions {
+        headers.push(format!("{} ms", d.label()));
+        headers.push("events".to_string());
+    }
+    let mut report = Report::new(
+        "e10",
+        "adaptive-component ablation: total query time and adaptation events",
+        &headers.iter().map(String::as_str).collect::<Vec<_>>(),
+    );
+    report.note(format!(
+        "{} rows, {} COUNT queries @1% selectivity; full-scan reference in last row",
+        scale.rows, scale.queries
+    ));
+
+    let queries =
+        QuerySpec::UniformRandom { selectivity: 0.01 }.generate(scale.queries, scale.domain, scale.seed);
+    let datasets: Vec<Vec<i64>> = distributions
+        .iter()
+        .map(|d| d.generate(scale.rows, scale.domain, scale.seed))
+        .collect();
+
+    let mut rows: Vec<Vec<String>> = variants
+        .iter()
+        .map(|(name, _)| vec![name.to_string()])
+        .collect();
+    let mut fullscan_row = vec!["full scan".to_string()];
+    for data in &datasets {
+        let mut results = Vec::new();
+        for (_, cfg) in &variants {
+            results.push(replay(data, &queries, &Strategy::Adaptive(cfg.clone())));
+        }
+        let base = replay(data, &queries, &Strategy::FullScan);
+        results.push(base.clone());
+        assert_same_answers(&results);
+        for (row, r) in rows.iter_mut().zip(&results) {
+            row.push(fmt_ms(r.totals.wall_ns));
+            row.push(r.totals.adapt_events.to_string());
+        }
+        fullscan_row.push(fmt_ms(base.totals.wall_ns));
+        fullscan_row.push("0".to_string());
+    }
+    for row in rows {
+        report.row(row);
+    }
+    report.row(fullscan_row);
+    report
+}

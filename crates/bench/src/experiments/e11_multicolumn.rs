@@ -1,0 +1,79 @@
+//! E11 — multi-column conjunctions: skipping composes by intersection.
+//!
+//! Two-predicate conjunctions over a table whose `time` column is sorted
+//! and whose `value` column is uniform: the sorted column's index confines
+//! the scan regardless of the other column's disorder.
+
+use crate::report::{fmt_us, Report};
+use crate::runner::Scale;
+use ads_core::adaptive::AdaptiveConfig;
+use ads_core::RangePredicate;
+use ads_engine::{AnyPredicate, Strategy, TableSession};
+use ads_storage::{Column, Table};
+use ads_workloads::{data, queries};
+
+/// Runs the experiment.
+pub fn run(scale: Scale) -> Report {
+    let mut report = Report::new(
+        "e11",
+        "multi-column conjunctions: time (sorted) AND value (uniform)",
+        &[
+            "strategy",
+            "mean µs/query",
+            "rows scanned/query",
+            "zones probed/query",
+            "matches total",
+        ],
+    );
+    report.note(format!(
+        "{} rows x 2 filtered columns, {} conjunctive COUNT queries (time @1%, value @20%)",
+        scale.rows, scale.queries
+    ));
+
+    let time_col = data::sorted(scale.rows, scale.domain);
+    let value_col = data::uniform(scale.rows, scale.domain, scale.seed);
+    let mut table = Table::new("events");
+    table.add_column("time", Column::from_values(time_col)).expect("fresh column");
+    table.add_column("value", Column::from_values(value_col)).expect("fresh column");
+
+    let time_qs = queries::uniform_ranges(scale.queries, scale.domain, 0.01, scale.seed);
+    let value_qs = queries::uniform_ranges(scale.queries, scale.domain, 0.2, scale.seed ^ 0x55);
+
+    let strategies = vec![
+        Strategy::FullScan,
+        Strategy::StaticZonemap { zone_rows: 4096 },
+        Strategy::Adaptive(AdaptiveConfig::default()),
+        Strategy::Imprints {
+            values_per_line: 8,
+            bins: 64,
+        },
+    ];
+    let mut checksums = Vec::new();
+    for strategy in strategies {
+        let mut ts = TableSession::new(table.clone(), &strategy, &["time", "value"])
+            .expect("base-coordinate strategy");
+        let mut checksum = 0u64;
+        for (tq, vq) in time_qs.iter().zip(&value_qs) {
+            let conjuncts = [
+                ("time", AnyPredicate::I64(RangePredicate::between(tq.lo, tq.hi))),
+                ("value", AnyPredicate::I64(RangePredicate::between(vq.lo, vq.hi))),
+            ];
+            let (count, _) = ts.count_conjunction(&conjuncts).expect("valid conjunction");
+            checksum = checksum.wrapping_add(count);
+        }
+        let t = ts.totals();
+        report.row(vec![
+            strategy.label(),
+            fmt_us(t.mean_latency_ns()),
+            format!("{:.0}", t.rows_scanned as f64 / t.queries as f64),
+            format!("{:.0}", t.zones_probed as f64 / t.queries as f64),
+            checksum.to_string(),
+        ]);
+        checksums.push((strategy.label(), checksum));
+    }
+    let first = checksums[0].1;
+    for (label, c) in &checksums {
+        assert_eq!(*c, first, "{label} disagreed on conjunction answers");
+    }
+    report
+}

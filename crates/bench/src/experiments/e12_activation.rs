@@ -1,0 +1,64 @@
+//! E12 — index-level activation: the framework technique applied to
+//! *static* structures.
+//!
+//! Wrapping a static zonemap (or imprints) in `Activated` should be ~free
+//! where the structure helps (sorted data) and should erase its overhead
+//! where it cannot (uniform data), by putting the metadata to sleep after
+//! a short trial.
+
+use crate::report::{fmt_us, fmt_x, Report};
+use crate::runner::{assert_same_answers, replay, Scale};
+use ads_engine::Strategy;
+use ads_workloads::{DataSpec, QuerySpec};
+
+/// Runs the experiment.
+pub fn run(scale: Scale) -> Report {
+    let mut report = Report::new(
+        "e12",
+        "index-level activation: static structures with and without the wrapper",
+        &[
+            "distribution",
+            "strategy",
+            "mean µs/query",
+            "probes/query",
+            "speedup vs full scan",
+        ],
+    );
+    report.note(format!(
+        "{} rows, {} COUNT queries @1% selectivity; fine zones amplify the probe bill",
+        scale.rows, scale.queries
+    ));
+
+    let queries =
+        QuerySpec::UniformRandom { selectivity: 0.01 }.generate(scale.queries, scale.domain, scale.seed);
+    for spec in [DataSpec::Sorted, DataSpec::Uniform] {
+        let data = spec.generate(scale.rows, scale.domain, scale.seed);
+        let strategies = vec![
+            Strategy::FullScan,
+            Strategy::StaticZonemap { zone_rows: 256 },
+            Strategy::StaticZonemap { zone_rows: 256 }.activated(),
+            Strategy::Imprints {
+                values_per_line: 8,
+                bins: 64,
+            },
+            Strategy::Imprints {
+                values_per_line: 8,
+                bins: 64,
+            }
+            .activated(),
+        ];
+        let results: Vec<_> = strategies.iter().map(|s| replay(&data, &queries, s)).collect();
+        assert_same_answers(&results);
+        let base = results[0].clone();
+        for r in &results {
+            report.row(vec![
+                spec.label(),
+                r.label.clone(),
+                fmt_us(r.mean_ns()),
+                format!("{:.0}", r.totals.zones_probed as f64 / r.totals.queries as f64),
+                fmt_x(r.speedup_vs(&base)),
+            ]);
+        }
+    }
+    report
+}

@@ -1,0 +1,108 @@
+//! E13 — extension: data skipping over dictionary-encoded strings.
+//!
+//! Zonemaps are ubiquitous for string columns in columnar formats
+//! (Parquet/ORC min–max statistics). With an order-preserving dictionary,
+//! string predicates reduce to code ranges and the whole framework
+//! applies; this experiment measures it on a region-batched string column
+//! (positionally clustered — the favourable case) and on a shuffled one.
+
+use crate::report::{fmt_us, fmt_x, Report};
+use crate::runner::Scale;
+use ads_engine::{Strategy, StringColumnSession};
+use ads_core::adaptive::AdaptiveConfig;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const REGIONS: [&str; 16] = [
+    "argentina", "australia", "austria", "belgium", "brazil", "canada", "chile", "denmark",
+    "estonia", "finland", "france", "germany", "hungary", "iceland", "japan", "portugal",
+];
+
+fn batched(n: usize) -> Vec<String> {
+    (0..n)
+        .map(|i| REGIONS[(i / 10_000) % REGIONS.len()].to_string())
+        .collect()
+}
+
+fn shuffled(n: usize, seed: u64) -> Vec<String> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| REGIONS[rng.gen_range(0..REGIONS.len())].to_string())
+        .collect()
+}
+
+/// Runs the experiment.
+pub fn run(scale: Scale) -> Report {
+    let mut report = Report::new(
+        "e13",
+        "extension: string skipping via order-preserving dictionary codes",
+        &[
+            "layout",
+            "strategy",
+            "mean µs/query",
+            "rows scanned/query",
+            "speedup vs full scan",
+        ],
+    );
+    report.note(format!(
+        "{} rows, 16 distinct countries, {} mixed string queries (equality / range / prefix)",
+        scale.rows, scale.queries
+    ));
+
+    let strategies = vec![
+        Strategy::FullScan,
+        Strategy::StaticZonemap { zone_rows: 4096 },
+        Strategy::Adaptive(AdaptiveConfig::default()),
+    ];
+    for (layout, values) in [
+        ("region-batched", batched(scale.rows)),
+        ("shuffled", shuffled(scale.rows, scale.seed)),
+    ] {
+        let mut base_ns = 0u64;
+        let mut checksums: Vec<u64> = Vec::new();
+        let mut rows: Vec<Vec<String>> = Vec::new();
+        for strategy in &strategies {
+            let mut session = StringColumnSession::new(&values, strategy);
+            let mut checksum = 0u64;
+            let mut rng = StdRng::seed_from_u64(scale.seed ^ 0xfeed);
+            for q in 0..scale.queries {
+                let (c, _) = match q % 3 {
+                    0 => session.count_eq(REGIONS[rng.gen_range(0..REGIONS.len())]),
+                    1 => {
+                        let mut a = REGIONS[rng.gen_range(0..REGIONS.len())];
+                        let mut b = REGIONS[rng.gen_range(0..REGIONS.len())];
+                        if a > b {
+                            std::mem::swap(&mut a, &mut b);
+                        }
+                        session.count_between(a, b)
+                    }
+                    _ => {
+                        let r = REGIONS[rng.gen_range(0..REGIONS.len())];
+                        session.count_prefix(&r[..1])
+                    }
+                };
+                checksum = checksum.wrapping_add(c);
+            }
+            checksums.push(checksum);
+            let t = session.totals();
+            if matches!(strategy, Strategy::FullScan) {
+                base_ns = t.wall_ns;
+            }
+            rows.push(vec![
+                layout.to_string(),
+                session.index_name(),
+                fmt_us(t.mean_latency_ns()),
+                format!("{:.0}", t.rows_scanned as f64 / t.queries as f64),
+                fmt_x(base_ns as f64 / t.wall_ns.max(1) as f64),
+            ]);
+        }
+        assert!(
+            checksums.windows(2).all(|w| w[0] == w[1]),
+            "string strategies disagreed on {layout}"
+        );
+        for row in rows {
+            report.row(row);
+        }
+    }
+    report
+}

@@ -1,0 +1,63 @@
+//! E14 — zone masks: secondary value-level skipping for outlier-pinned
+//! zones.
+//!
+//! Sparse large outliers pin every zone's `(min, max)` wide open, so
+//! min/max pruning never fires for queries between the base signal and the
+//! outliers — no matter the zone size. The 64-bin zone masks (earned as a
+//! scan by-product, like all metadata here) restore skipping; imprints get
+//! the same effect statically at a far larger metadata cost.
+
+use crate::report::{fmt_bytes, fmt_us, fmt_x, Report};
+use crate::runner::{assert_same_answers, replay, Scale};
+use ads_core::adaptive::AdaptiveConfig;
+use ads_engine::Strategy;
+use ads_workloads::{data, queries};
+
+/// Runs the experiment.
+pub fn run(scale: Scale) -> Report {
+    let mut report = Report::new(
+        "e14",
+        "zone masks on outlier-pinned data (base < 1% of domain, outlier every 500 rows)",
+        &[
+            "strategy",
+            "mean µs/query",
+            "rows scanned/query",
+            "metadata",
+            "speedup vs full scan",
+        ],
+    );
+    report.note(format!(
+        "{} rows; {} mid-range COUNT queries that match nothing but overlap every zone's (min,max)",
+        scale.rows, scale.queries
+    ));
+
+    let base_width = scale.domain / 128;
+    let column = data::with_outliers(scale.rows, base_width, 500, scale.domain, scale.seed);
+    // Queries in the dead band between base values and outliers.
+    let qs = queries::hotspot_ranges(scale.queries, scale.domain, 0.01, 0.25, 0.2, scale.seed);
+
+    let strategies = vec![
+        Strategy::FullScan,
+        Strategy::StaticZonemap { zone_rows: 4096 },
+        Strategy::Adaptive(AdaptiveConfig::no_mask()),
+        Strategy::Adaptive(AdaptiveConfig::default()),
+        Strategy::Imprints {
+            values_per_line: 8,
+            bins: 64,
+        },
+    ];
+    let labels = ["full-scan", "static-zonemap(4096)", "adaptive (no masks)", "adaptive (+masks)", "imprints(8x64)"];
+    let results: Vec<_> = strategies.iter().map(|s| replay(&column, &qs, s)).collect();
+    assert_same_answers(&results);
+    let base = results[0].clone();
+    for (label, r) in labels.iter().zip(&results) {
+        report.row(vec![
+            label.to_string(),
+            fmt_us(r.mean_ns()),
+            format!("{:.0}", r.totals.rows_scanned as f64 / r.totals.queries as f64),
+            fmt_bytes(r.metadata_bytes),
+            fmt_x(r.speedup_vs(&base)),
+        ]);
+    }
+    report
+}

@@ -1,0 +1,19 @@
+//! # ads-bench — the experiment harness
+//!
+//! One runner per table/figure of the reconstructed evaluation (E1–E14 in
+//! DESIGN.md), plus Criterion microbenches under `benches/`. Run with:
+//!
+//! ```text
+//! cargo run -p ads-bench --release --bin harness -- all
+//! cargo run -p ads-bench --release --bin harness -- e3 --rows 10000000
+//! cargo run -p ads-bench --release --bin harness -- e4 --quick
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod report;
+pub mod runner;
+
+pub use report::Report;
+pub use runner::{replay, replay_agg, ReplayResult, Scale};

@@ -1,0 +1,192 @@
+//! Plain-text report tables: what the harness prints and saves as CSV.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// One experiment's output table.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Experiment id, e.g. `"e3"`.
+    pub id: String,
+    /// Human title, e.g. the claim being reproduced.
+    pub title: String,
+    /// Free-form notes printed under the title.
+    pub notes: Vec<String>,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows (already formatted).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Report {
+    /// Creates an empty report.
+    pub fn new(id: impl Into<String>, title: impl Into<String>, headers: &[&str]) -> Self {
+        Report {
+            id: id.into(),
+            title: title.into(),
+            notes: Vec::new(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a note line.
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    /// Appends a data row.
+    ///
+    /// # Panics
+    /// Panics if the arity differs from the headers.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders the aligned plain-text table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} — {}", self.id.to_uppercase(), self.title);
+        for note in &self.notes {
+            let _ = writeln!(out, "   {note}");
+        }
+        let line = |cells: &[String], widths: &[usize]| {
+            let mut s = String::from("  ");
+            for (cell, w) in cells.iter().zip(widths) {
+                let _ = write!(s, "{cell:>w$}  ", w = w);
+            }
+            s.trim_end().to_string()
+        };
+        let _ = writeln!(out, "{}", line(&self.headers, &widths));
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len() + 2;
+        let _ = writeln!(out, "  {}", "-".repeat(total.saturating_sub(2)));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", line(row, &widths));
+        }
+        out
+    }
+
+    /// Renders CSV (headers + rows).
+    pub fn to_csv(&self) -> String {
+        let esc = |s: &String| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.clone()
+            }
+        };
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}",
+            self.headers.iter().map(esc).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.iter().map(esc).collect::<Vec<_>>().join(","));
+        }
+        out
+    }
+
+    /// Writes `<dir>/<id>.csv`.
+    pub fn write_csv(&self, dir: &Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        std::fs::write(dir.join(format!("{}.csv", self.id)), self.to_csv())
+    }
+}
+
+/// Formats nanoseconds as adaptive-precision milliseconds.
+pub fn fmt_ms(ns: u64) -> String {
+    let ms = ns as f64 / 1e6;
+    if ms >= 100.0 {
+        format!("{ms:.0}")
+    } else if ms >= 1.0 {
+        format!("{ms:.2}")
+    } else {
+        format!("{ms:.4}")
+    }
+}
+
+/// Formats nanoseconds as microseconds.
+pub fn fmt_us(ns: f64) -> String {
+    format!("{:.1}", ns / 1e3)
+}
+
+/// Formats a speedup factor.
+pub fn fmt_x(f: f64) -> String {
+    format!("{f:.2}x")
+}
+
+/// Formats bytes human-readably.
+pub fn fmt_bytes(b: usize) -> String {
+    if b >= 1 << 20 {
+        format!("{:.1}MiB", b as f64 / (1 << 20) as f64)
+    } else if b >= 1 << 10 {
+        format!("{:.1}KiB", b as f64 / 1024.0)
+    } else {
+        format!("{b}B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        let mut r = Report::new("e0", "sample", &["name", "value"]);
+        r.note("a note");
+        r.row(vec!["foo".into(), "1".into()]);
+        r.row(vec!["barbaz".into(), "22".into()]);
+        r
+    }
+
+    #[test]
+    fn render_aligns_columns() {
+        let text = sample().render();
+        assert!(text.contains("E0 — sample"));
+        assert!(text.contains("a note"));
+        assert!(text.contains("foo"));
+        assert!(text.contains("barbaz"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_checked() {
+        let mut r = Report::new("x", "t", &["a", "b"]);
+        r.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn csv_escapes() {
+        let mut r = Report::new("x", "t", &["a"]);
+        r.row(vec!["has,comma".into()]);
+        let csv = r.to_csv();
+        assert!(csv.contains("\"has,comma\""));
+    }
+
+    #[test]
+    fn write_csv_to_tempdir() {
+        let dir = std::env::temp_dir().join("ads_report_test");
+        sample().write_csv(&dir).unwrap();
+        let content = std::fs::read_to_string(dir.join("e0.csv")).unwrap();
+        assert!(content.starts_with("name,value"));
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt_ms(2_500_000), "2.50");
+        assert_eq!(fmt_ms(250_000_000), "250");
+        assert_eq!(fmt_ms(250_000), "0.2500");
+        assert_eq!(fmt_us(1500.0), "1.5");
+        assert_eq!(fmt_x(1.4), "1.40x");
+        assert_eq!(fmt_bytes(512), "512B");
+        assert_eq!(fmt_bytes(2048), "2.0KiB");
+        assert_eq!(fmt_bytes(3 << 20), "3.0MiB");
+    }
+}

@@ -1,0 +1,204 @@
+//! Common experiment machinery: replay one query workload against one
+//! strategy and collect everything the reports need.
+
+use ads_core::RangePredicate;
+use ads_engine::{AggKind, ColumnSession, CumulativeMetrics, QueryMetrics, Strategy};
+use ads_workloads::RangeQuery;
+
+/// Experiment sizing, overridable from the harness command line.
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    /// Rows per column.
+    pub rows: usize,
+    /// Queries per workload.
+    pub queries: usize,
+    /// Value domain `[0, domain)`.
+    pub domain: i64,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        Scale {
+            rows: 2_000_000,
+            queries: 300,
+            domain: 1_000_000,
+            seed: 42,
+        }
+    }
+}
+
+impl Scale {
+    /// A fast configuration for smoke runs (`harness --quick`).
+    pub fn quick() -> Self {
+        Scale {
+            rows: 200_000,
+            queries: 60,
+            ..Scale::default()
+        }
+    }
+}
+
+/// Everything one strategy replay produced.
+#[derive(Debug, Clone)]
+pub struct ReplayResult {
+    /// The built index's display name.
+    pub label: String,
+    /// Cumulative metrics over the whole sequence.
+    pub totals: CumulativeMetrics,
+    /// Per-query metrics in order.
+    pub history: Vec<QueryMetrics>,
+    /// Metadata bytes at the end of the run.
+    pub metadata_bytes: usize,
+    /// Data-copy bytes at the end of the run.
+    pub data_copy_bytes: usize,
+    /// Sum of all query counts — equal across strategies on the same
+    /// workload, which every experiment asserts as a built-in soundness
+    /// check.
+    pub answer_checksum: u64,
+}
+
+impl ReplayResult {
+    /// Mean per-query latency in nanoseconds.
+    pub fn mean_ns(&self) -> f64 {
+        self.totals.mean_latency_ns()
+    }
+
+    /// Speedup of this replay relative to `baseline` on query time only.
+    pub fn speedup_vs(&self, baseline: &ReplayResult) -> f64 {
+        baseline.totals.wall_ns as f64 / self.totals.wall_ns.max(1) as f64
+    }
+
+    /// Speedup including index build time.
+    pub fn speedup_with_build_vs(&self, baseline: &ReplayResult) -> f64 {
+        baseline.totals.total_with_build_ns() as f64 / self.totals.total_with_build_ns().max(1) as f64
+    }
+}
+
+/// Replays `queries` (as COUNT aggregates) over `data` with `strategy`.
+pub fn replay(data: &[i64], queries: &[RangeQuery], strategy: &Strategy) -> ReplayResult {
+    replay_agg(data, queries, strategy, AggKind::Count)
+}
+
+/// Replays with an explicit aggregate kind.
+pub fn replay_agg(
+    data: &[i64],
+    queries: &[RangeQuery],
+    strategy: &Strategy,
+    agg: AggKind,
+) -> ReplayResult {
+    let mut session = ColumnSession::new(data.to_vec(), strategy).record_history(true);
+    let mut checksum = 0u64;
+    for q in queries {
+        let (answer, _) = session.query(RangePredicate::between(q.lo, q.hi), agg);
+        checksum = checksum.wrapping_add(answer.count);
+    }
+    let (metadata_bytes, data_copy_bytes) = session.index_bytes();
+    ReplayResult {
+        label: session.label().to_string(),
+        totals: *session.totals(),
+        history: session.history().to_vec(),
+        metadata_bytes,
+        data_copy_bytes,
+        answer_checksum: checksum,
+    }
+}
+
+/// Asserts that every replay answered the workload identically.
+///
+/// # Panics
+/// Panics when two strategies disagree — a soundness bug, not a
+/// performance artifact, so experiments refuse to report.
+pub fn assert_same_answers(results: &[ReplayResult]) {
+    if let Some(first) = results.first() {
+        for r in &results[1..] {
+            assert_eq!(
+                r.answer_checksum, first.answer_checksum,
+                "{} and {} disagree on answers",
+                r.label, first.label
+            );
+        }
+    }
+}
+
+/// Mean latency (ns) of a window `[from, to)` of the per-query history.
+pub fn window_mean_ns(history: &[QueryMetrics], from: usize, to: usize) -> f64 {
+    let to = to.min(history.len());
+    if from >= to {
+        return 0.0;
+    }
+    history[from..to].iter().map(|m| m.wall_ns).sum::<u64>() as f64 / (to - from) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ads_workloads::{DataSpec, QuerySpec};
+
+    #[test]
+    fn replay_is_reproducible_and_consistent() {
+        let scale = Scale {
+            rows: 20_000,
+            queries: 30,
+            ..Scale::default()
+        };
+        let data = DataSpec::AlmostSorted { noise: 0.05 }.generate(scale.rows, scale.domain, 1);
+        let qs = QuerySpec::UniformRandom { selectivity: 0.01 }.generate(scale.queries, scale.domain, 2);
+        let results: Vec<ReplayResult> = Strategy::roster()
+            .iter()
+            .map(|s| replay(&data, &qs, s))
+            .collect();
+        assert_same_answers(&results);
+        for r in &results {
+            assert_eq!(r.history.len(), 30);
+            assert_eq!(r.totals.queries, 30);
+            assert!(r.mean_ns() > 0.0);
+        }
+    }
+
+    #[test]
+    fn speedup_is_relative() {
+        let data = DataSpec::Sorted.generate(100_000, 1_000_000, 1);
+        let qs = QuerySpec::UniformRandom { selectivity: 0.001 }.generate(50, 1_000_000, 2);
+        let slow = replay(&data, &qs, &Strategy::FullScan);
+        let fast = replay(&data, &qs, &Strategy::StaticZonemap { zone_rows: 4096 });
+        assert!(fast.speedup_vs(&slow) > 1.0, "zonemap should win on sorted data");
+        assert!((slow.speedup_vs(&slow) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn window_mean() {
+        let h = vec![
+            QueryMetrics {
+                wall_ns: 10,
+                ..Default::default()
+            },
+            QueryMetrics {
+                wall_ns: 30,
+                ..Default::default()
+            },
+        ];
+        assert_eq!(window_mean_ns(&h, 0, 2), 20.0);
+        assert_eq!(window_mean_ns(&h, 1, 2), 30.0);
+        assert_eq!(window_mean_ns(&h, 2, 2), 0.0);
+        assert_eq!(window_mean_ns(&h, 0, 100), 20.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "disagree")]
+    fn mismatched_answers_panic() {
+        let a = ReplayResult {
+            label: "a".into(),
+            totals: CumulativeMetrics::default(),
+            history: vec![],
+            metadata_bytes: 0,
+            data_copy_bytes: 0,
+            answer_checksum: 1,
+        };
+        let mut b = a.clone();
+        b.label = "b".into();
+        b.answer_checksum = 2;
+        assert_same_answers(&[a, b]);
+    }
+}

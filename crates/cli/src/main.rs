@@ -1,0 +1,47 @@
+//! `adskip` — interactive demo shell for adaptive data skipping.
+//!
+//! A terminal analogue of the SIGMOD 2016 demonstration: load a column,
+//! pick a strategy, fire queries, and watch the zonemap adapt.
+//!
+//! ```text
+//! cargo run -p ads-cli --release
+//! adskip> load mixed 2000000
+//! adskip> count 100000 110000
+//! adskip> zones
+//! adskip> compare 100 1
+//! ```
+
+mod repl;
+
+use repl::Repl;
+use std::io::{BufRead, Write};
+
+fn main() {
+    println!("adaptive data skipping — demo shell (type `help`)");
+    let mut repl = Repl::new();
+    let stdin = std::io::stdin();
+    let mut stdout = std::io::stdout();
+    loop {
+        print!("adskip> ");
+        stdout.flush().expect("stdout flush");
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("read error: {e}");
+                break;
+            }
+        }
+        let line = line.trim();
+        if line == "quit" || line == "exit" {
+            println!("bye");
+            break;
+        }
+        match repl.handle(line) {
+            Ok(out) if out.is_empty() => {}
+            Ok(out) => println!("{out}"),
+            Err(err) => println!("error: {err}"),
+        }
+    }
+}

@@ -1,0 +1,446 @@
+//! The demo shell's command interpreter, separated from stdin handling so
+//! every command is unit-testable.
+
+use ads_core::adaptive::{AdaptiveConfig, AdaptiveZonemap};
+use ads_core::RangePredicate;
+use ads_engine::{AggKind, ColumnSession, Strategy};
+use ads_workloads::{DataSpec, QuerySpec};
+use std::fmt::Write as _;
+
+/// Interpreter state: one loaded column, one strategy, one session.
+pub struct Repl {
+    session: Option<ColumnSession<i64>>,
+    data_label: String,
+    strategy: Strategy,
+    domain: i64,
+    seed: u64,
+}
+
+impl Default for Repl {
+    fn default() -> Self {
+        Repl {
+            session: None,
+            data_label: String::new(),
+            strategy: Strategy::Adaptive(AdaptiveConfig::default()),
+            domain: 1_000_000,
+            seed: 42,
+        }
+    }
+}
+
+const HELP: &str = "\
+commands:
+  load <dist> <rows>         load a column: sorted | semi | clustered | uniform |
+                             zipf | sawtooth | mixed
+  strategy <name> [param]    fullscan | static [zone_rows] | adaptive | lazy |
+                             imprints | cracking | oracle | activated-static [zone_rows]
+  count <lo> <hi>            COUNT rows with lo <= v <= hi
+  sum <lo> <hi>              SUM of qualifying values
+  workload <kind> <n> <sel%> replay n queries: uniform | hotspot | shift | sweep
+  zones                      show adaptive zonemap structure (adaptive strategy only)
+  trace                      recent adaptation events (adaptive strategy only)
+  stats                      session totals
+  append <rows>              append a fresh batch to the column
+  compare <n> <sel%>         replay a workload across all strategies
+  help                       this text
+  quit                       exit";
+
+impl Repl {
+    /// Creates a fresh interpreter.
+    pub fn new() -> Self {
+        Repl::default()
+    }
+
+    fn parse_dist(name: &str) -> Option<DataSpec> {
+        Some(match name {
+            "sorted" => DataSpec::Sorted,
+            "semi" | "semi-sorted" => DataSpec::AlmostSorted { noise: 0.05 },
+            "clustered" => DataSpec::Clustered { clusters: 64 },
+            "uniform" | "random" => DataSpec::Uniform,
+            "zipf" => DataSpec::Zipf { theta: 0.99 },
+            "sawtooth" => DataSpec::Sawtooth { periods: 32 },
+            "mixed" => DataSpec::MixedRegions,
+            _ => return None,
+        })
+    }
+
+    fn parse_strategy(words: &[&str]) -> Option<Strategy> {
+        let zone_rows = words.get(1).and_then(|w| w.parse().ok()).unwrap_or(4096);
+        Some(match words[0] {
+            "fullscan" | "none" => Strategy::FullScan,
+            "static" => Strategy::StaticZonemap { zone_rows },
+            "adaptive" => Strategy::Adaptive(AdaptiveConfig::default()),
+            "lazy" => Strategy::Adaptive(AdaptiveConfig::lazy_only()),
+            "imprints" => Strategy::Imprints {
+                values_per_line: 8,
+                bins: 64,
+            },
+            "cracking" => Strategy::Cracking,
+            "oracle" | "sorted" => Strategy::SortedOracle,
+            "activated-static" => Strategy::StaticZonemap { zone_rows }.activated(),
+            _ => return None,
+        })
+    }
+
+    fn session(&mut self) -> Result<&mut ColumnSession<i64>, String> {
+        self.session
+            .as_mut()
+            .ok_or_else(|| "no column loaded — try: load mixed 1000000".to_string())
+    }
+
+    fn rebuild_session(&mut self, data: Vec<i64>, label: String) {
+        self.data_label = label;
+        self.session = Some(ColumnSession::new(data, &self.strategy).record_history(true));
+    }
+
+    fn zones_strip(&self) -> Option<String> {
+        let session = self.session.as_ref()?;
+        let zm = session
+            .index()
+            .as_any()
+            .downcast_ref::<AdaptiveZonemap<i64>>()?;
+        const WIDTH: usize = 72;
+        let len = session.len().max(1);
+        let mut chars = vec!['.'; WIDTH];
+        for (range, label, _) in zm.zone_snapshot() {
+            let a = range.start * WIDTH / len;
+            let b = ((range.end * WIDTH).div_ceil(len)).min(WIDTH);
+            let c = match label {
+                "unbuilt" => '.',
+                "built" => '#',
+                "built~" => '~',
+                _ => 'x',
+            };
+            for slot in &mut chars[a..b] {
+                *slot = c;
+            }
+        }
+        let (u, b, d) = zm.state_counts();
+        Some(format!(
+            "[{}]\nzones: {} total — {u} unbuilt, {b} built, {d} dead   (. unbuilt  # built  ~ inherited  x dead)",
+            chars.into_iter().collect::<String>(),
+            zm.num_zones()
+        ))
+    }
+
+    /// Executes one command line, returning the text to print.
+    pub fn handle(&mut self, line: &str) -> Result<String, String> {
+        let words: Vec<&str> = line.split_whitespace().collect();
+        let Some(&cmd) = words.first() else {
+            return Ok(String::new());
+        };
+        match cmd {
+            "help" | "?" => Ok(HELP.to_string()),
+            "load" => {
+                let (Some(dist), Some(rows)) = (
+                    words.get(1).and_then(|w| Self::parse_dist(w)),
+                    words.get(2).and_then(|w| w.parse::<usize>().ok()),
+                ) else {
+                    return Err("usage: load <dist> <rows>".into());
+                };
+                let data = dist.generate(rows, self.domain, self.seed);
+                self.rebuild_session(data, dist.label());
+                let session = self.session.as_ref().expect("just built");
+                Ok(format!(
+                    "loaded {} rows of {} data; index: {} (built in {:.2}ms)",
+                    rows,
+                    self.data_label,
+                    session.label(),
+                    session.totals().build_ns as f64 / 1e6
+                ))
+            }
+            "strategy" => {
+                let Some(strategy) = words.get(1).and_then(|_| Self::parse_strategy(&words[1..]))
+                else {
+                    return Err("usage: strategy <fullscan|static|adaptive|lazy|imprints|cracking|oracle|activated-static> [zone_rows]".into());
+                };
+                self.strategy = strategy;
+                if let Some(session) = self.session.take() {
+                    // Rebuild over the same data.
+                    let data = session.data().to_vec();
+                    let label = self.data_label.clone();
+                    self.rebuild_session(data, label);
+                }
+                Ok(format!("strategy set to {}", self.strategy.label()))
+            }
+            "count" | "sum" => {
+                let (Some(lo), Some(hi)) = (
+                    words.get(1).and_then(|w| w.parse::<i64>().ok()),
+                    words.get(2).and_then(|w| w.parse::<i64>().ok()),
+                ) else {
+                    return Err(format!("usage: {cmd} <lo> <hi>"));
+                };
+                if lo > hi {
+                    return Err("lo must be <= hi".into());
+                }
+                let agg = if cmd == "count" { AggKind::Count } else { AggKind::Sum };
+                let session = self.session()?;
+                let (answer, m) = session.query(RangePredicate::between(lo, hi), agg);
+                let mut out = String::new();
+                match agg {
+                    AggKind::Count => {
+                        let _ = write!(out, "count = {}", answer.count);
+                    }
+                    _ => {
+                        let _ = write!(
+                            out,
+                            "sum = {:.0} over {} rows",
+                            answer.sum.unwrap_or(0.0),
+                            answer.count
+                        );
+                    }
+                }
+                let _ = write!(
+                    out,
+                    "   [{:.3}ms, scanned {} rows, probed {} zones, skipped {}]",
+                    m.wall_ns as f64 / 1e6,
+                    m.rows_scanned,
+                    m.zones_probed,
+                    m.zones_skipped
+                );
+                Ok(out)
+            }
+            "workload" => {
+                let (Some(kind), Some(n), Some(sel)) = (
+                    words.get(1).copied(),
+                    words.get(2).and_then(|w| w.parse::<usize>().ok()),
+                    words.get(3).and_then(|w| w.parse::<f64>().ok()),
+                ) else {
+                    return Err("usage: workload <uniform|hotspot|shift|sweep> <n> <sel%>".into());
+                };
+                let selectivity = sel / 100.0;
+                let spec = match kind {
+                    "uniform" => QuerySpec::UniformRandom { selectivity },
+                    "hotspot" => QuerySpec::Hotspot {
+                        selectivity,
+                        center: 0.5,
+                    },
+                    "shift" => QuerySpec::ShiftingHotspot {
+                        selectivity,
+                        phases: 3,
+                    },
+                    "sweep" => QuerySpec::Sweep { selectivity },
+                    _ => return Err("unknown workload kind".into()),
+                };
+                let queries = spec.generate(n, self.domain, self.seed ^ 0x77);
+                let session = self.session()?;
+                let start = session.history().len();
+                let mut matched = 0u64;
+                for q in &queries {
+                    matched += session.count(RangePredicate::between(q.lo, q.hi));
+                }
+                let history = &session.history()[start..];
+                let first = history.first().map_or(0, |m| m.wall_ns);
+                let last10: u64 = history.iter().rev().take(10).map(|m| m.wall_ns).sum::<u64>()
+                    / history.len().min(10).max(1) as u64;
+                let total: u64 = history.iter().map(|m| m.wall_ns).sum();
+                Ok(format!(
+                    "{} queries ({}), {} total matches\n  total {:.1}ms | first query {:.3}ms | mean of last 10 {:.3}ms",
+                    n,
+                    spec.label(),
+                    matched,
+                    total as f64 / 1e6,
+                    first as f64 / 1e6,
+                    last10 as f64 / 1e6
+                ))
+            }
+            "zones" => {
+                self.session()?;
+                self.zones_strip()
+                    .ok_or_else(|| "zones view needs the adaptive strategy".into())
+            }
+            "trace" => {
+                let session = self.session()?;
+                let Some(zm) = session
+                    .index()
+                    .as_any()
+                    .downcast_ref::<AdaptiveZonemap<i64>>()
+                else {
+                    return Err("trace needs the adaptive strategy".into());
+                };
+                let mut out = format!("totals: {}\nrecent:", zm.trace().totals());
+                for (seq, event) in zm.trace().recent().iter().rev().take(10) {
+                    let _ = write!(out, "\n  q{seq:>5}: {} {:?}", event.kind(), event);
+                }
+                Ok(out)
+            }
+            "stats" => {
+                let data_label = self.data_label.clone();
+                let session = self.session()?;
+                let t = session.totals();
+                let (meta, copy) = session.index_bytes();
+                Ok(format!(
+                    "column: {} rows of {}\nindex:  {} ({} metadata B, {} copied B)\nqueries: {} | total {:.1}ms | mean {:.3}ms | build {:.2}ms\nscanned {} rows | probed {} zones | skipped {} | adapt events {}",
+                    session.len(),
+                    data_label,
+                    session.label(),
+                    meta,
+                    copy,
+                    t.queries,
+                    t.wall_ns as f64 / 1e6,
+                    t.mean_latency_ns() / 1e6,
+                    t.build_ns as f64 / 1e6,
+                    t.rows_scanned,
+                    t.zones_probed,
+                    t.zones_skipped,
+                    t.adapt_events
+                ))
+            }
+            "append" => {
+                let Some(n) = words.get(1).and_then(|w| w.parse::<usize>().ok()) else {
+                    return Err("usage: append <rows>".into());
+                };
+                let domain = self.domain;
+                let seed = self.seed;
+                let session = self.session()?;
+                let fresh = ads_workloads::data::uniform(n, domain, seed ^ session.len() as u64);
+                let ns = session.append(&fresh);
+                Ok(format!(
+                    "appended {n} rows (now {}), index maintenance {:.3}ms",
+                    session.len(),
+                    ns as f64 / 1e6
+                ))
+            }
+            "compare" => {
+                let (Some(n), Some(sel)) = (
+                    words.get(1).and_then(|w| w.parse::<usize>().ok()),
+                    words.get(2).and_then(|w| w.parse::<f64>().ok()),
+                ) else {
+                    return Err("usage: compare <n> <sel%>".into());
+                };
+                let data = self.session()?.data().to_vec();
+                let queries = QuerySpec::UniformRandom {
+                    selectivity: sel / 100.0,
+                }
+                .generate(n, self.domain, self.seed ^ 0x99);
+                let mut out = format!(
+                    "{:<30} {:>10} {:>12} {:>10}\n",
+                    "strategy", "total ms", "mean µs", "checksum"
+                );
+                for strategy in Strategy::roster() {
+                    let mut s = ColumnSession::new(data.clone(), &strategy);
+                    let mut checksum = 0u64;
+                    for q in &queries {
+                        checksum = checksum.wrapping_add(s.count(RangePredicate::between(q.lo, q.hi)));
+                    }
+                    let t = s.totals();
+                    let _ = writeln!(
+                        out,
+                        "{:<30} {:>10.1} {:>12.1} {:>10}",
+                        s.label(),
+                        t.wall_ns as f64 / 1e6,
+                        t.mean_latency_ns() / 1e3,
+                        checksum
+                    );
+                }
+                Ok(out.trim_end().to_string())
+            }
+            "quit" | "exit" => Ok("bye".to_string()),
+            other => Err(format!("unknown command: {other} (try `help`)")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn loaded() -> Repl {
+        let mut r = Repl::new();
+        r.handle("load sorted 100000").expect("load works");
+        r
+    }
+
+    #[test]
+    fn help_lists_commands() {
+        let mut r = Repl::new();
+        let out = r.handle("help").expect("help works");
+        for cmd in ["load", "strategy", "count", "zones", "compare"] {
+            assert!(out.contains(cmd), "missing {cmd}");
+        }
+    }
+
+    #[test]
+    fn load_and_count() {
+        let mut r = loaded();
+        let out = r.handle("count 1000 1999").expect("count works");
+        assert!(out.contains("count = 100"), "{out}");
+    }
+
+    #[test]
+    fn query_before_load_errors() {
+        let mut r = Repl::new();
+        assert!(r.handle("count 0 10").is_err());
+        assert!(r.handle("stats").is_err());
+    }
+
+    #[test]
+    fn strategy_switch_rebuilds() {
+        let mut r = loaded();
+        let out = r.handle("strategy static 1024").expect("strategy works");
+        assert!(out.contains("static-zonemap(1024)"));
+        let out = r.handle("count 0 999").expect("count works");
+        assert!(out.contains("count = 100"), "{out}");
+    }
+
+    #[test]
+    fn zones_requires_adaptive() {
+        let mut r = loaded();
+        // Default strategy is adaptive: run a query to build zones.
+        r.handle("count 0 9999").expect("count works");
+        let strip = r.handle("zones").expect("zones works");
+        assert!(strip.contains('#'), "{strip}");
+        r.handle("strategy fullscan").expect("strategy works");
+        assert!(r.handle("zones").is_err());
+    }
+
+    #[test]
+    fn trace_shows_events() {
+        let mut r = loaded();
+        r.handle("count 0 9999").expect("count works");
+        let out = r.handle("trace").expect("trace works");
+        assert!(out.contains("built="), "{out}");
+    }
+
+    #[test]
+    fn workload_runs_and_reports() {
+        let mut r = loaded();
+        let out = r.handle("workload uniform 20 1").expect("workload works");
+        assert!(out.contains("20 queries"), "{out}");
+    }
+
+    #[test]
+    fn sum_and_stats() {
+        let mut r = loaded();
+        let out = r.handle("sum 0 99").expect("sum works");
+        assert!(out.contains("sum ="), "{out}");
+        let stats = r.handle("stats").expect("stats works");
+        assert!(stats.contains("queries: 1"), "{stats}");
+    }
+
+    #[test]
+    fn append_grows_column() {
+        let mut r = loaded();
+        let out = r.handle("append 500").expect("append works");
+        assert!(out.contains("now 100500"), "{out}");
+    }
+
+    #[test]
+    fn compare_prints_roster() {
+        let mut r = loaded();
+        let out = r.handle("compare 5 1").expect("compare works");
+        assert!(out.contains("cracking"));
+        assert!(out.contains("sorted-oracle"));
+    }
+
+    #[test]
+    fn bad_inputs_error_cleanly() {
+        let mut r = loaded();
+        assert!(r.handle("load nope 100").is_err());
+        assert!(r.handle("count 10 0").is_err());
+        assert!(r.handle("count x y").is_err());
+        assert!(r.handle("strategy warpdrive").is_err());
+        assert!(r.handle("frobnicate").is_err());
+        assert_eq!(r.handle("").expect("empty ok"), "");
+    }
+}

@@ -1,0 +1,334 @@
+//! Index-level activation: the framework's coarsest adaptive technique,
+//! applicable to *any* skipping structure.
+//!
+//! The paper frames adaptive data skipping as "a framework for structures
+//! and techniques". Adaptive zonemaps adapt *within* the structure;
+//! [`Activated`] adapts *around* one: it meters the realized benefit of an
+//! arbitrary inner [`SkippingIndex`] against the cost model, and when the
+//! metadata is a sustained net loss it puts the whole index to sleep —
+//! queries fall back to plain scans with **zero** probe overhead. Dormant
+//! indexes are retried after an exponentially growing backoff, so a
+//! workload or data change can win the metadata back.
+//!
+//! Wrapping a static zonemap or column imprints in `Activated` fixes their
+//! adversarial case (uniform data) at the price of a short trial period —
+//! without touching their implementation.
+
+use crate::cost::CostModel;
+use crate::index::{ScanCoords, SkippingIndex};
+use crate::outcome::{PruneOutcome, ScanObservation};
+use crate::predicate::RangePredicate;
+use crate::stats::Ewma;
+use ads_storage::DataValue;
+
+/// Tuning knobs for [`Activated`].
+#[derive(Debug, Clone, Copy)]
+pub struct ActivationConfig {
+    /// Queries of sustained negative benefit before going dormant.
+    pub patience: u32,
+    /// Dormant queries before the first retrial.
+    pub backoff_base: u64,
+    /// Queries each retrial stays active before being judged.
+    pub trial_queries: u32,
+    /// EWMA smoothing for the benefit signal.
+    pub ewma_alpha: f64,
+}
+
+impl Default for ActivationConfig {
+    fn default() -> Self {
+        ActivationConfig {
+            patience: 8,
+            backoff_base: 64,
+            trial_queries: 4,
+            ewma_alpha: 0.3,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    /// Delegating to the inner index.
+    Active,
+    /// Bypassing the inner index; `since` stamps the sleep start.
+    Dormant {
+        /// Query number when the index went dormant.
+        since: u64,
+    },
+}
+
+/// Wraps any skipping index with benefit metering and on/off adaptation.
+#[derive(Debug, Clone)]
+pub struct Activated<T: DataValue, I: SkippingIndex<T>> {
+    inner: I,
+    config: ActivationConfig,
+    cost: CostModel,
+    state: State,
+    benefit: Ewma,
+    negative_streak: u32,
+    trial_left: u32,
+    naps: u32,
+    query_seq: u64,
+    len: usize,
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: DataValue, I: SkippingIndex<T>> Activated<T, I> {
+    /// Wraps `inner` over a column of `len` rows.
+    pub fn new(inner: I, len: usize, config: ActivationConfig, cost: CostModel) -> Self {
+        Activated {
+            inner,
+            config,
+            cost,
+            state: State::Active,
+            benefit: Ewma::new(config.ewma_alpha),
+            negative_streak: 0,
+            trial_left: 0,
+            naps: 0,
+            query_seq: 0,
+            len,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Wraps with defaults.
+    pub fn with_defaults(inner: I, len: usize) -> Self {
+        Activated::new(inner, len, ActivationConfig::default(), CostModel::default())
+    }
+
+    /// True while delegating to the inner index.
+    pub fn is_active(&self) -> bool {
+        self.state == State::Active
+    }
+
+    /// How many times the index has been put to sleep.
+    pub fn naps(&self) -> u32 {
+        self.naps
+    }
+
+    /// The wrapped index.
+    pub fn inner(&self) -> &I {
+        &self.inner
+    }
+
+    /// Smoothed benefit in tuple-scan equivalents per query (positive:
+    /// the metadata pays for itself).
+    pub fn benefit(&self) -> f64 {
+        self.benefit.value()
+    }
+
+    fn backoff(&self) -> u64 {
+        let shift = self.naps.saturating_sub(1).min(20);
+        self.config.backoff_base.saturating_mul(1 << shift)
+    }
+}
+
+impl<T: DataValue, I: SkippingIndex<T> + 'static> SkippingIndex<T> for Activated<T, I> {
+    fn name(&self) -> String {
+        format!("activated({})", self.inner.name())
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn prune(&mut self, pred: &RangePredicate<T>) -> PruneOutcome {
+        self.query_seq += 1;
+        if let State::Dormant { since } = self.state {
+            if self.query_seq >= since + self.backoff() {
+                // Retrial: wake up for a bounded number of queries.
+                self.state = State::Active;
+                self.trial_left = self.config.trial_queries;
+                self.negative_streak = 0;
+            } else {
+                return PruneOutcome::scan_all(self.len);
+            }
+        }
+
+        let out = self.inner.prune(pred);
+        // Realized benefit of this prune: rows the scan will not touch,
+        // minus the probes paid, in tuple-scan equivalents.
+        let avoided = self.len.saturating_sub(out.rows_to_scan());
+        let sample = avoided as f64 - out.zones_probed as f64 * self.cost.probe_cost_tuples;
+        self.benefit.update(sample);
+        if sample <= 0.0 {
+            self.negative_streak += 1;
+        } else {
+            self.negative_streak = 0;
+        }
+
+        let in_trial = self.trial_left > 0;
+        if in_trial {
+            self.trial_left -= 1;
+        }
+        let give_up = if in_trial {
+            // Judge a retrial at its end by the smoothed signal.
+            self.trial_left == 0 && self.benefit.value() <= 0.0
+        } else {
+            self.negative_streak >= self.config.patience
+        };
+        if give_up {
+            self.state = State::Dormant {
+                since: self.query_seq,
+            };
+            self.naps = self.naps.saturating_add(1);
+        }
+        out
+    }
+
+    fn observe(&mut self, obs: &ScanObservation<T>) {
+        if self.is_active() {
+            self.inner.observe(obs);
+        }
+    }
+
+    fn on_append(&mut self, appended: &[T], base: &[T]) {
+        // Keep the inner index fresh even while dormant so a retrial can
+        // answer soundly; its maintenance cost is the price of the option.
+        self.inner.on_append(appended, base);
+        self.len = base.len();
+    }
+
+    fn metadata_bytes(&self) -> usize {
+        self.inner.metadata_bytes()
+    }
+
+    fn data_copy_bytes(&self) -> usize {
+        self.inner.data_copy_bytes()
+    }
+
+    fn scan_coords(&self) -> ScanCoords {
+        // Dormant prunes emit base-coordinate full ranges; inner indexes
+        // that answer in view coordinates would make coordinates ambiguous
+        // per query, so activation is restricted to base-coordinate inners.
+        debug_assert_eq!(
+            self.inner.scan_coords(),
+            ScanCoords::Base,
+            "Activated requires a base-coordinate inner index"
+        );
+        ScanCoords::Base
+    }
+
+    fn adapt_events(&self) -> u64 {
+        self.naps as u64 + self.inner.adapt_events()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zonemap_static::StaticZonemap;
+
+    fn fast_config() -> ActivationConfig {
+        ActivationConfig {
+            patience: 3,
+            backoff_base: 8,
+            trial_queries: 2,
+            ewma_alpha: 0.5,
+        }
+    }
+
+    fn uniform(n: usize) -> Vec<i64> {
+        (0..n as i64).map(|i| (i * 2654435761).rem_euclid(1_000_000)).collect()
+    }
+
+    #[test]
+    fn stays_active_when_skipping_pays() {
+        let data: Vec<i64> = (0..100_000).collect();
+        let zm = StaticZonemap::build(&data, 1024);
+        let mut act = Activated::new(zm, data.len(), fast_config(), CostModel::default());
+        for q in 0..50 {
+            let lo = (q * 997) % 90_000;
+            let out = act.prune(&RangePredicate::between(lo, lo + 1000));
+            assert!(out.zones_probed > 0, "should keep delegating");
+        }
+        assert!(act.is_active());
+        assert_eq!(act.naps(), 0);
+        assert!(act.benefit() > 0.0);
+    }
+
+    #[test]
+    fn goes_dormant_on_useless_metadata() {
+        let data = uniform(100_000);
+        let zm = StaticZonemap::build(&data, 256);
+        let mut act = Activated::new(zm, data.len(), fast_config(), CostModel::default());
+        let mut dormant_prunes = 0;
+        for q in 0..30 {
+            let lo = (q * 997) % 900_000;
+            let out = act.prune(&RangePredicate::between(lo, lo + 10_000));
+            if out.zones_probed == 0 {
+                dormant_prunes += 1;
+                assert_eq!(out.rows_to_scan(), data.len());
+            }
+        }
+        assert!(act.naps() >= 1, "useless metadata should be put to sleep");
+        assert!(dormant_prunes > 10, "most prunes should bypass metadata");
+    }
+
+    #[test]
+    fn retries_with_growing_backoff() {
+        let data = uniform(50_000);
+        let zm = StaticZonemap::build(&data, 256);
+        let mut act = Activated::new(zm, data.len(), fast_config(), CostModel::default());
+        let mut probed_at: Vec<u64> = Vec::new();
+        for q in 0..400u64 {
+            let lo = (q as i64 * 997) % 900_000;
+            let out = act.prune(&RangePredicate::between(lo, lo + 10_000));
+            if out.zones_probed > 0 {
+                probed_at.push(q);
+            }
+        }
+        assert!(act.naps() >= 2, "retrials should re-fail on uniform data");
+        // Gaps between active bursts should grow (exponential backoff).
+        let gaps: Vec<u64> = probed_at.windows(2).map(|w| w[1] - w[0]).filter(|&g| g > 1).collect();
+        assert!(!gaps.is_empty());
+        assert!(gaps.last().expect("has gaps") >= gaps.first().expect("has gaps"));
+    }
+
+    #[test]
+    fn answers_stay_sound_across_states() {
+        let data = uniform(20_000);
+        let zm = StaticZonemap::build(&data, 128);
+        let mut act = Activated::new(zm, data.len(), fast_config(), CostModel::default());
+        for q in 0..60 {
+            let lo = (q * 7919) % 900_000;
+            let pred = RangePredicate::between(lo, lo + 50_000);
+            let out = act.prune(&pred);
+            for (i, &v) in data.iter().enumerate() {
+                if pred.matches(v) {
+                    assert!(
+                        out.must_scan.contains(i) || out.full_match.contains(i),
+                        "row {i} lost at query {q}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn append_keeps_inner_fresh_while_dormant() {
+        let mut data = uniform(20_000);
+        let zm = StaticZonemap::build(&data, 128);
+        let mut act = Activated::new(zm, data.len(), fast_config(), CostModel::default());
+        // Drive it dormant.
+        for q in 0..20 {
+            let lo = (q * 997) % 900_000;
+            act.prune(&RangePredicate::between(lo, lo + 10_000));
+        }
+        assert!(!act.is_active());
+        let appended: Vec<i64> = (0..5000).collect();
+        data.extend_from_slice(&appended);
+        act.on_append(&appended, &data);
+        // Dormant prune must cover the appended rows too.
+        let out = act.prune(&RangePredicate::all());
+        assert_eq!(out.rows_to_scan() + out.rows_full_match(), data.len());
+    }
+
+    #[test]
+    fn name_and_events() {
+        let data: Vec<i64> = (0..1000).collect();
+        let act = Activated::with_defaults(StaticZonemap::build(&data, 64), data.len());
+        assert!(SkippingIndex::name(&act).starts_with("activated(static-zonemap"));
+        assert_eq!(act.adapt_events(), 0);
+        assert!(act.inner().num_zones() > 0);
+    }
+}

@@ -1,0 +1,236 @@
+//! Structural maintenance: coarsening, deactivation, and revival.
+//!
+//! These are the techniques that let adaptive zonemaps *back out* of
+//! metadata that is not paying for itself — the half of the framework that
+//! rescues the adversarial case (random data) the abstract highlights,
+//! where static zonemaps "significantly decrease query performance".
+
+use crate::adaptive::zone::{AdaptiveZone, ZoneState};
+use crate::adaptive::zonemap::AdaptiveZonemap;
+use crate::stats::ZoneStats;
+use crate::trace::AdaptEvent;
+use ads_storage::{DataValue, RowRange};
+
+impl<T: DataValue> AdaptiveZonemap<T> {
+    /// One maintenance pass: merge useless adjacent zones, deactivate
+    /// hopeless maximal zones, and coalesce adjacent dead regions.
+    pub(crate) fn run_maintenance(&mut self) {
+        if self.config.enable_merge {
+            self.merge_pass();
+        }
+        if self.config.enable_deactivate {
+            self.deactivate_pass();
+        }
+        // Adjacent dead regions always coalesce: a single entry per dead
+        // extent is what makes bypassing them effectively free.
+        self.coalesce_dead();
+    }
+
+    /// Merges runs of adjacent Built zones whose metadata never causes
+    /// skips, halving (or better) the probe bill for that region.
+    fn merge_pass(&mut self) {
+        let cfg = &self.config;
+        let mergeable = |z: &AdaptiveZone<T>| {
+            z.is_built()
+                && z.stats.probes >= cfg.merge_after_probes
+                && z.stats.skip_rate() <= cfg.merge_max_skip_rate
+        };
+
+        let mut merged: Vec<AdaptiveZone<T>> = Vec::with_capacity(self.zones.len());
+        let mut events: Vec<(RowRange, usize)> = Vec::new();
+        for zone in self.zones.drain(..) {
+            let can_extend = match merged.last() {
+                Some(prev) => {
+                    mergeable(prev)
+                        && mergeable(&zone)
+                        && prev.len() + zone.len() <= cfg.max_zone_rows
+                }
+                None => false,
+            };
+            if can_extend {
+                let prev = merged.last_mut().expect("checked non-empty");
+                let (pmin, pmax, pexact) = match prev.state {
+                    ZoneState::Built { min, max, exact } => (min, max, exact),
+                    _ => unreachable!("mergeable implies built"),
+                };
+                let (zmin, zmax, zexact) = match zone.state {
+                    ZoneState::Built { min, max, exact } => (min, max, exact),
+                    _ => unreachable!("mergeable implies built"),
+                };
+                let grown = match events.last_mut() {
+                    // Extend the in-flight merge event if it is this one.
+                    Some((range, parts)) if range.end == prev.end => {
+                        range.end = zone.end;
+                        *parts += 1;
+                        true
+                    }
+                    _ => false,
+                };
+                if !grown {
+                    events.push((RowRange::new(prev.start, zone.end), 2));
+                }
+                prev.end = zone.end;
+                prev.state = ZoneState::Built {
+                    min: pmin.min_total(zmin),
+                    max: pmax.max_total(zmax),
+                    // Exact bounds over exactly-adjacent ranges stay exact
+                    // for the union.
+                    exact: pexact && zexact,
+                };
+                prev.stats = ZoneStats::new(cfg.ewma_alpha);
+                prev.deactivations = prev.deactivations.max(zone.deactivations);
+                prev.no_resplit = true;
+                // Masks describe a single zone's rows; the union needs a
+                // fresh one (earned later if the merged zone still wastes
+                // scans).
+                prev.mask = None;
+            } else {
+                merged.push(zone);
+            }
+        }
+        self.zones = merged;
+        for (range, parts) in events {
+            self.trace
+                .record(self.query_seq, AdaptEvent::Merged { range, parts });
+        }
+    }
+
+    /// Retires Built zones that have grown to (near) the size ceiling and
+    /// still never skip: their metadata is a strict loss.
+    fn deactivate_pass(&mut self) {
+        let cfg = &self.config;
+        let threshold_rows = cfg.max_zone_rows / 2;
+        let query_seq = self.query_seq;
+        let mut deactivated: Vec<RowRange> = Vec::new();
+        for zone in &mut self.zones {
+            if zone.is_built()
+                && zone.len() >= threshold_rows
+                && zone.stats.probes >= cfg.deactivate_after_probes
+                && zone.stats.skip_rate() <= cfg.deactivate_max_skip_rate
+            {
+                zone.state = ZoneState::Dead {
+                    since_query: query_seq,
+                };
+                zone.deactivations = zone.deactivations.saturating_add(1);
+                zone.stats.reset();
+                zone.mask = None;
+                deactivated.push(zone.range());
+            }
+        }
+        for range in deactivated {
+            self.trace
+                .record(self.query_seq, AdaptEvent::Deactivated { range });
+        }
+        self.refresh_revival_clock();
+    }
+
+    /// Coalesces adjacent dead zones into single entries.
+    fn coalesce_dead(&mut self) {
+        let mut i = 0;
+        while i + 1 < self.zones.len() {
+            if self.zones[i].is_dead() && self.zones[i + 1].is_dead() {
+                let next = self.zones.remove(i + 1);
+                let prev = &mut self.zones[i];
+                prev.end = next.end;
+                prev.deactivations = prev.deactivations.max(next.deactivations);
+                if let (
+                    ZoneState::Dead { since_query: a },
+                    ZoneState::Dead { since_query: b },
+                ) = (prev.state, next.state)
+                {
+                    prev.state = ZoneState::Dead {
+                        since_query: a.max(b),
+                    };
+                }
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Replaces every dead zone whose backoff has elapsed with fresh
+    /// unbuilt zones at target granularity, giving a shifted workload the
+    /// chance to re-earn metadata there.
+    pub(crate) fn revive_due_zones(&mut self) {
+        let Some(base) = self.config.revival_base_queries else {
+            self.next_revival_check = u64::MAX;
+            return;
+        };
+        let query_seq = self.query_seq;
+        let due = |z: &AdaptiveZone<T>| match z.state {
+            ZoneState::Dead { since_query } => {
+                query_seq >= since_query + revival_backoff(base, z.deactivations)
+            }
+            _ => false,
+        };
+        if !self.zones.iter().any(due) {
+            self.refresh_revival_clock();
+            return;
+        }
+        let target = self.config.target_zone_rows;
+        let alpha = self.config.ewma_alpha;
+        let mut rebuilt: Vec<AdaptiveZone<T>> = Vec::with_capacity(self.zones.len());
+        let mut revived: Vec<RowRange> = Vec::new();
+        for zone in self.zones.drain(..) {
+            if due(&zone) {
+                revived.push(zone.range());
+                let mut start = zone.start;
+                while start < zone.end {
+                    let end = (start + target).min(zone.end);
+                    let mut child = AdaptiveZone::unbuilt(start, end, alpha);
+                    child.deactivations = zone.deactivations;
+                    rebuilt.push(child);
+                    start = end;
+                }
+            } else {
+                rebuilt.push(zone);
+            }
+        }
+        self.zones = rebuilt;
+        for range in revived {
+            self.trace
+                .record(self.query_seq, AdaptEvent::Revived { range });
+        }
+        self.refresh_revival_clock();
+    }
+
+    /// Recomputes the earliest query at which a revival check is needed.
+    fn refresh_revival_clock(&mut self) {
+        let Some(base) = self.config.revival_base_queries else {
+            self.next_revival_check = u64::MAX;
+            return;
+        };
+        self.next_revival_check = self
+            .zones
+            .iter()
+            .filter_map(|z| match z.state {
+                ZoneState::Dead { since_query } => {
+                    Some(since_query + revival_backoff(base, z.deactivations))
+                }
+                _ => None,
+            })
+            .min()
+            .unwrap_or(u64::MAX);
+    }
+}
+
+/// Exponential backoff: `base << (deactivations - 1)`, saturating.
+fn revival_backoff(base: u64, deactivations: u16) -> u64 {
+    let shift = deactivations.saturating_sub(1).min(20) as u32;
+    base.saturating_mul(1u64 << shift)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_per_deactivation() {
+        assert_eq!(revival_backoff(256, 0), 256);
+        assert_eq!(revival_backoff(256, 1), 256);
+        assert_eq!(revival_backoff(256, 2), 512);
+        assert_eq!(revival_backoff(256, 3), 1024);
+        // Saturates rather than overflowing.
+        assert!(revival_backoff(u64::MAX / 2, 10) >= u64::MAX / 2);
+    }
+}

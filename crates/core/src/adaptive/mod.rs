@@ -1,0 +1,17 @@
+//! Adaptive zonemaps: the paper's concrete instance of adaptive data
+//! skipping.
+//!
+//! See [`AdaptiveZonemap`] for the structure and [`AdaptiveConfig`] for the
+//! policy knobs and ablation presets.
+
+mod config;
+mod maintenance;
+mod zone;
+mod zonemap;
+
+pub use config::AdaptiveConfig;
+pub use zone::{AdaptiveZone, ZoneState};
+pub use zonemap::AdaptiveZonemap;
+
+#[cfg(test)]
+mod tests;

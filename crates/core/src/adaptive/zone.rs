@@ -1,0 +1,144 @@
+//! The zone record of an adaptive zonemap.
+
+use crate::outcome::MaskRequest;
+use crate::stats::ZoneStats;
+use ads_storage::{DataValue, RowRange};
+
+/// Secondary zone metadata: a 64-bin value-presence mask, used when a zone
+/// can refine no further positionally (outliers pin its min/max wide) but
+/// its *value* population is sparse. Earned, like all metadata here, as a
+/// scan by-product.
+#[derive(Debug, Clone, Copy)]
+pub struct ZoneMask {
+    /// The bin layout the mask was collected under.
+    pub layout: MaskRequest,
+    /// Bit `b` set when some row of the zone falls in bin `b`.
+    pub bits: u64,
+}
+
+/// Lifecycle state of one adaptive zone.
+#[derive(Debug, Clone, Copy)]
+pub enum ZoneState<T: DataValue> {
+    /// No metadata yet; the zone must be scanned, and the scan's
+    /// by-product `(min, max)` will materialise it.
+    Unbuilt,
+    /// Metadata available. `exact` distinguishes bounds computed from this
+    /// exact row range from conservative bounds inherited from a split
+    /// parent (sound but possibly wider than the truth; tightened on the
+    /// next scan through the zone).
+    Built {
+        /// Lower bound on the zone's values (exact or conservative).
+        min: T,
+        /// Upper bound on the zone's values (exact or conservative).
+        max: T,
+        /// Whether the bounds are exact for this row range.
+        exact: bool,
+    },
+    /// Metadata retired: probing this region never paid off. Scans read it
+    /// unconditionally, exactly as a store without skipping would.
+    Dead {
+        /// Query sequence number at deactivation, for revival backoff.
+        since_query: u64,
+    },
+}
+
+/// One zone: a row range plus its metadata state and statistics.
+#[derive(Debug, Clone)]
+pub struct AdaptiveZone<T: DataValue> {
+    /// First row of the zone.
+    pub start: usize,
+    /// One past the last row of the zone.
+    pub end: usize,
+    /// Metadata lifecycle state.
+    pub state: ZoneState<T>,
+    /// Adaptation statistics.
+    pub stats: ZoneStats,
+    /// How many times this region has been deactivated; drives exponential
+    /// revival backoff.
+    pub deactivations: u16,
+    /// Hysteresis flag: set when this zone was produced by a coarsening
+    /// merge. Such zones are never split again — a merge is the system
+    /// concluding that finer metadata did not pay here, and re-splitting
+    /// would ping-pong forever on random data. Revival (after
+    /// deactivation backoff) is the sanctioned second chance.
+    pub no_resplit: bool,
+    /// How many split levels separate this zone from an originally
+    /// materialised one. Splitting is speculative — on data with no
+    /// positional value locality it can never help — so the wasted-scan
+    /// threshold doubles per generation, damping runaway refinement while
+    /// still letting genuinely clustered regions drill down.
+    pub split_generation: u8,
+    /// Optional secondary value mask (see [`ZoneMask`]). Dropped on any
+    /// structural change to the zone's row range.
+    pub mask: Option<ZoneMask>,
+}
+
+impl<T: DataValue> AdaptiveZone<T> {
+    /// A fresh unbuilt zone.
+    pub fn unbuilt(start: usize, end: usize, ewma_alpha: f64) -> Self {
+        AdaptiveZone {
+            start,
+            end,
+            state: ZoneState::Unbuilt,
+            stats: ZoneStats::new(ewma_alpha),
+            deactivations: 0,
+            no_resplit: false,
+            split_generation: 0,
+            mask: None,
+        }
+    }
+
+    /// Number of rows covered.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True when the zone covers no rows (never valid inside a zonemap).
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// The zone's row range.
+    pub fn range(&self) -> RowRange {
+        RowRange::new(self.start, self.end)
+    }
+
+    /// True if metadata is currently usable for pruning.
+    pub fn is_built(&self) -> bool {
+        matches!(self.state, ZoneState::Built { .. })
+    }
+
+    /// True if the zone is retired.
+    pub fn is_dead(&self) -> bool {
+        matches!(self.state, ZoneState::Dead { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_zone() {
+        let z: AdaptiveZone<i64> = AdaptiveZone::unbuilt(10, 20, 0.25);
+        assert_eq!(z.len(), 10);
+        assert!(!z.is_empty());
+        assert!(!z.is_built() && !z.is_dead());
+        assert_eq!(z.range(), RowRange::new(10, 20));
+        assert_eq!(z.deactivations, 0);
+        assert!(!z.no_resplit);
+    }
+
+    #[test]
+    fn state_predicates() {
+        let mut z: AdaptiveZone<i64> = AdaptiveZone::unbuilt(0, 5, 0.25);
+        z.state = ZoneState::Built {
+            min: 1,
+            max: 4,
+            exact: true,
+        };
+        assert!(z.is_built());
+        z.state = ZoneState::Dead { since_query: 7 };
+        assert!(z.is_dead());
+    }
+}

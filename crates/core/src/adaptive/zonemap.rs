@@ -1,0 +1,454 @@
+//! The adaptive zonemap: zone metadata as a workload-driven investment.
+//!
+//! Where a static zonemap pays its full metadata cost up front and at one
+//! fixed granularity, the adaptive zonemap:
+//!
+//! * starts with **unbuilt** zones and materialises `(min, max)` as a
+//!   by-product of scans the queries had to run anyway (lazy build);
+//! * **splits** zones that keep being scanned for little yield, raising
+//!   skipping resolution exactly where the workload lands;
+//! * **merges** adjacent zones whose metadata never causes skips, cutting
+//!   the per-query probe bill;
+//! * **deactivates** regions where even maximal zones never skip, restoring
+//!   plain-scan performance on adversarial (random) data — and optionally
+//!   **revives** them with exponential backoff so a shifted workload can
+//!   re-earn metadata.
+//!
+//! Structural operations live in `maintenance.rs`; this file holds the
+//! container, the prune/observe protocol, and the append path.
+
+use crate::adaptive::config::AdaptiveConfig;
+use crate::adaptive::zone::{AdaptiveZone, ZoneMask, ZoneState};
+use crate::cost::CostModel;
+use crate::index::SkippingIndex;
+use crate::outcome::{MaskRequest, PruneOutcome, ScanObservation};
+use crate::predicate::RangePredicate;
+use crate::stats::{IndexStats, ZoneStats};
+use crate::trace::{AdaptEvent, AdaptTrace};
+use ads_storage::{DataValue, RangeSet, RowRange};
+
+/// An adaptive zonemap over one column of `len` rows.
+///
+/// Construction is O(#zones) and touches no data: all metadata is earned
+/// later through the [`SkippingIndex::observe`] feedback channel.
+#[derive(Debug, Clone)]
+pub struct AdaptiveZonemap<T: DataValue> {
+    pub(crate) zones: Vec<AdaptiveZone<T>>,
+    pub(crate) config: AdaptiveConfig,
+    pub(crate) cost: CostModel,
+    pub(crate) trace: AdaptTrace,
+    pub(crate) stats: IndexStats,
+    pub(crate) query_seq: u64,
+    pub(crate) len: usize,
+    /// Earliest query number at which some dead zone is due a revival
+    /// check; `u64::MAX` when none are dead or revival is disabled.
+    pub(crate) next_revival_check: u64,
+}
+
+impl<T: DataValue> AdaptiveZonemap<T> {
+    /// Creates an adaptive zonemap for a column of `len` rows.
+    ///
+    /// # Panics
+    /// Panics if `config` is inconsistent (see [`AdaptiveConfig::validate`]).
+    pub fn new(len: usize, config: AdaptiveConfig) -> Self {
+        Self::with_cost(len, config, CostModel::default())
+    }
+
+    /// As [`AdaptiveZonemap::new`] with an explicit cost model.
+    pub fn with_cost(len: usize, config: AdaptiveConfig, cost: CostModel) -> Self {
+        config.validate();
+        let mut zones = Vec::with_capacity(len.div_ceil(config.target_zone_rows.max(1)));
+        let mut start = 0;
+        while start < len {
+            let end = (start + config.target_zone_rows).min(len);
+            zones.push(AdaptiveZone::unbuilt(start, end, config.ewma_alpha));
+            start = end;
+        }
+        let trace = AdaptTrace::new(config.trace_capacity);
+        let zm = AdaptiveZonemap {
+            zones,
+            config,
+            cost,
+            trace,
+            stats: IndexStats::default(),
+            query_seq: 0,
+            len,
+            next_revival_check: u64::MAX,
+        };
+        zm.assert_invariants();
+        zm
+    }
+
+    /// Number of rows covered.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when covering zero rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Current number of zone entries (probe cost per query is
+    /// proportional to this).
+    pub fn num_zones(&self) -> usize {
+        self.zones.len()
+    }
+
+    /// The adaptation event trace.
+    pub fn trace(&self) -> &AdaptTrace {
+        &self.trace
+    }
+
+    /// Lifetime pruning statistics.
+    pub fn index_stats(&self) -> IndexStats {
+        self.stats
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &AdaptiveConfig {
+        &self.config
+    }
+
+    /// The cost model guiding granularity decisions.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// A structural snapshot: `(range, state label, skip rate)` per zone,
+    /// for dashboards and the demo-style trace example.
+    pub fn zone_snapshot(&self) -> Vec<(RowRange, &'static str, f64)> {
+        self.zones
+            .iter()
+            .map(|z| {
+                let label = match z.state {
+                    ZoneState::Unbuilt => "unbuilt",
+                    ZoneState::Built { exact: true, .. } => "built",
+                    ZoneState::Built { exact: false, .. } => "built~",
+                    ZoneState::Dead { .. } => "dead",
+                };
+                (z.range(), label, z.stats.skip_rate())
+            })
+            .collect()
+    }
+
+    /// Zones by state: `(unbuilt, built, dead)`.
+    pub fn state_counts(&self) -> (usize, usize, usize) {
+        let mut counts = (0, 0, 0);
+        for z in &self.zones {
+            match z.state {
+                ZoneState::Unbuilt => counts.0 += 1,
+                ZoneState::Built { .. } => counts.1 += 1,
+                ZoneState::Dead { .. } => counts.2 += 1,
+            }
+        }
+        counts
+    }
+
+    /// Verifies the zone partition invariant: contiguous, non-empty zones
+    /// covering exactly `[0, len)`. Cheap enough to run after every
+    /// structural change in debug builds; tests call it directly.
+    pub fn assert_invariants(&self) {
+        if self.len == 0 {
+            assert!(self.zones.is_empty(), "zones over empty column");
+            return;
+        }
+        assert_eq!(self.zones.first().map(|z| z.start), Some(0), "gap at front");
+        assert_eq!(
+            self.zones.last().map(|z| z.end),
+            Some(self.len),
+            "gap at back"
+        );
+        for w in self.zones.windows(2) {
+            assert_eq!(w[0].end, w[1].start, "zones not contiguous");
+        }
+        assert!(
+            self.zones.iter().all(|z| !z.is_empty()),
+            "empty zone present"
+        );
+    }
+}
+
+impl<T: DataValue> SkippingIndex<T> for AdaptiveZonemap<T> {
+    fn name(&self) -> String {
+        let mut flags = String::new();
+        if self.config.enable_split {
+            flags.push('s');
+        }
+        if self.config.enable_merge {
+            flags.push('m');
+        }
+        if self.config.enable_deactivate {
+            flags.push('d');
+        }
+        if self.config.enable_mask {
+            flags.push('v'); // value masks
+        }
+        if flags.is_empty() {
+            flags.push_str("lazy");
+        }
+        format!("adaptive-zonemap({}, {})", self.config.target_zone_rows, flags)
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn prune(&mut self, pred: &RangePredicate<T>) -> PruneOutcome {
+        self.query_seq += 1;
+        self.stats.queries += 1;
+
+        if self.query_seq >= self.next_revival_check {
+            self.revive_due_zones();
+        }
+
+        let mut out = PruneOutcome {
+            must_scan: RangeSet::with_capacity(32),
+            scan_units: Vec::with_capacity(32),
+            mask_requests: Vec::new(),
+            full_match: RangeSet::with_capacity(8),
+            zones_probed: 0,
+            zones_skipped: 0,
+        };
+
+        let min_split_rows = (2 * self.config.min_zone_rows)
+            .max(2 * self.cost.min_profitable_zone_rows());
+        for zone in &mut self.zones {
+            out.zones_probed += 1;
+            match zone.state {
+                ZoneState::Unbuilt | ZoneState::Dead { .. } => {
+                    out.must_scan.push_span(zone.start, zone.end);
+                    out.scan_units.push(zone.range());
+                    out.mask_requests.push(None);
+                }
+                ZoneState::Built { min, max, .. } => {
+                    if !pred.overlaps(min, max) {
+                        out.zones_skipped += 1;
+                        zone.stats.record_skip();
+                        continue;
+                    }
+                    if pred.contains_zone(min, max) {
+                        out.full_match.push_span(zone.start, zone.end);
+                        zone.stats.record_no_skip();
+                        continue;
+                    }
+                    // Secondary pruning: the value mask may exclude the
+                    // zone even though its (min, max) cannot — the
+                    // outlier case.
+                    if let Some(mask) = zone.mask {
+                        let bits = mask
+                            .layout
+                            .predicate_bits(pred.lo.to_f64(), pred.hi.to_f64());
+                        if mask.bits & bits == 0 {
+                            out.zones_skipped += 1;
+                            zone.stats.record_skip();
+                            continue;
+                        }
+                    }
+                    out.must_scan.push_span(zone.start, zone.end);
+                    out.scan_units.push(zone.range());
+                    // Ask the scan to collect a mask for zones that keep
+                    // wasting scans but can refine no further positionally.
+                    let can_split = self.config.enable_split
+                        && !zone.no_resplit
+                        && zone.len() >= min_split_rows;
+                    let want_mask = self.config.enable_mask
+                        && zone.mask.is_none()
+                        && !can_split
+                        && zone.stats.wasted_scans >= self.config.split_after_wasted;
+                    out.mask_requests.push(want_mask.then_some(MaskRequest {
+                        lo_f: min.to_f64(),
+                        hi_f: max.to_f64(),
+                    }));
+                    zone.stats.record_no_skip();
+                }
+            }
+        }
+
+        self.stats.total_probes += out.zones_probed as u64;
+        self.stats.total_skips += out.zones_skipped as u64;
+        self.stats.rows_full_match += out.rows_full_match() as u64;
+        out
+    }
+
+    fn observe(&mut self, obs: &ScanObservation<T>) {
+        let low_yield = self.config.split_low_yield;
+        let mut split_queue: Vec<usize> = Vec::new();
+
+        for ro in &obs.ranges {
+            self.stats.rows_scanned += ro.range.len() as u64;
+            // An observation feeds adaptation only when it covers exactly
+            // one zone: then its (min, max) is exact zone metadata and its
+            // qualifying count is an exact zone selectivity sample.
+            // (Composite ranges arise on the multi-column path, where
+            // intersection breaks zone alignment; they are ignored here.)
+            let idx = match self
+                .zones
+                .binary_search_by(|z| z.start.cmp(&ro.range.start))
+            {
+                Ok(i) if self.zones[i].end == ro.range.end => i,
+                _ => continue,
+            };
+            let zone = &mut self.zones[idx];
+            let frac = if zone.len() == 0 {
+                0.0
+            } else {
+                ro.qualifying as f64 / zone.len() as f64
+            };
+            match zone.state {
+                ZoneState::Unbuilt => {
+                    zone.state = ZoneState::Built {
+                        min: ro.min,
+                        max: ro.max,
+                        exact: true,
+                    };
+                    zone.stats.record_scan(frac, low_yield);
+                    self.trace
+                        .record(self.query_seq, AdaptEvent::Built { range: ro.range });
+                }
+                ZoneState::Built { min, max, .. } => {
+                    if let Some(bits) = ro.mask {
+                        if zone.mask.is_none() {
+                            // The layout is the zone's bounds as they were
+                            // at prune time (the request we issued).
+                            zone.mask = Some(ZoneMask {
+                                layout: MaskRequest {
+                                    lo_f: min.to_f64(),
+                                    hi_f: max.to_f64(),
+                                },
+                                bits,
+                            });
+                            self.trace
+                                .record(self.query_seq, AdaptEvent::MaskBuilt { range: ro.range });
+                        }
+                    }
+                    // Tighten to the exact bounds just measured. The mask
+                    // keeps its own layout, which still covers all rows.
+                    zone.state = ZoneState::Built {
+                        min: ro.min,
+                        max: ro.max,
+                        exact: true,
+                    };
+                    zone.stats.record_scan(frac, low_yield);
+                    // The wasted-scan threshold doubles per split
+                    // generation: each refinement level must earn the next
+                    // with proportionally more evidence, so data without
+                    // positional locality stops splitting after a couple
+                    // of speculative levels instead of racing to the floor.
+                    let waste_needed = self
+                        .config
+                        .split_after_wasted
+                        .saturating_mul(1 << zone.split_generation.min(16));
+                    if self.config.enable_split
+                        && !zone.no_resplit
+                        && zone.stats.wasted_scans >= waste_needed
+                        && zone.len() >= 2 * self.config.min_zone_rows
+                        // Children below the cost model's break-even size
+                        // could never repay their own probes.
+                        && zone.len() / 2 >= self.cost.min_profitable_zone_rows()
+                    {
+                        split_queue.push(idx);
+                    }
+                }
+                ZoneState::Dead { .. } => {}
+            }
+        }
+
+        // Apply splits back-to-front so queued indices stay valid.
+        for idx in split_queue.into_iter().rev() {
+            self.split_zone(idx);
+        }
+
+        if self.query_seq % self.config.maintenance_every == 0 {
+            self.run_maintenance();
+        }
+
+        #[cfg(debug_assertions)]
+        self.assert_invariants();
+    }
+
+    fn on_append(&mut self, appended: &[T], base: &[T]) {
+        debug_assert_eq!(self.len + appended.len(), base.len());
+        let new_len = base.len();
+        let target = self.config.target_zone_rows;
+
+        let mut start = self.len;
+        // Extend a trailing unbuilt zone up to target size before opening
+        // new zones, so trickle appends don't fragment the tail.
+        if let Some(last) = self.zones.last_mut() {
+            if matches!(last.state, ZoneState::Unbuilt) && last.len() < target {
+                last.end = (last.start + target).min(new_len);
+                start = last.end;
+            }
+        }
+        while start < new_len {
+            let end = (start + target).min(new_len);
+            self.zones
+                .push(AdaptiveZone::unbuilt(start, end, self.config.ewma_alpha));
+            start = end;
+        }
+        self.len = new_len;
+
+        #[cfg(debug_assertions)]
+        self.assert_invariants();
+    }
+
+    fn metadata_bytes(&self) -> usize {
+        self.zones.capacity() * std::mem::size_of::<AdaptiveZone<T>>()
+    }
+
+    fn adapt_events(&self) -> u64 {
+        self.trace.total_events()
+    }
+}
+
+impl<T: DataValue> AdaptiveZonemap<T> {
+    /// Splits zone `idx` into parts, inheriting the parent's bounds as
+    /// conservative (non-exact) metadata so skipping keeps working until
+    /// the next scan tightens each part.
+    pub(crate) fn split_zone(&mut self, idx: usize) {
+        let zone = self.zones[idx].clone();
+        let parts = (zone.len() / self.config.target_zone_rows)
+            .clamp(2, 8)
+            .min(zone.len() / self.config.min_zone_rows.max(1))
+            .max(2);
+        if zone.len() < 2 * self.config.min_zone_rows {
+            return;
+        }
+        let inherited = match zone.state {
+            ZoneState::Built { min, max, .. } => ZoneState::Built {
+                min,
+                max,
+                exact: false,
+            },
+            other => other,
+        };
+        let part_rows = zone.len().div_ceil(parts);
+        let mut children = Vec::with_capacity(parts);
+        let mut start = zone.start;
+        while start < zone.end {
+            let end = (start + part_rows).min(zone.end);
+            children.push(AdaptiveZone {
+                start,
+                end,
+                state: inherited,
+                stats: ZoneStats::new(self.config.ewma_alpha),
+                deactivations: zone.deactivations,
+                no_resplit: false,
+                split_generation: zone.split_generation.saturating_add(1),
+                // The parent's mask covered a different row range.
+                mask: None,
+            });
+            start = end;
+        }
+        let parts_made = children.len();
+        self.zones.splice(idx..=idx, children);
+        self.trace.record(
+            self.query_seq,
+            AdaptEvent::Split {
+                range: zone.range(),
+                parts: parts_made,
+            },
+        );
+    }
+}

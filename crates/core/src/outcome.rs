@@ -1,0 +1,237 @@
+//! Pruning outcomes and post-scan observations — the two halves of the
+//! prune/observe protocol between a skipping index and the scan executor.
+
+use crate::predicate::RangePredicate;
+use ads_storage::{DataValue, RangeSet, RowRange};
+
+/// A request for the scan to also collect a 64-bin value mask over a
+/// scanned unit, using equal-width bins over `[lo_f, hi_f]` (values
+/// converted via [`DataValue::to_f64`], which is monotone for all
+/// supported types, so the binning is sound for range pruning).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MaskRequest {
+    /// Lower edge of the bin layout.
+    pub lo_f: f64,
+    /// Upper edge of the bin layout.
+    pub hi_f: f64,
+}
+
+impl MaskRequest {
+    /// Bin index of a value under this layout, clamped to `0..64`.
+    #[inline]
+    pub fn bin(&self, v: f64) -> u32 {
+        let span = self.hi_f - self.lo_f;
+        if !(span > 0.0) {
+            return 0;
+        }
+        (((v - self.lo_f) / span) * 64.0).clamp(0.0, 63.0) as u32
+    }
+
+    /// Bit mask covering all bins a predicate `[lo, hi]` can touch.
+    #[inline]
+    pub fn predicate_bits(&self, lo: f64, hi: f64) -> u64 {
+        let a = self.bin(lo.max(self.lo_f));
+        let b = self.bin(hi.min(self.hi_f));
+        debug_assert!(a <= b);
+        let width = b - a + 1;
+        if width >= 64 {
+            u64::MAX
+        } else {
+            ((1u64 << width) - 1) << a
+        }
+    }
+}
+
+/// What a skipping index tells the executor after pruning a predicate.
+///
+/// Soundness contract: every qualifying row lies in `must_scan` or
+/// `full_match` (in the index's scan coordinates — base-table positions for
+/// positional indexes, view positions for indexes that answer from their own
+/// reorganised copy, such as cracking).
+#[derive(Debug, Clone, Default)]
+pub struct PruneOutcome {
+    /// Ranges the executor must scan and filter. Disjoint from `full_match`.
+    pub must_scan: RangeSet,
+    /// The units the executor should scan *individually*, reporting one
+    /// [`RangeObservation`] per unit. Same total coverage as `must_scan`
+    /// but possibly finer: adaptive zonemaps emit one unit per zone so the
+    /// fed-back `(min, max)` is exact at zone granularity. Empty means
+    /// "use `must_scan.ranges()` as the units".
+    pub scan_units: Vec<RowRange>,
+    /// Optional per-unit mask-collection requests, aligned 1:1 with
+    /// `scan_units` when non-empty. A scan honouring entry `i` computes
+    /// the 64-bin value mask of unit `i` as a by-product and returns it in
+    /// [`RangeObservation::mask`].
+    pub mask_requests: Vec<Option<MaskRequest>>,
+    /// Ranges known to contain *only* qualifying rows (predicate contains
+    /// the zone's value range). COUNT-style queries take these for free.
+    pub full_match: RangeSet,
+    /// Zone-metadata entries examined to produce this outcome — the
+    /// "metadata reads" whose cost the paper warns about.
+    pub zones_probed: usize,
+    /// Zones excluded by metadata.
+    pub zones_skipped: usize,
+}
+
+impl PruneOutcome {
+    /// An outcome that scans everything: what a store without skipping does.
+    pub fn scan_all(rows: usize) -> Self {
+        PruneOutcome {
+            must_scan: RangeSet::full(rows),
+            scan_units: Vec::new(),
+            mask_requests: Vec::new(),
+            full_match: RangeSet::new(),
+            zones_probed: 0,
+            zones_skipped: 0,
+        }
+    }
+
+    /// The mask request for scan unit `i`, if any.
+    pub fn mask_request(&self, i: usize) -> Option<MaskRequest> {
+        self.mask_requests.get(i).copied().flatten()
+    }
+
+    /// The ranges the executor should scan one-by-one: `scan_units` when
+    /// the index provided them, the coalesced `must_scan` ranges otherwise.
+    pub fn units(&self) -> &[RowRange] {
+        if self.scan_units.is_empty() {
+            self.must_scan.ranges()
+        } else {
+            &self.scan_units
+        }
+    }
+
+    /// Rows that must be touched by the scan.
+    pub fn rows_to_scan(&self) -> usize {
+        self.must_scan.covered_rows()
+    }
+
+    /// Rows answered from metadata alone.
+    pub fn rows_full_match(&self) -> usize {
+        self.full_match.covered_rows()
+    }
+
+    /// Fraction of an `n`-row table the scan avoids touching
+    /// (full-match rows count as avoided for COUNT-style work).
+    pub fn skip_fraction(&self, n: usize) -> f64 {
+        if n == 0 {
+            0.0
+        } else {
+            1.0 - self.rows_to_scan() as f64 / n as f64
+        }
+    }
+}
+
+/// Per-range result of an executed scan, fed back to the index.
+///
+/// `min`/`max` are the exact extremes of *all* rows in `range` (not only the
+/// qualifying ones) — the scan computes them as a by-product, and adaptive
+/// zonemaps use them to materialise zone metadata at no extra pass.
+#[derive(Debug, Clone, Copy)]
+pub struct RangeObservation<T: DataValue> {
+    /// The scanned range, in the index's scan coordinates.
+    pub range: RowRange,
+    /// Number of rows in `range` satisfying the predicate.
+    pub qualifying: usize,
+    /// Exact minimum over all rows of `range`.
+    pub min: T,
+    /// Exact maximum over all rows of `range`.
+    pub max: T,
+    /// 64-bin value mask of the range, present when the prune requested
+    /// one (see [`PruneOutcome::mask_requests`]).
+    pub mask: Option<u64>,
+}
+
+impl<T: DataValue> RangeObservation<T> {
+    /// An observation without a mask.
+    pub fn new(range: RowRange, qualifying: usize, min: T, max: T) -> Self {
+        RangeObservation {
+            range,
+            qualifying,
+            min,
+            max,
+            mask: None,
+        }
+    }
+}
+
+/// Everything the executor observed while answering one query.
+#[derive(Debug, Clone)]
+pub struct ScanObservation<T: DataValue> {
+    /// The predicate that was evaluated.
+    pub predicate: RangePredicate<T>,
+    /// One entry per scanned range of `PruneOutcome::must_scan`, in order.
+    pub ranges: Vec<RangeObservation<T>>,
+}
+
+impl<T: DataValue> ScanObservation<T> {
+    /// Observation with no scanned ranges (fully skipped or fully matched).
+    pub fn empty(predicate: RangePredicate<T>) -> Self {
+        ScanObservation {
+            predicate,
+            ranges: Vec::new(),
+        }
+    }
+
+    /// Total qualifying rows across scanned ranges.
+    pub fn total_qualifying(&self) -> usize {
+        self.ranges.iter().map(|r| r.qualifying).sum()
+    }
+
+    /// Total rows scanned.
+    pub fn total_scanned(&self) -> usize {
+        self.ranges.iter().map(|r| r.range.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scan_all_covers_everything() {
+        let o = PruneOutcome::scan_all(100);
+        assert_eq!(o.rows_to_scan(), 100);
+        assert_eq!(o.rows_full_match(), 0);
+        assert_eq!(o.skip_fraction(100), 0.0);
+        assert_eq!(o.zones_probed, 0);
+    }
+
+    #[test]
+    fn skip_fraction_counts_full_match_as_skipped() {
+        let mut o = PruneOutcome::default();
+        o.must_scan.push_span(0, 25);
+        o.full_match.push_span(50, 75);
+        assert!((o.skip_fraction(100) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn skip_fraction_empty_table() {
+        assert_eq!(PruneOutcome::default().skip_fraction(0), 0.0);
+    }
+
+    #[test]
+    fn units_fall_back_to_must_scan() {
+        let mut o = PruneOutcome::default();
+        o.must_scan.push_span(0, 10);
+        o.must_scan.push_span(20, 30);
+        assert_eq!(o.units().len(), 2);
+        o.scan_units = vec![RowRange::new(0, 5), RowRange::new(5, 10), RowRange::new(20, 30)];
+        assert_eq!(o.units().len(), 3);
+    }
+
+    #[test]
+    fn observation_totals() {
+        let pred = RangePredicate::between(0i64, 10);
+        let obs = ScanObservation {
+            predicate: pred,
+            ranges: vec![
+                RangeObservation::new(RowRange::new(0, 10), 3, -5, 40),
+                RangeObservation::new(RowRange::new(20, 25), 5, 0, 9),
+            ],
+        };
+        assert_eq!(obs.total_qualifying(), 8);
+        assert_eq!(obs.total_scanned(), 15);
+        assert_eq!(ScanObservation::empty(pred).total_scanned(), 0);
+    }
+}

@@ -1,0 +1,216 @@
+//! Per-zone and whole-index statistics driving adaptation decisions.
+
+/// Exponentially-weighted moving average with fixed smoothing factor.
+///
+/// Adaptation reacts to the *recent* workload; EWMA forgets old behaviour at
+/// a controlled rate so a shifted workload re-trains the structure (E7).
+#[derive(Debug, Clone, Copy)]
+pub struct Ewma {
+    value: f64,
+    alpha: f64,
+    primed: bool,
+}
+
+impl Ewma {
+    /// Creates an EWMA with smoothing factor `alpha` in `(0, 1]`; larger
+    /// alpha weights recent samples more.
+    ///
+    /// # Panics
+    /// Panics if `alpha` is outside `(0, 1]`.
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0,1]");
+        Ewma {
+            value: 0.0,
+            alpha,
+            primed: false,
+        }
+    }
+
+    /// Feeds a sample.
+    pub fn update(&mut self, sample: f64) {
+        if self.primed {
+            self.value += self.alpha * (sample - self.value);
+        } else {
+            self.value = sample;
+            self.primed = true;
+        }
+    }
+
+    /// Current smoothed value; 0.0 before any sample.
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+
+    /// True once at least one sample has arrived.
+    pub fn is_primed(&self) -> bool {
+        self.primed
+    }
+}
+
+/// Counters for one zone of an adaptive zonemap.
+#[derive(Debug, Clone, Copy)]
+pub struct ZoneStats {
+    /// Metadata examinations (every prune that considered this zone).
+    pub probes: u32,
+    /// Probes that excluded the zone.
+    pub skips: u32,
+    /// Scans through the zone (probe overlapped, zone was read).
+    pub scans: u32,
+    /// Scans that yielded a low qualifying fraction — evidence the zone's
+    /// metadata is too coarse ("false-positive" scans that a finer zone
+    /// might have skipped).
+    pub wasted_scans: u32,
+    /// Recent qualifying fraction of scans through this zone.
+    pub selectivity: Ewma,
+}
+
+impl ZoneStats {
+    /// Fresh counters. `alpha` is the EWMA smoothing factor.
+    pub fn new(alpha: f64) -> Self {
+        ZoneStats {
+            probes: 0,
+            skips: 0,
+            scans: 0,
+            wasted_scans: 0,
+            selectivity: Ewma::new(alpha),
+        }
+    }
+
+    /// Fraction of probes that resulted in a skip; 0.0 before any probe.
+    pub fn skip_rate(&self) -> f64 {
+        if self.probes == 0 {
+            0.0
+        } else {
+            self.skips as f64 / self.probes as f64
+        }
+    }
+
+    /// Records a probe that skipped the zone.
+    pub fn record_skip(&mut self) {
+        self.probes += 1;
+        self.skips += 1;
+    }
+
+    /// Records a probe that could not skip the zone.
+    pub fn record_no_skip(&mut self) {
+        self.probes += 1;
+    }
+
+    /// Records a completed scan through the zone with the observed
+    /// qualifying fraction; flags it wasted when below `low_yield`.
+    pub fn record_scan(&mut self, qualifying_fraction: f64, low_yield: f64) {
+        self.scans += 1;
+        self.selectivity.update(qualifying_fraction);
+        if qualifying_fraction < low_yield {
+            self.wasted_scans += 1;
+        } else {
+            // A productive scan resets the waste streak: splitting helps
+            // only when the zone *keeps* being read for nothing.
+            self.wasted_scans = 0;
+        }
+    }
+
+    /// Resets counters (after a structural change invalidates history).
+    pub fn reset(&mut self) {
+        let alpha = self.selectivity.alpha;
+        *self = ZoneStats::new(alpha);
+    }
+}
+
+/// Whole-index counters reported by experiments.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IndexStats {
+    /// Total zone-metadata probes across all queries.
+    pub total_probes: u64,
+    /// Total zones skipped.
+    pub total_skips: u64,
+    /// Total rows the scans actually touched.
+    pub rows_scanned: u64,
+    /// Total rows answered from metadata alone (full-match zones).
+    pub rows_full_match: u64,
+    /// Queries processed.
+    pub queries: u64,
+}
+
+impl IndexStats {
+    /// Overall skip rate across all probes.
+    pub fn skip_rate(&self) -> f64 {
+        if self.total_probes == 0 {
+            0.0
+        } else {
+            self.total_skips as f64 / self.total_probes as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ewma_first_sample_primes() {
+        let mut e = Ewma::new(0.3);
+        assert!(!e.is_primed());
+        e.update(10.0);
+        assert_eq!(e.value(), 10.0);
+        assert!(e.is_primed());
+    }
+
+    #[test]
+    fn ewma_converges_toward_samples() {
+        let mut e = Ewma::new(0.5);
+        e.update(0.0);
+        for _ in 0..20 {
+            e.update(1.0);
+        }
+        assert!(e.value() > 0.99);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in (0,1]")]
+    fn ewma_rejects_bad_alpha() {
+        Ewma::new(0.0);
+    }
+
+    #[test]
+    fn zone_stats_skip_rate() {
+        let mut z = ZoneStats::new(0.3);
+        assert_eq!(z.skip_rate(), 0.0);
+        z.record_skip();
+        z.record_no_skip();
+        z.record_skip();
+        assert!((z.skip_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wasted_scan_streak_resets_on_productive_scan() {
+        let mut z = ZoneStats::new(0.3);
+        z.record_scan(0.0, 0.05);
+        z.record_scan(0.01, 0.05);
+        assert_eq!(z.wasted_scans, 2);
+        z.record_scan(0.5, 0.05);
+        assert_eq!(z.wasted_scans, 0);
+    }
+
+    #[test]
+    fn reset_clears_counters_keeps_alpha() {
+        let mut z = ZoneStats::new(0.25);
+        z.record_skip();
+        z.record_scan(0.9, 0.05);
+        z.reset();
+        assert_eq!(z.probes, 0);
+        assert_eq!(z.scans, 0);
+        assert!(!z.selectivity.is_primed());
+    }
+
+    #[test]
+    fn index_stats_skip_rate() {
+        let s = IndexStats {
+            total_probes: 10,
+            total_skips: 4,
+            ..Default::default()
+        };
+        assert!((s.skip_rate() - 0.4).abs() < 1e-12);
+        assert_eq!(IndexStats::default().skip_rate(), 0.0);
+    }
+}

@@ -1,0 +1,254 @@
+//! Static zonemaps: fixed-width `(min, max)` metadata built eagerly.
+//!
+//! This is the classic structure (Moerkotte's small materialized aggregates;
+//! the zone maps of Netezza / ORC / Parquet): one metadata entry per
+//! `zone_rows` consecutive rows, built up front, never reorganised. It is
+//! the paper's primary comparison point — excellent on sorted or clustered
+//! data, and a net loss on random data because every query pays the probe
+//! cost with no skips to show for it.
+
+use crate::index::SkippingIndex;
+use crate::outcome::PruneOutcome;
+use crate::predicate::RangePredicate;
+use ads_storage::{scan, DataValue, RangeSet};
+
+/// A fixed-granularity, eagerly-built zonemap.
+///
+/// ```
+/// use ads_core::{StaticZonemap, SkippingIndex, RangePredicate};
+/// let data: Vec<i64> = (0..10_000).collect();
+/// let mut zm = StaticZonemap::build(&data, 1000);
+/// let out = zm.prune(&RangePredicate::between(2500, 2600));
+/// assert_eq!(out.zones_skipped, 9); // sorted data: one candidate zone
+/// assert_eq!(out.rows_to_scan(), 1000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct StaticZonemap<T: DataValue> {
+    zone_rows: usize,
+    /// `(min, max)` per zone; zone `z` covers rows
+    /// `[z * zone_rows, min((z+1) * zone_rows, len))`.
+    zones: Vec<(T, T)>,
+    len: usize,
+}
+
+impl<T: DataValue> StaticZonemap<T> {
+    /// Builds the full zonemap over `data` with `zone_rows`-row zones.
+    ///
+    /// # Panics
+    /// Panics if `zone_rows == 0`.
+    pub fn build(data: &[T], zone_rows: usize) -> Self {
+        assert!(zone_rows > 0, "zone_rows must be positive");
+        let zones = data
+            .chunks(zone_rows)
+            .map(|c| scan::min_max(c).expect("chunks are non-empty"))
+            .collect();
+        StaticZonemap {
+            zone_rows,
+            zones,
+            len: data.len(),
+        }
+    }
+
+    /// Rows per zone.
+    pub fn zone_rows(&self) -> usize {
+        self.zone_rows
+    }
+
+    /// Number of zones.
+    pub fn num_zones(&self) -> usize {
+        self.zones.len()
+    }
+
+    /// Row range of zone `z`.
+    fn zone_span(&self, z: usize) -> (usize, usize) {
+        let start = z * self.zone_rows;
+        (start, (start + self.zone_rows).min(self.len))
+    }
+}
+
+impl<T: DataValue> SkippingIndex<T> for StaticZonemap<T> {
+    fn name(&self) -> String {
+        format!("static-zonemap({})", self.zone_rows)
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn prune(&mut self, pred: &RangePredicate<T>) -> PruneOutcome {
+        let mut out = PruneOutcome {
+            must_scan: RangeSet::with_capacity(16),
+            scan_units: Vec::new(),
+            mask_requests: Vec::new(),
+            full_match: RangeSet::with_capacity(16),
+            zones_probed: self.zones.len(),
+            zones_skipped: 0,
+        };
+        for (z, &(min, max)) in self.zones.iter().enumerate() {
+            let (start, end) = self.zone_span(z);
+            if !pred.overlaps(min, max) {
+                out.zones_skipped += 1;
+            } else if pred.contains_zone(min, max) {
+                out.full_match.push_span(start, end);
+            } else {
+                out.must_scan.push_span(start, end);
+            }
+        }
+        out
+    }
+
+    fn on_append(&mut self, _appended: &[T], base: &[T]) {
+        // The last zone may have been partial; rebuild it from the base
+        // column, then extend with zones over the genuinely new rows.
+        if self.len % self.zone_rows != 0 {
+            let last = self.zones.len() - 1;
+            let start = last * self.zone_rows;
+            let end = (start + self.zone_rows).min(base.len());
+            self.zones[last] =
+                scan::min_max(&base[start..end]).expect("partial zone is non-empty");
+        }
+        let covered = self.zones.len() * self.zone_rows;
+        if base.len() > covered {
+            self.zones.extend(
+                base[covered..]
+                    .chunks(self.zone_rows)
+                    .map(|c| scan::min_max(c).expect("chunks are non-empty")),
+            );
+        }
+        self.len = base.len();
+    }
+
+    fn metadata_bytes(&self) -> usize {
+        self.zones.capacity() * std::mem::size_of::<(T, T)>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sorted_data(n: usize) -> Vec<i64> {
+        (0..n as i64).collect()
+    }
+
+    #[test]
+    fn build_zone_metadata_is_exact() {
+        let data = sorted_data(100);
+        let zm = StaticZonemap::build(&data, 32);
+        assert_eq!(zm.num_zones(), 4);
+        assert_eq!(zm.zones[0], (0, 31));
+        assert_eq!(zm.zones[3], (96, 99)); // partial last zone
+    }
+
+    #[test]
+    #[should_panic(expected = "zone_rows must be positive")]
+    fn zero_zone_rows_rejected() {
+        StaticZonemap::build(&[1i64], 0);
+    }
+
+    #[test]
+    fn prune_sorted_skips_nonoverlapping() {
+        let data = sorted_data(1000);
+        let mut zm = StaticZonemap::build(&data, 100);
+        let out = zm.prune(&RangePredicate::between(250, 260));
+        assert_eq!(out.zones_probed, 10);
+        assert_eq!(out.zones_skipped, 9);
+        assert_eq!(out.rows_to_scan(), 100);
+        assert!(out.must_scan.contains(255));
+    }
+
+    #[test]
+    fn prune_detects_full_match_zones() {
+        let data = sorted_data(1000);
+        let mut zm = StaticZonemap::build(&data, 100);
+        // Predicate fully contains zones [200,300) and [300,400), and
+        // partially overlaps zones [100,200) and [400,500).
+        let out = zm.prune(&RangePredicate::between(150, 450));
+        assert_eq!(out.rows_full_match(), 200);
+        assert_eq!(out.rows_to_scan(), 200);
+        assert_eq!(out.zones_skipped, 6);
+    }
+
+    #[test]
+    fn prune_random_data_skips_nothing() {
+        // Values alternate across the whole domain: every zone spans it.
+        let data: Vec<i64> = (0..1000).map(|i| if i % 2 == 0 { 0 } else { 999 }).collect();
+        let mut zm = StaticZonemap::build(&data, 100);
+        let out = zm.prune(&RangePredicate::between(400, 500));
+        assert_eq!(out.zones_skipped, 0);
+        assert_eq!(out.rows_to_scan(), 1000);
+        assert_eq!(out.zones_probed, 10);
+    }
+
+    #[test]
+    fn prune_soundness_on_clustered_data() {
+        let mut data = vec![5i64; 300];
+        data.extend(vec![50i64; 300]);
+        data.extend(vec![500i64; 400]);
+        let mut zm = StaticZonemap::build(&data, 128);
+        let pred = RangePredicate::between(40, 60);
+        let out = zm.prune(&pred);
+        for (i, &v) in data.iter().enumerate() {
+            if pred.matches(v) {
+                assert!(
+                    out.must_scan.contains(i) || out.full_match.contains(i),
+                    "row {i} lost"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn append_extends_and_fixes_partial_zone() {
+        let mut data = sorted_data(150);
+        let mut zm = StaticZonemap::build(&data, 100);
+        assert_eq!(zm.num_zones(), 2);
+        let appended: Vec<i64> = (150..320).collect();
+        data.extend_from_slice(&appended);
+        zm.on_append(&appended, &data);
+        assert_eq!(zm.num_zones(), 4);
+        assert_eq!(zm.zones[1], (100, 199)); // partial zone repaired
+        assert_eq!(zm.zones[3], (300, 319));
+        // Soundness after append.
+        let pred = RangePredicate::between(190, 210);
+        let out = zm.prune(&pred);
+        for (i, &v) in data.iter().enumerate() {
+            if pred.matches(v) {
+                assert!(out.must_scan.contains(i) || out.full_match.contains(i));
+            }
+        }
+    }
+
+    #[test]
+    fn append_aligned_boundary() {
+        let mut data = sorted_data(200);
+        let mut zm = StaticZonemap::build(&data, 100);
+        let appended: Vec<i64> = (200..250).collect();
+        data.extend_from_slice(&appended);
+        zm.on_append(&appended, &data);
+        assert_eq!(zm.num_zones(), 3);
+        assert_eq!(zm.zones[2], (200, 249));
+    }
+
+    #[test]
+    fn metadata_bytes_scales_with_zone_count() {
+        let data = sorted_data(10_000);
+        let coarse = StaticZonemap::build(&data, 1000);
+        let fine = StaticZonemap::build(&data, 10);
+        assert!(fine.metadata_bytes() > coarse.metadata_bytes());
+    }
+
+    #[test]
+    fn name_includes_granularity() {
+        let zm = StaticZonemap::build(&sorted_data(10), 4);
+        assert_eq!(SkippingIndex::name(&zm), "static-zonemap(4)");
+    }
+
+    #[test]
+    fn empty_column() {
+        let mut zm = StaticZonemap::build(&[] as &[i64], 64);
+        assert_eq!(zm.num_zones(), 0);
+        let out = zm.prune(&RangePredicate::all());
+        assert_eq!(out.rows_to_scan(), 0);
+    }
+}

@@ -1,0 +1,347 @@
+//! The scan executor: runs one pruned query end-to-end.
+//!
+//! The executor is the glue of the prune/observe protocol: it asks the
+//! index what to scan, runs the kernels over exactly those ranges, answers
+//! the aggregate, and feeds the per-range observations (qualifying counts
+//! and exact min/max, computed as scan by-products) back to the index.
+
+use crate::metrics::QueryMetrics;
+use ads_core::{PruneOutcome, RangeObservation, RangePredicate, ScanCoords, ScanObservation, SkippingIndex};
+use ads_storage::scan;
+use ads_storage::DataValue;
+use std::time::Instant;
+
+/// Which aggregate a scan query computes over the qualifying rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggKind {
+    /// Number of qualifying rows.
+    Count,
+    /// Sum of qualifying values (as `f64`).
+    Sum,
+    /// Minimum qualifying value.
+    Min,
+    /// Maximum qualifying value.
+    Max,
+    /// The qualifying base-table row ids, ascending.
+    Positions,
+}
+
+/// The result of one query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryAnswer<T: DataValue> {
+    /// Number of qualifying rows (computed for every aggregate kind).
+    pub count: u64,
+    /// Sum of qualifying values; `Some` only for [`AggKind::Sum`].
+    pub sum: Option<f64>,
+    /// Minimum qualifying value; `Some` for [`AggKind::Min`] with matches.
+    pub min: Option<T>,
+    /// Maximum qualifying value; `Some` for [`AggKind::Max`] with matches.
+    pub max: Option<T>,
+    /// Qualifying base row ids; `Some` only for [`AggKind::Positions`].
+    pub positions: Option<Vec<u32>>,
+}
+
+impl<T: DataValue> Default for QueryAnswer<T> {
+    fn default() -> Self {
+        QueryAnswer {
+            count: 0,
+            sum: None,
+            min: None,
+            max: None,
+            positions: None,
+        }
+    }
+}
+
+/// Executes `pred` with aggregate `agg` over `data` using `index`.
+///
+/// Returns the answer plus per-query metrics. The index's adaptation (if
+/// any) happens inside this call, and its cost is included in `wall_ns` —
+/// adaptive structures pay their reorganisation on the query path, exactly
+/// as the paper frames it.
+pub fn execute<T: DataValue>(
+    data: &[T],
+    index: &mut dyn SkippingIndex<T>,
+    pred: RangePredicate<T>,
+    agg: AggKind,
+) -> (QueryAnswer<T>, QueryMetrics) {
+    let t0 = Instant::now();
+    let events_before = index.adapt_events();
+    let outcome = index.prune(&pred);
+
+    let coords = index.scan_coords();
+    let mut answer = QueryAnswer::default();
+    let mut observations: Vec<RangeObservation<T>> = Vec::with_capacity(outcome.units().len());
+    let mut rows_scanned = 0usize;
+
+    {
+        let target: &[T] = match coords {
+            ScanCoords::Base => data,
+            ScanCoords::View => index.view().expect("view-coordinate index must expose a view"),
+        };
+        match agg {
+            AggKind::Count => {
+                answer.count = outcome.rows_full_match() as u64;
+                for (i, unit) in outcome.units().iter().enumerate() {
+                    let slice = &target[unit.start..unit.end];
+                    let obs = if let Some(req) = outcome.mask_request(i) {
+                        // The index asked for a value mask over this unit;
+                        // collect it in the same pass.
+                        let (q, min, max, mask) = scan::count_in_range_with_minmax_and_mask(
+                            slice, pred.lo, pred.hi, req.lo_f, req.hi_f,
+                        );
+                        let mut o = RangeObservation::new(*unit, q, min, max);
+                        o.mask = Some(mask);
+                        o
+                    } else {
+                        let (q, min, max) =
+                            scan::count_in_range_with_minmax(slice, pred.lo, pred.hi);
+                        RangeObservation::new(*unit, q, min, max)
+                    };
+                    answer.count += obs.qualifying as u64;
+                    rows_scanned += unit.len();
+                    observations.push(obs);
+                }
+            }
+            AggKind::Sum | AggKind::Min | AggKind::Max => {
+                let mut sum = 0.0f64;
+                let mut mmin = T::MAX_VALUE;
+                let mut mmax = T::MIN_VALUE;
+                // Full-match ranges: every row qualifies, no predicate
+                // re-evaluation needed, but the values must still be read.
+                for r in outcome.full_match.ranges() {
+                    let slice = &target[r.start..r.end];
+                    answer.count += slice.len() as u64;
+                    rows_scanned += slice.len();
+                    match agg {
+                        AggKind::Sum => {
+                            let (_, s) = scan::sum_in_range(slice, T::MIN_VALUE, T::MAX_VALUE);
+                            sum += s;
+                        }
+                        _ => {
+                            if let Some((lo, hi)) = scan::min_max(slice) {
+                                mmin = mmin.min_total(lo);
+                                mmax = mmax.max_total(hi);
+                            }
+                        }
+                    }
+                }
+                for unit in outcome.units() {
+                    let a = scan::aggregate_in_range(&target[unit.start..unit.end], pred.lo, pred.hi);
+                    answer.count += a.count as u64;
+                    sum += a.sum;
+                    mmin = mmin.min_total(a.match_min);
+                    mmax = mmax.max_total(a.match_max);
+                    rows_scanned += unit.len();
+                    observations.push(RangeObservation::new(*unit, a.count, a.range_min, a.range_max));
+                }
+                match agg {
+                    AggKind::Sum => answer.sum = Some(sum),
+                    AggKind::Min => answer.min = (answer.count > 0).then_some(mmin),
+                    AggKind::Max => answer.max = (answer.count > 0).then_some(mmax),
+                    _ => unreachable!(),
+                }
+            }
+            AggKind::Positions => {
+                let mut positions: Vec<u32> = Vec::new();
+                // Merge-walk full-match ranges and scan units by start so
+                // base-coordinate output is already sorted.
+                let fulls = outcome.full_match.ranges();
+                let units = outcome.units();
+                let (mut fi, mut ui) = (0usize, 0usize);
+                while fi < fulls.len() || ui < units.len() {
+                    let take_full = match (fulls.get(fi), units.get(ui)) {
+                        (Some(f), Some(u)) => f.start < u.start,
+                        (Some(_), None) => true,
+                        _ => false,
+                    };
+                    if take_full {
+                        let f = fulls[fi];
+                        positions.extend(f.start as u32..f.end as u32);
+                        answer.count += f.len() as u64;
+                        fi += 1;
+                    } else {
+                        let u = units[ui];
+                        let (q, min, max) = scan::collect_in_range_with_minmax(
+                            &target[u.start..u.end],
+                            u.start,
+                            pred.lo,
+                            pred.hi,
+                            &mut positions,
+                        );
+                        answer.count += q as u64;
+                        rows_scanned += u.len();
+                        observations.push(RangeObservation::new(u, q, min, max));
+                        ui += 1;
+                    }
+                }
+                answer.positions = Some(positions);
+            }
+        }
+    }
+
+    if let Some(positions) = answer.positions.as_mut() {
+        if coords == ScanCoords::View {
+            index.translate_positions(positions);
+            positions.sort_unstable();
+        }
+    }
+
+    index.observe(&ScanObservation {
+        predicate: pred,
+        ranges: observations,
+    });
+
+    let metrics = QueryMetrics {
+        wall_ns: t0.elapsed().as_nanos() as u64,
+        zones_probed: outcome.zones_probed,
+        zones_skipped: outcome.zones_skipped,
+        rows_scanned,
+        rows_full_match: outcome.rows_full_match(),
+        rows_matched: answer.count,
+        adapt_events: index.adapt_events() - events_before,
+    };
+    (answer, metrics)
+}
+
+/// Reference implementation used by tests and the soundness harness:
+/// answers the same query with a plain scan, no index involved.
+pub fn execute_reference<T: DataValue>(
+    data: &[T],
+    pred: RangePredicate<T>,
+    agg: AggKind,
+) -> QueryAnswer<T> {
+    let outcome = PruneOutcome::scan_all(data.len());
+    let mut answer = QueryAnswer::default();
+    match agg {
+        AggKind::Count => {
+            answer.count = scan::count_in_range(data, pred.lo, pred.hi) as u64;
+        }
+        AggKind::Sum => {
+            let (c, s) = scan::sum_in_range(data, pred.lo, pred.hi);
+            answer.count = c as u64;
+            answer.sum = Some(s);
+        }
+        AggKind::Min | AggKind::Max => {
+            let a = scan::aggregate_in_range(data, pred.lo, pred.hi);
+            answer.count = a.count as u64;
+            if a.count > 0 {
+                match agg {
+                    AggKind::Min => answer.min = Some(a.match_min),
+                    AggKind::Max => answer.max = Some(a.match_max),
+                    _ => unreachable!(),
+                }
+            }
+        }
+        AggKind::Positions => {
+            let mut positions = Vec::new();
+            for r in outcome.must_scan.ranges() {
+                scan::collect_in_range(&data[r.start..r.end], r.start, pred.lo, pred.hi, &mut positions);
+            }
+            answer.count = positions.len() as u64;
+            answer.positions = Some(positions);
+        }
+    }
+    answer
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::Strategy;
+
+    fn data() -> Vec<i64> {
+        (0..5000).map(|i| (i * 2654435761i64) % 1000).collect()
+    }
+
+    #[test]
+    fn every_strategy_matches_reference_on_count() {
+        let data = data();
+        for strat in Strategy::roster() {
+            let mut idx = strat.build_index(&data);
+            for q in 0..25 {
+                let lo = (q * 41) % 900;
+                let pred = RangePredicate::between(lo, lo + 75);
+                let (ans, _) = execute(&data, idx.as_mut(), pred, AggKind::Count);
+                let expected = execute_reference(&data, pred, AggKind::Count);
+                assert_eq!(ans.count, expected.count, "{} q{}", strat.label(), q);
+            }
+        }
+    }
+
+    #[test]
+    fn every_strategy_matches_reference_on_sum() {
+        let data = data();
+        for strat in Strategy::roster() {
+            let mut idx = strat.build_index(&data);
+            let pred = RangePredicate::between(100, 300);
+            let (ans, _) = execute(&data, idx.as_mut(), pred, AggKind::Sum);
+            let expected = execute_reference(&data, pred, AggKind::Sum);
+            assert_eq!(ans.count, expected.count, "{}", strat.label());
+            let (a, b) = (ans.sum.unwrap(), expected.sum.unwrap());
+            assert!((a - b).abs() < 1e-6, "{}: {a} vs {b}", strat.label());
+        }
+    }
+
+    #[test]
+    fn every_strategy_matches_reference_on_min_max() {
+        let data = data();
+        for strat in Strategy::roster() {
+            let mut idx = strat.build_index(&data);
+            let pred = RangePredicate::between(250, 750);
+            let (mn, _) = execute(&data, idx.as_mut(), pred, AggKind::Min);
+            let (mx, _) = execute(&data, idx.as_mut(), pred, AggKind::Max);
+            let emn = execute_reference(&data, pred, AggKind::Min);
+            let emx = execute_reference(&data, pred, AggKind::Max);
+            assert_eq!(mn.min, emn.min, "{}", strat.label());
+            assert_eq!(mx.max, emx.max, "{}", strat.label());
+        }
+    }
+
+    #[test]
+    fn every_strategy_matches_reference_on_positions() {
+        let data = data();
+        for strat in Strategy::roster() {
+            let mut idx = strat.build_index(&data);
+            let pred = RangePredicate::between(42, 77);
+            let (ans, _) = execute(&data, idx.as_mut(), pred, AggKind::Positions);
+            let expected = execute_reference(&data, pred, AggKind::Positions);
+            assert_eq!(
+                ans.positions, expected.positions,
+                "{} positions differ",
+                strat.label()
+            );
+        }
+    }
+
+    #[test]
+    fn min_max_none_when_no_matches() {
+        let data = data();
+        let mut idx = Strategy::FullScan.build_index(&data);
+        let pred = RangePredicate::between(5000, 6000);
+        let (ans, _) = execute(&data, idx.as_mut(), pred, AggKind::Min);
+        assert_eq!(ans.count, 0);
+        assert_eq!(ans.min, None);
+    }
+
+    #[test]
+    fn metrics_reflect_skipping() {
+        let sorted: Vec<i64> = (0..10_000).collect();
+        let mut idx = Strategy::StaticZonemap { zone_rows: 500 }.build_index(&sorted);
+        let pred = RangePredicate::between(100, 200);
+        let (_, m) = execute(&sorted, idx.as_mut(), pred, AggKind::Count);
+        assert_eq!(m.zones_probed, 20);
+        assert!(m.zones_skipped >= 18);
+        assert!(m.rows_scanned <= 1000);
+        assert!(m.wall_ns > 0);
+    }
+
+    #[test]
+    fn empty_data() {
+        let data: Vec<i64> = Vec::new();
+        let mut idx = Strategy::FullScan.build_index(&data);
+        let (ans, m) = execute(&data, idx.as_mut(), RangePredicate::all(), AggKind::Count);
+        assert_eq!(ans.count, 0);
+        assert_eq!(m.rows_scanned, 0);
+    }
+}

@@ -1,0 +1,32 @@
+//! # ads-engine — scan executor with pluggable data skipping
+//!
+//! The query-engine layer of the reproduction: it executes range-predicate
+//! scan queries (COUNT / SUM / MIN / MAX / POSITIONS) over `ads-storage`
+//! columns, delegating pruning to any [`ads_core::SkippingIndex`] and
+//! feeding scan by-products back so adaptive structures can reorganise.
+//!
+//! * [`Strategy`] — declarative index choice (full scan, static zonemap,
+//!   adaptive zonemap, imprints, cracking, sorted oracle);
+//! * [`executor::execute`] — one query end-to-end, with [`QueryMetrics`];
+//! * [`ColumnSession`] — a column + strategy + cumulative metrics, the unit
+//!   every experiment compares;
+//! * [`TableSession`] — conjunctive multi-column filtering by candidate
+//!   range intersection.
+
+#![warn(missing_docs)]
+
+pub mod disjunction;
+pub mod executor;
+pub mod metrics;
+pub mod session;
+pub mod strategy;
+pub mod string_session;
+pub mod table_session;
+
+pub use disjunction::{execute_disjunction, in_list, normalize_ranges};
+pub use executor::{execute, execute_reference, AggKind, QueryAnswer};
+pub use metrics::{CumulativeMetrics, QueryMetrics};
+pub use session::ColumnSession;
+pub use strategy::Strategy;
+pub use string_session::StringColumnSession;
+pub use table_session::{AnyPredicate, TableSession, TableSessionError};

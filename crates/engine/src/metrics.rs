@@ -1,0 +1,131 @@
+//! Per-query and cumulative execution metrics.
+
+/// What one query cost and what its pruning achieved.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct QueryMetrics {
+    /// Wall-clock nanoseconds for prune + scan + observe.
+    pub wall_ns: u64,
+    /// Zone-metadata entries examined.
+    pub zones_probed: usize,
+    /// Zones excluded by metadata.
+    pub zones_skipped: usize,
+    /// Rows the scan actually touched.
+    pub rows_scanned: usize,
+    /// Rows answered from metadata alone (full-match ranges).
+    pub rows_full_match: usize,
+    /// Rows satisfying the predicate.
+    pub rows_matched: u64,
+    /// Adaptation events (build/split/merge/deactivate/revive or crack
+    /// partitions) this query triggered.
+    pub adapt_events: u64,
+}
+
+impl QueryMetrics {
+    /// Fraction of an `n`-row table the scan did not touch.
+    pub fn skip_fraction(&self, n: usize) -> f64 {
+        if n == 0 {
+            0.0
+        } else {
+            1.0 - self.rows_scanned as f64 / n as f64
+        }
+    }
+}
+
+/// Running totals over a query sequence.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CumulativeMetrics {
+    /// Queries executed.
+    pub queries: u64,
+    /// Total wall nanoseconds across queries (excludes index build).
+    pub wall_ns: u64,
+    /// Nanoseconds spent building the initial index.
+    pub build_ns: u64,
+    /// Total rows scanned.
+    pub rows_scanned: u64,
+    /// Total rows answered from metadata.
+    pub rows_full_match: u64,
+    /// Total metadata probes.
+    pub zones_probed: u64,
+    /// Total zones skipped.
+    pub zones_skipped: u64,
+    /// Total matching rows returned.
+    pub rows_matched: u64,
+    /// Total adaptation events.
+    pub adapt_events: u64,
+}
+
+impl CumulativeMetrics {
+    /// Folds one query's metrics in.
+    pub fn absorb(&mut self, m: &QueryMetrics) {
+        self.queries += 1;
+        self.wall_ns += m.wall_ns;
+        self.rows_scanned += m.rows_scanned as u64;
+        self.rows_full_match += m.rows_full_match as u64;
+        self.zones_probed += m.zones_probed as u64;
+        self.zones_skipped += m.zones_skipped as u64;
+        self.rows_matched += m.rows_matched;
+        self.adapt_events += m.adapt_events;
+    }
+
+    /// Mean query latency in nanoseconds (0 when no queries ran).
+    pub fn mean_latency_ns(&self) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            self.wall_ns as f64 / self.queries as f64
+        }
+    }
+
+    /// Total wall time including the build, in nanoseconds.
+    pub fn total_with_build_ns(&self) -> u64 {
+        self.wall_ns + self.build_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_accumulates() {
+        let mut c = CumulativeMetrics::default();
+        let m = QueryMetrics {
+            wall_ns: 100,
+            zones_probed: 4,
+            zones_skipped: 2,
+            rows_scanned: 50,
+            rows_full_match: 10,
+            rows_matched: 12,
+            adapt_events: 1,
+        };
+        c.absorb(&m);
+        c.absorb(&m);
+        assert_eq!(c.queries, 2);
+        assert_eq!(c.wall_ns, 200);
+        assert_eq!(c.rows_scanned, 100);
+        assert_eq!(c.zones_probed, 8);
+        assert_eq!(c.rows_matched, 24);
+        assert_eq!(c.mean_latency_ns(), 100.0);
+    }
+
+    #[test]
+    fn skip_fraction() {
+        let m = QueryMetrics {
+            rows_scanned: 25,
+            ..Default::default()
+        };
+        assert!((m.skip_fraction(100) - 0.75).abs() < 1e-12);
+        assert_eq!(m.skip_fraction(0), 0.0);
+    }
+
+    #[test]
+    fn build_time_included_in_total() {
+        let c = CumulativeMetrics {
+            wall_ns: 10,
+            build_ns: 5,
+            ..Default::default()
+        };
+        assert_eq!(c.total_with_build_ns(), 15);
+        assert_eq!(CumulativeMetrics::default().mean_latency_ns(), 0.0);
+    }
+}

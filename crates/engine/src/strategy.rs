@@ -1,0 +1,165 @@
+//! Strategy descriptors: declarative picks of a skipping structure.
+
+use ads_baselines::{ColumnImprints, CrackerColumn, FullScan, SortedOracle};
+use ads_core::adaptive::{AdaptiveConfig, AdaptiveZonemap};
+use ads_core::{Activated, SkippingIndex, StaticZonemap};
+use ads_storage::DataValue;
+
+/// A declarative description of which skipping structure to use; the
+/// engine builds the matching [`SkippingIndex`] per column.
+#[derive(Debug, Clone)]
+pub enum Strategy {
+    /// No skipping: plain full scans.
+    FullScan,
+    /// Classic eager zonemap with fixed `zone_rows` granularity.
+    StaticZonemap {
+        /// Rows per zone.
+        zone_rows: usize,
+    },
+    /// Adaptive zonemap (the paper's contribution).
+    Adaptive(AdaptiveConfig),
+    /// Column imprints.
+    Imprints {
+        /// Rows per imprint line.
+        values_per_line: usize,
+        /// Histogram bins (2..=64).
+        bins: usize,
+    },
+    /// Database cracking.
+    Cracking,
+    /// Fully sorted projection (upper bound).
+    SortedOracle,
+    /// Index-level adaptation: any base-coordinate strategy wrapped with
+    /// benefit metering and dormancy (see [`ads_core::Activated`]).
+    Activated(Box<Strategy>),
+}
+
+impl Strategy {
+    /// Builds the index for a column. Build cost (eager for static
+    /// structures, O(zones) for adaptive) is the caller's to measure.
+    pub fn build_index<T: DataValue>(&self, data: &[T]) -> Box<dyn SkippingIndex<T>> {
+        match self {
+            Strategy::FullScan => Box::new(FullScan::new(data.len())),
+            Strategy::StaticZonemap { zone_rows } => {
+                Box::new(StaticZonemap::build(data, *zone_rows))
+            }
+            Strategy::Adaptive(config) => {
+                Box::new(AdaptiveZonemap::new(data.len(), config.clone()))
+            }
+            Strategy::Imprints {
+                values_per_line,
+                bins,
+            } => Box::new(ColumnImprints::build(data, *values_per_line, *bins)),
+            Strategy::Cracking => Box::new(CrackerColumn::build(data)),
+            Strategy::SortedOracle => Box::new(SortedOracle::build(data)),
+            Strategy::Activated(inner) => {
+                assert!(
+                    inner.base_coords(),
+                    "Activated requires a base-coordinate inner strategy"
+                );
+                let built = inner.build_index(data);
+                Box::new(Activated::with_defaults(built, data.len()))
+            }
+        }
+    }
+
+    /// Short label for reports (matches the built index's `name()` shape).
+    pub fn label(&self) -> String {
+        match self {
+            Strategy::FullScan => "full-scan".into(),
+            Strategy::StaticZonemap { zone_rows } => format!("static-zonemap({zone_rows})"),
+            Strategy::Adaptive(_) => "adaptive-zonemap".into(),
+            Strategy::Imprints {
+                values_per_line,
+                bins,
+            } => format!("imprints({values_per_line}x{bins})"),
+            Strategy::Cracking => "cracking".into(),
+            Strategy::SortedOracle => "sorted-oracle".into(),
+            Strategy::Activated(inner) => format!("activated({})", inner.label()),
+        }
+    }
+
+    /// The default comparison roster used across the experiments.
+    pub fn roster() -> Vec<Strategy> {
+        vec![
+            Strategy::FullScan,
+            Strategy::StaticZonemap { zone_rows: 4096 },
+            Strategy::Adaptive(AdaptiveConfig::default()),
+            Strategy::Imprints {
+                values_per_line: 8,
+                bins: 64,
+            },
+            Strategy::Cracking,
+            Strategy::SortedOracle,
+        ]
+    }
+
+    /// True for strategies whose pruned ranges address the base column
+    /// (required for multi-column intersection).
+    pub fn base_coords(&self) -> bool {
+        !matches!(self, Strategy::Cracking | Strategy::SortedOracle)
+    }
+
+    /// Convenience: wraps this strategy in index-level activation.
+    pub fn activated(self) -> Strategy {
+        Strategy::Activated(Box::new(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ads_core::RangePredicate;
+
+    #[test]
+    fn builds_every_roster_entry() {
+        let data: Vec<i64> = (0..1000).collect();
+        for strat in Strategy::roster() {
+            let mut idx = strat.build_index(&data);
+            let out = idx.prune(&RangePredicate::between(10, 20));
+            // Soundness smoke check: candidates plus full matches must be
+            // able to hold the 11 qualifying rows.
+            assert!(
+                out.rows_to_scan() + out.rows_full_match() >= 11
+                    || out.rows_full_match() == 11,
+                "{} lost rows",
+                strat.label()
+            );
+        }
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: Vec<String> = Strategy::roster().iter().map(|s| s.label()).collect();
+        let mut dedup = labels.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(labels.len(), dedup.len());
+    }
+
+    #[test]
+    fn coords_classification() {
+        assert!(Strategy::FullScan.base_coords());
+        assert!(Strategy::StaticZonemap { zone_rows: 64 }.base_coords());
+        assert!(!Strategy::Cracking.base_coords());
+        assert!(!Strategy::SortedOracle.base_coords());
+        assert!(Strategy::StaticZonemap { zone_rows: 64 }.activated().base_coords());
+    }
+
+    #[test]
+    fn activated_strategy_builds_and_answers() {
+        let data: Vec<i64> = (0..5000).collect();
+        let strat = Strategy::StaticZonemap { zone_rows: 256 }.activated();
+        assert_eq!(strat.label(), "activated(static-zonemap(256))");
+        let mut idx = strat.build_index(&data);
+        let out = idx.prune(&RangePredicate::between(100, 199));
+        assert!(out.rows_to_scan() + out.rows_full_match() >= 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "base-coordinate")]
+    fn activated_rejects_view_strategies() {
+        let data: Vec<i64> = vec![1, 2, 3];
+        Strategy::Cracking.activated().build_index(&data);
+    }
+}

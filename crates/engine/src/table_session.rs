@@ -1,0 +1,598 @@
+//! Multi-column sessions: conjunctive predicates over a table, one
+//! skipping index per filtered column.
+//!
+//! Pruning composes by intersection: each column's index nominates its
+//! candidate ranges, the executor scans only the intersection, and rows in
+//! the intersection of every column's *full-match* ranges are answered
+//! without any scan. View-coordinate strategies (cracking, sorted oracle)
+//! emit positions in their own copy's order and therefore cannot join this
+//! intersection; constructing a table session with one is an error —
+//! matching the literature, where cracking is a single-column technique.
+
+use crate::executor::AggKind;
+use crate::metrics::{CumulativeMetrics, QueryMetrics};
+use crate::strategy::Strategy;
+use ads_core::{RangeObservation, RangePredicate, ScanObservation, SkippingIndex};
+use ads_storage::{scan, Bitmap, Column, DataValue, RangeSet, StorageError, Table};
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// A range predicate over a column of any supported type.
+#[derive(Debug, Clone, Copy)]
+pub enum AnyPredicate {
+    /// Predicate on an `i32` column.
+    I32(RangePredicate<i32>),
+    /// Predicate on an `i64` column.
+    I64(RangePredicate<i64>),
+    /// Predicate on a `u64` column.
+    U64(RangePredicate<u64>),
+    /// Predicate on an `f64` column.
+    F64(RangePredicate<f64>),
+}
+
+/// A skipping index over a column of any supported type.
+enum AnyIndex {
+    I32(Box<dyn SkippingIndex<i32>>),
+    I64(Box<dyn SkippingIndex<i64>>),
+    U64(Box<dyn SkippingIndex<u64>>),
+    F64(Box<dyn SkippingIndex<f64>>),
+}
+
+/// Errors from table-session operations.
+#[derive(Debug)]
+pub enum TableSessionError {
+    /// Underlying storage error (missing column, type mismatch, ...).
+    Storage(StorageError),
+    /// The strategy answers in view coordinates and cannot be intersected.
+    ViewStrategy(String),
+    /// A conjunct referenced a column with no index.
+    NoIndex(String),
+    /// Predicate type does not match the column type.
+    PredicateType {
+        /// Column name.
+        column: String,
+        /// Stored type.
+        expected: &'static str,
+    },
+}
+
+impl std::fmt::Display for TableSessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TableSessionError::Storage(e) => write!(f, "storage error: {e}"),
+            TableSessionError::ViewStrategy(s) => {
+                write!(f, "strategy {s} answers in view coordinates; multi-column sessions need base coordinates")
+            }
+            TableSessionError::NoIndex(c) => write!(f, "no index on column {c}"),
+            TableSessionError::PredicateType { column, expected } => {
+                write!(f, "predicate type mismatch on {column}: column is {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TableSessionError {}
+
+impl From<StorageError> for TableSessionError {
+    fn from(e: StorageError) -> Self {
+        TableSessionError::Storage(e)
+    }
+}
+
+/// Result alias for table-session operations.
+pub type Result<T> = std::result::Result<T, TableSessionError>;
+
+/// A table plus one skipping index per filtered column.
+pub struct TableSession {
+    table: Table,
+    indexes: BTreeMap<String, AnyIndex>,
+    totals: CumulativeMetrics,
+}
+
+impl TableSession {
+    /// Builds `strategy` indexes over the named columns of `table`.
+    pub fn new(table: Table, strategy: &Strategy, columns: &[&str]) -> Result<Self> {
+        if !strategy.base_coords() {
+            return Err(TableSessionError::ViewStrategy(strategy.label()));
+        }
+        let t0 = Instant::now();
+        let mut indexes = BTreeMap::new();
+        for &name in columns {
+            let col = table.column(name)?;
+            let idx = match col {
+                ads_storage::AnyColumn::I32(c) => AnyIndex::I32(strategy.build_index(c.as_slice())),
+                ads_storage::AnyColumn::I64(c) => AnyIndex::I64(strategy.build_index(c.as_slice())),
+                ads_storage::AnyColumn::U64(c) => AnyIndex::U64(strategy.build_index(c.as_slice())),
+                ads_storage::AnyColumn::F64(c) => AnyIndex::F64(strategy.build_index(c.as_slice())),
+            };
+            indexes.insert(name.to_string(), idx);
+        }
+        Ok(TableSession {
+            table,
+            indexes,
+            totals: CumulativeMetrics {
+                build_ns: t0.elapsed().as_nanos() as u64,
+                ..Default::default()
+            },
+        })
+    }
+
+    /// The underlying table.
+    pub fn table(&self) -> &Table {
+        &self.table
+    }
+
+    /// Running totals.
+    pub fn totals(&self) -> &CumulativeMetrics {
+        &self.totals
+    }
+
+    /// Counts rows satisfying every conjunct.
+    pub fn count_conjunction(&mut self, conjuncts: &[(&str, AnyPredicate)]) -> Result<(u64, QueryMetrics)> {
+        let (answer, metrics) = self.run_conjunction(conjuncts, AggKind::Count, None)?;
+        Ok((answer, metrics))
+    }
+
+    /// Sums `agg_column` (any numeric type, as f64) over rows satisfying
+    /// every conjunct; returns `(count, sum, metrics)`.
+    pub fn sum_conjunction(
+        &mut self,
+        conjuncts: &[(&str, AnyPredicate)],
+        agg_column: &str,
+    ) -> Result<(u64, f64, QueryMetrics)> {
+        let mut sum = 0.0;
+        let (count, metrics) = self.run_conjunction(conjuncts, AggKind::Sum, Some((agg_column, &mut sum)))?;
+        Ok((count, sum, metrics))
+    }
+
+    fn run_conjunction(
+        &mut self,
+        conjuncts: &[(&str, AnyPredicate)],
+        agg: AggKind,
+        sum_out: Option<(&str, &mut f64)>,
+    ) -> Result<(u64, QueryMetrics)> {
+        let t0 = Instant::now();
+        let n = self.table.num_rows();
+        let mut zones_probed = 0usize;
+        let mut zones_skipped = 0usize;
+
+        // Phase 1: prune every conjunct.
+        let mut candidates: Option<RangeSet> = None;
+        let mut all_full: Option<RangeSet> = None;
+        let mut outcomes = Vec::with_capacity(conjuncts.len());
+        for &(name, pred) in conjuncts {
+            let idx = self
+                .indexes
+                .get_mut(name)
+                .ok_or_else(|| TableSessionError::NoIndex(name.to_string()))?;
+            let out = prune_any(idx, &pred, name)?;
+            zones_probed += out.zones_probed;
+            zones_skipped += out.zones_skipped;
+            let mut cand = out.must_scan.clone();
+            for r in out.full_match.ranges() {
+                // Union by rebuilding: must_scan and full_match are
+                // disjoint, so merging their sorted range lists suffices.
+                cand = union_disjoint(&cand, *r);
+            }
+            candidates = Some(match candidates {
+                None => cand.clone(),
+                Some(prev) => prev.intersect(&cand),
+            });
+            all_full = Some(match all_full {
+                None => out.full_match.clone(),
+                Some(prev) => prev.intersect(&out.full_match),
+            });
+            outcomes.push((name, pred, out));
+        }
+        let candidates = candidates.unwrap_or_else(|| RangeSet::full(n));
+        let all_full = all_full.unwrap_or_default();
+
+        // Rows in every column's full-match ranges qualify outright.
+        let mut count = all_full.covered_rows() as u64;
+        let to_scan = candidates.intersect(&all_full.complement(n));
+
+        // Phase 2: scan the remaining candidate ranges, AND-ing per-column
+        // qualification bitmaps. Ranges are cut at every column's scan-unit
+        // boundaries so that the observations fed back in phase 4 align
+        // with zone boundaries — without this, adaptive zonemaps could
+        // never materialise metadata from multi-column scans.
+        let mut cuts: Vec<usize> = Vec::new();
+        for (_, _, out) in &outcomes {
+            for u in out.units() {
+                cuts.push(u.start);
+                cuts.push(u.end);
+            }
+        }
+        cuts.sort_unstable();
+        cuts.dedup();
+        let mut scan_pieces: Vec<ads_storage::RowRange> = Vec::new();
+        for r in to_scan.ranges() {
+            let mut start = r.start;
+            let lo = cuts.partition_point(|&c| c <= r.start);
+            let hi = cuts.partition_point(|&c| c < r.end);
+            for &c in &cuts[lo..hi] {
+                if c > start {
+                    scan_pieces.push(ads_storage::RowRange::new(start, c));
+                    start = c;
+                }
+            }
+            if start < r.end {
+                scan_pieces.push(ads_storage::RowRange::new(start, r.end));
+            }
+        }
+
+        let mut rows_scanned = 0usize;
+        let mut per_col_obs: BTreeMap<&str, Vec<RangeObservation64>> = BTreeMap::new();
+        let mut survivors_per_range: Vec<(usize, Bitmap)> = Vec::new();
+        for r in &scan_pieces {
+            let mut combined: Option<Bitmap> = None;
+            for &(name, pred, ref out) in &outcomes {
+                // A column whose full-match covers this range entirely
+                // does not constrain it further and needs no scan.
+                if covers(&out.full_match, r.start, r.end) {
+                    continue;
+                }
+                let mut bm = Bitmap::new(r.len());
+                let (q, lo_f, hi_f) = fill_any(&self.table, name, &pred, r.start, r.end, &mut bm)?;
+                rows_scanned += r.len();
+                per_col_obs.entry(name).or_default().push(RangeObservation64 {
+                    start: r.start,
+                    end: r.end,
+                    qualifying: q,
+                    min: lo_f,
+                    max: hi_f,
+                });
+                combined = Some(match combined {
+                    None => bm,
+                    Some(mut prev) => {
+                        prev.and_assign(&bm);
+                        prev
+                    }
+                });
+            }
+            let survivors = combined.unwrap_or_else(|| Bitmap::ones(r.len()));
+            count += survivors.count_ones() as u64;
+            if agg == AggKind::Sum {
+                survivors_per_range.push((r.start, survivors));
+            }
+        }
+
+        // Phase 3: optional SUM over the aggregate column.
+        if let Some((agg_col, sum)) = sum_out {
+            let col = self.table.column(agg_col)?;
+            let mut total = 0.0f64;
+            // Full-match rows qualify entirely.
+            for r in all_full.ranges() {
+                total += sum_any_range(col, r.start, r.end);
+            }
+            for (start, bm) in &survivors_per_range {
+                for bit in bm.iter_ones() {
+                    total += value_as_f64(col, start + bit);
+                }
+            }
+            *sum = total;
+        }
+
+        // Phase 4: feed observations back per column (min/max here are of
+        // the scanned range, computed as scan by-products).
+        for (name, pred, _) in outcomes {
+            if let Some(obs) = per_col_obs.remove(name) {
+                let idx = self.indexes.get_mut(name).expect("index existed in phase 1");
+                observe_any(idx, &pred, obs);
+            }
+        }
+
+        let metrics = QueryMetrics {
+            wall_ns: t0.elapsed().as_nanos() as u64,
+            zones_probed,
+            zones_skipped,
+            rows_scanned,
+            rows_full_match: all_full.covered_rows(),
+            rows_matched: count,
+            adapt_events: 0,
+        };
+        self.totals.absorb(&metrics);
+        Ok((count, metrics))
+    }
+}
+
+/// Type-erased observation carrying `f64` bounds; converted to the typed
+/// observation at the observe step.
+struct RangeObservation64 {
+    start: usize,
+    end: usize,
+    qualifying: usize,
+    min: f64,
+    max: f64,
+}
+
+fn covers(set: &RangeSet, start: usize, end: usize) -> bool {
+    set.ranges().iter().any(|r| r.start <= start && end <= r.end)
+}
+
+/// Union of a canonical range set with one extra disjoint range.
+fn union_disjoint(set: &RangeSet, extra: ads_storage::RowRange) -> RangeSet {
+    let mut out = RangeSet::with_capacity(set.num_ranges() + 1);
+    let mut placed = false;
+    for r in set.ranges() {
+        if !placed && extra.start <= r.start {
+            out.push(extra);
+            placed = true;
+        }
+        out.push(*r);
+    }
+    if !placed {
+        out.push(extra);
+    }
+    out
+}
+
+fn prune_any(idx: &mut AnyIndex, pred: &AnyPredicate, column: &str) -> Result<ads_core::PruneOutcome> {
+    match (idx, pred) {
+        (AnyIndex::I32(i), AnyPredicate::I32(p)) => Ok(i.prune(p)),
+        (AnyIndex::I64(i), AnyPredicate::I64(p)) => Ok(i.prune(p)),
+        (AnyIndex::U64(i), AnyPredicate::U64(p)) => Ok(i.prune(p)),
+        (AnyIndex::F64(i), AnyPredicate::F64(p)) => Ok(i.prune(p)),
+        (idx, _) => Err(TableSessionError::PredicateType {
+            column: column.to_string(),
+            expected: match idx {
+                AnyIndex::I32(_) => "i32",
+                AnyIndex::I64(_) => "i64",
+                AnyIndex::U64(_) => "u64",
+                AnyIndex::F64(_) => "f64",
+            },
+        }),
+    }
+}
+
+fn fill_any(
+    table: &Table,
+    name: &str,
+    pred: &AnyPredicate,
+    start: usize,
+    end: usize,
+    bm: &mut Bitmap,
+) -> Result<(usize, f64, f64)> {
+    fn go<T: DataValue>(
+        col: &Column<T>,
+        p: &RangePredicate<T>,
+        start: usize,
+        end: usize,
+        bm: &mut Bitmap,
+    ) -> (usize, f64, f64) {
+        let (q, min, max) =
+            scan::fill_bitmap_in_range_with_minmax(col.slice(start, end), 0, p.lo, p.hi, bm);
+        (q, min.to_f64(), max.to_f64())
+    }
+    match pred {
+        AnyPredicate::I32(p) => Ok(go(table.typed_column::<i32>(name)?, p, start, end, bm)),
+        AnyPredicate::I64(p) => Ok(go(table.typed_column::<i64>(name)?, p, start, end, bm)),
+        AnyPredicate::U64(p) => Ok(go(table.typed_column::<u64>(name)?, p, start, end, bm)),
+        AnyPredicate::F64(p) => Ok(go(table.typed_column::<f64>(name)?, p, start, end, bm)),
+    }
+}
+
+fn observe_any(idx: &mut AnyIndex, pred: &AnyPredicate, obs: Vec<RangeObservation64>) {
+    fn go<T: DataValue + FromF64>(
+        idx: &mut Box<dyn SkippingIndex<T>>,
+        pred: &RangePredicate<T>,
+        obs: Vec<RangeObservation64>,
+    ) {
+        let ranges = obs
+            .into_iter()
+            .map(|o| {
+                RangeObservation::new(
+                    ads_storage::RowRange::new(o.start, o.end),
+                    o.qualifying,
+                    T::from_f64(o.min),
+                    T::from_f64(o.max),
+                )
+            })
+            .collect();
+        idx.observe(&ScanObservation {
+            predicate: *pred,
+            ranges,
+        });
+    }
+    match (idx, pred) {
+        (AnyIndex::I32(i), AnyPredicate::I32(p)) => go(i, p, obs),
+        (AnyIndex::I64(i), AnyPredicate::I64(p)) => go(i, p, obs),
+        (AnyIndex::U64(i), AnyPredicate::U64(p)) => go(i, p, obs),
+        (AnyIndex::F64(i), AnyPredicate::F64(p)) => go(i, p, obs),
+        _ => {}
+    }
+}
+
+fn sum_any_range(col: &ads_storage::AnyColumn, start: usize, end: usize) -> f64 {
+    fn go<T: DataValue>(c: &Column<T>, start: usize, end: usize) -> f64 {
+        let (_, s) = scan::sum_in_range(c.slice(start, end), T::MIN_VALUE, T::MAX_VALUE);
+        s
+    }
+    match col {
+        ads_storage::AnyColumn::I32(c) => go(c, start, end),
+        ads_storage::AnyColumn::I64(c) => go(c, start, end),
+        ads_storage::AnyColumn::U64(c) => go(c, start, end),
+        ads_storage::AnyColumn::F64(c) => go(c, start, end),
+    }
+}
+
+fn value_as_f64(col: &ads_storage::AnyColumn, row: usize) -> f64 {
+    match col {
+        ads_storage::AnyColumn::I32(c) => c.value(row).to_f64(),
+        ads_storage::AnyColumn::I64(c) => c.value(row).to_f64(),
+        ads_storage::AnyColumn::U64(c) => c.value(row).to_f64(),
+        ads_storage::AnyColumn::F64(c) => c.value(row),
+    }
+}
+
+/// Inverse of [`DataValue::to_f64`] for observation round-tripping. Lossy
+/// in the same places `to_f64` is; zone bounds derived this way remain
+/// sound for the workloads here (integers < 2^53).
+trait FromF64 {
+    /// Converts back from the f64 transport representation.
+    fn from_f64(v: f64) -> Self;
+}
+
+impl FromF64 for i32 {
+    fn from_f64(v: f64) -> Self {
+        v as i32
+    }
+}
+impl FromF64 for i64 {
+    fn from_f64(v: f64) -> Self {
+        v as i64
+    }
+}
+impl FromF64 for u64 {
+    fn from_f64(v: f64) -> Self {
+        v as u64
+    }
+}
+impl FromF64 for f64 {
+    fn from_f64(v: f64) -> Self {
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ads_core::adaptive::AdaptiveConfig;
+    use ads_storage::Column;
+
+    fn make_table(n: usize) -> Table {
+        let mut t = Table::new("events");
+        let time: Vec<i64> = (0..n as i64).collect();
+        let value: Vec<i64> = (0..n).map(|i| ((i as i64) * 2654435761) % 1000).collect();
+        let score: Vec<f64> = (0..n).map(|i| (i % 100) as f64 / 10.0).collect();
+        t.add_column("time", Column::from_values(time)).unwrap();
+        t.add_column("value", Column::from_values(value)).unwrap();
+        t.add_column("score", Column::from_values(score)).unwrap();
+        t
+    }
+
+    fn reference_count(t: &Table, conjuncts: &[(&str, AnyPredicate)]) -> u64 {
+        let n = t.num_rows();
+        (0..n)
+            .filter(|&i| {
+                conjuncts.iter().all(|(name, p)| match p {
+                    AnyPredicate::I64(p) => p.matches(t.typed_column::<i64>(name).unwrap().value(i)),
+                    AnyPredicate::F64(p) => p.matches(t.typed_column::<f64>(name).unwrap().value(i)),
+                    AnyPredicate::I32(p) => p.matches(t.typed_column::<i32>(name).unwrap().value(i)),
+                    AnyPredicate::U64(p) => p.matches(t.typed_column::<u64>(name).unwrap().value(i)),
+                })
+            })
+            .count() as u64
+    }
+
+    #[test]
+    fn conjunction_matches_reference_for_base_strategies() {
+        let t = make_table(8000);
+        let strategies = [
+            Strategy::FullScan,
+            Strategy::StaticZonemap { zone_rows: 512 },
+            Strategy::Adaptive(AdaptiveConfig::default()),
+            Strategy::Imprints {
+                values_per_line: 8,
+                bins: 32,
+            },
+        ];
+        let conjuncts: Vec<(&str, AnyPredicate)> = vec![
+            ("time", AnyPredicate::I64(RangePredicate::between(1000, 3000))),
+            ("value", AnyPredicate::I64(RangePredicate::between(100, 500))),
+        ];
+        let expected = reference_count(&t, &conjuncts);
+        assert!(expected > 0);
+        for strat in strategies {
+            let mut ts = TableSession::new(t.clone(), &strat, &["time", "value"]).unwrap();
+            // Repeat so adaptive structures reorganise between queries.
+            for _ in 0..4 {
+                let (count, _) = ts.count_conjunction(&conjuncts).unwrap();
+                assert_eq!(count, expected, "{}", strat.label());
+            }
+        }
+    }
+
+    #[test]
+    fn three_way_conjunction_with_floats() {
+        let t = make_table(5000);
+        let conjuncts: Vec<(&str, AnyPredicate)> = vec![
+            ("time", AnyPredicate::I64(RangePredicate::between(0, 4000))),
+            ("value", AnyPredicate::I64(RangePredicate::between(0, 800))),
+            ("score", AnyPredicate::F64(RangePredicate::between(2.0, 7.5))),
+        ];
+        let expected = reference_count(&t, &conjuncts);
+        let mut ts = TableSession::new(
+            t.clone(),
+            &Strategy::StaticZonemap { zone_rows: 256 },
+            &["time", "value", "score"],
+        )
+        .unwrap();
+        let (count, m) = ts.count_conjunction(&conjuncts).unwrap();
+        assert_eq!(count, expected);
+        assert!(m.zones_probed > 0);
+    }
+
+    #[test]
+    fn sum_conjunction_matches_reference() {
+        let t = make_table(4000);
+        let conjuncts: Vec<(&str, AnyPredicate)> = vec![(
+            "time",
+            AnyPredicate::I64(RangePredicate::between(100, 1999)),
+        )];
+        let expected_sum: f64 = (0..4000usize)
+            .filter(|&i| (100..=1999).contains(&(i as i64)))
+            .map(|i| (((i as i64) * 2654435761) % 1000) as f64)
+            .sum();
+        let mut ts = TableSession::new(
+            t,
+            &Strategy::StaticZonemap { zone_rows: 256 },
+            &["time", "value"],
+        )
+        .unwrap();
+        let (count, sum, _) = ts.sum_conjunction(&conjuncts, "value").unwrap();
+        assert_eq!(count, 1900);
+        assert!((sum - expected_sum).abs() < 1e-6, "{sum} vs {expected_sum}");
+    }
+
+    #[test]
+    fn view_strategies_rejected() {
+        let t = make_table(100);
+        assert!(matches!(
+            TableSession::new(t, &Strategy::Cracking, &["time"]),
+            Err(TableSessionError::ViewStrategy(_))
+        ));
+    }
+
+    #[test]
+    fn missing_index_and_type_mismatch_errors() {
+        let t = make_table(100);
+        let mut ts = TableSession::new(t, &Strategy::FullScan, &["time"]).unwrap();
+        let err = ts
+            .count_conjunction(&[("value", AnyPredicate::I64(RangePredicate::all()))])
+            .unwrap_err();
+        assert!(matches!(err, TableSessionError::NoIndex(_)));
+        let err2 = ts
+            .count_conjunction(&[("time", AnyPredicate::F64(RangePredicate::all()))])
+            .unwrap_err();
+        assert!(matches!(err2, TableSessionError::PredicateType { .. }));
+    }
+
+    #[test]
+    fn skipping_reduces_scanned_rows_on_selective_conjunctions() {
+        let t = make_table(64_000);
+        let conjuncts: Vec<(&str, AnyPredicate)> = vec![
+            ("time", AnyPredicate::I64(RangePredicate::between(1000, 1999))),
+            ("value", AnyPredicate::I64(RangePredicate::between(0, 999))),
+        ];
+        let mut ts = TableSession::new(
+            t,
+            &Strategy::StaticZonemap { zone_rows: 1024 },
+            &["time", "value"],
+        )
+        .unwrap();
+        let (_, m) = ts.count_conjunction(&conjuncts).unwrap();
+        // time is sorted, so intersection confines scans to ~1 zone per column.
+        assert!(m.rows_scanned <= 4 * 1024, "scanned {}", m.rows_scanned);
+    }
+}

@@ -1,0 +1,334 @@
+//! A dense bitmap over row positions.
+//!
+//! Scans produce qualifying rows either as a [`Bitmap`] (one bit per row of
+//! the table) or as position lists; bitmaps compose across multi-column
+//! conjunctions with word-at-a-time `AND`/`OR`.
+
+/// A fixed-length bitmap addressing rows `0..len`.
+///
+/// ```
+/// use ads_storage::Bitmap;
+/// let mut bm = Bitmap::new(100);
+/// bm.set_range(10, 20);
+/// bm.set(55);
+/// assert_eq!(bm.count_ones(), 11);
+/// assert_eq!(bm.iter_ones().next(), Some(10));
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Bitmap {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Bitmap {
+    /// Creates a bitmap of `len` bits, all zero.
+    pub fn new(len: usize) -> Self {
+        Bitmap {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Creates a bitmap of `len` bits, all one.
+    pub fn ones(len: usize) -> Self {
+        let mut bm = Bitmap {
+            words: vec![u64::MAX; len.div_ceil(64)],
+            len,
+        };
+        bm.mask_tail();
+        bm
+    }
+
+    /// Number of addressable bits.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the bitmap addresses zero rows.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Sets bit `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn set(&mut self, i: usize) {
+        assert!(i < self.len, "bit {i} out of bounds for bitmap of {} bits", self.len);
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Clears bit `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn clear(&mut self, i: usize) {
+        assert!(i < self.len, "bit {i} out of bounds for bitmap of {} bits", self.len);
+        self.words[i / 64] &= !(1u64 << (i % 64));
+    }
+
+    /// Returns bit `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit {i} out of bounds for bitmap of {} bits", self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Sets all bits in `start..end`.
+    ///
+    /// # Panics
+    /// Panics if `end > len` or `start > end`.
+    pub fn set_range(&mut self, start: usize, end: usize) {
+        assert!(start <= end && end <= self.len, "range {start}..{end} out of bounds");
+        if start == end {
+            return;
+        }
+        let (first_word, first_bit) = (start / 64, start % 64);
+        let (last_word, last_bit) = ((end - 1) / 64, (end - 1) % 64);
+        if first_word == last_word {
+            let mask = (u64::MAX << first_bit)
+                & (u64::MAX >> (63 - last_bit));
+            self.words[first_word] |= mask;
+        } else {
+            self.words[first_word] |= u64::MAX << first_bit;
+            for w in &mut self.words[first_word + 1..last_word] {
+                *w = u64::MAX;
+            }
+            self.words[last_word] |= u64::MAX >> (63 - last_bit);
+        }
+    }
+
+    /// In-place intersection with `other`.
+    ///
+    /// # Panics
+    /// Panics if lengths differ.
+    pub fn and_assign(&mut self, other: &Bitmap) {
+        assert_eq!(self.len, other.len, "bitmap length mismatch in AND");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= *b;
+        }
+    }
+
+    /// In-place union with `other`.
+    ///
+    /// # Panics
+    /// Panics if lengths differ.
+    pub fn or_assign(&mut self, other: &Bitmap) {
+        assert_eq!(self.len, other.len, "bitmap length mismatch in OR");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= *b;
+        }
+    }
+
+    /// In-place complement.
+    pub fn not_assign(&mut self) {
+        for w in &mut self.words {
+            *w = !*w;
+        }
+        self.mask_tail();
+    }
+
+    /// Grows the bitmap to `new_len` bits; new bits are zero.
+    ///
+    /// # Panics
+    /// Panics if `new_len < len` (bitmaps never shrink).
+    pub fn grow(&mut self, new_len: usize) {
+        assert!(new_len >= self.len, "bitmap cannot shrink");
+        self.len = new_len;
+        self.words.resize(new_len.div_ceil(64), 0);
+    }
+
+    /// Iterator over the positions of set bits, in increasing order.
+    pub fn iter_ones(&self) -> Ones<'_> {
+        Ones {
+            bitmap: self,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// Collects the set-bit positions into a vector.
+    pub fn to_positions(&self) -> Vec<u32> {
+        let mut v = Vec::with_capacity(self.count_ones());
+        v.extend(self.iter_ones().map(|p| p as u32));
+        v
+    }
+
+    /// Zeroes any bits past `len` in the final word so popcounts stay exact.
+    fn mask_tail(&mut self) {
+        let tail_bits = self.len % 64;
+        if tail_bits != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= u64::MAX >> (64 - tail_bits);
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Bitmap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Bitmap(len={}, ones={})", self.len, self.count_ones())
+    }
+}
+
+/// Iterator over set-bit positions of a [`Bitmap`].
+pub struct Ones<'a> {
+    bitmap: &'a Bitmap,
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for Ones<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1; // clear lowest set bit
+                return Some(self.word_idx * 64 + bit);
+            }
+            self.word_idx += 1;
+            if self.word_idx >= self.bitmap.words.len() {
+                return None;
+            }
+            self.current = self.bitmap.words[self.word_idx];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_is_all_zero() {
+        let bm = Bitmap::new(100);
+        assert_eq!(bm.len(), 100);
+        assert_eq!(bm.count_ones(), 0);
+        assert!(!bm.get(0));
+        assert!(!bm.get(99));
+    }
+
+    #[test]
+    fn ones_is_all_one_with_exact_count() {
+        let bm = Bitmap::ones(100);
+        assert_eq!(bm.count_ones(), 100);
+        assert!(bm.get(99));
+    }
+
+    #[test]
+    fn set_get_clear() {
+        let mut bm = Bitmap::new(130);
+        bm.set(0);
+        bm.set(64);
+        bm.set(129);
+        assert!(bm.get(0) && bm.get(64) && bm.get(129));
+        assert_eq!(bm.count_ones(), 3);
+        bm.clear(64);
+        assert!(!bm.get(64));
+        assert_eq!(bm.count_ones(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_out_of_bounds_panics() {
+        Bitmap::new(10).get(10);
+    }
+
+    #[test]
+    fn set_range_within_word() {
+        let mut bm = Bitmap::new(64);
+        bm.set_range(3, 7);
+        assert_eq!(bm.to_positions(), vec![3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn set_range_across_words() {
+        let mut bm = Bitmap::new(200);
+        bm.set_range(60, 135);
+        assert_eq!(bm.count_ones(), 75);
+        assert!(bm.get(60) && bm.get(134));
+        assert!(!bm.get(59) && !bm.get(135));
+    }
+
+    #[test]
+    fn set_range_empty_is_noop() {
+        let mut bm = Bitmap::new(64);
+        bm.set_range(5, 5);
+        assert_eq!(bm.count_ones(), 0);
+    }
+
+    #[test]
+    fn set_range_full() {
+        let mut bm = Bitmap::new(190);
+        bm.set_range(0, 190);
+        assert_eq!(bm.count_ones(), 190);
+    }
+
+    #[test]
+    fn and_or_not() {
+        let mut a = Bitmap::new(70);
+        a.set_range(0, 40);
+        let mut b = Bitmap::new(70);
+        b.set_range(30, 70);
+
+        let mut and = a.clone();
+        and.and_assign(&b);
+        assert_eq!(and.count_ones(), 10);
+
+        let mut or = a.clone();
+        or.or_assign(&b);
+        assert_eq!(or.count_ones(), 70);
+
+        a.not_assign();
+        assert_eq!(a.count_ones(), 30);
+        assert!(a.get(40) && !a.get(39));
+    }
+
+    #[test]
+    fn not_masks_tail_bits() {
+        let mut bm = Bitmap::new(65);
+        bm.not_assign();
+        assert_eq!(bm.count_ones(), 65);
+    }
+
+    #[test]
+    fn grow_keeps_existing_bits() {
+        let mut bm = Bitmap::new(10);
+        bm.set(9);
+        bm.grow(200);
+        assert_eq!(bm.len(), 200);
+        assert!(bm.get(9));
+        assert!(!bm.get(150));
+        assert_eq!(bm.count_ones(), 1);
+    }
+
+    #[test]
+    fn iter_ones_order() {
+        let mut bm = Bitmap::new(300);
+        for i in [0usize, 63, 64, 128, 299] {
+            bm.set(i);
+        }
+        let got: Vec<usize> = bm.iter_ones().collect();
+        assert_eq!(got, vec![0, 63, 64, 128, 299]);
+    }
+
+    #[test]
+    fn iter_ones_empty() {
+        let bm = Bitmap::new(0);
+        assert_eq!(bm.iter_ones().count(), 0);
+    }
+}

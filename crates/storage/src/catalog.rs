@@ -1,0 +1,124 @@
+//! A catalog of named tables.
+
+use crate::error::{Result, StorageError};
+use crate::table::Table;
+use std::collections::BTreeMap;
+
+/// Owns all tables of a store instance.
+///
+/// `BTreeMap` keeps listing deterministic, which the experiment harness
+/// relies on for reproducible report ordering.
+#[derive(Debug, Default)]
+pub struct Catalog {
+    tables: BTreeMap<String, Table>,
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Registers a table under its own name.
+    pub fn register(&mut self, table: Table) -> Result<()> {
+        let name = table.name().to_string();
+        if self.tables.contains_key(&name) {
+            return Err(StorageError::DuplicateTable(name));
+        }
+        self.tables.insert(name, table);
+        Ok(())
+    }
+
+    /// Borrows a table.
+    pub fn table(&self, name: &str) -> Result<&Table> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| StorageError::TableNotFound(name.to_string()))
+    }
+
+    /// Mutably borrows a table.
+    pub fn table_mut(&mut self, name: &str) -> Result<&mut Table> {
+        self.tables
+            .get_mut(name)
+            .ok_or_else(|| StorageError::TableNotFound(name.to_string()))
+    }
+
+    /// Removes a table, returning it.
+    pub fn drop_table(&mut self, name: &str) -> Result<Table> {
+        self.tables
+            .remove(name)
+            .ok_or_else(|| StorageError::TableNotFound(name.to_string()))
+    }
+
+    /// Table names in sorted order.
+    pub fn table_names(&self) -> impl Iterator<Item = &str> {
+        self.tables.keys().map(String::as_str)
+    }
+
+    /// Number of registered tables.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// True if no tables are registered.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_lookup() {
+        let mut cat = Catalog::new();
+        cat.register(Table::new("a")).unwrap();
+        cat.register(Table::new("b")).unwrap();
+        assert_eq!(cat.len(), 2);
+        assert!(cat.table("a").is_ok());
+        assert!(matches!(
+            cat.table("c"),
+            Err(StorageError::TableNotFound(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_rejected() {
+        let mut cat = Catalog::new();
+        cat.register(Table::new("a")).unwrap();
+        assert!(matches!(
+            cat.register(Table::new("a")),
+            Err(StorageError::DuplicateTable(_))
+        ));
+    }
+
+    #[test]
+    fn drop_table() {
+        let mut cat = Catalog::new();
+        cat.register(Table::new("a")).unwrap();
+        let t = cat.drop_table("a").unwrap();
+        assert_eq!(t.name(), "a");
+        assert!(cat.is_empty());
+        assert!(cat.drop_table("a").is_err());
+    }
+
+    #[test]
+    fn names_sorted() {
+        let mut cat = Catalog::new();
+        cat.register(Table::new("zeta")).unwrap();
+        cat.register(Table::new("alpha")).unwrap();
+        assert_eq!(cat.table_names().collect::<Vec<_>>(), vec!["alpha", "zeta"]);
+    }
+
+    #[test]
+    fn mutate_through_catalog() {
+        let mut cat = Catalog::new();
+        cat.register(Table::new("t")).unwrap();
+        cat.table_mut("t")
+            .unwrap()
+            .add_column("x", crate::column::Column::from_values(vec![1i64]))
+            .unwrap();
+        assert_eq!(cat.table("t").unwrap().num_rows(), 1);
+    }
+}

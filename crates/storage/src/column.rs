@@ -1,0 +1,169 @@
+//! Dense, typed, append-only columns.
+
+use crate::types::DataValue;
+
+/// A dense in-memory column of `T` values.
+///
+/// Columns are append-only: rows are never removed or reordered, which is
+/// what lets positional zone metadata stay valid as data arrives. (The
+/// cracking baseline maintains its own reordered *copy* of a column.)
+#[derive(Debug, Clone, Default)]
+pub struct Column<T: DataValue> {
+    data: Vec<T>,
+}
+
+impl<T: DataValue> Column<T> {
+    /// Creates an empty column.
+    pub fn new() -> Self {
+        Column { data: Vec::new() }
+    }
+
+    /// Creates an empty column with room for `cap` rows.
+    pub fn with_capacity(cap: usize) -> Self {
+        Column {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Builds a column from existing values.
+    pub fn from_values(values: Vec<T>) -> Self {
+        Column { data: values }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the column holds no rows.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Appends one value.
+    #[inline]
+    pub fn push(&mut self, v: T) {
+        self.data.push(v);
+    }
+
+    /// Appends a batch of values.
+    pub fn extend_from_slice(&mut self, values: &[T]) {
+        self.data.extend_from_slice(values);
+    }
+
+    /// Value at `row`.
+    ///
+    /// # Panics
+    /// Panics if `row >= len`.
+    #[inline]
+    pub fn value(&self, row: usize) -> T {
+        self.data[row]
+    }
+
+    /// The whole column as a slice — the unit the scan kernels operate on.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// A sub-range of the column as a slice.
+    ///
+    /// # Panics
+    /// Panics if the range is out of bounds.
+    #[inline]
+    pub fn slice(&self, start: usize, end: usize) -> &[T] {
+        &self.data[start..end]
+    }
+
+    /// Exact `(min, max)` of the rows in `[start, end)` under the total
+    /// order, or `None` if the range is empty.
+    pub fn min_max(&self, start: usize, end: usize) -> Option<(T, T)> {
+        let slice = self.slice(start, end);
+        let first = *slice.first()?;
+        let mut min = first;
+        let mut max = first;
+        for &v in &slice[1..] {
+            min = min.min_total(v);
+            max = max.max_total(v);
+        }
+        Some((min, max))
+    }
+
+    /// Heap bytes held by the column's values.
+    pub fn memory_bytes(&self) -> usize {
+        self.data.capacity() * std::mem::size_of::<T>()
+    }
+}
+
+impl<T: DataValue> From<Vec<T>> for Column<T> {
+    fn from(values: Vec<T>) -> Self {
+        Column::from_values(values)
+    }
+}
+
+impl<T: DataValue> Extend<T> for Column<T> {
+    fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        self.data.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_read() {
+        let mut c = Column::new();
+        c.push(5i64);
+        c.push(-3);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.value(0), 5);
+        assert_eq!(c.value(1), -3);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn from_values_and_slice() {
+        let c = Column::from_values(vec![1i64, 2, 3, 4]);
+        assert_eq!(c.slice(1, 3), &[2, 3]);
+        assert_eq!(c.as_slice(), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn extend_batches() {
+        let mut c: Column<i64> = Column::with_capacity(8);
+        c.extend_from_slice(&[1, 2]);
+        c.extend([3i64, 4]);
+        assert_eq!(c.as_slice(), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn min_max_exact() {
+        let c = Column::from_values(vec![5i64, -1, 9, 3]);
+        assert_eq!(c.min_max(0, 4), Some((-1, 9)));
+        assert_eq!(c.min_max(0, 1), Some((5, 5)));
+        assert_eq!(c.min_max(2, 2), None);
+    }
+
+    #[test]
+    fn min_max_floats_with_nan() {
+        let c = Column::from_values(vec![1.0f64, f64::NAN, -2.0]);
+        let (min, max) = c.min_max(0, 3).unwrap();
+        assert_eq!(min, -2.0);
+        assert!(max.is_nan());
+    }
+
+    #[test]
+    fn memory_bytes_scales_with_capacity() {
+        let c = Column::from_values(vec![0u32; 100]);
+        assert!(c.memory_bytes() >= 400);
+    }
+
+    #[test]
+    #[should_panic]
+    fn value_out_of_bounds_panics() {
+        Column::from_values(vec![1i64]).value(1);
+    }
+}

@@ -1,0 +1,99 @@
+//! Multi-threaded scan helpers built on scoped threads.
+//!
+//! Large full-table scans partition the input into per-thread chunks; counts
+//! and partial aggregates combine associatively. Skip-heavy scans rarely
+//! benefit (they touch little data), so parallelism is opt-in via the
+//! engine's executor configuration.
+
+use crate::scan;
+use crate::types::DataValue;
+
+/// Minimum rows per thread before parallelism pays for thread start-up.
+pub const MIN_ROWS_PER_THREAD: usize = 1 << 18;
+
+/// Counts values in `[lo, hi]` using up to `threads` worker threads.
+///
+/// Falls back to the sequential kernel when the slice is small or
+/// `threads <= 1`. Result is identical to [`scan::count_in_range`].
+pub fn par_count_in_range<T: DataValue>(data: &[T], lo: T, hi: T, threads: usize) -> usize {
+    let usable = effective_threads(data.len(), threads);
+    if usable <= 1 {
+        return scan::count_in_range(data, lo, hi);
+    }
+    let chunk = data.len().div_ceil(usable);
+    crossbeam::scope(|s| {
+        let handles: Vec<_> = data
+            .chunks(chunk)
+            .map(|c| s.spawn(move |_| scan::count_in_range(c, lo, hi)))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("scan worker panicked")).sum()
+    })
+    .expect("scan scope panicked")
+}
+
+/// Sums qualifying values in parallel; returns `(count, sum)`.
+pub fn par_sum_in_range<T: DataValue>(data: &[T], lo: T, hi: T, threads: usize) -> (usize, f64) {
+    let usable = effective_threads(data.len(), threads);
+    if usable <= 1 {
+        return scan::sum_in_range(data, lo, hi);
+    }
+    let chunk = data.len().div_ceil(usable);
+    crossbeam::scope(|s| {
+        let handles: Vec<_> = data
+            .chunks(chunk)
+            .map(|c| s.spawn(move |_| scan::sum_in_range(c, lo, hi)))
+            .collect();
+        handles.into_iter().fold((0usize, 0.0f64), |(ac, asum), h| {
+            let (c, sum) = h.join().expect("scan worker panicked");
+            (ac + c, asum + sum)
+        })
+    })
+    .expect("scan scope panicked")
+}
+
+fn effective_threads(rows: usize, requested: usize) -> usize {
+    if requested <= 1 {
+        return 1;
+    }
+    requested.min(rows.div_ceil(MIN_ROWS_PER_THREAD)).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_input_stays_sequential_but_correct() {
+        let data: Vec<i64> = (0..1000).collect();
+        assert_eq!(par_count_in_range(&data, 100, 199, 8), 100);
+    }
+
+    #[test]
+    fn parallel_count_matches_sequential() {
+        let data: Vec<i64> = (0..(MIN_ROWS_PER_THREAD as i64 * 4)).map(|i| i % 997).collect();
+        let seq = scan::count_in_range(&data, 100, 500);
+        assert_eq!(par_count_in_range(&data, 100, 500, 4), seq);
+    }
+
+    #[test]
+    fn parallel_sum_matches_sequential() {
+        let data: Vec<i64> = (0..(MIN_ROWS_PER_THREAD as i64 * 3)).map(|i| i % 101).collect();
+        let (sc, ss) = scan::sum_in_range(&data, 10, 90);
+        let (pc, ps) = par_sum_in_range(&data, 10, 90, 3);
+        assert_eq!(sc, pc);
+        assert!((ss - ps).abs() < 1e-6);
+    }
+
+    #[test]
+    fn effective_threads_clamps() {
+        assert_eq!(effective_threads(10, 1), 1);
+        assert_eq!(effective_threads(10, 8), 1);
+        assert_eq!(effective_threads(MIN_ROWS_PER_THREAD * 2, 8), 2);
+        assert_eq!(effective_threads(MIN_ROWS_PER_THREAD * 100, 8), 8);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(par_count_in_range::<i64>(&[], 0, 1, 4), 0);
+    }
+}

@@ -1,0 +1,359 @@
+//! Row ranges and sets of disjoint row ranges.
+//!
+//! A data-skipping index answers a pruning request with a [`RangeSet`]: the
+//! candidate row ranges a scan must still visit. Soundness requires the set
+//! to be a superset of the qualifying rows; effectiveness is measured by how
+//! much of the table it excludes.
+
+/// A half-open range of row positions `[start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RowRange {
+    /// First row in the range.
+    pub start: usize,
+    /// One past the last row in the range.
+    pub end: usize,
+}
+
+impl RowRange {
+    /// Creates `[start, end)`.
+    ///
+    /// # Panics
+    /// Panics if `start > end`.
+    #[inline]
+    pub fn new(start: usize, end: usize) -> Self {
+        assert!(start <= end, "invalid range {start}..{end}");
+        RowRange { start, end }
+    }
+
+    /// Number of rows covered.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True if the range covers no rows.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// True if `row` falls inside the range.
+    #[inline]
+    pub fn contains(&self, row: usize) -> bool {
+        self.start <= row && row < self.end
+    }
+
+    /// Intersection with another range, if non-empty.
+    pub fn intersect(&self, other: &RowRange) -> Option<RowRange> {
+        let start = self.start.max(other.start);
+        let end = self.end.min(other.end);
+        if start < end {
+            Some(RowRange { start, end })
+        } else {
+            None
+        }
+    }
+}
+
+/// An ordered set of disjoint, non-adjacent row ranges.
+///
+/// The canonical form (sorted, coalesced) is maintained by construction:
+/// ranges are pushed in increasing order and merged when they touch.
+///
+/// ```
+/// use ads_storage::RangeSet;
+/// let mut rs = RangeSet::new();
+/// rs.push_span(0, 10);
+/// rs.push_span(10, 20); // coalesces with the previous span
+/// rs.push_span(50, 60);
+/// assert_eq!(rs.num_ranges(), 2);
+/// assert_eq!(rs.covered_rows(), 30);
+/// assert_eq!(rs.complement(100).covered_rows(), 70);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RangeSet {
+    ranges: Vec<RowRange>,
+}
+
+impl RangeSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        RangeSet { ranges: Vec::new() }
+    }
+
+    /// Creates an empty set with capacity for `cap` ranges.
+    pub fn with_capacity(cap: usize) -> Self {
+        RangeSet {
+            ranges: Vec::with_capacity(cap),
+        }
+    }
+
+    /// The full range `[0, n)` as a single-range set.
+    pub fn full(n: usize) -> Self {
+        let mut rs = RangeSet::new();
+        if n > 0 {
+            rs.ranges.push(RowRange::new(0, n));
+        }
+        rs
+    }
+
+    /// Appends a range, coalescing with the previous one when adjacent or
+    /// overlapping.
+    ///
+    /// # Panics
+    /// Panics if `range` starts before the end of the previously pushed
+    /// range minus overlap (i.e. ranges must be pushed in increasing
+    /// `start` order).
+    pub fn push(&mut self, range: RowRange) {
+        if range.is_empty() {
+            return;
+        }
+        if let Some(last) = self.ranges.last_mut() {
+            assert!(
+                range.start >= last.start,
+                "ranges must be pushed in increasing order"
+            );
+            if range.start <= last.end {
+                last.end = last.end.max(range.end);
+                return;
+            }
+        }
+        self.ranges.push(range);
+    }
+
+    /// Appends `[start, end)`.
+    pub fn push_span(&mut self, start: usize, end: usize) {
+        self.push(RowRange::new(start, end));
+    }
+
+    /// The ranges, sorted and disjoint.
+    pub fn ranges(&self) -> &[RowRange] {
+        &self.ranges
+    }
+
+    /// Number of ranges.
+    pub fn num_ranges(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Total number of rows covered.
+    pub fn covered_rows(&self) -> usize {
+        self.ranges.iter().map(RowRange::len).sum()
+    }
+
+    /// True if no rows are covered.
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// True if `row` is covered by some range.
+    pub fn contains(&self, row: usize) -> bool {
+        // Binary search on start; candidate is the last range starting <= row.
+        match self
+            .ranges
+            .binary_search_by(|r| r.start.cmp(&row))
+        {
+            Ok(_) => true,
+            Err(0) => false,
+            Err(i) => self.ranges[i - 1].contains(row),
+        }
+    }
+
+    /// Intersection of two range sets.
+    pub fn intersect(&self, other: &RangeSet) -> RangeSet {
+        let mut out = RangeSet::new();
+        let (mut i, mut j) = (0, 0);
+        while i < self.ranges.len() && j < other.ranges.len() {
+            let (a, b) = (self.ranges[i], other.ranges[j]);
+            if let Some(r) = a.intersect(&b) {
+                out.push(r);
+            }
+            if a.end <= b.end {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+        out
+    }
+
+    /// Complement of the set within `[0, n)`.
+    pub fn complement(&self, n: usize) -> RangeSet {
+        let mut out = RangeSet::new();
+        let mut cursor = 0;
+        for r in &self.ranges {
+            if r.start > cursor {
+                out.push_span(cursor, r.start.min(n));
+            }
+            cursor = cursor.max(r.end);
+        }
+        if cursor < n {
+            out.push_span(cursor, n);
+        }
+        out
+    }
+
+    /// Iterates over every covered row position in increasing order.
+    pub fn iter_rows(&self) -> impl Iterator<Item = usize> + '_ {
+        self.ranges.iter().flat_map(|r| r.start..r.end)
+    }
+
+    /// Fraction of `[0, n)` covered; 0.0 when `n == 0`.
+    pub fn coverage_fraction(&self, n: usize) -> f64 {
+        if n == 0 {
+            0.0
+        } else {
+            self.covered_rows() as f64 / n as f64
+        }
+    }
+}
+
+impl FromIterator<RowRange> for RangeSet {
+    fn from_iter<I: IntoIterator<Item = RowRange>>(iter: I) -> Self {
+        let mut rs = RangeSet::new();
+        for r in iter {
+            rs.push(r);
+        }
+        rs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_range_basics() {
+        let r = RowRange::new(10, 20);
+        assert_eq!(r.len(), 10);
+        assert!(r.contains(10) && r.contains(19));
+        assert!(!r.contains(20) && !r.contains(9));
+        assert!(!r.is_empty());
+        assert!(RowRange::new(5, 5).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid range")]
+    fn row_range_backwards_panics() {
+        RowRange::new(5, 4);
+    }
+
+    #[test]
+    fn row_range_intersect() {
+        let a = RowRange::new(0, 10);
+        assert_eq!(a.intersect(&RowRange::new(5, 15)), Some(RowRange::new(5, 10)));
+        assert_eq!(a.intersect(&RowRange::new(10, 15)), None);
+        assert_eq!(a.intersect(&RowRange::new(3, 7)), Some(RowRange::new(3, 7)));
+    }
+
+    #[test]
+    fn push_coalesces_adjacent() {
+        let mut rs = RangeSet::new();
+        rs.push_span(0, 10);
+        rs.push_span(10, 20);
+        rs.push_span(25, 30);
+        assert_eq!(rs.num_ranges(), 2);
+        assert_eq!(rs.covered_rows(), 25);
+    }
+
+    #[test]
+    fn push_coalesces_overlapping() {
+        let mut rs = RangeSet::new();
+        rs.push_span(0, 15);
+        rs.push_span(10, 20);
+        assert_eq!(rs.num_ranges(), 1);
+        assert_eq!(rs.ranges()[0], RowRange::new(0, 20));
+    }
+
+    #[test]
+    fn push_ignores_empty() {
+        let mut rs = RangeSet::new();
+        rs.push_span(5, 5);
+        assert!(rs.is_empty());
+    }
+
+    #[test]
+    fn full_and_empty() {
+        assert_eq!(RangeSet::full(100).covered_rows(), 100);
+        assert!(RangeSet::full(0).is_empty());
+        assert_eq!(RangeSet::new().covered_rows(), 0);
+    }
+
+    #[test]
+    fn contains_binary_search() {
+        let mut rs = RangeSet::new();
+        rs.push_span(10, 20);
+        rs.push_span(30, 40);
+        rs.push_span(50, 60);
+        for row in [10, 19, 30, 55] {
+            assert!(rs.contains(row), "row {row}");
+        }
+        for row in [0, 9, 20, 29, 45, 60, 1000] {
+            assert!(!rs.contains(row), "row {row}");
+        }
+    }
+
+    #[test]
+    fn intersect_sets() {
+        let mut a = RangeSet::new();
+        a.push_span(0, 10);
+        a.push_span(20, 30);
+        let mut b = RangeSet::new();
+        b.push_span(5, 25);
+        let c = a.intersect(&b);
+        assert_eq!(c.ranges(), &[RowRange::new(5, 10), RowRange::new(20, 25)]);
+    }
+
+    #[test]
+    fn intersect_with_empty() {
+        let a = RangeSet::full(50);
+        assert!(a.intersect(&RangeSet::new()).is_empty());
+    }
+
+    #[test]
+    fn complement_basic() {
+        let mut rs = RangeSet::new();
+        rs.push_span(10, 20);
+        rs.push_span(30, 40);
+        let c = rs.complement(50);
+        assert_eq!(
+            c.ranges(),
+            &[
+                RowRange::new(0, 10),
+                RowRange::new(20, 30),
+                RowRange::new(40, 50)
+            ]
+        );
+        assert_eq!(rs.covered_rows() + c.covered_rows(), 50);
+    }
+
+    #[test]
+    fn complement_of_full_is_empty() {
+        assert!(RangeSet::full(10).complement(10).is_empty());
+        assert_eq!(RangeSet::new().complement(10).covered_rows(), 10);
+    }
+
+    #[test]
+    fn iter_rows_flattens() {
+        let mut rs = RangeSet::new();
+        rs.push_span(1, 3);
+        rs.push_span(7, 9);
+        let rows: Vec<usize> = rs.iter_rows().collect();
+        assert_eq!(rows, vec![1, 2, 7, 8]);
+    }
+
+    #[test]
+    fn coverage_fraction() {
+        let rs = RangeSet::full(50);
+        assert!((rs.coverage_fraction(100) - 0.5).abs() < 1e-12);
+        assert_eq!(RangeSet::new().coverage_fraction(0), 0.0);
+    }
+
+    #[test]
+    fn from_iterator() {
+        let rs: RangeSet = [RowRange::new(0, 5), RowRange::new(5, 10)]
+            .into_iter()
+            .collect();
+        assert_eq!(rs.num_ranges(), 1);
+    }
+}

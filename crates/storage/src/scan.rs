@@ -1,0 +1,395 @@
+//! Tight scan kernels over column slices.
+//!
+//! These loops are the "fast scans" the paper's setting assumes: branchless
+//! predicate evaluation over dense arrays, compiled to vectorised code. All
+//! kernels take *inclusive* value bounds `[lo, hi]`, matching how zonemap
+//! `(min, max)` metadata is compared against predicates.
+
+use crate::bitmap::Bitmap;
+use crate::types::DataValue;
+
+/// Counts values `v` in `data` with `lo <= v <= hi`.
+#[inline]
+pub fn count_in_range<T: DataValue>(data: &[T], lo: T, hi: T) -> usize {
+    let mut count = 0usize;
+    for &v in data {
+        // Branchless: comparisons become SIMD-friendly mask adds.
+        count += (v.ge_total(&lo) && v.le_total(&hi)) as usize;
+    }
+    count
+}
+
+/// Counts qualifying values and simultaneously computes the exact
+/// `(min, max)` of the slice.
+///
+/// This is the kernel adaptive zonemaps use to materialise zone metadata
+/// *as a by-product of a scan the query had to perform anyway* — the "free"
+/// metadata collection at the heart of incremental adaptation. Returns
+/// `(count, min, max)`; for an empty slice, `(0, MAX_VALUE, MIN_VALUE)`.
+#[inline]
+pub fn count_in_range_with_minmax<T: DataValue>(data: &[T], lo: T, hi: T) -> (usize, T, T) {
+    let mut count = 0usize;
+    let mut min = T::MAX_VALUE;
+    let mut max = T::MIN_VALUE;
+    for &v in data {
+        count += (v.ge_total(&lo) && v.le_total(&hi)) as usize;
+        min = min.min_total(v);
+        max = max.max_total(v);
+    }
+    (count, min, max)
+}
+
+/// Appends the positions (`base + offset`) of qualifying values to `out`.
+#[inline]
+pub fn collect_in_range<T: DataValue>(data: &[T], base: usize, lo: T, hi: T, out: &mut Vec<u32>) {
+    for (i, &v) in data.iter().enumerate() {
+        if v.ge_total(&lo) && v.le_total(&hi) {
+            out.push((base + i) as u32);
+        }
+    }
+}
+
+/// Sets the bits (`base + offset`) of qualifying values in `bm`.
+///
+/// # Panics
+/// Panics if `base + data.len()` exceeds the bitmap length.
+#[inline]
+pub fn fill_bitmap_in_range<T: DataValue>(
+    data: &[T],
+    base: usize,
+    lo: T,
+    hi: T,
+    bm: &mut Bitmap,
+) {
+    assert!(base + data.len() <= bm.len(), "bitmap too small for scan output");
+    for (i, &v) in data.iter().enumerate() {
+        if v.ge_total(&lo) && v.le_total(&hi) {
+            bm.set(base + i);
+        }
+    }
+}
+
+/// Sums qualifying values as `f64` and counts them; returns `(count, sum)`.
+///
+/// `f64` accumulation keeps one kernel for all value types; integer columns
+/// up to 2^53 sum exactly, which covers the workloads in this repository.
+#[inline]
+pub fn sum_in_range<T: DataValue>(data: &[T], lo: T, hi: T) -> (usize, f64) {
+    let mut count = 0usize;
+    let mut sum = 0.0f64;
+    for &v in data {
+        let q = v.ge_total(&lo) && v.le_total(&hi);
+        count += q as usize;
+        sum += if q { v.to_f64() } else { 0.0 };
+    }
+    (count, sum)
+}
+
+/// Full aggregate state of one scanned range, produced in a single pass.
+///
+/// `range_min`/`range_max` cover *all* rows (zone-metadata by-product);
+/// `match_min`/`match_max` cover only qualifying rows (MIN/MAX aggregates)
+/// and hold the fold identities when `count == 0`.
+#[derive(Debug, Clone, Copy)]
+pub struct RangeAggregates<T: DataValue> {
+    /// Qualifying rows.
+    pub count: usize,
+    /// Sum of qualifying rows as `f64`.
+    pub sum: f64,
+    /// Minimum over all rows of the slice.
+    pub range_min: T,
+    /// Maximum over all rows of the slice.
+    pub range_max: T,
+    /// Minimum over qualifying rows (MAX_VALUE when none qualify).
+    pub match_min: T,
+    /// Maximum over qualifying rows (MIN_VALUE when none qualify).
+    pub match_max: T,
+}
+
+/// Computes every aggregate of [`RangeAggregates`] in one pass.
+#[inline]
+pub fn aggregate_in_range<T: DataValue>(data: &[T], lo: T, hi: T) -> RangeAggregates<T> {
+    let mut agg = RangeAggregates {
+        count: 0,
+        sum: 0.0,
+        range_min: T::MAX_VALUE,
+        range_max: T::MIN_VALUE,
+        match_min: T::MAX_VALUE,
+        match_max: T::MIN_VALUE,
+    };
+    for &v in data {
+        let q = v.ge_total(&lo) && v.le_total(&hi);
+        agg.count += q as usize;
+        agg.sum += if q { v.to_f64() } else { 0.0 };
+        agg.range_min = agg.range_min.min_total(v);
+        agg.range_max = agg.range_max.max_total(v);
+        if q {
+            agg.match_min = agg.match_min.min_total(v);
+            agg.match_max = agg.match_max.max_total(v);
+        }
+    }
+    agg
+}
+
+/// Like [`collect_in_range`] but also returns the slice's exact
+/// `(min, max)` so the scan can feed zone metadata back.
+#[inline]
+pub fn collect_in_range_with_minmax<T: DataValue>(
+    data: &[T],
+    base: usize,
+    lo: T,
+    hi: T,
+    out: &mut Vec<u32>,
+) -> (usize, T, T) {
+    let before = out.len();
+    let mut min = T::MAX_VALUE;
+    let mut max = T::MIN_VALUE;
+    for (i, &v) in data.iter().enumerate() {
+        if v.ge_total(&lo) && v.le_total(&hi) {
+            out.push((base + i) as u32);
+        }
+        min = min.min_total(v);
+        max = max.max_total(v);
+    }
+    (out.len() - before, min, max)
+}
+
+/// Like [`fill_bitmap_in_range`] but also returns `(qualifying, min, max)`
+/// over the slice, for multi-column scans that must both produce a
+/// combinable bitmap and feed index observations.
+///
+/// # Panics
+/// Panics if `base + data.len()` exceeds the bitmap length.
+#[inline]
+pub fn fill_bitmap_in_range_with_minmax<T: DataValue>(
+    data: &[T],
+    base: usize,
+    lo: T,
+    hi: T,
+    bm: &mut Bitmap,
+) -> (usize, T, T) {
+    assert!(base + data.len() <= bm.len(), "bitmap too small for scan output");
+    let mut count = 0usize;
+    let mut min = T::MAX_VALUE;
+    let mut max = T::MIN_VALUE;
+    for (i, &v) in data.iter().enumerate() {
+        if v.ge_total(&lo) && v.le_total(&hi) {
+            bm.set(base + i);
+            count += 1;
+        }
+        min = min.min_total(v);
+        max = max.max_total(v);
+    }
+    (count, min, max)
+}
+
+/// As [`count_in_range_with_minmax`], additionally collecting a 64-bit
+/// value mask: bit `b` is set when some row's value falls into equal-width
+/// bin `b` of `[bin_lo, bin_hi]` (in `to_f64` space; values outside clamp
+/// to the edge bins). Returns `(count, min, max, mask)`.
+#[inline]
+pub fn count_in_range_with_minmax_and_mask<T: DataValue>(
+    data: &[T],
+    lo: T,
+    hi: T,
+    bin_lo: f64,
+    bin_hi: f64,
+) -> (usize, T, T, u64) {
+    let mut count = 0usize;
+    let mut min = T::MAX_VALUE;
+    let mut max = T::MIN_VALUE;
+    let mut mask = 0u64;
+    let span = bin_hi - bin_lo;
+    let scale = if span > 0.0 { 64.0 / span } else { 0.0 };
+    for &v in data {
+        count += (v.ge_total(&lo) && v.le_total(&hi)) as usize;
+        min = min.min_total(v);
+        max = max.max_total(v);
+        let bin = ((v.to_f64() - bin_lo) * scale).clamp(0.0, 63.0) as u32;
+        mask |= 1u64 << bin;
+    }
+    (count, min, max, mask)
+}
+
+/// Exact `(min, max)` of a slice under the total order, or `None` if empty.
+#[inline]
+pub fn min_max<T: DataValue>(data: &[T]) -> Option<(T, T)> {
+    let (&first, rest) = data.split_first()?;
+    let mut min = first;
+    let mut max = first;
+    for &v in rest {
+        min = min.min_total(v);
+        max = max.max_total(v);
+    }
+    Some((min, max))
+}
+
+/// Minimum and maximum of the qualifying values only; `None` if nothing
+/// qualifies. Used by MIN/MAX aggregates.
+#[inline]
+pub fn min_max_in_range<T: DataValue>(data: &[T], lo: T, hi: T) -> Option<(T, T)> {
+    let mut found = false;
+    let mut min = T::MAX_VALUE;
+    let mut max = T::MIN_VALUE;
+    for &v in data {
+        if v.ge_total(&lo) && v.le_total(&hi) {
+            min = min.min_total(v);
+            max = max.max_total(v);
+            found = true;
+        }
+    }
+    found.then_some((min, max))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_basic() {
+        let data = [1i64, 5, 3, 9, 5];
+        assert_eq!(count_in_range(&data, 3, 5), 3);
+        assert_eq!(count_in_range(&data, 10, 20), 0);
+        assert_eq!(count_in_range(&data, i64::MIN, i64::MAX), 5);
+    }
+
+    #[test]
+    fn count_empty_slice() {
+        assert_eq!(count_in_range::<i64>(&[], 0, 10), 0);
+    }
+
+    #[test]
+    fn count_with_minmax() {
+        let data = [4i64, -2, 8, 0];
+        let (c, min, max) = count_in_range_with_minmax(&data, 0, 5);
+        assert_eq!(c, 2);
+        assert_eq!((min, max), (-2, 8));
+    }
+
+    #[test]
+    fn count_with_minmax_empty() {
+        let (c, min, max) = count_in_range_with_minmax::<i64>(&[], 0, 5);
+        assert_eq!(c, 0);
+        assert_eq!(min, i64::MAX);
+        assert_eq!(max, i64::MIN);
+    }
+
+    #[test]
+    fn collect_positions_with_base() {
+        let data = [10i64, 20, 30, 40];
+        let mut out = Vec::new();
+        collect_in_range(&data, 100, 20, 30, &mut out);
+        assert_eq!(out, vec![101, 102]);
+    }
+
+    #[test]
+    fn fill_bitmap_sets_expected_bits() {
+        let data = [1i64, 7, 3, 7];
+        let mut bm = Bitmap::new(10);
+        fill_bitmap_in_range(&data, 4, 7, 7, &mut bm);
+        assert_eq!(bm.to_positions(), vec![5, 7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "bitmap too small")]
+    fn fill_bitmap_bounds_checked() {
+        let data = [1i64, 2];
+        let mut bm = Bitmap::new(1);
+        fill_bitmap_in_range(&data, 0, 0, 10, &mut bm);
+    }
+
+    #[test]
+    fn sum_kernel() {
+        let data = [1.0f64, 2.5, 4.0, 8.0];
+        let (c, s) = sum_in_range(&data, 2.0, 8.0);
+        assert_eq!(c, 3);
+        assert!((s - 14.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sum_kernel_int() {
+        let data = [1i32, 2, 3];
+        let (c, s) = sum_in_range(&data, 2, 3);
+        assert_eq!(c, 2);
+        assert_eq!(s, 5.0);
+    }
+
+    #[test]
+    fn min_max_slice() {
+        assert_eq!(min_max(&[3i64, 1, 2]), Some((1, 3)));
+        assert_eq!(min_max::<i64>(&[]), None);
+        assert_eq!(min_max(&[7i64]), Some((7, 7)));
+    }
+
+    #[test]
+    fn min_max_of_qualifying_only() {
+        let data = [1i64, 50, 10, 99];
+        assert_eq!(min_max_in_range(&data, 5, 60), Some((10, 50)));
+        assert_eq!(min_max_in_range(&data, 200, 300), None);
+    }
+
+    #[test]
+    fn aggregate_in_range_all_fields() {
+        let data = [5i64, -3, 10, 7];
+        let a = aggregate_in_range(&data, 0, 8);
+        assert_eq!(a.count, 2);
+        assert_eq!(a.sum, 12.0);
+        assert_eq!((a.range_min, a.range_max), (-3, 10));
+        assert_eq!((a.match_min, a.match_max), (5, 7));
+    }
+
+    #[test]
+    fn aggregate_in_range_no_matches() {
+        let data = [1i64, 2];
+        let a = aggregate_in_range(&data, 100, 200);
+        assert_eq!(a.count, 0);
+        assert_eq!(a.sum, 0.0);
+        assert_eq!((a.range_min, a.range_max), (1, 2));
+        assert_eq!(a.match_min, i64::MAX);
+        assert_eq!(a.match_max, i64::MIN);
+    }
+
+    #[test]
+    fn collect_with_minmax() {
+        let data = [4i64, 9, 1];
+        let mut out = vec![7u32]; // pre-existing content preserved
+        let (n, min, max) = collect_in_range_with_minmax(&data, 10, 2, 5, &mut out);
+        assert_eq!(n, 1);
+        assert_eq!(out, vec![7, 10]);
+        assert_eq!((min, max), (1, 9));
+    }
+
+    #[test]
+    fn mask_kernel_sets_expected_bins() {
+        let data = [0i64, 50, 99];
+        let (c, min, max, mask) = count_in_range_with_minmax_and_mask(&data, 0, 99, 0.0, 100.0);
+        assert_eq!(c, 3);
+        assert_eq!((min, max), (0, 99));
+        assert_eq!(mask.count_ones(), 3);
+        assert!(mask & 1 != 0, "value 0 in bin 0");
+        assert!(mask & (1 << 32) != 0, "value 50 in bin 32");
+        assert!(mask & (1 << 63) != 0, "value 99 in bin 63");
+    }
+
+    #[test]
+    fn mask_kernel_clamps_out_of_layout_values() {
+        let data = [-100i64, 500];
+        let (_, _, _, mask) = count_in_range_with_minmax_and_mask(&data, 0, 0, 0.0, 100.0);
+        assert!(mask & 1 != 0, "below-layout clamps to bin 0");
+        assert!(mask & (1 << 63) != 0, "above-layout clamps to bin 63");
+    }
+
+    #[test]
+    fn mask_kernel_degenerate_layout() {
+        let data = [7i64, 7];
+        let (_, _, _, mask) = count_in_range_with_minmax_and_mask(&data, 0, 10, 7.0, 7.0);
+        assert_eq!(mask, 1, "zero span puts everything in bin 0");
+    }
+
+    #[test]
+    fn inclusive_bounds_on_both_ends() {
+        let data = [5i64, 10];
+        assert_eq!(count_in_range(&data, 5, 10), 2);
+        assert_eq!(count_in_range(&data, 6, 9), 0);
+    }
+}

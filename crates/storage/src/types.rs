@@ -1,0 +1,186 @@
+//! Value types storable in columns.
+//!
+//! The scan kernels and zonemap metadata are generic over [`DataValue`],
+//! which provides a *total* order (needed so `f64` columns can carry
+//! `(min, max)` zone metadata without `PartialOrd` edge cases) plus the
+//! extreme values used to seed min/max folds.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A primitive value that can be stored in a column and summarised by
+/// zone metadata.
+///
+/// Implementations must provide a total order. For floats this is IEEE-754
+/// `totalOrder` (via [`f64::total_cmp`]); NaNs sort after all numbers, so a
+/// zone containing a NaN gets `max = NaN` and is never incorrectly skipped
+/// by finite-range predicates that use `le_total`/`ge_total`.
+pub trait DataValue:
+    Copy + Send + Sync + fmt::Debug + fmt::Display + PartialEq + 'static
+{
+    /// Smallest value of the type under [`DataValue::total_cmp`].
+    const MIN_VALUE: Self;
+    /// Largest value of the type under [`DataValue::total_cmp`].
+    const MAX_VALUE: Self;
+    /// Short type name used in error messages and reports.
+    const TYPE_NAME: &'static str;
+
+    /// Total-order comparison.
+    fn total_cmp(&self, other: &Self) -> Ordering;
+
+    /// Lossy conversion to `f64`, used by SUM/AVG aggregation. Exact for
+    /// integers up to 2^53, which covers the workloads in this repository.
+    fn to_f64(self) -> f64;
+
+    /// `self <= other` under the total order.
+    #[inline]
+    fn le_total(&self, other: &Self) -> bool {
+        self.total_cmp(other) != Ordering::Greater
+    }
+
+    /// `self >= other` under the total order.
+    #[inline]
+    fn ge_total(&self, other: &Self) -> bool {
+        self.total_cmp(other) != Ordering::Less
+    }
+
+    /// `self < other` under the total order.
+    #[inline]
+    fn lt_total(&self, other: &Self) -> bool {
+        self.total_cmp(other) == Ordering::Less
+    }
+
+    /// The smaller of two values under the total order.
+    #[inline]
+    fn min_total(self, other: Self) -> Self {
+        if self.total_cmp(&other) == Ordering::Greater {
+            other
+        } else {
+            self
+        }
+    }
+
+    /// The larger of two values under the total order.
+    #[inline]
+    fn max_total(self, other: Self) -> Self {
+        if self.total_cmp(&other) == Ordering::Less {
+            other
+        } else {
+            self
+        }
+    }
+}
+
+macro_rules! impl_data_value_int {
+    ($($t:ty),*) => {$(
+        impl DataValue for $t {
+            const MIN_VALUE: Self = <$t>::MIN;
+            const MAX_VALUE: Self = <$t>::MAX;
+            const TYPE_NAME: &'static str = stringify!($t);
+
+            #[inline]
+            fn total_cmp(&self, other: &Self) -> Ordering {
+                Ord::cmp(self, other)
+            }
+
+            #[inline]
+            fn to_f64(self) -> f64 {
+                self as f64
+            }
+        }
+    )*};
+}
+
+impl_data_value_int!(i8, i16, i32, i64, u8, u16, u32, u64);
+
+impl DataValue for f64 {
+    // f64::MIN/MAX are the finite extremes; under totalOrder the true
+    // extremes are the infinities (and beyond them, NaNs). Using
+    // -inf/+inf keeps `MIN_VALUE <= x <= MAX_VALUE` true for all
+    // non-NaN data, which is what min/max folds need as identities.
+    const MIN_VALUE: Self = f64::NEG_INFINITY;
+    const MAX_VALUE: Self = f64::INFINITY;
+    const TYPE_NAME: &'static str = "f64";
+
+    #[inline]
+    fn total_cmp(&self, other: &Self) -> Ordering {
+        f64::total_cmp(self, other)
+    }
+
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self
+    }
+}
+
+impl DataValue for f32 {
+    const MIN_VALUE: Self = f32::NEG_INFINITY;
+    const MAX_VALUE: Self = f32::INFINITY;
+    const TYPE_NAME: &'static str = "f32";
+
+    #[inline]
+    fn total_cmp(&self, other: &Self) -> Ordering {
+        f32::total_cmp(self, other)
+    }
+
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_total_order_matches_ord() {
+        assert_eq!(3i64.total_cmp(&5), Ordering::Less);
+        assert_eq!(5i64.total_cmp(&5), Ordering::Equal);
+        assert_eq!(7i64.total_cmp(&5), Ordering::Greater);
+    }
+
+    #[test]
+    fn min_max_total_ints() {
+        assert_eq!(3i64.min_total(5), 3);
+        assert_eq!(3i64.max_total(5), 5);
+        assert_eq!((-1i32).max_total(1), 1);
+    }
+
+    #[test]
+    fn float_total_order_handles_nan() {
+        let nan = f64::NAN;
+        // NaN sorts after +inf under totalOrder.
+        assert_eq!(nan.total_cmp(&f64::INFINITY), Ordering::Greater);
+        assert_eq!(1.0f64.min_total(nan), 1.0);
+        assert!(1.0f64.max_total(nan).is_nan());
+    }
+
+    #[test]
+    fn float_extremes_bracket_all_finite() {
+        for v in [-1e300, 0.0, 1e300] {
+            assert!(f64::MIN_VALUE.le_total(&v));
+            assert!(f64::MAX_VALUE.ge_total(&v));
+        }
+    }
+
+    #[test]
+    fn comparison_helpers() {
+        assert!(2i64.le_total(&2));
+        assert!(2i64.ge_total(&2));
+        assert!(1i64.lt_total(&2));
+        assert!(!2i64.lt_total(&2));
+    }
+
+    #[test]
+    fn negative_zero_orders_before_positive_zero() {
+        assert_eq!((-0.0f64).total_cmp(&0.0), Ordering::Less);
+    }
+
+    #[test]
+    fn type_names() {
+        assert_eq!(<i64 as DataValue>::TYPE_NAME, "i64");
+        assert_eq!(<u32 as DataValue>::TYPE_NAME, "u32");
+        assert_eq!(<f64 as DataValue>::TYPE_NAME, "f64");
+    }
+}

@@ -1,0 +1,282 @@
+//! Synthetic data distributions.
+//!
+//! The abstract characterises data only by distribution class — sorted,
+//! semi-sorted, clustered in value, or arbitrary — so these generators
+//! parameterise exactly those axes. All are deterministic given a seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Evenly spread ascending values over `[0, domain)`.
+pub fn sorted(n: usize, domain: i64) -> Vec<i64> {
+    assert!(domain > 0, "domain must be positive");
+    (0..n).map(|i| value_at(i, n, domain)).collect()
+}
+
+/// Evenly spread descending values over `[0, domain)`.
+pub fn reverse_sorted(n: usize, domain: i64) -> Vec<i64> {
+    let mut v = sorted(n, domain);
+    v.reverse();
+    v
+}
+
+/// Sorted data with a fraction of rows displaced: `noise_fraction` of the
+/// rows are swapped with a partner up to `max_displacement` positions away.
+/// This is the "semi-sorted" class — timestamps from slightly-out-of-order
+/// ingestion, for example.
+pub fn almost_sorted(
+    n: usize,
+    domain: i64,
+    noise_fraction: f64,
+    max_displacement: usize,
+    seed: u64,
+) -> Vec<i64> {
+    assert!((0.0..=1.0).contains(&noise_fraction), "noise out of [0,1]");
+    let mut v = sorted(n, domain);
+    if n < 2 || max_displacement == 0 {
+        return v;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let swaps = (n as f64 * noise_fraction / 2.0) as usize;
+    for _ in 0..swaps {
+        let i = rng.gen_range(0..n);
+        let d = rng.gen_range(1..=max_displacement);
+        let j = (i + d).min(n - 1);
+        v.swap(i, j);
+    }
+    v
+}
+
+/// Independent uniform draws over `[0, domain)` — the adversarial
+/// "arbitrary distribution" case where positional metadata cannot help.
+pub fn uniform(n: usize, domain: i64, seed: u64) -> Vec<i64> {
+    assert!(domain > 0, "domain must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(0..domain)).collect()
+}
+
+/// Positionally contiguous clusters of similar values: the table is cut
+/// into `clusters` runs, each drawing values from a narrow window around a
+/// random centre. Models partition-loaded or batch-ingested data.
+pub fn clustered(n: usize, clusters: usize, width_fraction: f64, domain: i64, seed: u64) -> Vec<i64> {
+    assert!(clusters > 0, "need at least one cluster");
+    assert!((0.0..=1.0).contains(&width_fraction), "width out of [0,1]");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let width = ((domain as f64 * width_fraction) as i64).max(1);
+    let run = n.div_ceil(clusters);
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        let center = rng.gen_range(0..domain);
+        let take = run.min(n - out.len());
+        for _ in 0..take {
+            let jitter = rng.gen_range(0..width) - width / 2;
+            out.push((center + jitter).clamp(0, domain - 1));
+        }
+    }
+    out
+}
+
+/// Zipf-skewed values: rank `r` (0 = hottest) occurs with probability
+/// `∝ 1/(r+1)^theta`; ranks map to values spread over the domain by a
+/// multiplicative hash so hot values are not positionally clustered.
+pub fn zipf(n: usize, domain: i64, theta: f64, seed: u64) -> Vec<i64> {
+    assert!(domain > 0, "domain must be positive");
+    assert!(theta > 0.0 && theta < 2.0, "theta out of (0,2)");
+    let ranks = domain.min(100_000) as usize;
+    // Gray et al. quantile method over a precomputed zeta table.
+    let mut zeta = 0.0f64;
+    let mut cdf = Vec::with_capacity(ranks);
+    for r in 1..=ranks {
+        zeta += 1.0 / (r as f64).powf(theta);
+        cdf.push(zeta);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let u: f64 = rng.gen_range(0.0..zeta);
+            let rank = cdf.partition_point(|&c| c < u) as i64;
+            // Spread ranks over the domain deterministically.
+            (rank.wrapping_mul(2654435761)).rem_euclid(domain)
+        })
+        .collect()
+}
+
+/// Piecewise-ascending sawtooth: `periods` ascending runs over the full
+/// domain. Locally sorted but globally repeating — zonemaps skip well at
+/// fine granularity and poorly at coarse granularity, which makes this the
+/// distribution where granularity adaptation matters most.
+pub fn sawtooth(n: usize, periods: usize, domain: i64) -> Vec<i64> {
+    assert!(periods > 0, "need at least one period");
+    let run = n.div_ceil(periods);
+    (0..n).map(|i| value_at(i % run, run, domain)).collect()
+}
+
+/// A column whose regions follow different distributions: the first third
+/// sorted, the middle third uniform-random, the final third clustered.
+/// Exercises per-region adaptation — no single static granularity (or
+/// activation choice) is right for the whole column.
+pub fn mixed_regions(n: usize, domain: i64, seed: u64) -> Vec<i64> {
+    let third = n / 3;
+    let mut v = sorted(third, domain);
+    v.extend(uniform(third, domain, seed));
+    v.extend(clustered(n - 2 * third, 16, 0.02, domain, seed ^ 0x9e37_79b9));
+    v
+}
+
+/// A narrow base signal polluted by sparse large outliers: base values
+/// draw uniformly from `[0, base_width)`, and every `outlier_every`-th row
+/// is replaced by a value from the top half of the domain (sensor glitches,
+/// error codes, sentinel values). Outliers pin every zone's `(min, max)`
+/// wide open, which is the worst case for plain zonemaps and the motivating
+/// case for value-mask refinement.
+pub fn with_outliers(
+    n: usize,
+    base_width: i64,
+    outlier_every: usize,
+    domain: i64,
+    seed: u64,
+) -> Vec<i64> {
+    assert!(base_width > 0 && base_width <= domain, "bad base width");
+    assert!(outlier_every > 0, "outlier_every must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            if i % outlier_every == outlier_every / 2 {
+                rng.gen_range(domain / 2..domain)
+            } else {
+                rng.gen_range(0..base_width)
+            }
+        })
+        .collect()
+}
+
+/// The evenly spread value at position `i` of an `n`-row sorted column.
+fn value_at(i: usize, n: usize, domain: i64) -> i64 {
+    if n <= 1 {
+        return 0;
+    }
+    ((i as i128 * domain as i128) / n as i128) as i64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const N: usize = 10_000;
+    const DOMAIN: i64 = 1_000_000;
+
+    fn in_domain(v: &[i64]) {
+        assert!(v.iter().all(|&x| (0..DOMAIN).contains(&x)));
+    }
+
+    #[test]
+    fn sorted_is_sorted_and_spans_domain() {
+        let v = sorted(N, DOMAIN);
+        assert_eq!(v.len(), N);
+        assert!(v.windows(2).all(|w| w[0] <= w[1]));
+        in_domain(&v);
+        assert_eq!(v[0], 0);
+        assert!(v[N - 1] > DOMAIN * 9 / 10);
+    }
+
+    #[test]
+    fn reverse_sorted_descends() {
+        let v = reverse_sorted(N, DOMAIN);
+        assert!(v.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn almost_sorted_noise_is_bounded() {
+        let v = almost_sorted(N, DOMAIN, 0.05, 100, 7);
+        in_domain(&v);
+        let inversions = v.windows(2).filter(|w| w[0] > w[1]).count();
+        assert!(inversions > 0, "noise should create inversions");
+        assert!(
+            inversions < N / 5,
+            "5% noise should stay mostly sorted: {inversions}"
+        );
+    }
+
+    #[test]
+    fn almost_sorted_zero_noise_is_sorted() {
+        let v = almost_sorted(N, DOMAIN, 0.0, 100, 7);
+        assert!(v.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn uniform_is_deterministic_and_spread() {
+        let a = uniform(N, DOMAIN, 42);
+        let b = uniform(N, DOMAIN, 42);
+        assert_eq!(a, b);
+        assert_ne!(a, uniform(N, DOMAIN, 43));
+        in_domain(&a);
+        // Roughly half below the midpoint.
+        let below = a.iter().filter(|&&x| x < DOMAIN / 2).count();
+        assert!((below as f64 / N as f64 - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn clustered_runs_have_narrow_value_ranges() {
+        let v = clustered(N, 10, 0.01, DOMAIN, 3);
+        in_domain(&v);
+        let run = N / 10;
+        for c in 0..10 {
+            let slice = &v[c * run..(c + 1) * run];
+            let (min, max) = (
+                *slice.iter().min().unwrap(),
+                *slice.iter().max().unwrap(),
+            );
+            assert!(max - min <= DOMAIN / 50, "cluster {c} too wide");
+        }
+    }
+
+    #[test]
+    fn zipf_is_skewed() {
+        let v = zipf(N, DOMAIN, 0.99, 5);
+        in_domain(&v);
+        // The hottest value should appear far more often than uniform
+        // would allow (expected ~N/ranks under uniform).
+        let mut counts = std::collections::HashMap::new();
+        for &x in &v {
+            *counts.entry(x).or_insert(0usize) += 1;
+        }
+        let max_count = *counts.values().max().unwrap();
+        assert!(max_count > N / 100, "not skewed: max count {max_count}");
+    }
+
+    #[test]
+    fn sawtooth_has_periods() {
+        let v = sawtooth(N, 4, DOMAIN);
+        in_domain(&v);
+        let run = N / 4;
+        assert!(v[..run].windows(2).all(|w| w[0] <= w[1]));
+        assert!(v[run] < v[run - 1], "teeth should reset");
+    }
+
+    #[test]
+    fn mixed_regions_structure() {
+        let v = mixed_regions(N, DOMAIN, 11);
+        assert_eq!(v.len(), N);
+        in_domain(&v);
+        let third = N / 3;
+        assert!(v[..third].windows(2).all(|w| w[0] <= w[1]), "first third sorted");
+    }
+
+    #[test]
+    fn with_outliers_structure() {
+        let v = with_outliers(N, 1000, 100, DOMAIN, 5);
+        in_domain(&v);
+        let outliers = v.iter().filter(|&&x| x >= DOMAIN / 2).count();
+        assert_eq!(outliers, N / 100);
+        assert!(v.iter().filter(|&&x| x < 1000).count() >= N - N / 100);
+    }
+
+    #[test]
+    fn tiny_inputs() {
+        assert_eq!(sorted(0, DOMAIN).len(), 0);
+        assert_eq!(sorted(1, DOMAIN), vec![0]);
+        assert_eq!(uniform(0, DOMAIN, 1).len(), 0);
+        assert_eq!(clustered(1, 5, 0.1, DOMAIN, 1).len(), 1);
+        assert_eq!(sawtooth(3, 10, DOMAIN).len(), 3);
+    }
+}

@@ -1,0 +1,222 @@
+//! Declarative workload specs, so experiments can enumerate and label
+//! their workloads uniformly.
+
+use crate::{data, queries};
+use crate::queries::RangeQuery;
+
+/// A named data distribution with fixed shape parameters.
+///
+/// ```
+/// use ads_workloads::DataSpec;
+/// let col = DataSpec::AlmostSorted { noise: 0.05 }.generate(10_000, 1_000_000, 42);
+/// assert_eq!(col.len(), 10_000);
+/// // Deterministic: the same seed replays the same column.
+/// assert_eq!(col, DataSpec::AlmostSorted { noise: 0.05 }.generate(10_000, 1_000_000, 42));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DataSpec {
+    /// Fully sorted.
+    Sorted,
+    /// Fully reverse-sorted.
+    ReverseSorted,
+    /// Sorted with a percentage of locally displaced rows.
+    AlmostSorted {
+        /// Fraction of displaced rows, in `[0, 1]`.
+        noise: f64,
+    },
+    /// Positionally contiguous value clusters.
+    Clustered {
+        /// Number of clusters.
+        clusters: usize,
+    },
+    /// Independent uniform draws (the adversarial case).
+    Uniform,
+    /// Zipf-skewed value frequencies, positions randomised.
+    Zipf {
+        /// Skew parameter in `(0, 2)`.
+        theta: f64,
+    },
+    /// Repeating ascending runs.
+    Sawtooth {
+        /// Number of runs.
+        periods: usize,
+    },
+    /// Sorted / uniform / clustered thirds.
+    MixedRegions,
+}
+
+impl DataSpec {
+    /// Generates the column.
+    pub fn generate(&self, n: usize, domain: i64, seed: u64) -> Vec<i64> {
+        match *self {
+            DataSpec::Sorted => data::sorted(n, domain),
+            DataSpec::ReverseSorted => data::reverse_sorted(n, domain),
+            DataSpec::AlmostSorted { noise } => data::almost_sorted(n, domain, noise, 256, seed),
+            DataSpec::Clustered { clusters } => data::clustered(n, clusters, 0.02, domain, seed),
+            DataSpec::Uniform => data::uniform(n, domain, seed),
+            DataSpec::Zipf { theta } => data::zipf(n, domain, theta, seed),
+            DataSpec::Sawtooth { periods } => data::sawtooth(n, periods, domain),
+            DataSpec::MixedRegions => data::mixed_regions(n, domain, seed),
+        }
+    }
+
+    /// Display label for tables.
+    pub fn label(&self) -> String {
+        match *self {
+            DataSpec::Sorted => "sorted".into(),
+            DataSpec::ReverseSorted => "reverse-sorted".into(),
+            DataSpec::AlmostSorted { noise } => format!("semi-sorted({:.0}%)", noise * 100.0),
+            DataSpec::Clustered { clusters } => format!("clustered({clusters})"),
+            DataSpec::Uniform => "uniform".into(),
+            DataSpec::Zipf { theta } => format!("zipf({theta})"),
+            DataSpec::Sawtooth { periods } => format!("sawtooth({periods})"),
+            DataSpec::MixedRegions => "mixed-regions".into(),
+        }
+    }
+
+    /// The distribution suite used by the headline experiments: the
+    /// classes the abstract names (sorted, semi-sorted, clustered,
+    /// arbitrary) plus the mixed-region stress case.
+    pub fn standard_suite() -> Vec<DataSpec> {
+        vec![
+            DataSpec::Sorted,
+            DataSpec::AlmostSorted { noise: 0.05 },
+            DataSpec::Clustered { clusters: 64 },
+            DataSpec::Uniform,
+            DataSpec::MixedRegions,
+        ]
+    }
+}
+
+/// A named query workload with fixed shape parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum QuerySpec {
+    /// Uniformly placed ranges of fixed value-domain selectivity.
+    UniformRandom {
+        /// Value-domain selectivity in `[0, 1]`.
+        selectivity: f64,
+    },
+    /// Ranges concentrated around one centre.
+    Hotspot {
+        /// Value-domain selectivity.
+        selectivity: f64,
+        /// Hotspot centre as a domain fraction.
+        center: f64,
+    },
+    /// Hotspot that jumps between phases.
+    ShiftingHotspot {
+        /// Value-domain selectivity.
+        selectivity: f64,
+        /// Number of phases.
+        phases: usize,
+    },
+    /// Deterministic sweeping window.
+    Sweep {
+        /// Value-domain selectivity.
+        selectivity: f64,
+    },
+    /// Equality lookups.
+    Points,
+}
+
+impl QuerySpec {
+    /// Generates the query sequence.
+    pub fn generate(&self, count: usize, domain: i64, seed: u64) -> Vec<RangeQuery> {
+        match *self {
+            QuerySpec::UniformRandom { selectivity } => {
+                queries::uniform_ranges(count, domain, selectivity, seed)
+            }
+            QuerySpec::Hotspot {
+                selectivity,
+                center,
+            } => queries::hotspot_ranges(count, domain, selectivity, center, 0.1, seed),
+            QuerySpec::ShiftingHotspot {
+                selectivity,
+                phases,
+            } => queries::shifting_hotspot(count, domain, selectivity, phases, 0.1, seed),
+            QuerySpec::Sweep { selectivity } => queries::sweep(count, domain, selectivity),
+            QuerySpec::Points => queries::point_queries(count, domain, seed),
+        }
+    }
+
+    /// Display label for tables.
+    pub fn label(&self) -> String {
+        match *self {
+            QuerySpec::UniformRandom { selectivity } => {
+                format!("uniform-random({}%)", selectivity * 100.0)
+            }
+            QuerySpec::Hotspot { selectivity, .. } => format!("hotspot({}%)", selectivity * 100.0),
+            QuerySpec::ShiftingHotspot {
+                selectivity,
+                phases,
+            } => format!("shifting-hotspot({}%, {phases} phases)", selectivity * 100.0),
+            QuerySpec::Sweep { selectivity } => format!("sweep({}%)", selectivity * 100.0),
+            QuerySpec::Points => "points".into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_data_specs_generate() {
+        let specs = [
+            DataSpec::Sorted,
+            DataSpec::ReverseSorted,
+            DataSpec::AlmostSorted { noise: 0.1 },
+            DataSpec::Clustered { clusters: 8 },
+            DataSpec::Uniform,
+            DataSpec::Zipf { theta: 0.99 },
+            DataSpec::Sawtooth { periods: 4 },
+            DataSpec::MixedRegions,
+        ];
+        for s in specs {
+            let v = s.generate(1000, 10_000, 1);
+            assert_eq!(v.len(), 1000, "{}", s.label());
+            assert!(!s.label().is_empty());
+        }
+    }
+
+    #[test]
+    fn all_query_specs_generate() {
+        let specs = [
+            QuerySpec::UniformRandom { selectivity: 0.01 },
+            QuerySpec::Hotspot {
+                selectivity: 0.01,
+                center: 0.5,
+            },
+            QuerySpec::ShiftingHotspot {
+                selectivity: 0.01,
+                phases: 2,
+            },
+            QuerySpec::Sweep { selectivity: 0.01 },
+            QuerySpec::Points,
+        ];
+        for s in specs {
+            let qs = s.generate(64, 10_000, 1);
+            assert_eq!(qs.len(), 64, "{}", s.label());
+        }
+    }
+
+    #[test]
+    fn standard_suite_covers_abstract_classes() {
+        let labels: Vec<String> = DataSpec::standard_suite()
+            .iter()
+            .map(|s| s.label())
+            .collect();
+        assert!(labels.iter().any(|l| l.contains("sorted")));
+        assert!(labels.iter().any(|l| l.contains("semi-sorted")));
+        assert!(labels.iter().any(|l| l.contains("clustered")));
+        assert!(labels.iter().any(|l| l.contains("uniform")));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let s = DataSpec::Uniform;
+        assert_eq!(s.generate(100, 1000, 9), s.generate(100, 1000, 9));
+        let q = QuerySpec::UniformRandom { selectivity: 0.05 };
+        assert_eq!(q.generate(10, 1000, 9), q.generate(10, 1000, 9));
+    }
+}

@@ -1,0 +1,91 @@
+//! Log analytics under continuous ingestion: appends interleave with an
+//! investigation workload whose focus keeps moving.
+//!
+//! Compares the adaptive zonemap against the static zonemap and plain
+//! scans while the store doubles in size and the analyst's query hotspot
+//! jumps twice — the combined stress the adaptive framework targets.
+//!
+//! ```text
+//! cargo run --release --example log_analytics
+//! ```
+
+use adaptive_data_skipping::core::adaptive::AdaptiveConfig;
+use adaptive_data_skipping::core::RangePredicate;
+use adaptive_data_skipping::engine::{AggKind, ColumnSession, Strategy};
+use adaptive_data_skipping::workloads::{data, queries};
+
+fn main() {
+    let initial = 1_000_000usize;
+    let final_rows = 2_000_000usize;
+    let domain = final_rows as i64;
+    let batches = 20usize;
+    let per_batch_rows = (final_rows - initial) / batches;
+    let queries_per_batch = 15usize;
+
+    // The full log stream: event ids arrive almost in order.
+    let stream = data::almost_sorted(final_rows, domain, 0.02, 64, 3);
+    // Investigation: hotspot jumps between three incident windows.
+    let qs = queries::shifting_hotspot(
+        batches * queries_per_batch,
+        domain,
+        0.002,
+        3,
+        0.08,
+        99,
+    );
+
+    let strategies = vec![
+        Strategy::FullScan,
+        Strategy::StaticZonemap { zone_rows: 4096 },
+        Strategy::Adaptive(AdaptiveConfig {
+            revival_base_queries: Some(64),
+            ..AdaptiveConfig::default()
+        }),
+    ];
+
+    println!(
+        "log store: {initial} rows growing to {final_rows} across {batches} append batches"
+    );
+    println!(
+        "workload: {} range counts, hotspot shifts twice\n",
+        qs.len()
+    );
+    println!(
+        "{:<28} {:>14} {:>16} {:>14} {:>12}",
+        "strategy", "query ms", "maintenance ms", "mean µs", "checksum"
+    );
+
+    let mut checksums = Vec::new();
+    for strategy in &strategies {
+        let mut session = ColumnSession::new(stream[..initial].to_vec(), strategy);
+        let mut maintenance_ns = 0u64;
+        let mut checksum = 0u64;
+        let mut qi = 0;
+        for b in 0..batches {
+            for _ in 0..queries_per_batch {
+                let q = qs[qi];
+                qi += 1;
+                let (ans, _) =
+                    session.query(RangePredicate::between(q.lo, q.hi), AggKind::Count);
+                checksum = checksum.wrapping_add(ans.count);
+            }
+            let start = initial + b * per_batch_rows;
+            maintenance_ns += session.append(&stream[start..start + per_batch_rows]);
+        }
+        let t = session.totals();
+        println!(
+            "{:<28} {:>14.1} {:>16.2} {:>14.1} {:>12}",
+            session.label(),
+            t.wall_ns as f64 / 1e6,
+            (maintenance_ns + t.build_ns) as f64 / 1e6,
+            t.mean_latency_ns() / 1e3,
+            checksum
+        );
+        checksums.push(checksum);
+    }
+    assert!(
+        checksums.windows(2).all(|w| w[0] == w[1]),
+        "strategies disagreed — soundness bug"
+    );
+    println!("\nall strategies agree on every answer; adaptive pays no build or re-index cost.");
+}

@@ -1,0 +1,61 @@
+//! Quickstart: attach an adaptive zonemap to a column and watch queries
+//! get cheaper.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use adaptive_data_skipping::core::adaptive::AdaptiveConfig;
+use adaptive_data_skipping::core::RangePredicate;
+use adaptive_data_skipping::engine::{AggKind, ColumnSession, Strategy};
+
+fn main() {
+    // A 4M-row column of "timestamps": mostly sorted, as an ingestion
+    // pipeline would produce.
+    let n = 4_000_000usize;
+    let data = adaptive_data_skipping::workloads::data::almost_sorted(n, n as i64, 0.05, 256, 7);
+
+    let mut session =
+        ColumnSession::new(data, &Strategy::Adaptive(AdaptiveConfig::default())).record_history(true);
+
+    // A dashboard asks for the same recent window a few times.
+    let pred = RangePredicate::between(3_500_000, 3_550_000);
+    println!("query               count     rows scanned   zones skipped   latency");
+    for i in 1..=6 {
+        let (answer, m) = session.query(pred, AggKind::Count);
+        println!(
+            "#{i} [3.50M..3.55M]  {:>8}   {:>12}   {:>13}   {:>6.2}ms",
+            answer.count,
+            m.rows_scanned,
+            m.zones_skipped,
+            m.wall_ns as f64 / 1e6
+        );
+    }
+
+    // Other aggregates share the same pruning.
+    let (sum, _) = session.query(pred, AggKind::Sum);
+    let (min, _) = session.query(pred, AggKind::Min);
+    let (max, _) = session.query(pred, AggKind::Max);
+    println!(
+        "\nSUM={:.0}  MIN={}  MAX={}",
+        sum.sum.expect("sum aggregate"),
+        min.min.expect("matches exist"),
+        max.max.expect("matches exist")
+    );
+
+    // New data arrives; the index maintains itself and stays correct.
+    let more: Vec<i64> = (n as i64..n as i64 + 10_000).collect();
+    session.append(&more);
+    let fresh = session.count(RangePredicate::at_least(n as i64));
+    println!("rows appended: 10000, query over fresh range finds {fresh}");
+
+    let t = session.totals();
+    println!(
+        "\nsession totals: {} queries, {:.1}ms wall, {:.1}% of probed zones skipped",
+        t.queries,
+        t.wall_ns as f64 / 1e6,
+        100.0 * t.zones_skipped as f64 / t.zones_probed.max(1) as f64
+    );
+    let (meta, copy) = session.index_bytes();
+    println!("index footprint: {meta} metadata bytes, {copy} copied-data bytes");
+}

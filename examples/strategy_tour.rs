@@ -1,0 +1,57 @@
+//! A tour of every skipping strategy on one workload, printing the
+//! trade-off table: query time, build time, memory, skip rate.
+//!
+//! ```text
+//! cargo run --release --example strategy_tour [rows] [queries]
+//! ```
+
+use adaptive_data_skipping::core::RangePredicate;
+use adaptive_data_skipping::engine::{AggKind, ColumnSession, Strategy};
+use adaptive_data_skipping::workloads::{DataSpec, QuerySpec};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let rows: usize = args
+        .next()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2_000_000);
+    let num_queries: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(200);
+    let domain = 1_000_000i64;
+
+    let data = DataSpec::MixedRegions.generate(rows, domain, 7);
+    let queries = QuerySpec::UniformRandom { selectivity: 0.01 }.generate(num_queries, domain, 8);
+    println!(
+        "mixed-regions column, {rows} rows; {num_queries} COUNT queries @1% selectivity\n"
+    );
+    println!(
+        "{:<28} {:>10} {:>10} {:>11} {:>11} {:>9} {:>12}",
+        "strategy", "build ms", "query ms", "mean µs", "metadata B", "copy B", "skip rate"
+    );
+
+    let mut counts: Option<u64> = None;
+    for strategy in Strategy::roster() {
+        let mut session = ColumnSession::new(data.clone(), &strategy);
+        let mut checksum = 0u64;
+        for q in &queries {
+            let (ans, _) = session.query(RangePredicate::between(q.lo, q.hi), AggKind::Count);
+            checksum = checksum.wrapping_add(ans.count);
+        }
+        match counts {
+            None => counts = Some(checksum),
+            Some(c) => assert_eq!(c, checksum, "{} disagreed", session.label()),
+        }
+        let t = session.totals();
+        let (meta, copy) = session.index_bytes();
+        println!(
+            "{:<28} {:>10.2} {:>10.1} {:>11.1} {:>11} {:>9} {:>11.1}%",
+            session.label(),
+            t.build_ns as f64 / 1e6,
+            t.wall_ns as f64 / 1e6,
+            t.mean_latency_ns() / 1e3,
+            meta,
+            copy,
+            100.0 * t.zones_skipped as f64 / t.zones_probed.max(1) as f64
+        );
+    }
+    println!("\nall strategies returned identical answers.");
+}

@@ -1,0 +1,34 @@
+//! # adaptive-data-skipping — umbrella crate
+//!
+//! Reproduction of Qin & Idreos, *Adaptive Data Skipping in Main-Memory
+//! Systems* (SIGMOD 2016). This crate re-exports the workspace's public
+//! API so examples and downstream users need a single dependency:
+//!
+//! * [`storage`] — main-memory column store substrate;
+//! * [`core`] — the data-skipping framework and adaptive zonemaps;
+//! * [`baselines`] — full scan, sorted oracle, column imprints, cracking;
+//! * [`engine`] — scan executor, sessions, strategies;
+//! * [`workloads`] — synthetic data and query generators.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use adaptive_data_skipping::engine::{ColumnSession, Strategy, AggKind};
+//! use adaptive_data_skipping::core::{adaptive::AdaptiveConfig, RangePredicate};
+//!
+//! let data: Vec<i64> = (0..100_000).collect();
+//! let mut session = ColumnSession::new(data, &Strategy::Adaptive(AdaptiveConfig::default()));
+//! let pred = RangePredicate::between(1_000, 1_999);
+//! let (_, first) = session.query(pred, AggKind::Count);
+//! let (answer, second) = session.query(pred, AggKind::Count);
+//! assert_eq!(answer.count, 1_000);
+//! assert!(second.rows_scanned < first.rows_scanned);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use ads_baselines as baselines;
+pub use ads_core as core;
+pub use ads_engine as engine;
+pub use ads_storage as storage;
+pub use ads_workloads as workloads;

@@ -1,0 +1,185 @@
+//! Integration-level behavioural guarantees of adaptive zonemaps: the
+//! qualitative claims the paper's framework makes, checked end-to-end
+//! through the engine.
+
+use adaptive_data_skipping::core::adaptive::AdaptiveConfig;
+use adaptive_data_skipping::core::RangePredicate;
+use adaptive_data_skipping::engine::{AggKind, ColumnSession, Strategy};
+use adaptive_data_skipping::workloads::{DataSpec, QuerySpec};
+
+const N: usize = 200_000;
+const DOMAIN: i64 = 1_000_000;
+
+fn run_workload(session: &mut ColumnSession<i64>, queries: &[(i64, i64)]) {
+    for &(lo, hi) in queries {
+        session.query(RangePredicate::between(lo, hi), AggKind::Count);
+    }
+}
+
+fn queries(selectivity: f64, count: usize, seed: u64) -> Vec<(i64, i64)> {
+    QuerySpec::UniformRandom { selectivity }
+        .generate(count, DOMAIN, seed)
+        .into_iter()
+        .map(|q| (q.lo, q.hi))
+        .collect()
+}
+
+#[test]
+fn adaptive_converges_to_skipping_on_sorted_data() {
+    let data = DataSpec::Sorted.generate(N, DOMAIN, 1);
+    let mut s = ColumnSession::new(data, &Strategy::Adaptive(AdaptiveConfig::default()))
+        .record_history(true);
+    run_workload(&mut s, &queries(0.01, 50, 2));
+    let h = s.history();
+    assert_eq!(h[0].rows_scanned, N, "first query scans everything");
+    let late: usize = h[40..].iter().map(|m| m.rows_scanned).sum::<usize>() / 10;
+    assert!(late < N / 20, "late queries should skip ~everything: {late}");
+}
+
+#[test]
+fn adaptive_scan_volume_tracks_full_scan_on_random_data() {
+    // On uniform data nothing can be skipped; adaptation must converge to
+    // scanning everything with only a small bounded number of zone entries
+    // (deactivated extents), not thousands of useless probes.
+    let data = DataSpec::Uniform.generate(N, DOMAIN, 3);
+    let mut s = ColumnSession::new(data, &Strategy::Adaptive(AdaptiveConfig::default()))
+        .record_history(true);
+    run_workload(&mut s, &queries(0.01, 300, 4));
+    let h = s.history();
+    let late = &h[250..];
+    let mean_probes: f64 =
+        late.iter().map(|m| m.zones_probed as f64).sum::<f64>() / late.len() as f64;
+    let initial_zones = N / 4096;
+    assert!(
+        mean_probes < initial_zones as f64 / 4.0,
+        "metadata should have been merged/deactivated: {mean_probes} probes/query"
+    );
+    assert!(late.iter().all(|m| m.rows_scanned == N));
+}
+
+#[test]
+fn adaptive_beats_static_on_mixed_regions() {
+    // The headline qualitative claim: on data whose regions differ, one
+    // static granularity loses somewhere; adaptation wins overall.
+    let data = DataSpec::MixedRegions.generate(N, DOMAIN, 5);
+    let qs = queries(0.01, 300, 6);
+
+    let mut adaptive = ColumnSession::new(data.clone(), &Strategy::Adaptive(AdaptiveConfig::default()));
+    let mut static_zm = ColumnSession::new(data, &Strategy::StaticZonemap { zone_rows: 4096 });
+    run_workload(&mut adaptive, &qs);
+    run_workload(&mut static_zm, &qs);
+
+    // Compare total rows scanned (a hardware-independent proxy for work).
+    let a = adaptive.totals().rows_scanned;
+    let s = static_zm.totals().rows_scanned;
+    assert!(
+        a < s,
+        "adaptive should scan less on mixed data: adaptive {a} vs static {s}"
+    );
+}
+
+#[test]
+fn deactivation_bounds_probe_overhead() {
+    let data = DataSpec::Uniform.generate(N, DOMAIN, 7);
+    let qs = queries(0.01, 400, 8);
+
+    let mut with = ColumnSession::new(data.clone(), &Strategy::Adaptive(AdaptiveConfig::default()));
+    let mut without = ColumnSession::new(
+        data,
+        &Strategy::Adaptive(AdaptiveConfig {
+            enable_merge: false,
+            enable_deactivate: false,
+            ..AdaptiveConfig::default()
+        }),
+    );
+    run_workload(&mut with, &qs);
+    run_workload(&mut without, &qs);
+    assert!(
+        with.totals().zones_probed < without.totals().zones_probed,
+        "merge+deactivate should cut probes: {} vs {}",
+        with.totals().zones_probed,
+        without.totals().zones_probed
+    );
+}
+
+#[test]
+fn split_refines_only_where_the_workload_lands() {
+    // Hotspot queries over sorted data: skipping works immediately, and
+    // refinement (if any) must not blow up the zone count elsewhere.
+    let data = DataSpec::Sorted.generate(N, DOMAIN, 9);
+    let qs: Vec<(i64, i64)> = QuerySpec::Hotspot {
+        selectivity: 0.001,
+        center: 0.3,
+    }
+    .generate(200, DOMAIN, 10)
+    .into_iter()
+    .map(|q| (q.lo, q.hi))
+    .collect();
+    let mut s = ColumnSession::new(data, &Strategy::Adaptive(AdaptiveConfig::default()))
+        .record_history(true);
+    run_workload(&mut s, &qs);
+    let late = &s.history()[150..];
+    let mean_scanned: f64 =
+        late.iter().map(|m| m.rows_scanned as f64).sum::<f64>() / late.len() as f64;
+    assert!(
+        mean_scanned < 3.0 * 4096.0,
+        "hotspot queries should touch ~one zone: {mean_scanned}"
+    );
+}
+
+#[test]
+fn workload_shift_recovers() {
+    // After the hotspot moves, latency-proxy (rows scanned) must come back
+    // down within the second phase.
+    let data = DataSpec::Clustered { clusters: 64 }.generate(N, DOMAIN, 11);
+    let phase1: Vec<(i64, i64)> = QuerySpec::Hotspot {
+        selectivity: 0.002,
+        center: 0.2,
+    }
+    .generate(150, DOMAIN, 12)
+    .into_iter()
+    .map(|q| (q.lo, q.hi))
+    .collect();
+    let phase2: Vec<(i64, i64)> = QuerySpec::Hotspot {
+        selectivity: 0.002,
+        center: 0.8,
+    }
+    .generate(150, DOMAIN, 13)
+    .into_iter()
+    .map(|q| (q.lo, q.hi))
+    .collect();
+
+    let mut s = ColumnSession::new(data, &Strategy::Adaptive(AdaptiveConfig::default()))
+        .record_history(true);
+    run_workload(&mut s, &phase1);
+    run_workload(&mut s, &phase2);
+    let h = s.history();
+    let phase2_early: f64 = h[150..160].iter().map(|m| m.rows_scanned as f64).sum::<f64>() / 10.0;
+    let phase2_late: f64 = h[290..].iter().map(|m| m.rows_scanned as f64).sum::<f64>() / 10.0;
+    assert!(
+        phase2_late <= phase2_early,
+        "second phase should re-converge: early {phase2_early}, late {phase2_late}"
+    );
+}
+
+#[test]
+fn ablation_presets_change_behaviour_not_answers() {
+    let data = DataSpec::MixedRegions.generate(N, DOMAIN, 15);
+    let qs = queries(0.01, 100, 16);
+    let configs = [
+        AdaptiveConfig::lazy_only(),
+        AdaptiveConfig::split_only(),
+        AdaptiveConfig::no_deactivate(),
+        AdaptiveConfig::default(),
+    ];
+    let mut checksums = Vec::new();
+    for cfg in configs {
+        let mut s = ColumnSession::new(data.clone(), &Strategy::Adaptive(cfg));
+        let mut sum = 0u64;
+        for &(lo, hi) in &qs {
+            sum = sum.wrapping_add(s.count(RangePredicate::between(lo, hi)));
+        }
+        checksums.push(sum);
+    }
+    assert!(checksums.windows(2).all(|w| w[0] == w[1]));
+}

@@ -1,0 +1,93 @@
+//! Freshness under ingestion: every strategy stays correct while data
+//! arrives between (and during) query bursts.
+
+use adaptive_data_skipping::core::RangePredicate;
+use adaptive_data_skipping::engine::{execute_reference, AggKind, ColumnSession, Strategy};
+use adaptive_data_skipping::workloads::data;
+
+#[test]
+fn interleaved_appends_all_strategies_agree() {
+    let full = data::almost_sorted(60_000, 60_000, 0.05, 128, 1);
+    let initial = 20_000usize;
+    let batch = 2_000usize;
+
+    for strategy in Strategy::roster() {
+        let mut session = ColumnSession::new(full[..initial].to_vec(), &strategy);
+        let mut grown = initial;
+        while grown < full.len() {
+            // Queries referencing old, new, and straddling ranges.
+            for pred in [
+                RangePredicate::between(0, 1000),
+                RangePredicate::between(grown as i64 - 3000, grown as i64 + 3000),
+                RangePredicate::between(grown as i64 / 2, grown as i64 / 2 + 500),
+            ] {
+                let expected = execute_reference(&full[..grown], pred, AggKind::Count).count;
+                assert_eq!(
+                    session.count(pred),
+                    expected,
+                    "{} at {grown} rows, {pred}",
+                    strategy.label()
+                );
+            }
+            session.append(&full[grown..grown + batch]);
+            grown += batch;
+        }
+        assert_eq!(session.len(), full.len());
+    }
+}
+
+#[test]
+fn append_only_then_query_storm() {
+    // Build empty-ish, append everything in many small batches, then
+    // query: exercises partial-zone repair paths in every structure.
+    let full = data::uniform(30_000, 50_000, 2);
+    for strategy in Strategy::roster() {
+        let mut session = ColumnSession::new(full[..1].to_vec(), &strategy);
+        let mut grown = 1usize;
+        while grown < full.len() {
+            let next = (grown + 777).min(full.len());
+            session.append(&full[grown..next]);
+            grown = next;
+        }
+        for q in 0..20 {
+            let lo = q * 2000;
+            let pred = RangePredicate::between(lo, lo + 900);
+            let expected = execute_reference(&full, pred, AggKind::Count).count;
+            assert_eq!(session.count(pred), expected, "{} q{q}", strategy.label());
+        }
+    }
+}
+
+#[test]
+fn appended_values_outside_old_domain() {
+    // Domain drift: new values exceed anything the index has seen (a
+    // stress for imprints' fixed bins and zonemap extremes).
+    let old: Vec<i64> = (0..10_000).collect();
+    let drift: Vec<i64> = (1_000_000..1_005_000).collect();
+    for strategy in Strategy::roster() {
+        let mut session = ColumnSession::new(old.clone(), &strategy);
+        session.count(RangePredicate::between(0, 100));
+        session.append(&drift);
+        let mut combined = old.clone();
+        combined.extend_from_slice(&drift);
+        for pred in [
+            RangePredicate::between(1_000_000, 1_001_000),
+            RangePredicate::between(9_000, 1_000_100),
+            RangePredicate::at_least(500_000),
+        ] {
+            let expected = execute_reference(&combined, pred, AggKind::Count).count;
+            assert_eq!(session.count(pred), expected, "{} {pred}", strategy.label());
+        }
+    }
+}
+
+#[test]
+fn empty_append_is_a_noop() {
+    for strategy in Strategy::roster() {
+        let mut session = ColumnSession::new((0..1000i64).collect(), &strategy);
+        let before = session.count(RangePredicate::all());
+        session.append(&[]);
+        assert_eq!(session.count(RangePredicate::all()), before, "{}", strategy.label());
+        assert_eq!(session.len(), 1000);
+    }
+}

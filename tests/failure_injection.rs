@@ -1,0 +1,145 @@
+//! Failure injection: the observe channel is driven with degenerate,
+//! misaligned, or stale feedback, and the indexes must stay sound.
+//!
+//! The executor always feeds honest observations, but the framework's
+//! public API cannot assume every caller does (the multi-column path
+//! already produces non-zone-aligned ranges by design). These tests pin
+//! the defensive behaviour: misaligned feedback is ignored, never
+//! incorporated.
+
+use adaptive_data_skipping::core::adaptive::{AdaptiveConfig, AdaptiveZonemap};
+use adaptive_data_skipping::core::{
+    RangeObservation, RangePredicate, ScanObservation, SkippingIndex,
+};
+use adaptive_data_skipping::engine::{execute, execute_reference, AggKind};
+use adaptive_data_skipping::storage::RowRange;
+use adaptive_data_skipping::workloads::data;
+
+fn config() -> AdaptiveConfig {
+    AdaptiveConfig {
+        target_zone_rows: 256,
+        min_zone_rows: 32,
+        max_zone_rows: 2048,
+        maintenance_every: 2,
+        ..AdaptiveConfig::default()
+    }
+}
+
+fn assert_sound(zm: &mut AdaptiveZonemap<i64>, column: &[i64]) {
+    for q in 0..10 {
+        let lo = (q * 997) % 40_000;
+        let pred = RangePredicate::between(lo, lo + 2_000);
+        let (got, _) = execute(column, zm, pred, AggKind::Count);
+        let want = execute_reference(column, pred, AggKind::Count);
+        assert_eq!(got.count, want.count);
+    }
+    zm.assert_invariants();
+}
+
+#[test]
+fn misaligned_observations_are_ignored() {
+    let column = data::uniform(10_000, 50_000, 1);
+    let mut zm = AdaptiveZonemap::new(column.len(), config());
+    let pred = RangePredicate::between(0, 1000);
+    // Ranges that match no zone boundary, including out-of-phase and
+    // overlapping ones. A naive implementation would install their
+    // (min, max) as zone metadata and break soundness.
+    let hostile = ScanObservation {
+        predicate: pred,
+        ranges: vec![
+            RangeObservation::new(RowRange::new(13, 217), 0, 40_000, 40_001),
+            RangeObservation::new(RowRange::new(100, 900), 0, 49_000, 49_001),
+            RangeObservation::new(RowRange::new(0, column.len()), 0, 49_000, 49_001),
+        ],
+    };
+    for _ in 0..5 {
+        zm.observe(&hostile);
+    }
+    assert_eq!(zm.trace().totals().built, 0, "nothing zone-exact was fed");
+    assert_sound(&mut zm, &column);
+}
+
+#[test]
+fn empty_and_degenerate_observations() {
+    let column = data::uniform(5_000, 50_000, 2);
+    let mut zm = AdaptiveZonemap::new(column.len(), config());
+    let pred = RangePredicate::all();
+    zm.observe(&ScanObservation::empty(pred));
+    // Observation for a range beyond the column end: no zone starts there,
+    // so it must be ignored rather than panic.
+    zm.observe(&ScanObservation {
+        predicate: pred,
+        ranges: vec![RangeObservation::new(
+            RowRange::new(column.len() + 10, column.len() + 20),
+            0,
+            0,
+            0,
+        )],
+    });
+    assert_sound(&mut zm, &column);
+}
+
+#[test]
+fn stale_observations_after_structural_change_stay_sound() {
+    // Capture a prune's units, reorganise the index via other queries,
+    // then feed the stale observation. Ranges that no longer match a zone
+    // exactly must be ignored; ranges that still match update metadata
+    // with values that are exact for those rows (the data is immutable),
+    // so soundness holds either way.
+    let column = data::uniform(20_000, 50_000, 3);
+    let mut zm = AdaptiveZonemap::new(column.len(), config());
+    let pred = RangePredicate::between(0, 25_000);
+    let out = zm.prune(&pred);
+    let stale: Vec<RangeObservation<i64>> = out
+        .units()
+        .iter()
+        .map(|u| {
+            let (q, min, max) = adaptive_data_skipping::storage::scan::count_in_range_with_minmax(
+                &column[u.start..u.end],
+                pred.lo,
+                pred.hi,
+            );
+            RangeObservation::new(*u, q, min, max)
+        })
+        .collect();
+    // Reorganise with live queries in between.
+    for q in 0..30 {
+        let lo = (q * 911) % 40_000;
+        let p = RangePredicate::between(lo, lo + 1_000);
+        let _ = execute(&column, &mut zm, p, AggKind::Count);
+    }
+    zm.observe(&ScanObservation {
+        predicate: pred,
+        ranges: stale,
+    });
+    assert_sound(&mut zm, &column);
+}
+
+#[test]
+fn observation_with_wrong_qualifying_count_cannot_break_answers() {
+    // `qualifying` only drives *policy* (selectivity stats); lying about
+    // it may cause bad adaptation decisions but never wrong answers.
+    let column = data::sorted(10_000, 50_000);
+    let mut zm = AdaptiveZonemap::new(column.len(), config());
+    let pred = RangePredicate::between(10_000, 12_000);
+    let out = zm.prune(&pred);
+    let lying: Vec<RangeObservation<i64>> = out
+        .units()
+        .iter()
+        .map(|u| {
+            let (_, min, max) = adaptive_data_skipping::storage::scan::count_in_range_with_minmax(
+                &column[u.start..u.end],
+                pred.lo,
+                pred.hi,
+            );
+            // Exaggerate wildly; min/max stay honest (they are the part
+            // with soundness weight).
+            RangeObservation::new(*u, u.len(), min, max)
+        })
+        .collect();
+    zm.observe(&ScanObservation {
+        predicate: pred,
+        ranges: lying,
+    });
+    assert_sound(&mut zm, &column);
+}

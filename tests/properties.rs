@@ -1,0 +1,208 @@
+//! Property-based tests over the framework's core invariants.
+
+use adaptive_data_skipping::baselines::{ColumnImprints, CrackerColumn, SortedOracle};
+use adaptive_data_skipping::core::adaptive::{AdaptiveConfig, AdaptiveZonemap};
+use adaptive_data_skipping::core::{
+    RangeObservation, RangePredicate, ScanObservation, SkippingIndex, StaticZonemap,
+};
+use adaptive_data_skipping::engine::{execute, execute_reference, AggKind, Strategy};
+use adaptive_data_skipping::storage::{scan, RangeSet};
+use proptest::prelude::*;
+// `engine::Strategy` shadows the proptest trait's name; re-import the trait
+// anonymously so `.prop_map` resolves.
+use proptest::strategy::Strategy as _;
+
+/// Small adaptive config so structural churn happens at test scale.
+fn test_config() -> AdaptiveConfig {
+    AdaptiveConfig {
+        target_zone_rows: 64,
+        min_zone_rows: 8,
+        max_zone_rows: 512,
+        split_after_wasted: 1,
+        merge_after_probes: 2,
+        deactivate_after_probes: 4,
+        maintenance_every: 2,
+        revival_base_queries: Some(8),
+        ..AdaptiveConfig::default()
+    }
+}
+
+fn arb_data() -> impl proptest::strategy::Strategy<Value = Vec<i64>> {
+    prop::collection::vec(-1000i64..1000, 0..2000)
+}
+
+fn arb_pred() -> impl proptest::strategy::Strategy<Value = RangePredicate<i64>> {
+    (-1200i64..1200, 0i64..500).prop_map(|(lo, w)| RangePredicate::between(lo, lo + w))
+}
+
+/// Drives the prune/scan/observe loop once and checks soundness: every
+/// qualifying row is covered by must_scan or full_match, and full_match
+/// ranges contain only qualifying rows.
+fn check_soundness(index: &mut dyn SkippingIndex<i64>, data: &[i64], pred: RangePredicate<i64>) {
+    let out = index.prune(&pred);
+    let target: Vec<i64> = match index.view() {
+        Some(v) => v.to_vec(),
+        None => data.to_vec(),
+    };
+    for (i, &v) in target.iter().enumerate() {
+        if pred.matches(v) {
+            assert!(
+                out.must_scan.contains(i) || out.full_match.contains(i),
+                "row {i} (value {v}) lost under {}",
+                index.name()
+            );
+        }
+    }
+    for r in out.full_match.ranges() {
+        for i in r.start..r.end {
+            assert!(
+                pred.matches(target[i]),
+                "row {i} wrongly full-matched under {}",
+                index.name()
+            );
+        }
+    }
+    // Feed honest observations so adaptive structures keep evolving.
+    let mut ranges = Vec::new();
+    for unit in out.units() {
+        let (q, min, max) =
+            scan::count_in_range_with_minmax(&target[unit.start..unit.end], pred.lo, pred.hi);
+        ranges.push(RangeObservation::new(*unit, q, min, max));
+    }
+    index.observe(&ScanObservation {
+        predicate: pred,
+        ranges,
+    });
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn prune_soundness_all_indexes(data in arb_data(), preds in prop::collection::vec(arb_pred(), 1..12)) {
+        let mut indexes: Vec<Box<dyn SkippingIndex<i64>>> = vec![
+            Box::new(StaticZonemap::build(&data, 37)),
+            Box::new(AdaptiveZonemap::new(data.len(), test_config())),
+            Box::new(ColumnImprints::build(&data, 8, 16)),
+            Box::new(CrackerColumn::build(&data)),
+            Box::new(SortedOracle::build(&data)),
+        ];
+        for pred in &preds {
+            for index in &mut indexes {
+                check_soundness(index.as_mut(), &data, *pred);
+            }
+        }
+    }
+
+    #[test]
+    fn answers_match_reference_for_random_workloads(
+        data in arb_data(),
+        preds in prop::collection::vec(arb_pred(), 1..10),
+    ) {
+        for strategy in Strategy::roster() {
+            let mut index = strategy.build_index(&data);
+            for pred in &preds {
+                let (got, _) = execute(&data, index.as_mut(), *pred, AggKind::Count);
+                let want = execute_reference(&data, *pred, AggKind::Count);
+                prop_assert_eq!(got.count, want.count, "{}", strategy.label());
+            }
+        }
+    }
+
+    #[test]
+    fn positions_match_reference(data in arb_data(), pred in arb_pred()) {
+        for strategy in Strategy::roster() {
+            let mut index = strategy.build_index(&data);
+            // Run twice: once to let adaptive structures reorganise, once
+            // to answer from the reorganised state.
+            let _ = execute(&data, index.as_mut(), pred, AggKind::Positions);
+            let (got, _) = execute(&data, index.as_mut(), pred, AggKind::Positions);
+            let want = execute_reference(&data, pred, AggKind::Positions);
+            prop_assert_eq!(got.positions, want.positions, "{}", strategy.label());
+        }
+    }
+
+    #[test]
+    fn adaptive_zone_partition_survives_any_query_sequence(
+        len in 0usize..5000,
+        preds in prop::collection::vec(arb_pred(), 0..30),
+    ) {
+        let data: Vec<i64> = (0..len as i64).map(|i| (i * 37) % 997 - 500).collect();
+        let mut zm = AdaptiveZonemap::new(len, test_config());
+        for pred in preds {
+            check_soundness(&mut zm, &data, pred);
+            zm.assert_invariants();
+        }
+    }
+
+    #[test]
+    fn adaptive_soundness_under_interleaved_appends(
+        initial in arb_data(),
+        batches in prop::collection::vec(prop::collection::vec(-1000i64..1000, 1..100), 0..6),
+        pred in arb_pred(),
+    ) {
+        let mut data = initial;
+        let mut zm = AdaptiveZonemap::new(data.len(), test_config());
+        check_soundness(&mut zm, &data, pred);
+        for batch in batches {
+            let old = data.len();
+            data.extend_from_slice(&batch);
+            zm.on_append(&data[old..], &data);
+            zm.assert_invariants();
+            check_soundness(&mut zm, &data, pred);
+            let (got, _) = execute(&data, &mut zm, pred, AggKind::Count);
+            let want = execute_reference(&data, pred, AggKind::Count);
+            prop_assert_eq!(got.count, want.count);
+        }
+    }
+
+    #[test]
+    fn cracking_preserves_multiset(data in arb_data(), preds in prop::collection::vec(arb_pred(), 1..10)) {
+        let mut cc = CrackerColumn::build(&data);
+        for pred in &preds {
+            let _ = cc.prune(pred);
+        }
+        let mut original = data.clone();
+        let mut cracked = cc.view().expect("cracker exposes its view").to_vec();
+        original.sort_unstable();
+        cracked.sort_unstable();
+        prop_assert_eq!(original, cracked);
+    }
+
+    #[test]
+    fn rangeset_complement_partitions(spans in prop::collection::vec((0usize..500, 0usize..50), 0..20), n in 500usize..600) {
+        let mut rs = RangeSet::new();
+        let mut sorted = spans.clone();
+        sorted.sort_unstable();
+        for (start, w) in sorted {
+            let end = (start + w).min(n);
+            if start < end {
+                // push requires increasing starts; clamp overlaps are fine.
+                if rs.ranges().last().is_none_or(|r| start >= r.start) {
+                    rs.push_span(start, end);
+                }
+            }
+        }
+        let comp = rs.complement(n);
+        prop_assert_eq!(rs.covered_rows() + comp.covered_rows(), n);
+        for row in 0..n {
+            prop_assert!(rs.contains(row) != comp.contains(row));
+        }
+    }
+
+    #[test]
+    fn static_zonemap_metadata_always_exact(data in arb_data(), zone_rows in 1usize..200) {
+        let mut zm = StaticZonemap::build(&data, zone_rows);
+        // Metadata truth implies soundness for every predicate; spot-check
+        // with predicates derived from the data itself.
+        if let Some((min, max)) = scan::min_max(&data) {
+            for pred in [
+                RangePredicate::point(min),
+                RangePredicate::point(max),
+                RangePredicate::between(min, max),
+            ] {
+                check_soundness(&mut zm, &data, pred);
+            }
+        }
+    }
+}
