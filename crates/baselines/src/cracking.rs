@@ -32,9 +32,7 @@ impl<T: DataValue> CrackBound<T> {
     /// Predicate order: ascending selectivity-set inclusion
     /// (`v < k` ⊂ `v <= k` ⊂ `v < k'` for `k < k'`).
     fn cmp_pred(&self, key: &T, inclusive: bool) -> Ordering {
-        self.key
-            .total_cmp(key)
-            .then(self.inclusive.cmp(&inclusive))
+        self.key.total_cmp(key).then(self.inclusive.cmp(&inclusive))
     }
 
     fn matches(&self, v: &T) -> bool {
@@ -230,7 +228,9 @@ mod tests {
     /// Runs a query and returns the count, scanning the tail if present.
     fn run_count(cc: &mut CrackerColumn<i64>, pred: RangePredicate<i64>) -> usize {
         let out = cc.prune(&pred);
-        let view = SkippingIndex::view(cc).expect("cracker has a view").to_vec();
+        let view = SkippingIndex::view(cc)
+            .expect("cracker has a view")
+            .to_vec();
         let mut count = out.rows_full_match();
         for r in out.must_scan.ranges() {
             count += ads_storage::scan::count_in_range(&view[r.start..r.end], pred.lo, pred.hi);

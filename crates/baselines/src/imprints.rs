@@ -212,7 +212,13 @@ impl<T: DataValue> ColumnImprints<T> {
                 if before > 0 {
                     let imprint = self.runs[i].imprint;
                     self.runs[i].lines -= before;
-                    self.runs.insert(i, ImprintRun { imprint, lines: before });
+                    self.runs.insert(
+                        i,
+                        ImprintRun {
+                            imprint,
+                            lines: before,
+                        },
+                    );
                 }
                 return;
             }
@@ -237,7 +243,7 @@ fn equi_depth_boundaries<T: DataValue>(data: &[T], num_bins: usize) -> Vec<T> {
         let candidate = sample[idx.min(sample.len() - 1)];
         if boundaries
             .last()
-            .map_or(true, |last: &T| last.lt_total(&candidate))
+            .is_none_or(|last: &T| last.lt_total(&candidate))
         {
             boundaries.push(candidate);
         }
@@ -261,8 +267,8 @@ mod tests {
         }
         // full_match ranges must contain only qualifying rows.
         for r in out.full_match.ranges() {
-            for i in r.start..r.end {
-                assert!(pred.matches(data[i]), "row {i} wrongly full-matched");
+            for (i, &v) in data.iter().enumerate().take(r.end).skip(r.start) {
+                assert!(pred.matches(v), "row {i} wrongly full-matched");
             }
         }
     }

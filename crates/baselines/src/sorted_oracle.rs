@@ -151,6 +151,9 @@ mod tests {
         let data = vec![2i64, 2, 2, 2];
         let mut so = SortedOracle::build(&data);
         assert_eq!(so.prune(&RangePredicate::point(2)).rows_full_match(), 4);
-        assert_eq!(so.prune(&RangePredicate::between(3, 9)).rows_full_match(), 0);
+        assert_eq!(
+            so.prune(&RangePredicate::between(3, 9)).rows_full_match(),
+            0
+        );
     }
 }

@@ -3,61 +3,53 @@
 //! This is the "extra cost of metadata reads" the abstract warns about,
 //! isolated from scanning. Uniform data maximises it (no early skips).
 
+use ads_bench::microbench::{bench, black_box, section};
 use ads_core::adaptive::{AdaptiveConfig, AdaptiveZonemap};
 use ads_core::{RangePredicate, SkippingIndex, StaticZonemap};
 use ads_engine::{execute, AggKind};
 use ads_workloads::data;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
 
 const N: usize = 1 << 22;
 
-fn bench_static_prune(c: &mut Criterion) {
+fn bench_static_prune() {
     let values = data::uniform(N, 1_000_000, 3);
-    let mut group = c.benchmark_group("prune_static_zonemap_uniform");
+    section("prune_static_zonemap_uniform");
     for zone_rows in [256usize, 1024, 4096, 16384] {
         let mut zm = StaticZonemap::build(&values, zone_rows);
         let pred = RangePredicate::between(100_000, 110_000);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(zone_rows),
-            &zone_rows,
-            |b, _| b.iter(|| black_box(zm.prune(black_box(&pred)))),
-        );
+        bench(&format!("zone_rows={zone_rows}"), || {
+            black_box(zm.prune(black_box(&pred)))
+        });
     }
-    group.finish();
 }
 
-fn bench_sorted_prune(c: &mut Criterion) {
+fn bench_sorted_prune() {
     // Sorted data: same probe count, but most zones skip.
     let values = data::sorted(N, 1_000_000);
-    let mut group = c.benchmark_group("prune_static_zonemap_sorted");
+    section("prune_static_zonemap_sorted");
     for zone_rows in [1024usize, 4096] {
         let mut zm = StaticZonemap::build(&values, zone_rows);
         let pred = RangePredicate::between(100_000, 110_000);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(zone_rows),
-            &zone_rows,
-            |b, _| b.iter(|| black_box(zm.prune(black_box(&pred)))),
-        );
+        bench(&format!("zone_rows={zone_rows}"), || {
+            black_box(zm.prune(black_box(&pred)))
+        });
     }
-    group.finish();
 }
 
-fn bench_adaptive_prune_after_convergence(c: &mut Criterion) {
-    // Converge the adaptive zonemap on uniform data first, then measure
-    // the residual per-query prune cost (should approach a handful of
-    // dead-extent checks).
+fn bench_adaptive_prune_after_convergence() {
+    // Converge the adaptive zonemap first, then measure the residual
+    // per-query prune cost (should approach a handful of extent checks).
+    section("prune_adaptive_converged");
+    let pred = RangePredicate::between(100_000, 110_000);
+
     let values = data::uniform(N, 1_000_000, 5);
     let mut zm = AdaptiveZonemap::new(N, AdaptiveConfig::default());
     for q in 0..400 {
         let lo = (q * 7919) % 900_000;
-        let pred = RangePredicate::between(lo, lo + 10_000);
-        let _ = execute(&values, &mut zm, pred, AggKind::Count);
+        let p = RangePredicate::between(lo, lo + 10_000);
+        let _ = execute(&values, &mut zm, p, AggKind::Count);
     }
-    let pred = RangePredicate::between(100_000, 110_000);
-    c.bench_function("prune_adaptive_converged_uniform", |b| {
-        b.iter(|| black_box(zm.prune(black_box(&pred))))
-    });
+    bench("uniform", || black_box(zm.prune(black_box(&pred))));
 
     let sorted = data::sorted(N, 1_000_000);
     let mut zm2 = AdaptiveZonemap::new(N, AdaptiveConfig::default());
@@ -66,25 +58,20 @@ fn bench_adaptive_prune_after_convergence(c: &mut Criterion) {
         let p = RangePredicate::between(lo, lo + 10_000);
         let _ = execute(&sorted, &mut zm2, p, AggKind::Count);
     }
-    c.bench_function("prune_adaptive_converged_sorted", |b| {
-        b.iter(|| black_box(zm2.prune(black_box(&pred))))
-    });
+    bench("sorted", || black_box(zm2.prune(black_box(&pred))));
 }
 
-fn bench_imprints_prune(c: &mut Criterion) {
+fn bench_imprints_prune() {
     let values = data::uniform(N, 1_000_000, 9);
     let mut imp = ads_baselines::ColumnImprints::build(&values, 8, 64);
     let pred = RangePredicate::between(100_000, 110_000);
-    c.bench_function("prune_imprints_uniform", |b| {
-        b.iter(|| black_box(imp.prune(black_box(&pred))))
-    });
+    section("prune_imprints");
+    bench("uniform", || black_box(imp.prune(black_box(&pred))));
 }
 
-criterion_group!(
-    benches,
-    bench_static_prune,
-    bench_sorted_prune,
-    bench_adaptive_prune_after_convergence,
-    bench_imprints_prune
-);
-criterion_main!(benches);
+fn main() {
+    bench_static_prune();
+    bench_sorted_prune();
+    bench_adaptive_prune_after_convergence();
+    bench_imprints_prune();
+}

@@ -1,21 +1,19 @@
 //! End-to-end query cost on converged indexes: what a steady-state query
 //! pays under each strategy, per distribution.
 
+use ads_bench::microbench::{bench, black_box, section};
 use ads_core::RangePredicate;
 use ads_engine::{execute, AggKind, Strategy};
 use ads_workloads::{DataSpec, QuerySpec};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
 
 const N: usize = 1 << 21;
 const DOMAIN: i64 = 1_000_000;
 
-fn bench_steady_state(c: &mut Criterion) {
+fn bench_steady_state() {
     for spec in [DataSpec::Sorted, DataSpec::Uniform, DataSpec::MixedRegions] {
         let values = spec.generate(N, DOMAIN, 11);
         let warmup = QuerySpec::UniformRandom { selectivity: 0.01 }.generate(300, DOMAIN, 12);
-        let mut group = c.benchmark_group(format!("steady_query_{}", spec.label()));
-        group.sample_size(20);
+        section(&format!("steady_query_{}", spec.label()));
         for strategy in Strategy::roster() {
             let mut index = strategy.build_index(&values);
             // Converge adaptive structures before measuring.
@@ -28,24 +26,18 @@ fn bench_steady_state(c: &mut Criterion) {
                 );
             }
             let pred = RangePredicate::between(421_000, 431_000);
-            group.bench_with_input(
-                BenchmarkId::from_parameter(strategy.label()),
-                &strategy,
-                |b, _| {
-                    b.iter(|| {
-                        black_box(execute(
-                            black_box(&values),
-                            index.as_mut(),
-                            pred,
-                            AggKind::Count,
-                        ))
-                    })
-                },
-            );
+            bench(&strategy.label(), || {
+                black_box(execute(
+                    black_box(&values),
+                    index.as_mut(),
+                    pred,
+                    AggKind::Count,
+                ))
+            });
         }
-        group.finish();
     }
 }
 
-criterion_group!(benches, bench_steady_state);
-criterion_main!(benches);
+fn main() {
+    bench_steady_state();
+}

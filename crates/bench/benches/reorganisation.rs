@@ -3,84 +3,76 @@
 //! structures.
 
 use ads_baselines::CrackerColumn;
+use ads_bench::microbench::{bench, bench_with_setup, black_box, section};
 use ads_core::adaptive::{AdaptiveConfig, AdaptiveZonemap};
 use ads_core::{RangePredicate, SkippingIndex, StaticZonemap};
 use ads_engine::{execute, AggKind};
 use ads_workloads::data;
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use std::hint::black_box;
 
 const N: usize = 1 << 20;
 
-fn bench_build_costs(c: &mut Criterion) {
+fn bench_build_costs() {
     let values = data::uniform(N, 1_000_000, 3);
-    let mut group = c.benchmark_group("index_build");
-    group.sample_size(20);
-    group.bench_function("static_zonemap_4096", |b| {
-        b.iter(|| black_box(StaticZonemap::build(black_box(&values), 4096)))
+    section("index_build");
+    bench("static_zonemap_4096", || {
+        black_box(StaticZonemap::build(black_box(&values), 4096))
     });
-    group.bench_function("adaptive_zonemap", |b| {
-        b.iter(|| black_box(AdaptiveZonemap::<i64>::new(N, AdaptiveConfig::default())))
+    bench("adaptive_zonemap", || {
+        black_box(AdaptiveZonemap::<i64>::new(N, AdaptiveConfig::default()))
     });
-    group.bench_function("imprints_8x64", |b| {
-        b.iter(|| black_box(ads_baselines::ColumnImprints::build(black_box(&values), 8, 64)))
+    bench("imprints_8x64", || {
+        black_box(ads_baselines::ColumnImprints::build(
+            black_box(&values),
+            8,
+            64,
+        ))
     });
-    group.bench_function("cracker_copy", |b| {
-        b.iter(|| black_box(CrackerColumn::build(black_box(&values))))
+    bench("cracker_copy", || {
+        black_box(CrackerColumn::build(black_box(&values)))
     });
-    group.finish();
 }
 
-fn bench_first_crack(c: &mut Criterion) {
+fn bench_first_crack() {
     // The first crack of a fresh column: one full-array partition.
     let values = data::uniform(N, 1_000_000, 5);
-    c.bench_function("crack_first_query", |b| {
-        b.iter_batched(
-            || CrackerColumn::build(&values),
-            |mut cc| {
-                black_box(cc.prune(&RangePredicate::between(400_000, 500_000)));
-            },
-            BatchSize::LargeInput,
-        )
-    });
+    section("first_crack");
+    bench_with_setup(
+        "crack_first_query",
+        || CrackerColumn::build(&values),
+        |mut cc| {
+            black_box(cc.prune(&RangePredicate::between(400_000, 500_000)));
+        },
+    );
 }
 
-fn bench_adaptive_first_queries(c: &mut Criterion) {
+fn bench_adaptive_first_queries() {
     // The adaptive zonemap's investment: the first query (full scan +
     // metadata build as by-product) vs a plain scan.
     let values = data::almost_sorted(N, 1_000_000, 0.05, 256, 7);
-    let mut group = c.benchmark_group("adaptive_investment");
-    group.sample_size(20);
-    group.bench_function("first_query", |b| {
-        b.iter_batched(
-            || AdaptiveZonemap::<i64>::new(N, AdaptiveConfig::default()),
-            |mut zm| {
-                black_box(execute(
-                    &values,
-                    &mut zm,
-                    RangePredicate::between(400_000, 410_000),
-                    AggKind::Count,
-                ));
-            },
-            BatchSize::LargeInput,
-        )
+    section("adaptive_investment");
+    bench_with_setup(
+        "first_query",
+        || AdaptiveZonemap::<i64>::new(N, AdaptiveConfig::default()),
+        |mut zm| {
+            black_box(execute(
+                &values,
+                &mut zm,
+                RangePredicate::between(400_000, 410_000),
+                AggKind::Count,
+            ));
+        },
+    );
+    bench("plain_scan_reference", || {
+        black_box(ads_storage::scan::count_in_range(
+            black_box(&values),
+            400_000,
+            410_000,
+        ))
     });
-    group.bench_function("plain_scan_reference", |b| {
-        b.iter(|| {
-            black_box(ads_storage::scan::count_in_range(
-                black_box(&values),
-                400_000,
-                410_000,
-            ))
-        })
-    });
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_build_costs,
-    bench_first_crack,
-    bench_adaptive_first_queries
-);
-criterion_main!(benches);
+fn main() {
+    bench_build_costs();
+    bench_first_crack();
+    bench_adaptive_first_queries();
+}

@@ -1,47 +1,55 @@
 //! Microbenches for the storage scan kernels: the per-tuple costs the
 //! cost model's `probe_cost_tuples` ratio is measured against.
 
-use ads_storage::scan;
+use ads_bench::microbench::{bench, black_box, section};
+use ads_storage::{parallel, scan};
 use ads_workloads::data;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use std::hint::black_box;
 
 const N: usize = 1 << 20;
 
-fn bench_kernels(c: &mut Criterion) {
-    let values = data::uniform(N, 1_000_000, 7);
-    let mut group = c.benchmark_group("scan_kernels");
-    group.throughput(Throughput::Elements(N as u64));
-
-    group.bench_function("count_in_range", |b| {
-        b.iter(|| scan::count_in_range(black_box(&values), 100_000, 200_000))
+fn bench_kernels(values: &[i64]) {
+    section(&format!("scan_kernels ({N} elements/iter)"));
+    bench("count_in_range", || {
+        scan::count_in_range(black_box(values), 100_000, 200_000)
     });
-    group.bench_function("count_in_range_with_minmax", |b| {
-        b.iter(|| scan::count_in_range_with_minmax(black_box(&values), 100_000, 200_000))
+    bench("count_in_range_with_minmax", || {
+        scan::count_in_range_with_minmax(black_box(values), 100_000, 200_000)
     });
-    group.bench_function("sum_in_range", |b| {
-        b.iter(|| scan::sum_in_range(black_box(&values), 100_000, 200_000))
+    bench("sum_in_range", || {
+        scan::sum_in_range(black_box(values), 100_000, 200_000)
     });
-    group.bench_function("aggregate_in_range", |b| {
-        b.iter(|| scan::aggregate_in_range(black_box(&values), 100_000, 200_000))
+    bench("sum_all", || scan::sum_all(black_box(values)));
+    bench("aggregate_in_range", || {
+        scan::aggregate_in_range(black_box(values), 100_000, 200_000)
     });
-    group.bench_function("min_max", |b| b.iter(|| scan::min_max(black_box(&values))));
-    group.finish();
+    bench("min_max", || scan::min_max(black_box(values)));
 }
 
-fn bench_selectivity_independence(c: &mut Criterion) {
+fn bench_selectivity_independence(values: &[i64]) {
     // Branchless kernels should cost the same regardless of hit rate.
-    let values = data::uniform(N, 1_000_000, 7);
-    let mut group = c.benchmark_group("count_by_selectivity");
-    group.throughput(Throughput::Elements(N as u64));
+    section("count_by_selectivity");
     for sel_pct in [0u64, 1, 10, 50, 100] {
         let hi = (1_000_000 * sel_pct / 100) as i64;
-        group.bench_with_input(BenchmarkId::from_parameter(sel_pct), &hi, |b, &hi| {
-            b.iter(|| scan::count_in_range(black_box(&values), 0, hi))
+        bench(&format!("count_in_range sel={sel_pct}%"), || {
+            scan::count_in_range(black_box(values), 0, hi)
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_kernels, bench_selectivity_independence);
-criterion_main!(benches);
+fn bench_parallel_kernels(values: &[i64]) {
+    // The parallel driver vs its sequential baseline; on a single core
+    // this shows the fan-out overhead instead of a speedup.
+    section("parallel count_in_range");
+    for threads in [1usize, 2, 4] {
+        bench(&format!("par_count_in_range t={threads}"), || {
+            parallel::par_count_in_range(black_box(values), 100_000, 200_000, threads)
+        });
+    }
+}
+
+fn main() {
+    let values = data::uniform(N, 1_000_000, 7);
+    bench_kernels(&values);
+    bench_selectivity_independence(&values);
+    bench_parallel_kernels(&values);
+}

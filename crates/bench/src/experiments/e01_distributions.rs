@@ -28,12 +28,19 @@ pub fn run(scale: Scale) -> Report {
         scale.rows, scale.queries
     ));
 
-    let queries =
-        QuerySpec::UniformRandom { selectivity: 0.01 }.generate(scale.queries, scale.domain, scale.seed);
+    let queries = QuerySpec::UniformRandom { selectivity: 0.01 }.generate(
+        scale.queries,
+        scale.domain,
+        scale.seed,
+    );
     for spec in DataSpec::standard_suite() {
         let data = spec.generate(scale.rows, scale.domain, scale.seed);
         let base = replay(&data, &queries, &Strategy::FullScan);
-        let zm = replay(&data, &queries, &Strategy::StaticZonemap { zone_rows: 4096 });
+        let zm = replay(
+            &data,
+            &queries,
+            &Strategy::StaticZonemap { zone_rows: 4096 },
+        );
         assert_same_answers(&[base.clone(), zm.clone()]);
         for r in [&base, &zm] {
             let scanned_per_q = r.totals.rows_scanned as f64 / r.totals.queries as f64;

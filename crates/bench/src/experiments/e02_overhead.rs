@@ -29,13 +29,20 @@ pub fn run(scale: Scale) -> Report {
     ));
 
     let data = DataSpec::Uniform.generate(scale.rows, scale.domain, scale.seed);
-    let queries =
-        QuerySpec::UniformRandom { selectivity: 0.01 }.generate(scale.queries, scale.domain, scale.seed);
+    let queries = QuerySpec::UniformRandom { selectivity: 0.01 }.generate(
+        scale.queries,
+        scale.domain,
+        scale.seed,
+    );
 
     let base = replay(&data, &queries, &Strategy::FullScan);
     let mut results = vec![base.clone()];
     for zone_rows in [65536, 16384, 4096, 1024, 256, 64] {
-        results.push(replay(&data, &queries, &Strategy::StaticZonemap { zone_rows }));
+        results.push(replay(
+            &data,
+            &queries,
+            &Strategy::StaticZonemap { zone_rows },
+        ));
     }
     assert_same_answers(&results);
 
@@ -46,7 +53,10 @@ pub fn run(scale: Scale) -> Report {
             format!("{:.0}", r.totals.zones_probed as f64 / q),
             format!("{:.1}", r.totals.zones_skipped as f64 / q),
             fmt_us(r.mean_ns()),
-            format!("{:.2}x", r.totals.wall_ns as f64 / base.totals.wall_ns.max(1) as f64),
+            format!(
+                "{:.2}x",
+                r.totals.wall_ns as f64 / base.totals.wall_ns.max(1) as f64
+            ),
         ]);
     }
     report

@@ -32,8 +32,11 @@ pub fn run(scale: Scale) -> Report {
         scale.rows, scale.queries
     ));
 
-    let queries =
-        QuerySpec::UniformRandom { selectivity: 0.01 }.generate(scale.queries, scale.domain, scale.seed);
+    let queries = QuerySpec::UniformRandom { selectivity: 0.01 }.generate(
+        scale.queries,
+        scale.domain,
+        scale.seed,
+    );
     for spec in DataSpec::standard_suite() {
         let data = spec.generate(scale.rows, scale.domain, scale.seed);
         let results: Vec<_> = Strategy::roster()

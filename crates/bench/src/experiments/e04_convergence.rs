@@ -12,7 +12,15 @@ use ads_workloads::{DataSpec, QuerySpec};
 
 /// Query windows reported as rows (start, end).
 fn windows(total: usize) -> Vec<(usize, usize)> {
-    let mut out = vec![(0, 1), (1, 2), (2, 5), (5, 10), (10, 20), (20, 50), (50, 100)];
+    let mut out = vec![
+        (0, 1),
+        (1, 2),
+        (2, 5),
+        (5, 10),
+        (10, 20),
+        (20, 50),
+        (50, 100),
+    ];
     out.retain(|&(a, _)| a < total);
     if total > 100 {
         out.push((100, total));
@@ -22,7 +30,7 @@ fn windows(total: usize) -> Vec<(usize, usize)> {
 
 /// Runs the experiment.
 pub fn run(scale: Scale) -> Report {
-    let strategies = vec![
+    let strategies = [
         Strategy::FullScan,
         Strategy::StaticZonemap { zone_rows: 4096 },
         Strategy::Adaptive(AdaptiveConfig::default()),
@@ -40,10 +48,17 @@ pub fn run(scale: Scale) -> Report {
         scale.rows, scale.queries
     ));
 
-    let data = DataSpec::AlmostSorted { noise: 0.05 }.generate(scale.rows, scale.domain, scale.seed);
-    let queries =
-        QuerySpec::UniformRandom { selectivity: 0.01 }.generate(scale.queries, scale.domain, scale.seed);
-    let results: Vec<_> = strategies.iter().map(|s| replay(&data, &queries, s)).collect();
+    let data =
+        DataSpec::AlmostSorted { noise: 0.05 }.generate(scale.rows, scale.domain, scale.seed);
+    let queries = QuerySpec::UniformRandom { selectivity: 0.01 }.generate(
+        scale.queries,
+        scale.domain,
+        scale.seed,
+    );
+    let results: Vec<_> = strategies
+        .iter()
+        .map(|s| replay(&data, &queries, s))
+        .collect();
     assert_same_answers(&results);
 
     for (a, b) in windows(scale.queries) {

@@ -12,7 +12,7 @@ use ads_workloads::{DataSpec, QuerySpec};
 
 /// Runs the experiment.
 pub fn run(scale: Scale) -> Report {
-    let distributions = vec![
+    let distributions = [
         DataSpec::Sorted,
         DataSpec::AlmostSorted { noise: 0.05 },
         DataSpec::Clustered { clusters: 64 },
@@ -31,8 +31,11 @@ pub fn run(scale: Scale) -> Report {
         scale.rows, scale.queries
     ));
 
-    let queries =
-        QuerySpec::UniformRandom { selectivity: 0.01 }.generate(scale.queries, scale.domain, scale.seed);
+    let queries = QuerySpec::UniformRandom { selectivity: 0.01 }.generate(
+        scale.queries,
+        scale.domain,
+        scale.seed,
+    );
     let datasets: Vec<Vec<i64>> = distributions
         .iter()
         .map(|d| d.generate(scale.rows, scale.domain, scale.seed))
@@ -48,7 +51,10 @@ pub fn run(scale: Scale) -> Report {
     // Per distribution, all strategies must agree on answers.
     let mut table: Vec<Vec<String>> = vec![Vec::new(); strategies.len()];
     for data in &datasets {
-        let results: Vec<_> = strategies.iter().map(|s| replay(data, &queries, s)).collect();
+        let results: Vec<_> = strategies
+            .iter()
+            .map(|s| replay(data, &queries, s))
+            .collect();
         assert_same_answers(&results);
         for (row, r) in table.iter_mut().zip(&results) {
             row.push(fmt_ms(r.totals.wall_ns));

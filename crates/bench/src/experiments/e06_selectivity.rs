@@ -24,11 +24,18 @@ pub fn run(scale: Scale) -> Report {
         scale.rows, scale.queries
     ));
 
-    let data = DataSpec::AlmostSorted { noise: 0.05 }.generate(scale.rows, scale.domain, scale.seed);
+    let data =
+        DataSpec::AlmostSorted { noise: 0.05 }.generate(scale.rows, scale.domain, scale.seed);
     for selectivity in [0.0001, 0.001, 0.01, 0.1, 0.5] {
-        let queries =
-            QuerySpec::UniformRandom { selectivity }.generate(scale.queries, scale.domain, scale.seed);
-        let results: Vec<_> = strategies.iter().map(|s| replay(&data, &queries, s)).collect();
+        let queries = QuerySpec::UniformRandom { selectivity }.generate(
+            scale.queries,
+            scale.domain,
+            scale.seed,
+        );
+        let results: Vec<_> = strategies
+            .iter()
+            .map(|s| replay(&data, &queries, s))
+            .collect();
         assert_same_answers(&results);
         let base = results[0].clone();
         let mut row = vec![format!("{}%", selectivity * 100.0)];

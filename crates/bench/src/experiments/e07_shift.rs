@@ -21,7 +21,7 @@ pub fn run(scale: Scale) -> Report {
         revival_base_queries: Some(64),
         ..AdaptiveConfig::default()
     };
-    let strategies = vec![
+    let strategies = [
         Strategy::FullScan,
         Strategy::StaticZonemap { zone_rows: 4096 },
         Strategy::Adaptive(adaptive_cfg),
@@ -48,7 +48,10 @@ pub fn run(scale: Scale) -> Report {
     }
     .generate(queries_total, scale.domain, scale.seed);
 
-    let results: Vec<_> = strategies.iter().map(|s| replay(&data, &queries, s)).collect();
+    let results: Vec<_> = strategies
+        .iter()
+        .map(|s| replay(&data, &queries, s))
+        .collect();
     assert_same_answers(&results);
 
     let per_phase = queries_total / phases;
@@ -70,7 +73,10 @@ pub fn run(scale: Scale) -> Report {
     }
     for r in &results {
         if r.totals.adapt_events > 0 {
-            report.note(format!("{}: {} adaptation events", r.label, r.totals.adapt_events));
+            report.note(format!(
+                "{}: {} adaptation events",
+                r.label, r.totals.adapt_events
+            ));
         }
     }
     report

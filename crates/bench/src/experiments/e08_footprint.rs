@@ -29,8 +29,11 @@ pub fn run(scale: Scale) -> Report {
         scale.queries
     ));
 
-    let queries =
-        QuerySpec::UniformRandom { selectivity: 0.01 }.generate(scale.queries, scale.domain, scale.seed);
+    let queries = QuerySpec::UniformRandom { selectivity: 0.01 }.generate(
+        scale.queries,
+        scale.domain,
+        scale.seed,
+    );
     for spec in [DataSpec::Sorted, DataSpec::Uniform] {
         let data = spec.generate(scale.rows, scale.domain, scale.seed);
         for strategy in Strategy::roster() {

@@ -47,8 +47,11 @@ pub fn run(scale: Scale) -> Report {
         scale.rows, scale.queries
     ));
 
-    let queries =
-        QuerySpec::UniformRandom { selectivity: 0.01 }.generate(scale.queries, scale.domain, scale.seed);
+    let queries = QuerySpec::UniformRandom { selectivity: 0.01 }.generate(
+        scale.queries,
+        scale.domain,
+        scale.seed,
+    );
     let datasets: Vec<Vec<i64>> = distributions
         .iter()
         .map(|d| d.generate(scale.rows, scale.domain, scale.seed))

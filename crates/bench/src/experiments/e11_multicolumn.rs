@@ -33,8 +33,12 @@ pub fn run(scale: Scale) -> Report {
     let time_col = data::sorted(scale.rows, scale.domain);
     let value_col = data::uniform(scale.rows, scale.domain, scale.seed);
     let mut table = Table::new("events");
-    table.add_column("time", Column::from_values(time_col)).expect("fresh column");
-    table.add_column("value", Column::from_values(value_col)).expect("fresh column");
+    table
+        .add_column("time", Column::from_values(time_col))
+        .expect("fresh column");
+    table
+        .add_column("value", Column::from_values(value_col))
+        .expect("fresh column");
 
     let time_qs = queries::uniform_ranges(scale.queries, scale.domain, 0.01, scale.seed);
     let value_qs = queries::uniform_ranges(scale.queries, scale.domain, 0.2, scale.seed ^ 0x55);
@@ -55,8 +59,14 @@ pub fn run(scale: Scale) -> Report {
         let mut checksum = 0u64;
         for (tq, vq) in time_qs.iter().zip(&value_qs) {
             let conjuncts = [
-                ("time", AnyPredicate::I64(RangePredicate::between(tq.lo, tq.hi))),
-                ("value", AnyPredicate::I64(RangePredicate::between(vq.lo, vq.hi))),
+                (
+                    "time",
+                    AnyPredicate::I64(RangePredicate::between(tq.lo, tq.hi)),
+                ),
+                (
+                    "value",
+                    AnyPredicate::I64(RangePredicate::between(vq.lo, vq.hi)),
+                ),
             ];
             let (count, _) = ts.count_conjunction(&conjuncts).expect("valid conjunction");
             checksum = checksum.wrapping_add(count);

@@ -29,11 +29,14 @@ pub fn run(scale: Scale) -> Report {
         scale.rows, scale.queries
     ));
 
-    let queries =
-        QuerySpec::UniformRandom { selectivity: 0.01 }.generate(scale.queries, scale.domain, scale.seed);
+    let queries = QuerySpec::UniformRandom { selectivity: 0.01 }.generate(
+        scale.queries,
+        scale.domain,
+        scale.seed,
+    );
     for spec in [DataSpec::Sorted, DataSpec::Uniform] {
         let data = spec.generate(scale.rows, scale.domain, scale.seed);
-        let strategies = vec![
+        let strategies = [
             Strategy::FullScan,
             Strategy::StaticZonemap { zone_rows: 256 },
             Strategy::StaticZonemap { zone_rows: 256 }.activated(),
@@ -47,7 +50,10 @@ pub fn run(scale: Scale) -> Report {
             }
             .activated(),
         ];
-        let results: Vec<_> = strategies.iter().map(|s| replay(&data, &queries, s)).collect();
+        let results: Vec<_> = strategies
+            .iter()
+            .map(|s| replay(&data, &queries, s))
+            .collect();
         assert_same_answers(&results);
         let base = results[0].clone();
         for r in &results {
@@ -55,7 +61,10 @@ pub fn run(scale: Scale) -> Report {
                 spec.label(),
                 r.label.clone(),
                 fmt_us(r.mean_ns()),
-                format!("{:.0}", r.totals.zones_probed as f64 / r.totals.queries as f64),
+                format!(
+                    "{:.0}",
+                    r.totals.zones_probed as f64 / r.totals.queries as f64
+                ),
                 fmt_x(r.speedup_vs(&base)),
             ]);
         }

@@ -8,14 +8,27 @@
 
 use crate::report::{fmt_us, fmt_x, Report};
 use crate::runner::Scale;
-use ads_engine::{Strategy, StringColumnSession};
 use ads_core::adaptive::AdaptiveConfig;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ads_engine::{Strategy, StringColumnSession};
+use ads_rng::StdRng;
 
 const REGIONS: [&str; 16] = [
-    "argentina", "australia", "austria", "belgium", "brazil", "canada", "chile", "denmark",
-    "estonia", "finland", "france", "germany", "hungary", "iceland", "japan", "portugal",
+    "argentina",
+    "australia",
+    "austria",
+    "belgium",
+    "brazil",
+    "canada",
+    "chile",
+    "denmark",
+    "estonia",
+    "finland",
+    "france",
+    "germany",
+    "hungary",
+    "iceland",
+    "japan",
+    "portugal",
 ];
 
 fn batched(n: usize) -> Vec<String> {

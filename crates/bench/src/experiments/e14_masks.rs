@@ -36,7 +36,7 @@ pub fn run(scale: Scale) -> Report {
     // Queries in the dead band between base values and outliers.
     let qs = queries::hotspot_ranges(scale.queries, scale.domain, 0.01, 0.25, 0.2, scale.seed);
 
-    let strategies = vec![
+    let strategies = [
         Strategy::FullScan,
         Strategy::StaticZonemap { zone_rows: 4096 },
         Strategy::Adaptive(AdaptiveConfig::no_mask()),
@@ -46,7 +46,13 @@ pub fn run(scale: Scale) -> Report {
             bins: 64,
         },
     ];
-    let labels = ["full-scan", "static-zonemap(4096)", "adaptive (no masks)", "adaptive (+masks)", "imprints(8x64)"];
+    let labels = [
+        "full-scan",
+        "static-zonemap(4096)",
+        "adaptive (no masks)",
+        "adaptive (+masks)",
+        "imprints(8x64)",
+    ];
     let results: Vec<_> = strategies.iter().map(|s| replay(&column, &qs, s)).collect();
     assert_same_answers(&results);
     let base = results[0].clone();
@@ -54,7 +60,10 @@ pub fn run(scale: Scale) -> Report {
         report.row(vec![
             label.to_string(),
             fmt_us(r.mean_ns()),
-            format!("{:.0}", r.totals.rows_scanned as f64 / r.totals.queries as f64),
+            format!(
+                "{:.0}",
+                r.totals.rows_scanned as f64 / r.totals.queries as f64
+            ),
             fmt_bytes(r.metadata_bytes),
             fmt_x(r.speedup_vs(&base)),
         ]);

@@ -15,13 +15,14 @@ pub mod e11_multicolumn;
 pub mod e12_activation;
 pub mod e13_strings;
 pub mod e14_masks;
+pub mod e15_parallel;
 
 use crate::report::Report;
 use crate::runner::Scale;
 
 /// Experiment ids in execution order.
 pub const ALL: &[&str] = &[
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
 ];
 
 /// Runs one experiment by id.
@@ -41,6 +42,7 @@ pub fn run(id: &str, scale: Scale) -> Option<Report> {
         "e12" => Some(e12_activation::run(scale)),
         "e13" => Some(e13_strings::run(scale)),
         "e14" => Some(e14_masks::run(scale)),
+        "e15" => Some(e15_parallel::run(scale)),
         _ => None,
     }
 }

@@ -1,19 +1,22 @@
 //! # ads-bench — the experiment harness
 //!
-//! One runner per table/figure of the reconstructed evaluation (E1–E14 in
-//! DESIGN.md), plus Criterion microbenches under `benches/`. Run with:
+//! One runner per table/figure of the reconstructed evaluation (E1–E15 in
+//! DESIGN.md), plus microbenches under `benches/` built on the local
+//! [`microbench`] timing harness. Run with:
 //!
 //! ```text
 //! cargo run -p ads-bench --release --bin harness -- all
 //! cargo run -p ads-bench --release --bin harness -- e3 --rows 10000000
 //! cargo run -p ads-bench --release --bin harness -- e4 --quick
+//! cargo bench -p ads-bench
 //! ```
 
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod microbench;
 pub mod report;
 pub mod runner;
 
 pub use report::Report;
-pub use runner::{replay, replay_agg, ReplayResult, Scale};
+pub use runner::{replay, replay_agg, replay_with_policy, ReplayResult, Scale};

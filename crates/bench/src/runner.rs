@@ -2,7 +2,7 @@
 //! strategy and collect everything the reports need.
 
 use ads_core::RangePredicate;
-use ads_engine::{AggKind, ColumnSession, CumulativeMetrics, QueryMetrics, Strategy};
+use ads_engine::{AggKind, ColumnSession, CumulativeMetrics, ExecPolicy, QueryMetrics, Strategy};
 use ads_workloads::RangeQuery;
 
 /// Experiment sizing, overridable from the harness command line.
@@ -72,7 +72,8 @@ impl ReplayResult {
 
     /// Speedup including index build time.
     pub fn speedup_with_build_vs(&self, baseline: &ReplayResult) -> f64 {
-        baseline.totals.total_with_build_ns() as f64 / self.totals.total_with_build_ns().max(1) as f64
+        baseline.totals.total_with_build_ns() as f64
+            / self.totals.total_with_build_ns().max(1) as f64
     }
 }
 
@@ -88,7 +89,20 @@ pub fn replay_agg(
     strategy: &Strategy,
     agg: AggKind,
 ) -> ReplayResult {
-    let mut session = ColumnSession::new(data.to_vec(), strategy).record_history(true);
+    replay_with_policy(data, queries, strategy, agg, ExecPolicy::default())
+}
+
+/// Replays with an explicit aggregate kind and execution policy (E15).
+pub fn replay_with_policy(
+    data: &[i64],
+    queries: &[RangeQuery],
+    strategy: &Strategy,
+    agg: AggKind,
+    policy: ExecPolicy,
+) -> ReplayResult {
+    let mut session = ColumnSession::new(data.to_vec(), strategy)
+        .record_history(true)
+        .with_exec_policy(policy);
     let mut checksum = 0u64;
     for q in queries {
         let (answer, _) = session.query(RangePredicate::between(q.lo, q.hi), agg);
@@ -144,7 +158,8 @@ mod tests {
             ..Scale::default()
         };
         let data = DataSpec::AlmostSorted { noise: 0.05 }.generate(scale.rows, scale.domain, 1);
-        let qs = QuerySpec::UniformRandom { selectivity: 0.01 }.generate(scale.queries, scale.domain, 2);
+        let qs =
+            QuerySpec::UniformRandom { selectivity: 0.01 }.generate(scale.queries, scale.domain, 2);
         let results: Vec<ReplayResult> = Strategy::roster()
             .iter()
             .map(|s| replay(&data, &qs, s))
@@ -163,7 +178,10 @@ mod tests {
         let qs = QuerySpec::UniformRandom { selectivity: 0.001 }.generate(50, 1_000_000, 2);
         let slow = replay(&data, &qs, &Strategy::FullScan);
         let fast = replay(&data, &qs, &Strategy::StaticZonemap { zone_rows: 4096 });
-        assert!(fast.speedup_vs(&slow) > 1.0, "zonemap should win on sorted data");
+        assert!(
+            fast.speedup_vs(&slow) > 1.0,
+            "zonemap should win on sorted data"
+        );
         assert!((slow.speedup_vs(&slow) - 1.0).abs() < 1e-9);
     }
 

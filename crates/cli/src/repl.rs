@@ -3,7 +3,7 @@
 
 use ads_core::adaptive::{AdaptiveConfig, AdaptiveZonemap};
 use ads_core::RangePredicate;
-use ads_engine::{AggKind, ColumnSession, Strategy};
+use ads_engine::{AggKind, ColumnSession, ExecPolicy, Strategy};
 use ads_workloads::{DataSpec, QuerySpec};
 use std::fmt::Write as _;
 
@@ -14,6 +14,7 @@ pub struct Repl {
     strategy: Strategy,
     domain: i64,
     seed: u64,
+    policy: ExecPolicy,
 }
 
 impl Default for Repl {
@@ -24,6 +25,7 @@ impl Default for Repl {
             strategy: Strategy::Adaptive(AdaptiveConfig::default()),
             domain: 1_000_000,
             seed: 42,
+            policy: ExecPolicy::default(),
         }
     }
 }
@@ -39,7 +41,8 @@ commands:
   workload <kind> <n> <sel%> replay n queries: uniform | hotspot | shift | sweep
   zones                      show adaptive zonemap structure (adaptive strategy only)
   trace                      recent adaptation events (adaptive strategy only)
-  stats                      session totals
+  stats                      session totals (with phase breakdown)
+  threads <n>                scan-phase worker threads (1 = sequential)
   append <rows>              append a fresh batch to the column
   compare <n> <sel%>         replay a workload across all strategies
   help                       this text
@@ -90,7 +93,11 @@ impl Repl {
 
     fn rebuild_session(&mut self, data: Vec<i64>, label: String) {
         self.data_label = label;
-        self.session = Some(ColumnSession::new(data, &self.strategy).record_history(true));
+        self.session = Some(
+            ColumnSession::new(data, &self.strategy)
+                .record_history(true)
+                .with_exec_policy(self.policy),
+        );
     }
 
     fn zones_strip(&self) -> Option<String> {
@@ -173,7 +180,11 @@ impl Repl {
                 if lo > hi {
                     return Err("lo must be <= hi".into());
                 }
-                let agg = if cmd == "count" { AggKind::Count } else { AggKind::Sum };
+                let agg = if cmd == "count" {
+                    AggKind::Count
+                } else {
+                    AggKind::Sum
+                };
                 let session = self.session()?;
                 let (answer, m) = session.query(RangePredicate::between(lo, hi), agg);
                 let mut out = String::new();
@@ -231,8 +242,13 @@ impl Repl {
                 }
                 let history = &session.history()[start..];
                 let first = history.first().map_or(0, |m| m.wall_ns);
-                let last10: u64 = history.iter().rev().take(10).map(|m| m.wall_ns).sum::<u64>()
-                    / history.len().min(10).max(1) as u64;
+                let last10: u64 = history
+                    .iter()
+                    .rev()
+                    .take(10)
+                    .map(|m| m.wall_ns)
+                    .sum::<u64>()
+                    / history.len().clamp(1, 10) as u64;
                 let total: u64 = history.iter().map(|m| m.wall_ns).sum();
                 Ok(format!(
                     "{} queries ({}), {} total matches\n  total {:.1}ms | first query {:.3}ms | mean of last 10 {:.3}ms",
@@ -270,7 +286,7 @@ impl Repl {
                 let t = session.totals();
                 let (meta, copy) = session.index_bytes();
                 Ok(format!(
-                    "column: {} rows of {}\nindex:  {} ({} metadata B, {} copied B)\nqueries: {} | total {:.1}ms | mean {:.3}ms | build {:.2}ms\nscanned {} rows | probed {} zones | skipped {} | adapt events {}",
+                    "column: {} rows of {}\nindex:  {} ({} metadata B, {} copied B)\nqueries: {} | total {:.1}ms | mean {:.3}ms | build {:.2}ms\nscanned {} rows | probed {} zones | skipped {} | adapt events {}\nphases: prune {:.2}ms | scan {:.2}ms | observe {:.2}ms | max threads {}",
                     session.len(),
                     data_label,
                     session.label(),
@@ -283,7 +299,25 @@ impl Repl {
                     t.rows_scanned,
                     t.zones_probed,
                     t.zones_skipped,
-                    t.adapt_events
+                    t.adapt_events,
+                    t.prune_ns as f64 / 1e6,
+                    t.scan_ns as f64 / 1e6,
+                    t.observe_ns as f64 / 1e6,
+                    t.max_threads_used
+                ))
+            }
+            "threads" => {
+                let Some(n) = words.get(1).and_then(|w| w.parse::<usize>().ok()) else {
+                    return Err("usage: threads <n>".into());
+                };
+                self.policy = ExecPolicy::parallel(n.max(1));
+                if let Some(session) = self.session.as_mut() {
+                    session.set_exec_policy(self.policy);
+                }
+                Ok(format!(
+                    "scan phase will use up to {} thread{} (small scans stay sequential)",
+                    n.max(1),
+                    if n.max(1) == 1 { "" } else { "s" }
                 ))
             }
             "append" => {
@@ -321,7 +355,8 @@ impl Repl {
                     let mut s = ColumnSession::new(data.clone(), &strategy);
                     let mut checksum = 0u64;
                     for q in &queries {
-                        checksum = checksum.wrapping_add(s.count(RangePredicate::between(q.lo, q.hi)));
+                        checksum =
+                            checksum.wrapping_add(s.count(RangePredicate::between(q.lo, q.hi)));
                     }
                     let t = s.totals();
                     let _ = writeln!(
@@ -416,6 +451,23 @@ mod tests {
         assert!(out.contains("sum ="), "{out}");
         let stats = r.handle("stats").expect("stats works");
         assert!(stats.contains("queries: 1"), "{stats}");
+    }
+
+    #[test]
+    fn threads_command_sets_policy_and_keeps_answers() {
+        let mut r = loaded();
+        let seq = r.handle("count 1000 1999").expect("count works");
+        let out = r.handle("threads 4").expect("threads works");
+        assert!(out.contains("4 threads"), "{out}");
+        let par = r.handle("count 1000 1999").expect("count works");
+        assert_eq!(
+            seq.split("   [").next(),
+            par.split("   [").next(),
+            "answers must not depend on thread count"
+        );
+        let stats = r.handle("stats").expect("stats works");
+        assert!(stats.contains("phases: prune"), "{stats}");
+        assert!(r.handle("threads x").is_err());
     }
 
     #[test]

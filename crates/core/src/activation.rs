@@ -92,7 +92,12 @@ impl<T: DataValue, I: SkippingIndex<T>> Activated<T, I> {
 
     /// Wraps with defaults.
     pub fn with_defaults(inner: I, len: usize) -> Self {
-        Activated::new(inner, len, ActivationConfig::default(), CostModel::default())
+        Activated::new(
+            inner,
+            len,
+            ActivationConfig::default(),
+            CostModel::default(),
+        )
     }
 
     /// True while delegating to the inner index.
@@ -228,7 +233,9 @@ mod tests {
     }
 
     fn uniform(n: usize) -> Vec<i64> {
-        (0..n as i64).map(|i| (i * 2654435761).rem_euclid(1_000_000)).collect()
+        (0..n as i64)
+            .map(|i| (i * 2654435761).rem_euclid(1_000_000))
+            .collect()
     }
 
     #[test]
@@ -279,7 +286,11 @@ mod tests {
         }
         assert!(act.naps() >= 2, "retrials should re-fail on uniform data");
         // Gaps between active bursts should grow (exponential backoff).
-        let gaps: Vec<u64> = probed_at.windows(2).map(|w| w[1] - w[0]).filter(|&g| g > 1).collect();
+        let gaps: Vec<u64> = probed_at
+            .windows(2)
+            .map(|w| w[1] - w[0])
+            .filter(|&g| g > 1)
+            .collect();
         assert!(!gaps.is_empty());
         assert!(gaps.last().expect("has gaps") >= gaps.first().expect("has gaps"));
     }

@@ -154,8 +154,14 @@ impl AdaptiveConfig {
             (0.0..=1.0).contains(&self.deactivate_max_skip_rate),
             "deactivate_max_skip_rate out of [0,1]"
         );
-        assert!(self.ewma_alpha > 0.0 && self.ewma_alpha <= 1.0, "bad ewma_alpha");
-        assert!(self.maintenance_every >= 1, "maintenance_every must be >= 1");
+        assert!(
+            self.ewma_alpha > 0.0 && self.ewma_alpha <= 1.0,
+            "bad ewma_alpha"
+        );
+        assert!(
+            self.maintenance_every >= 1,
+            "maintenance_every must be >= 1"
+        );
     }
 }
 

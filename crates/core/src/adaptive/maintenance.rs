@@ -133,10 +133,8 @@ impl<T: DataValue> AdaptiveZonemap<T> {
                 let prev = &mut self.zones[i];
                 prev.end = next.end;
                 prev.deactivations = prev.deactivations.max(next.deactivations);
-                if let (
-                    ZoneState::Dead { since_query: a },
-                    ZoneState::Dead { since_query: b },
-                ) = (prev.state, next.state)
+                if let (ZoneState::Dead { since_query: a }, ZoneState::Dead { since_query: b }) =
+                    (prev.state, next.state)
                 {
                     prev.state = ZoneState::Dead {
                         since_query: a.max(b),

@@ -20,8 +20,9 @@ fn run_query(
     for (i, unit) in out.units().iter().enumerate() {
         let slice = &data[unit.start..unit.end];
         let obs = if let Some(req) = out.mask_request(i) {
-            let (q, min, max, mask) =
-                scan::count_in_range_with_minmax_and_mask(slice, pred.lo, pred.hi, req.lo_f, req.hi_f);
+            let (q, min, max, mask) = scan::count_in_range_with_minmax_and_mask(
+                slice, pred.lo, pred.hi, req.lo_f, req.hi_f,
+            );
             let mut o = RangeObservation::new(*unit, q, min, max);
             o.mask = Some(mask);
             o
@@ -193,7 +194,13 @@ fn split_reduces_scanned_rows_for_outlier_queries() {
     // outlier-range queries; after splits, sub-zones without outliers skip.
     let n = 16_384usize;
     let data: Vec<i64> = (0..n)
-        .map(|i| if i % 1024 == 512 { 10_000 } else { (i % 64) as i64 })
+        .map(|i| {
+            if i % 1024 == 512 {
+                10_000
+            } else {
+                (i % 64) as i64
+            }
+        })
         .collect();
     let cfg = AdaptiveConfig {
         target_zone_rows: 1024,
@@ -366,7 +373,13 @@ fn conservative_bounds_after_split_never_lose_rows() {
     // Force splits, then check soundness against the oracle for many
     // predicates while halves still carry inherited (inexact) bounds.
     let data: Vec<i64> = (0..4096)
-        .map(|i| if i % 512 == 100 { 9999 } else { (i % 32) as i64 })
+        .map(|i| {
+            if i % 512 == 100 {
+                9999
+            } else {
+                (i % 32) as i64
+            }
+        })
         .collect();
     let cfg = AdaptiveConfig {
         target_zone_rows: 512,
@@ -400,7 +413,6 @@ fn state_counts_sum_to_zone_count() {
     assert_eq!(snap.len(), zm.num_zones());
 }
 
-
 #[test]
 fn zone_masks_rescue_outlier_pinned_zones() {
     // One huge outlier per zone pins every zone's (min, max) wide open;
@@ -409,7 +421,13 @@ fn zone_masks_rescue_outlier_pinned_zones() {
     let n = 8192usize;
     let zone = 256usize;
     let data: Vec<i64> = (0..n)
-        .map(|i| if i % zone == 13 { 10_000 } else { (i % 16) as i64 })
+        .map(|i| {
+            if i % zone == 13 {
+                10_000
+            } else {
+                (i % 16) as i64
+            }
+        })
         .collect();
     let cfg = AdaptiveConfig {
         target_zone_rows: zone,
@@ -444,7 +462,13 @@ fn zone_masks_rescue_outlier_pinned_zones() {
 fn no_mask_preset_never_builds_masks() {
     let n = 4096usize;
     let data: Vec<i64> = (0..n)
-        .map(|i| if i % 256 == 13 { 10_000 } else { (i % 16) as i64 })
+        .map(|i| {
+            if i % 256 == 13 {
+                10_000
+            } else {
+                (i % 16) as i64
+            }
+        })
         .collect();
     let cfg = AdaptiveConfig {
         target_zone_rows: 256,
@@ -467,7 +491,13 @@ fn masks_are_dropped_on_merge() {
     // stale masks (they describe a different row range).
     let n = 4096usize;
     let data: Vec<i64> = (0..n)
-        .map(|i| if i % 256 == 13 { 10_000 } else { (i % 16) as i64 })
+        .map(|i| {
+            if i % 256 == 13 {
+                10_000
+            } else {
+                (i % 16) as i64
+            }
+        })
         .collect();
     let cfg = AdaptiveConfig {
         target_zone_rows: 256,
@@ -490,7 +520,6 @@ fn masks_are_dropped_on_merge() {
     let (count, _) = run_query(&mut zm, &data, RangePredicate::point(10_000));
     assert_eq!(count, n / 256);
 }
-
 
 #[test]
 fn masks_keep_paying_on_uniform_data_with_narrow_predicates() {
@@ -524,7 +553,10 @@ fn masks_keep_paying_on_uniform_data_with_narrow_predicates() {
                 };
                 ranges.push(obs);
             }
-            zm.observe(&ScanObservation { predicate: pred, ranges });
+            zm.observe(&ScanObservation {
+                predicate: pred,
+                ranges,
+            });
             out.zones_skipped
         };
         if q > 50 {

@@ -187,7 +187,10 @@ impl<T: DataValue> SkippingIndex<T> for AdaptiveZonemap<T> {
         if flags.is_empty() {
             flags.push_str("lazy");
         }
-        format!("adaptive-zonemap({}, {})", self.config.target_zone_rows, flags)
+        format!(
+            "adaptive-zonemap({}, {})",
+            self.config.target_zone_rows, flags
+        )
     }
 
     fn as_any(&self) -> &dyn std::any::Any {
@@ -211,8 +214,8 @@ impl<T: DataValue> SkippingIndex<T> for AdaptiveZonemap<T> {
             zones_skipped: 0,
         };
 
-        let min_split_rows = (2 * self.config.min_zone_rows)
-            .max(2 * self.cost.min_profitable_zone_rows());
+        let min_split_rows =
+            (2 * self.config.min_zone_rows).max(2 * self.cost.min_profitable_zone_rows());
         for zone in &mut self.zones {
             out.zones_probed += 1;
             match zone.state {
@@ -290,7 +293,7 @@ impl<T: DataValue> SkippingIndex<T> for AdaptiveZonemap<T> {
                 _ => continue,
             };
             let zone = &mut self.zones[idx];
-            let frac = if zone.len() == 0 {
+            let frac = if zone.is_empty() {
                 0.0
             } else {
                 ro.qualifying as f64 / zone.len() as f64
@@ -359,7 +362,7 @@ impl<T: DataValue> SkippingIndex<T> for AdaptiveZonemap<T> {
             self.split_zone(idx);
         }
 
-        if self.query_seq % self.config.maintenance_every == 0 {
+        if self.query_seq.is_multiple_of(self.config.maintenance_every) {
             self.run_maintenance();
         }
 

@@ -52,7 +52,9 @@ impl CostModel {
     pub fn calibrate(sample: usize) -> Self {
         use std::time::Instant;
         let sample = sample.max(1 << 16);
-        let data: Vec<i64> = (0..sample as i64).map(|i| i.wrapping_mul(2654435761)).collect();
+        let data: Vec<i64> = (0..sample as i64)
+            .map(|i| i.wrapping_mul(2654435761))
+            .collect();
 
         // Scan cost per tuple.
         let t0 = Instant::now();

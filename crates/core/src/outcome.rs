@@ -21,7 +21,7 @@ impl MaskRequest {
     #[inline]
     pub fn bin(&self, v: f64) -> u32 {
         let span = self.hi_f - self.lo_f;
-        if !(span > 0.0) {
+        if span <= 0.0 {
             return 0;
         }
         (((v - self.lo_f) / span) * 64.0).clamp(0.0, 63.0) as u32
@@ -216,7 +216,11 @@ mod tests {
         o.must_scan.push_span(0, 10);
         o.must_scan.push_span(20, 30);
         assert_eq!(o.units().len(), 2);
-        o.scan_units = vec![RowRange::new(0, 5), RowRange::new(5, 10), RowRange::new(20, 30)];
+        o.scan_units = vec![
+            RowRange::new(0, 5),
+            RowRange::new(5, 10),
+            RowRange::new(20, 30),
+        ];
         assert_eq!(o.units().len(), 3);
     }
 

@@ -22,10 +22,7 @@ impl<T: DataValue> RangePredicate<T> {
     /// # Panics
     /// Panics if `lo > hi` under the total order.
     pub fn between(lo: T, hi: T) -> Self {
-        assert!(
-            lo.le_total(&hi),
-            "empty predicate: lo {lo:?} > hi {hi:?}"
-        );
+        assert!(lo.le_total(&hi), "empty predicate: lo {lo:?} > hi {hi:?}");
         RangePredicate { lo, hi }
     }
 

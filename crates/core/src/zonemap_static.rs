@@ -100,12 +100,11 @@ impl<T: DataValue> SkippingIndex<T> for StaticZonemap<T> {
     fn on_append(&mut self, _appended: &[T], base: &[T]) {
         // The last zone may have been partial; rebuild it from the base
         // column, then extend with zones over the genuinely new rows.
-        if self.len % self.zone_rows != 0 {
+        if !self.len.is_multiple_of(self.zone_rows) {
             let last = self.zones.len() - 1;
             let start = last * self.zone_rows;
             let end = (start + self.zone_rows).min(base.len());
-            self.zones[last] =
-                scan::min_max(&base[start..end]).expect("partial zone is non-empty");
+            self.zones[last] = scan::min_max(&base[start..end]).expect("partial zone is non-empty");
         }
         let covered = self.zones.len() * self.zone_rows;
         if base.len() > covered {
@@ -172,7 +171,9 @@ mod tests {
     #[test]
     fn prune_random_data_skips_nothing() {
         // Values alternate across the whole domain: every zone spans it.
-        let data: Vec<i64> = (0..1000).map(|i| if i % 2 == 0 { 0 } else { 999 }).collect();
+        let data: Vec<i64> = (0..1000)
+            .map(|i| if i % 2 == 0 { 0 } else { 999 })
+            .collect();
         let mut zm = StaticZonemap::build(&data, 100);
         let out = zm.prune(&RangePredicate::between(400, 500));
         assert_eq!(out.zones_skipped, 0);

@@ -109,7 +109,11 @@ mod tests {
         (0..20_000).map(|i| (i * 2654435761i64) % 1000).collect()
     }
 
-    fn reference_union(data: &[i64], ranges: &[RangePredicate<i64>], agg: AggKind) -> QueryAnswer<i64> {
+    fn reference_union(
+        data: &[i64],
+        ranges: &[RangePredicate<i64>],
+        agg: AggKind,
+    ) -> QueryAnswer<i64> {
         // Brute-force over the union predicate.
         let matches = |v: i64| ranges.iter().any(|p| p.matches(v));
         let mut answer = QueryAnswer::default();
@@ -197,7 +201,8 @@ mod tests {
             let mut idx = strategy.build_index(&data);
             // Twice so adaptive/cracking state changes between runs.
             let _ = execute_disjunction(&data, idx.as_mut(), ranges.clone(), AggKind::Positions);
-            let (got, _) = execute_disjunction(&data, idx.as_mut(), ranges.clone(), AggKind::Positions);
+            let (got, _) =
+                execute_disjunction(&data, idx.as_mut(), ranges.clone(), AggKind::Positions);
             let want = reference_union(&data, &ranges, AggKind::Positions);
             assert_eq!(got.positions, want.positions, "{}", strategy.label());
         }
@@ -211,7 +216,8 @@ mod tests {
             RangePredicate::between(150, 250),
         ];
         let mut idx = Strategy::FullScan.build_index(&data);
-        let (got, _) = execute_disjunction(&data, idx.as_mut(), overlapping.clone(), AggKind::Count);
+        let (got, _) =
+            execute_disjunction(&data, idx.as_mut(), overlapping.clone(), AggKind::Count);
         let want = reference_union(&data, &overlapping, AggKind::Count);
         assert_eq!(got.count, want.count);
     }

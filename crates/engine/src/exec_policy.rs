@@ -1,0 +1,74 @@
+//! Execution policy: how much hardware parallelism one query may use.
+//!
+//! The policy is deliberately tiny — a thread budget plus a
+//! profitability floor — because the paper's protocol fixes everything
+//! else: *what* to scan comes from the index's [`ads_core::PruneOutcome`],
+//! and the executor merges per-unit results in unit order, so answers and
+//! observation feedback are bit-identical at any thread count. Parallelism
+//! is purely a latency knob, never a semantics knob.
+
+use ads_storage::parallel;
+
+/// Per-session (or per-query) execution configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecPolicy {
+    /// Maximum worker threads one query's scan phase may use. `0` and `1`
+    /// both mean sequential.
+    pub threads: usize,
+    /// Minimum scanned rows per thread before an extra thread pays for its
+    /// start-up; queries below `threads * min_rows_per_thread` rows use
+    /// fewer threads (possibly one).
+    pub min_rows_per_thread: usize,
+}
+
+impl Default for ExecPolicy {
+    fn default() -> Self {
+        ExecPolicy::sequential()
+    }
+}
+
+impl ExecPolicy {
+    /// The sequential policy: one thread, classic executor behaviour.
+    pub fn sequential() -> Self {
+        ExecPolicy {
+            threads: 1,
+            min_rows_per_thread: parallel::MIN_ROWS_PER_THREAD,
+        }
+    }
+
+    /// A parallel policy with the default profitability floor.
+    pub fn parallel(threads: usize) -> Self {
+        ExecPolicy {
+            threads,
+            ..ExecPolicy::sequential()
+        }
+    }
+
+    /// Threads a scan over `rows` rows will actually use under this policy.
+    pub fn effective_threads(&self, rows: usize) -> usize {
+        parallel::effective_threads(rows, self.threads, self.min_rows_per_thread)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_sequential() {
+        assert_eq!(ExecPolicy::default().threads, 1);
+        assert_eq!(ExecPolicy::default().effective_threads(usize::MAX), 1);
+    }
+
+    #[test]
+    fn effective_threads_respects_floor() {
+        let p = ExecPolicy {
+            threads: 8,
+            min_rows_per_thread: 1000,
+        };
+        assert_eq!(p.effective_threads(500), 1);
+        assert_eq!(p.effective_threads(2_000), 2);
+        assert_eq!(p.effective_threads(1_000_000), 8);
+        assert_eq!(ExecPolicy::parallel(0).effective_threads(1_000_000), 1);
+    }
+}

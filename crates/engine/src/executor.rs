@@ -4,11 +4,26 @@
 //! index what to scan, runs the kernels over exactly those ranges, answers
 //! the aggregate, and feeds the per-range observations (qualifying counts
 //! and exact min/max, computed as scan by-products) back to the index.
+//!
+//! ## Parallel execution
+//!
+//! [`execute_with_policy`] fans the prune outcome's scan units (plus the
+//! full-match ranges, for value-reading aggregates) across scoped worker
+//! threads via [`ads_storage::parallel::par_map_weighted`]. Every work
+//! item produces its result independently and the executor merges them
+//! **in item order** — the exact order the sequential loop folds in — so
+//! answers (including floating-point SUMs), the observation feedback, and
+//! therefore all adaptation downstream are bit-identical at any thread
+//! count. Parallelism changes latency, never state.
 
+use crate::exec_policy::ExecPolicy;
 use crate::metrics::QueryMetrics;
-use ads_core::{PruneOutcome, RangeObservation, RangePredicate, ScanCoords, ScanObservation, SkippingIndex};
-use ads_storage::scan;
+use ads_core::outcome::MaskRequest;
+use ads_core::{
+    PruneOutcome, RangeObservation, RangePredicate, ScanCoords, ScanObservation, SkippingIndex,
+};
 use ads_storage::DataValue;
+use ads_storage::{parallel, scan, RowRange};
 use std::time::Instant;
 
 /// Which aggregate a scan query computes over the qualifying rows.
@@ -53,7 +68,41 @@ impl<T: DataValue> Default for QueryAnswer<T> {
     }
 }
 
-/// Executes `pred` with aggregate `agg` over `data` using `index`.
+/// One parallelisable piece of a query's scan work.
+#[derive(Debug, Clone, Copy)]
+enum WorkItem {
+    /// A full-match range whose values must still be read (SUM/MIN/MAX).
+    Full(RowRange),
+    /// One scan unit of the prune outcome, with its optional mask request.
+    Unit(RowRange, Option<MaskRequest>),
+}
+
+impl WorkItem {
+    fn rows(&self) -> usize {
+        match self {
+            WorkItem::Full(r) | WorkItem::Unit(r, _) => r.len(),
+        }
+    }
+}
+
+/// What scanning one [`WorkItem`] produced; merged in item order.
+struct ItemResult<T: DataValue> {
+    /// Observation to feed back (`None` for full-match items).
+    obs: Option<RangeObservation<T>>,
+    /// Qualifying rows (all rows, for full-match items).
+    count: usize,
+    /// Partial SUM of qualifying values.
+    sum: f64,
+    /// MIN over qualifying rows (fold identity when none).
+    match_min: T,
+    /// MAX over qualifying rows (fold identity when none).
+    match_max: T,
+    /// Qualifying positions (POSITIONS only).
+    positions: Vec<u32>,
+}
+
+/// Executes `pred` with aggregate `agg` over `data` using `index`, with
+/// the default sequential [`ExecPolicy`].
 ///
 /// Returns the answer plus per-query metrics. The index's adaptation (if
 /// any) happens inside this call, and its cost is included in `wall_ns` —
@@ -65,120 +114,119 @@ pub fn execute<T: DataValue>(
     pred: RangePredicate<T>,
     agg: AggKind,
 ) -> (QueryAnswer<T>, QueryMetrics) {
+    execute_with_policy(data, index, pred, agg, &ExecPolicy::sequential())
+}
+
+/// As [`execute`], with an explicit execution policy. Answers and
+/// post-query index state are identical under every policy; only latency
+/// (and `threads_used`) differ.
+pub fn execute_with_policy<T: DataValue>(
+    data: &[T],
+    index: &mut dyn SkippingIndex<T>,
+    pred: RangePredicate<T>,
+    agg: AggKind,
+    policy: &ExecPolicy,
+) -> (QueryAnswer<T>, QueryMetrics) {
     let t0 = Instant::now();
     let events_before = index.adapt_events();
     let outcome = index.prune(&pred);
+    let prune_ns = t0.elapsed().as_nanos() as u64;
 
     let coords = index.scan_coords();
     let mut answer = QueryAnswer::default();
     let mut observations: Vec<RangeObservation<T>> = Vec::with_capacity(outcome.units().len());
     let mut rows_scanned = 0usize;
+    let threads_used;
 
+    let t_scan = Instant::now();
     {
         let target: &[T] = match coords {
             ScanCoords::Base => data,
-            ScanCoords::View => index.view().expect("view-coordinate index must expose a view"),
+            ScanCoords::View => index
+                .view()
+                .expect("view-coordinate index must expose a view"),
         };
+
+        // The work list: full-match ranges first (only when their values
+        // must be read), then the scan units — the order the answer fold
+        // visits them, which keeps f64 accumulation bit-identical between
+        // sequential and parallel execution.
+        let reads_full_values = matches!(agg, AggKind::Sum | AggKind::Min | AggKind::Max);
+        let fulls = if reads_full_values {
+            outcome.full_match.ranges()
+        } else {
+            &[]
+        };
+        let mut items: Vec<WorkItem> = Vec::with_capacity(fulls.len() + outcome.units().len());
+        items.extend(fulls.iter().map(|r| WorkItem::Full(*r)));
+        items.extend(
+            outcome
+                .units()
+                .iter()
+                .enumerate()
+                .map(|(i, u)| WorkItem::Unit(*u, outcome.mask_request(i))),
+        );
+
+        let scan_rows: usize = items.iter().map(WorkItem::rows).sum();
+        threads_used = policy.effective_threads(scan_rows);
+
+        let results: Vec<ItemResult<T>> =
+            parallel::par_map_weighted(&items, threads_used, WorkItem::rows, |_, item| {
+                scan_item(target, pred, agg, item)
+            });
+
+        // Merge phase: fold results in item order.
+        let mut sum = 0.0f64;
+        let mut mmin = T::MAX_VALUE;
+        let mut mmax = T::MIN_VALUE;
+        for (item, r) in items.iter().zip(&results) {
+            answer.count += r.count as u64;
+            sum += r.sum;
+            mmin = mmin.min_total(r.match_min);
+            mmax = mmax.max_total(r.match_max);
+            if matches!(item, WorkItem::Unit(..)) {
+                rows_scanned += item.rows();
+            }
+        }
         match agg {
             AggKind::Count => {
-                answer.count = outcome.rows_full_match() as u64;
-                for (i, unit) in outcome.units().iter().enumerate() {
-                    let slice = &target[unit.start..unit.end];
-                    let obs = if let Some(req) = outcome.mask_request(i) {
-                        // The index asked for a value mask over this unit;
-                        // collect it in the same pass.
-                        let (q, min, max, mask) = scan::count_in_range_with_minmax_and_mask(
-                            slice, pred.lo, pred.hi, req.lo_f, req.hi_f,
-                        );
-                        let mut o = RangeObservation::new(*unit, q, min, max);
-                        o.mask = Some(mask);
-                        o
-                    } else {
-                        let (q, min, max) =
-                            scan::count_in_range_with_minmax(slice, pred.lo, pred.hi);
-                        RangeObservation::new(*unit, q, min, max)
-                    };
-                    answer.count += obs.qualifying as u64;
-                    rows_scanned += unit.len();
-                    observations.push(obs);
-                }
+                // Full-match rows are answered from metadata alone.
+                answer.count += outcome.rows_full_match() as u64;
             }
-            AggKind::Sum | AggKind::Min | AggKind::Max => {
-                let mut sum = 0.0f64;
-                let mut mmin = T::MAX_VALUE;
-                let mut mmax = T::MIN_VALUE;
-                // Full-match ranges: every row qualifies, no predicate
-                // re-evaluation needed, but the values must still be read.
-                for r in outcome.full_match.ranges() {
-                    let slice = &target[r.start..r.end];
-                    answer.count += slice.len() as u64;
-                    rows_scanned += slice.len();
-                    match agg {
-                        AggKind::Sum => {
-                            let (_, s) = scan::sum_in_range(slice, T::MIN_VALUE, T::MAX_VALUE);
-                            sum += s;
-                        }
-                        _ => {
-                            if let Some((lo, hi)) = scan::min_max(slice) {
-                                mmin = mmin.min_total(lo);
-                                mmax = mmax.max_total(hi);
-                            }
-                        }
-                    }
-                }
-                for unit in outcome.units() {
-                    let a = scan::aggregate_in_range(&target[unit.start..unit.end], pred.lo, pred.hi);
-                    answer.count += a.count as u64;
-                    sum += a.sum;
-                    mmin = mmin.min_total(a.match_min);
-                    mmax = mmax.max_total(a.match_max);
-                    rows_scanned += unit.len();
-                    observations.push(RangeObservation::new(*unit, a.count, a.range_min, a.range_max));
-                }
-                match agg {
-                    AggKind::Sum => answer.sum = Some(sum),
-                    AggKind::Min => answer.min = (answer.count > 0).then_some(mmin),
-                    AggKind::Max => answer.max = (answer.count > 0).then_some(mmax),
-                    _ => unreachable!(),
-                }
-            }
+            AggKind::Sum => answer.sum = Some(sum),
+            AggKind::Min => answer.min = (answer.count > 0).then_some(mmin),
+            AggKind::Max => answer.max = (answer.count > 0).then_some(mmax),
             AggKind::Positions => {
-                let mut positions: Vec<u32> = Vec::new();
-                // Merge-walk full-match ranges and scan units by start so
-                // base-coordinate output is already sorted.
-                let fulls = outcome.full_match.ranges();
+                // POSITIONS items are all units, aligned 1:1 with results:
+                // merge-walk full-match ranges and per-unit position lists
+                // by start so base-coordinate output comes out sorted.
+                let full_ranges = outcome.full_match.ranges();
                 let units = outcome.units();
+                let mut positions: Vec<u32> =
+                    Vec::with_capacity(results.iter().map(|r| r.positions.len()).sum::<usize>());
                 let (mut fi, mut ui) = (0usize, 0usize);
-                while fi < fulls.len() || ui < units.len() {
-                    let take_full = match (fulls.get(fi), units.get(ui)) {
+                while fi < full_ranges.len() || ui < units.len() {
+                    let take_full = match (full_ranges.get(fi), units.get(ui)) {
                         (Some(f), Some(u)) => f.start < u.start,
                         (Some(_), None) => true,
                         _ => false,
                     };
                     if take_full {
-                        let f = fulls[fi];
+                        let f = full_ranges[fi];
                         positions.extend(f.start as u32..f.end as u32);
                         answer.count += f.len() as u64;
                         fi += 1;
                     } else {
-                        let u = units[ui];
-                        let (q, min, max) = scan::collect_in_range_with_minmax(
-                            &target[u.start..u.end],
-                            u.start,
-                            pred.lo,
-                            pred.hi,
-                            &mut positions,
-                        );
-                        answer.count += q as u64;
-                        rows_scanned += u.len();
-                        observations.push(RangeObservation::new(u, q, min, max));
+                        positions.extend_from_slice(&results[ui].positions);
                         ui += 1;
                     }
                 }
                 answer.positions = Some(positions);
             }
         }
+        observations.extend(results.into_iter().filter_map(|r| r.obs));
     }
+    let scan_ns = t_scan.elapsed().as_nanos() as u64;
 
     if let Some(positions) = answer.positions.as_mut() {
         if coords == ScanCoords::View {
@@ -187,10 +235,12 @@ pub fn execute<T: DataValue>(
         }
     }
 
+    let t_obs = Instant::now();
     index.observe(&ScanObservation {
         predicate: pred,
         ranges: observations,
     });
+    let observe_ns = t_obs.elapsed().as_nanos() as u64;
 
     let metrics = QueryMetrics {
         wall_ns: t0.elapsed().as_nanos() as u64,
@@ -200,8 +250,90 @@ pub fn execute<T: DataValue>(
         rows_full_match: outcome.rows_full_match(),
         rows_matched: answer.count,
         adapt_events: index.adapt_events() - events_before,
+        prune_ns,
+        scan_ns,
+        observe_ns,
+        threads_used,
     };
     (answer, metrics)
+}
+
+/// Scans one work item. Pure with respect to shared state: reads
+/// `target`, writes only its own result — safe to run on any thread.
+fn scan_item<T: DataValue>(
+    target: &[T],
+    pred: RangePredicate<T>,
+    agg: AggKind,
+    item: &WorkItem,
+) -> ItemResult<T> {
+    let mut out = ItemResult {
+        obs: None,
+        count: 0,
+        sum: 0.0,
+        match_min: T::MAX_VALUE,
+        match_max: T::MIN_VALUE,
+        positions: Vec::new(),
+    };
+    match *item {
+        WorkItem::Full(r) => {
+            // Every row qualifies: no predicate re-evaluation, values only.
+            let slice = &target[r.start..r.end];
+            out.count = slice.len();
+            match agg {
+                AggKind::Sum => out.sum = scan::sum_all(slice),
+                AggKind::Min | AggKind::Max => {
+                    if let Some((lo, hi)) = scan::min_max(slice) {
+                        out.match_min = lo;
+                        out.match_max = hi;
+                    }
+                }
+                _ => {}
+            }
+        }
+        WorkItem::Unit(u, mask_req) => {
+            let slice = &target[u.start..u.end];
+            match agg {
+                AggKind::Count => {
+                    let obs = if let Some(req) = mask_req {
+                        // The index asked for a value mask over this unit;
+                        // collect it in the same pass.
+                        let (q, min, max, mask) = scan::count_in_range_with_minmax_and_mask(
+                            slice, pred.lo, pred.hi, req.lo_f, req.hi_f,
+                        );
+                        let mut o = RangeObservation::new(u, q, min, max);
+                        o.mask = Some(mask);
+                        o
+                    } else {
+                        let (q, min, max) =
+                            scan::count_in_range_with_minmax(slice, pred.lo, pred.hi);
+                        RangeObservation::new(u, q, min, max)
+                    };
+                    out.count = obs.qualifying;
+                    out.obs = Some(obs);
+                }
+                AggKind::Sum | AggKind::Min | AggKind::Max => {
+                    let a = scan::aggregate_in_range(slice, pred.lo, pred.hi);
+                    out.count = a.count;
+                    out.sum = a.sum;
+                    out.match_min = a.match_min;
+                    out.match_max = a.match_max;
+                    out.obs = Some(RangeObservation::new(u, a.count, a.range_min, a.range_max));
+                }
+                AggKind::Positions => {
+                    let (q, min, max) = scan::collect_in_range_with_minmax(
+                        slice,
+                        u.start,
+                        pred.lo,
+                        pred.hi,
+                        &mut out.positions,
+                    );
+                    out.count = q;
+                    out.obs = Some(RangeObservation::new(u, q, min, max));
+                }
+            }
+        }
+    }
+    out
 }
 
 /// Reference implementation used by tests and the soundness harness:
@@ -236,7 +368,13 @@ pub fn execute_reference<T: DataValue>(
         AggKind::Positions => {
             let mut positions = Vec::new();
             for r in outcome.must_scan.ranges() {
-                scan::collect_in_range(&data[r.start..r.end], r.start, pred.lo, pred.hi, &mut positions);
+                scan::collect_in_range(
+                    &data[r.start..r.end],
+                    r.start,
+                    pred.lo,
+                    pred.hi,
+                    &mut positions,
+                );
             }
             answer.count = positions.len() as u64;
             answer.positions = Some(positions);
@@ -253,6 +391,22 @@ mod tests {
     fn data() -> Vec<i64> {
         (0..5000).map(|i| (i * 2654435761i64) % 1000).collect()
     }
+
+    /// A policy that always parallelises at test scale.
+    fn eager(threads: usize) -> ExecPolicy {
+        ExecPolicy {
+            threads,
+            min_rows_per_thread: 1,
+        }
+    }
+
+    const ALL_AGGS: [AggKind; 5] = [
+        AggKind::Count,
+        AggKind::Sum,
+        AggKind::Min,
+        AggKind::Max,
+        AggKind::Positions,
+    ];
 
     #[test]
     fn every_strategy_matches_reference_on_count() {
@@ -307,11 +461,116 @@ mod tests {
             let (ans, _) = execute(&data, idx.as_mut(), pred, AggKind::Positions);
             let expected = execute_reference(&data, pred, AggKind::Positions);
             assert_eq!(
-                ans.positions, expected.positions,
+                ans.positions,
+                expected.positions,
                 "{} positions differ",
                 strat.label()
             );
         }
+    }
+
+    #[test]
+    fn parallel_answers_identical_to_sequential_for_every_strategy() {
+        let data = data();
+        for strat in Strategy::roster() {
+            for agg in ALL_AGGS {
+                for threads in [2, 3, 8] {
+                    // Fresh index per run so both executors see the same
+                    // adaptation history.
+                    let mut seq_idx = strat.build_index(&data);
+                    let mut par_idx = strat.build_index(&data);
+                    for q in 0..8 {
+                        let lo = (q * 173) % 800;
+                        let pred = RangePredicate::between(lo, lo + 120);
+                        let (seq, sm) = execute_with_policy(
+                            &data,
+                            seq_idx.as_mut(),
+                            pred,
+                            agg,
+                            &ExecPolicy::sequential(),
+                        );
+                        let (par, pm) = execute_with_policy(
+                            &data,
+                            par_idx.as_mut(),
+                            pred,
+                            agg,
+                            &eager(threads),
+                        );
+                        assert_eq!(seq, par, "{} {agg:?} t={threads} q{q}", strat.label());
+                        assert_eq!(
+                            (
+                                sm.rows_scanned,
+                                sm.rows_matched,
+                                sm.zones_probed,
+                                sm.zones_skipped
+                            ),
+                            (
+                                pm.rows_scanned,
+                                pm.rows_matched,
+                                pm.zones_probed,
+                                pm.zones_skipped
+                            ),
+                            "{} {agg:?} t={threads} q{q}: metrics diverged",
+                            strat.label()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_sum_is_bit_identical() {
+        // f64 addition is not associative, so this only holds because the
+        // merge folds partial sums in unit order.
+        let data: Vec<f64> = (0..50_000).map(|i| (i as f64) * 0.1 + 0.7).collect();
+        let mut idx1 = Strategy::StaticZonemap { zone_rows: 777 }.build_index(&data);
+        let mut idx2 = Strategy::StaticZonemap { zone_rows: 777 }.build_index(&data);
+        let pred = RangePredicate::between(10.0, 4900.0);
+        let (seq, _) = execute(&data, idx1.as_mut(), pred, AggKind::Sum);
+        let (par, _) = execute_with_policy(&data, idx2.as_mut(), pred, AggKind::Sum, &eager(8));
+        assert_eq!(seq.sum.unwrap().to_bits(), par.sum.unwrap().to_bits());
+    }
+
+    #[test]
+    fn threads_used_respects_profitability_floor() {
+        let data = data();
+        let mut idx = Strategy::FullScan.build_index(&data);
+        let policy = ExecPolicy {
+            threads: 8,
+            min_rows_per_thread: 1 << 20,
+        };
+        let (_, m) = execute_with_policy(
+            &data,
+            idx.as_mut(),
+            RangePredicate::all(),
+            AggKind::Count,
+            &policy,
+        );
+        assert_eq!(m.threads_used, 1, "5k rows cannot feed 8 threads");
+        let (_, m2) = execute_with_policy(
+            &data,
+            idx.as_mut(),
+            RangePredicate::all(),
+            AggKind::Count,
+            &eager(4),
+        );
+        assert_eq!(m2.threads_used, 4);
+    }
+
+    #[test]
+    fn phase_breakdown_is_populated() {
+        let data = data();
+        let mut idx = Strategy::StaticZonemap { zone_rows: 500 }.build_index(&data);
+        let (_, m) = execute(
+            &data,
+            idx.as_mut(),
+            RangePredicate::between(0, 500),
+            AggKind::Count,
+        );
+        assert!(m.scan_ns > 0);
+        assert!(m.wall_ns >= m.prune_ns + m.scan_ns + m.observe_ns - m.wall_ns / 10);
+        assert_eq!(m.threads_used, 1);
     }
 
     #[test]

@@ -16,6 +16,7 @@
 #![warn(missing_docs)]
 
 pub mod disjunction;
+pub mod exec_policy;
 pub mod executor;
 pub mod metrics;
 pub mod session;
@@ -24,7 +25,8 @@ pub mod string_session;
 pub mod table_session;
 
 pub use disjunction::{execute_disjunction, in_list, normalize_ranges};
-pub use executor::{execute, execute_reference, AggKind, QueryAnswer};
+pub use exec_policy::ExecPolicy;
+pub use executor::{execute, execute_reference, execute_with_policy, AggKind, QueryAnswer};
 pub use metrics::{CumulativeMetrics, QueryMetrics};
 pub use session::ColumnSession;
 pub use strategy::Strategy;

@@ -18,6 +18,14 @@ pub struct QueryMetrics {
     /// Adaptation events (build/split/merge/deactivate/revive or crack
     /// partitions) this query triggered.
     pub adapt_events: u64,
+    /// Nanoseconds in the prune phase (metadata probes).
+    pub prune_ns: u64,
+    /// Nanoseconds in the scan phase (kernels + result merge).
+    pub scan_ns: u64,
+    /// Nanoseconds in the observe phase (feedback + adaptation).
+    pub observe_ns: u64,
+    /// Worker threads the scan phase used (1 = sequential).
+    pub threads_used: usize,
 }
 
 impl QueryMetrics {
@@ -52,6 +60,14 @@ pub struct CumulativeMetrics {
     pub rows_matched: u64,
     /// Total adaptation events.
     pub adapt_events: u64,
+    /// Total nanoseconds pruning.
+    pub prune_ns: u64,
+    /// Total nanoseconds scanning.
+    pub scan_ns: u64,
+    /// Total nanoseconds observing.
+    pub observe_ns: u64,
+    /// Largest scan-phase thread count any query used.
+    pub max_threads_used: usize,
 }
 
 impl CumulativeMetrics {
@@ -65,6 +81,10 @@ impl CumulativeMetrics {
         self.zones_skipped += m.zones_skipped as u64;
         self.rows_matched += m.rows_matched;
         self.adapt_events += m.adapt_events;
+        self.prune_ns += m.prune_ns;
+        self.scan_ns += m.scan_ns;
+        self.observe_ns += m.observe_ns;
+        self.max_threads_used = self.max_threads_used.max(m.threads_used);
     }
 
     /// Mean query latency in nanoseconds (0 when no queries ran).
@@ -97,6 +117,10 @@ mod tests {
             rows_full_match: 10,
             rows_matched: 12,
             adapt_events: 1,
+            prune_ns: 5,
+            scan_ns: 80,
+            observe_ns: 15,
+            threads_used: 4,
         };
         c.absorb(&m);
         c.absorb(&m);
@@ -106,6 +130,10 @@ mod tests {
         assert_eq!(c.zones_probed, 8);
         assert_eq!(c.rows_matched, 24);
         assert_eq!(c.mean_latency_ns(), 100.0);
+        assert_eq!((c.prune_ns, c.scan_ns, c.observe_ns), (10, 160, 30));
+        assert_eq!(c.max_threads_used, 4);
+        c.absorb(&QueryMetrics::default());
+        assert_eq!(c.max_threads_used, 4, "max, not last");
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! A session binds one column to one skipping strategy and runs a query
 //! sequence against it, accumulating metrics.
 
-use crate::executor::{execute, AggKind, QueryAnswer};
+use crate::exec_policy::ExecPolicy;
+use crate::executor::{execute_with_policy, AggKind, QueryAnswer};
 use crate::metrics::{CumulativeMetrics, QueryMetrics};
 use crate::strategy::Strategy;
 use ads_core::{RangePredicate, SkippingIndex};
@@ -20,6 +21,7 @@ pub struct ColumnSession<T: DataValue> {
     totals: CumulativeMetrics,
     history: Vec<QueryMetrics>,
     record_history: bool,
+    policy: ExecPolicy,
 }
 
 impl<T: DataValue> ColumnSession<T> {
@@ -39,6 +41,7 @@ impl<T: DataValue> ColumnSession<T> {
             },
             history: Vec::new(),
             record_history: false,
+            policy: ExecPolicy::default(),
         }
     }
 
@@ -53,6 +56,7 @@ impl<T: DataValue> ColumnSession<T> {
             totals: CumulativeMetrics::default(),
             history: Vec::new(),
             record_history: false,
+            policy: ExecPolicy::default(),
         }
     }
 
@@ -62,9 +66,31 @@ impl<T: DataValue> ColumnSession<T> {
         self
     }
 
+    /// Sets the execution policy (builder form).
+    pub fn with_exec_policy(mut self, policy: ExecPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Replaces the execution policy for subsequent queries. Answers and
+    /// adaptation are policy-independent; only latency changes.
+    pub fn set_exec_policy(&mut self, policy: ExecPolicy) {
+        self.policy = policy;
+    }
+
+    /// The current execution policy.
+    pub fn exec_policy(&self) -> ExecPolicy {
+        self.policy
+    }
+
     /// Executes one query.
-    pub fn query(&mut self, pred: RangePredicate<T>, agg: AggKind) -> (QueryAnswer<T>, QueryMetrics) {
-        let (answer, metrics) = execute(&self.data, self.index.as_mut(), pred, agg);
+    pub fn query(
+        &mut self,
+        pred: RangePredicate<T>,
+        agg: AggKind,
+    ) -> (QueryAnswer<T>, QueryMetrics) {
+        let (answer, metrics) =
+            execute_with_policy(&self.data, self.index.as_mut(), pred, agg, &self.policy);
         self.totals.absorb(&metrics);
         if self.record_history {
             self.history.push(metrics);
@@ -164,7 +190,7 @@ mod tests {
                 s.count(RangePredicate::between(990, 1050)),
                 61,
                 "{}",
-                s.label().to_string()
+                s.label()
             );
             assert_eq!(s.len(), 1100);
         }

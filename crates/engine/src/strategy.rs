@@ -120,8 +120,7 @@ mod tests {
             // Soundness smoke check: candidates plus full matches must be
             // able to hold the 11 qualifying rows.
             assert!(
-                out.rows_to_scan() + out.rows_full_match() >= 11
-                    || out.rows_full_match() == 11,
+                out.rows_to_scan() + out.rows_full_match() >= 11 || out.rows_full_match() == 11,
                 "{} lost rows",
                 strat.label()
             );
@@ -143,7 +142,9 @@ mod tests {
         assert!(Strategy::StaticZonemap { zone_rows: 64 }.base_coords());
         assert!(!Strategy::Cracking.base_coords());
         assert!(!Strategy::SortedOracle.base_coords());
-        assert!(Strategy::StaticZonemap { zone_rows: 64 }.activated().base_coords());
+        assert!(Strategy::StaticZonemap { zone_rows: 64 }
+            .activated()
+            .base_coords());
     }
 
     #[test]

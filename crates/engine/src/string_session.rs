@@ -153,10 +153,20 @@ mod tests {
 
     fn countries(n: usize) -> Vec<String> {
         const POOL: [&str; 10] = [
-            "argentina", "brazil", "canada", "denmark", "egypt", "france", "germany", "hungary",
-            "india", "japan",
+            "argentina",
+            "brazil",
+            "canada",
+            "denmark",
+            "egypt",
+            "france",
+            "germany",
+            "hungary",
+            "india",
+            "japan",
         ];
-        (0..n).map(|i| POOL[(i * 7) % POOL.len()].to_string()).collect()
+        (0..n)
+            .map(|i| POOL[(i * 7) % POOL.len()].to_string())
+            .collect()
     }
 
     fn strategies() -> Vec<Strategy> {
@@ -212,7 +222,10 @@ mod tests {
 
     #[test]
     fn positions_are_base_row_ids() {
-        let values: Vec<String> = ["b", "a", "ab", "abc", "a"].iter().map(|s| s.to_string()).collect();
+        let values: Vec<String> = ["b", "a", "ab", "abc", "a"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         let mut s = StringColumnSession::new(&values, &Strategy::StaticZonemap { zone_rows: 2 });
         let (pos, _) = s.positions_prefix("a");
         assert_eq!(pos, vec![1, 2, 3, 4]);
@@ -252,10 +265,9 @@ mod tests {
     #[test]
     fn adaptive_index_skips_after_warmup() {
         // Sorted-ish string stream: batches of identical values.
-        let values: Vec<String> = (0..50_000)
-            .map(|i| format!("key{:05}", i / 100))
-            .collect();
-        let mut s = StringColumnSession::new(&values, &Strategy::Adaptive(AdaptiveConfig::default()));
+        let values: Vec<String> = (0..50_000).map(|i| format!("key{:05}", i / 100)).collect();
+        let mut s =
+            StringColumnSession::new(&values, &Strategy::Adaptive(AdaptiveConfig::default()));
         let (_, m1) = s.count_between("key00250", "key00260");
         let (_, m2) = s.count_between("key00250", "key00260");
         assert!(

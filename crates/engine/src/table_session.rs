@@ -65,7 +65,10 @@ impl std::fmt::Display for TableSessionError {
             }
             TableSessionError::NoIndex(c) => write!(f, "no index on column {c}"),
             TableSessionError::PredicateType { column, expected } => {
-                write!(f, "predicate type mismatch on {column}: column is {expected}")
+                write!(
+                    f,
+                    "predicate type mismatch on {column}: column is {expected}"
+                )
             }
         }
     }
@@ -128,7 +131,10 @@ impl TableSession {
     }
 
     /// Counts rows satisfying every conjunct.
-    pub fn count_conjunction(&mut self, conjuncts: &[(&str, AnyPredicate)]) -> Result<(u64, QueryMetrics)> {
+    pub fn count_conjunction(
+        &mut self,
+        conjuncts: &[(&str, AnyPredicate)],
+    ) -> Result<(u64, QueryMetrics)> {
         let (answer, metrics) = self.run_conjunction(conjuncts, AggKind::Count, None)?;
         Ok((answer, metrics))
     }
@@ -141,7 +147,8 @@ impl TableSession {
         agg_column: &str,
     ) -> Result<(u64, f64, QueryMetrics)> {
         let mut sum = 0.0;
-        let (count, metrics) = self.run_conjunction(conjuncts, AggKind::Sum, Some((agg_column, &mut sum)))?;
+        let (count, metrics) =
+            self.run_conjunction(conjuncts, AggKind::Sum, Some((agg_column, &mut sum)))?;
         Ok((count, sum, metrics))
     }
 
@@ -235,13 +242,16 @@ impl TableSession {
                 let mut bm = Bitmap::new(r.len());
                 let (q, lo_f, hi_f) = fill_any(&self.table, name, &pred, r.start, r.end, &mut bm)?;
                 rows_scanned += r.len();
-                per_col_obs.entry(name).or_default().push(RangeObservation64 {
-                    start: r.start,
-                    end: r.end,
-                    qualifying: q,
-                    min: lo_f,
-                    max: hi_f,
-                });
+                per_col_obs
+                    .entry(name)
+                    .or_default()
+                    .push(RangeObservation64 {
+                        start: r.start,
+                        end: r.end,
+                        qualifying: q,
+                        min: lo_f,
+                        max: hi_f,
+                    });
                 combined = Some(match combined {
                     None => bm,
                     Some(mut prev) => {
@@ -277,7 +287,10 @@ impl TableSession {
         // the scanned range, computed as scan by-products).
         for (name, pred, _) in outcomes {
             if let Some(obs) = per_col_obs.remove(name) {
-                let idx = self.indexes.get_mut(name).expect("index existed in phase 1");
+                let idx = self
+                    .indexes
+                    .get_mut(name)
+                    .expect("index existed in phase 1");
                 observe_any(idx, &pred, obs);
             }
         }
@@ -290,6 +303,7 @@ impl TableSession {
             rows_full_match: all_full.covered_rows(),
             rows_matched: count,
             adapt_events: 0,
+            ..Default::default()
         };
         self.totals.absorb(&metrics);
         Ok((count, metrics))
@@ -307,7 +321,9 @@ struct RangeObservation64 {
 }
 
 fn covers(set: &RangeSet, start: usize, end: usize) -> bool {
-    set.ranges().iter().any(|r| r.start <= start && end <= r.end)
+    set.ranges()
+        .iter()
+        .any(|r| r.start <= start && end <= r.end)
 }
 
 /// Union of a canonical range set with one extra disjoint range.
@@ -327,7 +343,11 @@ fn union_disjoint(set: &RangeSet, extra: ads_storage::RowRange) -> RangeSet {
     out
 }
 
-fn prune_any(idx: &mut AnyIndex, pred: &AnyPredicate, column: &str) -> Result<ads_core::PruneOutcome> {
+fn prune_any(
+    idx: &mut AnyIndex,
+    pred: &AnyPredicate,
+    column: &str,
+) -> Result<ads_core::PruneOutcome> {
     match (idx, pred) {
         (AnyIndex::I32(i), AnyPredicate::I32(p)) => Ok(i.prune(p)),
         (AnyIndex::I64(i), AnyPredicate::I64(p)) => Ok(i.prune(p)),
@@ -476,10 +496,18 @@ mod tests {
         (0..n)
             .filter(|&i| {
                 conjuncts.iter().all(|(name, p)| match p {
-                    AnyPredicate::I64(p) => p.matches(t.typed_column::<i64>(name).unwrap().value(i)),
-                    AnyPredicate::F64(p) => p.matches(t.typed_column::<f64>(name).unwrap().value(i)),
-                    AnyPredicate::I32(p) => p.matches(t.typed_column::<i32>(name).unwrap().value(i)),
-                    AnyPredicate::U64(p) => p.matches(t.typed_column::<u64>(name).unwrap().value(i)),
+                    AnyPredicate::I64(p) => {
+                        p.matches(t.typed_column::<i64>(name).unwrap().value(i))
+                    }
+                    AnyPredicate::F64(p) => {
+                        p.matches(t.typed_column::<f64>(name).unwrap().value(i))
+                    }
+                    AnyPredicate::I32(p) => {
+                        p.matches(t.typed_column::<i32>(name).unwrap().value(i))
+                    }
+                    AnyPredicate::U64(p) => {
+                        p.matches(t.typed_column::<u64>(name).unwrap().value(i))
+                    }
                 })
             })
             .count() as u64
@@ -498,8 +526,14 @@ mod tests {
             },
         ];
         let conjuncts: Vec<(&str, AnyPredicate)> = vec![
-            ("time", AnyPredicate::I64(RangePredicate::between(1000, 3000))),
-            ("value", AnyPredicate::I64(RangePredicate::between(100, 500))),
+            (
+                "time",
+                AnyPredicate::I64(RangePredicate::between(1000, 3000)),
+            ),
+            (
+                "value",
+                AnyPredicate::I64(RangePredicate::between(100, 500)),
+            ),
         ];
         let expected = reference_count(&t, &conjuncts);
         assert!(expected > 0);
@@ -519,7 +553,10 @@ mod tests {
         let conjuncts: Vec<(&str, AnyPredicate)> = vec![
             ("time", AnyPredicate::I64(RangePredicate::between(0, 4000))),
             ("value", AnyPredicate::I64(RangePredicate::between(0, 800))),
-            ("score", AnyPredicate::F64(RangePredicate::between(2.0, 7.5))),
+            (
+                "score",
+                AnyPredicate::F64(RangePredicate::between(2.0, 7.5)),
+            ),
         ];
         let expected = reference_count(&t, &conjuncts);
         let mut ts = TableSession::new(
@@ -582,7 +619,10 @@ mod tests {
     fn skipping_reduces_scanned_rows_on_selective_conjunctions() {
         let t = make_table(64_000);
         let conjuncts: Vec<(&str, AnyPredicate)> = vec![
-            ("time", AnyPredicate::I64(RangePredicate::between(1000, 1999))),
+            (
+                "time",
+                AnyPredicate::I64(RangePredicate::between(1000, 1999)),
+            ),
             ("value", AnyPredicate::I64(RangePredicate::between(0, 999))),
         ];
         let mut ts = TableSession::new(

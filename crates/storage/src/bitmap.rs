@@ -57,7 +57,11 @@ impl Bitmap {
     /// Panics if `i >= len`.
     #[inline]
     pub fn set(&mut self, i: usize) {
-        assert!(i < self.len, "bit {i} out of bounds for bitmap of {} bits", self.len);
+        assert!(
+            i < self.len,
+            "bit {i} out of bounds for bitmap of {} bits",
+            self.len
+        );
         self.words[i / 64] |= 1u64 << (i % 64);
     }
 
@@ -67,7 +71,11 @@ impl Bitmap {
     /// Panics if `i >= len`.
     #[inline]
     pub fn clear(&mut self, i: usize) {
-        assert!(i < self.len, "bit {i} out of bounds for bitmap of {} bits", self.len);
+        assert!(
+            i < self.len,
+            "bit {i} out of bounds for bitmap of {} bits",
+            self.len
+        );
         self.words[i / 64] &= !(1u64 << (i % 64));
     }
 
@@ -77,7 +85,11 @@ impl Bitmap {
     /// Panics if `i >= len`.
     #[inline]
     pub fn get(&self, i: usize) -> bool {
-        assert!(i < self.len, "bit {i} out of bounds for bitmap of {} bits", self.len);
+        assert!(
+            i < self.len,
+            "bit {i} out of bounds for bitmap of {} bits",
+            self.len
+        );
         (self.words[i / 64] >> (i % 64)) & 1 == 1
     }
 
@@ -91,15 +103,17 @@ impl Bitmap {
     /// # Panics
     /// Panics if `end > len` or `start > end`.
     pub fn set_range(&mut self, start: usize, end: usize) {
-        assert!(start <= end && end <= self.len, "range {start}..{end} out of bounds");
+        assert!(
+            start <= end && end <= self.len,
+            "range {start}..{end} out of bounds"
+        );
         if start == end {
             return;
         }
         let (first_word, first_bit) = (start / 64, start % 64);
         let (last_word, last_bit) = ((end - 1) / 64, (end - 1) % 64);
         if first_word == last_word {
-            let mask = (u64::MAX << first_bit)
-                & (u64::MAX >> (63 - last_bit));
+            let mask = (u64::MAX << first_bit) & (u64::MAX >> (63 - last_bit));
             self.words[first_word] |= mask;
         } else {
             self.words[first_word] |= u64::MAX << first_bit;

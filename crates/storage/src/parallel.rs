@@ -1,9 +1,18 @@
 //! Multi-threaded scan helpers built on scoped threads.
 //!
-//! Large full-table scans partition the input into per-thread chunks; counts
-//! and partial aggregates combine associatively. Skip-heavy scans rarely
-//! benefit (they touch little data), so parallelism is opt-in via the
-//! engine's executor configuration.
+//! Two layers live here:
+//!
+//! * [`par_map`] / [`par_map_weighted`] — a generic per-unit driver: apply
+//!   a kernel to every work item across scoped worker threads and return
+//!   the results **in item order**, so callers that fold results (answers,
+//!   observations) see exactly the sequence a sequential loop would have
+//!   produced. Work is split into one contiguous run of items per thread,
+//!   balanced by a caller-supplied weight (rows, typically).
+//! * [`par_count_in_range`] / [`par_sum_in_range`] — whole-slice
+//!   conveniences for callers without a unit structure.
+//!
+//! Skip-heavy scans rarely benefit (they touch little data), so
+//! parallelism is opt-in via the engine's executor policy.
 
 use crate::scan;
 use crate::types::DataValue;
@@ -11,56 +20,121 @@ use crate::types::DataValue;
 /// Minimum rows per thread before parallelism pays for thread start-up.
 pub const MIN_ROWS_PER_THREAD: usize = 1 << 18;
 
+/// How many worker threads a workload of `total_weight` rows can keep
+/// profitably busy: `requested` clamped so every thread gets at least
+/// `min_per_thread` rows (never below 1 thread).
+pub fn effective_threads(total_weight: usize, requested: usize, min_per_thread: usize) -> usize {
+    if requested <= 1 {
+        return 1;
+    }
+    requested.min(total_weight / min_per_thread.max(1)).max(1)
+}
+
+/// Applies `f` to every item of `items` using up to `threads` scoped
+/// worker threads, returning results in item order.
+///
+/// `f` receives `(item_index, &item)`. Each thread processes one
+/// contiguous run of items, so result order — and therefore any
+/// order-sensitive fold the caller performs (floating-point sums,
+/// observation feedback) — is identical to a sequential `items.iter().map`.
+pub fn par_map<I, R, F>(items: &[I], threads: usize, f: F) -> Vec<R>
+where
+    I: Sync,
+    R: Send,
+    F: Fn(usize, &I) -> R + Sync,
+{
+    par_map_weighted(items, threads, |_| 1, f)
+}
+
+/// As [`par_map`], balancing the per-thread runs by `weight` (e.g. rows
+/// per scan unit) instead of item count.
+pub fn par_map_weighted<I, R, F, W>(items: &[I], threads: usize, weight: W, f: F) -> Vec<R>
+where
+    I: Sync,
+    R: Send,
+    F: Fn(usize, &I) -> R + Sync,
+    W: Fn(&I) -> usize,
+{
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().enumerate().map(|(i, it)| f(i, it)).collect();
+    }
+    let total: usize = items.iter().map(&weight).sum();
+    let threads = threads.min(items.len());
+    let per_thread = total.div_ceil(threads).max(1);
+
+    // Cut the item list into contiguous runs of ~per_thread weight.
+    let mut runs: Vec<(usize, usize)> = Vec::with_capacity(threads);
+    let mut start = 0usize;
+    let mut acc = 0usize;
+    for (i, it) in items.iter().enumerate() {
+        acc += weight(it);
+        if acc >= per_thread && i + 1 < items.len() {
+            runs.push((start, i + 1));
+            start = i + 1;
+            acc = 0;
+        }
+    }
+    if start < items.len() {
+        runs.push((start, items.len()));
+    }
+
+    let f = &f;
+    let mut results: Vec<R> = Vec::with_capacity(items.len());
+    std::thread::scope(|s| {
+        let handles: Vec<_> = runs
+            .iter()
+            .map(|&(lo, hi)| {
+                s.spawn(move || {
+                    items[lo..hi]
+                        .iter()
+                        .enumerate()
+                        .map(|(off, it)| f(lo + off, it))
+                        .collect::<Vec<R>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            results.extend(h.join().expect("scan worker panicked"));
+        }
+    });
+    results
+}
+
 /// Counts values in `[lo, hi]` using up to `threads` worker threads.
 ///
 /// Falls back to the sequential kernel when the slice is small or
 /// `threads <= 1`. Result is identical to [`scan::count_in_range`].
 pub fn par_count_in_range<T: DataValue>(data: &[T], lo: T, hi: T, threads: usize) -> usize {
-    let usable = effective_threads(data.len(), threads);
+    let usable = effective_threads(data.len(), threads, MIN_ROWS_PER_THREAD);
     if usable <= 1 {
         return scan::count_in_range(data, lo, hi);
     }
     let chunk = data.len().div_ceil(usable);
-    crossbeam::scope(|s| {
-        let handles: Vec<_> = data
-            .chunks(chunk)
-            .map(|c| s.spawn(move |_| scan::count_in_range(c, lo, hi)))
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("scan worker panicked")).sum()
-    })
-    .expect("scan scope panicked")
+    let chunks: Vec<&[T]> = data.chunks(chunk).collect();
+    par_map(&chunks, usable, |_, c| scan::count_in_range(c, lo, hi))
+        .into_iter()
+        .sum()
 }
 
 /// Sums qualifying values in parallel; returns `(count, sum)`.
 pub fn par_sum_in_range<T: DataValue>(data: &[T], lo: T, hi: T, threads: usize) -> (usize, f64) {
-    let usable = effective_threads(data.len(), threads);
+    let usable = effective_threads(data.len(), threads, MIN_ROWS_PER_THREAD);
     if usable <= 1 {
         return scan::sum_in_range(data, lo, hi);
     }
     let chunk = data.len().div_ceil(usable);
-    crossbeam::scope(|s| {
-        let handles: Vec<_> = data
-            .chunks(chunk)
-            .map(|c| s.spawn(move |_| scan::sum_in_range(c, lo, hi)))
-            .collect();
-        handles.into_iter().fold((0usize, 0.0f64), |(ac, asum), h| {
-            let (c, sum) = h.join().expect("scan worker panicked");
+    let chunks: Vec<&[T]> = data.chunks(chunk).collect();
+    par_map(&chunks, usable, |_, c| scan::sum_in_range(c, lo, hi))
+        .into_iter()
+        .fold((0usize, 0.0f64), |(ac, asum), (c, sum)| {
             (ac + c, asum + sum)
         })
-    })
-    .expect("scan scope panicked")
-}
-
-fn effective_threads(rows: usize, requested: usize) -> usize {
-    if requested <= 1 {
-        return 1;
-    }
-    requested.min(rows.div_ceil(MIN_ROWS_PER_THREAD)).max(1)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ranges::RowRange;
 
     #[test]
     fn small_input_stays_sequential_but_correct() {
@@ -70,14 +144,18 @@ mod tests {
 
     #[test]
     fn parallel_count_matches_sequential() {
-        let data: Vec<i64> = (0..(MIN_ROWS_PER_THREAD as i64 * 4)).map(|i| i % 997).collect();
+        let data: Vec<i64> = (0..(MIN_ROWS_PER_THREAD as i64 * 4))
+            .map(|i| i % 997)
+            .collect();
         let seq = scan::count_in_range(&data, 100, 500);
         assert_eq!(par_count_in_range(&data, 100, 500, 4), seq);
     }
 
     #[test]
     fn parallel_sum_matches_sequential() {
-        let data: Vec<i64> = (0..(MIN_ROWS_PER_THREAD as i64 * 3)).map(|i| i % 101).collect();
+        let data: Vec<i64> = (0..(MIN_ROWS_PER_THREAD as i64 * 3))
+            .map(|i| i % 101)
+            .collect();
         let (sc, ss) = scan::sum_in_range(&data, 10, 90);
         let (pc, ps) = par_sum_in_range(&data, 10, 90, 3);
         assert_eq!(sc, pc);
@@ -86,14 +164,67 @@ mod tests {
 
     #[test]
     fn effective_threads_clamps() {
-        assert_eq!(effective_threads(10, 1), 1);
-        assert_eq!(effective_threads(10, 8), 1);
-        assert_eq!(effective_threads(MIN_ROWS_PER_THREAD * 2, 8), 2);
-        assert_eq!(effective_threads(MIN_ROWS_PER_THREAD * 100, 8), 8);
+        assert_eq!(effective_threads(10, 1, MIN_ROWS_PER_THREAD), 1);
+        assert_eq!(effective_threads(10, 8, MIN_ROWS_PER_THREAD), 1);
+        assert_eq!(
+            effective_threads(MIN_ROWS_PER_THREAD * 2, 8, MIN_ROWS_PER_THREAD),
+            2
+        );
+        assert_eq!(
+            effective_threads(MIN_ROWS_PER_THREAD * 100, 8, MIN_ROWS_PER_THREAD),
+            8
+        );
+        assert_eq!(
+            effective_threads(100, 4, 0),
+            4,
+            "zero floor never divides by zero"
+        );
     }
 
     #[test]
     fn empty_input() {
         assert_eq!(par_count_in_range::<i64>(&[], 0, 1, 4), 0);
+    }
+
+    #[test]
+    fn par_map_preserves_item_order() {
+        let items: Vec<usize> = (0..100).collect();
+        for threads in [1, 2, 3, 8] {
+            let out = par_map(&items, threads, |i, &it| {
+                assert_eq!(i, it);
+                it * 2
+            });
+            assert_eq!(out, items.iter().map(|i| i * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn par_map_weighted_matches_sequential_on_uneven_units() {
+        let data: Vec<i64> = (0..100_000).collect();
+        let units = [
+            RowRange::new(0, 10),
+            RowRange::new(10, 60_000),
+            RowRange::new(60_000, 60_001),
+            RowRange::new(60_001, 100_000),
+        ];
+        for threads in [1, 2, 3, 8] {
+            let out = par_map_weighted(
+                &units,
+                threads,
+                |u| u.len(),
+                |_, u| scan::count_in_range(&data[u.start..u.end], 100, 70_000),
+            );
+            let seq: Vec<usize> = units
+                .iter()
+                .map(|u| scan::count_in_range(&data[u.start..u.end], 100, 70_000))
+                .collect();
+            assert_eq!(out, seq, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_empty_items() {
+        let items: Vec<usize> = Vec::new();
+        assert!(par_map(&items, 4, |_, &x| x).is_empty());
     }
 }

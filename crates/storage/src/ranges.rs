@@ -149,10 +149,7 @@ impl RangeSet {
     /// True if `row` is covered by some range.
     pub fn contains(&self, row: usize) -> bool {
         // Binary search on start; candidate is the last range starting <= row.
-        match self
-            .ranges
-            .binary_search_by(|r| r.start.cmp(&row))
-        {
+        match self.ranges.binary_search_by(|r| r.start.cmp(&row)) {
             Ok(_) => true,
             Err(0) => false,
             Err(i) => self.ranges[i - 1].contains(row),
@@ -241,7 +238,10 @@ mod tests {
     #[test]
     fn row_range_intersect() {
         let a = RowRange::new(0, 10);
-        assert_eq!(a.intersect(&RowRange::new(5, 15)), Some(RowRange::new(5, 10)));
+        assert_eq!(
+            a.intersect(&RowRange::new(5, 15)),
+            Some(RowRange::new(5, 10))
+        );
         assert_eq!(a.intersect(&RowRange::new(10, 15)), None);
         assert_eq!(a.intersect(&RowRange::new(3, 7)), Some(RowRange::new(3, 7)));
     }

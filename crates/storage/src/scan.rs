@@ -54,14 +54,11 @@ pub fn collect_in_range<T: DataValue>(data: &[T], base: usize, lo: T, hi: T, out
 /// # Panics
 /// Panics if `base + data.len()` exceeds the bitmap length.
 #[inline]
-pub fn fill_bitmap_in_range<T: DataValue>(
-    data: &[T],
-    base: usize,
-    lo: T,
-    hi: T,
-    bm: &mut Bitmap,
-) {
-    assert!(base + data.len() <= bm.len(), "bitmap too small for scan output");
+pub fn fill_bitmap_in_range<T: DataValue>(data: &[T], base: usize, lo: T, hi: T, bm: &mut Bitmap) {
+    assert!(
+        base + data.len() <= bm.len(),
+        "bitmap too small for scan output"
+    );
     for (i, &v) in data.iter().enumerate() {
         if v.ge_total(&lo) && v.le_total(&hi) {
             bm.set(base + i);
@@ -83,6 +80,19 @@ pub fn sum_in_range<T: DataValue>(data: &[T], lo: T, hi: T) -> (usize, f64) {
         sum += if q { v.to_f64() } else { 0.0 };
     }
     (count, sum)
+}
+
+/// Sums every value of the slice as `f64` — the no-predicate kernel for
+/// ranges already proven to fully match, where re-evaluating the
+/// predicate per row (as `sum_in_range` with `[MIN, MAX]` bounds would)
+/// wastes two comparisons per tuple.
+#[inline]
+pub fn sum_all<T: DataValue>(data: &[T]) -> f64 {
+    let mut sum = 0.0f64;
+    for &v in data {
+        sum += v.to_f64();
+    }
+    sum
 }
 
 /// Full aggregate state of one scanned range, produced in a single pass.
@@ -168,7 +178,10 @@ pub fn fill_bitmap_in_range_with_minmax<T: DataValue>(
     hi: T,
     bm: &mut Bitmap,
 ) -> (usize, T, T) {
-    assert!(base + data.len() <= bm.len(), "bitmap too small for scan output");
+    assert!(
+        base + data.len() <= bm.len(),
+        "bitmap too small for scan output"
+    );
     let mut count = 0usize;
     let mut min = T::MAX_VALUE;
     let mut max = T::MIN_VALUE;
@@ -312,6 +325,15 @@ mod tests {
         let (c, s) = sum_in_range(&data, 2, 3);
         assert_eq!(c, 2);
         assert_eq!(s, 5.0);
+    }
+
+    #[test]
+    fn sum_all_matches_predicate_free_sum() {
+        let data = [1i64, -2, 30, 4];
+        assert_eq!(sum_all(&data), 33.0);
+        let (_, s) = sum_in_range(&data, i64::MIN, i64::MAX);
+        assert_eq!(sum_all(&data), s);
+        assert_eq!(sum_all::<i64>(&[]), 0.0);
     }
 
     #[test]

@@ -187,11 +187,12 @@ impl Table {
     /// Borrows a column by name with its stored type.
     pub fn typed_column<T: ColumnAccess>(&self, name: &str) -> Result<&Column<T>> {
         let col = self.column(name)?;
-        col.as_typed::<T>().ok_or_else(|| StorageError::TypeMismatch {
-            column: name.to_string(),
-            expected: col.type_name(),
-            actual: T::TYPE_NAME,
-        })
+        col.as_typed::<T>()
+            .ok_or_else(|| StorageError::TypeMismatch {
+                column: name.to_string(),
+                expected: col.type_name(),
+                actual: T::TYPE_NAME,
+            })
     }
 
     /// Appends a batch of rows given as per-column value slices, in column
@@ -245,8 +246,10 @@ mod tests {
 
     fn sample_table() -> Table {
         let mut t = Table::new("trades");
-        t.add_column("price", Column::from_values(vec![10i64, 20, 30])).unwrap();
-        t.add_column("qty", Column::from_values(vec![1.0f64, 2.0, 3.0])).unwrap();
+        t.add_column("price", Column::from_values(vec![10i64, 20, 30]))
+            .unwrap();
+        t.add_column("qty", Column::from_values(vec![1.0f64, 2.0, 3.0]))
+            .unwrap();
         t
     }
 

@@ -15,9 +15,7 @@ use std::fmt;
 /// `totalOrder` (via [`f64::total_cmp`]); NaNs sort after all numbers, so a
 /// zone containing a NaN gets `max = NaN` and is never incorrectly skipped
 /// by finite-range predicates that use `le_total`/`ge_total`.
-pub trait DataValue:
-    Copy + Send + Sync + fmt::Debug + fmt::Display + PartialEq + 'static
-{
+pub trait DataValue: Copy + Send + Sync + fmt::Debug + fmt::Display + PartialEq + 'static {
     /// Smallest value of the type under [`DataValue::total_cmp`].
     const MIN_VALUE: Self;
     /// Largest value of the type under [`DataValue::total_cmp`].

@@ -4,8 +4,7 @@
 //! semi-sorted, clustered in value, or arbitrary — so these generators
 //! parameterise exactly those axes. All are deterministic given a seed.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ads_rng::StdRng;
 
 /// Evenly spread ascending values over `[0, domain)`.
 pub fn sorted(n: usize, domain: i64) -> Vec<i64> {
@@ -58,7 +57,13 @@ pub fn uniform(n: usize, domain: i64, seed: u64) -> Vec<i64> {
 /// Positionally contiguous clusters of similar values: the table is cut
 /// into `clusters` runs, each drawing values from a narrow window around a
 /// random centre. Models partition-loaded or batch-ingested data.
-pub fn clustered(n: usize, clusters: usize, width_fraction: f64, domain: i64, seed: u64) -> Vec<i64> {
+pub fn clustered(
+    n: usize,
+    clusters: usize,
+    width_fraction: f64,
+    domain: i64,
+    seed: u64,
+) -> Vec<i64> {
     assert!(clusters > 0, "need at least one cluster");
     assert!((0.0..=1.0).contains(&width_fraction), "width out of [0,1]");
     let mut rng = StdRng::seed_from_u64(seed);
@@ -119,7 +124,13 @@ pub fn mixed_regions(n: usize, domain: i64, seed: u64) -> Vec<i64> {
     let third = n / 3;
     let mut v = sorted(third, domain);
     v.extend(uniform(third, domain, seed));
-    v.extend(clustered(n - 2 * third, 16, 0.02, domain, seed ^ 0x9e37_79b9));
+    v.extend(clustered(
+        n - 2 * third,
+        16,
+        0.02,
+        domain,
+        seed ^ 0x9e37_79b9,
+    ));
     v
 }
 
@@ -222,10 +233,7 @@ mod tests {
         let run = N / 10;
         for c in 0..10 {
             let slice = &v[c * run..(c + 1) * run];
-            let (min, max) = (
-                *slice.iter().min().unwrap(),
-                *slice.iter().max().unwrap(),
-            );
+            let (min, max) = (*slice.iter().min().unwrap(), *slice.iter().max().unwrap());
             assert!(max - min <= DOMAIN / 50, "cluster {c} too wide");
         }
     }
@@ -259,7 +267,10 @@ mod tests {
         assert_eq!(v.len(), N);
         in_domain(&v);
         let third = N / 3;
-        assert!(v[..third].windows(2).all(|w| w[0] <= w[1]), "first third sorted");
+        assert!(
+            v[..third].windows(2).all(|w| w[0] <= w[1]),
+            "first third sorted"
+        );
     }
 
     #[test]

@@ -5,8 +5,7 @@
 //! induces depends on the data distribution (uniform data makes the two
 //! coincide), which the experiment write-ups note where it matters.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ads_rng::StdRng;
 
 /// One range query `[lo, hi]` (inclusive).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -170,7 +169,10 @@ mod tests {
         all_valid(&qs);
         let center = DOMAIN / 2;
         for q in &qs {
-            assert!((q.lo - center).abs() < DOMAIN / 10, "{q:?} far from hotspot");
+            assert!(
+                (q.lo - center).abs() < DOMAIN / 10,
+                "{q:?} far from hotspot"
+            );
         }
     }
 

@@ -1,8 +1,8 @@
 //! Declarative workload specs, so experiments can enumerate and label
 //! their workloads uniformly.
 
-use crate::{data, queries};
 use crate::queries::RangeQuery;
+use crate::{data, queries};
 
 /// A named data distribution with fixed shape parameters.
 ///
@@ -149,7 +149,10 @@ impl QuerySpec {
             QuerySpec::ShiftingHotspot {
                 selectivity,
                 phases,
-            } => format!("shifting-hotspot({}%, {phases} phases)", selectivity * 100.0),
+            } => format!(
+                "shifting-hotspot({}%, {phases} phases)",
+                selectivity * 100.0
+            ),
             QuerySpec::Sweep { selectivity } => format!("sweep({}%)", selectivity * 100.0),
             QuerySpec::Points => "points".into(),
         }

@@ -59,7 +59,11 @@ fn main() {
     let n = 1_000_000usize;
     let domain = 1_000_000i64;
     let mut column = data::uniform(n / 2, domain / 2, 21);
-    column.extend(data::sorted(n / 2, domain / 2).iter().map(|v| v + domain / 2));
+    column.extend(
+        data::sorted(n / 2, domain / 2)
+            .iter()
+            .map(|v| v + domain / 2),
+    );
 
     let cfg = AdaptiveConfig {
         target_zone_rows: 8192,
@@ -71,7 +75,12 @@ fn main() {
     };
     let mut zm = AdaptiveZonemap::new(n, cfg);
 
-    println!("column: rows 0..{} uniform-random, rows {}..{} sorted", n / 2, n / 2, n);
+    println!(
+        "column: rows 0..{} uniform-random, rows {}..{} sorted",
+        n / 2,
+        n / 2,
+        n
+    );
     println!("legend: . unbuilt   # built(exact)   ~ built(inherited)   x dead\n");
     println!("query    zones  structure");
     println!("{:>5}  {:>7}  {}", 0, zm.num_zones(), strip(&zm, n));

@@ -18,8 +18,18 @@ fn synth_country(i: usize) -> String {
     // Batches of 50k rows per region block, with a rotating block order —
     // positionally clustered values, the case zonemaps love.
     const REGIONS: [&str; 12] = [
-        "argentina", "australia", "austria", "belgium", "brazil", "canada", "chile", "denmark",
-        "france", "germany", "japan", "portugal",
+        "argentina",
+        "australia",
+        "austria",
+        "belgium",
+        "brazil",
+        "canada",
+        "chile",
+        "denmark",
+        "france",
+        "germany",
+        "japan",
+        "portugal",
     ];
     REGIONS[(i / 50_000) % REGIONS.len()].to_string()
 }
@@ -61,7 +71,13 @@ fn main() {
     // Ingest a batch containing an unseen country: the code space remaps
     // and the index is rebuilt — the honest price of ordered dictionaries.
     let batch: Vec<String> = (0..10_000)
-        .map(|i| if i % 100 == 0 { "iceland".to_string() } else { "japan".to_string() })
+        .map(|i| {
+            if i % 100 == 0 {
+                "iceland".to_string()
+            } else {
+                "japan".to_string()
+            }
+        })
         .collect();
     let (effect, ns) = session.append(&batch);
     println!(

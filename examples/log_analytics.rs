@@ -25,14 +25,7 @@ fn main() {
     // The full log stream: event ids arrive almost in order.
     let stream = data::almost_sorted(final_rows, domain, 0.02, 64, 3);
     // Investigation: hotspot jumps between three incident windows.
-    let qs = queries::shifting_hotspot(
-        batches * queries_per_batch,
-        domain,
-        0.002,
-        3,
-        0.08,
-        99,
-    );
+    let qs = queries::shifting_hotspot(batches * queries_per_batch, domain, 0.002, 3, 0.08, 99);
 
     let strategies = vec![
         Strategy::FullScan,
@@ -43,9 +36,7 @@ fn main() {
         }),
     ];
 
-    println!(
-        "log store: {initial} rows growing to {final_rows} across {batches} append batches"
-    );
+    println!("log store: {initial} rows growing to {final_rows} across {batches} append batches");
     println!(
         "workload: {} range counts, hotspot shifts twice\n",
         qs.len()
@@ -65,8 +56,7 @@ fn main() {
             for _ in 0..queries_per_batch {
                 let q = qs[qi];
                 qi += 1;
-                let (ans, _) =
-                    session.query(RangePredicate::between(q.lo, q.hi), AggKind::Count);
+                let (ans, _) = session.query(RangePredicate::between(q.lo, q.hi), AggKind::Count);
                 checksum = checksum.wrapping_add(ans.count);
             }
             let start = initial + b * per_batch_rows;

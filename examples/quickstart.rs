@@ -15,8 +15,8 @@ fn main() {
     let n = 4_000_000usize;
     let data = adaptive_data_skipping::workloads::data::almost_sorted(n, n as i64, 0.05, 256, 7);
 
-    let mut session =
-        ColumnSession::new(data, &Strategy::Adaptive(AdaptiveConfig::default())).record_history(true);
+    let mut session = ColumnSession::new(data, &Strategy::Adaptive(AdaptiveConfig::default()))
+        .record_history(true);
 
     // A dashboard asks for the same recent window a few times.
     let pred = RangePredicate::between(3_500_000, 3_550_000);

@@ -20,9 +20,7 @@ fn main() {
 
     let data = DataSpec::MixedRegions.generate(rows, domain, 7);
     let queries = QuerySpec::UniformRandom { selectivity: 0.01 }.generate(num_queries, domain, 8);
-    println!(
-        "mixed-regions column, {rows} rows; {num_queries} COUNT queries @1% selectivity\n"
-    );
+    println!("mixed-regions column, {rows} rows; {num_queries} COUNT queries @1% selectivity\n");
     println!(
         "{:<28} {:>10} {:>10} {:>11} {:>11} {:>9} {:>12}",
         "strategy", "build ms", "query ms", "mean µs", "metadata B", "copy B", "skip rate"

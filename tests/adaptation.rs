@@ -33,7 +33,10 @@ fn adaptive_converges_to_skipping_on_sorted_data() {
     let h = s.history();
     assert_eq!(h[0].rows_scanned, N, "first query scans everything");
     let late: usize = h[40..].iter().map(|m| m.rows_scanned).sum::<usize>() / 10;
-    assert!(late < N / 20, "late queries should skip ~everything: {late}");
+    assert!(
+        late < N / 20,
+        "late queries should skip ~everything: {late}"
+    );
 }
 
 #[test]
@@ -64,7 +67,8 @@ fn adaptive_beats_static_on_mixed_regions() {
     let data = DataSpec::MixedRegions.generate(N, DOMAIN, 5);
     let qs = queries(0.01, 300, 6);
 
-    let mut adaptive = ColumnSession::new(data.clone(), &Strategy::Adaptive(AdaptiveConfig::default()));
+    let mut adaptive =
+        ColumnSession::new(data.clone(), &Strategy::Adaptive(AdaptiveConfig::default()));
     let mut static_zm = ColumnSession::new(data, &Strategy::StaticZonemap { zone_rows: 4096 });
     run_workload(&mut adaptive, &qs);
     run_workload(&mut static_zm, &qs);
@@ -154,7 +158,11 @@ fn workload_shift_recovers() {
     run_workload(&mut s, &phase1);
     run_workload(&mut s, &phase2);
     let h = s.history();
-    let phase2_early: f64 = h[150..160].iter().map(|m| m.rows_scanned as f64).sum::<f64>() / 10.0;
+    let phase2_early: f64 = h[150..160]
+        .iter()
+        .map(|m| m.rows_scanned as f64)
+        .sum::<f64>()
+        / 10.0;
     let phase2_late: f64 = h[290..].iter().map(|m| m.rows_scanned as f64).sum::<f64>() / 10.0;
     assert!(
         phase2_late <= phase2_early,

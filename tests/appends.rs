@@ -87,7 +87,12 @@ fn empty_append_is_a_noop() {
         let mut session = ColumnSession::new((0..1000i64).collect(), &strategy);
         let before = session.count(RangePredicate::all());
         session.append(&[]);
-        assert_eq!(session.count(RangePredicate::all()), before, "{}", strategy.label());
+        assert_eq!(
+            session.count(RangePredicate::all()),
+            before,
+            "{}",
+            strategy.label()
+        );
         assert_eq!(session.len(), 1000);
     }
 }

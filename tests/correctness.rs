@@ -51,10 +51,21 @@ fn all_aggregates_equivalent_on_mixed_data() {
         let mut session = ColumnSession::new(data.clone(), &strategy);
         for q in &queries {
             let pred = RangePredicate::between(q.lo, q.hi);
-            for agg in [AggKind::Count, AggKind::Sum, AggKind::Min, AggKind::Max, AggKind::Positions] {
+            for agg in [
+                AggKind::Count,
+                AggKind::Sum,
+                AggKind::Min,
+                AggKind::Max,
+                AggKind::Positions,
+            ] {
                 let (got, _) = session.query(pred, agg);
                 let want = execute_reference(&data, pred, agg);
-                assert_eq!(got.count, want.count, "{} count ({agg:?})", strategy.label());
+                assert_eq!(
+                    got.count,
+                    want.count,
+                    "{} count ({agg:?})",
+                    strategy.label()
+                );
                 match agg {
                     AggKind::Sum => {
                         let (a, b) = (got.sum.unwrap(), want.sum.unwrap());
@@ -63,7 +74,12 @@ fn all_aggregates_equivalent_on_mixed_data() {
                     AggKind::Min => assert_eq!(got.min, want.min, "{} min", strategy.label()),
                     AggKind::Max => assert_eq!(got.max, want.max, "{} max", strategy.label()),
                     AggKind::Positions => {
-                        assert_eq!(got.positions, want.positions, "{} positions", strategy.label())
+                        assert_eq!(
+                            got.positions,
+                            want.positions,
+                            "{} positions",
+                            strategy.label()
+                        )
                     }
                     AggKind::Count => {}
                 }
@@ -108,7 +124,12 @@ fn repeated_identical_queries_stay_correct_while_adapting() {
     for strategy in Strategy::roster() {
         let mut session = ColumnSession::new(data.clone(), &strategy);
         for i in 0..50 {
-            assert_eq!(session.count(pred), expected, "{} iter {i}", strategy.label());
+            assert_eq!(
+                session.count(pred),
+                expected,
+                "{} iter {i}",
+                strategy.label()
+            );
         }
     }
 }

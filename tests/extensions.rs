@@ -43,8 +43,10 @@ fn string_sessions_survive_mixed_append_and_query_storms() {
                 let (got, _) = s.count_eq(probe);
                 assert_eq!(got, expected, "{} eq {probe} at {grown}", s.index_name());
             }
-            let expected_prefix =
-                full[..grown].iter().filter(|v| v.starts_with("tail")).count() as u64;
+            let expected_prefix = full[..grown]
+                .iter()
+                .filter(|v| v.starts_with("tail"))
+                .count() as u64;
             let (got, _) = s.count_prefix("tail");
             assert_eq!(got, expected_prefix, "{} prefix", s.index_name());
         }
@@ -74,19 +76,27 @@ fn disjunctions_match_reference_across_distributions_and_appends() {
                 RangePredicate::between(25_000, 26_000),
                 RangePredicate::point(49_999),
             ];
-            let (got, _) = execute_disjunction(&column, idx.as_mut(), preds.clone(), AggKind::Count);
+            let (got, _) =
+                execute_disjunction(&column, idx.as_mut(), preds.clone(), AggKind::Count);
             let expected: u64 = preds
                 .iter()
                 .map(|p| execute_reference(&column, *p, AggKind::Count).count)
                 .sum();
-            assert_eq!(got.count, expected, "{} on {}", strategy.label(), spec.label());
+            assert_eq!(
+                got.count,
+                expected,
+                "{} on {}",
+                strategy.label(),
+                spec.label()
+            );
 
             // Append and re-ask.
             let extra = data::uniform(2_000, 50_000, 9);
             let old = column.len();
             column.extend_from_slice(&extra);
             idx.on_append(&column[old..], &column);
-            let (got2, _) = execute_disjunction(&column, idx.as_mut(), preds.clone(), AggKind::Count);
+            let (got2, _) =
+                execute_disjunction(&column, idx.as_mut(), preds.clone(), AggKind::Count);
             let expected2: u64 = preds
                 .iter()
                 .map(|p| execute_reference(&column, *p, AggKind::Count).count)
@@ -163,7 +173,8 @@ fn generic_value_types_work_end_to_end() {
     for strategy in Strategy::roster() {
         let mut idx = strategy.build_index(&u_data);
         let pred = RangePredicate::between(10_000u64, 20_000);
-        let got = adaptive_data_skipping::engine::execute(&u_data, idx.as_mut(), pred, AggKind::Count);
+        let got =
+            adaptive_data_skipping::engine::execute(&u_data, idx.as_mut(), pred, AggKind::Count);
         let want = execute_reference(&u_data, pred, AggKind::Count);
         assert_eq!(got.0.count, want.count, "{} u64", strategy.label());
     }
@@ -174,7 +185,8 @@ fn generic_value_types_work_end_to_end() {
     for strategy in Strategy::roster() {
         let mut idx = strategy.build_index(&f_data);
         let pred = RangePredicate::between(10.0, 100.0);
-        let got = adaptive_data_skipping::engine::execute(&f_data, idx.as_mut(), pred, AggKind::Sum);
+        let got =
+            adaptive_data_skipping::engine::execute(&f_data, idx.as_mut(), pred, AggKind::Sum);
         let want = execute_reference(&f_data, pred, AggKind::Sum);
         assert_eq!(got.0.count, want.count, "{} f64", strategy.label());
         let (a, b) = (got.0.sum.unwrap(), want.sum.unwrap());
@@ -195,8 +207,12 @@ fn f64_columns_with_nan_stay_sound() {
         let mut idx = strategy.build_index(&f_data);
         for _ in 0..3 {
             let pred = RangePredicate::between(10.0, 20.0);
-            let (got, _) =
-                adaptive_data_skipping::engine::execute(&f_data, idx.as_mut(), pred, AggKind::Count);
+            let (got, _) = adaptive_data_skipping::engine::execute(
+                &f_data,
+                idx.as_mut(),
+                pred,
+                AggKind::Count,
+            );
             let want = execute_reference(&f_data, pred, AggKind::Count);
             assert_eq!(got.count, want.count, "{}", strategy.label());
         }
@@ -206,7 +222,12 @@ fn f64_columns_with_nan_stay_sound() {
         let wide = RangePredicate::between(f64::NEG_INFINITY, f64::INFINITY);
         let (got, _) =
             adaptive_data_skipping::engine::execute(&f_data, idx.as_mut(), wide, AggKind::Count);
-        assert_eq!(got.count, 4999, "{} wide excludes the NaN row", strategy.label());
+        assert_eq!(
+            got.count,
+            4999,
+            "{} wide excludes the NaN row",
+            strategy.label()
+        );
         // RangePredicate::all() uses MAX_VALUE = +inf for f64, same story.
         let all = RangePredicate::<f64>::all();
         let (got, _) =

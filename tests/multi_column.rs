@@ -15,8 +15,11 @@ fn table() -> Table {
         .expect("fresh column");
     t.add_column("b", Column::from_values(data::uniform(N, DOMAIN, 1)))
         .expect("fresh column");
-    t.add_column("c", Column::from_values(data::clustered(N, 16, 0.02, DOMAIN, 2)))
-        .expect("fresh column");
+    t.add_column(
+        "c",
+        Column::from_values(data::clustered(N, 16, 0.02, DOMAIN, 2)),
+    )
+    .expect("fresh column");
     t.add_column(
         "f",
         Column::from_values(
@@ -46,12 +49,12 @@ fn reference(t: &Table, preds: &[(&str, AnyPredicate)]) -> u64 {
     (0..t.num_rows())
         .filter(|&i| {
             preds.iter().all(|(name, p)| match p {
-                AnyPredicate::I64(p) => p.matches(
-                    t.typed_column::<i64>(name).expect("i64 column").value(i),
-                ),
-                AnyPredicate::F64(p) => p.matches(
-                    t.typed_column::<f64>(name).expect("f64 column").value(i),
-                ),
+                AnyPredicate::I64(p) => {
+                    p.matches(t.typed_column::<i64>(name).expect("i64 column").value(i))
+                }
+                AnyPredicate::F64(p) => {
+                    p.matches(t.typed_column::<f64>(name).expect("f64 column").value(i))
+                }
                 _ => unreachable!("test uses i64/f64 only"),
             })
         })
@@ -63,12 +66,18 @@ fn two_and_three_way_conjunctions_match_reference() {
     let t = table();
     let shapes: Vec<Vec<(&str, AnyPredicate)>> = vec![
         vec![
-            ("a", AnyPredicate::I64(RangePredicate::between(10_000, 30_000))),
+            (
+                "a",
+                AnyPredicate::I64(RangePredicate::between(10_000, 30_000)),
+            ),
             ("b", AnyPredicate::I64(RangePredicate::between(0, 50_000))),
         ],
         vec![
             ("a", AnyPredicate::I64(RangePredicate::between(0, 99_999))),
-            ("b", AnyPredicate::I64(RangePredicate::between(40_000, 41_000))),
+            (
+                "b",
+                AnyPredicate::I64(RangePredicate::between(40_000, 41_000)),
+            ),
             ("c", AnyPredicate::I64(RangePredicate::between(0, 60_000))),
         ],
         vec![
@@ -158,7 +167,10 @@ fn adaptive_indexes_do_adapt_through_table_sessions() {
     )
     .expect("base-coordinate strategy");
     let shape = [
-        ("a", AnyPredicate::I64(RangePredicate::between(10_000, 11_000))),
+        (
+            "a",
+            AnyPredicate::I64(RangePredicate::between(10_000, 11_000)),
+        ),
         ("b", AnyPredicate::I64(RangePredicate::all())),
     ];
     let (_, first) = ts.count_conjunction(&shape).expect("valid conjunction");

@@ -1,16 +1,23 @@
-//! Property-based tests over the framework's core invariants.
+//! Property-style tests over the framework's core invariants.
+//!
+//! Each test replays the same randomised scenario across many
+//! deterministic seeds (a lightweight substitute for an external
+//! property-testing framework): random data, random predicate sequences,
+//! every index structure, checked against a straight-scan reference.
 
 use adaptive_data_skipping::baselines::{ColumnImprints, CrackerColumn, SortedOracle};
 use adaptive_data_skipping::core::adaptive::{AdaptiveConfig, AdaptiveZonemap};
 use adaptive_data_skipping::core::{
     RangeObservation, RangePredicate, ScanObservation, SkippingIndex, StaticZonemap,
 };
-use adaptive_data_skipping::engine::{execute, execute_reference, AggKind, Strategy};
+use adaptive_data_skipping::engine::{
+    execute, execute_reference, execute_with_policy, AggKind, ExecPolicy, Strategy,
+};
 use adaptive_data_skipping::storage::{scan, RangeSet};
-use proptest::prelude::*;
-// `engine::Strategy` shadows the proptest trait's name; re-import the trait
-// anonymously so `.prop_map` resolves.
-use proptest::strategy::Strategy as _;
+use ads_rng::StdRng;
+
+/// Cases per property — the budget an external framework would default to.
+const CASES: u64 = 64;
 
 /// Small adaptive config so structural churn happens at test scale.
 fn test_config() -> AdaptiveConfig {
@@ -27,12 +34,20 @@ fn test_config() -> AdaptiveConfig {
     }
 }
 
-fn arb_data() -> impl proptest::strategy::Strategy<Value = Vec<i64>> {
-    prop::collection::vec(-1000i64..1000, 0..2000)
+fn gen_data(rng: &mut StdRng, max_len: usize) -> Vec<i64> {
+    let n = rng.gen_range(0..max_len);
+    (0..n).map(|_| rng.gen_range(-1000i64..1000)).collect()
 }
 
-fn arb_pred() -> impl proptest::strategy::Strategy<Value = RangePredicate<i64>> {
-    (-1200i64..1200, 0i64..500).prop_map(|(lo, w)| RangePredicate::between(lo, lo + w))
+fn gen_pred(rng: &mut StdRng) -> RangePredicate<i64> {
+    let lo = rng.gen_range(-1200i64..1200);
+    let w = rng.gen_range(0i64..500);
+    RangePredicate::between(lo, lo + w)
+}
+
+fn gen_preds(rng: &mut StdRng, lo: usize, hi: usize) -> Vec<RangePredicate<i64>> {
+    let n = rng.gen_range(lo..hi);
+    (0..n).map(|_| gen_pred(rng)).collect()
 }
 
 /// Drives the prune/scan/observe loop once and checks soundness: every
@@ -54,9 +69,9 @@ fn check_soundness(index: &mut dyn SkippingIndex<i64>, data: &[i64], pred: Range
         }
     }
     for r in out.full_match.ranges() {
-        for i in r.start..r.end {
+        for (i, &v) in target.iter().enumerate().take(r.end).skip(r.start) {
             assert!(
-                pred.matches(target[i]),
+                pred.matches(v),
                 "row {i} wrongly full-matched under {}",
                 index.name()
             );
@@ -75,11 +90,12 @@ fn check_soundness(index: &mut dyn SkippingIndex<i64>, data: &[i64], pred: Range
     });
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn prune_soundness_all_indexes(data in arb_data(), preds in prop::collection::vec(arb_pred(), 1..12)) {
+#[test]
+fn prune_soundness_all_indexes() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x5001 ^ case);
+        let data = gen_data(&mut rng, 2000);
+        let preds = gen_preds(&mut rng, 1, 12);
         let mut indexes: Vec<Box<dyn SkippingIndex<i64>>> = vec![
             Box::new(StaticZonemap::build(&data, 37)),
             Box::new(AdaptiveZonemap::new(data.len(), test_config())),
@@ -93,24 +109,31 @@ proptest! {
             }
         }
     }
+}
 
-    #[test]
-    fn answers_match_reference_for_random_workloads(
-        data in arb_data(),
-        preds in prop::collection::vec(arb_pred(), 1..10),
-    ) {
+#[test]
+fn answers_match_reference_for_random_workloads() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x5002 ^ case);
+        let data = gen_data(&mut rng, 2000);
+        let preds = gen_preds(&mut rng, 1, 10);
         for strategy in Strategy::roster() {
             let mut index = strategy.build_index(&data);
             for pred in &preds {
                 let (got, _) = execute(&data, index.as_mut(), *pred, AggKind::Count);
                 let want = execute_reference(&data, *pred, AggKind::Count);
-                prop_assert_eq!(got.count, want.count, "{}", strategy.label());
+                assert_eq!(got.count, want.count, "case {case}: {}", strategy.label());
             }
         }
     }
+}
 
-    #[test]
-    fn positions_match_reference(data in arb_data(), pred in arb_pred()) {
+#[test]
+fn positions_match_reference() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x5003 ^ case);
+        let data = gen_data(&mut rng, 2000);
+        let pred = gen_pred(&mut rng);
         for strategy in Strategy::roster() {
             let mut index = strategy.build_index(&data);
             // Run twice: once to let adaptive structures reorganise, once
@@ -118,15 +141,87 @@ proptest! {
             let _ = execute(&data, index.as_mut(), pred, AggKind::Positions);
             let (got, _) = execute(&data, index.as_mut(), pred, AggKind::Positions);
             let want = execute_reference(&data, pred, AggKind::Positions);
-            prop_assert_eq!(got.positions, want.positions, "{}", strategy.label());
+            assert_eq!(
+                got.positions,
+                want.positions,
+                "case {case}: {}",
+                strategy.label()
+            );
         }
     }
+}
 
-    #[test]
-    fn adaptive_zone_partition_survives_any_query_sequence(
-        len in 0usize..5000,
-        preds in prop::collection::vec(arb_pred(), 0..30),
-    ) {
+#[test]
+fn parallel_execution_is_equivalent_to_sequential() {
+    // The tentpole guarantee: thread count changes neither answers nor
+    // adaptation. Replaying the same query sequence under every policy
+    // must produce identical QueryAnswers for every aggregate kind AND
+    // leave an adaptive zonemap in an identical structural state.
+    const AGGS: [AggKind; 5] = [
+        AggKind::Count,
+        AggKind::Sum,
+        AggKind::Min,
+        AggKind::Max,
+        AggKind::Positions,
+    ];
+    for case in 0..12u64 {
+        let mut rng = StdRng::seed_from_u64(0x5009 ^ case);
+        let n = rng.gen_range(500..4000usize);
+        let data: Vec<i64> = (0..n).map(|_| rng.gen_range(-1000i64..1000)).collect();
+        let preds = gen_preds(&mut rng, 4, 10);
+        for threads in [2usize, 3, 8] {
+            // An eager policy so parallelism actually engages at this scale.
+            let policy = ExecPolicy {
+                threads,
+                min_rows_per_thread: 1,
+            };
+            for strategy in Strategy::roster() {
+                let mut seq_idx = strategy.build_index(&data);
+                let mut par_idx = strategy.build_index(&data);
+                for (qi, pred) in preds.iter().enumerate() {
+                    let agg = AGGS[qi % AGGS.len()];
+                    let (seq, _) = execute_with_policy(
+                        &data,
+                        seq_idx.as_mut(),
+                        *pred,
+                        agg,
+                        &ExecPolicy::sequential(),
+                    );
+                    let (par, _) =
+                        execute_with_policy(&data, par_idx.as_mut(), *pred, agg, &policy);
+                    assert_eq!(
+                        seq,
+                        par,
+                        "case {case} t={threads} q{qi} {agg:?}: {}",
+                        strategy.label()
+                    );
+                }
+            }
+            // Same sequence against adaptive zonemaps directly: the
+            // post-workload zone partition must be identical too.
+            let mut seq_zm = AdaptiveZonemap::new(data.len(), test_config());
+            let mut par_zm = AdaptiveZonemap::new(data.len(), test_config());
+            for (qi, pred) in preds.iter().enumerate() {
+                let agg = AGGS[qi % AGGS.len()];
+                let _ =
+                    execute_with_policy(&data, &mut seq_zm, *pred, agg, &ExecPolicy::sequential());
+                let _ = execute_with_policy(&data, &mut par_zm, *pred, agg, &policy);
+            }
+            assert_eq!(
+                seq_zm.zone_snapshot(),
+                par_zm.zone_snapshot(),
+                "case {case} t={threads}: adaptation diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn adaptive_zone_partition_survives_any_query_sequence() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x5004 ^ case);
+        let len = rng.gen_range(0..5000usize);
+        let preds = gen_preds(&mut rng, 1, 30);
         let data: Vec<i64> = (0..len as i64).map(|i| (i * 37) % 997 - 500).collect();
         let mut zm = AdaptiveZonemap::new(len, test_config());
         for pred in preds {
@@ -134,17 +229,24 @@ proptest! {
             zm.assert_invariants();
         }
     }
+}
 
-    #[test]
-    fn adaptive_soundness_under_interleaved_appends(
-        initial in arb_data(),
-        batches in prop::collection::vec(prop::collection::vec(-1000i64..1000, 1..100), 0..6),
-        pred in arb_pred(),
-    ) {
-        let mut data = initial;
+#[test]
+fn adaptive_soundness_under_interleaved_appends() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x5005 ^ case);
+        let mut data = gen_data(&mut rng, 2000);
+        let pred = gen_pred(&mut rng);
+        let n_batches = rng.gen_range(0..6usize);
         let mut zm = AdaptiveZonemap::new(data.len(), test_config());
         check_soundness(&mut zm, &data, pred);
-        for batch in batches {
+        for _ in 0..n_batches {
+            let batch = {
+                let b = rng.gen_range(1..100usize);
+                (0..b)
+                    .map(|_| rng.gen_range(-1000i64..1000))
+                    .collect::<Vec<_>>()
+            };
             let old = data.len();
             data.extend_from_slice(&batch);
             zm.on_append(&data[old..], &data);
@@ -152,12 +254,17 @@ proptest! {
             check_soundness(&mut zm, &data, pred);
             let (got, _) = execute(&data, &mut zm, pred, AggKind::Count);
             let want = execute_reference(&data, pred, AggKind::Count);
-            prop_assert_eq!(got.count, want.count);
+            assert_eq!(got.count, want.count, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn cracking_preserves_multiset(data in arb_data(), preds in prop::collection::vec(arb_pred(), 1..10)) {
+#[test]
+fn cracking_preserves_multiset() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x5006 ^ case);
+        let data = gen_data(&mut rng, 2000);
+        let preds = gen_preds(&mut rng, 1, 10);
         let mut cc = CrackerColumn::build(&data);
         for pred in &preds {
             let _ = cc.prune(pred);
@@ -166,15 +273,22 @@ proptest! {
         let mut cracked = cc.view().expect("cracker exposes its view").to_vec();
         original.sort_unstable();
         cracked.sort_unstable();
-        prop_assert_eq!(original, cracked);
+        assert_eq!(original, cracked, "case {case}");
     }
+}
 
-    #[test]
-    fn rangeset_complement_partitions(spans in prop::collection::vec((0usize..500, 0usize..50), 0..20), n in 500usize..600) {
+#[test]
+fn rangeset_complement_partitions() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x5007 ^ case);
+        let n = rng.gen_range(500..600usize);
+        let n_spans = rng.gen_range(0..20usize);
+        let mut spans: Vec<(usize, usize)> = (0..n_spans)
+            .map(|_| (rng.gen_range(0..500usize), rng.gen_range(0..50usize)))
+            .collect();
+        spans.sort_unstable();
         let mut rs = RangeSet::new();
-        let mut sorted = spans.clone();
-        sorted.sort_unstable();
-        for (start, w) in sorted {
+        for (start, w) in spans {
             let end = (start + w).min(n);
             if start < end {
                 // push requires increasing starts; clamp overlaps are fine.
@@ -184,14 +298,22 @@ proptest! {
             }
         }
         let comp = rs.complement(n);
-        prop_assert_eq!(rs.covered_rows() + comp.covered_rows(), n);
+        assert_eq!(rs.covered_rows() + comp.covered_rows(), n, "case {case}");
         for row in 0..n {
-            prop_assert!(rs.contains(row) != comp.contains(row));
+            assert!(
+                rs.contains(row) != comp.contains(row),
+                "case {case} row {row}"
+            );
         }
     }
+}
 
-    #[test]
-    fn static_zonemap_metadata_always_exact(data in arb_data(), zone_rows in 1usize..200) {
+#[test]
+fn static_zonemap_metadata_always_exact() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x5008 ^ case);
+        let data = gen_data(&mut rng, 2000);
+        let zone_rows = rng.gen_range(1..200usize);
         let mut zm = StaticZonemap::build(&data, zone_rows);
         // Metadata truth implies soundness for every predicate; spot-check
         // with predicates derived from the data itself.
