@@ -1,0 +1,399 @@
+//! The kernel benchmark behind `results/BENCH_kernels.json`.
+//!
+//! Measures the block-structured scan kernels of `ads_storage::scan`
+//! against their retained scalar references (`scan::scalar`) across value
+//! type × selectivity, and the SoA prune plane of `AdaptiveZonemap`
+//! against its retained array-of-structs loop
+//! ([`AdaptiveZonemap::prune_via_zones`]) on an all-built zone map. The
+//! report renders as machine-readable JSON (the repo's perf-trajectory
+//! format, schema `ads-kernel-bench/v1`) and as the markdown table
+//! embedded in the README.
+//!
+//! Run via:
+//!
+//! ```text
+//! cargo run -p ads-bench --release --bin kernels_json
+//! cargo run -p ads-bench --release --bin kernels_json -- --rows 4096 --out results/BENCH_kernels.json
+//! ```
+
+use crate::microbench::{bench, black_box, section};
+use ads_core::adaptive::{AdaptiveConfig, AdaptiveZonemap};
+use ads_core::{RangeObservation, RangePredicate, ScanObservation, SkippingIndex};
+use ads_rng::StdRng;
+use ads_storage::{scan, Bitmap, DataValue, RowRange};
+use std::fmt::Write as _;
+
+/// Value domain the generated columns draw from; selectivity percentages
+/// translate to predicate widths against this.
+const DOMAIN: i64 = 1_000_000;
+
+/// Selectivities measured, in percent of the domain.
+const SELECTIVITIES: [u32; 4] = [1, 10, 50, 100];
+
+/// One kernel × type × selectivity measurement.
+#[derive(Debug, Clone)]
+pub struct KernelRow {
+    /// Kernel name (`count_in_range`, `sum_in_range`, ...).
+    pub kernel: &'static str,
+    /// Element type name (`i64`, `f64`, `f32`).
+    pub ty: &'static str,
+    /// Predicate selectivity in percent of the domain.
+    pub selectivity_pct: u32,
+    /// Rows scanned per call.
+    pub rows: usize,
+    /// Best-of-samples per-row time of the block kernel.
+    pub block_ns_per_row: f64,
+    /// Best-of-samples per-row time of the scalar reference.
+    pub scalar_ns_per_row: f64,
+}
+
+impl KernelRow {
+    /// Scalar-over-block time ratio (>1 means the block kernel is faster).
+    pub fn speedup(&self) -> f64 {
+        self.scalar_ns_per_row / self.block_ns_per_row
+    }
+}
+
+/// One prune-loop measurement.
+#[derive(Debug, Clone)]
+pub struct PruneRow {
+    /// `soa_plane` or `aos_reference`.
+    pub impl_name: &'static str,
+    /// Zones probed per prune call.
+    pub zones: usize,
+    /// Best-of-samples per-zone probe time.
+    pub ns_per_zone: f64,
+}
+
+/// The full benchmark report.
+#[derive(Debug, Clone)]
+pub struct KernelReport {
+    /// Rows per scanned column.
+    pub rows: usize,
+    /// Scan-kernel measurements.
+    pub kernels: Vec<KernelRow>,
+    /// Prune-loop measurements.
+    pub prune: Vec<PruneRow>,
+}
+
+/// Formats an `f64` for JSON: finite, fixed precision, never NaN/inf
+/// (which JSON cannot represent).
+fn json_num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.4}")
+    } else {
+        "null".to_string()
+    }
+}
+
+impl KernelReport {
+    /// Renders the report as the `ads-kernel-bench/v1` JSON document.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(4096);
+        s.push_str("{\n");
+        s.push_str("  \"schema\": \"ads-kernel-bench/v1\",\n");
+        let _ = writeln!(s, "  \"rows\": {},", self.rows);
+        s.push_str("  \"kernels\": [\n");
+        for (i, k) in self.kernels.iter().enumerate() {
+            let _ = write!(
+                s,
+                "    {{\"kernel\": \"{}\", \"type\": \"{}\", \"selectivity_pct\": {}, \"rows\": {}, \"block_ns_per_row\": {}, \"scalar_ns_per_row\": {}, \"speedup\": {}}}",
+                k.kernel,
+                k.ty,
+                k.selectivity_pct,
+                k.rows,
+                json_num(k.block_ns_per_row),
+                json_num(k.scalar_ns_per_row),
+                json_num(k.speedup()),
+            );
+            s.push_str(if i + 1 < self.kernels.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        s.push_str("  ],\n");
+        s.push_str("  \"prune\": [\n");
+        for (i, p) in self.prune.iter().enumerate() {
+            let _ = write!(
+                s,
+                "    {{\"impl\": \"{}\", \"zones\": {}, \"ns_per_zone\": {}}}",
+                p.impl_name,
+                p.zones,
+                json_num(p.ns_per_zone),
+            );
+            s.push_str(if i + 1 < self.prune.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// Renders the README's kernel-performance table: per-row times at 10%
+    /// selectivity plus the prune-loop comparison.
+    pub fn to_markdown(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "| Kernel | Type | Block ns/row | Scalar ns/row | Speedup |"
+        );
+        let _ = writeln!(s, "|---|---|---:|---:|---:|");
+        for k in self.kernels.iter().filter(|k| k.selectivity_pct == 10) {
+            let _ = writeln!(
+                s,
+                "| `{}` | {} | {:.3} | {:.3} | {:.2}x |",
+                k.kernel,
+                k.ty,
+                k.block_ns_per_row,
+                k.scalar_ns_per_row,
+                k.speedup()
+            );
+        }
+        let _ = writeln!(s);
+        let _ = writeln!(s, "| Prune loop | Zones | ns/zone probe |");
+        let _ = writeln!(s, "|---|---:|---:|");
+        for p in &self.prune {
+            let _ = writeln!(
+                s,
+                "| {} | {} | {:.2} |",
+                p.impl_name, p.zones, p.ns_per_zone
+            );
+        }
+        s
+    }
+}
+
+/// A column of `rows` values drawn uniformly from `[0, DOMAIN)`.
+fn gen_column(rows: usize, seed: u64) -> Vec<i64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..rows).map(|_| rng.gen_range(0..DOMAIN)).collect()
+}
+
+/// The inclusive predicate bound selecting ~`pct`% of `[0, DOMAIN)`.
+fn sel_bound(pct: u32) -> i64 {
+    (DOMAIN * pct as i64) / 100 - 1
+}
+
+/// Measures every kernel over one typed column; `cast` maps the canonical
+/// integer column into the measured type.
+fn bench_type<T: DataValue>(
+    ty: &'static str,
+    base: &[i64],
+    cast: impl Fn(i64) -> T,
+    out: &mut Vec<KernelRow>,
+) {
+    let data: Vec<T> = base.iter().map(|&v| cast(v)).collect();
+    let rows = data.len();
+    let lo = cast(0);
+    for pct in SELECTIVITIES {
+        let hi = cast(sel_bound(pct));
+        section(&format!("{ty} @ {pct}% selectivity ({rows} rows)"));
+        let mut push = |kernel: &'static str, block_ns: f64, scalar_ns: f64| {
+            out.push(KernelRow {
+                kernel,
+                ty,
+                selectivity_pct: pct,
+                rows,
+                block_ns_per_row: block_ns / rows as f64,
+                scalar_ns_per_row: scalar_ns / rows as f64,
+            });
+        };
+
+        let b = bench("count_in_range/block", || {
+            scan::count_in_range(black_box(&data), lo, hi)
+        });
+        let r = bench("count_in_range/scalar", || {
+            scan::scalar::count_in_range(black_box(&data), lo, hi)
+        });
+        push("count_in_range", b.best_ns, r.best_ns);
+
+        let b = bench("count_with_minmax/block", || {
+            scan::count_in_range_with_minmax(black_box(&data), lo, hi)
+        });
+        let r = bench("count_with_minmax/scalar", || {
+            scan::scalar::count_in_range_with_minmax(black_box(&data), lo, hi)
+        });
+        push("count_in_range_with_minmax", b.best_ns, r.best_ns);
+
+        let b = bench("sum_in_range/block", || {
+            scan::sum_in_range(black_box(&data), lo, hi)
+        });
+        let r = bench("sum_in_range/scalar", || {
+            scan::scalar::sum_in_range(black_box(&data), lo, hi)
+        });
+        push("sum_in_range", b.best_ns, r.best_ns);
+
+        let mut positions = Vec::with_capacity(rows);
+        let b = bench("collect_in_range/block", || {
+            positions.clear();
+            scan::collect_in_range(black_box(&data), 0, lo, hi, &mut positions);
+            positions.len()
+        });
+        let r = bench("collect_in_range/scalar", || {
+            positions.clear();
+            scan::scalar::collect_in_range(black_box(&data), 0, lo, hi, &mut positions);
+            positions.len()
+        });
+        push("collect_in_range", b.best_ns, r.best_ns);
+
+        let mut bm = Bitmap::new(rows);
+        let b = bench("fill_bitmap_in_range/block", || {
+            scan::fill_bitmap_in_range(black_box(&data), 0, lo, hi, &mut bm);
+            bm.len()
+        });
+        let r = bench("fill_bitmap_in_range/scalar", || {
+            scan::scalar::fill_bitmap_in_range(black_box(&data), 0, lo, hi, &mut bm);
+            bm.len()
+        });
+        push("fill_bitmap_in_range", b.best_ns, r.best_ns);
+
+        let b = bench("min_max_in_range/block", || {
+            scan::min_max_in_range(black_box(&data), lo, hi)
+        });
+        let r = bench("min_max_in_range/scalar", || {
+            scan::scalar::min_max_in_range(black_box(&data), lo, hi)
+        });
+        push("min_max_in_range", b.best_ns, r.best_ns);
+    }
+}
+
+/// Builds an adaptive zonemap over a sorted column with every zone Built —
+/// the steady state the prune loop is measured in.
+fn all_built_zonemap(zones: usize, rows_per_zone: usize) -> AdaptiveZonemap<i64> {
+    let len = zones * rows_per_zone;
+    let config = AdaptiveConfig {
+        target_zone_rows: rows_per_zone,
+        min_zone_rows: 2,
+        max_zone_rows: rows_per_zone.max(2),
+        revival_base_queries: None,
+        ..AdaptiveConfig::lazy_only()
+    };
+    let mut zm = AdaptiveZonemap::new(len, config);
+    // Sorted column: zone z covers values [z*rows_per_zone, (z+1)*rows_per_zone).
+    let pred = RangePredicate::all();
+    let out = zm.prune(&pred);
+    let ranges = out
+        .units()
+        .iter()
+        .map(|u| {
+            RangeObservation::new(
+                RowRange::new(u.start, u.end),
+                u.len(),
+                u.start as i64,
+                (u.end - 1) as i64,
+            )
+        })
+        .collect();
+    zm.observe(&ScanObservation {
+        predicate: pred,
+        ranges,
+    });
+    zm
+}
+
+/// Measures the SoA plane prune against the retained AoS loop.
+fn bench_prune(zones: usize, rows_per_zone: usize, out: &mut Vec<PruneRow>) {
+    section(&format!("prune: {zones} built zones (sorted column)"));
+    let zm = all_built_zonemap(zones, rows_per_zone);
+    // ~1% of zones overlap this predicate; the rest exercise the
+    // bounds-exclusion fast path, which is where the layouts differ.
+    let pred = RangePredicate::between(0, (zones as i64 * rows_per_zone as i64) / 100);
+
+    let mut plane_zm = zm.clone();
+    let b = bench("prune/soa_plane", || {
+        black_box(plane_zm.prune(black_box(&pred))).zones_probed
+    });
+    out.push(PruneRow {
+        impl_name: "soa_plane",
+        zones,
+        ns_per_zone: b.best_ns / zones as f64,
+    });
+
+    let mut aos_zm = zm;
+    let r = bench("prune/aos_reference", || {
+        black_box(aos_zm.prune_via_zones(black_box(&pred))).zones_probed
+    });
+    out.push(PruneRow {
+        impl_name: "aos_reference",
+        zones,
+        ns_per_zone: r.best_ns / zones as f64,
+    });
+}
+
+/// Runs the full kernel benchmark at `rows` rows per column and
+/// `prune_zones` zones in the prune comparison.
+pub fn run(rows: usize, prune_zones: usize) -> KernelReport {
+    let base = gen_column(rows, 0xAD50_0001);
+    let mut kernels = Vec::new();
+    bench_type("i64", &base, |v| v, &mut kernels);
+    bench_type("f64", &base, |v| v as f64, &mut kernels);
+    bench_type("f32", &base, |v| v as f32, &mut kernels);
+
+    let mut prune = Vec::new();
+    // 16 rows per zone keeps the map metadata-bound: the point is to time
+    // the probe loop, not the scans it saves.
+    bench_prune(prune_zones, 16, &mut prune);
+
+    KernelReport {
+        rows,
+        kernels,
+        prune,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_built_zonemap_is_fully_built() {
+        let zm = all_built_zonemap(64, 16);
+        let (unbuilt, built, dead) = zm.state_counts();
+        assert_eq!((unbuilt, built, dead), (0, 64, 0));
+        assert_eq!(zm.num_zones(), 64);
+    }
+
+    #[test]
+    fn json_report_shape() {
+        let report = KernelReport {
+            rows: 128,
+            kernels: vec![KernelRow {
+                kernel: "count_in_range",
+                ty: "i64",
+                selectivity_pct: 10,
+                rows: 128,
+                block_ns_per_row: 0.5,
+                scalar_ns_per_row: 1.0,
+            }],
+            prune: vec![PruneRow {
+                impl_name: "soa_plane",
+                zones: 64,
+                ns_per_zone: 0.75,
+            }],
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"schema\": \"ads-kernel-bench/v1\""));
+        assert!(json.contains("\"speedup\": 2.0000"));
+        assert!(json.contains("\"ns_per_zone\": 0.7500"));
+        // Balanced braces/brackets as a cheap well-formedness check.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced JSON"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        let md = report.to_markdown();
+        assert!(md.contains("| `count_in_range` | i64 |"));
+        assert!(md.contains("soa_plane"));
+    }
+
+    #[test]
+    fn json_num_never_emits_nonfinite() {
+        assert_eq!(json_num(f64::NAN), "null");
+        assert_eq!(json_num(f64::INFINITY), "null");
+        assert_eq!(json_num(1.25), "1.2500");
+    }
+}

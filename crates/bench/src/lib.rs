@@ -14,6 +14,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod kernels;
 pub mod microbench;
 pub mod report;
 pub mod runner;

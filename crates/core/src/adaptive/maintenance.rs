@@ -15,6 +15,9 @@ impl<T: DataValue> AdaptiveZonemap<T> {
     /// One maintenance pass: merge useless adjacent zones, deactivate
     /// hopeless maximal zones, and coalesce adjacent dead regions.
     pub(crate) fn run_maintenance(&mut self) {
+        // Merge/deactivate decisions read probes and skip rates; make the
+        // plane's deferred skip counts visible first.
+        self.flush_pending_skips();
         if self.config.enable_merge {
             self.merge_pass();
         }
@@ -24,6 +27,9 @@ impl<T: DataValue> AdaptiveZonemap<T> {
         // Adjacent dead regions always coalesce: a single entry per dead
         // extent is what makes bypassing them effectively free.
         self.coalesce_dead();
+        // Every pass above may renumber or retire zones; one rebuild
+        // restores the SoA prune plane's mirroring invariant.
+        self.plane.rebuild(&self.zones);
     }
 
     /// Merges runs of adjacent Built zones whose metadata never causes
@@ -154,6 +160,9 @@ impl<T: DataValue> AdaptiveZonemap<T> {
             self.next_revival_check = u64::MAX;
             return;
         };
+        // Revival renumbers zones and rebuilds the plane, which zeroes
+        // the deferred skip counters — bank them first.
+        self.flush_pending_skips();
         let query_seq = self.query_seq;
         let due = |z: &AdaptiveZone<T>| match z.state {
             ZoneState::Dead { since_query } => {
@@ -185,6 +194,7 @@ impl<T: DataValue> AdaptiveZonemap<T> {
             }
         }
         self.zones = rebuilt;
+        self.plane.rebuild(&self.zones);
         for range in revived {
             self.trace
                 .record(self.query_seq, AdaptEvent::Revived { range });

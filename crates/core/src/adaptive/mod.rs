@@ -6,6 +6,7 @@
 
 mod config;
 mod maintenance;
+mod plane;
 mod zone;
 mod zonemap;
 

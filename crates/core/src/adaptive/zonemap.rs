@@ -18,6 +18,7 @@
 //! container, the prune/observe protocol, and the append path.
 
 use crate::adaptive::config::AdaptiveConfig;
+use crate::adaptive::plane::PrunePlane;
 use crate::adaptive::zone::{AdaptiveZone, ZoneMask, ZoneState};
 use crate::cost::CostModel;
 use crate::index::SkippingIndex;
@@ -34,6 +35,9 @@ use ads_storage::{DataValue, RangeSet, RowRange};
 #[derive(Debug, Clone)]
 pub struct AdaptiveZonemap<T: DataValue> {
     pub(crate) zones: Vec<AdaptiveZone<T>>,
+    /// Dense SoA mirror of the probe-critical zone fields; see
+    /// [`PrunePlane`] for the mirroring invariant.
+    pub(crate) plane: PrunePlane<T>,
     pub(crate) config: AdaptiveConfig,
     pub(crate) cost: CostModel,
     pub(crate) trace: AdaptTrace,
@@ -65,8 +69,10 @@ impl<T: DataValue> AdaptiveZonemap<T> {
             start = end;
         }
         let trace = AdaptTrace::new(config.trace_capacity);
+        let plane = PrunePlane::from_zones(&zones);
         let zm = AdaptiveZonemap {
             zones,
+            plane,
             config,
             cost,
             trace,
@@ -120,14 +126,18 @@ impl<T: DataValue> AdaptiveZonemap<T> {
     pub fn zone_snapshot(&self) -> Vec<(RowRange, &'static str, f64)> {
         self.zones
             .iter()
-            .map(|z| {
+            .enumerate()
+            .map(|(i, z)| {
                 let label = match z.state {
                     ZoneState::Unbuilt => "unbuilt",
                     ZoneState::Built { exact: true, .. } => "built",
                     ZoneState::Built { exact: false, .. } => "built~",
                     ZoneState::Dead { .. } => "dead",
                 };
-                (z.range(), label, z.stats.skip_rate())
+                // Read through the plane's deferred skip counter so the
+                // snapshot is independent of when stats were last flushed.
+                let rate = z.stats.skip_rate_with_pending(self.plane.pending_skip(i));
+                (z.range(), label, rate)
             })
             .collect()
     }
@@ -166,6 +176,10 @@ impl<T: DataValue> AdaptiveZonemap<T> {
             self.zones.iter().all(|z| !z.is_empty()),
             "empty zone present"
         );
+        assert!(
+            self.plane.mirrors(&self.zones),
+            "prune plane out of sync with zones"
+        );
     }
 }
 
@@ -198,79 +212,45 @@ impl<T: DataValue> SkippingIndex<T> for AdaptiveZonemap<T> {
     }
 
     fn prune(&mut self, pred: &RangePredicate<T>) -> PruneOutcome {
-        self.query_seq += 1;
-        self.stats.queries += 1;
+        let mut out = self.prune_prologue();
 
-        if self.query_seq >= self.next_revival_check {
-            self.revive_due_zones();
-        }
-
-        let mut out = PruneOutcome {
-            must_scan: RangeSet::with_capacity(32),
-            scan_units: Vec::with_capacity(32),
-            mask_requests: Vec::new(),
-            full_match: RangeSet::with_capacity(8),
-            zones_probed: 0,
-            zones_skipped: 0,
-        };
-
+        // Hot loop over the dense SoA prune plane: the bounds test reads
+        // only the packed built-bitset and min/max arrays; the full
+        // AdaptiveZone record is touched for stat feedback and for the
+        // minority of zones the bounds cannot exclude.
         let min_split_rows =
             (2 * self.config.min_zone_rows).max(2 * self.cost.min_profitable_zone_rows());
-        for zone in &mut self.zones {
+        for idx in 0..self.zones.len() {
             out.zones_probed += 1;
-            match zone.state {
-                ZoneState::Unbuilt | ZoneState::Dead { .. } => {
-                    out.must_scan.push_span(zone.start, zone.end);
-                    out.scan_units.push(zone.range());
-                    out.mask_requests.push(None);
-                }
-                ZoneState::Built { min, max, .. } => {
-                    if !pred.overlaps(min, max) {
-                        out.zones_skipped += 1;
-                        zone.stats.record_skip();
-                        continue;
-                    }
-                    if pred.contains_zone(min, max) {
-                        out.full_match.push_span(zone.start, zone.end);
-                        zone.stats.record_no_skip();
-                        continue;
-                    }
-                    // Secondary pruning: the value mask may exclude the
-                    // zone even though its (min, max) cannot — the
-                    // outlier case.
-                    if let Some(mask) = zone.mask {
-                        let bits = mask
-                            .layout
-                            .predicate_bits(pred.lo.to_f64(), pred.hi.to_f64());
-                        if mask.bits & bits == 0 {
-                            out.zones_skipped += 1;
-                            zone.stats.record_skip();
-                            continue;
-                        }
-                    }
-                    out.must_scan.push_span(zone.start, zone.end);
-                    out.scan_units.push(zone.range());
-                    // Ask the scan to collect a mask for zones that keep
-                    // wasting scans but can refine no further positionally.
-                    let can_split = self.config.enable_split
-                        && !zone.no_resplit
-                        && zone.len() >= min_split_rows;
-                    let want_mask = self.config.enable_mask
-                        && zone.mask.is_none()
-                        && !can_split
-                        && zone.stats.wasted_scans >= self.config.split_after_wasted;
-                    out.mask_requests.push(want_mask.then_some(MaskRequest {
-                        lo_f: min.to_f64(),
-                        hi_f: max.to_f64(),
-                    }));
-                    zone.stats.record_no_skip();
-                }
+            if !self.plane.is_built(idx) {
+                // Unbuilt and Dead zones scan identically.
+                let zone = &self.zones[idx];
+                out.must_scan.push_span(zone.start, zone.end);
+                out.scan_units.push(zone.range());
+                out.mask_requests.push(None);
+                continue;
             }
+            let min = self.plane.mins[idx];
+            let max = self.plane.maxs[idx];
+            if !pred.overlaps(min, max) {
+                out.zones_skipped += 1;
+                // Deferred record_skip(): one dense counter bump instead
+                // of a read-modify-write on the cold AoS zone record.
+                self.plane.defer_skip(idx);
+                continue;
+            }
+            probe_overlapping_zone(
+                &mut self.zones[idx],
+                pred,
+                min,
+                max,
+                &self.config,
+                min_split_rows,
+                &mut out,
+            );
         }
 
-        self.stats.total_probes += out.zones_probed as u64;
-        self.stats.total_skips += out.zones_skipped as u64;
-        self.stats.rows_full_match += out.rows_full_match() as u64;
+        self.prune_epilogue(&out);
         out
     }
 
@@ -306,6 +286,7 @@ impl<T: DataValue> SkippingIndex<T> for AdaptiveZonemap<T> {
                         exact: true,
                     };
                     zone.stats.record_scan(frac, low_yield);
+                    self.plane.set_built(idx, ro.min, ro.max);
                     self.trace
                         .record(self.query_seq, AdaptEvent::Built { range: ro.range });
                 }
@@ -333,6 +314,7 @@ impl<T: DataValue> SkippingIndex<T> for AdaptiveZonemap<T> {
                         exact: true,
                     };
                     zone.stats.record_scan(frac, low_yield);
+                    self.plane.set_built(idx, ro.min, ro.max);
                     // The wasted-scan threshold doubles per split
                     // generation: each refinement level must earn the next
                     // with proportionally more evidence, so data without
@@ -388,6 +370,7 @@ impl<T: DataValue> SkippingIndex<T> for AdaptiveZonemap<T> {
             let end = (start + target).min(new_len);
             self.zones
                 .push(AdaptiveZone::unbuilt(start, end, self.config.ewma_alpha));
+            self.plane.push_unbuilt();
             start = end;
         }
         self.len = new_len;
@@ -397,7 +380,7 @@ impl<T: DataValue> SkippingIndex<T> for AdaptiveZonemap<T> {
     }
 
     fn metadata_bytes(&self) -> usize {
-        self.zones.capacity() * std::mem::size_of::<AdaptiveZone<T>>()
+        self.zones.capacity() * std::mem::size_of::<AdaptiveZone<T>>() + self.plane.heap_bytes()
     }
 
     fn adapt_events(&self) -> u64 {
@@ -405,11 +388,145 @@ impl<T: DataValue> SkippingIndex<T> for AdaptiveZonemap<T> {
     }
 }
 
+/// The shared probe tail for a built zone whose `(min, max)` the predicate
+/// overlaps: full-match detection, value-mask secondary pruning, and the
+/// must-scan + mask-request bookkeeping. Both the plane-driven [`prune`]
+/// loop and the AoS reference loop ([`AdaptiveZonemap::prune_via_zones`])
+/// funnel through here, which is what keeps them decision-identical.
+///
+/// [`prune`]: SkippingIndex::prune
+fn probe_overlapping_zone<T: DataValue>(
+    zone: &mut AdaptiveZone<T>,
+    pred: &RangePredicate<T>,
+    min: T,
+    max: T,
+    config: &AdaptiveConfig,
+    min_split_rows: usize,
+    out: &mut PruneOutcome,
+) {
+    if pred.contains_zone(min, max) {
+        out.full_match.push_span(zone.start, zone.end);
+        zone.stats.record_no_skip();
+        return;
+    }
+    // Secondary pruning: the value mask may exclude the zone even though
+    // its (min, max) cannot — the outlier case.
+    if let Some(mask) = zone.mask {
+        let bits = mask
+            .layout
+            .predicate_bits(pred.lo.to_f64(), pred.hi.to_f64());
+        if mask.bits & bits == 0 {
+            out.zones_skipped += 1;
+            zone.stats.record_skip();
+            return;
+        }
+    }
+    out.must_scan.push_span(zone.start, zone.end);
+    out.scan_units.push(zone.range());
+    // Ask the scan to collect a mask for zones that keep wasting scans
+    // but can refine no further positionally.
+    let can_split = config.enable_split && !zone.no_resplit && zone.len() >= min_split_rows;
+    let want_mask = config.enable_mask
+        && zone.mask.is_none()
+        && !can_split
+        && zone.stats.wasted_scans >= config.split_after_wasted;
+    out.mask_requests.push(want_mask.then_some(MaskRequest {
+        lo_f: min.to_f64(),
+        hi_f: max.to_f64(),
+    }));
+    zone.stats.record_no_skip();
+}
+
 impl<T: DataValue> AdaptiveZonemap<T> {
+    /// The bookkeeping every prune variant runs first: advance the query
+    /// clock, revive dead zones that are due, and set up the outcome.
+    fn prune_prologue(&mut self) -> PruneOutcome {
+        self.query_seq += 1;
+        self.stats.queries += 1;
+
+        if self.query_seq >= self.next_revival_check {
+            self.revive_due_zones();
+        }
+
+        PruneOutcome {
+            must_scan: RangeSet::with_capacity(32),
+            scan_units: Vec::with_capacity(32),
+            mask_requests: Vec::new(),
+            full_match: RangeSet::with_capacity(8),
+            zones_probed: 0,
+            zones_skipped: 0,
+        }
+    }
+
+    /// Folds one prune's tallies into the lifetime statistics.
+    fn prune_epilogue(&mut self, out: &PruneOutcome) {
+        self.stats.total_probes += out.zones_probed as u64;
+        self.stats.total_skips += out.zones_skipped as u64;
+        self.stats.rows_full_match += out.rows_full_match() as u64;
+    }
+
+    /// The retained array-of-structs prune loop: walks `Vec<AdaptiveZone>`
+    /// directly, reading state and bounds out of each full record.
+    ///
+    /// Decision-identical to [`SkippingIndex::prune`] (property-tested),
+    /// including every stat and trace side effect — it is a drop-in
+    /// reference implementation, kept as the baseline the kernel
+    /// benchmark (`kernels_json`) measures the SoA plane against and as
+    /// the oracle for the plane's equivalence tests.
+    pub fn prune_via_zones(&mut self, pred: &RangePredicate<T>) -> PruneOutcome {
+        let mut out = self.prune_prologue();
+
+        let min_split_rows =
+            (2 * self.config.min_zone_rows).max(2 * self.cost.min_profitable_zone_rows());
+        for zone in &mut self.zones {
+            out.zones_probed += 1;
+            match zone.state {
+                ZoneState::Unbuilt | ZoneState::Dead { .. } => {
+                    out.must_scan.push_span(zone.start, zone.end);
+                    out.scan_units.push(zone.range());
+                    out.mask_requests.push(None);
+                }
+                ZoneState::Built { min, max, .. } => {
+                    if !pred.overlaps(min, max) {
+                        out.zones_skipped += 1;
+                        zone.stats.record_skip();
+                        continue;
+                    }
+                    probe_overlapping_zone(
+                        zone,
+                        pred,
+                        min,
+                        max,
+                        &self.config,
+                        min_split_rows,
+                        &mut out,
+                    );
+                }
+            }
+        }
+
+        self.prune_epilogue(&out);
+        out
+    }
+
+    /// Applies the plane's deferred skip counts to the real zone stats and
+    /// zeroes them. Must run before anything reads or resets `ZoneStats`
+    /// probes/skips (maintenance, revival) and before any structural
+    /// change renumbers zones.
+    pub(crate) fn flush_pending_skips(&mut self) {
+        for (z, p) in self.plane.pending_skips.iter_mut().enumerate() {
+            if *p > 0 {
+                self.zones[z].stats.record_skips(*p);
+                *p = 0;
+            }
+        }
+    }
+
     /// Splits zone `idx` into parts, inheriting the parent's bounds as
     /// conservative (non-exact) metadata so skipping keeps working until
     /// the next scan tightens each part.
     pub(crate) fn split_zone(&mut self, idx: usize) {
+        self.flush_pending_skips();
         let zone = self.zones[idx].clone();
         let parts = (zone.len() / self.config.target_zone_rows)
             .clamp(2, 8)
@@ -446,6 +563,7 @@ impl<T: DataValue> AdaptiveZonemap<T> {
         }
         let parts_made = children.len();
         self.zones.splice(idx..=idx, children);
+        self.plane.rebuild(&self.zones);
         self.trace.record(
             self.query_seq,
             AdaptEvent::Split {

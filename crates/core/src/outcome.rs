@@ -48,7 +48,7 @@ impl MaskRequest {
 /// `full_match` (in the index's scan coordinates — base-table positions for
 /// positional indexes, view positions for indexes that answer from their own
 /// reorganised copy, such as cracking).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct PruneOutcome {
     /// Ranges the executor must scan and filter. Disjoint from `full_match`.
     pub must_scan: RangeSet,

@@ -91,6 +91,25 @@ impl ZoneStats {
         self.skips += 1;
     }
 
+    /// Records `n` skipping probes at once — the bulk form used when the
+    /// prune plane flushes deferred skip counts.
+    pub fn record_skips(&mut self, n: u32) {
+        self.probes += n;
+        self.skips += n;
+    }
+
+    /// [`ZoneStats::skip_rate`] as if `pending` additional skipping probes
+    /// had already been recorded — lets readers see through the prune
+    /// plane's deferred skip counter without flushing it.
+    pub fn skip_rate_with_pending(&self, pending: u32) -> f64 {
+        let probes = self.probes + pending;
+        if probes == 0 {
+            0.0
+        } else {
+            (self.skips + pending) as f64 / probes as f64
+        }
+    }
+
     /// Records a probe that could not skip the zone.
     pub fn record_no_skip(&mut self) {
         self.probes += 1;

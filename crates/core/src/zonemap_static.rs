@@ -25,9 +25,13 @@ use ads_storage::{scan, DataValue, RangeSet};
 #[derive(Debug, Clone)]
 pub struct StaticZonemap<T: DataValue> {
     zone_rows: usize,
-    /// `(min, max)` per zone; zone `z` covers rows
-    /// `[z * zone_rows, min((z+1) * zone_rows, len))`.
-    zones: Vec<(T, T)>,
+    /// Zone minima, structure-of-arrays: zone `z` covers rows
+    /// `[z * zone_rows, min((z+1) * zone_rows, len))`. Keeping the bounds
+    /// in two dense arrays (rather than `Vec<(T, T)>`) streams the probe
+    /// loop over exactly the bytes it compares.
+    mins: Vec<T>,
+    /// Zone maxima, parallel to `mins`.
+    maxs: Vec<T>,
     len: usize,
 }
 
@@ -38,15 +42,18 @@ impl<T: DataValue> StaticZonemap<T> {
     /// Panics if `zone_rows == 0`.
     pub fn build(data: &[T], zone_rows: usize) -> Self {
         assert!(zone_rows > 0, "zone_rows must be positive");
-        let zones = data
-            .chunks(zone_rows)
-            .map(|c| scan::min_max(c).expect("chunks are non-empty"))
-            .collect();
-        StaticZonemap {
+        let mut zm = StaticZonemap {
             zone_rows,
-            zones,
+            mins: Vec::with_capacity(data.len().div_ceil(zone_rows)),
+            maxs: Vec::with_capacity(data.len().div_ceil(zone_rows)),
             len: data.len(),
+        };
+        for c in data.chunks(zone_rows) {
+            let (min, max) = scan::min_max(c).expect("chunks are non-empty");
+            zm.mins.push(min);
+            zm.maxs.push(max);
         }
+        zm
     }
 
     /// Rows per zone.
@@ -56,7 +63,12 @@ impl<T: DataValue> StaticZonemap<T> {
 
     /// Number of zones.
     pub fn num_zones(&self) -> usize {
-        self.zones.len()
+        self.mins.len()
+    }
+
+    /// `(min, max)` metadata of zone `z`.
+    pub fn zone_bounds(&self, z: usize) -> (T, T) {
+        (self.mins[z], self.maxs[z])
     }
 
     /// Row range of zone `z`.
@@ -81,10 +93,10 @@ impl<T: DataValue> SkippingIndex<T> for StaticZonemap<T> {
             scan_units: Vec::new(),
             mask_requests: Vec::new(),
             full_match: RangeSet::with_capacity(16),
-            zones_probed: self.zones.len(),
+            zones_probed: self.mins.len(),
             zones_skipped: 0,
         };
-        for (z, &(min, max)) in self.zones.iter().enumerate() {
+        for (z, (&min, &max)) in self.mins.iter().zip(&self.maxs).enumerate() {
             let (start, end) = self.zone_span(z);
             if !pred.overlaps(min, max) {
                 out.zones_skipped += 1;
@@ -101,24 +113,26 @@ impl<T: DataValue> SkippingIndex<T> for StaticZonemap<T> {
         // The last zone may have been partial; rebuild it from the base
         // column, then extend with zones over the genuinely new rows.
         if !self.len.is_multiple_of(self.zone_rows) {
-            let last = self.zones.len() - 1;
+            let last = self.mins.len() - 1;
             let start = last * self.zone_rows;
             let end = (start + self.zone_rows).min(base.len());
-            self.zones[last] = scan::min_max(&base[start..end]).expect("partial zone is non-empty");
+            let (min, max) = scan::min_max(&base[start..end]).expect("partial zone is non-empty");
+            self.mins[last] = min;
+            self.maxs[last] = max;
         }
-        let covered = self.zones.len() * self.zone_rows;
+        let covered = self.mins.len() * self.zone_rows;
         if base.len() > covered {
-            self.zones.extend(
-                base[covered..]
-                    .chunks(self.zone_rows)
-                    .map(|c| scan::min_max(c).expect("chunks are non-empty")),
-            );
+            for c in base[covered..].chunks(self.zone_rows) {
+                let (min, max) = scan::min_max(c).expect("chunks are non-empty");
+                self.mins.push(min);
+                self.maxs.push(max);
+            }
         }
         self.len = base.len();
     }
 
     fn metadata_bytes(&self) -> usize {
-        self.zones.capacity() * std::mem::size_of::<(T, T)>()
+        (self.mins.capacity() + self.maxs.capacity()) * std::mem::size_of::<T>()
     }
 }
 
@@ -135,8 +149,8 @@ mod tests {
         let data = sorted_data(100);
         let zm = StaticZonemap::build(&data, 32);
         assert_eq!(zm.num_zones(), 4);
-        assert_eq!(zm.zones[0], (0, 31));
-        assert_eq!(zm.zones[3], (96, 99)); // partial last zone
+        assert_eq!(zm.zone_bounds(0), (0, 31));
+        assert_eq!(zm.zone_bounds(3), (96, 99)); // partial last zone
     }
 
     #[test]
@@ -208,8 +222,8 @@ mod tests {
         data.extend_from_slice(&appended);
         zm.on_append(&appended, &data);
         assert_eq!(zm.num_zones(), 4);
-        assert_eq!(zm.zones[1], (100, 199)); // partial zone repaired
-        assert_eq!(zm.zones[3], (300, 319));
+        assert_eq!(zm.zone_bounds(1), (100, 199)); // partial zone repaired
+        assert_eq!(zm.zone_bounds(3), (300, 319));
         // Soundness after append.
         let pred = RangePredicate::between(190, 210);
         let out = zm.prune(&pred);
@@ -228,7 +242,7 @@ mod tests {
         data.extend_from_slice(&appended);
         zm.on_append(&appended, &data);
         assert_eq!(zm.num_zones(), 3);
-        assert_eq!(zm.zones[2], (200, 249));
+        assert_eq!(zm.zone_bounds(2), (200, 249));
     }
 
     #[test]

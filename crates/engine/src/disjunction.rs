@@ -9,7 +9,7 @@
 use crate::executor::{execute, AggKind, QueryAnswer};
 use crate::metrics::QueryMetrics;
 use ads_core::{RangePredicate, SkippingIndex};
-use ads_storage::DataValue;
+use ads_storage::{Bitmap, DataValue};
 
 /// Sorts and merges overlapping/adjacent ranges into a canonical disjoint
 /// set. The result covers exactly the union of the inputs.
@@ -94,8 +94,14 @@ pub fn execute_disjunction<T: DataValue>(
     if let Some(positions) = answer.positions.as_mut() {
         // Disjoint value ranges mean no duplicates, but view-coordinate
         // indexes reorganise *between* the per-range executions, so the
-        // concatenation is not necessarily sorted.
-        positions.sort_unstable();
+        // concatenation is not necessarily sorted. Scatter into a bitmap
+        // and read back word-wise: one pass, already sorted, no
+        // comparison sort over the (potentially large) match list.
+        let mut bm = Bitmap::new(data.len());
+        for &p in positions.iter() {
+            bm.set(p as usize);
+        }
+        *positions = bm.to_positions();
     }
     (answer, metrics)
 }

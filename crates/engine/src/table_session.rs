@@ -255,7 +255,7 @@ impl TableSession {
                 combined = Some(match combined {
                     None => bm,
                     Some(mut prev) => {
-                        prev.and_assign(&bm);
+                        prev.intersect_with(&bm);
                         prev
                     }
                 });
@@ -276,8 +276,15 @@ impl TableSession {
                 total += sum_any_range(col, r.start, r.end);
             }
             for (start, bm) in &survivors_per_range {
-                for bit in bm.iter_ones() {
-                    total += value_as_f64(col, start + bit);
+                // Word-wise walk: skip empty words outright, iterate set
+                // bits of the rest in ascending order (deterministic sum).
+                for (w, word) in bm.iter_set_words() {
+                    let word_base = start + w * 64;
+                    let mut m = word;
+                    while m != 0 {
+                        total += value_as_f64(col, word_base + m.trailing_zeros() as usize);
+                        m &= m - 1;
+                    }
                 }
             }
             *sum = total;

@@ -98,6 +98,50 @@ impl Bitmap {
         self.words.iter().map(|w| w.count_ones() as usize).sum()
     }
 
+    /// The mask covering bits `first..=last` of one word.
+    #[inline]
+    fn word_mask(first_bit: usize, last_bit: usize) -> u64 {
+        debug_assert!(first_bit <= last_bit && last_bit < 64);
+        (u64::MAX << first_bit) & (u64::MAX >> (63 - last_bit))
+    }
+
+    /// ORs a whole 64-bit `mask` into word `word_idx` — the aligned fast
+    /// path the block scan kernels use: one store per 64 rows.
+    ///
+    /// # Panics
+    /// Panics if any set bit of `mask` addresses a bit at or past `len`.
+    #[inline]
+    pub fn or_word_at(&mut self, word_idx: usize, mask: u64) {
+        let top = 64 * word_idx + (64 - mask.leading_zeros() as usize);
+        assert!(
+            mask == 0 || top <= self.len,
+            "mask bit {} out of bounds for bitmap of {} bits",
+            top - 1,
+            self.len
+        );
+        if mask != 0 {
+            self.words[word_idx] |= mask;
+        }
+    }
+
+    /// ORs a 64-bit `mask` into the bitmap starting at bit `bit`: mask bit
+    /// `i` lands on bitmap bit `bit + i`. Word-aligned calls take the
+    /// single-store [`Bitmap::or_word_at`] path; unaligned calls split the
+    /// mask across two adjacent words.
+    ///
+    /// # Panics
+    /// Panics if any set bit of `mask` addresses a bit at or past `len`.
+    #[inline]
+    pub fn or_mask_at(&mut self, bit: usize, mask: u64) {
+        let (word_idx, shift) = (bit / 64, bit % 64);
+        if shift == 0 {
+            self.or_word_at(word_idx, mask);
+        } else {
+            self.or_word_at(word_idx, mask << shift);
+            self.or_word_at(word_idx + 1, mask >> (64 - shift));
+        }
+    }
+
     /// Sets all bits in `start..end`.
     ///
     /// # Panics
@@ -113,37 +157,54 @@ impl Bitmap {
         let (first_word, first_bit) = (start / 64, start % 64);
         let (last_word, last_bit) = ((end - 1) / 64, (end - 1) % 64);
         if first_word == last_word {
-            let mask = (u64::MAX << first_bit) & (u64::MAX >> (63 - last_bit));
-            self.words[first_word] |= mask;
+            self.words[first_word] |= Self::word_mask(first_bit, last_bit);
         } else {
-            self.words[first_word] |= u64::MAX << first_bit;
+            self.words[first_word] |= Self::word_mask(first_bit, 63);
             for w in &mut self.words[first_word + 1..last_word] {
                 *w = u64::MAX;
             }
-            self.words[last_word] |= u64::MAX >> (63 - last_bit);
+            self.words[last_word] |= Self::word_mask(0, last_bit);
         }
     }
 
-    /// In-place intersection with `other`.
+    /// In-place word-wise intersection with `other`.
     ///
     /// # Panics
     /// Panics if lengths differ.
-    pub fn and_assign(&mut self, other: &Bitmap) {
+    pub fn intersect_with(&mut self, other: &Bitmap) {
         assert_eq!(self.len, other.len, "bitmap length mismatch in AND");
         for (a, b) in self.words.iter_mut().zip(&other.words) {
             *a &= *b;
         }
     }
 
-    /// In-place union with `other`.
+    /// In-place word-wise union with `other`.
     ///
     /// # Panics
     /// Panics if lengths differ.
-    pub fn or_assign(&mut self, other: &Bitmap) {
+    pub fn union_with(&mut self, other: &Bitmap) {
         assert_eq!(self.len, other.len, "bitmap length mismatch in OR");
         for (a, b) in self.words.iter_mut().zip(&other.words) {
             *a |= *b;
         }
+    }
+
+    /// In-place intersection with `other` (alias of
+    /// [`Bitmap::intersect_with`], kept for existing call sites).
+    ///
+    /// # Panics
+    /// Panics if lengths differ.
+    pub fn and_assign(&mut self, other: &Bitmap) {
+        self.intersect_with(other);
+    }
+
+    /// In-place union with `other` (alias of [`Bitmap::union_with`], kept
+    /// for existing call sites).
+    ///
+    /// # Panics
+    /// Panics if lengths differ.
+    pub fn or_assign(&mut self, other: &Bitmap) {
+        self.union_with(other);
     }
 
     /// In-place complement.
@@ -173,10 +234,38 @@ impl Bitmap {
         }
     }
 
+    /// Iterator over the non-zero words as `(word_idx, word)`, in
+    /// increasing word order. The word-wise consumption primitive: callers
+    /// decode set bits with a `trailing_zeros` loop and skip zero words
+    /// (the common case after selective pruning) at 64 rows per test.
+    pub fn iter_set_words(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.words
+            .iter()
+            .enumerate()
+            .filter(|&(_, &w)| w != 0)
+            .map(|(i, &w)| (i, w))
+    }
+
     /// Collects the set-bit positions into a vector.
+    ///
+    /// # Panics
+    /// Panics if the bitmap addresses rows past the `u32` position ceiling
+    /// (see [`crate::scan::MAX_ADDRESSABLE_ROWS`]).
     pub fn to_positions(&self) -> Vec<u32> {
+        assert!(
+            self.len <= u32::MAX as usize + 1,
+            "bitmap of {} bits exceeds the u32 position ceiling",
+            self.len
+        );
         let mut v = Vec::with_capacity(self.count_ones());
-        v.extend(self.iter_ones().map(|p| p as u32));
+        for (w, word) in self.iter_set_words() {
+            let base = (w * 64) as u32;
+            let mut m = word;
+            while m != 0 {
+                v.push(base + m.trailing_zeros());
+                m &= m - 1; // clear lowest set bit
+            }
+        }
         v
     }
 
@@ -344,5 +433,91 @@ mod tests {
     fn iter_ones_empty() {
         let bm = Bitmap::new(0);
         assert_eq!(bm.iter_ones().count(), 0);
+    }
+
+    #[test]
+    fn or_word_at_aligned() {
+        let mut bm = Bitmap::new(200);
+        bm.or_word_at(1, 0b1011);
+        assert_eq!(bm.to_positions(), vec![64, 65, 67]);
+        bm.or_word_at(0, 0); // no-op, in bounds by construction
+        assert_eq!(bm.count_ones(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn or_word_at_rejects_mask_past_len() {
+        let mut bm = Bitmap::new(70);
+        bm.or_word_at(1, 1 << 10); // bit 74
+    }
+
+    #[test]
+    fn or_mask_at_unaligned_splits_words() {
+        let mut bm = Bitmap::new(200);
+        bm.or_mask_at(60, 0b1_0011);
+        assert_eq!(bm.to_positions(), vec![60, 61, 64]);
+        // Equivalent to per-bit sets.
+        let mut per_bit = Bitmap::new(200);
+        for p in [60usize, 61, 64] {
+            per_bit.set(p);
+        }
+        assert_eq!(bm, per_bit);
+    }
+
+    #[test]
+    fn or_mask_at_matches_per_bit_everywhere() {
+        for start in [0usize, 1, 63, 64, 65, 100] {
+            let mask = 0x8000_0000_0000_0001u64; // bits 0 and 63
+            let mut word_wise = Bitmap::new(256);
+            word_wise.or_mask_at(start, mask);
+            let mut per_bit = Bitmap::new(256);
+            per_bit.set(start);
+            per_bit.set(start + 63);
+            assert_eq!(word_wise, per_bit, "start={start}");
+        }
+    }
+
+    #[test]
+    fn union_intersect_match_per_bit_reference() {
+        let mut a = Bitmap::new(150);
+        let mut b = Bitmap::new(150);
+        for i in (0..150).step_by(3) {
+            a.set(i);
+        }
+        for i in (0..150).step_by(5) {
+            b.set(i);
+        }
+        let mut union = a.clone();
+        union.union_with(&b);
+        let mut inter = a.clone();
+        inter.intersect_with(&b);
+        for i in 0..150 {
+            assert_eq!(union.get(i), a.get(i) || b.get(i), "union bit {i}");
+            assert_eq!(inter.get(i), a.get(i) && b.get(i), "intersect bit {i}");
+        }
+    }
+
+    #[test]
+    fn iter_set_words_skips_zero_words() {
+        let mut bm = Bitmap::new(300);
+        bm.set(2);
+        bm.set(130);
+        let words: Vec<(usize, u64)> = bm.iter_set_words().collect();
+        assert_eq!(words, vec![(0, 1 << 2), (2, 1 << 2)]);
+    }
+
+    #[test]
+    fn set_range_matches_per_bit_reference_around_word_boundaries() {
+        for start in [0usize, 1, 62, 63, 64, 65] {
+            for end in [start, start + 1, start + 63, start + 64, start + 65] {
+                let mut ranged = Bitmap::new(256);
+                ranged.set_range(start, end);
+                let mut per_bit = Bitmap::new(256);
+                for i in start..end {
+                    per_bit.set(i);
+                }
+                assert_eq!(ranged, per_bit, "range {start}..{end}");
+            }
+        }
     }
 }

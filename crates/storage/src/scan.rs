@@ -1,20 +1,85 @@
 //! Tight scan kernels over column slices.
 //!
-//! These loops are the "fast scans" the paper's setting assumes: branchless
-//! predicate evaluation over dense arrays, compiled to vectorised code. All
-//! kernels take *inclusive* value bounds `[lo, hi]`, matching how zonemap
-//! `(min, max)` metadata is compared against predicates.
+//! These loops are the "fast scans" the paper's setting assumes. They are
+//! explicitly **block-structured**: each kernel walks the slice in
+//! 64-element lanes (`chunks_exact(64)` plus a scalar tail) and evaluates
+//! the predicate branchlessly into a per-block `u64` qualifying bitmask —
+//! bit `i` set when lane `i` satisfies `lo <= v <= hi`. Everything
+//! downstream consumes the mask in word units: COUNT is a popcount per
+//! block, bitmap materialisation is one word-OR per block
+//! ([`crate::Bitmap::or_mask_at`]), position collection iterates set bits
+//! with `trailing_zeros`, and value-reading aggregates select through the
+//! mask instead of branching per element. All kernels take *inclusive*
+//! value bounds `[lo, hi]`, matching how zonemap `(min, max)` metadata is
+//! compared against predicates.
+//!
+//! The pre-block scalar implementations are retained verbatim in
+//! [`scalar`]: they are the reference the property tests compare every
+//! block kernel against, and the baseline the kernel benchmark
+//! (`cargo run -p ads-bench --release --bin kernels_json`) measures
+//! speedups over.
 
 use crate::bitmap::Bitmap;
 use crate::types::DataValue;
 
+/// Lanes per block: one qualifying bit per lane fills exactly one `u64`.
+pub const LANES: usize = 64;
+
+/// One past the largest row position representable in the `u32` position
+/// lists ([`collect_in_range`], [`Bitmap::to_positions`]). Columns at or
+/// above this row count must grow the position type before they can use
+/// positional kernels; the guard asserts instead of silently truncating.
+pub const MAX_ADDRESSABLE_ROWS: usize = u32::MAX as usize + 1;
+
+/// Guards the `u32` position encoding: `base + len` rows must stay within
+/// [`MAX_ADDRESSABLE_ROWS`].
+#[inline]
+fn assert_positions_addressable(base: usize, len: usize) {
+    assert!(
+        base + len <= MAX_ADDRESSABLE_ROWS,
+        "rows {base}..{} exceed the u32 position ceiling ({MAX_ADDRESSABLE_ROWS} rows)",
+        base + len
+    );
+}
+
+/// Multiplier for the SWAR byte→bit pack: with eight 0/1 bytes packed
+/// little-endian in a `u64`, `(w * PACK_MUL) >> 56` places byte `i`'s
+/// value at bit `i` of the top byte (the portable movemask trick).
+const PACK_MUL: u64 = 0x0102_0408_1020_4080;
+
+/// The per-block predicate kernel: bit `i` of the result is set when
+/// `block[i]` lies in `[lo, hi]` under the total order.
+///
+/// Two branchless passes: the compares write one 0/1 *byte* per lane —
+/// a loop with no cross-iteration dependency that the compiler turns
+/// into packed SIMD compares — and then eight multiply-packs fold each
+/// 8-byte group into 8 mask bits. A single-pass `mask |= q << i` loop
+/// is a 64-deep dependent OR chain that defeats vectorisation.
+#[inline]
+fn lane_mask<T: DataValue>(block: &[T], lo: T, hi: T) -> u64 {
+    debug_assert_eq!(block.len(), LANES);
+    let mut lanes = [0u8; LANES];
+    for (b, v) in lanes.iter_mut().zip(block) {
+        *b = v.in_range_total(&lo, &hi) as u8;
+    }
+    let mut mask = 0u64;
+    for (w, group) in lanes.chunks_exact(8).enumerate() {
+        let word = u64::from_le_bytes(group.try_into().expect("chunks_exact(8)"));
+        mask |= (word.wrapping_mul(PACK_MUL) >> 56) << (8 * w);
+    }
+    mask
+}
+
 /// Counts values `v` in `data` with `lo <= v <= hi`.
 #[inline]
 pub fn count_in_range<T: DataValue>(data: &[T], lo: T, hi: T) -> usize {
+    let mut chunks = data.chunks_exact(LANES);
     let mut count = 0usize;
-    for &v in data {
-        // Branchless: comparisons become SIMD-friendly mask adds.
-        count += (v.ge_total(&lo) && v.le_total(&hi)) as usize;
+    for block in chunks.by_ref() {
+        count += lane_mask(block, lo, hi).count_ones() as usize;
+    }
+    for v in chunks.remainder() {
+        count += v.in_range_total(&lo, &hi) as usize;
     }
     count
 }
@@ -28,11 +93,19 @@ pub fn count_in_range<T: DataValue>(data: &[T], lo: T, hi: T) -> usize {
 /// `(count, min, max)`; for an empty slice, `(0, MAX_VALUE, MIN_VALUE)`.
 #[inline]
 pub fn count_in_range_with_minmax<T: DataValue>(data: &[T], lo: T, hi: T) -> (usize, T, T) {
+    let mut chunks = data.chunks_exact(LANES);
     let mut count = 0usize;
     let mut min = T::MAX_VALUE;
     let mut max = T::MIN_VALUE;
-    for &v in data {
-        count += (v.ge_total(&lo) && v.le_total(&hi)) as usize;
+    for block in chunks.by_ref() {
+        count += lane_mask(block, lo, hi).count_ones() as usize;
+        for &v in block {
+            min = min.min_total(v);
+            max = max.max_total(v);
+        }
+    }
+    for &v in chunks.remainder() {
+        count += v.in_range_total(&lo, &hi) as usize;
         min = min.min_total(v);
         max = max.max_total(v);
     }
@@ -40,16 +113,31 @@ pub fn count_in_range_with_minmax<T: DataValue>(data: &[T], lo: T, hi: T) -> (us
 }
 
 /// Appends the positions (`base + offset`) of qualifying values to `out`.
+///
+/// # Panics
+/// Panics if `base + data.len()` exceeds [`MAX_ADDRESSABLE_ROWS`].
 #[inline]
 pub fn collect_in_range<T: DataValue>(data: &[T], base: usize, lo: T, hi: T, out: &mut Vec<u32>) {
-    for (i, &v) in data.iter().enumerate() {
-        if v.ge_total(&lo) && v.le_total(&hi) {
-            out.push((base + i) as u32);
+    assert_positions_addressable(base, data.len());
+    let mut chunks = data.chunks_exact(LANES);
+    let mut block_base = base as u32;
+    for block in chunks.by_ref() {
+        let mut mask = lane_mask(block, lo, hi);
+        while mask != 0 {
+            out.push(block_base + mask.trailing_zeros());
+            mask &= mask - 1; // clear lowest set bit
+        }
+        block_base += LANES as u32;
+    }
+    for (i, v) in chunks.remainder().iter().enumerate() {
+        if v.in_range_total(&lo, &hi) {
+            out.push(block_base + i as u32);
         }
     }
 }
 
-/// Sets the bits (`base + offset`) of qualifying values in `bm`.
+/// Sets the bits (`base + offset`) of qualifying values in `bm`, one
+/// word-OR per 64-row block.
 ///
 /// # Panics
 /// Panics if `base + data.len()` exceeds the bitmap length.
@@ -59,9 +147,15 @@ pub fn fill_bitmap_in_range<T: DataValue>(data: &[T], base: usize, lo: T, hi: T,
         base + data.len() <= bm.len(),
         "bitmap too small for scan output"
     );
-    for (i, &v) in data.iter().enumerate() {
-        if v.ge_total(&lo) && v.le_total(&hi) {
-            bm.set(base + i);
+    let mut chunks = data.chunks_exact(LANES);
+    let mut bit = base;
+    for block in chunks.by_ref() {
+        bm.or_mask_at(bit, lane_mask(block, lo, hi));
+        bit += LANES;
+    }
+    for (i, v) in chunks.remainder().iter().enumerate() {
+        if v.in_range_total(&lo, &hi) {
+            bm.set(bit + i);
         }
     }
 }
@@ -70,12 +164,31 @@ pub fn fill_bitmap_in_range<T: DataValue>(data: &[T], base: usize, lo: T, hi: T,
 ///
 /// `f64` accumulation keeps one kernel for all value types; integer columns
 /// up to 2^53 sum exactly, which covers the workloads in this repository.
+/// Accumulation order is ascending row order, so results are bit-identical
+/// to the scalar reference (the accumulator can never become `-0.0`, so
+/// skipping the non-qualifying `+0.0` adds changes nothing).
 #[inline]
 pub fn sum_in_range<T: DataValue>(data: &[T], lo: T, hi: T) -> (usize, f64) {
+    let mut chunks = data.chunks_exact(LANES);
     let mut count = 0usize;
     let mut sum = 0.0f64;
-    for &v in data {
-        let q = v.ge_total(&lo) && v.le_total(&hi);
+    for block in chunks.by_ref() {
+        let mask = lane_mask(block, lo, hi);
+        count += mask.count_ones() as usize;
+        if mask == u64::MAX {
+            for &v in block {
+                sum += v.to_f64();
+            }
+        } else {
+            let mut m = mask;
+            while m != 0 {
+                sum += block[m.trailing_zeros() as usize].to_f64();
+                m &= m - 1;
+            }
+        }
+    }
+    for &v in chunks.remainder() {
+        let q = v.in_range_total(&lo, &hi);
         count += q as usize;
         sum += if q { v.to_f64() } else { 0.0 };
     }
@@ -116,19 +229,43 @@ pub struct RangeAggregates<T: DataValue> {
     pub match_max: T,
 }
 
+impl<T: DataValue> RangeAggregates<T> {
+    /// The fold identity: zero rows seen.
+    fn identity() -> Self {
+        RangeAggregates {
+            count: 0,
+            sum: 0.0,
+            range_min: T::MAX_VALUE,
+            range_max: T::MIN_VALUE,
+            match_min: T::MAX_VALUE,
+            match_max: T::MIN_VALUE,
+        }
+    }
+}
+
 /// Computes every aggregate of [`RangeAggregates`] in one pass.
 #[inline]
 pub fn aggregate_in_range<T: DataValue>(data: &[T], lo: T, hi: T) -> RangeAggregates<T> {
-    let mut agg = RangeAggregates {
-        count: 0,
-        sum: 0.0,
-        range_min: T::MAX_VALUE,
-        range_max: T::MIN_VALUE,
-        match_min: T::MAX_VALUE,
-        match_max: T::MIN_VALUE,
-    };
-    for &v in data {
-        let q = v.ge_total(&lo) && v.le_total(&hi);
+    let mut agg: RangeAggregates<T> = RangeAggregates::identity();
+    let mut chunks = data.chunks_exact(LANES);
+    for block in chunks.by_ref() {
+        let mask = lane_mask(block, lo, hi);
+        agg.count += mask.count_ones() as usize;
+        for &v in block {
+            agg.range_min = agg.range_min.min_total(v);
+            agg.range_max = agg.range_max.max_total(v);
+        }
+        let mut m = mask;
+        while m != 0 {
+            let v = block[m.trailing_zeros() as usize];
+            agg.sum += v.to_f64();
+            agg.match_min = agg.match_min.min_total(v);
+            agg.match_max = agg.match_max.max_total(v);
+            m &= m - 1;
+        }
+    }
+    for &v in chunks.remainder() {
+        let q = v.in_range_total(&lo, &hi);
         agg.count += q as usize;
         agg.sum += if q { v.to_f64() } else { 0.0 };
         agg.range_min = agg.range_min.min_total(v);
@@ -143,6 +280,9 @@ pub fn aggregate_in_range<T: DataValue>(data: &[T], lo: T, hi: T) -> RangeAggreg
 
 /// Like [`collect_in_range`] but also returns the slice's exact
 /// `(min, max)` so the scan can feed zone metadata back.
+///
+/// # Panics
+/// Panics if `base + data.len()` exceeds [`MAX_ADDRESSABLE_ROWS`].
 #[inline]
 pub fn collect_in_range_with_minmax<T: DataValue>(
     data: &[T],
@@ -151,12 +291,27 @@ pub fn collect_in_range_with_minmax<T: DataValue>(
     hi: T,
     out: &mut Vec<u32>,
 ) -> (usize, T, T) {
+    assert_positions_addressable(base, data.len());
     let before = out.len();
     let mut min = T::MAX_VALUE;
     let mut max = T::MIN_VALUE;
-    for (i, &v) in data.iter().enumerate() {
-        if v.ge_total(&lo) && v.le_total(&hi) {
-            out.push((base + i) as u32);
+    let mut chunks = data.chunks_exact(LANES);
+    let mut block_base = base as u32;
+    for block in chunks.by_ref() {
+        let mut mask = lane_mask(block, lo, hi);
+        while mask != 0 {
+            out.push(block_base + mask.trailing_zeros());
+            mask &= mask - 1;
+        }
+        for &v in block {
+            min = min.min_total(v);
+            max = max.max_total(v);
+        }
+        block_base += LANES as u32;
+    }
+    for (i, &v) in chunks.remainder().iter().enumerate() {
+        if v.in_range_total(&lo, &hi) {
+            out.push(block_base + i as u32);
         }
         min = min.min_total(v);
         max = max.max_total(v);
@@ -185,9 +340,21 @@ pub fn fill_bitmap_in_range_with_minmax<T: DataValue>(
     let mut count = 0usize;
     let mut min = T::MAX_VALUE;
     let mut max = T::MIN_VALUE;
-    for (i, &v) in data.iter().enumerate() {
-        if v.ge_total(&lo) && v.le_total(&hi) {
-            bm.set(base + i);
+    let mut chunks = data.chunks_exact(LANES);
+    let mut bit = base;
+    for block in chunks.by_ref() {
+        let mask = lane_mask(block, lo, hi);
+        bm.or_mask_at(bit, mask);
+        count += mask.count_ones() as usize;
+        for &v in block {
+            min = min.min_total(v);
+            max = max.max_total(v);
+        }
+        bit += LANES;
+    }
+    for (i, &v) in chunks.remainder().iter().enumerate() {
+        if v.in_range_total(&lo, &hi) {
+            bm.set(bit + i);
             count += 1;
         }
         min = min.min_total(v);
@@ -215,7 +382,7 @@ pub fn count_in_range_with_minmax_and_mask<T: DataValue>(
     let span = bin_hi - bin_lo;
     let scale = if span > 0.0 { 64.0 / span } else { 0.0 };
     for &v in data {
-        count += (v.ge_total(&lo) && v.le_total(&hi)) as usize;
+        count += v.in_range_total(&lo, &hi) as usize;
         min = min.min_total(v);
         max = max.max_total(v);
         let bin = ((v.to_f64() - bin_lo) * scale).clamp(0.0, 63.0) as u32;
@@ -244,14 +411,209 @@ pub fn min_max_in_range<T: DataValue>(data: &[T], lo: T, hi: T) -> Option<(T, T)
     let mut found = false;
     let mut min = T::MAX_VALUE;
     let mut max = T::MIN_VALUE;
-    for &v in data {
-        if v.ge_total(&lo) && v.le_total(&hi) {
+    let mut chunks = data.chunks_exact(LANES);
+    for block in chunks.by_ref() {
+        let mut m = lane_mask(block, lo, hi);
+        found |= m != 0;
+        while m != 0 {
+            let v = block[m.trailing_zeros() as usize];
+            min = min.min_total(v);
+            max = max.max_total(v);
+            m &= m - 1;
+        }
+    }
+    for &v in chunks.remainder() {
+        if v.in_range_total(&lo, &hi) {
             min = min.min_total(v);
             max = max.max_total(v);
             found = true;
         }
     }
     found.then_some((min, max))
+}
+
+/// The pre-block scalar kernels, retained verbatim.
+///
+/// Two consumers keep these alive: the property tests assert every block
+/// kernel is result-identical (bit-identical for `f64` sums) to its scalar
+/// twin over randomised and adversarial inputs, and the kernel benchmark
+/// (`kernels_json`) reports the block kernels' speedup over this baseline
+/// as the repo's machine-readable perf trajectory. They evaluate the
+/// predicate per element with short-circuit compares and hope for
+/// autovectorisation — exactly the loops the block kernels replaced.
+pub mod scalar {
+    use super::{Bitmap, DataValue, RangeAggregates};
+
+    /// Scalar reference for [`super::count_in_range`].
+    #[inline]
+    pub fn count_in_range<T: DataValue>(data: &[T], lo: T, hi: T) -> usize {
+        let mut count = 0usize;
+        for &v in data {
+            count += (v.ge_total(&lo) && v.le_total(&hi)) as usize;
+        }
+        count
+    }
+
+    /// Scalar reference for [`super::count_in_range_with_minmax`].
+    #[inline]
+    pub fn count_in_range_with_minmax<T: DataValue>(data: &[T], lo: T, hi: T) -> (usize, T, T) {
+        let mut count = 0usize;
+        let mut min = T::MAX_VALUE;
+        let mut max = T::MIN_VALUE;
+        for &v in data {
+            count += (v.ge_total(&lo) && v.le_total(&hi)) as usize;
+            min = min.min_total(v);
+            max = max.max_total(v);
+        }
+        (count, min, max)
+    }
+
+    /// Scalar reference for [`super::collect_in_range`].
+    #[inline]
+    pub fn collect_in_range<T: DataValue>(
+        data: &[T],
+        base: usize,
+        lo: T,
+        hi: T,
+        out: &mut Vec<u32>,
+    ) {
+        super::assert_positions_addressable(base, data.len());
+        for (i, &v) in data.iter().enumerate() {
+            if v.ge_total(&lo) && v.le_total(&hi) {
+                out.push((base + i) as u32);
+            }
+        }
+    }
+
+    /// Scalar reference for [`super::fill_bitmap_in_range`].
+    ///
+    /// # Panics
+    /// Panics if `base + data.len()` exceeds the bitmap length.
+    #[inline]
+    pub fn fill_bitmap_in_range<T: DataValue>(
+        data: &[T],
+        base: usize,
+        lo: T,
+        hi: T,
+        bm: &mut Bitmap,
+    ) {
+        assert!(
+            base + data.len() <= bm.len(),
+            "bitmap too small for scan output"
+        );
+        for (i, &v) in data.iter().enumerate() {
+            if v.ge_total(&lo) && v.le_total(&hi) {
+                bm.set(base + i);
+            }
+        }
+    }
+
+    /// Scalar reference for [`super::sum_in_range`].
+    #[inline]
+    pub fn sum_in_range<T: DataValue>(data: &[T], lo: T, hi: T) -> (usize, f64) {
+        let mut count = 0usize;
+        let mut sum = 0.0f64;
+        for &v in data {
+            let q = v.ge_total(&lo) && v.le_total(&hi);
+            count += q as usize;
+            sum += if q { v.to_f64() } else { 0.0 };
+        }
+        (count, sum)
+    }
+
+    /// Scalar reference for [`super::aggregate_in_range`].
+    #[inline]
+    pub fn aggregate_in_range<T: DataValue>(data: &[T], lo: T, hi: T) -> RangeAggregates<T> {
+        let mut agg = RangeAggregates {
+            count: 0,
+            sum: 0.0,
+            range_min: T::MAX_VALUE,
+            range_max: T::MIN_VALUE,
+            match_min: T::MAX_VALUE,
+            match_max: T::MIN_VALUE,
+        };
+        for &v in data {
+            let q = v.ge_total(&lo) && v.le_total(&hi);
+            agg.count += q as usize;
+            agg.sum += if q { v.to_f64() } else { 0.0 };
+            agg.range_min = agg.range_min.min_total(v);
+            agg.range_max = agg.range_max.max_total(v);
+            if q {
+                agg.match_min = agg.match_min.min_total(v);
+                agg.match_max = agg.match_max.max_total(v);
+            }
+        }
+        agg
+    }
+
+    /// Scalar reference for [`super::collect_in_range_with_minmax`].
+    #[inline]
+    pub fn collect_in_range_with_minmax<T: DataValue>(
+        data: &[T],
+        base: usize,
+        lo: T,
+        hi: T,
+        out: &mut Vec<u32>,
+    ) -> (usize, T, T) {
+        super::assert_positions_addressable(base, data.len());
+        let before = out.len();
+        let mut min = T::MAX_VALUE;
+        let mut max = T::MIN_VALUE;
+        for (i, &v) in data.iter().enumerate() {
+            if v.ge_total(&lo) && v.le_total(&hi) {
+                out.push((base + i) as u32);
+            }
+            min = min.min_total(v);
+            max = max.max_total(v);
+        }
+        (out.len() - before, min, max)
+    }
+
+    /// Scalar reference for [`super::fill_bitmap_in_range_with_minmax`].
+    ///
+    /// # Panics
+    /// Panics if `base + data.len()` exceeds the bitmap length.
+    #[inline]
+    pub fn fill_bitmap_in_range_with_minmax<T: DataValue>(
+        data: &[T],
+        base: usize,
+        lo: T,
+        hi: T,
+        bm: &mut Bitmap,
+    ) -> (usize, T, T) {
+        assert!(
+            base + data.len() <= bm.len(),
+            "bitmap too small for scan output"
+        );
+        let mut count = 0usize;
+        let mut min = T::MAX_VALUE;
+        let mut max = T::MIN_VALUE;
+        for (i, &v) in data.iter().enumerate() {
+            if v.ge_total(&lo) && v.le_total(&hi) {
+                bm.set(base + i);
+                count += 1;
+            }
+            min = min.min_total(v);
+            max = max.max_total(v);
+        }
+        (count, min, max)
+    }
+
+    /// Scalar reference for [`super::min_max_in_range`].
+    #[inline]
+    pub fn min_max_in_range<T: DataValue>(data: &[T], lo: T, hi: T) -> Option<(T, T)> {
+        let mut found = false;
+        let mut min = T::MAX_VALUE;
+        let mut max = T::MIN_VALUE;
+        for &v in data {
+            if v.ge_total(&lo) && v.le_total(&hi) {
+                min = min.min_total(v);
+                max = max.max_total(v);
+                found = true;
+            }
+        }
+        found.then_some((min, max))
+    }
 }
 
 #[cfg(test)]
@@ -413,5 +775,61 @@ mod tests {
         let data = [5i64, 10];
         assert_eq!(count_in_range(&data, 5, 10), 2);
         assert_eq!(count_in_range(&data, 6, 9), 0);
+    }
+
+    #[test]
+    fn lane_mask_places_each_lane_at_its_bit() {
+        for i in 0..LANES {
+            let mut block = vec![0i64; LANES];
+            block[i] = 5;
+            assert_eq!(lane_mask(&block, 5, 5), 1u64 << i, "lane {i}");
+        }
+        let all = vec![7i64; LANES];
+        assert_eq!(lane_mask(&all, 0, 10), u64::MAX);
+        assert_eq!(lane_mask(&all, 8, 10), 0);
+    }
+
+    #[test]
+    fn block_kernels_handle_lane_boundaries() {
+        // Lengths straddling the 64-lane block structure: full blocks,
+        // ±1 around each boundary, and tails of every flavour.
+        for n in [0usize, 1, 63, 64, 65, 127, 128, 129, 200] {
+            let data: Vec<i64> = (0..n as i64).map(|i| (i * 7) % 50).collect();
+            let (lo, hi) = (10, 30);
+            assert_eq!(
+                count_in_range(&data, lo, hi),
+                scalar::count_in_range(&data, lo, hi),
+                "n={n}"
+            );
+            let mut block_pos = Vec::new();
+            let mut scalar_pos = Vec::new();
+            collect_in_range(&data, 5, lo, hi, &mut block_pos);
+            scalar::collect_in_range(&data, 5, lo, hi, &mut scalar_pos);
+            assert_eq!(block_pos, scalar_pos, "n={n}");
+            let mut block_bm = Bitmap::new(n + 7);
+            let mut scalar_bm = Bitmap::new(n + 7);
+            fill_bitmap_in_range(&data, 7, lo, hi, &mut block_bm);
+            scalar::fill_bitmap_in_range(&data, 7, lo, hi, &mut scalar_bm);
+            assert_eq!(block_bm, scalar_bm, "n={n}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "u32 position ceiling")]
+    fn collect_rejects_positions_past_u32() {
+        // Documents the row-count ceiling: positions are u32, so a scan
+        // whose base offset pushes rows past 2^32 must fail loudly
+        // instead of silently truncating.
+        let data = [1i64];
+        let mut out = Vec::new();
+        collect_in_range(&data, MAX_ADDRESSABLE_ROWS, 0, 10, &mut out);
+    }
+
+    #[test]
+    fn collect_accepts_positions_up_to_the_ceiling() {
+        let data = [1i64];
+        let mut out = Vec::new();
+        collect_in_range(&data, MAX_ADDRESSABLE_ROWS - 1, 0, 10, &mut out);
+        assert_eq!(out, vec![u32::MAX]);
     }
 }

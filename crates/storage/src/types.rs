@@ -48,6 +48,17 @@ pub trait DataValue: Copy + Send + Sync + fmt::Debug + fmt::Display + PartialEq 
         self.total_cmp(other) == Ordering::Less
     }
 
+    /// `lo <= self <= hi` under the total order, as one branchless
+    /// expression. The hot scan kernels call this once per lane; the
+    /// default is correct for every type, and implementations override it
+    /// with whatever compare sequence their hardware vectorises best
+    /// (plain compares for integers, the sign-magnitude key trick for
+    /// floats).
+    #[inline]
+    fn in_range_total(&self, lo: &Self, hi: &Self) -> bool {
+        self.ge_total(lo) & self.le_total(hi)
+    }
+
     /// The smaller of two values under the total order.
     #[inline]
     fn min_total(self, other: Self) -> Self {
@@ -85,6 +96,11 @@ macro_rules! impl_data_value_int {
             fn to_f64(self) -> f64 {
                 self as f64
             }
+
+            #[inline]
+            fn in_range_total(&self, lo: &Self, hi: &Self) -> bool {
+                (*lo <= *self) & (*self <= *hi)
+            }
         }
     )*};
 }
@@ -109,6 +125,29 @@ impl DataValue for f64 {
     fn to_f64(self) -> f64 {
         self
     }
+
+    #[inline]
+    fn in_range_total(&self, lo: &Self, hi: &Self) -> bool {
+        let v = f64_total_key(*self);
+        (f64_total_key(*lo) <= v) & (v <= f64_total_key(*hi))
+    }
+}
+
+/// Monotone map from `f64` to `i64` under IEEE-754 totalOrder — the same
+/// sign-magnitude transform `f64::total_cmp` applies before comparing, so
+/// `f64_total_key(a) <= f64_total_key(b)` iff `a.total_cmp(&b) != Greater`.
+/// Integer compares vectorise where the two-step `total_cmp` may not.
+#[inline]
+fn f64_total_key(x: f64) -> i64 {
+    let bits = x.to_bits() as i64;
+    bits ^ (((bits >> 63) as u64) >> 1) as i64
+}
+
+/// As [`f64_total_key`] for `f32`.
+#[inline]
+fn f32_total_key(x: f32) -> i32 {
+    let bits = x.to_bits() as i32;
+    bits ^ (((bits >> 31) as u32) >> 1) as i32
 }
 
 impl DataValue for f32 {
@@ -124,6 +163,12 @@ impl DataValue for f32 {
     #[inline]
     fn to_f64(self) -> f64 {
         self as f64
+    }
+
+    #[inline]
+    fn in_range_total(&self, lo: &Self, hi: &Self) -> bool {
+        let v = f32_total_key(*self);
+        (f32_total_key(*lo) <= v) & (v <= f32_total_key(*hi))
     }
 }
 
@@ -173,6 +218,54 @@ mod tests {
     #[test]
     fn negative_zero_orders_before_positive_zero() {
         assert_eq!((-0.0f64).total_cmp(&0.0), Ordering::Less);
+    }
+
+    #[test]
+    fn in_range_total_matches_ge_le_for_float_edge_cases() {
+        let specials = [
+            f64::NEG_INFINITY,
+            -1e300,
+            -1.0,
+            -0.0,
+            0.0,
+            1.0,
+            1e300,
+            f64::INFINITY,
+            f64::NAN,
+            -f64::NAN,
+            f64::MIN_POSITIVE,
+        ];
+        for &v in &specials {
+            for &lo in &specials {
+                for &hi in &specials {
+                    assert_eq!(
+                        v.in_range_total(&lo, &hi),
+                        v.ge_total(&lo) && v.le_total(&hi),
+                        "v={v:?} lo={lo:?} hi={hi:?}"
+                    );
+                    let (v32, lo32, hi32) = (v as f32, lo as f32, hi as f32);
+                    assert_eq!(
+                        v32.in_range_total(&lo32, &hi32),
+                        v32.ge_total(&lo32) && v32.le_total(&hi32),
+                        "v={v32:?} lo={lo32:?} hi={hi32:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn in_range_total_matches_ge_le_for_ints() {
+        for v in [-3i64, 0, 1, i64::MIN, i64::MAX] {
+            for lo in [-3i64, 0, i64::MIN] {
+                for hi in [0i64, 7, i64::MAX] {
+                    assert_eq!(
+                        v.in_range_total(&lo, &hi),
+                        v.ge_total(&lo) && v.le_total(&hi)
+                    );
+                }
+            }
+        }
     }
 
     #[test]

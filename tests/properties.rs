@@ -13,8 +13,9 @@ use adaptive_data_skipping::core::{
 use adaptive_data_skipping::engine::{
     execute, execute_reference, execute_with_policy, AggKind, ExecPolicy, Strategy,
 };
-use adaptive_data_skipping::storage::{scan, RangeSet};
+use adaptive_data_skipping::storage::{scan, Bitmap, DataValue, RangeSet};
 use ads_rng::StdRng;
+use std::cmp::Ordering;
 
 /// Cases per property — the budget an external framework would default to.
 const CASES: u64 = 64;
@@ -303,6 +304,238 @@ fn rangeset_complement_partitions() {
             assert!(
                 rs.contains(row) != comp.contains(row),
                 "case {case} row {row}"
+            );
+        }
+    }
+}
+
+/// totalOrder equality — the only equality under which NaN bounds compare
+/// equal to themselves, which the float kernel properties need.
+fn same<T: DataValue>(a: T, b: T) -> bool {
+    a.total_cmp(&b) == Ordering::Equal
+}
+
+/// Asserts every block-vectorized kernel in `scan` agrees with its retained
+/// scalar reference in `scan::scalar` on this exact input — counts and
+/// positions exactly, min/max under totalOrder, float sums bit-for-bit.
+fn assert_block_kernels_match_scalar<T: DataValue>(data: &[T], lo: T, hi: T, ctx: &str) {
+    assert_eq!(
+        scan::count_in_range(data, lo, hi),
+        scan::scalar::count_in_range(data, lo, hi),
+        "count_in_range {ctx}"
+    );
+
+    let (c1, mn1, mx1) = scan::count_in_range_with_minmax(data, lo, hi);
+    let (c2, mn2, mx2) = scan::scalar::count_in_range_with_minmax(data, lo, hi);
+    assert!(
+        c1 == c2 && same(mn1, mn2) && same(mx1, mx2),
+        "count_in_range_with_minmax {ctx}"
+    );
+
+    let (sc1, sum1) = scan::sum_in_range(data, lo, hi);
+    let (sc2, sum2) = scan::scalar::sum_in_range(data, lo, hi);
+    assert_eq!(sc1, sc2, "sum_in_range count {ctx}");
+    assert_eq!(
+        sum1.to_bits(),
+        sum2.to_bits(),
+        "sum_in_range bits {ctx}: {sum1} vs {sum2}"
+    );
+
+    // A non-zero base exercises the position-offset arithmetic too.
+    let base = 3usize;
+    let mut pos1 = Vec::new();
+    let mut pos2 = Vec::new();
+    scan::collect_in_range(data, base, lo, hi, &mut pos1);
+    scan::scalar::collect_in_range(data, base, lo, hi, &mut pos2);
+    assert_eq!(pos1, pos2, "collect_in_range {ctx}");
+
+    let mut bm1 = Bitmap::new(base + data.len());
+    let mut bm2 = Bitmap::new(base + data.len());
+    scan::fill_bitmap_in_range(data, base, lo, hi, &mut bm1);
+    scan::scalar::fill_bitmap_in_range(data, base, lo, hi, &mut bm2);
+    assert_eq!(
+        bm1.to_positions(),
+        bm2.to_positions(),
+        "fill_bitmap_in_range {ctx}"
+    );
+
+    let a1 = scan::aggregate_in_range(data, lo, hi);
+    let a2 = scan::scalar::aggregate_in_range(data, lo, hi);
+    assert!(
+        a1.count == a2.count
+            && a1.sum.to_bits() == a2.sum.to_bits()
+            && same(a1.range_min, a2.range_min)
+            && same(a1.range_max, a2.range_max)
+            && same(a1.match_min, a2.match_min)
+            && same(a1.match_max, a2.match_max),
+        "aggregate_in_range {ctx}"
+    );
+
+    let mut cp1 = Vec::new();
+    let mut cp2 = Vec::new();
+    let (cc1, cmn1, cmx1) = scan::collect_in_range_with_minmax(data, base, lo, hi, &mut cp1);
+    let (cc2, cmn2, cmx2) =
+        scan::scalar::collect_in_range_with_minmax(data, base, lo, hi, &mut cp2);
+    assert!(
+        cc1 == cc2 && cp1 == cp2 && same(cmn1, cmn2) && same(cmx1, cmx2),
+        "collect_in_range_with_minmax {ctx}"
+    );
+
+    let mut fb1 = Bitmap::new(base + data.len());
+    let mut fb2 = Bitmap::new(base + data.len());
+    let (fc1, fmn1, fmx1) = scan::fill_bitmap_in_range_with_minmax(data, base, lo, hi, &mut fb1);
+    let (fc2, fmn2, fmx2) =
+        scan::scalar::fill_bitmap_in_range_with_minmax(data, base, lo, hi, &mut fb2);
+    assert!(
+        fc1 == fc2 && same(fmn1, fmn2) && same(fmx1, fmx2),
+        "fill_bitmap_in_range_with_minmax aggregates {ctx}"
+    );
+    assert_eq!(
+        fb1.to_positions(),
+        fb2.to_positions(),
+        "fill_bitmap_in_range_with_minmax bits {ctx}"
+    );
+
+    match (
+        scan::min_max_in_range(data, lo, hi),
+        scan::scalar::min_max_in_range(data, lo, hi),
+    ) {
+        (None, None) => {}
+        (Some((m1, x1)), Some((m2, x2))) => {
+            assert!(same(m1, m2) && same(x1, x2), "min_max_in_range {ctx}")
+        }
+        _ => panic!("min_max_in_range presence mismatch {ctx}"),
+    }
+}
+
+/// Lengths that straddle the 64-lane block boundary: empty, the scalar
+/// tail alone, exact blocks, and ±1 around one and two blocks.
+const LANE_EDGE_LENS: [usize; 9] = [0, 1, 63, 64, 65, 127, 128, 129, 200];
+
+#[test]
+fn block_kernels_match_scalar_reference_i64() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x500A ^ case);
+        for &len in &LANE_EDGE_LENS {
+            let mut data: Vec<i64> = (0..len).map(|_| rng.gen_range(-1000i64..1000)).collect();
+            // Sprinkle type extremes so boundary predicates get exercised.
+            if !data.is_empty() {
+                let i = rng.gen_range(0..data.len());
+                data[i] = *[i64::MIN, i64::MAX, 0].get(case as usize % 3).unwrap();
+            }
+            let pred = gen_pred(&mut rng);
+            let ctx = format!("i64 case {case} len {len}");
+            assert_block_kernels_match_scalar(&data, pred.lo, pred.hi, &ctx);
+        }
+        // One random length per case, away from the curated edges.
+        let len = rng.gen_range(0..400usize);
+        let data: Vec<i64> = (0..len).map(|_| rng.gen_range(-1000i64..1000)).collect();
+        let pred = gen_pred(&mut rng);
+        assert_block_kernels_match_scalar(
+            &data,
+            pred.lo,
+            pred.hi,
+            &format!("i64 case {case} len {len}"),
+        );
+    }
+}
+
+/// Edge values every float kernel must agree on: NaNs of both signs, both
+/// zeros, both infinities.
+fn gen_f64_edgy(rng: &mut StdRng, len: usize) -> Vec<f64> {
+    const EDGES: [f64; 6] = [f64::NAN, 0.0, -0.0, f64::INFINITY, f64::NEG_INFINITY, 1.0];
+    (0..len)
+        .map(|_| {
+            if rng.gen_range(0..4usize) == 0 {
+                let e = EDGES[rng.gen_range(0..EDGES.len())];
+                if rng.gen_range(0..2usize) == 0 {
+                    -e
+                } else {
+                    e
+                }
+            } else {
+                rng.gen_range(-1_000_000i64..1_000_000) as f64 / 64.0
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn block_kernels_match_scalar_reference_floats() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x500B ^ case);
+        for &len in &LANE_EDGE_LENS {
+            let data = gen_f64_edgy(&mut rng, len);
+            // Predicate bounds drawn from the same edgy distribution, so
+            // lo/hi themselves are sometimes NaN, ±0.0, or infinite (an
+            // inverted or never-matching range is a valid equivalence
+            // case, not an error).
+            let bounds = gen_f64_edgy(&mut rng, 2);
+            let (lo, hi) = (bounds[0], bounds[1]);
+            let ctx = format!("f64 case {case} len {len}");
+            assert_block_kernels_match_scalar(&data, lo, hi, &ctx);
+
+            let data32: Vec<f32> = data.iter().map(|&v| v as f32).collect();
+            let ctx32 = format!("f32 case {case} len {len}");
+            assert_block_kernels_match_scalar(&data32, lo as f32, hi as f32, &ctx32);
+        }
+    }
+}
+
+#[test]
+fn soa_prune_plane_matches_aos_reference() {
+    // The SoA prune plane is an acceleration structure, not a semantic
+    // change: on any interleaving of queries, observations, structural
+    // adaptation, and appends, the plane-driven `prune` must produce the
+    // same `PruneOutcome` and leave the same observable zone state as the
+    // retained AoS reference loop (`prune_via_zones`).
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x500C ^ case);
+        let mut data = gen_data(&mut rng, 3000);
+        let mut plane_zm = AdaptiveZonemap::new(data.len(), test_config());
+        let mut aos_zm = plane_zm.clone();
+        let steps = rng.gen_range(6..30usize);
+        for step in 0..steps {
+            if rng.gen_range(0..6usize) == 0 {
+                let batch: Vec<i64> = (0..rng.gen_range(1..150usize))
+                    .map(|_| rng.gen_range(-1000i64..1000))
+                    .collect();
+                let old = data.len();
+                data.extend_from_slice(&batch);
+                plane_zm.on_append(&data[old..], &data);
+                aos_zm.on_append(&data[old..], &data);
+            } else {
+                let pred = gen_pred(&mut rng);
+                let plane_out = plane_zm.prune(&pred);
+                let aos_out = aos_zm.prune_via_zones(&pred);
+                assert_eq!(
+                    plane_out, aos_out,
+                    "case {case} step {step}: prune outcomes diverged"
+                );
+                // Feed both the same honest observation so adaptation
+                // (splits, merges, deactivation, revival) stays in step.
+                let mut ranges = Vec::new();
+                for unit in plane_out.units() {
+                    let (q, min, max) = scan::count_in_range_with_minmax(
+                        &data[unit.start..unit.end],
+                        pred.lo,
+                        pred.hi,
+                    );
+                    ranges.push(RangeObservation::new(*unit, q, min, max));
+                }
+                let obs = ScanObservation {
+                    predicate: pred,
+                    ranges,
+                };
+                plane_zm.observe(&obs);
+                aos_zm.observe(&obs);
+            }
+            plane_zm.assert_invariants();
+            aos_zm.assert_invariants();
+            assert_eq!(
+                plane_zm.zone_snapshot(),
+                aos_zm.zone_snapshot(),
+                "case {case} step {step}: zone snapshots diverged"
             );
         }
     }
