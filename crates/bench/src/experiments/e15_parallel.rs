@@ -13,7 +13,7 @@
 
 use crate::report::{fmt_us, fmt_x, Report};
 use crate::runner::{assert_same_answers, replay_with_policy, Scale};
-use ads_engine::{AggKind, ExecPolicy, Strategy};
+use ads_engine::{AggKind, ExecPolicy, LatencyHistogram, Strategy};
 use ads_workloads::{DataSpec, QuerySpec};
 
 /// Thread counts measured.
@@ -29,6 +29,8 @@ pub fn run(scale: Scale) -> Report {
             "threads",
             "effective",
             "mean µs/query",
+            "p95 µs",
+            "p99 µs",
             "rows scanned/query",
             "speedup vs 1T",
         ],
@@ -76,11 +78,19 @@ pub fn run(scale: Scale) -> Report {
         let base = &runs[0].1;
         let base_wall = base.totals.wall_ns;
         for (t, r) in &runs {
+            // The same histogram the service's stats surface uses, so E15
+            // and E16 percentiles are comparable by construction.
+            let mut hist = LatencyHistogram::new();
+            for m in &r.history {
+                hist.record(m.wall_ns);
+            }
             report.row(vec![
                 spec.label(),
                 t.to_string(),
                 r.totals.max_threads_used.to_string(),
                 fmt_us(r.mean_ns()),
+                fmt_us(hist.p95_ns() as f64),
+                fmt_us(hist.p99_ns() as f64),
                 format!(
                     "{:.0}",
                     r.totals.rows_scanned as f64 / r.totals.queries as f64

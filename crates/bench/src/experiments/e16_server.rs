@@ -1,0 +1,60 @@
+//! E16 — concurrent service throughput: adaptation modes × reader counts.
+//!
+//! The paper's protocol is single-writer: inline adaptation serialises
+//! every query behind the engine lock no matter how many threads submit.
+//! The service decouples the two halves — snapshot-isolated reads,
+//! asynchronous adaptation — and this experiment measures what that buys:
+//! closed-loop throughput (one client per reader) for inline, async and
+//! frozen modes on a sorted (skip-friendly) and a uniform (adversarial)
+//! column. Answers are checksummed across modes per client stream, so all
+//! speedups are for bit-identical work.
+
+use crate::report::Report;
+use crate::runner::Scale;
+use crate::server_bench;
+
+/// Runs the experiment.
+pub fn run(scale: Scale) -> Report {
+    let mut report = Report::new(
+        "e16",
+        "service throughput: snapshot readers + async adaptation vs inline lock",
+        &[
+            "distribution",
+            "mode",
+            "readers",
+            "kq/s",
+            "vs inline@1",
+            "p50 µs",
+            "p99 µs",
+            "snapshots",
+        ],
+    );
+    report.note(format!(
+        "{} rows, {} COUNT queries/client @5% value-domain selectivity, \
+         closed loop (clients = readers); host has {} core(s)",
+        scale.rows,
+        scale.queries,
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    ));
+
+    let bench = server_bench::run(scale.rows, scale.queries, scale.domain, scale.seed ^ 0xE16);
+    for c in &bench.cells {
+        let base = bench.qps_of(&c.dist, "inline", 1).unwrap_or(c.qps);
+        report.row(vec![
+            c.dist.clone(),
+            c.mode.to_string(),
+            c.readers.to_string(),
+            format!("{:.1}", c.qps / 1e3),
+            format!("{:.2}x", c.qps / base.max(1e-9)),
+            format!("{:.0}", c.p50_ns as f64 / 1e3),
+            format!("{:.0}", c.p99_ns as f64 / 1e3),
+            c.snapshots_published.to_string(),
+        ]);
+    }
+    report.note(if bench.async_beats_inline() {
+        "async @4 readers beats the inline@1 baseline on every distribution".to_string()
+    } else {
+        "WARNING: async @4 readers did not beat inline@1 on this host".to_string()
+    });
+    report
+}

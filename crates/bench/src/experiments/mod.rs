@@ -16,6 +16,7 @@ pub mod e12_activation;
 pub mod e13_strings;
 pub mod e14_masks;
 pub mod e15_parallel;
+pub mod e16_server;
 
 use crate::report::Report;
 use crate::runner::Scale;
@@ -23,6 +24,7 @@ use crate::runner::Scale;
 /// Experiment ids in execution order.
 pub const ALL: &[&str] = &[
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
+    "e16",
 ];
 
 /// Runs one experiment by id.
@@ -43,6 +45,7 @@ pub fn run(id: &str, scale: Scale) -> Option<Report> {
         "e13" => Some(e13_strings::run(scale)),
         "e14" => Some(e14_masks::run(scale)),
         "e15" => Some(e15_parallel::run(scale)),
+        "e16" => Some(e16_server::run(scale)),
         _ => None,
     }
 }

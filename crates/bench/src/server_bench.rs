@@ -1,0 +1,286 @@
+//! E16 machinery — concurrent service throughput under the three
+//! adaptation modes, emitted as the machine-readable
+//! `ads-server-bench/v1` document (`results/BENCH_server.json`).
+//!
+//! The measurement is a closed loop: one client thread per reader, each
+//! submitting its fixed query stream back-to-back through
+//! [`QueryService::query`]. Inline mode serialises every query behind the
+//! engine lock regardless of reader count — that is the baseline the
+//! paper's protocol imposes on a concurrent system. Async mode executes
+//! against published snapshots and defers adaptation to the maintenance
+//! thread, so throughput should scale with readers; frozen mode isolates
+//! pure snapshot-read scaling with no adaptation at all.
+//!
+//! Every cell's answers are checksummed per client and compared across
+//! modes (same distribution, same client stream ⇒ identical checksums),
+//! so the speedups reported here are for bit-identical work.
+
+use ads_core::RangePredicate;
+use ads_engine::AggKind;
+use ads_server::{AdaptationMode, QueryService, ServerConfig, ServerStats};
+use ads_workloads::{queries, DataSpec};
+use std::collections::HashMap;
+use std::fmt::Write;
+use std::time::Instant;
+
+/// The mode/reader grid each distribution is measured over.
+pub const CELLS: &[(AdaptationMode, usize)] = &[
+    (AdaptationMode::Inline, 1),
+    (AdaptationMode::Inline, 4),
+    (AdaptationMode::Async, 1),
+    (AdaptationMode::Async, 2),
+    (AdaptationMode::Async, 4),
+    (AdaptationMode::Async, 8),
+    (AdaptationMode::Frozen, 4),
+];
+
+/// One measured (distribution, mode, readers) cell.
+#[derive(Debug, Clone)]
+pub struct ServerCell {
+    /// Data distribution label.
+    pub dist: String,
+    /// Adaptation mode label.
+    pub mode: &'static str,
+    /// Reader threads (= closed-loop client threads).
+    pub readers: usize,
+    /// Queries answered.
+    pub queries: u64,
+    /// Wall time of the whole cell.
+    pub elapsed_ns: u64,
+    /// Answered queries per second.
+    pub qps: f64,
+    /// Latency percentiles (dequeue-to-answer).
+    pub p50_ns: u64,
+    /// 95th percentile.
+    pub p95_ns: u64,
+    /// 99th percentile.
+    pub p99_ns: u64,
+    /// Observations dropped at the feedback channel.
+    pub feedback_dropped: u64,
+    /// Snapshots the maintenance thread published.
+    pub snapshots_published: u64,
+}
+
+/// The full E16 result set.
+#[derive(Debug, Clone)]
+pub struct ServerBenchReport {
+    /// Rows per column.
+    pub rows: usize,
+    /// Queries each client submits.
+    pub queries_per_client: usize,
+    /// Host cores (context for the scaling numbers).
+    pub host_cores: usize,
+    /// Measured cells, in [`CELLS`] order per distribution.
+    pub cells: Vec<ServerCell>,
+}
+
+impl ServerBenchReport {
+    /// Throughput of a cell, or `None` if it was not measured.
+    pub fn qps_of(&self, dist: &str, mode: &str, readers: usize) -> Option<f64> {
+        self.cells
+            .iter()
+            .find(|c| c.dist == dist && c.mode == mode && c.readers == readers)
+            .map(|c| c.qps)
+    }
+
+    /// The headline acceptance check: async throughput at ≥4 readers beats
+    /// the single-threaded inline baseline on every distribution.
+    pub fn async_beats_inline(&self) -> bool {
+        let dists: Vec<&str> = {
+            let mut d: Vec<&str> = self.cells.iter().map(|c| c.dist.as_str()).collect();
+            d.dedup();
+            d
+        };
+        dists.iter().all(
+            |d| match (self.qps_of(d, "async", 4), self.qps_of(d, "inline", 1)) {
+                (Some(a), Some(i)) => a > i,
+                _ => false,
+            },
+        )
+    }
+
+    /// Renders the `ads-server-bench/v1` JSON document.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(4096);
+        s.push_str("{\n");
+        s.push_str("  \"schema\": \"ads-server-bench/v1\",\n");
+        let _ = writeln!(s, "  \"rows\": {},", self.rows);
+        let _ = writeln!(s, "  \"queries_per_client\": {},", self.queries_per_client);
+        let _ = writeln!(s, "  \"host_cores\": {},", self.host_cores);
+        s.push_str("  \"cells\": [\n");
+        for (i, c) in self.cells.iter().enumerate() {
+            let _ = write!(
+                s,
+                "    {{\"dist\": \"{}\", \"mode\": \"{}\", \"readers\": {}, \"queries\": {}, \
+                 \"elapsed_ns\": {}, \"qps\": {:.1}, \"p50_ns\": {}, \"p95_ns\": {}, \
+                 \"p99_ns\": {}, \"feedback_dropped\": {}, \"snapshots_published\": {}}}",
+                c.dist,
+                c.mode,
+                c.readers,
+                c.queries,
+                c.elapsed_ns,
+                c.qps,
+                c.p50_ns,
+                c.p95_ns,
+                c.p99_ns,
+                c.feedback_dropped,
+                c.snapshots_published,
+            );
+            s.push_str(if i + 1 < self.cells.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// Renders the README's service-throughput table.
+    pub fn to_markdown(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "| Distribution | Mode | Readers | kq/s | vs inline@1 | p50 µs | p99 µs |"
+        );
+        let _ = writeln!(s, "|---|---|---:|---:|---:|---:|---:|");
+        for c in &self.cells {
+            let base = self.qps_of(&c.dist, "inline", 1).unwrap_or(c.qps);
+            let _ = writeln!(
+                s,
+                "| {} | {} | {} | {:.1} | {:.2}x | {:.0} | {:.0} |",
+                c.dist,
+                c.mode,
+                c.readers,
+                c.qps / 1e3,
+                c.qps / base.max(1e-9),
+                c.p50_ns as f64 / 1e3,
+                c.p99_ns as f64 / 1e3,
+            );
+        }
+        s
+    }
+}
+
+/// Runs the closed-loop measurement for one cell and returns its stats
+/// plus the per-client answer checksums.
+fn run_cell(
+    data: &[i64],
+    mode: AdaptationMode,
+    readers: usize,
+    queries_per_client: usize,
+    domain: i64,
+    seed: u64,
+) -> (ServerStats, u64, Vec<u64>) {
+    let svc = QueryService::start(
+        data.to_vec(),
+        ServerConfig {
+            readers,
+            queue_capacity: 4 * readers.max(1) + 16,
+            adaptation: mode,
+            ..ServerConfig::default()
+        },
+    );
+
+    let t0 = Instant::now();
+    let checksums: Vec<u64> = std::thread::scope(|scope| {
+        let svc = &svc;
+        let handles: Vec<_> = (0..readers)
+            .map(|client| {
+                scope.spawn(move || {
+                    // The client's stream depends only on its index, so the
+                    // same client sees the same queries in every mode.
+                    let preds = queries::uniform_ranges(
+                        queries_per_client,
+                        domain,
+                        0.05,
+                        seed ^ (client as u64).wrapping_mul(0x9E37_79B9),
+                    );
+                    let mut checksum = 0u64;
+                    for q in preds {
+                        let pred = RangePredicate::between(q.lo, q.hi);
+                        let reply = svc.query(pred, AggKind::Count).expect("closed loop");
+                        checksum =
+                            checksum.wrapping_add(reply.answer().expect("no deadline").count);
+                    }
+                    checksum
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let elapsed_ns = t0.elapsed().as_nanos() as u64;
+
+    (svc.shutdown(), elapsed_ns, checksums)
+}
+
+/// Runs the full grid: `CELLS` × {sorted, uniform} at `rows` rows.
+pub fn run(rows: usize, queries_per_client: usize, domain: i64, seed: u64) -> ServerBenchReport {
+    let mut report = ServerBenchReport {
+        rows,
+        queries_per_client,
+        host_cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        cells: Vec::new(),
+    };
+
+    for spec in [DataSpec::Sorted, DataSpec::Uniform] {
+        let data = spec.generate(rows, domain, seed);
+        let dist = spec.label();
+        // client index -> checksum; equal streams must answer equally in
+        // every mode.
+        let mut reference: HashMap<usize, u64> = HashMap::new();
+        for &(mode, readers) in CELLS {
+            eprintln!("  e16: {dist} {} x{readers} readers", mode.label());
+            let (stats, elapsed_ns, checksums) =
+                run_cell(&data, mode, readers, queries_per_client, domain, seed);
+            for (client, &sum) in checksums.iter().enumerate() {
+                match reference.get(&client) {
+                    Some(&want) => assert_eq!(
+                        sum,
+                        want,
+                        "{dist}/{}/{readers}: client {client} answers diverged",
+                        mode.label()
+                    ),
+                    None => {
+                        reference.insert(client, sum);
+                    }
+                }
+            }
+            assert_eq!(stats.queries, (readers * queries_per_client) as u64);
+            report.cells.push(ServerCell {
+                dist: dist.clone(),
+                mode: mode.label(),
+                readers,
+                queries: stats.queries,
+                elapsed_ns,
+                qps: stats.queries as f64 / (elapsed_ns.max(1) as f64 / 1e9),
+                p50_ns: stats.latency.p50_ns(),
+                p95_ns: stats.latency.p95_ns(),
+                p99_ns: stats.latency.p99_ns(),
+                feedback_dropped: stats.feedback_dropped,
+                snapshots_published: stats.snapshots_published,
+            });
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_grid_runs_and_serialises() {
+        let report = run(4_000, 10, 10_000, 7);
+        assert_eq!(report.cells.len(), 2 * CELLS.len());
+        let json = report.to_json();
+        assert!(json.contains("\"schema\": \"ads-server-bench/v1\""));
+        assert!(json.contains("\"mode\": \"async\""));
+        assert!(!report.to_markdown().is_empty());
+        // Every cell answered its whole closed loop.
+        for c in &report.cells {
+            assert_eq!(c.queries, (c.readers * 10) as u64);
+            assert!(c.qps > 0.0);
+        }
+    }
+}

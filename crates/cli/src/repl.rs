@@ -4,6 +4,7 @@
 use ads_core::adaptive::{AdaptiveConfig, AdaptiveZonemap};
 use ads_core::RangePredicate;
 use ads_engine::{AggKind, ColumnSession, ExecPolicy, Strategy};
+use ads_server::{AdaptationMode, QueryService, ServerConfig};
 use ads_workloads::{DataSpec, QuerySpec};
 use std::fmt::Write as _;
 
@@ -45,6 +46,9 @@ commands:
   threads <n>                scan-phase worker threads (1 = sequential)
   append <rows>              append a fresh batch to the column
   compare <n> <sel%>         replay a workload across all strategies
+  serve <dist> <rows> <readers> <n> [inline|async|frozen]
+                             stress the concurrent query service: <readers>
+                             closed-loop clients x <n> queries each
   help                       this text
   quit                       exit";
 
@@ -370,6 +374,68 @@ impl Repl {
                 }
                 Ok(out.trim_end().to_string())
             }
+            "serve" => {
+                let (Some(spec), Some(rows), Some(readers), Some(per_client)) = (
+                    words.get(1).and_then(|w| Self::parse_dist(w)),
+                    words.get(2).and_then(|w| w.parse::<usize>().ok()),
+                    words.get(3).and_then(|w| w.parse::<usize>().ok()),
+                    words.get(4).and_then(|w| w.parse::<usize>().ok()),
+                ) else {
+                    return Err(
+                        "usage: serve <dist> <rows> <readers> <n> [inline|async|frozen]".into(),
+                    );
+                };
+                if readers == 0 || rows == 0 {
+                    return Err("rows and readers must be >= 1".into());
+                }
+                let mode = match words.get(5).copied().unwrap_or("async") {
+                    "inline" => AdaptationMode::Inline,
+                    "async" => AdaptationMode::Async,
+                    "frozen" => AdaptationMode::Frozen,
+                    other => return Err(format!("unknown mode: {other}")),
+                };
+                let data = spec.generate(rows, self.domain, self.seed);
+                let svc = QueryService::start(
+                    data,
+                    ServerConfig {
+                        readers,
+                        adaptation: mode,
+                        ..ServerConfig::default()
+                    },
+                );
+                let domain = self.domain;
+                let seed = self.seed;
+                let t0 = std::time::Instant::now();
+                std::thread::scope(|scope| {
+                    let svc = &svc;
+                    for client in 0..readers {
+                        scope.spawn(move || {
+                            let preds = QuerySpec::UniformRandom { selectivity: 0.05 }.generate(
+                                per_client,
+                                domain,
+                                seed ^ client as u64,
+                            );
+                            for q in preds {
+                                let _ =
+                                    svc.query(RangePredicate::between(q.lo, q.hi), AggKind::Count);
+                            }
+                        });
+                    }
+                });
+                let elapsed = t0.elapsed();
+                let stats = svc.shutdown();
+                Ok(format!(
+                    "{} mode, {readers} reader(s) x {per_client} queries in {:.1}ms\n\
+                     throughput {:.1} kq/s | p50 {:.0}µs p95 {:.0}µs p99 {:.0}µs\n{}",
+                    mode.label(),
+                    elapsed.as_secs_f64() * 1e3,
+                    stats.throughput_qps(elapsed) / 1e3,
+                    stats.latency.p50_ns() as f64 / 1e3,
+                    stats.latency.p95_ns() as f64 / 1e3,
+                    stats.latency.p99_ns() as f64 / 1e3,
+                    stats.summary()
+                ))
+            }
             "quit" | "exit" => Ok("bye".to_string()),
             other => Err(format!("unknown command: {other} (try `help`)")),
         }
@@ -483,6 +549,21 @@ mod tests {
         let out = r.handle("compare 5 1").expect("compare works");
         assert!(out.contains("cracking"));
         assert!(out.contains("sorted-oracle"));
+    }
+
+    #[test]
+    fn serve_runs_a_stress_round_in_every_mode() {
+        let mut r = Repl::new();
+        for mode in ["inline", "async", "frozen"] {
+            let out = r
+                .handle(&format!("serve uniform 20000 2 10 {mode}"))
+                .expect("serve works");
+            assert!(out.contains("throughput"), "{out}");
+            assert!(out.contains("queries=20"), "{out}");
+        }
+        assert!(r.handle("serve uniform 1000 2 10 warpmode").is_err());
+        assert!(r.handle("serve nope 1000 2 10").is_err());
+        assert!(r.handle("serve uniform 1000 0 10").is_err());
     }
 
     #[test]

@@ -156,23 +156,31 @@ impl<T: DataValue> AdaptiveZonemap<T> {
     /// unbuilt zones at target granularity, giving a shifted workload the
     /// chance to re-earn metadata there.
     pub(crate) fn revive_due_zones(&mut self) {
+        self.revive_zones_due_at(self.query_seq);
+    }
+
+    /// As [`AdaptiveZonemap::revive_due_zones`], with the dueness clock set
+    /// explicitly. The prune prologue passes the just-incremented
+    /// `query_seq`; snapshot publication passes `query_seq + 1` so a
+    /// published snapshot matches what the next inline query would see
+    /// (see `poll_revival`). Returns `true` when any zone was revived.
+    pub(crate) fn revive_zones_due_at(&mut self, at_seq: u64) -> bool {
         let Some(base) = self.config.revival_base_queries else {
             self.next_revival_check = u64::MAX;
-            return;
+            return false;
         };
         // Revival renumbers zones and rebuilds the plane, which zeroes
         // the deferred skip counters — bank them first.
         self.flush_pending_skips();
-        let query_seq = self.query_seq;
         let due = |z: &AdaptiveZone<T>| match z.state {
             ZoneState::Dead { since_query } => {
-                query_seq >= since_query + revival_backoff(base, z.deactivations)
+                at_seq >= since_query + revival_backoff(base, z.deactivations)
             }
             _ => false,
         };
         if !self.zones.iter().any(due) {
             self.refresh_revival_clock();
-            return;
+            return false;
         }
         let target = self.config.target_zone_rows;
         let alpha = self.config.ewma_alpha;
@@ -200,6 +208,7 @@ impl<T: DataValue> AdaptiveZonemap<T> {
                 .record(self.query_seq, AdaptEvent::Revived { range });
         }
         self.refresh_revival_clock();
+        true
     }
 
     /// Recomputes the earliest query at which a revival check is needed.

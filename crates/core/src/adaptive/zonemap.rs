@@ -388,13 +388,61 @@ impl<T: DataValue> SkippingIndex<T> for AdaptiveZonemap<T> {
     }
 }
 
-/// The shared probe tail for a built zone whose `(min, max)` the predicate
-/// overlaps: full-match detection, value-mask secondary pruning, and the
-/// must-scan + mask-request bookkeeping. Both the plane-driven [`prune`]
-/// loop and the AoS reference loop ([`AdaptiveZonemap::prune_via_zones`])
-/// funnel through here, which is what keeps them decision-identical.
+/// What pruning decided for a built zone whose `(min, max)` the predicate
+/// overlaps.
+enum OverlapAction {
+    /// The predicate contains the zone's value range: every row qualifies.
+    FullMatch,
+    /// The secondary value mask excludes the zone despite overlapping
+    /// bounds — the outlier case.
+    MaskSkip,
+    /// The zone must be scanned, optionally collecting a value mask.
+    Scan(Option<MaskRequest>),
+}
+
+/// The shared probe decision for a built zone whose `(min, max)` the
+/// predicate overlaps: full-match detection, value-mask secondary pruning,
+/// and the mask-request choice. Pure — reads the zone, mutates nothing.
+/// Every prune variant (the plane-driven [`prune`] loop, the AoS reference
+/// loop [`AdaptiveZonemap::prune_via_zones`], and the read-only
+/// [`AdaptiveZonemap::prune_shared`]) funnels through here, which is what
+/// keeps them decision-identical.
 ///
 /// [`prune`]: SkippingIndex::prune
+fn classify_overlapping_zone<T: DataValue>(
+    zone: &AdaptiveZone<T>,
+    pred: &RangePredicate<T>,
+    min: T,
+    max: T,
+    config: &AdaptiveConfig,
+    min_split_rows: usize,
+) -> OverlapAction {
+    if pred.contains_zone(min, max) {
+        return OverlapAction::FullMatch;
+    }
+    if let Some(mask) = zone.mask {
+        let bits = mask
+            .layout
+            .predicate_bits(pred.lo.to_f64(), pred.hi.to_f64());
+        if mask.bits & bits == 0 {
+            return OverlapAction::MaskSkip;
+        }
+    }
+    // Ask the scan to collect a mask for zones that keep wasting scans
+    // but can refine no further positionally.
+    let can_split = config.enable_split && !zone.no_resplit && zone.len() >= min_split_rows;
+    let want_mask = config.enable_mask
+        && zone.mask.is_none()
+        && !can_split
+        && zone.stats.wasted_scans >= config.split_after_wasted;
+    OverlapAction::Scan(want_mask.then_some(MaskRequest {
+        lo_f: min.to_f64(),
+        hi_f: max.to_f64(),
+    }))
+}
+
+/// Applies an [`OverlapAction`] to the outcome being assembled, with the
+/// zone-stat side effects the mutable prune paths perform.
 fn probe_overlapping_zone<T: DataValue>(
     zone: &mut AdaptiveZone<T>,
     pred: &RangePredicate<T>,
@@ -404,37 +452,22 @@ fn probe_overlapping_zone<T: DataValue>(
     min_split_rows: usize,
     out: &mut PruneOutcome,
 ) {
-    if pred.contains_zone(min, max) {
-        out.full_match.push_span(zone.start, zone.end);
-        zone.stats.record_no_skip();
-        return;
-    }
-    // Secondary pruning: the value mask may exclude the zone even though
-    // its (min, max) cannot — the outlier case.
-    if let Some(mask) = zone.mask {
-        let bits = mask
-            .layout
-            .predicate_bits(pred.lo.to_f64(), pred.hi.to_f64());
-        if mask.bits & bits == 0 {
+    match classify_overlapping_zone(zone, pred, min, max, config, min_split_rows) {
+        OverlapAction::FullMatch => {
+            out.full_match.push_span(zone.start, zone.end);
+            zone.stats.record_no_skip();
+        }
+        OverlapAction::MaskSkip => {
             out.zones_skipped += 1;
             zone.stats.record_skip();
-            return;
+        }
+        OverlapAction::Scan(req) => {
+            out.must_scan.push_span(zone.start, zone.end);
+            out.scan_units.push(zone.range());
+            out.mask_requests.push(req);
+            zone.stats.record_no_skip();
         }
     }
-    out.must_scan.push_span(zone.start, zone.end);
-    out.scan_units.push(zone.range());
-    // Ask the scan to collect a mask for zones that keep wasting scans
-    // but can refine no further positionally.
-    let can_split = config.enable_split && !zone.no_resplit && zone.len() >= min_split_rows;
-    let want_mask = config.enable_mask
-        && zone.mask.is_none()
-        && !can_split
-        && zone.stats.wasted_scans >= config.split_after_wasted;
-    out.mask_requests.push(want_mask.then_some(MaskRequest {
-        lo_f: min.to_f64(),
-        hi_f: max.to_f64(),
-    }));
-    zone.stats.record_no_skip();
 }
 
 impl<T: DataValue> AdaptiveZonemap<T> {
@@ -463,6 +496,110 @@ impl<T: DataValue> AdaptiveZonemap<T> {
         self.stats.total_probes += out.zones_probed as u64;
         self.stats.total_skips += out.zones_skipped as u64;
         self.stats.rows_full_match += out.rows_full_match() as u64;
+    }
+
+    /// Read-only prune: converts `pred` into candidate ranges against the
+    /// current metadata **without mutating anything** — no query-clock
+    /// tick, no stat updates, no revival check.
+    ///
+    /// This is the concurrent-reader entry point: N threads may call it on
+    /// a shared (or snapshot-cloned) zonemap simultaneously. Given the same
+    /// zone state, the returned outcome is identical to what the mutable
+    /// [`SkippingIndex::prune`] would produce (both funnel zone decisions
+    /// through one classifier; property-tested). The bookkeeping the
+    /// mutable path performs inline is applied later, centrally, when the
+    /// executed query's feedback reaches [`AdaptiveZonemap::apply_feedback`].
+    pub fn prune_shared(&self, pred: &RangePredicate<T>) -> PruneOutcome {
+        let mut out = PruneOutcome {
+            must_scan: RangeSet::with_capacity(32),
+            scan_units: Vec::with_capacity(32),
+            mask_requests: Vec::new(),
+            full_match: RangeSet::with_capacity(8),
+            zones_probed: 0,
+            zones_skipped: 0,
+        };
+        let min_split_rows =
+            (2 * self.config.min_zone_rows).max(2 * self.cost.min_profitable_zone_rows());
+        for idx in 0..self.zones.len() {
+            out.zones_probed += 1;
+            if !self.plane.is_built(idx) {
+                let zone = &self.zones[idx];
+                out.must_scan.push_span(zone.start, zone.end);
+                out.scan_units.push(zone.range());
+                out.mask_requests.push(None);
+                continue;
+            }
+            let min = self.plane.mins[idx];
+            let max = self.plane.maxs[idx];
+            if !pred.overlaps(min, max) {
+                out.zones_skipped += 1;
+                continue;
+            }
+            let zone = &self.zones[idx];
+            match classify_overlapping_zone(zone, pred, min, max, &self.config, min_split_rows) {
+                OverlapAction::FullMatch => out.full_match.push_span(zone.start, zone.end),
+                OverlapAction::MaskSkip => out.zones_skipped += 1,
+                OverlapAction::Scan(req) => {
+                    out.must_scan.push_span(zone.start, zone.end);
+                    out.scan_units.push(zone.range());
+                    out.mask_requests.push(req);
+                }
+            }
+        }
+        out
+    }
+
+    /// Applies one deferred query's worth of adaptation, exactly as if the
+    /// query had executed inline against this zonemap.
+    ///
+    /// The inline path is `prune(pred)` → scan → `observe(obs)`; a reader
+    /// that executed against a snapshot via [`AdaptiveZonemap::prune_shared`]
+    /// skipped all of prune's bookkeeping, so this replays the mutable
+    /// prune here (a metadata-only walk — no data is touched) for its side
+    /// effects (query clock, skip/probe counters, revival check) and then
+    /// feeds the reader's scan observations through [`observe`].
+    ///
+    /// Observations whose ranges no longer align with a current zone
+    /// (because the reader's snapshot was stale across a structural change)
+    /// are ignored by `observe`'s existing alignment check — staleness can
+    /// only slow adaptation, never corrupt it.
+    ///
+    /// [`observe`]: SkippingIndex::observe
+    pub fn apply_feedback(&mut self, obs: &ScanObservation<T>) {
+        let _ = SkippingIndex::prune(self, &obs.predicate);
+        self.observe(obs);
+    }
+
+    /// Applies a drained batch of deferred query feedback in arrival
+    /// order; returns how many entries were applied.
+    pub fn apply_feedback_batch<'a>(
+        &mut self,
+        batch: impl IntoIterator<Item = &'a ScanObservation<T>>,
+    ) -> usize
+    where
+        T: 'a,
+    {
+        let mut applied = 0;
+        for obs in batch {
+            self.apply_feedback(obs);
+            applied += 1;
+        }
+        applied
+    }
+
+    /// Runs the revival check the *next* query's prune would run, so a
+    /// snapshot published now already reflects it.
+    ///
+    /// The mutable prune revives due zones at the top of every query; a
+    /// snapshot reader cannot (its prune is read-only), so the publisher
+    /// calls this before cloning state out. Returns `true` when any zone
+    /// was revived. Idempotent: re-running prune afterwards (as
+    /// [`AdaptiveZonemap::apply_feedback`] does) finds nothing newly due.
+    pub fn poll_revival(&mut self) -> bool {
+        if self.next_revival_check == u64::MAX || self.query_seq + 1 < self.next_revival_check {
+            return false;
+        }
+        self.revive_zones_due_at(self.query_seq + 1)
     }
 
     /// The retained array-of-structs prune loop: walks `Vec<AdaptiveZone>`

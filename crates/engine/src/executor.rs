@@ -133,100 +133,15 @@ pub fn execute_with_policy<T: DataValue>(
     let prune_ns = t0.elapsed().as_nanos() as u64;
 
     let coords = index.scan_coords();
-    let mut answer = QueryAnswer::default();
-    let mut observations: Vec<RangeObservation<T>> = Vec::with_capacity(outcome.units().len());
-    let mut rows_scanned = 0usize;
-    let threads_used;
-
-    let t_scan = Instant::now();
-    {
+    let (mut answer, observation, phase) = {
         let target: &[T] = match coords {
             ScanCoords::Base => data,
             ScanCoords::View => index
                 .view()
                 .expect("view-coordinate index must expose a view"),
         };
-
-        // The work list: full-match ranges first (only when their values
-        // must be read), then the scan units — the order the answer fold
-        // visits them, which keeps f64 accumulation bit-identical between
-        // sequential and parallel execution.
-        let reads_full_values = matches!(agg, AggKind::Sum | AggKind::Min | AggKind::Max);
-        let fulls = if reads_full_values {
-            outcome.full_match.ranges()
-        } else {
-            &[]
-        };
-        let mut items: Vec<WorkItem> = Vec::with_capacity(fulls.len() + outcome.units().len());
-        items.extend(fulls.iter().map(|r| WorkItem::Full(*r)));
-        items.extend(
-            outcome
-                .units()
-                .iter()
-                .enumerate()
-                .map(|(i, u)| WorkItem::Unit(*u, outcome.mask_request(i))),
-        );
-
-        let scan_rows: usize = items.iter().map(WorkItem::rows).sum();
-        threads_used = policy.effective_threads(scan_rows);
-
-        let results: Vec<ItemResult<T>> =
-            parallel::par_map_weighted(&items, threads_used, WorkItem::rows, |_, item| {
-                scan_item(target, pred, agg, item)
-            });
-
-        // Merge phase: fold results in item order.
-        let mut sum = 0.0f64;
-        let mut mmin = T::MAX_VALUE;
-        let mut mmax = T::MIN_VALUE;
-        for (item, r) in items.iter().zip(&results) {
-            answer.count += r.count as u64;
-            sum += r.sum;
-            mmin = mmin.min_total(r.match_min);
-            mmax = mmax.max_total(r.match_max);
-            if matches!(item, WorkItem::Unit(..)) {
-                rows_scanned += item.rows();
-            }
-        }
-        match agg {
-            AggKind::Count => {
-                // Full-match rows are answered from metadata alone.
-                answer.count += outcome.rows_full_match() as u64;
-            }
-            AggKind::Sum => answer.sum = Some(sum),
-            AggKind::Min => answer.min = (answer.count > 0).then_some(mmin),
-            AggKind::Max => answer.max = (answer.count > 0).then_some(mmax),
-            AggKind::Positions => {
-                // POSITIONS items are all units, aligned 1:1 with results:
-                // merge-walk full-match ranges and per-unit position lists
-                // by start so base-coordinate output comes out sorted.
-                let full_ranges = outcome.full_match.ranges();
-                let units = outcome.units();
-                let mut positions: Vec<u32> =
-                    Vec::with_capacity(results.iter().map(|r| r.positions.len()).sum::<usize>());
-                let (mut fi, mut ui) = (0usize, 0usize);
-                while fi < full_ranges.len() || ui < units.len() {
-                    let take_full = match (full_ranges.get(fi), units.get(ui)) {
-                        (Some(f), Some(u)) => f.start < u.start,
-                        (Some(_), None) => true,
-                        _ => false,
-                    };
-                    if take_full {
-                        let f = full_ranges[fi];
-                        positions.extend(f.start as u32..f.end as u32);
-                        answer.count += f.len() as u64;
-                        fi += 1;
-                    } else {
-                        positions.extend_from_slice(&results[ui].positions);
-                        ui += 1;
-                    }
-                }
-                answer.positions = Some(positions);
-            }
-        }
-        observations.extend(results.into_iter().filter_map(|r| r.obs));
-    }
-    let scan_ns = t_scan.elapsed().as_nanos() as u64;
+        scan_pruned(target, &outcome, pred, agg, policy)
+    };
 
     if let Some(positions) = answer.positions.as_mut() {
         if coords == ScanCoords::View {
@@ -235,27 +150,157 @@ pub fn execute_with_policy<T: DataValue>(
         }
     }
 
+    // The inline path is "execute, then immediately apply the feedback".
     let t_obs = Instant::now();
-    index.observe(&ScanObservation {
-        predicate: pred,
-        ranges: observations,
-    });
+    index.observe(&observation);
     let observe_ns = t_obs.elapsed().as_nanos() as u64;
 
     let metrics = QueryMetrics {
         wall_ns: t0.elapsed().as_nanos() as u64,
         zones_probed: outcome.zones_probed,
         zones_skipped: outcome.zones_skipped,
-        rows_scanned,
+        rows_scanned: phase.rows_scanned,
         rows_full_match: outcome.rows_full_match(),
         rows_matched: answer.count,
         adapt_events: index.adapt_events() - events_before,
         prune_ns,
-        scan_ns,
+        scan_ns: phase.scan_ns,
         observe_ns,
-        threads_used,
+        threads_used: phase.threads_used,
     };
     (answer, metrics)
+}
+
+/// Timing and sizing facts of one scan phase.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ScanPhase {
+    /// Rows the scan actually touched (full-match rows excluded).
+    pub rows_scanned: usize,
+    /// Worker threads used (1 = sequential).
+    pub threads_used: usize,
+    /// Wall nanoseconds of the scan phase.
+    pub scan_ns: u64,
+}
+
+/// The pure read path of a query: scans an already-pruned outcome over
+/// `target` and returns the answer plus the observation batch, touching no
+/// index state.
+///
+/// This is [`execute_with_policy`] minus pruning and minus `observe()` —
+/// callable with only shared references, so any number of threads can
+/// execute queries against an immutable snapshot concurrently. The caller
+/// decides what to do with the returned [`ScanObservation`]: apply it
+/// immediately (inline adaptation, what [`execute_with_policy`] does),
+/// queue it for a maintenance thread (asynchronous adaptation), or drop it
+/// (frozen metadata). Dropping or delaying feedback never affects answer
+/// correctness — only how fast the index adapts.
+///
+/// `target` must be in the outcome's scan coordinates; positions are
+/// returned untranslated.
+pub fn scan_pruned<T: DataValue>(
+    target: &[T],
+    outcome: &PruneOutcome,
+    pred: RangePredicate<T>,
+    agg: AggKind,
+    policy: &ExecPolicy,
+) -> (QueryAnswer<T>, ScanObservation<T>, ScanPhase) {
+    let mut answer = QueryAnswer::default();
+    let mut observations: Vec<RangeObservation<T>> = Vec::with_capacity(outcome.units().len());
+    let mut rows_scanned = 0usize;
+
+    let t_scan = Instant::now();
+    // The work list: full-match ranges first (only when their values
+    // must be read), then the scan units — the order the answer fold
+    // visits them, which keeps f64 accumulation bit-identical between
+    // sequential and parallel execution.
+    let reads_full_values = matches!(agg, AggKind::Sum | AggKind::Min | AggKind::Max);
+    let fulls = if reads_full_values {
+        outcome.full_match.ranges()
+    } else {
+        &[]
+    };
+    let mut items: Vec<WorkItem> = Vec::with_capacity(fulls.len() + outcome.units().len());
+    items.extend(fulls.iter().map(|r| WorkItem::Full(*r)));
+    items.extend(
+        outcome
+            .units()
+            .iter()
+            .enumerate()
+            .map(|(i, u)| WorkItem::Unit(*u, outcome.mask_request(i))),
+    );
+
+    let scan_rows: usize = items.iter().map(WorkItem::rows).sum();
+    let threads_used = policy.effective_threads(scan_rows);
+
+    let results: Vec<ItemResult<T>> =
+        parallel::par_map_weighted(&items, threads_used, WorkItem::rows, |_, item| {
+            scan_item(target, pred, agg, item)
+        });
+
+    // Merge phase: fold results in item order.
+    let mut sum = 0.0f64;
+    let mut mmin = T::MAX_VALUE;
+    let mut mmax = T::MIN_VALUE;
+    for (item, r) in items.iter().zip(&results) {
+        answer.count += r.count as u64;
+        sum += r.sum;
+        mmin = mmin.min_total(r.match_min);
+        mmax = mmax.max_total(r.match_max);
+        if matches!(item, WorkItem::Unit(..)) {
+            rows_scanned += item.rows();
+        }
+    }
+    match agg {
+        AggKind::Count => {
+            // Full-match rows are answered from metadata alone.
+            answer.count += outcome.rows_full_match() as u64;
+        }
+        AggKind::Sum => answer.sum = Some(sum),
+        AggKind::Min => answer.min = (answer.count > 0).then_some(mmin),
+        AggKind::Max => answer.max = (answer.count > 0).then_some(mmax),
+        AggKind::Positions => {
+            // POSITIONS items are all units, aligned 1:1 with results:
+            // merge-walk full-match ranges and per-unit position lists
+            // by start so base-coordinate output comes out sorted.
+            let full_ranges = outcome.full_match.ranges();
+            let units = outcome.units();
+            let mut positions: Vec<u32> =
+                Vec::with_capacity(results.iter().map(|r| r.positions.len()).sum::<usize>());
+            let (mut fi, mut ui) = (0usize, 0usize);
+            while fi < full_ranges.len() || ui < units.len() {
+                let take_full = match (full_ranges.get(fi), units.get(ui)) {
+                    (Some(f), Some(u)) => f.start < u.start,
+                    (Some(_), None) => true,
+                    _ => false,
+                };
+                if take_full {
+                    let f = full_ranges[fi];
+                    positions.extend(f.start as u32..f.end as u32);
+                    answer.count += f.len() as u64;
+                    fi += 1;
+                } else {
+                    positions.extend_from_slice(&results[ui].positions);
+                    ui += 1;
+                }
+            }
+            answer.positions = Some(positions);
+        }
+    }
+    observations.extend(results.into_iter().filter_map(|r| r.obs));
+    let scan_ns = t_scan.elapsed().as_nanos() as u64;
+
+    (
+        answer,
+        ScanObservation {
+            predicate: pred,
+            ranges: observations,
+        },
+        ScanPhase {
+            rows_scanned,
+            threads_used,
+            scan_ns,
+        },
+    )
 }
 
 /// Scans one work item. Pure with respect to shared state: reads

@@ -18,6 +18,7 @@
 pub mod disjunction;
 pub mod exec_policy;
 pub mod executor;
+pub mod histogram;
 pub mod metrics;
 pub mod session;
 pub mod strategy;
@@ -26,7 +27,10 @@ pub mod table_session;
 
 pub use disjunction::{execute_disjunction, in_list, normalize_ranges};
 pub use exec_policy::ExecPolicy;
-pub use executor::{execute, execute_reference, execute_with_policy, AggKind, QueryAnswer};
+pub use executor::{
+    execute, execute_reference, execute_with_policy, scan_pruned, AggKind, QueryAnswer, ScanPhase,
+};
+pub use histogram::LatencyHistogram;
 pub use metrics::{CumulativeMetrics, QueryMetrics};
 pub use session::ColumnSession;
 pub use strategy::Strategy;

@@ -1,0 +1,117 @@
+//! Service tuning knobs.
+
+use ads_core::adaptive::AdaptiveConfig;
+use ads_engine::ExecPolicy;
+use std::time::Duration;
+
+/// Where a query's adaptation feedback goes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdaptationMode {
+    /// Feedback is dropped: the zonemap never changes after load. The
+    /// baseline that isolates pure snapshot-read scaling (an adaptive
+    /// zonemap starts unbuilt, so this degenerates to full scans).
+    Frozen,
+    /// The seed architecture: every query locks the one mutable engine
+    /// state for its whole prune → scan → observe span. Adaptation is
+    /// immediate, concurrency is one query at a time.
+    Inline,
+    /// Readers execute against immutable snapshots and queue their
+    /// observations; a maintenance thread applies them in batches and
+    /// publishes fresh snapshots. Adaptation lags by the queue depth,
+    /// answers never do.
+    Async,
+}
+
+impl AdaptationMode {
+    /// Short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AdaptationMode::Frozen => "frozen",
+            AdaptationMode::Inline => "inline",
+            AdaptationMode::Async => "async",
+        }
+    }
+}
+
+/// Configuration of a [`crate::QueryService`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Reader (worker) threads executing queries.
+    pub readers: usize,
+    /// Bound of the request queue; admission beyond it sheds.
+    pub queue_capacity: usize,
+    /// Bound of the observation feedback channel; feedback beyond it is
+    /// dropped (slower adaptation, never wrong answers).
+    pub feedback_capacity: usize,
+    /// Most feedback entries the maintenance thread applies before it
+    /// republishes a snapshot, bounding reader staleness under load.
+    pub batch_max: usize,
+    /// Deadline stamped on requests that do not carry their own; a request
+    /// whose deadline has passed when a worker picks it up is answered
+    /// with [`crate::Reply::DeadlineMissed`] without scanning.
+    pub default_deadline: Option<Duration>,
+    /// Feedback routing (see [`AdaptationMode`]).
+    pub adaptation: AdaptationMode,
+    /// Scan policy of each reader. Defaults to sequential: the service
+    /// scales by running many queries at once, not by fanning one query
+    /// across the cores the other readers are using.
+    pub exec_policy: ExecPolicy,
+    /// Zonemap configuration.
+    pub adaptive: AdaptiveConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            readers: 4,
+            queue_capacity: 1024,
+            feedback_capacity: 4096,
+            batch_max: 256,
+            default_deadline: None,
+            adaptation: AdaptationMode::Async,
+            exec_policy: ExecPolicy::sequential(),
+            adaptive: AdaptiveConfig::default(),
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Checks internal consistency.
+    ///
+    /// # Panics
+    /// Panics on a zero-sized pool, queue, or batch; called by
+    /// [`crate::QueryService::start`] so misconfigurations fail fast.
+    pub fn validate(&self) {
+        assert!(self.readers >= 1, "readers must be >= 1");
+        assert!(self.queue_capacity >= 1, "queue_capacity must be >= 1");
+        assert!(
+            self.feedback_capacity >= 1,
+            "feedback_capacity must be >= 1"
+        );
+        assert!(self.batch_max >= 1, "batch_max must be >= 1");
+        self.adaptive.validate();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_validates() {
+        ServerConfig::default().validate();
+        assert_eq!(AdaptationMode::Async.label(), "async");
+        assert_eq!(AdaptationMode::Inline.label(), "inline");
+        assert_eq!(AdaptationMode::Frozen.label(), "frozen");
+    }
+
+    #[test]
+    #[should_panic(expected = "readers must be >= 1")]
+    fn zero_readers_rejected() {
+        ServerConfig {
+            readers: 0,
+            ..ServerConfig::default()
+        }
+        .validate();
+    }
+}

@@ -1,0 +1,46 @@
+//! `ads-server`: a concurrent query service over the adaptive skipping
+//! engine — snapshot-isolated reads, asynchronous zonemap adaptation.
+//!
+//! The paper's protocol is inherently single-writer: every query mutates
+//! the index (prune ticks the clock and stats; observe builds, splits,
+//! merges, deactivates). Run naively under concurrency, that serialises
+//! all queries behind one lock. This crate keeps the protocol intact but
+//! splits *where* its two halves run:
+//!
+//! * **Reads** execute against immutable [`Snapshot`]s — one frozen column
+//!   version paired with the zonemap state computed over exactly that
+//!   version — fetched through a generation-checked cache
+//!   ([`SnapshotCache`]) whose steady-state cost is a single atomic load.
+//!   Pruning uses the read-only `AdaptiveZonemap::prune_shared`, which is
+//!   decision-identical to the mutable prune.
+//! * **Adaptation** is deferred: each query's scan observations go into a
+//!   bounded feedback channel; a single maintenance thread drains them in
+//!   batches, replays the exact inline prune/observe sequence against the
+//!   authoritative zonemap (`AdaptiveZonemap::apply_feedback`), and
+//!   publishes fresh snapshots RCU-style. Appends serialise through the
+//!   same thread, so the zonemap always describes the column version it is
+//!   published with.
+//!
+//! Answers are exact regardless of snapshot staleness; what staleness (or
+//! a full feedback channel dropping observations) costs is adaptation
+//! speed — the zonemap converges to the same states the inline protocol
+//! reaches, just later. See `tests/convergence.rs` for the serialized
+//! equivalence proof and `tests/stress.rs` for answer exactness under
+//! concurrency.
+//!
+//! Service mechanics: a bounded request queue with shed-on-full admission
+//! ([`SubmitError::Shed`]), per-request deadlines, graceful drain on
+//! [`QueryService::shutdown`], and a stats surface ([`ServerStats`]) with
+//! a shared latency histogram.
+
+pub mod config;
+pub mod queue;
+pub mod service;
+pub mod snapshot;
+pub mod stats;
+
+pub use config::{AdaptationMode, ServerConfig};
+pub use queue::{Bounded, PushError};
+pub use service::{QueryService, Reply, Request, SubmitError, Ticket};
+pub use snapshot::{Snapshot, SnapshotCache, SnapshotCell};
+pub use stats::{ServerStats, StatsCollector};

@@ -1,0 +1,529 @@
+//! The concurrent query service.
+//!
+//! A [`QueryService`] owns one column and answers range-aggregate queries
+//! from a pool of reader threads. Its central idea is the separation the
+//! paper's inline protocol fuses: **query execution** (prune → scan →
+//! answer) runs against immutable published [`Snapshot`]s with no locks on
+//! the hot path, while **adaptation** (the observe/maintain side of the
+//! protocol) is applied asynchronously by a single maintenance thread that
+//! drains a bounded feedback channel, replays each query's prune/observe
+//! pair against the authoritative zonemap, and publishes fresh snapshots
+//! RCU-style.
+//!
+//! ## Correctness under staleness
+//!
+//! A reader may execute against a snapshot that is several publications
+//! old. This is safe by construction: a snapshot pairs the zonemap with
+//! exactly the column version it describes, so its prune decisions are
+//! sound for the data it scans. Staleness costs skipping opportunity (an
+//! older zonemap excludes fewer zones), never answers.
+//!
+//! ## Convergence with the inline protocol
+//!
+//! [`AdaptiveZonemap::apply_feedback`] replays the *mutable* prune for its
+//! side effects and then feeds the reader's observations through
+//! `observe` — the exact inline sequence. With a single reader and a
+//! publication after every query, the authoritative zonemap therefore
+//! steps through the same states as an inline executor replaying the same
+//! query stream (tested in `tests/convergence.rs`). Under concurrency the
+//! trajectory interleaves differently but every intermediate state is one
+//! the inline protocol could have produced, and answers stay exact.
+//!
+//! ## Backpressure and shutdown
+//!
+//! Admission sheds when the bounded request queue is full ([`SubmitError::
+//! Shed`]); requests carry optional deadlines checked at dequeue; feedback
+//! beyond the channel bound is dropped (slower adaptation, never wrong
+//! answers). [`QueryService::shutdown`] closes admission, lets the workers
+//! drain every accepted request, then stops the maintenance thread after
+//! it has applied all queued feedback.
+
+use crate::config::{AdaptationMode, ServerConfig};
+use crate::queue::{Bounded, PushError};
+use crate::snapshot::{Snapshot, SnapshotCell};
+use crate::stats::{ServerStats, StatsCollector};
+use ads_core::adaptive::AdaptiveZonemap;
+use ads_core::{RangePredicate, ScanObservation, SkippingIndex};
+use ads_engine::{execute_with_policy, scan_pruned, AggKind, QueryAnswer};
+use ads_storage::{DataValue, RowRange, SharedColumn};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// One query to answer.
+#[derive(Debug, Clone, Copy)]
+pub struct Request<T: DataValue> {
+    /// The range predicate.
+    pub predicate: RangePredicate<T>,
+    /// The aggregate to compute.
+    pub agg: AggKind,
+    /// Drop the request unanswered if a worker has not reached it by this
+    /// instant. `None` falls back to [`ServerConfig::default_deadline`].
+    pub deadline: Option<Instant>,
+}
+
+impl<T: DataValue> Request<T> {
+    /// A request with no explicit deadline.
+    pub fn new(predicate: RangePredicate<T>, agg: AggKind) -> Self {
+        Request {
+            predicate,
+            agg,
+            deadline: None,
+        }
+    }
+}
+
+/// The service's reply to one request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Reply<T: DataValue> {
+    /// The query was executed.
+    Answer {
+        /// The aggregate answer.
+        answer: QueryAnswer<T>,
+        /// Version of the snapshot (column + zonemap) it ran against.
+        snapshot_version: u64,
+        /// Dequeue-to-answer wall time.
+        wall_ns: u64,
+    },
+    /// The request's deadline had passed when a worker picked it up; no
+    /// scan was run.
+    DeadlineMissed,
+}
+
+impl<T: DataValue> Reply<T> {
+    /// The answer, or `None` for a missed deadline.
+    pub fn answer(&self) -> Option<&QueryAnswer<T>> {
+        match self {
+            Reply::Answer { answer, .. } => Some(answer),
+            Reply::DeadlineMissed => None,
+        }
+    }
+}
+
+/// Why a request was not admitted.
+#[derive(Debug)]
+pub enum SubmitError<T: DataValue> {
+    /// The request queue is full; the request is handed back.
+    Shed(Request<T>),
+    /// The service is shutting down; the request is handed back.
+    ShuttingDown(Request<T>),
+}
+
+/// A pending reply; redeem with [`Ticket::wait`].
+#[derive(Debug)]
+pub struct Ticket<T: DataValue> {
+    rx: Receiver<Reply<T>>,
+}
+
+impl<T: DataValue> Ticket<T> {
+    /// Blocks until the reply arrives. Every admitted request is replied
+    /// to, including during shutdown (the queue drains before workers
+    /// exit).
+    pub fn wait(self) -> Reply<T> {
+        self.rx.recv().expect("worker vanished without replying")
+    }
+}
+
+/// One admitted unit of work.
+struct Job<T: DataValue> {
+    request: Request<T>,
+    reply: SyncSender<Reply<T>>,
+}
+
+/// Messages into the maintenance thread. Feedback is shed-on-full
+/// (`try_send`); control messages block until accepted, and their acks are
+/// sent only after the resulting snapshot is published. FIFO ordering of
+/// the one channel is what makes [`QueryService::flush`] a barrier: all
+/// feedback enqueued before the flush is applied before its ack.
+enum MaintMsg<T: DataValue> {
+    Feedback(ScanObservation<T>),
+    Append(Vec<T>, SyncSender<()>),
+    Flush(SyncSender<()>),
+}
+
+/// The mutable engine state of [`AdaptationMode::Inline`].
+struct InlineState<T: DataValue> {
+    data: SharedColumn<T>,
+    zonemap: AdaptiveZonemap<T>,
+}
+
+/// How queries reach data, per adaptation mode.
+enum Engine<T: DataValue> {
+    /// Inline: the seed architecture — one mutable state, one query at a
+    /// time, adaptation applied within the query. (Boxed: the zonemap is
+    /// two orders of magnitude bigger than a snapshot cell.)
+    Inline(Box<Mutex<InlineState<T>>>),
+    /// Async/Frozen: immutable snapshots published RCU-style.
+    Snapshot(SnapshotCell<T>),
+}
+
+/// State shared between the service handle and its threads.
+struct Shared<T: DataValue> {
+    config: ServerConfig,
+    queue: Bounded<Job<T>>,
+    stats: StatsCollector,
+    engine: Engine<T>,
+}
+
+/// The service: a worker pool over a bounded request queue, plus (in
+/// async/frozen modes) a maintenance thread owning the authoritative
+/// zonemap. See the module docs for the architecture.
+pub struct QueryService<T: DataValue> {
+    shared: Arc<Shared<T>>,
+    maint_tx: Option<SyncSender<MaintMsg<T>>>,
+    workers: Vec<JoinHandle<()>>,
+    maint: Option<JoinHandle<()>>,
+    started: Instant,
+}
+
+impl<T: DataValue> QueryService<T> {
+    /// Loads `data` and starts the worker pool (and, in async/frozen
+    /// modes, the maintenance thread).
+    pub fn start(data: Vec<T>, config: ServerConfig) -> Self {
+        config.validate();
+        let column = SharedColumn::new(data);
+        let zonemap = AdaptiveZonemap::new(column.len(), config.adaptive.clone());
+
+        let inline = config.adaptation == AdaptationMode::Inline;
+        let engine = if inline {
+            Engine::Inline(Box::new(Mutex::new(InlineState {
+                data: column,
+                zonemap,
+            })))
+        } else {
+            Engine::Snapshot(SnapshotCell::new(Snapshot {
+                data: column.clone(),
+                zonemap: zonemap.clone(),
+                version: 0,
+            }))
+        };
+
+        let shared = Arc::new(Shared {
+            queue: Bounded::new(config.queue_capacity),
+            stats: StatsCollector::new(config.readers),
+            engine,
+            config,
+        });
+
+        // The maintenance thread owns the authoritative column + zonemap;
+        // the cell only ever holds published clones of them.
+        let (maint_tx, maint) = if inline {
+            (None, None)
+        } else {
+            let (tx, rx) = sync_channel::<MaintMsg<T>>(shared.config.feedback_capacity);
+            let sh = Arc::clone(&shared);
+            let handle = std::thread::Builder::new()
+                .name("ads-maint".into())
+                .spawn(move || {
+                    let (column, zonemap) = match &sh.engine {
+                        Engine::Snapshot(cell) => {
+                            let s = cell.load();
+                            (s.data.clone(), s.zonemap.clone())
+                        }
+                        Engine::Inline(_) => unreachable!("inline mode has no maintenance"),
+                    };
+                    maintenance_loop(&sh, rx, column, zonemap);
+                })
+                .expect("spawn maintenance thread");
+            (Some(tx), Some(handle))
+        };
+
+        let workers = (0..shared.config.readers)
+            .map(|id| {
+                let sh = Arc::clone(&shared);
+                let tx = if shared.config.adaptation == AdaptationMode::Async {
+                    maint_tx.clone()
+                } else {
+                    None
+                };
+                std::thread::Builder::new()
+                    .name(format!("ads-worker-{id}"))
+                    .spawn(move || worker_loop(&sh, id, tx))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+
+        QueryService {
+            shared,
+            maint_tx,
+            workers,
+            maint,
+            started: Instant::now(),
+        }
+    }
+
+    /// Admits a request, or sheds it without blocking.
+    pub fn submit(&self, mut request: Request<T>) -> Result<Ticket<T>, SubmitError<T>> {
+        if request.deadline.is_none() {
+            request.deadline = self
+                .shared
+                .config
+                .default_deadline
+                .map(|d| Instant::now() + d);
+        }
+        let (reply_tx, reply_rx) = sync_channel(1);
+        match self.shared.queue.try_push(Job {
+            request,
+            reply: reply_tx,
+        }) {
+            Ok(()) => Ok(Ticket { rx: reply_rx }),
+            Err(PushError::Full(job)) => {
+                self.shared.stats.record_shed();
+                Err(SubmitError::Shed(job.request))
+            }
+            Err(PushError::Closed(job)) => Err(SubmitError::ShuttingDown(job.request)),
+        }
+    }
+
+    /// Submits and waits: the blocking convenience path.
+    pub fn query(
+        &self,
+        predicate: RangePredicate<T>,
+        agg: AggKind,
+    ) -> Result<Reply<T>, SubmitError<T>> {
+        self.submit(Request::new(predicate, agg)).map(Ticket::wait)
+    }
+
+    /// Appends rows. Blocks until the rows are visible to new queries
+    /// (inline: immediately; async/frozen: once the maintenance thread has
+    /// published the extended snapshot).
+    pub fn append(&self, rows: Vec<T>) {
+        match (&self.shared.engine, &self.maint_tx) {
+            (Engine::Inline(state), _) => {
+                let mut st = state.lock().expect("inline state poisoned");
+                let InlineState { data, zonemap } = &mut *st;
+                *data = data.append(&rows);
+                zonemap.on_append(&rows, data.as_slice());
+                self.shared.stats.record_append();
+            }
+            (Engine::Snapshot(_), Some(tx)) => {
+                let (ack_tx, ack_rx) = sync_channel(1);
+                tx.send(MaintMsg::Append(rows, ack_tx))
+                    .expect("maintenance thread gone");
+                ack_rx.recv().expect("maintenance thread gone");
+            }
+            (Engine::Snapshot(_), None) => unreachable!("snapshot mode without maintenance"),
+        }
+    }
+
+    /// Barrier: blocks until all feedback enqueued before this call is
+    /// applied to the authoritative zonemap and a fresh snapshot is
+    /// published. A no-op in inline mode (adaptation is never deferred).
+    pub fn flush(&self) {
+        if let Some(tx) = &self.maint_tx {
+            let (ack_tx, ack_rx) = sync_channel(1);
+            tx.send(MaintMsg::Flush(ack_tx))
+                .expect("maintenance thread gone");
+            ack_rx.recv().expect("maintenance thread gone");
+        }
+    }
+
+    /// A point-in-time stats report.
+    pub fn stats(&self) -> ServerStats {
+        self.shared.stats.snapshot(self.shared.queue.len())
+    }
+
+    /// Time since [`QueryService::start`].
+    pub fn uptime(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// The latest published snapshot (`None` in inline mode, which has no
+    /// publications).
+    pub fn latest_snapshot(&self) -> Option<Arc<Snapshot<T>>> {
+        match &self.shared.engine {
+            Engine::Snapshot(cell) => Some(cell.load()),
+            Engine::Inline(_) => None,
+        }
+    }
+
+    /// The structural state of the zonemap queries currently see: the
+    /// authoritative state in inline mode, the latest published snapshot
+    /// otherwise (call [`QueryService::flush`] first for an up-to-date
+    /// view).
+    pub fn zone_snapshot(&self) -> Vec<(RowRange, &'static str, f64)> {
+        match &self.shared.engine {
+            Engine::Inline(state) => state
+                .lock()
+                .expect("inline state poisoned")
+                .zonemap
+                .zone_snapshot(),
+            Engine::Snapshot(cell) => cell.load().zonemap.zone_snapshot(),
+        }
+    }
+
+    /// Graceful shutdown: stop admission, drain and answer every accepted
+    /// request, apply all queued feedback, then return the final stats.
+    pub fn shutdown(mut self) -> ServerStats {
+        self.shutdown_inner();
+        self.shared.stats.snapshot(0)
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.shared.queue.close();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        // All worker-held senders are gone; dropping ours closes the
+        // maintenance channel after the queued feedback drains.
+        self.maint_tx = None;
+        if let Some(m) = self.maint.take() {
+            let _ = m.join();
+        }
+    }
+}
+
+impl<T: DataValue> Drop for QueryService<T> {
+    fn drop(&mut self) {
+        if !self.workers.is_empty() || self.maint.is_some() {
+            self.shutdown_inner();
+        }
+    }
+}
+
+/// One reader: pop → (deadline check) → execute → feedback → reply.
+fn worker_loop<T: DataValue>(
+    shared: &Shared<T>,
+    worker_id: usize,
+    feedback: Option<SyncSender<MaintMsg<T>>>,
+) {
+    let mut cache = match &shared.engine {
+        Engine::Snapshot(cell) => Some(cell.cache()),
+        Engine::Inline(_) => None,
+    };
+    while let Some(job) = shared.queue.pop() {
+        let t0 = Instant::now();
+        if let Some(deadline) = job.request.deadline {
+            if Instant::now() > deadline {
+                shared.stats.record_deadline_missed();
+                let _ = job.reply.send(Reply::DeadlineMissed);
+                continue;
+            }
+        }
+        let reply = match &shared.engine {
+            Engine::Inline(state) => {
+                // The whole prune → scan → observe span under one lock:
+                // the seed's single-writer architecture as a service mode.
+                let mut st = state.lock().expect("inline state poisoned");
+                let InlineState { data, zonemap } = &mut *st;
+                let version = data.version();
+                let (answer, metrics) = execute_with_policy(
+                    data.as_slice(),
+                    zonemap,
+                    job.request.predicate,
+                    job.request.agg,
+                    &shared.config.exec_policy,
+                );
+                Reply::Answer {
+                    answer,
+                    snapshot_version: version,
+                    wall_ns: metrics.wall_ns,
+                }
+            }
+            Engine::Snapshot(cell) => {
+                // Lock-free steady state: one atomic generation load, then
+                // a read-only prune and scan against the immutable snapshot.
+                let snap = cache
+                    .as_mut()
+                    .expect("snapshot mode has a cache")
+                    .refresh(cell);
+                let outcome = snap.zonemap.prune_shared(&job.request.predicate);
+                let (answer, observation, _) = scan_pruned(
+                    snap.data.as_slice(),
+                    &outcome,
+                    job.request.predicate,
+                    job.request.agg,
+                    &shared.config.exec_policy,
+                );
+                // Feedback goes out *before* the reply so a client that
+                // replies-then-flushes is guaranteed (by channel FIFO) to
+                // see its own query's adaptation applied.
+                if let Some(tx) = &feedback {
+                    match tx.try_send(MaintMsg::Feedback(observation)) {
+                        Ok(()) => shared.stats.record_feedback_queued(),
+                        Err(TrySendError::Full(_)) => shared.stats.record_feedback_dropped(),
+                        Err(TrySendError::Disconnected(_)) => {}
+                    }
+                }
+                Reply::Answer {
+                    answer,
+                    snapshot_version: snap.version,
+                    wall_ns: t0.elapsed().as_nanos() as u64,
+                }
+            }
+        };
+        shared
+            .stats
+            .record_query(worker_id, t0.elapsed().as_nanos() as u64);
+        let _ = job.reply.send(reply);
+    }
+}
+
+/// The maintenance thread: drain a batch, replay its feedback against the
+/// authoritative zonemap, publish one snapshot, ack control messages.
+fn maintenance_loop<T: DataValue>(
+    shared: &Shared<T>,
+    rx: Receiver<MaintMsg<T>>,
+    mut column: SharedColumn<T>,
+    mut zonemap: AdaptiveZonemap<T>,
+) {
+    let cell = match &shared.engine {
+        Engine::Snapshot(cell) => cell,
+        Engine::Inline(_) => unreachable!("inline mode has no maintenance"),
+    };
+    let mut version = 0u64;
+
+    while let Ok(first) = rx.recv() {
+        // Drain opportunistically up to the batch bound: one publication
+        // amortises over the whole batch, keeping reader staleness low
+        // without a snapshot-per-observation storm.
+        let mut batch = vec![first];
+        while batch.len() < shared.config.batch_max {
+            match rx.try_recv() {
+                Ok(msg) => batch.push(msg),
+                Err(_) => break,
+            }
+        }
+
+        let mut acks: Vec<SyncSender<()>> = Vec::new();
+        let mut applied = 0u64;
+        for msg in batch {
+            match msg {
+                MaintMsg::Feedback(obs) => {
+                    zonemap.apply_feedback(&obs);
+                    applied += 1;
+                }
+                MaintMsg::Append(rows, ack) => {
+                    column = column.append(&rows);
+                    zonemap.on_append(&rows, column.as_slice());
+                    shared.stats.record_append();
+                    acks.push(ack);
+                }
+                // Publishing is the whole point of a flush barrier, even
+                // if no feedback arrived since the last snapshot.
+                MaintMsg::Flush(ack) => acks.push(ack),
+            }
+        }
+
+        // Run the revival check the next query's prune would run, so the
+        // snapshot readers see the state an inline executor would start
+        // the next query from.
+        zonemap.poll_revival();
+        version += 1;
+        cell.publish(Snapshot {
+            data: column.clone(),
+            zonemap: zonemap.clone(),
+            version,
+        });
+        shared.stats.record_snapshot_published();
+        if applied > 0 {
+            shared.stats.record_feedback_applied(applied);
+        }
+        // Acks only after the publication: an acked append/flush is
+        // visible to every subsequent query.
+        for ack in acks {
+            let _ = ack.send(());
+        }
+    }
+}

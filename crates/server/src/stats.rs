@@ -1,0 +1,218 @@
+//! The service's observability surface.
+//!
+//! Counters are plain relaxed atomics bumped from the hot paths; latency
+//! samples go into per-worker [`LatencyHistogram`] shards so readers never
+//! contend on one histogram lock. [`StatsCollector::snapshot`] folds
+//! everything into an immutable [`ServerStats`] for reporting.
+
+use ads_engine::LatencyHistogram;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Shared counters + per-worker latency shards.
+#[derive(Debug)]
+pub struct StatsCollector {
+    /// Queries answered (deadline misses excluded).
+    queries: AtomicU64,
+    /// Requests rejected at admission because the queue was full.
+    shed: AtomicU64,
+    /// Requests dropped because their deadline had passed at dequeue.
+    deadline_missed: AtomicU64,
+    /// Observations dropped because the feedback channel was full.
+    feedback_dropped: AtomicU64,
+    /// Observations successfully queued for the maintenance thread.
+    feedback_queued: AtomicU64,
+    /// Observations the maintenance thread has applied.
+    feedback_applied: AtomicU64,
+    /// Snapshots published (the initial snapshot is not counted).
+    snapshots_published: AtomicU64,
+    /// Append batches applied.
+    appends: AtomicU64,
+    /// One latency shard per worker, locked only by that worker (and by
+    /// the occasional stats reader).
+    latency_shards: Vec<Mutex<LatencyHistogram>>,
+}
+
+impl StatsCollector {
+    /// A collector with one latency shard per worker.
+    pub fn new(workers: usize) -> Self {
+        StatsCollector {
+            queries: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            deadline_missed: AtomicU64::new(0),
+            feedback_dropped: AtomicU64::new(0),
+            feedback_queued: AtomicU64::new(0),
+            feedback_applied: AtomicU64::new(0),
+            snapshots_published: AtomicU64::new(0),
+            appends: AtomicU64::new(0),
+            latency_shards: (0..workers.max(1))
+                .map(|_| Mutex::new(LatencyHistogram::new()))
+                .collect(),
+        }
+    }
+
+    pub(crate) fn record_query(&self, worker: usize, wall_ns: u64) {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        self.latency_shards[worker % self.latency_shards.len()]
+            .lock()
+            .expect("latency shard poisoned")
+            .record(wall_ns);
+    }
+
+    pub(crate) fn record_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_deadline_missed(&self) {
+        self.deadline_missed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_feedback_dropped(&self) {
+        self.feedback_dropped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_feedback_queued(&self) {
+        self.feedback_queued.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_feedback_applied(&self, n: u64) {
+        self.feedback_applied.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_snapshot_published(&self) {
+        self.snapshots_published.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_append(&self) {
+        self.appends.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Folds the counters and shards into one immutable report.
+    /// `queue_depth` is sampled by the caller (the service knows its queue).
+    pub fn snapshot(&self, queue_depth: usize) -> ServerStats {
+        let mut latency = LatencyHistogram::new();
+        for shard in &self.latency_shards {
+            latency.merge(&shard.lock().expect("latency shard poisoned"));
+        }
+        let feedback_queued = self.feedback_queued.load(Ordering::Relaxed);
+        let feedback_applied = self.feedback_applied.load(Ordering::Relaxed);
+        ServerStats {
+            queries: self.queries.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            deadline_missed: self.deadline_missed.load(Ordering::Relaxed),
+            feedback_dropped: self.feedback_dropped.load(Ordering::Relaxed),
+            feedback_applied,
+            adaptation_lag: feedback_queued.saturating_sub(feedback_applied),
+            snapshots_published: self.snapshots_published.load(Ordering::Relaxed),
+            appends: self.appends.load(Ordering::Relaxed),
+            queue_depth,
+            latency,
+        }
+    }
+}
+
+/// A point-in-time view of the service's health.
+#[derive(Debug, Clone)]
+pub struct ServerStats {
+    /// Queries answered.
+    pub queries: u64,
+    /// Requests shed at admission (queue full).
+    pub shed: u64,
+    /// Requests whose deadline expired before a worker reached them.
+    pub deadline_missed: u64,
+    /// Observations dropped at the feedback channel (channel full).
+    pub feedback_dropped: u64,
+    /// Observations the maintenance thread has applied to the
+    /// authoritative zonemap.
+    pub feedback_applied: u64,
+    /// Observations queued but not yet applied — how far adaptation lags
+    /// behind execution right now.
+    pub adaptation_lag: u64,
+    /// Snapshots published since start (initial snapshot excluded).
+    pub snapshots_published: u64,
+    /// Append batches applied.
+    pub appends: u64,
+    /// Request-queue depth at sampling time.
+    pub queue_depth: usize,
+    /// Merged end-to-end latency distribution (submit-to-reply is up to
+    /// the caller; this measures dequeue-to-answer wall time).
+    pub latency: LatencyHistogram,
+}
+
+impl ServerStats {
+    /// Answered queries per second over `elapsed`.
+    pub fn throughput_qps(&self, elapsed: Duration) -> f64 {
+        let secs = elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.queries as f64 / secs
+        }
+    }
+
+    /// One-line human summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "queries={} shed={} deadline_missed={} feedback_applied={} lag={} \
+             snapshots={} appends={} p50={}ns p95={}ns p99={}ns",
+            self.queries,
+            self.shed,
+            self.deadline_missed,
+            self.feedback_applied,
+            self.adaptation_lag,
+            self.snapshots_published,
+            self.appends,
+            self.latency.p50_ns(),
+            self.latency.p95_ns(),
+            self.latency.p99_ns(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_fold_into_snapshot() {
+        let c = StatsCollector::new(2);
+        c.record_query(0, 1_000);
+        c.record_query(1, 2_000);
+        c.record_query(7, 3_000); // wraps onto shard 1
+        c.record_shed();
+        c.record_deadline_missed();
+        c.record_feedback_queued();
+        c.record_feedback_queued();
+        c.record_feedback_applied(1);
+        c.record_feedback_dropped();
+        c.record_snapshot_published();
+        c.record_append();
+
+        let s = c.snapshot(5);
+        assert_eq!(s.queries, 3);
+        assert_eq!(s.shed, 1);
+        assert_eq!(s.deadline_missed, 1);
+        assert_eq!(s.feedback_dropped, 1);
+        assert_eq!(s.feedback_applied, 1);
+        assert_eq!(s.adaptation_lag, 1);
+        assert_eq!(s.snapshots_published, 1);
+        assert_eq!(s.appends, 1);
+        assert_eq!(s.queue_depth, 5);
+        assert_eq!(s.latency.count(), 3);
+        assert!(s.latency.max_ns() >= 3_000 * 7 / 8);
+    }
+
+    #[test]
+    fn throughput_is_queries_over_elapsed() {
+        let c = StatsCollector::new(1);
+        for _ in 0..100 {
+            c.record_query(0, 10);
+        }
+        let s = c.snapshot(0);
+        let qps = s.throughput_qps(Duration::from_secs(2));
+        assert!((qps - 50.0).abs() < 1e-9);
+        assert_eq!(s.throughput_qps(Duration::ZERO), 0.0);
+        assert!(!s.summary().is_empty());
+    }
+}

@@ -1,0 +1,188 @@
+//! Proof that asynchronous adaptation converges to the inline protocol.
+//!
+//! The service's claim is that deferring observe-side adaptation to a
+//! maintenance thread changes *when* the zonemap reorganises, never *what
+//! it converges to*. Serialized, that claim is exact: a single reader that
+//! flushes after every query must drive the authoritative zonemap through
+//! the identical state trajectory an inline executor produces on the same
+//! query stream — same zone boundaries, same build/dead states, same skip
+//! rates. These tests check that equivalence structurally (via
+//! `zone_snapshot()`), answer-by-answer, and for the frozen mode's
+//! contract (exact answers, no adaptation at all).
+
+use ads_core::adaptive::{AdaptiveConfig, AdaptiveZonemap};
+use ads_core::RangePredicate;
+use ads_engine::{execute, execute_reference, AggKind};
+use ads_server::{AdaptationMode, QueryService, Reply, ServerConfig};
+use ads_workloads::{data, queries};
+
+const ROWS: usize = 40_000;
+const DOMAIN: i64 = 10_000;
+const QUERIES: usize = 150;
+
+fn config(mode: AdaptationMode) -> ServerConfig {
+    ServerConfig {
+        readers: 1,
+        queue_capacity: 64,
+        feedback_capacity: 64,
+        batch_max: 16,
+        adaptation: mode,
+        ..ServerConfig::default()
+    }
+}
+
+/// Replays `queries` inline and returns (answers, final zonemap).
+fn inline_replay(
+    column: &[i64],
+    adaptive: AdaptiveConfig,
+    preds: &[queries::RangeQuery],
+) -> (Vec<u64>, AdaptiveZonemap<i64>) {
+    let mut zm = AdaptiveZonemap::new(column.len(), adaptive);
+    let answers = preds
+        .iter()
+        .map(|q| {
+            let pred = RangePredicate::between(q.lo, q.hi);
+            let (ans, _) = execute(column, &mut zm, pred, AggKind::Count);
+            ans.count
+        })
+        .collect();
+    (answers, zm)
+}
+
+#[test]
+fn async_single_reader_with_flush_matches_inline_exactly() {
+    let column = data::clustered(ROWS, 80, 0.05, DOMAIN, 42);
+    let preds = queries::hotspot_ranges(QUERIES, DOMAIN, 0.05, 0.3, 0.2, 7);
+    let adaptive = AdaptiveConfig::default();
+
+    let (inline_answers, mut inline_zm) = inline_replay(&column, adaptive.clone(), &preds);
+
+    let svc = QueryService::start(
+        column.clone(),
+        ServerConfig {
+            adaptive: adaptive.clone(),
+            ..config(AdaptationMode::Async)
+        },
+    );
+    let mut async_answers = Vec::with_capacity(preds.len());
+    for q in &preds {
+        let pred = RangePredicate::between(q.lo, q.hi);
+        match svc.query(pred, AggKind::Count).expect("admitted") {
+            Reply::Answer { answer, .. } => async_answers.push(answer.count),
+            Reply::DeadlineMissed => panic!("no deadline configured"),
+        }
+        // The worker queues its observation before replying, so by channel
+        // FIFO this flush applies exactly this query's feedback and
+        // publishes — the next query reads fully up-to-date metadata,
+        // making the replay serialized.
+        svc.flush();
+    }
+
+    assert_eq!(async_answers, inline_answers, "answers diverged");
+
+    // The maintenance thread ran the next query's revival poll at its last
+    // publication; run it on the inline map too before comparing.
+    inline_zm.poll_revival();
+    assert_eq!(
+        svc.zone_snapshot(),
+        inline_zm.zone_snapshot(),
+        "async adaptation reached a different zonemap state than inline"
+    );
+
+    let stats = svc.shutdown();
+    assert_eq!(stats.queries, QUERIES as u64);
+    assert_eq!(stats.feedback_applied, QUERIES as u64);
+    assert_eq!(stats.feedback_dropped, 0);
+    assert_eq!(stats.adaptation_lag, 0);
+    assert!(stats.snapshots_published >= QUERIES as u64);
+}
+
+#[test]
+fn async_convergence_holds_on_adversarial_uniform_data() {
+    // Uniform data drives the deactivate/revive machinery; the serialized
+    // equivalence must survive zones dying and coming back.
+    let column = data::uniform(ROWS, DOMAIN, 11);
+    let preds = queries::uniform_ranges(QUERIES, DOMAIN, 0.02, 13);
+    let adaptive = AdaptiveConfig::default();
+
+    let (inline_answers, mut inline_zm) = inline_replay(&column, adaptive.clone(), &preds);
+
+    let svc = QueryService::start(
+        column.clone(),
+        ServerConfig {
+            adaptive,
+            ..config(AdaptationMode::Async)
+        },
+    );
+    for (i, q) in preds.iter().enumerate() {
+        let pred = RangePredicate::between(q.lo, q.hi);
+        let reply = svc.query(pred, AggKind::Count).expect("admitted");
+        assert_eq!(
+            reply.answer().expect("no deadline").count,
+            inline_answers[i]
+        );
+        svc.flush();
+    }
+
+    inline_zm.poll_revival();
+    assert_eq!(svc.zone_snapshot(), inline_zm.zone_snapshot());
+    drop(svc);
+}
+
+#[test]
+fn frozen_mode_answers_exactly_and_never_adapts() {
+    let column = data::sorted(ROWS, DOMAIN);
+    let preds = queries::uniform_ranges(60, DOMAIN, 0.05, 3);
+
+    let svc = QueryService::start(column.clone(), config(AdaptationMode::Frozen));
+    for q in &preds {
+        let pred = RangePredicate::between(q.lo, q.hi);
+        let reply = svc.query(pred, AggKind::Count).expect("admitted");
+        let expected = execute_reference(&column, pred, AggKind::Count);
+        assert_eq!(reply.answer().expect("no deadline").count, expected.count);
+    }
+    svc.flush();
+
+    // No feedback ever flowed: every zone is still unbuilt.
+    assert!(
+        svc.zone_snapshot()
+            .iter()
+            .all(|(_, state, _)| *state == "unbuilt"),
+        "frozen service adapted"
+    );
+    let stats = svc.shutdown();
+    assert_eq!(stats.feedback_applied, 0);
+    assert_eq!(stats.feedback_dropped, 0);
+}
+
+#[test]
+fn inline_mode_matches_the_plain_executor() {
+    // The inline service mode is the seed architecture behind a queue; a
+    // single reader must reproduce the executor byte for byte, including
+    // the final zonemap.
+    let column = data::sawtooth(ROWS, 8, DOMAIN);
+    let preds = queries::uniform_ranges(100, DOMAIN, 0.03, 99);
+    let adaptive = AdaptiveConfig::default();
+
+    let (inline_answers, inline_zm) = inline_replay(&column, adaptive.clone(), &preds);
+
+    let svc = QueryService::start(
+        column,
+        ServerConfig {
+            adaptive,
+            ..config(AdaptationMode::Inline)
+        },
+    );
+    for (i, q) in preds.iter().enumerate() {
+        let pred = RangePredicate::between(q.lo, q.hi);
+        let reply = svc.query(pred, AggKind::Count).expect("admitted");
+        assert_eq!(
+            reply.answer().expect("no deadline").count,
+            inline_answers[i]
+        );
+    }
+    assert_eq!(svc.zone_snapshot(), inline_zm.zone_snapshot());
+    let stats = svc.shutdown();
+    assert_eq!(stats.queries, 100);
+    assert_eq!(stats.snapshots_published, 0, "inline mode never publishes");
+}

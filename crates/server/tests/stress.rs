@@ -1,0 +1,200 @@
+//! Concurrency stress: answers from the service must be exactly the
+//! reference scan's answers, no matter how many readers race, how stale
+//! their snapshots are, or how the maintenance thread interleaves
+//! publications. (With integer data every aggregate — including SUM,
+//! whose f64 accumulation is exact below 2^53 — admits bit-identical
+//! comparison.)
+//!
+//! Iteration counts scale with `ADS_STRESS_ITERS` (default 1) so CI can
+//! run an elevated pass without slowing the local suite.
+
+use ads_core::RangePredicate;
+use ads_engine::{execute_reference, AggKind};
+use ads_server::{AdaptationMode, QueryService, Reply, Request, ServerConfig};
+use ads_workloads::{data, queries};
+use std::time::{Duration, Instant};
+
+const ROWS: usize = 30_000;
+const DOMAIN: i64 = 10_000;
+
+fn iters() -> usize {
+    std::env::var("ADS_STRESS_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}
+
+const AGGS: [AggKind; 5] = [
+    AggKind::Count,
+    AggKind::Sum,
+    AggKind::Min,
+    AggKind::Max,
+    AggKind::Positions,
+];
+
+#[test]
+fn concurrent_readers_answer_bit_identically_to_reference() {
+    let column = data::uniform(ROWS, DOMAIN, 21);
+    let svc = QueryService::start(
+        column.clone(),
+        ServerConfig {
+            readers: 4,
+            adaptation: AdaptationMode::Async,
+            ..ServerConfig::default()
+        },
+    );
+
+    let clients = 4;
+    let per_client = 100 * iters();
+    std::thread::scope(|scope| {
+        let svc = &svc;
+        let column = &column;
+        for c in 0..clients {
+            scope.spawn(move || {
+                let preds = queries::uniform_ranges(per_client, DOMAIN, 0.04, 1000 + c as u64);
+                for (i, q) in preds.iter().enumerate() {
+                    let pred = RangePredicate::between(q.lo, q.hi);
+                    let agg = AGGS[(c + i) % AGGS.len()];
+                    let reply = svc.query(pred, agg).expect("admitted");
+                    let got = reply.answer().expect("no deadline set");
+                    let want = execute_reference(column, pred, agg);
+                    assert_eq!(*got, want, "client {c} query {i} {agg:?}");
+                }
+            });
+        }
+    });
+
+    let stats = svc.shutdown();
+    assert_eq!(stats.queries, (clients * per_client) as u64);
+    assert_eq!(stats.deadline_missed, 0);
+    // All applied feedback is accounted for; whatever the channel shed
+    // under load is explicitly counted, not silently lost.
+    assert_eq!(
+        stats.feedback_applied + stats.adaptation_lag + stats.feedback_dropped,
+        stats.queries
+    );
+}
+
+#[test]
+fn appends_are_visible_once_acknowledged() {
+    let mut mirror = data::sorted(5_000, DOMAIN);
+    let svc = QueryService::start(
+        mirror.clone(),
+        ServerConfig {
+            readers: 2,
+            adaptation: AdaptationMode::Async,
+            ..ServerConfig::default()
+        },
+    );
+
+    for round in 0..10 * iters() {
+        let batch = data::uniform(500, DOMAIN, 300 + round as u64);
+        mirror.extend_from_slice(&batch);
+        svc.append(batch);
+
+        // append() acks only after the extended snapshot is published, so
+        // these queries must see every appended row.
+        let all = RangePredicate::between(0, DOMAIN);
+        let reply = svc.query(all, AggKind::Count).expect("admitted");
+        assert_eq!(
+            reply.answer().expect("no deadline").count,
+            mirror.len() as u64,
+            "round {round}: appended rows invisible"
+        );
+
+        let q = queries::uniform_ranges(1, DOMAIN, 0.1, 900 + round as u64)[0];
+        let pred = RangePredicate::between(q.lo, q.hi);
+        let reply = svc.query(pred, AggKind::Sum).expect("admitted");
+        let want = execute_reference(&mirror, pred, AggKind::Sum);
+        assert_eq!(*reply.answer().expect("no deadline"), want);
+    }
+
+    let stats = svc.shutdown();
+    assert_eq!(stats.appends, 10 * iters() as u64);
+}
+
+#[test]
+fn inline_mode_is_safe_under_concurrent_clients() {
+    // Inline mode serialises adaptation behind its lock; the point here is
+    // that concurrent clients still get exact answers and a clean drain.
+    let column = data::mixed_regions(ROWS, DOMAIN, 5);
+    let svc = QueryService::start(
+        column.clone(),
+        ServerConfig {
+            readers: 4,
+            adaptation: AdaptationMode::Inline,
+            ..ServerConfig::default()
+        },
+    );
+    std::thread::scope(|scope| {
+        let svc = &svc;
+        let column = &column;
+        for c in 0..3 {
+            scope.spawn(move || {
+                let preds = queries::uniform_ranges(60 * iters(), DOMAIN, 0.03, c as u64);
+                for q in preds {
+                    let pred = RangePredicate::between(q.lo, q.hi);
+                    let reply = svc.query(pred, AggKind::Count).expect("admitted");
+                    let want = execute_reference(column, pred, AggKind::Count);
+                    assert_eq!(reply.answer().expect("no deadline").count, want.count);
+                }
+            });
+        }
+    });
+    svc.shutdown();
+}
+
+#[test]
+fn expired_deadlines_are_reported_not_executed() {
+    let svc = QueryService::start(data::sorted(10_000, DOMAIN), ServerConfig::default());
+    let request = Request {
+        predicate: RangePredicate::between(0, DOMAIN),
+        agg: AggKind::Count,
+        deadline: Some(Instant::now() - Duration::from_millis(1)),
+    };
+    let reply = svc.submit(request).expect("admitted").wait();
+    assert_eq!(reply, Reply::DeadlineMissed);
+    let stats = svc.shutdown();
+    assert_eq!(stats.deadline_missed, 1);
+    assert_eq!(stats.queries, 0);
+}
+
+#[test]
+fn burst_overload_sheds_explicitly_and_loses_nothing() {
+    // A burst far beyond the queue bound: every submission must either be
+    // admitted (and answered) or shed (and counted) — never block, never
+    // vanish.
+    let column = data::uniform(ROWS, DOMAIN, 77);
+    let svc = QueryService::start(
+        column.clone(),
+        ServerConfig {
+            readers: 2,
+            queue_capacity: 4,
+            adaptation: AdaptationMode::Async,
+            ..ServerConfig::default()
+        },
+    );
+    let pred = RangePredicate::between(100, 2_000);
+    let want = execute_reference(&column, pred, AggKind::Count);
+
+    let mut tickets = Vec::new();
+    let mut shed = 0u64;
+    for _ in 0..500 * iters() {
+        match svc.submit(Request::new(pred, AggKind::Count)) {
+            Ok(t) => tickets.push(t),
+            Err(_) => shed += 1,
+        }
+    }
+    let answered = tickets.len() as u64;
+    for t in tickets {
+        match t.wait() {
+            Reply::Answer { answer, .. } => assert_eq!(answer.count, want.count),
+            Reply::DeadlineMissed => panic!("no deadline set"),
+        }
+    }
+
+    let stats = svc.shutdown();
+    assert_eq!(stats.queries, answered);
+    assert_eq!(stats.shed, shed);
+    assert_eq!(answered + shed, 500 * iters() as u64);
+}

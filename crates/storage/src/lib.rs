@@ -26,6 +26,7 @@ pub mod error;
 pub mod parallel;
 pub mod ranges;
 pub mod scan;
+pub mod shared;
 pub mod strings;
 pub mod table;
 pub mod types;
@@ -35,6 +36,7 @@ pub use catalog::Catalog;
 pub use column::Column;
 pub use error::{Result, StorageError};
 pub use ranges::{RangeSet, RowRange};
+pub use shared::SharedColumn;
 pub use strings::{AppendEffect, DictColumn};
 pub use table::{AnyColumn, ColumnAccess, Table};
 pub use types::DataValue;

@@ -1,0 +1,115 @@
+//! Shared immutable column versions.
+//!
+//! A [`SharedColumn`] is one frozen version of a column's data: cheap to
+//! clone (an `Arc` bump), safe to read from any number of threads, and
+//! never mutated in place. Growing the column produces a *new* version via
+//! [`SharedColumn::append`]; readers holding the old version keep a
+//! consistent view for as long as they need it. This is the storage half
+//! of snapshot isolation: a snapshot pairs one column version with the
+//! index metadata computed over exactly that version, so stale metadata
+//! can never be applied to newer data.
+
+use crate::types::DataValue;
+use std::sync::Arc;
+
+/// One immutable version of a column, shareable across threads.
+#[derive(Debug, Clone)]
+pub struct SharedColumn<T: DataValue> {
+    data: Arc<Vec<T>>,
+    /// Monotone version number: 0 for the initial load, +1 per append.
+    version: u64,
+}
+
+impl<T: DataValue> SharedColumn<T> {
+    /// Freezes `data` as version 0.
+    pub fn new(data: Vec<T>) -> Self {
+        SharedColumn {
+            data: Arc::new(data),
+            version: 0,
+        }
+    }
+
+    /// The column values.
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Number of rows in this version.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when this version holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// This version's number.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Produces the next version: this version's rows followed by `rows`.
+    ///
+    /// Copy-on-append: the new version owns a fresh allocation, so readers
+    /// of `self` are unaffected. O(len + rows.len()) — appends are expected
+    /// to be batched and serialized through a single writer (the service's
+    /// maintenance thread), not fired per row.
+    pub fn append(&self, rows: &[T]) -> SharedColumn<T> {
+        let mut grown = Vec::with_capacity(self.data.len() + rows.len());
+        grown.extend_from_slice(&self.data);
+        grown.extend_from_slice(rows);
+        SharedColumn {
+            data: Arc::new(grown),
+            version: self.version + 1,
+        }
+    }
+
+    /// Bytes of column data this version holds.
+    pub fn data_bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<T>()
+    }
+}
+
+impl<T: DataValue> std::ops::Deref for SharedColumn<T> {
+    type Target = [T];
+
+    fn deref(&self) -> &[T] {
+        &self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn append_produces_new_version_and_preserves_old() {
+        let v0 = SharedColumn::new(vec![1i64, 2, 3]);
+        let v1 = v0.append(&[4, 5]);
+        assert_eq!(v0.as_slice(), &[1, 2, 3]);
+        assert_eq!(v1.as_slice(), &[1, 2, 3, 4, 5]);
+        assert_eq!((v0.version(), v1.version()), (0, 1));
+        assert_eq!((v0.len(), v1.len()), (3, 5));
+    }
+
+    #[test]
+    fn clones_share_the_allocation() {
+        let v0 = SharedColumn::new((0..1000).collect::<Vec<i64>>());
+        let c = v0.clone();
+        assert!(std::ptr::eq(v0.as_slice(), c.as_slice()));
+        assert_eq!(c.version(), 0);
+    }
+
+    #[test]
+    fn empty_and_bytes() {
+        let e: SharedColumn<i64> = SharedColumn::new(Vec::new());
+        assert!(e.is_empty());
+        assert_eq!(e.data_bytes(), 0);
+        let one = e.append(&[7]);
+        assert!(!one.is_empty());
+        assert_eq!(one.data_bytes(), 8);
+        // Deref gives slice methods directly.
+        assert_eq!(one.iter().sum::<i64>(), 7);
+    }
+}

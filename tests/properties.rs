@@ -561,3 +561,41 @@ fn static_zonemap_metadata_always_exact() {
         }
     }
 }
+
+#[test]
+fn shared_prune_matches_mutable_prune_after_publication_poll() {
+    // The concurrent read path (`prune_shared`) must convert predicates
+    // into exactly the ranges the mutable `prune` would, given the state a
+    // snapshot publisher hands out — i.e. after `poll_revival`, which is
+    // what the service's maintenance thread runs before every publication.
+    // This is the decision-identity the server's exactness rests on.
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x5EA7 ^ case);
+        let data = gen_data(&mut rng, 3000);
+        let mut zm = AdaptiveZonemap::new(data.len(), test_config());
+        let steps = rng.gen_range(10..40usize);
+        for step in 0..steps {
+            let pred = gen_pred(&mut rng);
+            zm.poll_revival();
+            let shared_out = zm.prune_shared(&pred);
+            let mutable_out = zm.prune(&pred);
+            assert_eq!(
+                shared_out, mutable_out,
+                "case {case} step {step}: shared prune diverged from mutable prune"
+            );
+            // Honest observations keep splits/merges/deactivation moving so
+            // the equivalence is exercised across structural change.
+            let mut ranges = Vec::new();
+            for unit in mutable_out.units() {
+                let (q, min, max) =
+                    scan::count_in_range_with_minmax(&data[unit.start..unit.end], pred.lo, pred.hi);
+                ranges.push(RangeObservation::new(*unit, q, min, max));
+            }
+            zm.observe(&ScanObservation {
+                predicate: pred,
+                ranges,
+            });
+            zm.assert_invariants();
+        }
+    }
+}
