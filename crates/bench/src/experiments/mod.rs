@@ -17,6 +17,7 @@ pub mod e13_strings;
 pub mod e14_masks;
 pub mod e15_parallel;
 pub mod e16_server;
+pub mod e17_sharding;
 
 use crate::report::Report;
 use crate::runner::Scale;
@@ -24,7 +25,7 @@ use crate::runner::Scale;
 /// Experiment ids in execution order.
 pub const ALL: &[&str] = &[
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16",
+    "e16", "e17",
 ];
 
 /// Runs one experiment by id.
@@ -46,6 +47,7 @@ pub fn run(id: &str, scale: Scale) -> Option<Report> {
         "e14" => Some(e14_masks::run(scale)),
         "e15" => Some(e15_parallel::run(scale)),
         "e16" => Some(e16_server::run(scale)),
+        "e17" => Some(e17_sharding::run(scale)),
         _ => None,
     }
 }

@@ -19,6 +19,7 @@ pub mod microbench;
 pub mod report;
 pub mod runner;
 pub mod server_bench;
+pub mod shard_bench;
 
 pub use report::Report;
 pub use runner::{replay, replay_agg, replay_with_policy, ReplayResult, Scale};

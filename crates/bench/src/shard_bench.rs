@@ -1,0 +1,347 @@
+//! E17 machinery — sharded service scaling and publication cost, emitted
+//! as the machine-readable `ads-shard-bench/v1` document
+//! (`results/BENCH_shards.json`).
+//!
+//! The measurement is the E16 closed loop (one client thread per reader,
+//! async adaptation) swept over a shard-count axis, after a single-stream
+//! warmup pass that drives the zonemaps to steady state (the publication
+//! question is about an ongoing service, not cold-start zone builds).
+//! Two things are under test:
+//!
+//! * **Equivalence** — per-client answer checksums must be identical at
+//!   every shard count (the sharded path changes fan-out, never answers);
+//! * **Publication cost** — with per-shard snapshot cells, the
+//!   maintenance thread republishes only the lanes whose mutation epoch
+//!   moved. Each cell records the bytes actually cloned
+//!   (`republish_bytes`) next to the bytes a whole-map scheme would have
+//!   cloned over the same rounds (`whole_map_bytes`), so the saving is a
+//!   measured ratio, not an estimate.
+
+use ads_core::RangePredicate;
+use ads_engine::AggKind;
+use ads_server::{AdaptationMode, QueryService, ServerConfig, ServerStats};
+use ads_workloads::{queries, DataSpec};
+use std::collections::HashMap;
+use std::fmt::Write;
+use std::time::Instant;
+
+/// Shard counts each distribution is swept over.
+pub const SHARD_COUNTS: &[usize] = &[1, 4, 16];
+
+/// Reader (= client) counts each shard count is measured at.
+pub const READER_COUNTS: &[usize] = &[1, 4];
+
+/// One measured (distribution, shards, readers) cell, async mode.
+#[derive(Debug, Clone)]
+pub struct ShardCell {
+    /// Data distribution label.
+    pub dist: String,
+    /// Shard count.
+    pub shards: usize,
+    /// Reader threads (= closed-loop client threads).
+    pub readers: usize,
+    /// Queries answered in the measured phase (warmup excluded).
+    pub queries: u64,
+    /// Wall time of the measured phase.
+    pub elapsed_ns: u64,
+    /// Answered queries per second.
+    pub qps: f64,
+    /// Latency percentiles (dequeue-to-answer; the histogram is
+    /// cumulative, so the single-stream warmup is included).
+    pub p50_ns: u64,
+    /// 99th percentile.
+    pub p99_ns: u64,
+    /// Observations dropped at the feedback channel (measured phase).
+    pub feedback_dropped: u64,
+    /// Feedback queued but unapplied when the clients finished (how far
+    /// adaptation lagged execution at the end of the run).
+    pub adaptation_lag: u64,
+    /// Publication rounds that republished at least one lane (measured
+    /// phase).
+    pub snapshots_published: u64,
+    /// Individual shard lanes republished across those rounds.
+    pub shards_republished: u64,
+    /// Zonemap metadata bytes actually cloned for republished lanes.
+    pub republish_bytes: u64,
+    /// Bytes a whole-map (every lane, every round) scheme would have
+    /// cloned over the same maintenance rounds.
+    pub whole_map_bytes: u64,
+}
+
+impl ShardCell {
+    /// Mean lanes republished per publication round.
+    pub fn lanes_per_round(&self) -> f64 {
+        self.shards_republished as f64 / self.snapshots_published.max(1) as f64
+    }
+
+    /// Measured publication bytes as a fraction of the whole-map clone.
+    pub fn republish_fraction(&self) -> f64 {
+        self.republish_bytes as f64 / self.whole_map_bytes.max(1) as f64
+    }
+}
+
+/// The full E17 result set.
+#[derive(Debug, Clone)]
+pub struct ShardBenchReport {
+    /// Rows per column.
+    pub rows: usize,
+    /// Queries each client submits.
+    pub queries_per_client: usize,
+    /// Host cores (context for the scaling numbers).
+    pub host_cores: usize,
+    /// Measured cells, shard-count-major per distribution.
+    pub cells: Vec<ShardCell>,
+}
+
+impl ShardBenchReport {
+    /// The headline acceptance check: at every cell with ≥4 shards, the
+    /// epoch-diffed per-shard publication cloned strictly fewer bytes than
+    /// the whole-map scheme would have over the same maintenance rounds.
+    pub fn sharding_bounds_republish(&self) -> bool {
+        self.cells
+            .iter()
+            .filter(|c| c.shards >= 4)
+            .all(|c| c.whole_map_bytes > 0 && c.republish_bytes < c.whole_map_bytes)
+    }
+
+    /// Renders the `ads-shard-bench/v1` JSON document.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(4096);
+        s.push_str("{\n");
+        s.push_str("  \"schema\": \"ads-shard-bench/v1\",\n");
+        let _ = writeln!(s, "  \"rows\": {},", self.rows);
+        let _ = writeln!(s, "  \"queries_per_client\": {},", self.queries_per_client);
+        let _ = writeln!(s, "  \"host_cores\": {},", self.host_cores);
+        s.push_str("  \"cells\": [\n");
+        for (i, c) in self.cells.iter().enumerate() {
+            let _ = write!(
+                s,
+                "    {{\"dist\": \"{}\", \"shards\": {}, \"readers\": {}, \"queries\": {}, \
+                 \"elapsed_ns\": {}, \"qps\": {:.1}, \"p50_ns\": {}, \"p99_ns\": {}, \
+                 \"feedback_dropped\": {}, \"adaptation_lag\": {}, \
+                 \"snapshots_published\": {}, \"shards_republished\": {}, \
+                 \"republish_bytes\": {}, \"whole_map_bytes\": {}, \
+                 \"republish_fraction\": {:.4}}}",
+                c.dist,
+                c.shards,
+                c.readers,
+                c.queries,
+                c.elapsed_ns,
+                c.qps,
+                c.p50_ns,
+                c.p99_ns,
+                c.feedback_dropped,
+                c.adaptation_lag,
+                c.snapshots_published,
+                c.shards_republished,
+                c.republish_bytes,
+                c.whole_map_bytes,
+                c.republish_fraction(),
+            );
+            s.push_str(if i + 1 < self.cells.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// Renders the README's sharding table.
+    pub fn to_markdown(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "| Distribution | Shards | Readers | kq/s | p50 µs | p99 µs | \
+             lanes/round | republish vs whole-map | lag |"
+        );
+        let _ = writeln!(s, "|---|---:|---:|---:|---:|---:|---:|---:|---:|");
+        for c in &self.cells {
+            let _ = writeln!(
+                s,
+                "| {} | {} | {} | {:.1} | {:.0} | {:.0} | {:.2} | {:.1}% | {} |",
+                c.dist,
+                c.shards,
+                c.readers,
+                c.qps / 1e3,
+                c.p50_ns as f64 / 1e3,
+                c.p99_ns as f64 / 1e3,
+                c.lanes_per_round(),
+                c.republish_fraction() * 100.0,
+                c.adaptation_lag,
+            );
+        }
+        s
+    }
+}
+
+/// Stats deltas and checksums from one closed-loop cell.
+struct CellRun {
+    /// Stats at warmup end — subtracted so the counters measure the
+    /// steady-state phase, not cold-start zone builds.
+    warm: ServerStats,
+    /// Stats at shutdown (cumulative).
+    fin: ServerStats,
+    /// Adaptation lag sampled when the clients finished (before the
+    /// shutdown drain zeroes it).
+    lag_at_end: u64,
+    /// Wall time of the measured phase.
+    elapsed_ns: u64,
+    /// Per-client answer checksums.
+    checksums: Vec<u64>,
+}
+
+/// Runs one cell: a warmup pass (single stream, then a flush barrier)
+/// drives the zonemaps to steady state, then `readers` closed-loop
+/// clients run the measured phase. The publication-cost question is
+/// about an ongoing service, so the reported counters are deltas over
+/// the measured phase only.
+fn run_cell(
+    data: &[i64],
+    shards: usize,
+    readers: usize,
+    queries_per_client: usize,
+    domain: i64,
+    seed: u64,
+) -> CellRun {
+    let svc = QueryService::start(
+        data.to_vec(),
+        ServerConfig {
+            readers,
+            shards,
+            queue_capacity: 4 * readers.max(1) + 16,
+            adaptation: AdaptationMode::Async,
+            ..ServerConfig::default()
+        },
+    );
+
+    for q in queries::uniform_ranges(queries_per_client, domain, 0.05, seed ^ 0xFEED_FACE) {
+        let pred = RangePredicate::between(q.lo, q.hi);
+        svc.query(pred, AggKind::Count).expect("warmup");
+    }
+    svc.flush();
+    let warm = svc.stats();
+
+    let t0 = Instant::now();
+    let checksums: Vec<u64> = std::thread::scope(|scope| {
+        let svc = &svc;
+        let handles: Vec<_> = (0..readers)
+            .map(|client| {
+                scope.spawn(move || {
+                    // The client's stream depends only on its index, so the
+                    // same client sees the same queries at every shard
+                    // count — the checksums must agree.
+                    let preds = queries::uniform_ranges(
+                        queries_per_client,
+                        domain,
+                        0.05,
+                        seed ^ (client as u64).wrapping_mul(0x9E37_79B9),
+                    );
+                    let mut checksum = 0u64;
+                    for q in preds {
+                        let pred = RangePredicate::between(q.lo, q.hi);
+                        let reply = svc.query(pred, AggKind::Count).expect("closed loop");
+                        checksum =
+                            checksum.wrapping_add(reply.answer().expect("no deadline").count);
+                    }
+                    checksum
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let elapsed_ns = t0.elapsed().as_nanos() as u64;
+    let lag_at_end = svc.stats().adaptation_lag;
+
+    CellRun {
+        warm,
+        fin: svc.shutdown(),
+        lag_at_end,
+        elapsed_ns,
+        checksums,
+    }
+}
+
+/// Runs the full grid: {sorted, clustered, uniform} × [`SHARD_COUNTS`] ×
+/// [`READER_COUNTS`], async mode throughout.
+pub fn run(rows: usize, queries_per_client: usize, domain: i64, seed: u64) -> ShardBenchReport {
+    let mut report = ShardBenchReport {
+        rows,
+        queries_per_client,
+        host_cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        cells: Vec::new(),
+    };
+
+    for spec in [
+        DataSpec::Sorted,
+        DataSpec::Clustered { clusters: 64 },
+        DataSpec::Uniform,
+    ] {
+        let data = spec.generate(rows, domain, seed);
+        let dist = spec.label();
+        // client index -> checksum; equal streams must answer equally at
+        // every shard count.
+        let mut reference: HashMap<usize, u64> = HashMap::new();
+        for &shards in SHARD_COUNTS {
+            for &readers in READER_COUNTS {
+                eprintln!("  e17: {dist} {shards} shard(s) x{readers} readers");
+                let run = run_cell(&data, shards, readers, queries_per_client, domain, seed);
+                for (client, &sum) in run.checksums.iter().enumerate() {
+                    match reference.get(&client) {
+                        Some(&want) => assert_eq!(
+                            sum, want,
+                            "{dist}/{shards} shards/{readers} readers: \
+                             client {client} answers diverged"
+                        ),
+                        None => {
+                            reference.insert(client, sum);
+                        }
+                    }
+                }
+                let queries = run.fin.queries - run.warm.queries;
+                assert_eq!(queries, (readers * queries_per_client) as u64);
+                report.cells.push(ShardCell {
+                    dist: dist.clone(),
+                    shards,
+                    readers,
+                    queries,
+                    elapsed_ns: run.elapsed_ns,
+                    qps: queries as f64 / (run.elapsed_ns.max(1) as f64 / 1e9),
+                    p50_ns: run.fin.latency.p50_ns(),
+                    p99_ns: run.fin.latency.p99_ns(),
+                    feedback_dropped: run.fin.feedback_dropped - run.warm.feedback_dropped,
+                    adaptation_lag: run.lag_at_end,
+                    snapshots_published: run.fin.snapshots_published - run.warm.snapshots_published,
+                    shards_republished: run.fin.shards_republished - run.warm.shards_republished,
+                    republish_bytes: run.fin.republish_bytes - run.warm.republish_bytes,
+                    whole_map_bytes: run.fin.whole_map_bytes - run.warm.whole_map_bytes,
+                });
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_grid_runs_and_serialises() {
+        let report = run(4_000, 10, 10_000, 7);
+        assert_eq!(
+            report.cells.len(),
+            3 * SHARD_COUNTS.len() * READER_COUNTS.len()
+        );
+        let json = report.to_json();
+        assert!(json.contains("\"schema\": \"ads-shard-bench/v1\""));
+        assert!(json.contains("\"shards\": 16"));
+        assert!(!report.to_markdown().is_empty());
+        for c in &report.cells {
+            assert_eq!(c.queries, (c.readers * 10) as u64);
+            assert!(c.qps > 0.0);
+            assert!(c.republish_bytes <= c.whole_map_bytes);
+        }
+    }
+}

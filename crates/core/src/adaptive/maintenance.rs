@@ -18,6 +18,11 @@ impl<T: DataValue> AdaptiveZonemap<T> {
         // Merge/deactivate decisions read probes and skip rates; make the
         // plane's deferred skip counts visible first.
         self.flush_pending_skips();
+        // Merge/deactivate leave trace events; coalescing dead zones does
+        // not, but it changes the zone count — together the two signals
+        // detect whether this pass mutated anything reader-visible.
+        let events_before = self.trace.total_events();
+        let zones_before = self.zones.len();
         if self.config.enable_merge {
             self.merge_pass();
         }
@@ -30,6 +35,9 @@ impl<T: DataValue> AdaptiveZonemap<T> {
         // Every pass above may renumber or retire zones; one rebuild
         // restores the SoA prune plane's mirroring invariant.
         self.plane.rebuild(&self.zones);
+        if self.trace.total_events() != events_before || self.zones.len() != zones_before {
+            self.mutation_epoch += 1;
+        }
     }
 
     /// Merges runs of adjacent Built zones whose metadata never causes
@@ -208,6 +216,7 @@ impl<T: DataValue> AdaptiveZonemap<T> {
                 .record(self.query_seq, AdaptEvent::Revived { range });
         }
         self.refresh_revival_clock();
+        self.mutation_epoch += 1;
         true
     }
 

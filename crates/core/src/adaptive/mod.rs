@@ -7,10 +7,12 @@
 mod config;
 mod maintenance;
 mod plane;
+mod sharded;
 mod zone;
 mod zonemap;
 
 pub use config::AdaptiveConfig;
+pub use sharded::ShardedZonemap;
 pub use zone::{AdaptiveZone, ZoneState};
 pub use zonemap::AdaptiveZonemap;
 

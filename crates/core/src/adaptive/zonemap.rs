@@ -47,6 +47,13 @@ pub struct AdaptiveZonemap<T: DataValue> {
     /// Earliest query number at which some dead zone is due a revival
     /// check; `u64::MAX` when none are dead or revival is disabled.
     pub(crate) next_revival_check: u64,
+    /// Counts reader-visible metadata mutations: zone builds/tightenings,
+    /// structural maintenance that changed something, revivals, appends.
+    /// Publication layers compare epochs to skip republishing unchanged
+    /// state; per-query stat drift (probe/skip tallies) deliberately does
+    /// NOT bump it — staleness there costs adaptation bookkeeping
+    /// freshness, never answer correctness.
+    pub(crate) mutation_epoch: u64,
 }
 
 impl<T: DataValue> AdaptiveZonemap<T> {
@@ -80,6 +87,7 @@ impl<T: DataValue> AdaptiveZonemap<T> {
             query_seq: 0,
             len,
             next_revival_check: u64::MAX,
+            mutation_epoch: 0,
         };
         zm.assert_invariants();
         zm
@@ -119,6 +127,15 @@ impl<T: DataValue> AdaptiveZonemap<T> {
     /// The cost model guiding granularity decisions.
     pub fn cost_model(&self) -> &CostModel {
         &self.cost
+    }
+
+    /// The reader-visible mutation epoch: increments whenever zone
+    /// metadata changes in a way a fresh snapshot would reflect (build,
+    /// tighten, mask, split, merge, deactivate, coalesce, revive, append).
+    /// Two equal epochs mean a previously published clone of this zonemap
+    /// still prunes identically, so republication can be skipped.
+    pub fn mutation_epoch(&self) -> u64 {
+        self.mutation_epoch
     }
 
     /// A structural snapshot: `(range, state label, skip rate)` per zone,
@@ -257,6 +274,7 @@ impl<T: DataValue> SkippingIndex<T> for AdaptiveZonemap<T> {
     fn observe(&mut self, obs: &ScanObservation<T>) {
         let low_yield = self.config.split_low_yield;
         let mut split_queue: Vec<usize> = Vec::new();
+        let mut mutated = false;
 
         for ro in &obs.ranges {
             self.stats.rows_scanned += ro.range.len() as u64;
@@ -287,6 +305,7 @@ impl<T: DataValue> SkippingIndex<T> for AdaptiveZonemap<T> {
                     };
                     zone.stats.record_scan(frac, low_yield);
                     self.plane.set_built(idx, ro.min, ro.max);
+                    mutated = true;
                     self.trace
                         .record(self.query_seq, AdaptEvent::Built { range: ro.range });
                 }
@@ -315,6 +334,7 @@ impl<T: DataValue> SkippingIndex<T> for AdaptiveZonemap<T> {
                     };
                     zone.stats.record_scan(frac, low_yield);
                     self.plane.set_built(idx, ro.min, ro.max);
+                    mutated = true;
                     // The wasted-scan threshold doubles per split
                     // generation: each refinement level must earn the next
                     // with proportionally more evidence, so data without
@@ -342,6 +362,9 @@ impl<T: DataValue> SkippingIndex<T> for AdaptiveZonemap<T> {
         // Apply splits back-to-front so queued indices stay valid.
         for idx in split_queue.into_iter().rev() {
             self.split_zone(idx);
+        }
+        if mutated {
+            self.mutation_epoch += 1;
         }
 
         if self.query_seq.is_multiple_of(self.config.maintenance_every) {
@@ -374,6 +397,7 @@ impl<T: DataValue> SkippingIndex<T> for AdaptiveZonemap<T> {
             start = end;
         }
         self.len = new_len;
+        self.mutation_epoch += 1;
 
         #[cfg(debug_assertions)]
         self.assert_invariants();

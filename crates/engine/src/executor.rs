@@ -70,7 +70,7 @@ impl<T: DataValue> Default for QueryAnswer<T> {
 
 /// One parallelisable piece of a query's scan work.
 #[derive(Debug, Clone, Copy)]
-enum WorkItem {
+pub(crate) enum WorkItem {
     /// A full-match range whose values must still be read (SUM/MIN/MAX).
     Full(RowRange),
     /// One scan unit of the prune outcome, with its optional mask request.
@@ -78,7 +78,7 @@ enum WorkItem {
 }
 
 impl WorkItem {
-    fn rows(&self) -> usize {
+    pub(crate) fn rows(&self) -> usize {
         match self {
             WorkItem::Full(r) | WorkItem::Unit(r, _) => r.len(),
         }
@@ -86,7 +86,7 @@ impl WorkItem {
 }
 
 /// What scanning one [`WorkItem`] produced; merged in item order.
-struct ItemResult<T: DataValue> {
+pub(crate) struct ItemResult<T: DataValue> {
     /// Observation to feed back (`None` for full-match items).
     obs: Option<RangeObservation<T>>,
     /// Qualifying rows (all rows, for full-match items).
@@ -204,15 +204,37 @@ pub fn scan_pruned<T: DataValue>(
     agg: AggKind,
     policy: &ExecPolicy,
 ) -> (QueryAnswer<T>, ScanObservation<T>, ScanPhase) {
-    let mut answer = QueryAnswer::default();
-    let mut observations: Vec<RangeObservation<T>> = Vec::with_capacity(outcome.units().len());
-    let mut rows_scanned = 0usize;
-
     let t_scan = Instant::now();
-    // The work list: full-match ranges first (only when their values
-    // must be read), then the scan units — the order the answer fold
-    // visits them, which keeps f64 accumulation bit-identical between
-    // sequential and parallel execution.
+    let items = build_work_items(outcome, agg);
+
+    let scan_rows: usize = items.iter().map(WorkItem::rows).sum();
+    let threads_used = policy.effective_threads(scan_rows);
+
+    let results: Vec<ItemResult<T>> =
+        parallel::par_map_weighted(&items, threads_used, WorkItem::rows, |_, item| {
+            scan_item(target, pred, agg, item)
+        });
+
+    let (answer, observation, rows_scanned) =
+        merge_item_results(outcome, pred, agg, &items, results);
+    let scan_ns = t_scan.elapsed().as_nanos() as u64;
+
+    (
+        answer,
+        observation,
+        ScanPhase {
+            rows_scanned,
+            threads_used,
+            scan_ns,
+        },
+    )
+}
+
+/// Builds the work list of one prune outcome: full-match ranges first
+/// (only when their values must be read), then the scan units — the order
+/// the answer fold visits them, which keeps f64 accumulation bit-identical
+/// between sequential and parallel execution.
+pub(crate) fn build_work_items(outcome: &PruneOutcome, agg: AggKind) -> Vec<WorkItem> {
     let reads_full_values = matches!(agg, AggKind::Sum | AggKind::Min | AggKind::Max);
     let fulls = if reads_full_values {
         outcome.full_match.ranges()
@@ -228,14 +250,22 @@ pub fn scan_pruned<T: DataValue>(
             .enumerate()
             .map(|(i, u)| WorkItem::Unit(*u, outcome.mask_request(i))),
     );
+    items
+}
 
-    let scan_rows: usize = items.iter().map(WorkItem::rows).sum();
-    let threads_used = policy.effective_threads(scan_rows);
-
-    let results: Vec<ItemResult<T>> =
-        parallel::par_map_weighted(&items, threads_used, WorkItem::rows, |_, item| {
-            scan_item(target, pred, agg, item)
-        });
+/// Folds one outcome's [`ItemResult`]s in item order into the answer and
+/// the observation batch. `results` must align 1:1 with `items` (which
+/// must come from [`build_work_items`] on the same outcome). Returns
+/// `(answer, observation, rows_scanned)`.
+pub(crate) fn merge_item_results<T: DataValue>(
+    outcome: &PruneOutcome,
+    pred: RangePredicate<T>,
+    agg: AggKind,
+    items: &[WorkItem],
+    results: Vec<ItemResult<T>>,
+) -> (QueryAnswer<T>, ScanObservation<T>, usize) {
+    let mut answer = QueryAnswer::default();
+    let mut rows_scanned = 0usize;
 
     // Merge phase: fold results in item order.
     let mut sum = 0.0f64;
@@ -286,8 +316,8 @@ pub fn scan_pruned<T: DataValue>(
             answer.positions = Some(positions);
         }
     }
+    let mut observations: Vec<RangeObservation<T>> = Vec::with_capacity(outcome.units().len());
     observations.extend(results.into_iter().filter_map(|r| r.obs));
-    let scan_ns = t_scan.elapsed().as_nanos() as u64;
 
     (
         answer,
@@ -295,17 +325,13 @@ pub fn scan_pruned<T: DataValue>(
             predicate: pred,
             ranges: observations,
         },
-        ScanPhase {
-            rows_scanned,
-            threads_used,
-            scan_ns,
-        },
+        rows_scanned,
     )
 }
 
 /// Scans one work item. Pure with respect to shared state: reads
 /// `target`, writes only its own result — safe to run on any thread.
-fn scan_item<T: DataValue>(
+pub(crate) fn scan_item<T: DataValue>(
     target: &[T],
     pred: RangePredicate<T>,
     agg: AggKind,

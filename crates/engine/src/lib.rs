@@ -21,6 +21,7 @@ pub mod executor;
 pub mod histogram;
 pub mod metrics;
 pub mod session;
+pub mod sharded_exec;
 pub mod strategy;
 pub mod string_session;
 pub mod table_session;
@@ -33,6 +34,10 @@ pub use executor::{
 pub use histogram::LatencyHistogram;
 pub use metrics::{CumulativeMetrics, QueryMetrics};
 pub use session::ColumnSession;
+pub use sharded_exec::{
+    execute_sharded, scan_sharded, ShardLaneMetrics, ShardScanInput, ShardedQueryMetrics,
+    ShardedScanResult,
+};
 pub use strategy::Strategy;
 pub use string_session::StringColumnSession;
 pub use table_session::{AnyPredicate, TableSession, TableSessionError};

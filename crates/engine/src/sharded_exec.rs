@@ -1,0 +1,364 @@
+//! Shard-aware execution: prune each shard independently, fan every
+//! shard's scan units through one parallel map, merge in shard order.
+//!
+//! The sharded path reuses the unsharded executor's machinery wholesale:
+//! per shard it builds the same work-item list ([`build_work_items`]),
+//! scans items with the same pure kernel dispatch ([`scan_item`]), and
+//! folds per-item results with the same merge ([`merge_item_results`]) —
+//! the only new code is the shard-major concatenation around it. Two
+//! consequences, both load-bearing:
+//!
+//! * **Equivalence at one shard.** With `shards = 1` the global item
+//!   list, the thread split, every kernel call, the answer fold, and the
+//!   observation batch are exactly the unsharded [`scan_pruned`]'s — the
+//!   sharded path *is* the old path, so answers and all downstream
+//!   adaptation are bit-identical (pinned by the regression suite).
+//! * **Deterministic merges at any shard count.** Items are ordered
+//!   shard-major and each shard's partial results fold in item order, so
+//!   f64 SUM accumulation order is a pure function of the prune outcomes
+//!   — never of the thread count.
+//!
+//! [`scan_pruned`]: crate::executor::scan_pruned
+
+use crate::exec_policy::ExecPolicy;
+use crate::executor::{
+    build_work_items, merge_item_results, scan_item, AggKind, ItemResult, QueryAnswer, ScanPhase,
+    WorkItem,
+};
+use crate::metrics::QueryMetrics;
+use ads_core::adaptive::ShardedZonemap;
+use ads_core::{PruneOutcome, RangePredicate, ScanObservation, SkippingIndex};
+use ads_storage::{parallel, DataValue, ShardedColumn};
+use std::time::Instant;
+
+/// What one shard's lane contributed to a query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ShardLaneMetrics {
+    /// Shard index.
+    pub shard: usize,
+    /// Rows the shard holds.
+    pub rows: usize,
+    /// Zone-metadata entries examined in this shard.
+    pub zones_probed: usize,
+    /// Zones excluded by metadata in this shard.
+    pub zones_skipped: usize,
+    /// Rows the scan actually touched in this shard.
+    pub rows_scanned: usize,
+    /// Rows answered from metadata alone in this shard.
+    pub rows_full_match: usize,
+    /// Rows of this shard satisfying the predicate.
+    pub rows_matched: u64,
+}
+
+/// [`QueryMetrics`] plus the per-shard breakdown. The flat `query` view
+/// sums the lanes, so existing consumers (`CumulativeMetrics::absorb`,
+/// stats displays) keep working unchanged.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardedQueryMetrics {
+    /// Whole-query totals, shaped exactly like the unsharded metrics.
+    pub query: QueryMetrics,
+    /// Per-shard prune/skip accounting, in shard order.
+    pub shards: Vec<ShardLaneMetrics>,
+}
+
+/// One shard's scan-phase input: its column slice, its (already computed)
+/// prune outcome in shard-local coordinates, and its global start row.
+pub struct ShardScanInput<'a, T: DataValue> {
+    /// The shard's column data.
+    pub data: &'a [T],
+    /// The shard lane's prune outcome, in shard-local row coordinates.
+    pub outcome: &'a PruneOutcome,
+    /// Global row id of the shard's first row (offsets POSITIONS output).
+    pub start: usize,
+}
+
+/// What [`scan_sharded`] produced.
+pub struct ShardedScanResult<T: DataValue> {
+    /// The merged global answer (positions in global row ids).
+    pub answer: QueryAnswer<T>,
+    /// One observation batch per shard, in shard order and shard-local
+    /// coordinates — ready to feed to the matching lane's `observe` /
+    /// `apply_feedback`. Every shard gets an entry, even fully skipped
+    /// ones, because the feedback protocol's bookkeeping (query clocks,
+    /// skip counters, revival) runs per lane per query.
+    pub observations: Vec<ScanObservation<T>>,
+    /// Timing and sizing of the fused scan phase.
+    pub phase: ScanPhase,
+    /// Per-shard accounting, in shard order.
+    pub lanes: Vec<ShardLaneMetrics>,
+}
+
+/// The pure read path of a sharded query: scans every shard's pruned
+/// outcome in one weighted parallel fan and merges shard-major.
+///
+/// Like [`scan_pruned`](crate::executor::scan_pruned) this touches no
+/// index state and is callable with shared references only, so concurrent
+/// readers can execute against immutable per-shard snapshots — each lane
+/// of which may be a *different* published version: soundness is
+/// shard-local (each outcome describes exactly its own slice), so any mix
+/// of lane versions yields exact answers for the union of those versions.
+pub fn scan_sharded<T: DataValue>(
+    inputs: &[ShardScanInput<'_, T>],
+    pred: RangePredicate<T>,
+    agg: AggKind,
+    policy: &ExecPolicy,
+) -> ShardedScanResult<T> {
+    let t_scan = Instant::now();
+
+    // Shard-major global work list, remembering each shard's item count
+    // so results can be sliced back per shard after the fan.
+    let lane_items: Vec<Vec<WorkItem>> = inputs
+        .iter()
+        .map(|l| build_work_items(l.outcome, agg))
+        .collect();
+    let mut tagged: Vec<(usize, WorkItem)> =
+        Vec::with_capacity(lane_items.iter().map(Vec::len).sum());
+    for (s, items) in lane_items.iter().enumerate() {
+        tagged.extend(items.iter().map(|it| (s, *it)));
+    }
+
+    let scan_rows: usize = tagged.iter().map(|(_, it)| it.rows()).sum();
+    let threads_used = policy.effective_threads(scan_rows);
+
+    let mut results: Vec<ItemResult<T>> = parallel::par_map_weighted(
+        &tagged,
+        threads_used,
+        |(_, it)| it.rows(),
+        |_, (s, item)| scan_item(inputs[*s].data, pred, agg, item),
+    );
+
+    // Split results back into per-shard runs (they are contiguous because
+    // the work list is shard-major). Back-to-front so each split is O(run).
+    let mut per_lane: Vec<Vec<ItemResult<T>>> = Vec::with_capacity(inputs.len());
+    for items in lane_items.iter().rev() {
+        per_lane.push(results.split_off(results.len() - items.len()));
+    }
+    per_lane.reverse();
+
+    // Fold shard partials in shard order. Each shard's partial comes from
+    // the same in-order item merge the unsharded executor uses.
+    let mut answer = QueryAnswer::default();
+    let mut sum = 0.0f64;
+    let mut mmin = T::MAX_VALUE;
+    let mut mmax = T::MIN_VALUE;
+    let mut positions: Vec<u32> = Vec::new();
+    let mut observations: Vec<ScanObservation<T>> = Vec::with_capacity(inputs.len());
+    let mut lanes: Vec<ShardLaneMetrics> = Vec::with_capacity(inputs.len());
+    let mut rows_scanned_total = 0usize;
+
+    for (s, (input, (items, lane_results))) in inputs
+        .iter()
+        .zip(lane_items.iter().zip(per_lane))
+        .enumerate()
+    {
+        let (lane_answer, lane_obs, lane_rows_scanned) =
+            merge_item_results(input.outcome, pred, agg, items, lane_results);
+        answer.count += lane_answer.count;
+        if let Some(lane_sum) = lane_answer.sum {
+            sum += lane_sum;
+        }
+        if let Some(m) = lane_answer.min {
+            mmin = mmin.min_total(m);
+        }
+        if let Some(m) = lane_answer.max {
+            mmax = mmax.max_total(m);
+        }
+        if let Some(p) = lane_answer.positions {
+            // Lane positions are shard-local and sorted; shards are
+            // contiguous in shard order, so offset-and-append keeps the
+            // global list sorted.
+            positions.extend(p.into_iter().map(|pos| pos + input.start as u32));
+        }
+        rows_scanned_total += lane_rows_scanned;
+        lanes.push(ShardLaneMetrics {
+            shard: s,
+            rows: input.data.len(),
+            zones_probed: input.outcome.zones_probed,
+            zones_skipped: input.outcome.zones_skipped,
+            rows_scanned: lane_rows_scanned,
+            rows_full_match: input.outcome.rows_full_match(),
+            rows_matched: lane_answer.count,
+        });
+        observations.push(lane_obs);
+    }
+
+    match agg {
+        AggKind::Count => {}
+        AggKind::Sum => answer.sum = Some(sum),
+        AggKind::Min => answer.min = (answer.count > 0).then_some(mmin),
+        AggKind::Max => answer.max = (answer.count > 0).then_some(mmax),
+        AggKind::Positions => answer.positions = Some(positions),
+    }
+
+    ShardedScanResult {
+        answer,
+        observations,
+        phase: ScanPhase {
+            rows_scanned: rows_scanned_total,
+            threads_used,
+            scan_ns: t_scan.elapsed().as_nanos() as u64,
+        },
+        lanes,
+    }
+}
+
+/// Executes one query over a sharded column with inline adaptation: every
+/// lane runs prune → scan → observe exactly as the unsharded
+/// [`execute_with_policy`](crate::executor::execute_with_policy) does,
+/// with the scan phase fused across shards.
+pub fn execute_sharded<T: DataValue>(
+    column: &ShardedColumn<T>,
+    zonemap: &mut ShardedZonemap<T>,
+    pred: RangePredicate<T>,
+    agg: AggKind,
+    policy: &ExecPolicy,
+) -> (QueryAnswer<T>, ShardedQueryMetrics) {
+    assert_eq!(
+        column.num_shards(),
+        zonemap.num_shards(),
+        "column and zonemap shard layouts differ"
+    );
+    let t0 = Instant::now();
+    let events_before: u64 = zonemap.lanes().iter().map(|l| l.adapt_events()).sum();
+
+    // Prune every lane mutably — each lane's query clock, skip counters,
+    // and revival checks advance every query, matching the inline
+    // protocol even for shards the predicate entirely skips.
+    let outcomes: Vec<PruneOutcome> = (0..zonemap.num_shards())
+        .map(|s| zonemap.lane_mut(s).prune(&pred))
+        .collect();
+    let prune_ns = t0.elapsed().as_nanos() as u64;
+
+    let inputs: Vec<ShardScanInput<'_, T>> = outcomes
+        .iter()
+        .enumerate()
+        .map(|(s, outcome)| ShardScanInput {
+            data: column.shard(s).as_slice(),
+            outcome,
+            start: column.start(s),
+        })
+        .collect();
+    let result = scan_sharded(&inputs, pred, agg, policy);
+    drop(inputs);
+
+    let t_obs = Instant::now();
+    for (s, obs) in result.observations.iter().enumerate() {
+        zonemap.lane_mut(s).observe(obs);
+    }
+    let observe_ns = t_obs.elapsed().as_nanos() as u64;
+
+    let events_after: u64 = zonemap.lanes().iter().map(|l| l.adapt_events()).sum();
+    let query = QueryMetrics {
+        wall_ns: t0.elapsed().as_nanos() as u64,
+        zones_probed: result.lanes.iter().map(|l| l.zones_probed).sum(),
+        zones_skipped: result.lanes.iter().map(|l| l.zones_skipped).sum(),
+        rows_scanned: result.phase.rows_scanned,
+        rows_full_match: result.lanes.iter().map(|l| l.rows_full_match).sum(),
+        rows_matched: result.answer.count,
+        adapt_events: events_after - events_before,
+        prune_ns,
+        scan_ns: result.phase.scan_ns,
+        observe_ns,
+        threads_used: result.phase.threads_used,
+    };
+    (
+        result.answer,
+        ShardedQueryMetrics {
+            query,
+            shards: result.lanes,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::execute_reference;
+    use ads_core::adaptive::AdaptiveConfig;
+
+    fn cfg() -> AdaptiveConfig {
+        AdaptiveConfig {
+            target_zone_rows: 128,
+            min_zone_rows: 16,
+            max_zone_rows: 1024,
+            ..AdaptiveConfig::default()
+        }
+    }
+
+    const ALL_AGGS: [AggKind; 5] = [
+        AggKind::Count,
+        AggKind::Sum,
+        AggKind::Min,
+        AggKind::Max,
+        AggKind::Positions,
+    ];
+
+    #[test]
+    fn sharded_matches_reference_across_shard_and_thread_counts() {
+        let data: Vec<i64> = (0..7001).map(|i| (i * 2654435761i64) % 5000).collect();
+        for shards in [1, 3, 8] {
+            for threads in [1, 4] {
+                let column = ShardedColumn::new(data.clone(), shards);
+                let mut zm = ShardedZonemap::for_column(&column, cfg());
+                let policy = ExecPolicy {
+                    threads,
+                    min_rows_per_thread: 1,
+                };
+                for q in 0..20 {
+                    let lo = (q * 211) % 4500;
+                    let pred = RangePredicate::between(lo, lo + 400);
+                    let agg = ALL_AGGS[q as usize % ALL_AGGS.len()];
+                    let (got, m) = execute_sharded(&column, &mut zm, pred, agg, &policy);
+                    let want = execute_reference(&data, pred, agg);
+                    assert_eq!(got, want, "s={shards} t={threads} q={q} {agg:?}");
+                    assert_eq!(m.shards.len(), shards);
+                    assert_eq!(
+                        m.query.rows_matched,
+                        m.shards.iter().map(|l| l.rows_matched).sum::<u64>()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lane_metrics_attribute_rows_to_the_right_shard() {
+        // Sorted data: after adaptation a narrow predicate touches one
+        // shard only, and the others report skips, not scans.
+        let data: Vec<i64> = (0..4000).collect();
+        let column = ShardedColumn::new(data.clone(), 4);
+        let mut zm = ShardedZonemap::for_column(&column, cfg());
+        let pred = RangePredicate::between(100, 200);
+        let policy = ExecPolicy::sequential();
+        for _ in 0..3 {
+            execute_sharded(&column, &mut zm, pred, AggKind::Count, &policy);
+        }
+        let (_, m) = execute_sharded(&column, &mut zm, pred, AggKind::Count, &policy);
+        assert_eq!(m.shards[0].rows_matched, 101);
+        for lane in &m.shards[1..] {
+            assert_eq!(lane.rows_matched, 0, "shard {}", lane.shard);
+            assert_eq!(lane.rows_scanned, 0, "shard {} scanned", lane.shard);
+            assert!(lane.zones_skipped > 0, "shard {} skipped", lane.shard);
+        }
+    }
+
+    #[test]
+    fn empty_tail_shards_are_harmless() {
+        // 49 rows over 8 shards: chunk = 7, the first 7 shards cover
+        // everything and the 8th is empty.
+        let data: Vec<i64> = (0..49).collect();
+        let column = ShardedColumn::new(data.clone(), 8);
+        let mut zm = ShardedZonemap::for_column(&column, cfg());
+        let pred = RangePredicate::between(10, 39);
+        let (got, m) = execute_sharded(
+            &column,
+            &mut zm,
+            pred,
+            AggKind::Positions,
+            &ExecPolicy::sequential(),
+        );
+        let want = execute_reference(&data, pred, AggKind::Positions);
+        assert_eq!(got, want);
+        assert_eq!(m.shards.last().unwrap().rows, 0);
+    }
+}

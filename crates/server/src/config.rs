@@ -38,6 +38,10 @@ impl AdaptationMode {
 pub struct ServerConfig {
     /// Reader (worker) threads executing queries.
     pub readers: usize,
+    /// Contiguous shards the column is partitioned into. Each shard gets
+    /// its own zonemap lane, snapshot cell, and publication generation;
+    /// `1` reproduces the unsharded service exactly.
+    pub shards: usize,
     /// Bound of the request queue; admission beyond it sheds.
     pub queue_capacity: usize,
     /// Bound of the observation feedback channel; feedback beyond it is
@@ -64,6 +68,7 @@ impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
             readers: 4,
+            shards: 1,
             queue_capacity: 1024,
             feedback_capacity: 4096,
             batch_max: 256,
@@ -83,6 +88,7 @@ impl ServerConfig {
     /// [`crate::QueryService::start`] so misconfigurations fail fast.
     pub fn validate(&self) {
         assert!(self.readers >= 1, "readers must be >= 1");
+        assert!(self.shards >= 1, "shards must be >= 1");
         assert!(self.queue_capacity >= 1, "queue_capacity must be >= 1");
         assert!(
             self.feedback_capacity >= 1,
@@ -110,6 +116,16 @@ mod tests {
     fn zero_readers_rejected() {
         ServerConfig {
             readers: 0,
+            ..ServerConfig::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "shards must be >= 1")]
+    fn zero_shards_rejected() {
+        ServerConfig {
+            shards: 0,
             ..ServerConfig::default()
         }
         .validate();

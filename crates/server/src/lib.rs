@@ -7,19 +7,24 @@
 //! all queries behind one lock. This crate keeps the protocol intact but
 //! splits *where* its two halves run:
 //!
-//! * **Reads** execute against immutable [`Snapshot`]s — one frozen column
-//!   version paired with the zonemap state computed over exactly that
-//!   version — fetched through a generation-checked cache
-//!   ([`SnapshotCache`]) whose steady-state cost is a single atomic load.
-//!   Pruning uses the read-only `AdaptiveZonemap::prune_shared`, which is
-//!   decision-identical to the mutable prune.
-//! * **Adaptation** is deferred: each query's scan observations go into a
-//!   bounded feedback channel; a single maintenance thread drains them in
-//!   batches, replays the exact inline prune/observe sequence against the
-//!   authoritative zonemap (`AdaptiveZonemap::apply_feedback`), and
-//!   publishes fresh snapshots RCU-style. Appends serialise through the
-//!   same thread, so the zonemap always describes the column version it is
-//!   published with.
+//! * **Reads** execute against immutable [`ShardSnapshot`]s — one frozen
+//!   shard column version paired with the zonemap lane computed over
+//!   exactly that version — fetched through generation-checked per-lane
+//!   caches ([`ShardedCache`]) whose steady-state cost is one atomic load
+//!   per shard. Pruning uses the read-only
+//!   `AdaptiveZonemap::prune_shared`, which is decision-identical to the
+//!   mutable prune; the per-shard scans fan through one weighted parallel
+//!   map and merge deterministically in shard order.
+//! * **Adaptation** is deferred: each query's per-shard scan observations
+//!   go into a bounded feedback channel; a single maintenance thread
+//!   drains them in batches, replays the exact inline prune/observe
+//!   sequence against each authoritative zonemap lane
+//!   (`AdaptiveZonemap::apply_feedback`), and publishes fresh snapshots
+//!   RCU-style — **only into the shard lanes whose mutation epoch moved**,
+//!   so publication cost tracks the metadata that changed rather than the
+//!   whole map. Appends serialise through the same thread and route to the
+//!   tail shard, so each lane always describes the shard column version it
+//!   is published with.
 //!
 //! Answers are exact regardless of snapshot staleness; what staleness (or
 //! a full feedback channel dropping observations) costs is adaptation
@@ -42,5 +47,5 @@ pub mod stats;
 pub use config::{AdaptationMode, ServerConfig};
 pub use queue::{Bounded, PushError};
 pub use service::{QueryService, Reply, Request, SubmitError, Ticket};
-pub use snapshot::{Snapshot, SnapshotCache, SnapshotCell};
+pub use snapshot::{ShardSnapshot, ShardedCache, ShardedCell, SnapshotCache, SnapshotCell};
 pub use stats::{ServerStats, StatsCollector};

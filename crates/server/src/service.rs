@@ -1,33 +1,50 @@
 //! The concurrent query service.
 //!
-//! A [`QueryService`] owns one column and answers range-aggregate queries
-//! from a pool of reader threads. Its central idea is the separation the
-//! paper's inline protocol fuses: **query execution** (prune → scan →
-//! answer) runs against immutable published [`Snapshot`]s with no locks on
-//! the hot path, while **adaptation** (the observe/maintain side of the
-//! protocol) is applied asynchronously by a single maintenance thread that
-//! drains a bounded feedback channel, replays each query's prune/observe
-//! pair against the authoritative zonemap, and publishes fresh snapshots
-//! RCU-style.
+//! A [`QueryService`] owns one sharded column and answers range-aggregate
+//! queries from a pool of reader threads. Its central idea is the
+//! separation the paper's inline protocol fuses: **query execution**
+//! (prune → scan → answer) runs against immutable published
+//! [`ShardSnapshot`]s with no locks on the hot path, while **adaptation**
+//! (the observe/maintain side of the protocol) is applied asynchronously
+//! by a single maintenance thread that drains a bounded feedback channel,
+//! replays each query's per-shard prune/observe pairs against the
+//! authoritative zonemap lanes, and publishes fresh snapshots RCU-style —
+//! into **only the shard lanes whose zonemaps actually changed**, as told
+//! by each lane's mutation epoch.
 //!
 //! ## Correctness under staleness
 //!
-//! A reader may execute against a snapshot that is several publications
-//! old. This is safe by construction: a snapshot pairs the zonemap with
-//! exactly the column version it describes, so its prune decisions are
-//! sound for the data it scans. Staleness costs skipping opportunity (an
-//! older zonemap excludes fewer zones), never answers.
+//! A reader may execute against shard snapshots that are several
+//! publications old — and even a *mix* of publication rounds across
+//! shards. This is safe by construction: each shard snapshot pairs a
+//! zonemap lane with exactly the shard column version it describes, so its
+//! prune decisions are sound for the rows it scans, and the shards
+//! partition the column contiguously. Staleness costs skipping opportunity
+//! (an older lane excludes fewer zones), never answers.
 //!
 //! ## Convergence with the inline protocol
 //!
 //! [`AdaptiveZonemap::apply_feedback`] replays the *mutable* prune for its
 //! side effects and then feeds the reader's observations through
-//! `observe` — the exact inline sequence. With a single reader and a
-//! publication after every query, the authoritative zonemap therefore
-//! steps through the same states as an inline executor replaying the same
-//! query stream (tested in `tests/convergence.rs`). Under concurrency the
-//! trajectory interleaves differently but every intermediate state is one
-//! the inline protocol could have produced, and answers stay exact.
+//! `observe` — the exact inline sequence, applied lane by lane. With a
+//! single reader and a flush after every query, each authoritative lane
+//! therefore steps through the same states as an inline executor replaying
+//! the same query stream (tested in `tests/convergence.rs`). Under
+//! concurrency the trajectory interleaves differently but every
+//! intermediate state is one the inline protocol could have produced, and
+//! answers stay exact.
+//!
+//! ## Publication policy
+//!
+//! After each maintenance batch, a lane is republished only when its
+//! [`AdaptiveZonemap::mutation_epoch`] moved since its last publication
+//! (zones built, split, merged, deactivated, revived, or appended to) —
+//! per-query stat drift alone never forces a clone. A
+//! [`QueryService::flush`] barrier republishes **all** lanes
+//! unconditionally, so post-flush readers see the lanes' exact current
+//! state, statistics included. Republish cost is therefore proportional to
+//! the metadata that changed, not to the whole map
+//! (`ServerStats::republish_bytes` vs `ServerStats::whole_map_bytes`).
 //!
 //! ## Backpressure and shutdown
 //!
@@ -40,12 +57,12 @@
 
 use crate::config::{AdaptationMode, ServerConfig};
 use crate::queue::{Bounded, PushError};
-use crate::snapshot::{Snapshot, SnapshotCell};
+use crate::snapshot::{ShardSnapshot, ShardedCell};
 use crate::stats::{ServerStats, StatsCollector};
-use ads_core::adaptive::AdaptiveZonemap;
+use ads_core::adaptive::ShardedZonemap;
 use ads_core::{RangePredicate, ScanObservation, SkippingIndex};
-use ads_engine::{execute_with_policy, scan_pruned, AggKind, QueryAnswer};
-use ads_storage::{DataValue, RowRange, SharedColumn};
+use ads_engine::{execute_sharded, scan_sharded, AggKind, QueryAnswer, ShardScanInput};
+use ads_storage::{DataValue, RowRange, ShardedColumn, SharedColumn};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -81,7 +98,8 @@ pub enum Reply<T: DataValue> {
     Answer {
         /// The aggregate answer.
         answer: QueryAnswer<T>,
-        /// Version of the snapshot (column + zonemap) it ran against.
+        /// Sum of the per-shard snapshot versions the query ran against
+        /// (monotone: later queries never see a smaller value).
         snapshot_version: u64,
         /// Dequeue-to-answer wall time.
         wall_ns: u64,
@@ -133,29 +151,31 @@ struct Job<T: DataValue> {
 
 /// Messages into the maintenance thread. Feedback is shed-on-full
 /// (`try_send`); control messages block until accepted, and their acks are
-/// sent only after the resulting snapshot is published. FIFO ordering of
+/// sent only after the resulting snapshots are published. FIFO ordering of
 /// the one channel is what makes [`QueryService::flush`] a barrier: all
 /// feedback enqueued before the flush is applied before its ack.
 enum MaintMsg<T: DataValue> {
-    Feedback(ScanObservation<T>),
+    /// One query's scan observations — one entry per shard, in shard
+    /// order, shard-local coordinates.
+    Feedback(Vec<ScanObservation<T>>),
     Append(Vec<T>, SyncSender<()>),
     Flush(SyncSender<()>),
 }
 
 /// The mutable engine state of [`AdaptationMode::Inline`].
 struct InlineState<T: DataValue> {
-    data: SharedColumn<T>,
-    zonemap: AdaptiveZonemap<T>,
+    data: ShardedColumn<T>,
+    zonemap: ShardedZonemap<T>,
 }
 
 /// How queries reach data, per adaptation mode.
 enum Engine<T: DataValue> {
     /// Inline: the seed architecture — one mutable state, one query at a
     /// time, adaptation applied within the query. (Boxed: the zonemap is
-    /// two orders of magnitude bigger than a snapshot cell.)
+    /// two orders of magnitude bigger than the snapshot cells.)
     Inline(Box<Mutex<InlineState<T>>>),
-    /// Async/Frozen: immutable snapshots published RCU-style.
-    Snapshot(SnapshotCell<T>),
+    /// Async/Frozen: immutable per-shard snapshots published RCU-style.
+    Snapshot(ShardedCell<T>),
 }
 
 /// State shared between the service handle and its threads.
@@ -168,7 +188,7 @@ struct Shared<T: DataValue> {
 
 /// The service: a worker pool over a bounded request queue, plus (in
 /// async/frozen modes) a maintenance thread owning the authoritative
-/// zonemap. See the module docs for the architecture.
+/// column and zonemap lanes. See the module docs for the architecture.
 pub struct QueryService<T: DataValue> {
     shared: Arc<Shared<T>>,
     maint_tx: Option<SyncSender<MaintMsg<T>>>,
@@ -178,25 +198,33 @@ pub struct QueryService<T: DataValue> {
 }
 
 impl<T: DataValue> QueryService<T> {
-    /// Loads `data` and starts the worker pool (and, in async/frozen
-    /// modes, the maintenance thread).
+    /// Loads `data` into [`ServerConfig::shards`] shards and starts the
+    /// worker pool (and, in async/frozen modes, the maintenance thread).
     pub fn start(data: Vec<T>, config: ServerConfig) -> Self {
         config.validate();
-        let column = SharedColumn::new(data);
-        let zonemap = AdaptiveZonemap::new(column.len(), config.adaptive.clone());
+        let column = ShardedColumn::new(data, config.shards);
+        let zonemap = ShardedZonemap::for_column(&column, config.adaptive.clone());
 
         let inline = config.adaptation == AdaptationMode::Inline;
-        let engine = if inline {
-            Engine::Inline(Box::new(Mutex::new(InlineState {
+        // In snapshot modes the maintenance thread owns the authoritative
+        // column + zonemap; the cells only ever hold published clones.
+        let (engine, maint_state) = if inline {
+            let engine = Engine::Inline(Box::new(Mutex::new(InlineState {
                 data: column,
                 zonemap,
-            })))
+            })));
+            (engine, None)
         } else {
-            Engine::Snapshot(SnapshotCell::new(Snapshot {
-                data: column.clone(),
-                zonemap: zonemap.clone(),
-                version: 0,
-            }))
+            let initial = (0..column.num_shards())
+                .map(|s| ShardSnapshot {
+                    data: column.shard(s).clone(),
+                    zonemap: zonemap.lane(s).clone(),
+                    start: column.start(s),
+                    version: 0,
+                })
+                .collect();
+            let engine = Engine::Snapshot(ShardedCell::new(initial));
+            (engine, Some((column, zonemap)))
         };
 
         let shared = Arc::new(Shared {
@@ -206,27 +234,16 @@ impl<T: DataValue> QueryService<T> {
             config,
         });
 
-        // The maintenance thread owns the authoritative column + zonemap;
-        // the cell only ever holds published clones of them.
-        let (maint_tx, maint) = if inline {
-            (None, None)
-        } else {
+        let (maint_tx, maint) = if let Some((column, zonemap)) = maint_state {
             let (tx, rx) = sync_channel::<MaintMsg<T>>(shared.config.feedback_capacity);
             let sh = Arc::clone(&shared);
             let handle = std::thread::Builder::new()
                 .name("ads-maint".into())
-                .spawn(move || {
-                    let (column, zonemap) = match &sh.engine {
-                        Engine::Snapshot(cell) => {
-                            let s = cell.load();
-                            (s.data.clone(), s.zonemap.clone())
-                        }
-                        Engine::Inline(_) => unreachable!("inline mode has no maintenance"),
-                    };
-                    maintenance_loop(&sh, rx, column, zonemap);
-                })
+                .spawn(move || maintenance_loop(&sh, rx, column, zonemap))
                 .expect("spawn maintenance thread");
             (Some(tx), Some(handle))
+        } else {
+            (None, None)
         };
 
         let workers = (0..shared.config.readers)
@@ -285,16 +302,17 @@ impl<T: DataValue> QueryService<T> {
         self.submit(Request::new(predicate, agg)).map(Ticket::wait)
     }
 
-    /// Appends rows. Blocks until the rows are visible to new queries
-    /// (inline: immediately; async/frozen: once the maintenance thread has
-    /// published the extended snapshot).
+    /// Appends rows (routed to the tail shard). Blocks until the rows are
+    /// visible to new queries (inline: immediately; async/frozen: once the
+    /// maintenance thread has published the extended tail-shard snapshot).
     pub fn append(&self, rows: Vec<T>) {
         match (&self.shared.engine, &self.maint_tx) {
             (Engine::Inline(state), _) => {
                 let mut st = state.lock().expect("inline state poisoned");
                 let InlineState { data, zonemap } = &mut *st;
                 *data = data.append(&rows);
-                zonemap.on_append(&rows, data.as_slice());
+                let tail = data.num_shards() - 1;
+                zonemap.on_append_tail(&rows, data.shard(tail).as_slice());
                 self.shared.stats.record_append();
             }
             (Engine::Snapshot(_), Some(tx)) => {
@@ -308,8 +326,10 @@ impl<T: DataValue> QueryService<T> {
     }
 
     /// Barrier: blocks until all feedback enqueued before this call is
-    /// applied to the authoritative zonemap and a fresh snapshot is
-    /// published. A no-op in inline mode (adaptation is never deferred).
+    /// applied to the authoritative zonemap lanes and **every** shard is
+    /// freshly published (epoch-diffing is bypassed, so post-flush readers
+    /// see exact lane state including per-query statistics). A no-op in
+    /// inline mode (adaptation is never deferred).
     pub fn flush(&self) {
         if let Some(tx) = &self.maint_tx {
             let (ack_tx, ack_rx) = sync_channel(1);
@@ -329,19 +349,41 @@ impl<T: DataValue> QueryService<T> {
         self.started.elapsed()
     }
 
-    /// The latest published snapshot (`None` in inline mode, which has no
-    /// publications).
-    pub fn latest_snapshot(&self) -> Option<Arc<Snapshot<T>>> {
+    /// Number of shards the column is partitioned into.
+    pub fn num_shards(&self) -> usize {
         match &self.shared.engine {
-            Engine::Snapshot(cell) => Some(cell.load()),
+            Engine::Inline(state) => state
+                .lock()
+                .expect("inline state poisoned")
+                .data
+                .num_shards(),
+            Engine::Snapshot(cell) => cell.num_shards(),
+        }
+    }
+
+    /// The latest published snapshot of every shard lane, in shard order
+    /// (`None` in inline mode, which has no publications).
+    pub fn shard_snapshots(&self) -> Option<Vec<Arc<ShardSnapshot<T>>>> {
+        match &self.shared.engine {
+            Engine::Snapshot(cell) => Some(cell.load_all()),
             Engine::Inline(_) => None,
         }
     }
 
-    /// The structural state of the zonemap queries currently see: the
-    /// authoritative state in inline mode, the latest published snapshot
-    /// otherwise (call [`QueryService::flush`] first for an up-to-date
-    /// view).
+    /// Per-shard publication generations, in shard order (`None` in inline
+    /// mode). A lane's generation moves exactly when that lane is
+    /// republished, so diffing two reads tells which shards changed.
+    pub fn shard_generations(&self) -> Option<Vec<u64>> {
+        match &self.shared.engine {
+            Engine::Snapshot(cell) => Some(cell.generations()),
+            Engine::Inline(_) => None,
+        }
+    }
+
+    /// The structural state of the zonemap queries currently see, in
+    /// global row coordinates: the authoritative state in inline mode, the
+    /// latest published lane snapshots otherwise (call
+    /// [`QueryService::flush`] first for an up-to-date view).
     pub fn zone_snapshot(&self) -> Vec<(RowRange, &'static str, f64)> {
         match &self.shared.engine {
             Engine::Inline(state) => state
@@ -349,7 +391,21 @@ impl<T: DataValue> QueryService<T> {
                 .expect("inline state poisoned")
                 .zonemap
                 .zone_snapshot(),
-            Engine::Snapshot(cell) => cell.load().zonemap.zone_snapshot(),
+            Engine::Snapshot(cell) => {
+                let mut out = Vec::new();
+                for snap in cell.load_all() {
+                    let start = snap.start;
+                    out.extend(
+                        snap.zonemap
+                            .zone_snapshot()
+                            .into_iter()
+                            .map(|(r, label, rate)| {
+                                (RowRange::new(r.start + start, r.end + start), label, rate)
+                            }),
+                    );
+                }
+                out
+            }
         }
     }
 
@@ -407,9 +463,9 @@ fn worker_loop<T: DataValue>(
                 // the seed's single-writer architecture as a service mode.
                 let mut st = state.lock().expect("inline state poisoned");
                 let InlineState { data, zonemap } = &mut *st;
-                let version = data.version();
-                let (answer, metrics) = execute_with_policy(
-                    data.as_slice(),
+                let version = data.shards().iter().map(SharedColumn::version).sum();
+                let (answer, metrics) = execute_sharded(
+                    data,
                     zonemap,
                     job.request.predicate,
                     job.request.agg,
@@ -418,37 +474,54 @@ fn worker_loop<T: DataValue>(
                 Reply::Answer {
                     answer,
                     snapshot_version: version,
-                    wall_ns: metrics.wall_ns,
+                    wall_ns: metrics.query.wall_ns,
                 }
             }
             Engine::Snapshot(cell) => {
-                // Lock-free steady state: one atomic generation load, then
-                // a read-only prune and scan against the immutable snapshot.
-                let snap = cache
-                    .as_mut()
-                    .expect("snapshot mode has a cache")
-                    .refresh(cell);
-                let outcome = snap.zonemap.prune_shared(&job.request.predicate);
-                let (answer, observation, _) = scan_pruned(
-                    snap.data.as_slice(),
-                    &outcome,
+                // Lock-free steady state: one atomic generation load per
+                // lane, then read-only prunes and one fanned scan against
+                // the immutable shard snapshots. Lanes may be from
+                // different publication rounds — each is sound for its own
+                // shard, which is all the merge needs.
+                let cache = cache.as_mut().expect("snapshot mode has a cache");
+                cache.refresh(cell);
+                let lanes = cache.lanes();
+                let outcomes: Vec<_> = lanes
+                    .iter()
+                    .map(|lane| lane.current().zonemap.prune_shared(&job.request.predicate))
+                    .collect();
+                let inputs: Vec<ShardScanInput<'_, T>> = lanes
+                    .iter()
+                    .zip(&outcomes)
+                    .map(|(lane, outcome)| {
+                        let snap = lane.current();
+                        ShardScanInput {
+                            data: snap.data.as_slice(),
+                            outcome,
+                            start: snap.start,
+                        }
+                    })
+                    .collect();
+                let result = scan_sharded(
+                    &inputs,
                     job.request.predicate,
                     job.request.agg,
                     &shared.config.exec_policy,
                 );
+                let version = lanes.iter().map(|lane| lane.current().version).sum();
                 // Feedback goes out *before* the reply so a client that
                 // replies-then-flushes is guaranteed (by channel FIFO) to
                 // see its own query's adaptation applied.
                 if let Some(tx) = &feedback {
-                    match tx.try_send(MaintMsg::Feedback(observation)) {
+                    match tx.try_send(MaintMsg::Feedback(result.observations)) {
                         Ok(()) => shared.stats.record_feedback_queued(),
                         Err(TrySendError::Full(_)) => shared.stats.record_feedback_dropped(),
                         Err(TrySendError::Disconnected(_)) => {}
                     }
                 }
                 Reply::Answer {
-                    answer,
-                    snapshot_version: snap.version,
+                    answer: result.answer,
+                    snapshot_version: version,
                     wall_ns: t0.elapsed().as_nanos() as u64,
                 }
             }
@@ -461,23 +534,28 @@ fn worker_loop<T: DataValue>(
 }
 
 /// The maintenance thread: drain a batch, replay its feedback against the
-/// authoritative zonemap, publish one snapshot, ack control messages.
+/// authoritative zonemap lanes, publish the shards whose lanes changed,
+/// ack control messages.
 fn maintenance_loop<T: DataValue>(
     shared: &Shared<T>,
     rx: Receiver<MaintMsg<T>>,
-    mut column: SharedColumn<T>,
-    mut zonemap: AdaptiveZonemap<T>,
+    mut column: ShardedColumn<T>,
+    mut zonemap: ShardedZonemap<T>,
 ) {
     let cell = match &shared.engine {
         Engine::Snapshot(cell) => cell,
         Engine::Inline(_) => unreachable!("inline mode has no maintenance"),
     };
-    let mut version = 0u64;
+    let num_shards = column.num_shards();
+    let mut lane_versions = vec![0u64; num_shards];
+    // Epoch of each lane at its last publication; a lane is republished
+    // when its current epoch differs (or a flush forces it).
+    let mut published_epochs = zonemap.mutation_epochs();
 
     while let Ok(first) = rx.recv() {
         // Drain opportunistically up to the batch bound: one publication
-        // amortises over the whole batch, keeping reader staleness low
-        // without a snapshot-per-observation storm.
+        // round amortises over the whole batch, keeping reader staleness
+        // low without a snapshot-per-observation storm.
         let mut batch = vec![first];
         while batch.len() < shared.config.batch_max {
             match rx.try_recv() {
@@ -488,21 +566,30 @@ fn maintenance_loop<T: DataValue>(
 
         let mut acks: Vec<SyncSender<()>> = Vec::new();
         let mut applied = 0u64;
+        let mut force_all = false;
         for msg in batch {
             match msg {
-                MaintMsg::Feedback(obs) => {
-                    zonemap.apply_feedback(&obs);
+                MaintMsg::Feedback(observations) => {
+                    debug_assert_eq!(observations.len(), num_shards);
+                    for (s, obs) in observations.iter().enumerate() {
+                        zonemap.lane_mut(s).apply_feedback(obs);
+                    }
                     applied += 1;
                 }
                 MaintMsg::Append(rows, ack) => {
                     column = column.append(&rows);
-                    zonemap.on_append(&rows, column.as_slice());
+                    let tail = num_shards - 1;
+                    zonemap.on_append_tail(&rows, column.shard(tail).as_slice());
                     shared.stats.record_append();
                     acks.push(ack);
                 }
-                // Publishing is the whole point of a flush barrier, even
-                // if no feedback arrived since the last snapshot.
-                MaintMsg::Flush(ack) => acks.push(ack),
+                // A flush publishes every lane regardless of epochs:
+                // post-flush readers must see exact current lane state,
+                // per-query statistics included.
+                MaintMsg::Flush(ack) => {
+                    force_all = true;
+                    acks.push(ack);
+                }
             }
         }
 
@@ -510,17 +597,41 @@ fn maintenance_loop<T: DataValue>(
         // snapshot readers see the state an inline executor would start
         // the next query from.
         zonemap.poll_revival();
-        version += 1;
-        cell.publish(Snapshot {
-            data: column.clone(),
-            zonemap: zonemap.clone(),
-            version,
-        });
-        shared.stats.record_snapshot_published();
+        let epochs = zonemap.mutation_epochs();
+        let mut republished = 0u64;
+        let mut republish_bytes = 0u64;
+        let mut whole_map_bytes = 0u64;
+        for s in 0..num_shards {
+            whole_map_bytes += zonemap.lane(s).metadata_bytes() as u64;
+            if force_all || epochs[s] != published_epochs[s] {
+                lane_versions[s] += 1;
+                republish_bytes += zonemap.lane(s).metadata_bytes() as u64;
+                cell.publish_shard(
+                    s,
+                    ShardSnapshot {
+                        data: column.shard(s).clone(),
+                        zonemap: zonemap.lane(s).clone(),
+                        start: column.start(s),
+                        version: lane_versions[s],
+                    },
+                );
+                published_epochs[s] = epochs[s];
+                republished += 1;
+            }
+        }
+        if republished > 0 {
+            shared.stats.record_snapshot_published();
+            shared.stats.record_shards_republished(republished);
+            shared.stats.record_republish_bytes(republish_bytes);
+        }
+        // The counterfactual cost a whole-map publication scheme would
+        // have paid this round (the pre-sharding design cloned everything
+        // every round).
+        shared.stats.record_whole_map_bytes(whole_map_bytes);
         if applied > 0 {
             shared.stats.record_feedback_applied(applied);
         }
-        // Acks only after the publication: an acked append/flush is
+        // Acks only after the publications: an acked append/flush is
         // visible to every subsequent query.
         for ack in acks {
             let _ = ack.send(());

@@ -1,64 +1,78 @@
-//! Snapshot isolation: immutable query state published RCU-style.
+//! Snapshot isolation: immutable query state published RCU-style, one
+//! lane per shard.
 //!
-//! A [`Snapshot`] pairs one immutable column version with the zonemap
-//! state computed over exactly that version. Readers execute a whole query
-//! against one snapshot, so they can never mix stale metadata with newer
-//! data: a snapshot's zone bounds are sound for its own rows by
-//! construction, no matter how many publications have happened since.
-//! Staleness only costs skipping opportunity (an older zonemap may exclude
-//! fewer zones), never correctness.
+//! A [`ShardSnapshot`] pairs one immutable *shard* column version with the
+//! zonemap state computed over exactly that version. Readers execute a
+//! whole query against one snapshot per shard, so they can never mix stale
+//! metadata with newer data: a lane's zone bounds are sound for its own
+//! rows by construction, no matter how many publications have happened
+//! since — and because soundness is shard-local, a reader may even hold
+//! *different* publication rounds across lanes and still answer exactly
+//! (only the tail shard's data ever grows, so any mix of lanes is a
+//! consistent column prefix). Staleness only costs skipping opportunity,
+//! never correctness.
 //!
-//! Publication goes through a [`SnapshotCell`] — a single writer (the
-//! maintenance thread) installs a fresh `Arc<Snapshot>` and bumps a
-//! generation counter; readers keep a [`SnapshotCache`] and on every query
-//! do one atomic generation load. When the generation is unchanged (the
-//! overwhelmingly common case) the reader reuses its cached `Arc` and the
-//! hot path acquires **no lock and touches no shared cache line in write
-//! mode**. Only on a generation change does the reader take the slot mutex
-//! for the few nanoseconds an `Arc` clone costs.
+//! Publication goes through one [`SnapshotCell`] per shard, grouped in a
+//! [`ShardedCell`] — a single writer (the maintenance thread) installs a
+//! fresh `Arc` into exactly the lanes whose zonemaps changed and bumps
+//! each lane's generation counter; readers keep a [`ShardedCache`] and on
+//! every query do one atomic generation load per lane. When a generation
+//! is unchanged (the overwhelmingly common case) the reader reuses its
+//! cached `Arc` and the hot path acquires **no lock and touches no shared
+//! cache line in write mode**. Only a lane whose generation moved takes
+//! that lane's slot mutex for the few nanoseconds an `Arc` clone costs —
+//! republishing one shard never invalidates readers' caches for the
+//! untouched shards.
 
 use ads_core::adaptive::AdaptiveZonemap;
 use ads_storage::{DataValue, SharedColumn};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-/// One immutable, internally consistent unit of query state.
+/// One shard's immutable, internally consistent unit of query state.
 #[derive(Debug, Clone)]
-pub struct Snapshot<T: DataValue> {
-    /// The column version this snapshot answers against.
+pub struct ShardSnapshot<T: DataValue> {
+    /// The shard's column version this snapshot answers against.
     pub data: SharedColumn<T>,
-    /// Zonemap state frozen at publication; readers prune it via
+    /// The shard lane's zonemap state frozen at publication, in
+    /// shard-local row coordinates; readers prune it via
     /// [`AdaptiveZonemap::prune_shared`].
     pub zonemap: AdaptiveZonemap<T>,
-    /// Monotone publication number (0 = the initial snapshot).
+    /// Global row id of the shard's first row (fixed for the service's
+    /// lifetime: appends route to the tail shard and never shift starts).
+    pub start: usize,
+    /// Monotone per-lane publication number (0 = the initial snapshot).
     pub version: u64,
 }
 
-/// The publication point: one writer swaps snapshots in, many readers
-/// fetch them with a generation-checked fast path.
+/// The publication point for one payload: one writer swaps values in,
+/// many readers fetch them with a generation-checked fast path.
+///
+/// Generic over the payload so the same cell publishes whole snapshots in
+/// tests and [`ShardSnapshot`] lanes in the service.
 #[derive(Debug)]
-pub struct SnapshotCell<T: DataValue> {
+pub struct SnapshotCell<P> {
     /// Bumped (release) after each publication; readers poll it (acquire).
     generation: AtomicU64,
-    /// The current snapshot. Locked only by the publisher and by readers
+    /// The current value. Locked only by the publisher and by readers
     /// refreshing after a generation change.
-    slot: Mutex<Arc<Snapshot<T>>>,
+    slot: Mutex<Arc<P>>,
 }
 
-impl<T: DataValue> SnapshotCell<T> {
+impl<P> SnapshotCell<P> {
     /// Creates the cell holding `initial` as generation 0.
-    pub fn new(initial: Snapshot<T>) -> Self {
+    pub fn new(initial: P) -> Self {
         SnapshotCell {
             generation: AtomicU64::new(0),
             slot: Mutex::new(Arc::new(initial)),
         }
     }
 
-    /// Installs a new snapshot. Readers observe it on their next
+    /// Installs a new value. Readers observe it on their next
     /// [`SnapshotCache::refresh`]; existing readers keep their current
-    /// snapshot alive through its `Arc` until they drop it.
-    pub fn publish(&self, snapshot: Snapshot<T>) {
-        let arc = Arc::new(snapshot);
+    /// value alive through its `Arc` until they drop it.
+    pub fn publish(&self, value: P) {
+        let arc = Arc::new(value);
         *self.slot.lock().expect("snapshot slot poisoned") = arc;
         self.generation.fetch_add(1, Ordering::Release);
     }
@@ -68,14 +82,14 @@ impl<T: DataValue> SnapshotCell<T> {
         self.generation.load(Ordering::Acquire)
     }
 
-    /// Fetches the current snapshot (cold path: takes the slot lock).
+    /// Fetches the current value (cold path: takes the slot lock).
     /// Readers on the query path should use a [`SnapshotCache`] instead.
-    pub fn load(&self) -> Arc<Snapshot<T>> {
+    pub fn load(&self) -> Arc<P> {
         self.slot.lock().expect("snapshot slot poisoned").clone()
     }
 
-    /// A cache primed with the current snapshot.
-    pub fn cache(&self) -> SnapshotCache<T> {
+    /// A cache primed with the current value.
+    pub fn cache(&self) -> SnapshotCache<P> {
         SnapshotCache {
             generation: self.generation(),
             snapshot: self.load(),
@@ -83,19 +97,20 @@ impl<T: DataValue> SnapshotCell<T> {
     }
 }
 
-/// A reader's thread-local handle to the latest snapshot.
+/// A reader's thread-local handle to the latest published value of one
+/// [`SnapshotCell`].
 #[derive(Debug)]
-pub struct SnapshotCache<T: DataValue> {
+pub struct SnapshotCache<P> {
     generation: u64,
-    snapshot: Arc<Snapshot<T>>,
+    snapshot: Arc<P>,
 }
 
-impl<T: DataValue> SnapshotCache<T> {
-    /// Returns the latest snapshot, re-reading the cell only when the
+impl<P> SnapshotCache<P> {
+    /// Returns the latest value, re-reading the cell only when the
     /// generation moved. The steady-state cost is a single atomic load.
-    pub fn refresh(&mut self, cell: &SnapshotCell<T>) -> &Arc<Snapshot<T>> {
+    pub fn refresh(&mut self, cell: &SnapshotCell<P>) -> &Arc<P> {
         // Read the generation before the slot: if a publication lands
-        // between the two, we fetch the even-newer snapshot under an older
+        // between the two, we fetch the even-newer value under an older
         // recorded generation and simply re-fetch next time — never a
         // stale-forever or torn view.
         let generation = cell.generation.load(Ordering::Acquire);
@@ -106,9 +121,97 @@ impl<T: DataValue> SnapshotCache<T> {
         &self.snapshot
     }
 
-    /// The cached snapshot without checking for updates.
-    pub fn current(&self) -> &Arc<Snapshot<T>> {
+    /// The cached value without checking for updates.
+    pub fn current(&self) -> &Arc<P> {
         &self.snapshot
+    }
+
+    /// The generation the cached value was fetched under.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+}
+
+/// One [`SnapshotCell`] per shard: the publication surface of the sharded
+/// service. The maintenance thread publishes into exactly the lanes whose
+/// zonemaps changed; each lane's generation advances independently.
+#[derive(Debug)]
+pub struct ShardedCell<T: DataValue> {
+    lanes: Vec<SnapshotCell<ShardSnapshot<T>>>,
+}
+
+impl<T: DataValue> ShardedCell<T> {
+    /// Creates the cell group from the initial per-shard snapshots.
+    ///
+    /// # Panics
+    /// Panics when `initial` is empty.
+    pub fn new(initial: Vec<ShardSnapshot<T>>) -> Self {
+        assert!(!initial.is_empty(), "need at least one shard lane");
+        ShardedCell {
+            lanes: initial.into_iter().map(SnapshotCell::new).collect(),
+        }
+    }
+
+    /// Number of shard lanes (fixed for the service's lifetime).
+    pub fn num_shards(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Lane `s`'s cell.
+    pub fn lane(&self, s: usize) -> &SnapshotCell<ShardSnapshot<T>> {
+        &self.lanes[s]
+    }
+
+    /// Publishes a fresh snapshot into lane `s` only; every other lane's
+    /// generation — and therefore every reader's cached `Arc` for those
+    /// lanes — is untouched.
+    pub fn publish_shard(&self, s: usize, snapshot: ShardSnapshot<T>) {
+        self.lanes[s].publish(snapshot);
+    }
+
+    /// Per-lane publication generations, in shard order.
+    pub fn generations(&self) -> Vec<u64> {
+        self.lanes.iter().map(SnapshotCell::generation).collect()
+    }
+
+    /// Loads every lane's current snapshot (cold path: takes each slot
+    /// lock once).
+    pub fn load_all(&self) -> Vec<Arc<ShardSnapshot<T>>> {
+        self.lanes.iter().map(SnapshotCell::load).collect()
+    }
+
+    /// A cache primed with every lane's current snapshot.
+    pub fn cache(&self) -> ShardedCache<T> {
+        ShardedCache {
+            lanes: self.lanes.iter().map(SnapshotCell::cache).collect(),
+        }
+    }
+}
+
+/// A reader's per-lane snapshot caches; refreshing costs one atomic load
+/// per lane in the steady state.
+#[derive(Debug)]
+pub struct ShardedCache<T: DataValue> {
+    lanes: Vec<SnapshotCache<ShardSnapshot<T>>>,
+}
+
+impl<T: DataValue> ShardedCache<T> {
+    /// Refreshes every lane that has a newer publication; lanes whose
+    /// generation is unchanged keep their cached `Arc` untouched.
+    pub fn refresh(&mut self, cell: &ShardedCell<T>) {
+        for (cache, lane) in self.lanes.iter_mut().zip(&cell.lanes) {
+            cache.refresh(lane);
+        }
+    }
+
+    /// The cached lanes, in shard order.
+    pub fn lanes(&self) -> &[SnapshotCache<ShardSnapshot<T>>] {
+        &self.lanes
+    }
+
+    /// Cached per-lane generations, in shard order.
+    pub fn generations(&self) -> Vec<u64> {
+        self.lanes.iter().map(SnapshotCache::generation).collect()
     }
 }
 
@@ -117,22 +220,23 @@ mod tests {
     use super::*;
     use ads_core::adaptive::AdaptiveConfig;
 
-    fn snap(version: u64, rows: usize) -> Snapshot<i64> {
-        Snapshot {
+    fn shard_snap(start: usize, rows: usize, version: u64) -> ShardSnapshot<i64> {
+        ShardSnapshot {
             data: SharedColumn::new((0..rows as i64).collect()),
             zonemap: AdaptiveZonemap::new(rows, AdaptiveConfig::default()),
+            start,
             version,
         }
     }
 
     #[test]
     fn publish_advances_generation_and_readers_observe() {
-        let cell = SnapshotCell::new(snap(0, 100));
+        let cell = SnapshotCell::new(shard_snap(0, 100, 0));
         let mut cache = cell.cache();
         assert_eq!(cache.refresh(&cell).version, 0);
         assert_eq!(cell.generation(), 0);
 
-        cell.publish(snap(1, 200));
+        cell.publish(shard_snap(0, 200, 1));
         assert_eq!(cell.generation(), 1);
         let s = cache.refresh(&cell);
         assert_eq!(s.version, 1);
@@ -141,7 +245,7 @@ mod tests {
 
     #[test]
     fn unchanged_generation_reuses_the_cached_arc() {
-        let cell = SnapshotCell::new(snap(0, 10));
+        let cell = SnapshotCell::new(shard_snap(0, 10, 0));
         let mut cache = cell.cache();
         let a = Arc::as_ptr(cache.refresh(&cell));
         let b = Arc::as_ptr(cache.refresh(&cell));
@@ -150,17 +254,55 @@ mod tests {
 
     #[test]
     fn old_readers_keep_their_snapshot_alive() {
-        let cell = SnapshotCell::new(snap(0, 50));
+        let cell = SnapshotCell::new(shard_snap(0, 50, 0));
         let old = cell.load();
-        cell.publish(snap(1, 60));
+        cell.publish(shard_snap(0, 60, 1));
         // The old Arc still answers against its own consistent state.
         assert_eq!(old.data.len(), 50);
         assert_eq!(cell.load().data.len(), 60);
     }
 
     #[test]
+    fn single_shard_publish_bumps_exactly_one_generation() {
+        // The republish-cost bugfix, pinned: publishing shard 2 must bump
+        // that lane's generation and no other, and a reader refreshing
+        // afterwards must keep its cached Arc (same allocation, no slot
+        // lock taken) for every untouched lane.
+        let cell = ShardedCell::new((0..4).map(|s| shard_snap(s * 100, 100, 0)).collect());
+        let mut cache = cell.cache();
+        cache.refresh(&cell);
+        let before_gens = cache.generations();
+        let before_ptrs: Vec<_> = cache
+            .lanes()
+            .iter()
+            .map(|l| Arc::as_ptr(l.current()))
+            .collect();
+        assert_eq!(before_gens, vec![0, 0, 0, 0]);
+
+        cell.publish_shard(2, shard_snap(200, 100, 1));
+        assert_eq!(cell.generations(), vec![0, 0, 1, 0]);
+
+        cache.refresh(&cell);
+        let after_gens = cache.generations();
+        for s in 0..4 {
+            if s == 2 {
+                assert_eq!(after_gens[s], before_gens[s] + 1);
+                assert_ne!(Arc::as_ptr(cache.lanes()[s].current()), before_ptrs[s]);
+                assert_eq!(cache.lanes()[s].current().version, 1);
+            } else {
+                assert_eq!(after_gens[s], before_gens[s], "lane {s} generation moved");
+                assert_eq!(
+                    Arc::as_ptr(cache.lanes()[s].current()),
+                    before_ptrs[s],
+                    "lane {s} cache invalidated by an unrelated publish"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn concurrent_readers_see_a_prefix_consistent_sequence() {
-        let cell = Arc::new(SnapshotCell::new(snap(0, 8)));
+        let cell = Arc::new(SnapshotCell::new(shard_snap(0, 8, 0)));
         std::thread::scope(|scope| {
             for _ in 0..4 {
                 let cell = Arc::clone(&cell);
@@ -175,7 +317,7 @@ mod tests {
                 });
             }
             for v in 1..=64 {
-                cell.publish(snap(v, 8));
+                cell.publish(shard_snap(0, 8, v));
             }
         });
         assert_eq!(cell.load().version, 64);

@@ -25,8 +25,16 @@ pub struct StatsCollector {
     feedback_queued: AtomicU64,
     /// Observations the maintenance thread has applied.
     feedback_applied: AtomicU64,
-    /// Snapshots published (the initial snapshot is not counted).
+    /// Publication rounds that republished at least one shard (the
+    /// initial snapshots are not counted).
     snapshots_published: AtomicU64,
+    /// Individual shard lanes republished across all rounds.
+    shards_republished: AtomicU64,
+    /// Zonemap metadata bytes actually cloned for republished lanes.
+    republish_bytes: AtomicU64,
+    /// Counterfactual bytes a whole-map (every lane, every round)
+    /// publication scheme would have cloned over the same rounds.
+    whole_map_bytes: AtomicU64,
     /// Append batches applied.
     appends: AtomicU64,
     /// One latency shard per worker, locked only by that worker (and by
@@ -45,6 +53,9 @@ impl StatsCollector {
             feedback_queued: AtomicU64::new(0),
             feedback_applied: AtomicU64::new(0),
             snapshots_published: AtomicU64::new(0),
+            shards_republished: AtomicU64::new(0),
+            republish_bytes: AtomicU64::new(0),
+            whole_map_bytes: AtomicU64::new(0),
             appends: AtomicU64::new(0),
             latency_shards: (0..workers.max(1))
                 .map(|_| Mutex::new(LatencyHistogram::new()))
@@ -84,6 +95,18 @@ impl StatsCollector {
         self.snapshots_published.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub(crate) fn record_shards_republished(&self, n: u64) {
+        self.shards_republished.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_republish_bytes(&self, bytes: u64) {
+        self.republish_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_whole_map_bytes(&self, bytes: u64) {
+        self.whole_map_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
     pub(crate) fn record_append(&self) {
         self.appends.fetch_add(1, Ordering::Relaxed);
     }
@@ -105,6 +128,9 @@ impl StatsCollector {
             feedback_applied,
             adaptation_lag: feedback_queued.saturating_sub(feedback_applied),
             snapshots_published: self.snapshots_published.load(Ordering::Relaxed),
+            shards_republished: self.shards_republished.load(Ordering::Relaxed),
+            republish_bytes: self.republish_bytes.load(Ordering::Relaxed),
+            whole_map_bytes: self.whole_map_bytes.load(Ordering::Relaxed),
             appends: self.appends.load(Ordering::Relaxed),
             queue_depth,
             latency,
@@ -129,8 +155,19 @@ pub struct ServerStats {
     /// Observations queued but not yet applied — how far adaptation lags
     /// behind execution right now.
     pub adaptation_lag: u64,
-    /// Snapshots published since start (initial snapshot excluded).
+    /// Publication rounds that republished at least one shard since start
+    /// (initial snapshots excluded).
     pub snapshots_published: u64,
+    /// Individual shard lanes republished across all rounds; divide by
+    /// `snapshots_published` for the average republish fan-out.
+    pub shards_republished: u64,
+    /// Zonemap metadata bytes actually cloned for republished lanes —
+    /// the real publication cost of the epoch-diffed scheme.
+    pub republish_bytes: u64,
+    /// Bytes a whole-map publication scheme (every lane cloned every
+    /// round) would have paid over the same rounds; `republish_bytes /
+    /// whole_map_bytes` is the publication-cost saving of sharding.
+    pub whole_map_bytes: u64,
     /// Append batches applied.
     pub appends: u64,
     /// Request-queue depth at sampling time.
@@ -155,13 +192,16 @@ impl ServerStats {
     pub fn summary(&self) -> String {
         format!(
             "queries={} shed={} deadline_missed={} feedback_applied={} lag={} \
-             snapshots={} appends={} p50={}ns p95={}ns p99={}ns",
+             snapshots={} shards_republished={} republish_bytes={} appends={} \
+             p50={}ns p95={}ns p99={}ns",
             self.queries,
             self.shed,
             self.deadline_missed,
             self.feedback_applied,
             self.adaptation_lag,
             self.snapshots_published,
+            self.shards_republished,
+            self.republish_bytes,
             self.appends,
             self.latency.p50_ns(),
             self.latency.p95_ns(),
@@ -187,6 +227,9 @@ mod tests {
         c.record_feedback_applied(1);
         c.record_feedback_dropped();
         c.record_snapshot_published();
+        c.record_shards_republished(3);
+        c.record_republish_bytes(1_024);
+        c.record_whole_map_bytes(4_096);
         c.record_append();
 
         let s = c.snapshot(5);
@@ -197,6 +240,9 @@ mod tests {
         assert_eq!(s.feedback_applied, 1);
         assert_eq!(s.adaptation_lag, 1);
         assert_eq!(s.snapshots_published, 1);
+        assert_eq!(s.shards_republished, 3);
+        assert_eq!(s.republish_bytes, 1_024);
+        assert_eq!(s.whole_map_bytes, 4_096);
         assert_eq!(s.appends, 1);
         assert_eq!(s.queue_depth, 5);
         assert_eq!(s.latency.count(), 3);

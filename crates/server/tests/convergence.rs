@@ -10,10 +10,11 @@
 //! `zone_snapshot()`), answer-by-answer, and for the frozen mode's
 //! contract (exact answers, no adaptation at all).
 
-use ads_core::adaptive::{AdaptiveConfig, AdaptiveZonemap};
+use ads_core::adaptive::{AdaptiveConfig, AdaptiveZonemap, ShardedZonemap};
 use ads_core::RangePredicate;
-use ads_engine::{execute, execute_reference, AggKind};
+use ads_engine::{execute, execute_reference, execute_sharded, AggKind, ExecPolicy};
 use ads_server::{AdaptationMode, QueryService, Reply, ServerConfig};
+use ads_storage::ShardedColumn;
 use ads_workloads::{data, queries};
 
 const ROWS: usize = 40_000;
@@ -127,6 +128,64 @@ fn async_convergence_holds_on_adversarial_uniform_data() {
     inline_zm.poll_revival();
     assert_eq!(svc.zone_snapshot(), inline_zm.zone_snapshot());
     drop(svc);
+}
+
+#[test]
+fn sharded_async_with_flush_matches_sharded_inline_replay() {
+    // The sharded generalisation of the serialized-equivalence proof: at
+    // four shards, a single reader flushing after every query must drive
+    // every authoritative zonemap lane through the identical trajectory
+    // the sharded executor produces inline on the same stream.
+    const SHARDS: usize = 4;
+    let column = data::clustered(ROWS, 80, 0.05, DOMAIN, 42);
+    let preds = queries::hotspot_ranges(QUERIES, DOMAIN, 0.05, 0.3, 0.2, 7);
+    let adaptive = AdaptiveConfig::default();
+
+    let sharded = ShardedColumn::new(column.clone(), SHARDS);
+    let mut inline_zm = ShardedZonemap::for_column(&sharded, adaptive.clone());
+    let policy = ExecPolicy::sequential();
+    let inline_answers: Vec<u64> = preds
+        .iter()
+        .map(|q| {
+            let pred = RangePredicate::between(q.lo, q.hi);
+            let (ans, _) = execute_sharded(&sharded, &mut inline_zm, pred, AggKind::Count, &policy);
+            ans.count
+        })
+        .collect();
+
+    let svc = QueryService::start(
+        column,
+        ServerConfig {
+            shards: SHARDS,
+            adaptive,
+            ..config(AdaptationMode::Async)
+        },
+    );
+    for (i, q) in preds.iter().enumerate() {
+        let pred = RangePredicate::between(q.lo, q.hi);
+        let reply = svc.query(pred, AggKind::Count).expect("admitted");
+        assert_eq!(
+            reply.answer().expect("no deadline").count,
+            inline_answers[i],
+            "query {i} diverged"
+        );
+        svc.flush();
+    }
+
+    inline_zm.poll_revival();
+    assert_eq!(
+        svc.zone_snapshot(),
+        inline_zm.zone_snapshot(),
+        "sharded async adaptation reached a different state than inline"
+    );
+
+    let stats = svc.shutdown();
+    assert_eq!(stats.feedback_applied, QUERIES as u64);
+    assert_eq!(stats.adaptation_lag, 0);
+    // Each flush force-publishes every lane, so the per-shard counters
+    // must have seen at least SHARDS lanes per flush round.
+    assert!(stats.shards_republished >= (SHARDS * QUERIES) as u64);
+    assert!(stats.republish_bytes <= stats.whole_map_bytes);
 }
 
 #[test]

@@ -12,6 +12,7 @@ use ads_core::RangePredicate;
 use ads_engine::{execute_reference, AggKind};
 use ads_server::{AdaptationMode, QueryService, Reply, Request, ServerConfig};
 use ads_workloads::{data, queries};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 const ROWS: usize = 30_000;
@@ -142,6 +143,99 @@ fn inline_mode_is_safe_under_concurrent_clients() {
         }
     });
     svc.shutdown();
+}
+
+#[test]
+fn sharded_async_mode_is_exact_under_racing_appends_and_flushes() {
+    const SHARDS: usize = 8;
+    let base = data::clustered(ROWS, 24, 0.05, DOMAIN, 9);
+    let svc = QueryService::start(
+        base.clone(),
+        ServerConfig {
+            readers: 4,
+            shards: SHARDS,
+            adaptation: AdaptationMode::Async,
+            ..ServerConfig::default()
+        },
+    );
+    assert_eq!(svc.num_shards(), SHARDS);
+
+    let rounds = 6 * iters();
+    let per_client = 80 * iters();
+    std::thread::scope(|scope| {
+        let svc = &svc;
+        let base = &base;
+        // Readers race queries strictly below DOMAIN. The writer's appends
+        // only add values in [DOMAIN, 2*DOMAIN), so the reference answer
+        // on the base column stays bit-exact no matter when an append
+        // becomes visible to a given reader.
+        for c in 0..3usize {
+            scope.spawn(move || {
+                let preds = queries::uniform_ranges(per_client, DOMAIN, 0.04, 4_000 + c as u64);
+                for (i, q) in preds.iter().enumerate() {
+                    let pred = RangePredicate::between(q.lo, q.hi);
+                    let agg = AGGS[(c + i) % AGGS.len()];
+                    let reply = svc.query(pred, agg).expect("admitted");
+                    let got = reply.answer().expect("no deadline set");
+                    let want = execute_reference(base, pred, agg);
+                    assert_eq!(*got, want, "client {c} query {i} {agg:?}");
+                }
+            });
+        }
+        // One writer thread: appends and flush barriers racing the readers.
+        scope.spawn(move || {
+            for round in 0..rounds {
+                let batch: Vec<i64> = (0..257)
+                    .map(|i| DOMAIN + ((i as i64 * 31 + round as i64) % DOMAIN))
+                    .collect();
+                svc.append(batch);
+                svc.flush();
+            }
+        });
+    });
+
+    // Every append was acked, so the full tail must be visible now.
+    let total = (ROWS + rounds * 257) as u64;
+    let all = RangePredicate::between(0, 2 * DOMAIN);
+    let reply = svc.query(all, AggKind::Count).expect("admitted");
+    assert_eq!(reply.answer().expect("no deadline").count, total);
+
+    // Quiesce, then prove publication is per-shard: an append republishes
+    // the tail lane only — every untouched lane keeps both its publication
+    // generation and its exact Arc, so reader caches for those shards are
+    // not invalidated.
+    svc.flush();
+    let gens_before = svc.shard_generations().expect("async mode publishes");
+    let snaps_before = svc.shard_snapshots().expect("async mode publishes");
+    svc.append(vec![DOMAIN; 64]);
+    let gens_after = svc.shard_generations().expect("async mode publishes");
+    let snaps_after = svc.shard_snapshots().expect("async mode publishes");
+    for s in 0..SHARDS {
+        if s == SHARDS - 1 {
+            assert!(gens_after[s] > gens_before[s], "tail lane not republished");
+            assert_eq!(snaps_after[s].data.len(), snaps_before[s].data.len() + 64);
+        } else {
+            assert_eq!(
+                gens_after[s], gens_before[s],
+                "lane {s} generation moved on a tail-shard append"
+            );
+            assert!(
+                Arc::ptr_eq(&snaps_before[s], &snaps_after[s]),
+                "lane {s} snapshot re-cloned on a tail-shard append"
+            );
+        }
+    }
+
+    let stats = svc.shutdown();
+    assert_eq!(stats.appends, rounds as u64 + 1);
+    assert!(stats.shards_republished >= stats.snapshots_published);
+    // Epoch-diffed publication never pays more than the whole-map clone
+    // the pre-sharding scheme would have.
+    assert!(stats.republish_bytes <= stats.whole_map_bytes);
+    assert_eq!(
+        stats.feedback_applied + stats.adaptation_lag + stats.feedback_dropped,
+        stats.queries
+    );
 }
 
 #[test]

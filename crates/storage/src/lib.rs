@@ -26,6 +26,7 @@ pub mod error;
 pub mod parallel;
 pub mod ranges;
 pub mod scan;
+pub mod sharded;
 pub mod shared;
 pub mod strings;
 pub mod table;
@@ -36,6 +37,7 @@ pub use catalog::Catalog;
 pub use column::Column;
 pub use error::{Result, StorageError};
 pub use ranges::{RangeSet, RowRange};
+pub use sharded::ShardedColumn;
 pub use shared::SharedColumn;
 pub use strings::{AppendEffect, DictColumn};
 pub use table::{AnyColumn, ColumnAccess, Table};

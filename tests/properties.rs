@@ -6,14 +6,16 @@
 //! every index structure, checked against a straight-scan reference.
 
 use adaptive_data_skipping::baselines::{ColumnImprints, CrackerColumn, SortedOracle};
+use adaptive_data_skipping::core::adaptive::ShardedZonemap;
 use adaptive_data_skipping::core::adaptive::{AdaptiveConfig, AdaptiveZonemap};
 use adaptive_data_skipping::core::{
     RangeObservation, RangePredicate, ScanObservation, SkippingIndex, StaticZonemap,
 };
+use adaptive_data_skipping::engine::execute_sharded;
 use adaptive_data_skipping::engine::{
     execute, execute_reference, execute_with_policy, AggKind, ExecPolicy, Strategy,
 };
-use adaptive_data_skipping::storage::{scan, Bitmap, DataValue, RangeSet};
+use adaptive_data_skipping::storage::{scan, Bitmap, DataValue, RangeSet, ShardedColumn};
 use ads_rng::StdRng;
 use std::cmp::Ordering;
 
@@ -213,6 +215,49 @@ fn parallel_execution_is_equivalent_to_sequential() {
                 par_zm.zone_snapshot(),
                 "case {case} t={threads}: adaptation diverged"
             );
+        }
+    }
+}
+
+#[test]
+fn sharded_execution_matches_reference_on_random_workloads() {
+    // Random data lengths (including lengths below the shard count and
+    // zero), random predicates, every aggregate, shard counts {1, 3, 8},
+    // sequential and parallel policies: the sharded path must agree with
+    // the straight-scan reference everywhere, f64 sums bit-for-bit.
+    const AGGS: [AggKind; 5] = [
+        AggKind::Count,
+        AggKind::Sum,
+        AggKind::Min,
+        AggKind::Max,
+        AggKind::Positions,
+    ];
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x5AAD ^ case);
+        let data = gen_data(&mut rng, 3000);
+        let preds = gen_preds(&mut rng, 2, 10);
+        for shards in [1usize, 3, 8] {
+            let policy = ExecPolicy {
+                threads: rng.gen_range(1..5usize),
+                min_rows_per_thread: 1,
+            };
+            let column = ShardedColumn::new(data.clone(), shards);
+            let mut zonemap = ShardedZonemap::for_column(&column, test_config());
+            for (qi, pred) in preds.iter().enumerate() {
+                let agg = AGGS[qi % AGGS.len()];
+                let (got, _) = execute_sharded(&column, &mut zonemap, *pred, agg, &policy);
+                let want = execute_reference(&data, *pred, agg);
+                let ctx = format!("case {case} shards={shards} q{qi} {agg:?}");
+                assert_eq!(got.count, want.count, "count {ctx}");
+                assert_eq!(
+                    got.sum.map(f64::to_bits),
+                    want.sum.map(f64::to_bits),
+                    "sum bits {ctx}"
+                );
+                assert_eq!(got.min, want.min, "min {ctx}");
+                assert_eq!(got.max, want.max, "max {ctx}");
+                assert_eq!(got.positions, want.positions, "positions {ctx}");
+            }
         }
     }
 }
