@@ -12,6 +12,7 @@
 //!   adaptive-indexing-by-reorganisation alternative.
 //! * [`SortedOracle`] — a fully sorted projection; the upper bound.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cracking;

@@ -9,6 +9,8 @@
 //! harness --out results        # also write CSVs (default: results/)
 //! ```
 
+#![forbid(unsafe_code)]
+
 use ads_bench::experiments;
 use ads_bench::runner::Scale;
 use std::path::PathBuf;

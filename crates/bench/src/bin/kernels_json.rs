@@ -6,6 +6,8 @@
 //! kernels_json --out path.json --markdown        # custom path + README table on stdout
 //! ```
 
+#![forbid(unsafe_code)]
+
 use ads_bench::kernels;
 use std::path::PathBuf;
 

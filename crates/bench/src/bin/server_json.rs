@@ -6,6 +6,8 @@
 //! server_json --out path.json --markdown       # custom path + README table on stdout
 //! ```
 
+#![forbid(unsafe_code)]
+
 use ads_bench::server_bench;
 use std::path::PathBuf;
 

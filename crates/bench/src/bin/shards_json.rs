@@ -6,6 +6,8 @@
 //! shards_json --out path.json --markdown       # custom path + README table on stdout
 //! ```
 
+#![forbid(unsafe_code)]
+
 use ads_bench::shard_bench;
 use std::path::PathBuf;
 

@@ -11,6 +11,7 @@
 //! cargo bench -p ads-bench
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod experiments;

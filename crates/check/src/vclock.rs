@@ -1,0 +1,92 @@
+//! Vector clocks: the happens-before bookkeeping of the model checker.
+//!
+//! Every model thread carries a [`VClock`]; every executed operation ticks
+//! the thread's own component. Synchronizing operations (mutex acquire,
+//! acquire-load of a release-store, join) merge clocks, which is exactly
+//! the happens-before relation the weak-memory visibility rules in
+//! `sched` consult.
+
+/// A grow-on-demand vector clock indexed by model thread id.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub(crate) struct VClock {
+    slots: Vec<u32>,
+}
+
+impl VClock {
+    /// The empty clock (happens-before everything).
+    pub(crate) fn new() -> Self {
+        VClock { slots: Vec::new() }
+    }
+
+    /// Component `tid`.
+    pub(crate) fn get(&self, tid: usize) -> u32 {
+        self.slots.get(tid).copied().unwrap_or(0)
+    }
+
+    /// Advances our own component by one event.
+    pub(crate) fn tick(&mut self, tid: usize) {
+        if self.slots.len() <= tid {
+            self.slots.resize(tid + 1, 0);
+        }
+        self.slots[tid] += 1;
+    }
+
+    /// Pointwise maximum: after `self.join(o)`, everything ordered before
+    /// `o` is ordered before us too.
+    pub(crate) fn join(&mut self, other: &VClock) {
+        if self.slots.len() < other.slots.len() {
+            self.slots.resize(other.slots.len(), 0);
+        }
+        for (s, o) in self.slots.iter_mut().zip(&other.slots) {
+            *s = (*s).max(*o);
+        }
+    }
+
+    /// True when every component of `self` is <= the matching component of
+    /// `other` — i.e. the event stamped `self` happens-before (or equals)
+    /// the view `other`.
+    pub(crate) fn le(&self, other: &VClock) -> bool {
+        self.slots
+            .iter()
+            .enumerate()
+            .all(|(i, &v)| v <= other.get(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tick_and_get() {
+        let mut c = VClock::new();
+        assert_eq!(c.get(2), 0);
+        c.tick(2);
+        c.tick(2);
+        assert_eq!(c.get(2), 2);
+        assert_eq!(c.get(0), 0);
+    }
+
+    #[test]
+    fn join_is_pointwise_max() {
+        let mut a = VClock::new();
+        a.tick(0);
+        let mut b = VClock::new();
+        b.tick(1);
+        b.tick(1);
+        a.join(&b);
+        assert_eq!(a.get(0), 1);
+        assert_eq!(a.get(1), 2);
+    }
+
+    #[test]
+    fn le_is_happens_before() {
+        let mut a = VClock::new();
+        a.tick(0);
+        let mut b = a.clone();
+        b.tick(1);
+        assert!(a.le(&b));
+        assert!(!b.le(&a));
+        assert!(VClock::new().le(&a));
+    }
+}

@@ -11,6 +11,8 @@
 //! adskip> compare 100 1
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod repl;
 
 use repl::Repl;
@@ -23,6 +25,8 @@ fn main() {
     let mut stdout = std::io::stdout();
     loop {
         print!("adskip> ");
+        // invariant: stdout writes in an interactive shell only fail when
+        // the terminal is gone, at which point exiting via panic is fine.
         stdout.flush().expect("stdout flush");
         let mut line = String::new();
         match stdin.lock().read_line(&mut line) {

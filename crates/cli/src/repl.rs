@@ -151,6 +151,7 @@ impl Repl {
                 };
                 let data = dist.generate(rows, self.domain, self.seed);
                 self.rebuild_session(data, dist.label());
+                // invariant: rebuild_session always sets self.session.
                 let session = self.session.as_ref().expect("just built");
                 Ok(format!(
                     "loaded {} rows of {} data; index: {} (built in {:.2}ms)",

@@ -62,6 +62,8 @@ impl<T: DataValue> AdaptiveZonemap<T> {
                 None => false,
             };
             if can_extend {
+                // invariant: can_extend is only true when merged is non-
+                // empty.
                 let prev = merged.last_mut().expect("checked non-empty");
                 let (pmin, pmax, pexact) = match prev.state {
                     ZoneState::Built { min, max, exact } => (min, max, exact),
@@ -242,6 +244,7 @@ impl<T: DataValue> AdaptiveZonemap<T> {
 
 /// Exponential backoff: `base << (deactivations - 1)`, saturating.
 fn revival_backoff(base: u64, deactivations: u16) -> u64 {
+    // narrowing: shift is clamped to <= 20, far below u32::MAX.
     let shift = deactivations.saturating_sub(1).min(20) as u32;
     base.saturating_mul(1u64 << shift)
 }

@@ -65,6 +65,7 @@ impl<T: DataValue> ShardedZonemap<T> {
 
     /// Total rows covered across all lanes.
     pub fn len(&self) -> usize {
+        // invariant: constructors reject empty lane sets (both lines).
         self.starts.last().expect("at least one lane")
             + self.lanes.last().expect("at least one lane").len()
     }
@@ -101,6 +102,7 @@ impl<T: DataValue> ShardedZonemap<T> {
     pub fn on_append_tail(&mut self, appended: &[T], tail_base: &[T]) {
         self.lanes
             .last_mut()
+            // invariant: constructors reject empty lane sets.
             .expect("at least one lane")
             .on_append(appended, tail_base);
     }

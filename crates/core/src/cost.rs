@@ -66,6 +66,7 @@ impl CostModel {
         let zones: Vec<(i64, i64)> = data
             .chunks(64)
             .map(|c| {
+                // invariant: chunks() never yields an empty slice.
                 let (min, max) = ads_storage::scan::min_max(c).expect("non-empty chunk");
                 (min, max)
             })
@@ -73,6 +74,7 @@ impl CostModel {
         let t1 = Instant::now();
         let mut skipped = 0usize;
         for &(min, max) in &zones {
+            // narrowing: bool -> usize is 0 or 1 by definition.
             skipped += (max < 0 || min > i64::MAX / 2) as usize;
         }
         std::hint::black_box(skipped);
@@ -88,6 +90,8 @@ impl CostModel {
     /// skipped zone saves `rows` tuple-scans and costs one probe, so zones
     /// below this row count are never worth probing.
     pub fn min_profitable_zone_rows(&self) -> usize {
+        // narrowing: probe_cost_tuples is a small non-negative model
+        // constant (row counts), far below 2^52.
         self.probe_cost_tuples.ceil() as usize
     }
 

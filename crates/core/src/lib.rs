@@ -61,6 +61,7 @@
 //! assert!(outcome.rows_to_scan() < 10_000);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod activation;

@@ -24,6 +24,7 @@ impl MaskRequest {
         if span <= 0.0 {
             return 0;
         }
+        // narrowing: clamped to [0, 63] on the previous expression.
         (((v - self.lo_f) / span) * 64.0).clamp(0.0, 63.0) as u32
     }
 

@@ -49,6 +49,7 @@ impl<T: DataValue> StaticZonemap<T> {
             len: data.len(),
         };
         for c in data.chunks(zone_rows) {
+            // invariant: chunks() never yields an empty slice.
             let (min, max) = scan::min_max(c).expect("chunks are non-empty");
             zm.mins.push(min);
             zm.maxs.push(max);
@@ -116,6 +117,8 @@ impl<T: DataValue> SkippingIndex<T> for StaticZonemap<T> {
             let last = self.mins.len() - 1;
             let start = last * self.zone_rows;
             let end = (start + self.zone_rows).min(base.len());
+            // invariant: start < base.len() here, so the partial zone
+            // slice is non-empty.
             let (min, max) = scan::min_max(&base[start..end]).expect("partial zone is non-empty");
             self.mins[last] = min;
             self.maxs[last] = max;
@@ -123,6 +126,7 @@ impl<T: DataValue> SkippingIndex<T> for StaticZonemap<T> {
         let covered = self.mins.len() * self.zone_rows;
         if base.len() > covered {
             for c in base[covered..].chunks(self.zone_rows) {
+                // invariant: chunks() never yields an empty slice.
                 let (min, max) = scan::min_max(c).expect("chunks are non-empty");
                 self.mins.push(min);
                 self.maxs.push(max);

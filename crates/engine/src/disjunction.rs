@@ -99,6 +99,8 @@ pub fn execute_disjunction<T: DataValue>(
         // comparison sort over the (potentially large) match list.
         let mut bm = Bitmap::new(data.len());
         for &p in positions.iter() {
+            // narrowing: positions are u32 row ids; usize is at least 32
+            // bits on supported targets.
             bm.set(p as usize);
         }
         *positions = bm.to_positions();

@@ -138,6 +138,9 @@ pub fn execute_with_policy<T: DataValue>(
             ScanCoords::Base => data,
             ScanCoords::View => index
                 .view()
+                // invariant: ScanCoords::View is only reported by indexes
+                // that expose a view (checked by the SkippingIndex
+                // contract tests).
                 .expect("view-coordinate index must expose a view"),
         };
         scan_pruned(target, &outcome, pred, agg, policy)
@@ -305,6 +308,8 @@ pub(crate) fn merge_item_results<T: DataValue>(
                 };
                 if take_full {
                     let f = full_ranges[fi];
+                    // narrowing: row ids are u32 by the storage contract
+                    // (columns are bounded to u32::MAX rows).
                     positions.extend(f.start as u32..f.end as u32);
                     answer.count += f.len() as u64;
                     fi += 1;

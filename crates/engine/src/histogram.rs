@@ -17,6 +17,7 @@ const SUB_BITS: u32 = 3;
 const SUB: u64 = 1 << SUB_BITS;
 /// Total bucket count: exact values `0..SUB`, then `SUB` sub-buckets for
 /// each of the `64 - SUB_BITS` octaves a `u64` can occupy.
+// narrowing: compile-time constant far below usize::MAX.
 const BUCKETS: usize = (SUB + (64 - SUB_BITS) as u64 * SUB) as usize;
 
 /// A mergeable latency histogram over `u64` nanosecond samples.
@@ -33,10 +34,12 @@ pub struct LatencyHistogram {
 #[inline]
 fn bucket_of(v: u64) -> usize {
     if v < SUB {
+        // narrowing: v < SUB (a small constant) here.
         return v as usize;
     }
     let msb = 63 - v.leading_zeros(); // >= SUB_BITS
     let sub = (v >> (msb - SUB_BITS)) & (SUB - 1);
+    // narrowing: bucket index is bounded by BUCKETS, a small constant.
     (SUB + (msb - SUB_BITS) as u64 * SUB + sub) as usize
 }
 

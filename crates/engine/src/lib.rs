@@ -13,6 +13,7 @@
 //! * [`TableSession`] — conjunctive multi-column filtering by candidate
 //!   range intersection.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod disjunction;

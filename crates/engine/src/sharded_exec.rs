@@ -167,6 +167,8 @@ pub fn scan_sharded<T: DataValue>(
             // Lane positions are shard-local and sorted; shards are
             // contiguous in shard order, so offset-and-append keeps the
             // global list sorted.
+            // narrowing: shard starts are u32 row ids by the storage
+            // contract.
             positions.extend(p.into_iter().map(|pos| pos + input.start as u32));
         }
         rows_scanned_total += lane_rows_scanned;

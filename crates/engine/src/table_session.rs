@@ -282,6 +282,8 @@ impl TableSession {
                     let word_base = start + w * 64;
                     let mut m = word;
                     while m != 0 {
+                        // narrowing: trailing_zeros of a u64 is at most
+                        // 64.
                         total += value_as_f64(col, word_base + m.trailing_zeros() as usize);
                         m &= m - 1;
                     }
@@ -297,6 +299,8 @@ impl TableSession {
                 let idx = self
                     .indexes
                     .get_mut(name)
+                    // invariant: phase 1 iterated the same map without
+                    // removing entries.
                     .expect("index existed in phase 1");
                 observe_any(idx, &pred, obs);
             }

@@ -1,0 +1,130 @@
+//! CLI for `ads-lint`: walk a source tree, run every rule, print
+//! `path:line: [rule] message` diagnostics, and exit non-zero when any
+//! survive the allowlist — CI-gateable with no configuration beyond an
+//! optional `lint-allow.txt` at the root.
+//!
+//! Usage: `ads-lint [--allowlist FILE] [ROOT]`
+//!
+//! ROOT defaults to the current directory; the allowlist defaults to
+//! `ROOT/lint-allow.txt` when present.
+
+#![forbid(unsafe_code)]
+
+use ads_lint::{scan_file, Allowlist, FileCtx};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut allowlist_path: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--allowlist" => match args.next() {
+                Some(p) => allowlist_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("ads-lint: --allowlist requires a file argument");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: ads-lint [--allowlist FILE] [ROOT]");
+                return ExitCode::SUCCESS;
+            }
+            other if !other.starts_with('-') => root = PathBuf::from(other),
+            other => {
+                eprintln!("ads-lint: unknown flag {other:?}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let allowlist = {
+        let path = allowlist_path.unwrap_or_else(|| root.join("lint-allow.txt"));
+        if path.exists() {
+            let text = match std::fs::read_to_string(&path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("ads-lint: cannot read {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            };
+            match Allowlist::parse(&text) {
+                Ok(a) => a,
+                Err(e) => {
+                    eprintln!("ads-lint: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        } else {
+            Allowlist::default()
+        }
+    };
+
+    let mut files = Vec::new();
+    collect_rs_files(&root, &mut files);
+    files.sort();
+
+    let mut shown = 0usize;
+    let mut suppressed = 0usize;
+    for file in &files {
+        let src = match std::fs::read_to_string(file) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("ads-lint: cannot read {}: {e}", file.display());
+                return ExitCode::from(2);
+            }
+        };
+        let rel = relative_slash_path(&root, file);
+        for d in scan_file(&FileCtx::new(rel), &src) {
+            if allowlist.permits(&d) {
+                suppressed += 1;
+            } else {
+                println!("{d}");
+                shown += 1;
+            }
+        }
+    }
+
+    eprintln!(
+        "ads-lint: {} file(s), {shown} finding(s), {suppressed} allowlisted",
+        files.len()
+    );
+    if shown > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Recursively collects `.rs` files, skipping build output, VCS
+/// metadata, and hidden directories.
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(_) => return,
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(&path, out);
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Root-relative path with forward slashes, matching allowlist entries
+/// and FileCtx expectations on every platform.
+fn relative_slash_path(root: &Path, file: &Path) -> String {
+    let rel = file.strip_prefix(root).unwrap_or(file);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}

@@ -1,0 +1,262 @@
+//! Fixture tests for every ads-lint rule: each fixture is an inline
+//! source string scanned through the public API, with positive cases
+//! (the rule fires at the right line) and negative cases (justified or
+//! out-of-scope code stays clean).
+
+use ads_lint::{scan_file, strip_source, test_mask, Allowlist, Diagnostic, FileCtx};
+
+fn rules_at(diags: &[Diagnostic]) -> Vec<(&'static str, usize)> {
+    diags.iter().map(|d| (d.rule, d.line)).collect()
+}
+
+fn scan(path: &str, src: &str) -> Vec<Diagnostic> {
+    scan_file(&FileCtx::new(path), src)
+}
+
+// ---------------------------------------------------------------- lexer
+
+#[test]
+fn lexer_strips_strings_and_comments() {
+    let src = "let x = \"Ordering::Relaxed .unwrap()\"; // ordering: not code\n\
+               let y = 1; /* as u32 */\n";
+    let lines = strip_source(src);
+    assert!(!lines[0].code.contains("Relaxed"));
+    assert!(lines[0].comment.contains("ordering:"));
+    assert!(!lines[1].code.contains("u32"));
+    assert!(lines[1].comment.contains("as u32"));
+}
+
+#[test]
+fn lexer_handles_raw_strings_and_chars() {
+    let src = "let s = r#\"x.unwrap() \"quoted\" \"#;\n\
+               let c = '\"'; let l: &'static str = \"ok\";\n\
+               let esc = '\\n'; x.unwrap();\n";
+    let lines = strip_source(src);
+    assert!(!lines[0].code.contains("unwrap"), "{:?}", lines[0].code);
+    // The double quote hidden in a char literal must not open a string.
+    assert!(!lines[1].code.contains("ok"));
+    // Code after an escaped char literal is still seen.
+    assert!(lines[2].code.contains(".unwrap()"));
+}
+
+#[test]
+fn lexer_handles_nested_block_comments() {
+    let src = "/* outer /* inner */ still comment .unwrap() */ let x = 1;\n";
+    let lines = strip_source(src);
+    assert!(!lines[0].code.contains("unwrap"));
+    assert!(lines[0].code.contains("let x = 1;"));
+}
+
+#[test]
+fn test_mask_tracks_cfg_test_modules() {
+    let src = "fn prod() { x.unwrap(); }\n\
+               #[cfg(test)]\n\
+               mod tests {\n\
+                   fn t() { y.unwrap(); }\n\
+               }\n\
+               fn prod2() {}\n";
+    let lines = strip_source(src);
+    let mask = test_mask(&lines);
+    assert_eq!(mask, vec![false, true, true, true, true, false]);
+}
+
+// ------------------------------------------------------ ordering-comment
+
+#[test]
+fn ordering_comment_fires_without_justification() {
+    let src = "use std::sync::atomic::Ordering;\n\
+               fn f(a: &AtomicU64) { a.load(Ordering::Acquire); }\n";
+    let diags = scan("crates/core/src/x.rs", src);
+    assert_eq!(rules_at(&diags), vec![("ordering-comment", 2)]);
+}
+
+#[test]
+fn ordering_comment_accepts_adjacent_marker() {
+    let src = "fn f(a: &AtomicU64) {\n\
+                   // ordering: Acquire — pairs with publish().\n\
+                   a.load(Ordering::Acquire);\n\
+               }\n";
+    assert!(scan("crates/core/src/x.rs", src).is_empty());
+}
+
+#[test]
+fn ordering_comment_ignores_cmp_ordering() {
+    let src = "fn f() -> std::cmp::Ordering { std::cmp::Ordering::Less }\n\
+               fn g(o: Ordering) { matches!(o, Ordering::Equal); }\n";
+    assert!(scan("crates/core/src/x.rs", src).is_empty());
+}
+
+#[test]
+fn ordering_comment_applies_to_test_code_too() {
+    // Concurrency tests document their orderings like production code.
+    let src = "#[cfg(test)]\nmod tests {\n fn t(a: &AtomicU64) { a.load(Ordering::Relaxed); }\n}\n";
+    let diags = scan("crates/core/src/x.rs", src);
+    assert_eq!(rules_at(&diags), vec![("ordering-comment", 3)]);
+}
+
+// ------------------------------------------------------ unwrap-invariant
+
+#[test]
+fn unwrap_fires_in_production_code() {
+    let src = "fn f() { x.unwrap(); }\nfn g() { y.expect(\"m\"); }\n";
+    let diags = scan("crates/core/src/x.rs", src);
+    assert_eq!(
+        rules_at(&diags),
+        vec![("unwrap-invariant", 1), ("unwrap-invariant", 2)]
+    );
+}
+
+#[test]
+fn unwrap_accepts_invariant_tag() {
+    let src = "fn f() {\n\
+                   // invariant: the queue is non-empty after push above.\n\
+                   x.unwrap();\n\
+               }\n";
+    assert!(scan("crates/core/src/x.rs", src).is_empty());
+}
+
+#[test]
+fn unwrap_exempt_in_tests_benches_examples() {
+    let src = "fn f() { x.unwrap(); }\n";
+    for path in [
+        "crates/core/tests/t.rs",
+        "tests/integration.rs",
+        "examples/demo.rs",
+        "crates/bench/src/report.rs",
+    ] {
+        assert!(scan(path, src).is_empty(), "{path} should be exempt");
+    }
+}
+
+#[test]
+fn unwrap_exempt_inside_cfg_test_module() {
+    let src = "fn prod() {}\n\
+               #[cfg(test)]\n\
+               mod tests {\n\
+                   #[test]\n\
+                   fn t() { x.unwrap(); }\n\
+               }\n";
+    assert!(scan("crates/core/src/x.rs", src).is_empty());
+}
+
+// -------------------------------------------------------- cast-narrowing
+
+#[test]
+fn cast_narrowing_fires_on_bare_casts() {
+    let src = "fn f(x: u64) -> u32 { x as u32 }\nfn g(x: u64) -> usize { x as usize }\n";
+    let diags = scan("crates/core/src/x.rs", src);
+    assert_eq!(
+        rules_at(&diags),
+        vec![("cast-narrowing", 1), ("cast-narrowing", 2)]
+    );
+}
+
+#[test]
+fn cast_narrowing_accepts_marker_and_ignores_widening() {
+    let src = "fn f(x: u64) -> u32 {\n\
+                   // narrowing: x < u32::MAX by the block-size bound.\n\
+                   x as u32\n\
+               }\n\
+               fn g(x: u32) -> u64 { x as u64 }\n\
+               fn h() { let alias = x; }\n";
+    assert!(scan("crates/core/src/x.rs", src).is_empty());
+}
+
+#[test]
+fn cast_narrowing_needs_token_boundary() {
+    // `alias u32`-style substrings and identifiers ending in `as` must
+    // not match.
+    let src = "fn f() { let canvas_u32 = 1; bias_usize(); }\n";
+    assert!(scan("crates/core/src/x.rs", src).is_empty());
+}
+
+// --------------------------------------------------------- atomic-import
+
+#[test]
+fn atomic_import_fires_only_in_server_outside_sync() {
+    let src = "use std::sync::atomic::{AtomicU64, Ordering};\n";
+    let diags = scan("crates/server/src/stats.rs", src);
+    assert_eq!(rules_at(&diags), vec![("atomic-import", 1)]);
+    assert!(scan("crates/server/src/sync.rs", src).is_empty());
+    assert!(scan("crates/core/src/x.rs", src).is_empty());
+}
+
+// ---------------------------------------------------------- unsafe rules
+
+#[test]
+fn unsafe_allow_needs_design_pointer() {
+    let bad = "#![allow(unsafe_code)]\n";
+    let diags = scan("crates/core/src/x.rs", bad);
+    assert_eq!(rules_at(&diags), vec![("unsafe-allow", 1)]);
+
+    let good = "// SIMD intrinsics; see DESIGN.md \"unsafe policy\".\n#![allow(unsafe_code)]\n";
+    assert!(scan("crates/core/src/x.rs", good).is_empty());
+}
+
+#[test]
+fn forbid_unsafe_required_in_crate_roots() {
+    let bare = "pub fn f() {}\n";
+    for root in [
+        "crates/core/src/lib.rs",
+        "crates/cli/src/main.rs",
+        "crates/bench/src/bin/harness.rs",
+    ] {
+        let diags = scan(root, bare);
+        assert_eq!(rules_at(&diags), vec![("forbid-unsafe", 1)], "{root}");
+    }
+    // Non-root modules don't need the attribute.
+    assert!(scan("crates/core/src/scan.rs", bare).is_empty());
+    // Roots that carry it are clean.
+    let good = "#![forbid(unsafe_code)]\npub fn f() {}\n";
+    assert!(scan("crates/core/src/lib.rs", good).is_empty());
+}
+
+// ------------------------------------------------------------- allowlist
+
+#[test]
+fn allowlist_suppresses_by_rule_and_prefix() {
+    let allow = Allowlist::parse(
+        "# kernel modules may narrow under block-size guards\n\
+         cast-narrowing crates/storage/\n\
+         \n\
+         ordering-comment crates/check/src/\n",
+    )
+    .unwrap();
+    assert_eq!(allow.len(), 2);
+
+    let hit = |rule, path: &str| Diagnostic {
+        rule,
+        path: path.into(),
+        line: 1,
+        msg: String::new(),
+    };
+    assert!(allow.permits(&hit("cast-narrowing", "crates/storage/src/scan.rs")));
+    // Different rule, same path: not suppressed.
+    assert!(!allow.permits(&hit("unwrap-invariant", "crates/storage/src/scan.rs")));
+    // Same rule, different path: not suppressed.
+    assert!(!allow.permits(&hit("cast-narrowing", "crates/server/src/stats.rs")));
+}
+
+#[test]
+fn allowlist_rejects_malformed_lines() {
+    assert!(Allowlist::parse("just-one-field\n").is_err());
+    assert!(Allowlist::parse("rule path extra-field\n").is_err());
+}
+
+// ------------------------------------------------------------ end-to-end
+
+#[test]
+fn scan_reports_diagnostics_in_line_order_with_display_format() {
+    let src = "fn f(a: &AtomicU64) { a.store(1, Ordering::Release); }\n\
+               fn g() { x.unwrap(); }\n";
+    let diags = scan("crates/core/src/x.rs", src);
+    assert_eq!(
+        rules_at(&diags),
+        vec![("ordering-comment", 1), ("unwrap-invariant", 2)]
+    );
+    assert_eq!(
+        diags[0].to_string(),
+        "crates/core/src/x.rs:1: [ordering-comment] `Ordering::Release` \
+         without an adjacent `// ordering:` justification"
+    );
+}

@@ -15,6 +15,7 @@
 //! assert_eq!(a.gen_range(0..1_000_000i64), b.gen_range(0..1_000_000i64));
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::ops::{Range, RangeInclusive};

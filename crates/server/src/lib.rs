@@ -38,11 +38,14 @@
 //! [`QueryService::shutdown`], and a stats surface ([`ServerStats`]) with
 //! a shared latency histogram.
 
+#![forbid(unsafe_code)]
+
 pub mod config;
 pub mod queue;
 pub mod service;
 pub mod snapshot;
 pub mod stats;
+pub mod sync;
 
 pub use config::{AdaptationMode, ServerConfig};
 pub use queue::{Bounded, PushError};

@@ -8,8 +8,8 @@
 //! is already queued and then receive `None` — the graceful-shutdown
 //! contract: accepted work is always finished.
 
+use crate::sync::{Condvar, Mutex};
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
 
 /// Why a push was rejected.
 #[derive(Debug, PartialEq, Eq)]
@@ -49,6 +49,8 @@ impl<T> Bounded<T> {
 
     /// Admits `item`, or rejects it without blocking.
     pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        // invariant: queue closures never panic while holding the lock,
+        // so poisoning means the process is already tearing down.
         let mut inner = self.inner.lock().expect("queue poisoned");
         if inner.closed {
             return Err(PushError::Closed(item));
@@ -65,6 +67,7 @@ impl<T> Bounded<T> {
     /// Takes the next item, blocking while the queue is open and empty.
     /// Returns `None` once the queue is closed *and* drained.
     pub fn pop(&self) -> Option<T> {
+        // invariant: see try_push — lock poisoning is unrecoverable.
         let mut inner = self.inner.lock().expect("queue poisoned");
         loop {
             if let Some(item) = inner.items.pop_front() {
@@ -73,12 +76,14 @@ impl<T> Bounded<T> {
             if inner.closed {
                 return None;
             }
+            // invariant: see try_push — lock poisoning is unrecoverable.
             inner = self.not_empty.wait(inner).expect("queue poisoned");
         }
     }
 
     /// Current depth (for stats; racy by nature).
     pub fn len(&self) -> usize {
+        // invariant: see try_push — lock poisoning is unrecoverable.
         self.inner.lock().expect("queue poisoned").items.len()
     }
 
@@ -90,6 +95,7 @@ impl<T> Bounded<T> {
     /// Stops admission. Queued items remain poppable; blocked consumers
     /// wake and drain.
     pub fn close(&self) {
+        // invariant: see try_push — lock poisoning is unrecoverable.
         self.inner.lock().expect("queue poisoned").closed = true;
         self.not_empty.notify_all();
     }

@@ -59,12 +59,12 @@ use crate::config::{AdaptationMode, ServerConfig};
 use crate::queue::{Bounded, PushError};
 use crate::snapshot::{ShardSnapshot, ShardedCell};
 use crate::stats::{ServerStats, StatsCollector};
+use crate::sync::{Arc, Mutex};
 use ads_core::adaptive::ShardedZonemap;
 use ads_core::{RangePredicate, ScanObservation, SkippingIndex};
 use ads_engine::{execute_sharded, scan_sharded, AggKind, QueryAnswer, ShardScanInput};
 use ads_storage::{DataValue, RowRange, ShardedColumn, SharedColumn};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
-use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -139,6 +139,8 @@ impl<T: DataValue> Ticket<T> {
     /// to, including during shutdown (the queue drains before workers
     /// exit).
     pub fn wait(self) -> Reply<T> {
+        // invariant: every admitted Job's reply sender is used before the
+        // worker drops it — shutdown drains the queue before joining.
         self.rx.recv().expect("worker vanished without replying")
     }
 }
@@ -240,6 +242,8 @@ impl<T: DataValue> QueryService<T> {
             let handle = std::thread::Builder::new()
                 .name("ads-maint".into())
                 .spawn(move || maintenance_loop(&sh, rx, column, zonemap))
+                // invariant: thread spawn fails only on resource
+                // exhaustion at startup; nothing to degrade to.
                 .expect("spawn maintenance thread");
             (Some(tx), Some(handle))
         } else {
@@ -257,6 +261,7 @@ impl<T: DataValue> QueryService<T> {
                 std::thread::Builder::new()
                     .name(format!("ads-worker-{id}"))
                     .spawn(move || worker_loop(&sh, id, tx))
+                    // invariant: see the maintenance spawn above.
                     .expect("spawn worker thread")
             })
             .collect();
@@ -308,6 +313,8 @@ impl<T: DataValue> QueryService<T> {
     pub fn append(&self, rows: Vec<T>) {
         match (&self.shared.engine, &self.maint_tx) {
             (Engine::Inline(state), _) => {
+                // invariant: the inline engine never panics mid-update;
+                // poisoning means the process is already torn.
                 let mut st = state.lock().expect("inline state poisoned");
                 let InlineState { data, zonemap } = &mut *st;
                 *data = data.append(&rows);
@@ -318,7 +325,11 @@ impl<T: DataValue> QueryService<T> {
             (Engine::Snapshot(_), Some(tx)) => {
                 let (ack_tx, ack_rx) = sync_channel(1);
                 tx.send(MaintMsg::Append(rows, ack_tx))
+                    // invariant: the maintenance thread outlives the
+                    // service handle; it exits only after maint_tx drops.
                     .expect("maintenance thread gone");
+                // invariant: see above — the ack sender is never dropped
+                // unsent while the maintenance thread lives.
                 ack_rx.recv().expect("maintenance thread gone");
             }
             (Engine::Snapshot(_), None) => unreachable!("snapshot mode without maintenance"),
@@ -333,8 +344,10 @@ impl<T: DataValue> QueryService<T> {
     pub fn flush(&self) {
         if let Some(tx) = &self.maint_tx {
             let (ack_tx, ack_rx) = sync_channel(1);
+            // invariant: see append — maintenance outlives the handle.
             tx.send(MaintMsg::Flush(ack_tx))
                 .expect("maintenance thread gone");
+            // invariant: see append — maintenance outlives the handle.
             ack_rx.recv().expect("maintenance thread gone");
         }
     }
@@ -354,6 +367,7 @@ impl<T: DataValue> QueryService<T> {
         match &self.shared.engine {
             Engine::Inline(state) => state
                 .lock()
+                // invariant: see append — poisoning is unrecoverable.
                 .expect("inline state poisoned")
                 .data
                 .num_shards(),
@@ -388,6 +402,7 @@ impl<T: DataValue> QueryService<T> {
         match &self.shared.engine {
             Engine::Inline(state) => state
                 .lock()
+                // invariant: see append — poisoning is unrecoverable.
                 .expect("inline state poisoned")
                 .zonemap
                 .zone_snapshot(),
@@ -461,6 +476,7 @@ fn worker_loop<T: DataValue>(
             Engine::Inline(state) => {
                 // The whole prune → scan → observe span under one lock:
                 // the seed's single-writer architecture as a service mode.
+                // invariant: see append — poisoning is unrecoverable.
                 let mut st = state.lock().expect("inline state poisoned");
                 let InlineState { data, zonemap } = &mut *st;
                 let version = data.shards().iter().map(SharedColumn::version).sum();
@@ -483,6 +499,8 @@ fn worker_loop<T: DataValue>(
                 // the immutable shard snapshots. Lanes may be from
                 // different publication rounds — each is sound for its own
                 // shard, which is all the merge needs.
+                // invariant: the cache is Some exactly when the engine is
+                // Snapshot — both match on the same enum above.
                 let cache = cache.as_mut().expect("snapshot mode has a cache");
                 cache.refresh(cell);
                 let lanes = cache.lanes();

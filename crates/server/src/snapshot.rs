@@ -24,10 +24,10 @@
 //! republishing one shard never invalidates readers' caches for the
 //! untouched shards.
 
+use crate::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::{Arc, Mutex};
 use ads_core::adaptive::AdaptiveZonemap;
 use ads_storage::{DataValue, SharedColumn};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
 
 /// One shard's immutable, internally consistent unit of query state.
 #[derive(Debug, Clone)]
@@ -73,18 +73,26 @@ impl<P> SnapshotCell<P> {
     /// value alive through its `Arc` until they drop it.
     pub fn publish(&self, value: P) {
         let arc = Arc::new(value);
+        // invariant: single-writer publication; a poisoned slot means a
+        // reader panicked mid-clone, which is already a torn process.
         *self.slot.lock().expect("snapshot slot poisoned") = arc;
+        // ordering: Release — the bump publishes the slot store above;
+        // a reader that Acquire-loads the new generation and then takes
+        // the slot lock is guaranteed to see the new Arc.
         self.generation.fetch_add(1, Ordering::Release);
     }
 
     /// The current publication generation.
     pub fn generation(&self) -> u64 {
+        // ordering: Acquire — pairs with the Release bump in publish();
+        // seeing generation g makes publication g's slot store visible.
         self.generation.load(Ordering::Acquire)
     }
 
     /// Fetches the current value (cold path: takes the slot lock).
     /// Readers on the query path should use a [`SnapshotCache`] instead.
     pub fn load(&self) -> Arc<P> {
+        // invariant: see publish() — slot poisoning is unrecoverable.
         self.slot.lock().expect("snapshot slot poisoned").clone()
     }
 
@@ -113,6 +121,9 @@ impl<P> SnapshotCache<P> {
         // between the two, we fetch the even-newer value under an older
         // recorded generation and simply re-fetch next time — never a
         // stale-forever or torn view.
+        //
+        // ordering: Acquire — pairs with the Release bump in publish();
+        // model-checked in tests/model.rs (snapshot_cell_* suites).
         let generation = cell.generation.load(Ordering::Acquire);
         if generation != self.generation {
             self.snapshot = cell.load();

@@ -5,9 +5,9 @@
 //! contend on one histogram lock. [`StatsCollector::snapshot`] folds
 //! everything into an immutable [`ServerStats`] for reporting.
 
+use crate::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::Mutex;
 use ads_engine::LatencyHistogram;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
 use std::time::Duration;
 
 /// Shared counters + per-worker latency shards.
@@ -64,50 +64,68 @@ impl StatsCollector {
     }
 
     pub(crate) fn record_query(&self, worker: usize, wall_ns: u64) {
+        // ordering: Relaxed — monotone counter; RMW atomicity alone
+        // guarantees no lost increment, and no other memory is
+        // published through it (model-checked in tests/model.rs).
         self.queries.fetch_add(1, Ordering::Relaxed);
         self.latency_shards[worker % self.latency_shards.len()]
             .lock()
+            // invariant: LatencyHistogram::record never panics, so the
+            // shard lock cannot be poisoned by its only writer.
             .expect("latency shard poisoned")
             .record(wall_ns);
     }
 
     pub(crate) fn record_shed(&self) {
+        // ordering: Relaxed — monotone counter; see record_query.
         self.shed.fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn record_deadline_missed(&self) {
+        // ordering: Relaxed — monotone counter; see record_query.
         self.deadline_missed.fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn record_feedback_dropped(&self) {
+        // ordering: Relaxed — monotone counter; see record_query.
         self.feedback_dropped.fetch_add(1, Ordering::Relaxed);
     }
 
-    pub(crate) fn record_feedback_queued(&self) {
+    /// Public (not `pub(crate)`) so the model-check suite can drive the
+    /// queued/applied race directly; harmless to external callers.
+    pub fn record_feedback_queued(&self) {
+        // ordering: Relaxed — monotone counter; see record_query.
         self.feedback_queued.fetch_add(1, Ordering::Relaxed);
     }
 
-    pub(crate) fn record_feedback_applied(&self, n: u64) {
+    /// Public for the model-check suite; see record_feedback_queued.
+    pub fn record_feedback_applied(&self, n: u64) {
+        // ordering: Relaxed — monotone counter; see record_query.
         self.feedback_applied.fetch_add(n, Ordering::Relaxed);
     }
 
     pub(crate) fn record_snapshot_published(&self) {
+        // ordering: Relaxed — monotone counter; see record_query.
         self.snapshots_published.fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn record_shards_republished(&self, n: u64) {
+        // ordering: Relaxed — monotone counter; see record_query.
         self.shards_republished.fetch_add(n, Ordering::Relaxed);
     }
 
     pub(crate) fn record_republish_bytes(&self, bytes: u64) {
+        // ordering: Relaxed — monotone counter; see record_query.
         self.republish_bytes.fetch_add(bytes, Ordering::Relaxed);
     }
 
     pub(crate) fn record_whole_map_bytes(&self, bytes: u64) {
+        // ordering: Relaxed — monotone counter; see record_query.
         self.whole_map_bytes.fetch_add(bytes, Ordering::Relaxed);
     }
 
     pub(crate) fn record_append(&self) {
+        // ordering: Relaxed — monotone counter; see record_query.
         self.appends.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -116,21 +134,40 @@ impl StatsCollector {
     pub fn snapshot(&self, queue_depth: usize) -> ServerStats {
         let mut latency = LatencyHistogram::new();
         for shard in &self.latency_shards {
+            // invariant: see record_query — shard locks never poison.
             latency.merge(&shard.lock().expect("latency shard poisoned"));
         }
+        // ordering: Relaxed — the two loads are not a consistent cut: the
+        // maintenance thread may apply observations between them, so
+        // `applied` can exceed the `queued` value read here. The lag is
+        // therefore computed with saturating_sub below; it can read low
+        // during a race but never underflows to a bogus huge value.
         let feedback_queued = self.feedback_queued.load(Ordering::Relaxed);
+        // ordering: Relaxed — see above; saturating_sub absorbs the race.
         let feedback_applied = self.feedback_applied.load(Ordering::Relaxed);
         ServerStats {
+            // ordering: Relaxed (this load and every one below) — each
+            // counter is read independently for a monitoring report;
+            // cross-counter skew is acceptable and documented on
+            // ServerStats.
             queries: self.queries.load(Ordering::Relaxed),
+            // ordering: Relaxed — see the struct-literal comment above.
             shed: self.shed.load(Ordering::Relaxed),
+            // ordering: Relaxed — see the struct-literal comment above.
             deadline_missed: self.deadline_missed.load(Ordering::Relaxed),
+            // ordering: Relaxed — see the struct-literal comment above.
             feedback_dropped: self.feedback_dropped.load(Ordering::Relaxed),
             feedback_applied,
             adaptation_lag: feedback_queued.saturating_sub(feedback_applied),
+            // ordering: Relaxed — see the struct-literal comment above.
             snapshots_published: self.snapshots_published.load(Ordering::Relaxed),
+            // ordering: Relaxed — see the struct-literal comment above.
             shards_republished: self.shards_republished.load(Ordering::Relaxed),
+            // ordering: Relaxed — see the struct-literal comment above.
             republish_bytes: self.republish_bytes.load(Ordering::Relaxed),
+            // ordering: Relaxed — see the struct-literal comment above.
             whole_map_bytes: self.whole_map_bytes.load(Ordering::Relaxed),
+            // ordering: Relaxed — see the struct-literal comment above.
             appends: self.appends.load(Ordering::Relaxed),
             queue_depth,
             latency,

@@ -1,0 +1,21 @@
+//! Synchronization indirection: the single seam through which every
+//! concurrency primitive in this crate is imported.
+//!
+//! Under the default build these are plain `std::sync` re-exports with
+//! zero overhead. Under `--features check` they swap to the `ads-check`
+//! model-checking shims, so the protocol suites in `tests/model.rs`
+//! exhaustively explore interleavings and weak-memory visibility of the
+//! *same* code paths production runs. The `atomic-import` lint rule
+//! (ads-lint) keeps future code honest: nothing in this crate may
+//! import `std::sync::atomic` directly.
+//!
+//! `std::sync::mpsc` channels and OS-thread spawning in `service.rs`
+//! stay on std in both builds: the model suites exercise the snapshot,
+//! queue, stats, and shutdown protocols directly, not the full service
+//! event loop (see DESIGN.md "Correctness tooling" for the boundary).
+
+#[cfg(feature = "check")]
+pub use ads_check::sync::{atomic, Arc, Condvar, Mutex, MutexGuard};
+
+#[cfg(not(feature = "check"))]
+pub use std::sync::{atomic, Arc, Condvar, Mutex, MutexGuard};

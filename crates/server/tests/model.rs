@@ -1,0 +1,364 @@
+//! Model-checked protocol suites: the four concurrency protocols of the
+//! server, exhaustively verified at small scale by `ads-check`.
+//!
+//! Built only under `--features check`, which swaps every primitive the
+//! server imports through `src/sync.rs` for the recording shims — these
+//! tests drive the *production* `SnapshotCell` / `ShardedCell` /
+//! `Bounded` / `StatsCollector` code, not models of it. Every
+//! interleaving and every weak-memory-legal read visibility within the
+//! configured bounds is explored; a single failing execution panics the
+//! test with the violating trace.
+//!
+//! The final suite seeds a known bug (the generation read downgraded to
+//! `Relaxed`, the shape PR 2's snapshot cache would have had without its
+//! Acquire) and asserts the checker *finds* it — the soundness witness
+//! for everything above.
+
+#![cfg(feature = "check")]
+
+use ads_check::sync::atomic::{AtomicU64, Ordering};
+use ads_check::sync::{thread, Arc};
+use ads_check::{model, try_model, Config};
+use ads_core::adaptive::{AdaptiveConfig, AdaptiveZonemap};
+use ads_server::{Bounded, PushError, ShardSnapshot, ShardedCell, SnapshotCell, StatsCollector};
+use ads_storage::SharedColumn;
+
+// ------------------------------------------------- SnapshotCell publish/read
+
+/// The publish/read protocol: a reader's cache never observes a
+/// generation ahead of its snapshot payload. Payload u64 = publication
+/// number, so the invariant is `*snap >= recorded generation`.
+#[test]
+fn snapshot_cell_reader_never_ahead_of_payload() {
+    let explored = model(|| {
+        let cell = Arc::new(SnapshotCell::new(0u64));
+        let c2 = Arc::clone(&cell);
+        let writer = thread::spawn(move || {
+            c2.publish(1);
+            c2.publish(2);
+        });
+        let mut cache = cell.cache();
+        for _ in 0..2 {
+            let v = **cache.refresh(&cell);
+            let g = cache.generation();
+            assert!(
+                v >= g,
+                "cache recorded generation {g} but payload is {v}: \
+                 the Acquire/Release pair is broken"
+            );
+        }
+        writer.join().unwrap();
+        // After the join, everything is synchronized: the reader must
+        // observe the final publication.
+        assert_eq!(**cache.refresh(&cell), 2);
+        assert_eq!(cell.generation(), 2);
+    });
+    assert!(explored.executions > 1, "explored {explored:?}");
+}
+
+/// Observed snapshot versions are monotone: a refresh never goes
+/// backwards, no matter how publications interleave with it.
+#[test]
+fn snapshot_cell_refresh_is_monotone() {
+    model(|| {
+        let cell = Arc::new(SnapshotCell::new(0u64));
+        let c2 = Arc::clone(&cell);
+        let writer = thread::spawn(move || {
+            c2.publish(1);
+            c2.publish(2);
+        });
+        let mut cache = cell.cache();
+        let mut last = **cache.current();
+        for _ in 0..2 {
+            let v = **cache.refresh(&cell);
+            assert!(v >= last, "snapshot went backwards: {last} -> {v}");
+            last = v;
+        }
+        writer.join().unwrap();
+    });
+}
+
+/// Two concurrent readers each hold the invariant independently (reader
+/// caches share no state).
+#[test]
+fn snapshot_cell_two_readers() {
+    model(|| {
+        let cell = Arc::new(SnapshotCell::new(0u64));
+        let c2 = Arc::clone(&cell);
+        let writer = thread::spawn(move || c2.publish(1));
+        let c3 = Arc::clone(&cell);
+        let reader = thread::spawn(move || {
+            let mut cache = cell3_refresh_once(&c3);
+            let v = **cache.refresh(&c3);
+            assert!(v >= cache.generation());
+        });
+        let mut cache = cell.cache();
+        let v = **cache.refresh(&cell);
+        assert!(v >= cache.generation());
+        writer.join().unwrap();
+        reader.join().unwrap();
+    });
+}
+
+/// Helper keeping the closure above readable: a fresh cache for `cell`.
+fn cell3_refresh_once(cell: &SnapshotCell<u64>) -> ads_server::SnapshotCache<u64> {
+    cell.cache()
+}
+
+// ----------------------------------------------- ShardedCell lane isolation
+
+fn shard_snap(start: usize, rows: usize, version: u64) -> ShardSnapshot<i64> {
+    ShardSnapshot {
+        data: SharedColumn::new((0..rows as i64).collect()),
+        zonemap: AdaptiveZonemap::new(rows, AdaptiveConfig::default()),
+        start,
+        version,
+    }
+}
+
+/// Publishing into lane 1 never perturbs lane 0: under every
+/// interleaving the untouched lane's generation stays 0 and a reader's
+/// cached Arc for it stays the same allocation.
+#[test]
+fn sharded_cell_publish_isolates_lanes() {
+    model(|| {
+        let cell = Arc::new(ShardedCell::new(vec![
+            shard_snap(0, 4, 0),
+            shard_snap(4, 4, 0),
+        ]));
+        let mut cache = cell.cache();
+        let lane0_before = std::sync::Arc::as_ptr(cache.lanes()[0].current());
+
+        let c2 = Arc::clone(&cell);
+        let writer = thread::spawn(move || c2.publish_shard(1, shard_snap(4, 4, 1)));
+
+        cache.refresh(&cell);
+        assert_eq!(
+            std::sync::Arc::as_ptr(cache.lanes()[0].current()),
+            lane0_before,
+            "publishing lane 1 invalidated lane 0's cached Arc"
+        );
+        assert_eq!(cache.lanes()[0].generation(), 0);
+        let lane1 = cache.lanes()[1].current();
+        assert!(lane1.version <= 1);
+        assert!(lane1.version as u64 >= cache.lanes()[1].generation());
+
+        writer.join().unwrap();
+        cache.refresh(&cell);
+        assert_eq!(cache.lanes()[1].current().version, 1);
+        assert_eq!(cell.generations(), vec![0, 1]);
+    });
+}
+
+// ------------------------------------------------------ Bounded queue
+
+/// Delivery: everything two concurrent producers push is popped exactly
+/// once — no loss, no duplication — and the drain sum proves it.
+#[test]
+fn queue_no_lost_or_duplicated_items() {
+    model(|| {
+        let q = Arc::new(Bounded::new(2));
+        let q1 = Arc::clone(&q);
+        let p1 = thread::spawn(move || q1.try_push(1u64).is_ok());
+        let q2 = Arc::clone(&q);
+        let p2 = thread::spawn(move || q2.try_push(2u64).is_ok());
+        let accepted = [p1.join().unwrap(), p2.join().unwrap()];
+        // Capacity 2 and exactly 2 pushes: nothing can be shed.
+        assert_eq!(accepted, [true, true]);
+        let mut sum = 0u64;
+        for _ in 0..2 {
+            sum += q.pop().expect("accepted item lost");
+        }
+        assert_eq!(sum, 3, "items lost or duplicated");
+        q.close();
+        assert_eq!(q.pop(), None);
+    });
+}
+
+/// Shedding: with capacity 1, two concurrent pushes admit at least one
+/// item; a rejected push always reports Full (not a silent drop), and
+/// exactly the accepted items come back out.
+#[test]
+fn queue_sheds_only_when_full() {
+    model(|| {
+        let q = Arc::new(Bounded::new(1));
+        let q1 = Arc::clone(&q);
+        let p1 = thread::spawn(move || match q1.try_push(1u64) {
+            Ok(()) => 1u64,
+            Err(PushError::Full(v)) => {
+                assert_eq!(v, 1, "shed must hand the item back");
+                0
+            }
+            Err(PushError::Closed(_)) => panic!("queue closed early"),
+        });
+        let q2 = Arc::clone(&q);
+        let p2 = thread::spawn(move || match q2.try_push(2u64) {
+            Ok(()) => 1u64,
+            Err(PushError::Full(v)) => {
+                assert_eq!(v, 2, "shed must hand the item back");
+                0
+            }
+            Err(PushError::Closed(_)) => panic!("queue closed early"),
+        });
+        let accepted = p1.join().unwrap() + p2.join().unwrap();
+        assert!(accepted >= 1, "capacity-1 queue shed both pushes");
+        for _ in 0..accepted {
+            assert!(q.pop().is_some(), "accepted item lost");
+        }
+        q.close();
+        assert_eq!(q.pop(), None, "popped more than was accepted");
+    });
+}
+
+/// FIFO: one producer's order is preserved through a concurrent
+/// blocking consumer (exercises the condvar wait/notify path under all
+/// interleavings).
+#[test]
+fn queue_fifo_through_blocking_consumer() {
+    model(|| {
+        let q = Arc::new(Bounded::new(2));
+        let qc = Arc::clone(&q);
+        let consumer = thread::spawn(move || {
+            let a = qc.pop().expect("open queue returned None");
+            let b = qc.pop().expect("open queue returned None");
+            (a, b)
+        });
+        q.try_push(1u64).unwrap();
+        q.try_push(2u64).unwrap();
+        let (a, b) = consumer.join().unwrap();
+        assert_eq!((a, b), (1, 2), "FIFO order violated");
+    });
+}
+
+// ------------------------------------------------- graceful shutdown drain
+
+/// The shutdown contract: close() concurrent with a draining consumer
+/// never drops accepted work — the consumer receives every queued item
+/// (in order) and then None, under every interleaving.
+#[test]
+fn shutdown_drains_accepted_work() {
+    model(|| {
+        let q = Arc::new(Bounded::new(4));
+        q.try_push(1u64).unwrap();
+        q.try_push(2u64).unwrap();
+        let qc = Arc::clone(&q);
+        let consumer = thread::spawn(move || {
+            let mut got = Vec::new();
+            while let Some(v) = qc.pop() {
+                got.push(v);
+            }
+            got
+        });
+        q.close();
+        let got = consumer.join().unwrap();
+        assert_eq!(got, vec![1, 2], "close dropped accepted work");
+        assert_eq!(q.pop(), None, "queue reopened after close");
+    });
+}
+
+/// close() wakes every blocked consumer (notify_all): two consumers
+/// parked on an empty queue both return None instead of deadlocking —
+/// the checker reports a lost wakeup as a deadlock failure.
+#[test]
+fn shutdown_wakes_all_blocked_consumers() {
+    model(|| {
+        let q = Arc::new(Bounded::<u64>::new(2));
+        let q1 = Arc::clone(&q);
+        let c1 = thread::spawn(move || q1.pop());
+        let q2 = Arc::clone(&q);
+        let c2 = thread::spawn(move || q2.pop());
+        q.close();
+        assert_eq!(c1.join().unwrap(), None);
+        assert_eq!(c2.join().unwrap(), None);
+    });
+}
+
+// --------------------------------------------------- stats / adaptation lag
+
+/// The queued/applied race, pinned: the worker records `queued` *after*
+/// handing feedback to the channel, so the maintenance thread can
+/// record `applied` first and a concurrent snapshot() can read
+/// applied > queued. adaptation_lag must saturate to 0 in that case —
+/// never wrap to a huge value.
+#[test]
+fn stats_adaptation_lag_never_negative() {
+    model(|| {
+        let stats = Arc::new(StatsCollector::new(1));
+        let s1 = Arc::clone(&stats);
+        let worker = thread::spawn(move || s1.record_feedback_queued());
+        let s2 = Arc::clone(&stats);
+        let maint = thread::spawn(move || s2.record_feedback_applied(1));
+        let snap = stats.snapshot(0);
+        assert!(
+            snap.adaptation_lag <= 1,
+            "lag wrapped: {} (queued/applied cut raced)",
+            snap.adaptation_lag
+        );
+        worker.join().unwrap();
+        maint.join().unwrap();
+        let final_snap = stats.snapshot(0);
+        assert_eq!(final_snap.adaptation_lag, 0);
+        assert_eq!(final_snap.feedback_applied, 1);
+    });
+}
+
+// ----------------------------------------------------------- seeded bug
+
+/// The snapshot-cache shape with its Acquire generation load downgraded
+/// to Relaxed — the bug the `ordering-comment` lint and these suites
+/// exist to prevent. The checker MUST find the execution where the
+/// reader sees the new generation but stale data; x86 TSO hardware
+/// never exhibits it, which is exactly why it needs a model checker.
+#[test]
+fn seeded_relaxed_generation_read_is_caught() {
+    let report = try_model(Config::default(), || {
+        let generation = Arc::new(AtomicU64::new(0));
+        let payload = Arc::new(AtomicU64::new(0));
+        let (g, p) = (Arc::clone(&generation), Arc::clone(&payload));
+        let writer = thread::spawn(move || {
+            // ordering: Relaxed — publication payload; would be ordered
+            // by the Release bump below, as in SnapshotCell::publish.
+            p.store(1, Ordering::Relaxed);
+            // ordering: Release — publishes the payload store.
+            g.store(1, Ordering::Release);
+        });
+        // ordering: Relaxed — BUG under test: SnapshotCache::refresh
+        // without its Acquire. Nothing synchronizes with the writer.
+        if generation.load(Ordering::Relaxed) == 1 {
+            // ordering: Relaxed — may legally observe the stale 0.
+            assert_eq!(
+                payload.load(Ordering::Relaxed),
+                1,
+                "generation visible but payload stale"
+            );
+        }
+        writer.join().unwrap();
+    })
+    .expect_err("the Relaxed generation read must be caught");
+    assert!(report.contains("panicked"), "unexpected report: {report}");
+}
+
+/// The corrected pairing (the shape SnapshotCell actually uses) passes
+/// the identical harness — the seeded failure above is the ordering's
+/// fault, not the harness's.
+#[test]
+fn corrected_acquire_generation_read_is_clean() {
+    model(|| {
+        let generation = Arc::new(AtomicU64::new(0));
+        let payload = Arc::new(AtomicU64::new(0));
+        let (g, p) = (Arc::clone(&generation), Arc::clone(&payload));
+        let writer = thread::spawn(move || {
+            // ordering: Relaxed — ordered by the Release bump below.
+            p.store(1, Ordering::Relaxed);
+            // ordering: Release — publishes the payload store.
+            g.store(1, Ordering::Release);
+        });
+        // ordering: Acquire — pairs with the writer's Release, exactly
+        // as SnapshotCache::refresh does.
+        if generation.load(Ordering::Acquire) == 1 {
+            // ordering: Relaxed — ordered by the Acquire load above.
+            assert_eq!(payload.load(Ordering::Relaxed), 1);
+        }
+        writer.join().unwrap();
+    });
+}

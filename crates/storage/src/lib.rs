@@ -17,6 +17,7 @@
 //! Nothing here knows about zonemaps: the skipping logic lives in
 //! `ads-core`, keeping the substrate reusable by the baseline indexes too.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bitmap;

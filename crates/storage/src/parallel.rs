@@ -94,6 +94,8 @@ where
             })
             .collect();
         for h in handles {
+            // invariant: worker closures contain no panicking operations;
+            // a panic there is a bug worth propagating loudly.
             results.extend(h.join().expect("scan worker panicked"));
         }
     });

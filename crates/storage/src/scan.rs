@@ -64,6 +64,7 @@ fn lane_mask<T: DataValue>(block: &[T], lo: T, hi: T) -> u64 {
     }
     let mut mask = 0u64;
     for (w, group) in lanes.chunks_exact(8).enumerate() {
+        // invariant: chunks_exact(8) yields exactly 8 bytes per group.
         let word = u64::from_le_bytes(group.try_into().expect("chunks_exact(8)"));
         mask |= (word.wrapping_mul(PACK_MUL) >> 56) << (8 * w);
     }

@@ -78,6 +78,7 @@ impl<T: DataValue> ShardedColumn<T> {
 
     /// Total rows across all shards.
     pub fn len(&self) -> usize {
+        // invariant: constructors reject empty shard sets (both lines).
         self.starts.last().expect("at least one shard")
             + self.shards.last().expect("at least one shard").len()
     }
@@ -124,6 +125,7 @@ impl<T: DataValue> ShardedColumn<T> {
     /// publication layers can tell exactly which shard moved.
     pub fn append(&self, rows: &[T]) -> ShardedColumn<T> {
         let mut shards = self.shards.clone();
+        // invariant: constructors reject empty shard sets.
         let tail = shards.last_mut().expect("at least one shard");
         *tail = tail.append(rows);
         ShardedColumn {

@@ -52,6 +52,8 @@ impl DictColumn {
             .iter()
             .map(|s| {
                 dict.binary_search_by(|d| d.as_str().cmp(s.as_ref()))
+                    // invariant: the dictionary was built from exactly
+                    // these values two lines up.
                     .expect("value was inserted into dict") as u32
             })
             .collect();
@@ -127,6 +129,7 @@ impl DictColumn {
         let all_known = values.iter().all(|s| self.code_of(s.as_ref()).is_some());
         if all_known {
             for s in values {
+                // invariant: all_known verified every value has a code.
                 let code = self.code_of(s.as_ref()).expect("checked known");
                 self.codes.push(code);
             }

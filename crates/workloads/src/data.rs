@@ -36,6 +36,7 @@ pub fn almost_sorted(
         return v;
     }
     let mut rng = StdRng::seed_from_u64(seed);
+    // narrowing: swaps <= n/2, and n is a usize row count.
     let swaps = (n as f64 * noise_fraction / 2.0) as usize;
     for _ in 0..swaps {
         let i = rng.gen_range(0..n);
@@ -87,6 +88,7 @@ pub fn clustered(
 pub fn zipf(n: usize, domain: i64, theta: f64, seed: u64) -> Vec<i64> {
     assert!(domain > 0, "domain must be positive");
     assert!(theta > 0.0 && theta < 2.0, "theta out of (0,2)");
+    // narrowing: clamped to <= 100_000.
     let ranks = domain.min(100_000) as usize;
     // Gray et al. quantile method over a precomputed zeta table.
     let mut zeta = 0.0f64;

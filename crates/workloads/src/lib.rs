@@ -9,6 +9,7 @@
 //! Everything is deterministic given a seed, so experiments replay the
 //! exact same workload against every strategy.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod data;
