@@ -1,0 +1,58 @@
+//! E18 — conjunction probe planning: planned vs fixed order vs oracle.
+//!
+//! Each cell of [`crate::plan_bench`] fixes a two-column workload and an
+//! adversarial-or-not caller order; the planner must match the legacy
+//! fixed order where the caller order was already right, flip it where it
+//! was wrong, and stop probing entirely where metadata cannot skip.
+
+use crate::plan_bench;
+use crate::report::Report;
+use crate::runner::Scale;
+
+/// Runs the experiment.
+pub fn run(scale: Scale) -> Report {
+    let mut report = Report::new(
+        "e18",
+        "conjunction probe planning: planned vs fixed order vs oracle",
+        &[
+            "cell",
+            "mode",
+            "total ms",
+            "zones probed",
+            "rows scanned",
+            "fallbacks",
+            "model cost",
+            "vs fixed",
+        ],
+    );
+    report.note(format!(
+        "{} rows x 2 columns, {} conjunctive COUNT queries per mode; model cost = \
+         probe_cost x zones_probed + rows_scanned",
+        scale.rows, scale.queries
+    ));
+
+    let bench = plan_bench::run(scale.rows, scale.queries, scale.domain, scale.seed);
+    for cell in &bench.cells {
+        let fixed_cost = cell.mode("fixed").model_cost.max(1.0);
+        for m in &cell.modes {
+            report.row(vec![
+                cell.label.clone(),
+                m.mode.clone(),
+                format!("{:.1}", m.wall_ns as f64 / 1e6),
+                m.zones_probed.to_string(),
+                m.rows_scanned.to_string(),
+                m.fallbacks.to_string(),
+                format!("{:.0}", m.model_cost),
+                format!("{:.2}", m.model_cost / fixed_cost),
+            ]);
+        }
+    }
+    report.note(format!(
+        "planned never worse than fixed: {}; adversarial cell beaten: {}; \
+         fallback on uniform: {}",
+        bench.planned_never_worse(),
+        bench.adversarial_beats_fixed(),
+        bench.fallback_engages_on_uniform()
+    ));
+    report
+}

@@ -18,6 +18,7 @@ pub mod e14_masks;
 pub mod e15_parallel;
 pub mod e16_server;
 pub mod e17_sharding;
+pub mod e18_plans;
 
 use crate::report::Report;
 use crate::runner::Scale;
@@ -25,7 +26,7 @@ use crate::runner::Scale;
 /// Experiment ids in execution order.
 pub const ALL: &[&str] = &[
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16", "e17",
+    "e16", "e17", "e18",
 ];
 
 /// Runs one experiment by id.
@@ -48,6 +49,7 @@ pub fn run(id: &str, scale: Scale) -> Option<Report> {
         "e15" => Some(e15_parallel::run(scale)),
         "e16" => Some(e16_server::run(scale)),
         "e17" => Some(e17_sharding::run(scale)),
+        "e18" => Some(e18_plans::run(scale)),
         _ => None,
     }
 }

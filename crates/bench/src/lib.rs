@@ -17,6 +17,7 @@
 pub mod experiments;
 pub mod kernels;
 pub mod microbench;
+pub mod plan_bench;
 pub mod report;
 pub mod runner;
 pub mod server_bench;

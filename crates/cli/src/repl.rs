@@ -3,14 +3,20 @@
 
 use ads_core::adaptive::{AdaptiveConfig, AdaptiveZonemap};
 use ads_core::RangePredicate;
-use ads_engine::{AggKind, ColumnSession, ExecPolicy, Strategy};
+use ads_engine::{
+    AggKind, AnyPredicate, ColumnSession, ExecPolicy, PlanMode, Strategy, TableSession,
+};
 use ads_server::{AdaptationMode, QueryService, ServerConfig};
+use ads_storage::{Column, Table};
 use ads_workloads::{DataSpec, QuerySpec};
 use std::fmt::Write as _;
 
 /// Interpreter state: one loaded column, one strategy, one session.
 pub struct Repl {
     session: Option<ColumnSession<i64>>,
+    /// Two-column companion session for `explain`, built lazily from the
+    /// loaded data and dropped whenever data or strategy changes.
+    table_session: Option<TableSession>,
     data_label: String,
     strategy: Strategy,
     domain: i64,
@@ -22,6 +28,7 @@ impl Default for Repl {
     fn default() -> Self {
         Repl {
             session: None,
+            table_session: None,
             data_label: String::new(),
             strategy: Strategy::Adaptive(AdaptiveConfig::default()),
             domain: 1_000_000,
@@ -40,6 +47,9 @@ commands:
   count <lo> <hi>            COUNT rows with lo <= v <= hi
   sum <lo> <hi>              SUM of qualifying values
   workload <kind> <n> <sel%> replay n queries: uniform | hotspot | shift | sweep
+  explain <lo_a> <hi_a> <lo_b> <hi_b> [planned|fixed|reversed|fallback]
+                             run a two-column conjunction (a = loaded data,
+                             b = clustered companion) and show the probe plan
   zones                      show adaptive zonemap structure (adaptive strategy only)
   trace                      recent adaptation events (adaptive strategy only)
   stats                      session totals (with phase breakdown)
@@ -97,11 +107,32 @@ impl Repl {
 
     fn rebuild_session(&mut self, data: Vec<i64>, label: String) {
         self.data_label = label;
+        self.table_session = None;
         self.session = Some(
             ColumnSession::new(data, &self.strategy)
                 .record_history(true)
                 .with_exec_policy(self.policy),
         );
+    }
+
+    /// The lazily-built companion table session for `explain`: column `a`
+    /// is the loaded data, column `b` a clustered companion of equal
+    /// length, both indexed under the current strategy.
+    fn table_session(&mut self) -> Result<&mut TableSession, String> {
+        if self.table_session.is_none() {
+            let data = self.session()?.data().to_vec();
+            let b = ads_workloads::data::clustered(data.len(), 64, 0.02, self.domain, self.seed);
+            let mut t = Table::new("repl");
+            t.add_column("a", Column::from_values(data))
+                .map_err(|e| e.to_string())?;
+            t.add_column("b", Column::from_values(b))
+                .map_err(|e| e.to_string())?;
+            let ts = TableSession::new(t, &self.strategy, &["a", "b"])
+                .map_err(|e| format!("explain: {e}"))?;
+            self.table_session = Some(ts);
+        }
+        // invariant: the branch above just filled the option.
+        Ok(self.table_session.as_mut().expect("just built"))
     }
 
     fn zones_strip(&self) -> Option<String> {
@@ -265,6 +296,83 @@ impl Repl {
                     last10 as f64 / 1e6
                 ))
             }
+            "explain" => {
+                let parsed: Vec<i64> = words
+                    .iter()
+                    .skip(1)
+                    .take(4)
+                    .filter_map(|w| w.parse().ok())
+                    .collect();
+                let [lo_a, hi_a, lo_b, hi_b] = parsed[..] else {
+                    return Err(
+                        "usage: explain <lo_a> <hi_a> <lo_b> <hi_b> [planned|fixed|reversed|fallback]"
+                            .into(),
+                    );
+                };
+                if lo_a > hi_a || lo_b > hi_b {
+                    return Err("lo must be <= hi".into());
+                }
+                let mode = match words.get(5).copied().unwrap_or("planned") {
+                    "planned" => PlanMode::Planned,
+                    "fixed" => PlanMode::FixedOrder,
+                    "reversed" => PlanMode::Reversed,
+                    "fallback" => PlanMode::ForcedFallback,
+                    other => return Err(format!("unknown plan mode: {other}")),
+                };
+                let ts = self.table_session()?;
+                ts.set_plan_mode(mode.clone());
+                let conjuncts = [
+                    ("a", AnyPredicate::I64(RangePredicate::between(lo_a, hi_a))),
+                    ("b", AnyPredicate::I64(RangePredicate::between(lo_b, hi_b))),
+                ];
+                let (count, m) = ts
+                    .count_conjunction(&conjuncts)
+                    .map_err(|e| e.to_string())?;
+                let trace = ts.last_plan().cloned().unwrap_or_default();
+                let mut out = format!(
+                    "plan ({mode:?}): {} conjunct(s), {} probed",
+                    trace.steps.len(),
+                    trace.conjuncts_probed()
+                );
+                for (i, s) in trace.steps.iter().enumerate() {
+                    let est = s
+                        .est_skip_fraction
+                        .map_or("  --".to_string(), |e| format!("{e:.2}"));
+                    if s.probed {
+                        let _ = write!(
+                            out,
+                            "\n  {}. {}  probed   est skip {est} | actual {:.2} | zones {} probed / {} skipped | alive {} -> {}",
+                            i + 1,
+                            s.column,
+                            s.actual_skip_fraction(),
+                            s.zones_probed,
+                            s.zones_skipped,
+                            s.alive_before,
+                            s.alive_after
+                        );
+                    } else {
+                        let _ = write!(
+                            out,
+                            "\n  {}. {}  skipped  est skip {est} | benefit {:.0} tuples | alive {}",
+                            i + 1,
+                            s.column,
+                            s.est_benefit,
+                            s.alive_before
+                        );
+                    }
+                }
+                if let Some(reason) = trace.fallback {
+                    let _ = write!(out, "\n  fallback: {reason:?} — scan-and-filter only");
+                }
+                let _ = write!(
+                    out,
+                    "\ncount = {count}   [{:.3}ms, scanned {} rows, {} full-match]",
+                    m.wall_ns as f64 / 1e6,
+                    m.rows_scanned,
+                    m.rows_full_match
+                );
+                Ok(out)
+            }
             "zones" => {
                 self.session()?;
                 self.zones_strip()
@@ -331,6 +439,7 @@ impl Repl {
                 };
                 let domain = self.domain;
                 let seed = self.seed;
+                self.table_session = None;
                 let session = self.session()?;
                 let fresh = ads_workloads::data::uniform(n, domain, seed ^ session.len() as u64);
                 let ns = session.append(&fresh);
@@ -565,6 +674,42 @@ mod tests {
         assert!(r.handle("serve uniform 1000 2 10 warpmode").is_err());
         assert!(r.handle("serve nope 1000 2 10").is_err());
         assert!(r.handle("serve uniform 1000 0 10").is_err());
+    }
+
+    #[test]
+    fn explain_shows_plan_and_count() {
+        let mut r = loaded();
+        let out = r.handle("explain 0 99999 0 99999").expect("explain works");
+        assert!(out.contains("plan (Planned)"), "{out}");
+        assert!(out.contains("count ="), "{out}");
+        assert!(out.contains("1. "), "{out}");
+        // Every mode runs and fallback announces itself.
+        for mode in ["fixed", "reversed", "fallback"] {
+            let out = r
+                .handle(&format!("explain 0 9999 0 9999 {mode}"))
+                .expect("explain mode works");
+            assert!(out.contains("count ="), "{mode}: {out}");
+            if mode == "fallback" {
+                assert!(out.contains("scan-and-filter"), "{out}");
+            }
+        }
+        assert!(r.handle("explain 0 1").is_err());
+        assert!(r.handle("explain 5 0 0 9").is_err());
+        assert!(r.handle("explain 0 9 0 9 warp").is_err());
+    }
+
+    #[test]
+    fn explain_rejects_view_strategies_and_survives_rebuilds() {
+        let mut r = loaded();
+        r.handle("strategy cracking").expect("strategy works");
+        assert!(r.handle("explain 0 9 0 9").is_err());
+        r.handle("strategy static 1024").expect("strategy works");
+        let out = r.handle("explain 0 99999 0 99999").expect("explain works");
+        assert!(out.contains("count ="), "{out}");
+        // Append invalidates the companion session; explain rebuilds it.
+        r.handle("append 500").expect("append works");
+        let out = r.handle("explain 0 99999 0 99999").expect("explain works");
+        assert!(out.contains("count ="), "{out}");
     }
 
     #[test]

@@ -24,7 +24,7 @@ use crate::cost::CostModel;
 use crate::index::SkippingIndex;
 use crate::outcome::{MaskRequest, PruneOutcome, ScanObservation};
 use crate::predicate::RangePredicate;
-use crate::stats::{IndexStats, ZoneStats};
+use crate::stats::{IndexStats, PruneStats, ZoneStats};
 use crate::trace::{AdaptEvent, AdaptTrace};
 use ads_storage::{DataValue, RangeSet, RowRange};
 
@@ -409,6 +409,123 @@ impl<T: DataValue> SkippingIndex<T> for AdaptiveZonemap<T> {
 
     fn adapt_events(&self) -> u64 {
         self.trace.total_events()
+    }
+
+    fn prune_stats(&self) -> Option<PruneStats> {
+        // Rows-weighted per-zone skip-rate estimate, optimistic for zones
+        // with no probe history (unbuilt, or built but never probed): a
+        // cold structure must look worth probing or it never gets the
+        // probes that would train the estimate. Dead zones estimate 0 —
+        // the map itself already concluded they cannot skip.
+        let mut weighted = 0.0;
+        for (i, z) in self.zones.iter().enumerate() {
+            let rate = match z.state {
+                ZoneState::Dead { .. } => 0.0,
+                ZoneState::Unbuilt => 1.0,
+                ZoneState::Built { .. } => {
+                    let pending = self.plane.pending_skip(i);
+                    if z.stats.probes + pending == 0 {
+                        1.0
+                    } else {
+                        z.stats.skip_rate_with_pending(pending)
+                    }
+                }
+            };
+            weighted += rate * z.len() as f64;
+        }
+        let est = if self.len == 0 {
+            0.0
+        } else {
+            weighted / self.len as f64
+        };
+        Some(PruneStats {
+            probe_entries: self.zones.len(),
+            est_skip_fraction: est,
+            queries_observed: self.stats.queries,
+        })
+    }
+
+    fn prune_within(&mut self, pred: &RangePredicate<T>, alive: &RangeSet) -> PruneOutcome {
+        /// Per-zone verdict, cached so a zone spanning two alive ranges is
+        /// probed (and its stats bumped) exactly once.
+        #[derive(Clone, Copy, PartialEq)]
+        enum Decision {
+            Unscanned,
+            Skip,
+            Full,
+            Scan,
+        }
+
+        let mut out = self.prune_prologue();
+        let min_split_rows =
+            (2 * self.config.min_zone_rows).max(2 * self.cost.min_profitable_zone_rows());
+        let mut last: Option<(usize, Decision)> = None;
+        for ar in alive.ranges() {
+            // First zone overlapping this alive range: zones partition
+            // [0, len), so it's the first with end > ar.start.
+            let mut idx = self.zones.partition_point(|z| z.end <= ar.start);
+            while idx < self.zones.len() && self.zones[idx].start < ar.end {
+                let decision = match last {
+                    Some((i, d)) if i == idx => d,
+                    _ => {
+                        out.zones_probed += 1;
+                        let d = if !self.plane.is_built(idx) {
+                            Decision::Unscanned
+                        } else {
+                            let min = self.plane.mins[idx];
+                            let max = self.plane.maxs[idx];
+                            if !pred.overlaps(min, max) {
+                                out.zones_skipped += 1;
+                                self.plane.defer_skip(idx);
+                                Decision::Skip
+                            } else {
+                                match classify_overlapping_zone(
+                                    &self.zones[idx],
+                                    pred,
+                                    min,
+                                    max,
+                                    &self.config,
+                                    min_split_rows,
+                                ) {
+                                    OverlapAction::FullMatch => {
+                                        self.zones[idx].stats.record_no_skip();
+                                        Decision::Full
+                                    }
+                                    OverlapAction::MaskSkip => {
+                                        out.zones_skipped += 1;
+                                        self.zones[idx].stats.record_skip();
+                                        Decision::Skip
+                                    }
+                                    // Mask requests are not issued on the
+                                    // restricted path: a fragment's mask
+                                    // would not describe the whole zone.
+                                    OverlapAction::Scan(_) => {
+                                        self.zones[idx].stats.record_no_skip();
+                                        Decision::Scan
+                                    }
+                                }
+                            }
+                        };
+                        last = Some((idx, d));
+                        d
+                    }
+                };
+                let z = &self.zones[idx];
+                let frag_start = z.start.max(ar.start);
+                let frag_end = z.end.min(ar.end);
+                match decision {
+                    Decision::Unscanned | Decision::Scan => {
+                        out.must_scan.push_span(frag_start, frag_end);
+                        out.scan_units.push(RowRange::new(frag_start, frag_end));
+                    }
+                    Decision::Full => out.full_match.push_span(frag_start, frag_end),
+                    Decision::Skip => {}
+                }
+                idx += 1;
+            }
+        }
+        self.prune_epilogue(&out);
+        out
     }
 }
 

@@ -16,7 +16,8 @@
 
 use crate::outcome::{PruneOutcome, ScanObservation};
 use crate::predicate::RangePredicate;
-use ads_storage::DataValue;
+use crate::stats::PruneStats;
+use ads_storage::{DataValue, RangeSet};
 
 /// Coordinate system of the ranges an index emits.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -78,6 +79,22 @@ pub trait SkippingIndex<T: DataValue>: Send {
     fn adapt_events(&self) -> u64 {
         0
     }
+
+    /// Pre-probe summary for cost-based planners, or `None` when the index
+    /// cannot estimate its own payoff (planners should then treat a probe
+    /// as always worthwhile). Only meaningful for base-coordinate indexes.
+    fn prune_stats(&self) -> Option<PruneStats> {
+        None
+    }
+
+    /// Prunes `pred` restricted to rows still `alive` after earlier
+    /// conjuncts. The default probes the full map and intersects; indexes
+    /// with positional metadata override this to skip examining zones that
+    /// are no longer alive. Only meaningful for base-coordinate indexes —
+    /// `alive` is in the same coordinates as the emitted ranges.
+    fn prune_within(&mut self, pred: &RangePredicate<T>, alive: &RangeSet) -> PruneOutcome {
+        self.prune(pred).restrict_to(alive)
+    }
 }
 
 impl<T: DataValue> SkippingIndex<T> for Box<dyn SkippingIndex<T>> {
@@ -123,6 +140,14 @@ impl<T: DataValue> SkippingIndex<T> for Box<dyn SkippingIndex<T>> {
 
     fn adapt_events(&self) -> u64 {
         self.as_ref().adapt_events()
+    }
+
+    fn prune_stats(&self) -> Option<PruneStats> {
+        self.as_ref().prune_stats()
+    }
+
+    fn prune_within(&mut self, pred: &RangePredicate<T>, alive: &RangeSet) -> PruneOutcome {
+        self.as_mut().prune_within(pred, alive)
     }
 }
 
@@ -170,6 +195,11 @@ mod tests {
         let out = d.prune(&RangePredicate::all());
         assert_eq!(out.rows_to_scan(), 10);
         d.observe(&ScanObservation::empty(RangePredicate::all()));
+        assert!(d.prune_stats().is_none());
+        let mut alive = RangeSet::new();
+        alive.push_span(2, 6);
+        let restricted = d.prune_within(&RangePredicate::all(), &alive);
+        assert_eq!(restricted.rows_to_scan(), 4);
     }
 
     #[test]

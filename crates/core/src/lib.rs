@@ -79,6 +79,6 @@ pub use cost::CostModel;
 pub use index::{ScanCoords, SkippingIndex};
 pub use outcome::{PruneOutcome, RangeObservation, ScanObservation};
 pub use predicate::RangePredicate;
-pub use stats::{Ewma, IndexStats, ZoneStats};
+pub use stats::{Ewma, IndexStats, PruneStats, ZoneStats};
 pub use trace::{AdaptEvent, AdaptTrace, TraceTotals};
 pub use zonemap_static::StaticZonemap;

@@ -121,6 +121,43 @@ impl PruneOutcome {
             1.0 - self.rows_to_scan() as f64 / n as f64
         }
     }
+
+    /// Restricts the outcome to rows still `alive` after earlier conjuncts.
+    ///
+    /// `must_scan` and `full_match` are intersected with `alive`; scan
+    /// units are fragmented at `alive` boundaries so each surviving unit
+    /// is still a subrange of exactly one original unit (observation
+    /// alignment stays per-unit exact). Mask requests are dropped — a
+    /// fragment's value mask would no longer describe the original unit.
+    /// Probe counters are kept: the metadata reads already happened.
+    pub fn restrict_to(&self, alive: &RangeSet) -> PruneOutcome {
+        let mut units = Vec::new();
+        let alive_ranges = alive.ranges();
+        let mut j = 0;
+        for u in self.units() {
+            // Advance past alive ranges entirely before this unit.
+            while j < alive_ranges.len() && alive_ranges[j].end <= u.start {
+                j += 1;
+            }
+            // Emit one fragment per overlapping alive range; `j` is not
+            // advanced past a range that may also overlap the next unit.
+            let mut k = j;
+            while k < alive_ranges.len() && alive_ranges[k].start < u.end {
+                if let Some(frag) = u.intersect(&alive_ranges[k]) {
+                    units.push(frag);
+                }
+                k += 1;
+            }
+        }
+        PruneOutcome {
+            must_scan: self.must_scan.intersect(alive),
+            scan_units: units,
+            mask_requests: Vec::new(),
+            full_match: self.full_match.intersect(alive),
+            zones_probed: self.zones_probed,
+            zones_skipped: self.zones_skipped,
+        }
+    }
 }
 
 /// Per-range result of an executed scan, fed back to the index.
@@ -223,6 +260,81 @@ mod tests {
             RowRange::new(20, 30),
         ];
         assert_eq!(o.units().len(), 3);
+    }
+
+    #[test]
+    fn restrict_to_intersects_and_fragments_units() {
+        let mut o = PruneOutcome::default();
+        o.must_scan.push_span(0, 30);
+        o.scan_units = vec![
+            RowRange::new(0, 10),
+            RowRange::new(10, 20),
+            RowRange::new(20, 30),
+        ];
+        o.mask_requests = vec![
+            None,
+            Some(MaskRequest {
+                lo_f: 0.0,
+                hi_f: 1.0,
+            }),
+            None,
+        ];
+        o.full_match.push_span(40, 50);
+        o.zones_probed = 4;
+        o.zones_skipped = 1;
+        let mut alive = RangeSet::new();
+        alive.push_span(5, 12);
+        alive.push_span(18, 45);
+        let r = o.restrict_to(&alive);
+        assert_eq!(r.must_scan.covered_rows(), 7 + 2 + 10);
+        assert_eq!(
+            r.scan_units,
+            vec![
+                RowRange::new(5, 10),
+                RowRange::new(10, 12),
+                RowRange::new(18, 20),
+                RowRange::new(20, 30),
+            ]
+        );
+        // Each fragment sits inside exactly one original unit.
+        for frag in &r.scan_units {
+            assert!(o
+                .scan_units
+                .iter()
+                .any(|u| u.start <= frag.start && frag.end <= u.end));
+        }
+        assert!(r.mask_requests.is_empty());
+        assert_eq!(r.full_match.covered_rows(), 5);
+        assert_eq!(r.zones_probed, 4);
+        assert_eq!(r.zones_skipped, 1);
+        // Unit coverage equals the restricted must_scan coverage.
+        let total: usize = r.scan_units.iter().map(RowRange::len).sum();
+        assert_eq!(total, r.must_scan.covered_rows());
+    }
+
+    #[test]
+    fn restrict_to_uses_must_scan_when_no_units() {
+        let mut o = PruneOutcome::default();
+        o.must_scan.push_span(0, 10);
+        o.must_scan.push_span(20, 30);
+        let mut alive = RangeSet::new();
+        alive.push_span(5, 25);
+        let r = o.restrict_to(&alive);
+        assert_eq!(
+            r.scan_units,
+            vec![RowRange::new(5, 10), RowRange::new(20, 25)]
+        );
+        // One alive range spanning two units must not be consumed early.
+        assert_eq!(r.must_scan.covered_rows(), 10);
+    }
+
+    #[test]
+    fn restrict_to_empty_alive_clears_everything() {
+        let o = PruneOutcome::scan_all(100);
+        let r = o.restrict_to(&RangeSet::new());
+        assert!(r.must_scan.is_empty());
+        assert!(r.scan_units.is_empty());
+        assert!(r.full_match.is_empty());
     }
 
     #[test]

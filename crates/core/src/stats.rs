@@ -136,6 +136,24 @@ impl ZoneStats {
     }
 }
 
+/// Summary an index exposes *before* a probe so a planner can decide
+/// whether consulting its metadata is worth the cost.
+///
+/// `est_skip_fraction` is the index's own estimate of the fraction of rows
+/// a typical probe excludes; indexes without history report optimistically
+/// (1.0 for zones never probed) so cold structures still get probed and
+/// can start learning.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PruneStats {
+    /// Metadata entries a full probe examines (zone count).
+    pub probe_entries: usize,
+    /// Estimated fraction of rows a probe excludes, in `[0, 1]`.
+    pub est_skip_fraction: f64,
+    /// Queries this index has already served — 0 means the estimate is a
+    /// pure prior.
+    pub queries_observed: u64,
+}
+
 /// Whole-index counters reported by experiments.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct IndexStats {

@@ -10,6 +10,7 @@
 use crate::index::SkippingIndex;
 use crate::outcome::PruneOutcome;
 use crate::predicate::RangePredicate;
+use crate::stats::PruneStats;
 use ads_storage::{scan, DataValue, RangeSet};
 
 /// A fixed-granularity, eagerly-built zonemap.
@@ -33,6 +34,13 @@ pub struct StaticZonemap<T: DataValue> {
     /// Zone maxima, parallel to `mins`.
     maxs: Vec<T>,
     len: usize,
+    /// Lifetime zone probes, for planner skip-rate estimates. The static
+    /// structure never adapts on these; they only summarise history.
+    total_probes: u64,
+    /// Lifetime zones skipped.
+    total_skips: u64,
+    /// Queries served.
+    queries: u64,
 }
 
 impl<T: DataValue> StaticZonemap<T> {
@@ -47,6 +55,9 @@ impl<T: DataValue> StaticZonemap<T> {
             mins: Vec::with_capacity(data.len().div_ceil(zone_rows)),
             maxs: Vec::with_capacity(data.len().div_ceil(zone_rows)),
             len: data.len(),
+            total_probes: 0,
+            total_skips: 0,
+            queries: 0,
         };
         for c in data.chunks(zone_rows) {
             // invariant: chunks() never yields an empty slice.
@@ -107,6 +118,68 @@ impl<T: DataValue> SkippingIndex<T> for StaticZonemap<T> {
                 out.must_scan.push_span(start, end);
             }
         }
+        self.queries += 1;
+        self.total_probes += out.zones_probed as u64;
+        self.total_skips += out.zones_skipped as u64;
+        out
+    }
+
+    fn prune_stats(&self) -> Option<PruneStats> {
+        // Optimistic before any history: a never-probed map estimates 1.0
+        // so planners will try it at least once.
+        let est = if self.total_probes == 0 {
+            1.0
+        } else {
+            self.total_skips as f64 / self.total_probes as f64
+        };
+        Some(PruneStats {
+            probe_entries: self.mins.len(),
+            est_skip_fraction: est,
+            queries_observed: self.queries,
+        })
+    }
+
+    fn prune_within(&mut self, pred: &RangePredicate<T>, alive: &RangeSet) -> PruneOutcome {
+        let mut out = PruneOutcome {
+            must_scan: RangeSet::with_capacity(16),
+            scan_units: Vec::new(),
+            mask_requests: Vec::new(),
+            full_match: RangeSet::with_capacity(16),
+            zones_probed: 0,
+            zones_skipped: 0,
+        };
+        if self.mins.is_empty() {
+            self.queries += 1;
+            return out;
+        }
+        let mut prev_zone = usize::MAX;
+        for ar in alive.ranges() {
+            let first = ar.start / self.zone_rows;
+            let last = (ar.end - 1) / self.zone_rows;
+            for z in first..=last.min(self.mins.len().saturating_sub(1)) {
+                let (zs, ze) = self.zone_span(z);
+                let frag_start = zs.max(ar.start);
+                let frag_end = ze.min(ar.end);
+                let fresh = z != prev_zone;
+                prev_zone = z;
+                if fresh {
+                    out.zones_probed += 1;
+                }
+                let (min, max) = (self.mins[z], self.maxs[z]);
+                if !pred.overlaps(min, max) {
+                    if fresh {
+                        out.zones_skipped += 1;
+                    }
+                } else if pred.contains_zone(min, max) {
+                    out.full_match.push_span(frag_start, frag_end);
+                } else {
+                    out.must_scan.push_span(frag_start, frag_end);
+                }
+            }
+        }
+        self.queries += 1;
+        self.total_probes += out.zones_probed as u64;
+        self.total_skips += out.zones_skipped as u64;
         out
     }
 
@@ -261,6 +334,49 @@ mod tests {
     fn name_includes_granularity() {
         let zm = StaticZonemap::build(&sorted_data(10), 4);
         assert_eq!(SkippingIndex::name(&zm), "static-zonemap(4)");
+    }
+
+    #[test]
+    fn prune_stats_track_history() {
+        let data = sorted_data(1000);
+        let mut zm = StaticZonemap::build(&data, 100);
+        let s = zm.prune_stats().expect("static maps report stats");
+        assert_eq!(s.probe_entries, 10);
+        assert_eq!(s.queries_observed, 0);
+        assert_eq!(s.est_skip_fraction, 1.0); // optimistic prior
+        zm.prune(&RangePredicate::between(250, 260)); // 9 of 10 skip
+        let s = zm.prune_stats().expect("static maps report stats");
+        assert_eq!(s.queries_observed, 1);
+        assert!((s.est_skip_fraction - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prune_within_matches_restricted_full_prune() {
+        let data = sorted_data(1000);
+        let mut zm = StaticZonemap::build(&data, 100);
+        let pred = RangePredicate::between(150, 750);
+        let mut alive = RangeSet::new();
+        alive.push_span(50, 320);
+        alive.push_span(610, 900);
+        let restricted = zm.prune_within(&pred, &alive);
+        let full = zm.prune(&pred).restrict_to(&alive);
+        assert_eq!(restricted.must_scan, full.must_scan);
+        assert_eq!(restricted.full_match, full.full_match);
+        // Only zones overlapping `alive` were examined.
+        assert_eq!(restricted.zones_probed, 7);
+        assert!(restricted.zones_probed < full.zones_probed);
+    }
+
+    #[test]
+    fn prune_within_probes_spanning_zone_once() {
+        let data = sorted_data(1000);
+        let mut zm = StaticZonemap::build(&data, 500);
+        let mut alive = RangeSet::new();
+        alive.push_span(0, 100);
+        alive.push_span(200, 300); // same zone as the first range
+        let out = zm.prune_within(&RangePredicate::all(), &alive);
+        assert_eq!(out.zones_probed, 1);
+        assert_eq!(out.rows_full_match(), 200);
     }
 
     #[test]

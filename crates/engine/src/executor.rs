@@ -170,6 +170,8 @@ pub fn execute_with_policy<T: DataValue>(
         scan_ns: phase.scan_ns,
         observe_ns,
         threads_used: phase.threads_used,
+        conjuncts_probed: 0,
+        plan_fallback: false,
     };
     (answer, metrics)
 }

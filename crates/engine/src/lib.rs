@@ -11,7 +11,8 @@
 //! * [`ColumnSession`] — a column + strategy + cumulative metrics, the unit
 //!   every experiment compares;
 //! * [`TableSession`] — conjunctive multi-column filtering by candidate
-//!   range intersection.
+//!   range intersection, with a cost-based probe planner ([`planner`])
+//!   that orders, restricts, and gates per-column metadata probes.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -21,6 +22,7 @@ pub mod exec_policy;
 pub mod executor;
 pub mod histogram;
 pub mod metrics;
+pub mod planner;
 pub mod session;
 pub mod sharded_exec;
 pub mod strategy;
@@ -34,6 +36,7 @@ pub use executor::{
 };
 pub use histogram::LatencyHistogram;
 pub use metrics::{CumulativeMetrics, QueryMetrics};
+pub use planner::{FallbackReason, PlanMode, PlanStep, PlanTrace};
 pub use session::ColumnSession;
 pub use sharded_exec::{
     execute_sharded, scan_sharded, ShardLaneMetrics, ShardScanInput, ShardedQueryMetrics,

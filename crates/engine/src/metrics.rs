@@ -26,6 +26,12 @@ pub struct QueryMetrics {
     pub observe_ns: u64,
     /// Worker threads the scan phase used (1 = sequential).
     pub threads_used: usize,
+    /// Conjuncts whose index was probed (0 for single-column queries or
+    /// when the planner fell back to scan-and-filter).
+    pub conjuncts_probed: usize,
+    /// True when a conjunction query probed no index at all (the planner's
+    /// scan-and-filter fallback).
+    pub plan_fallback: bool,
 }
 
 impl QueryMetrics {
@@ -68,6 +74,8 @@ pub struct CumulativeMetrics {
     pub observe_ns: u64,
     /// Largest scan-phase thread count any query used.
     pub max_threads_used: usize,
+    /// Queries that fell back to scan-and-filter without probing.
+    pub plan_fallbacks: u64,
 }
 
 impl CumulativeMetrics {
@@ -85,6 +93,8 @@ impl CumulativeMetrics {
         self.scan_ns += m.scan_ns;
         self.observe_ns += m.observe_ns;
         self.max_threads_used = self.max_threads_used.max(m.threads_used);
+        // narrowing: bool -> u64 is 0 or 1 by definition.
+        self.plan_fallbacks += m.plan_fallback as u64;
     }
 
     /// Mean query latency in nanoseconds (0 when no queries ran).
@@ -121,6 +131,8 @@ mod tests {
             scan_ns: 80,
             observe_ns: 15,
             threads_used: 4,
+            conjuncts_probed: 2,
+            plan_fallback: true,
         };
         c.absorb(&m);
         c.absorb(&m);
@@ -132,6 +144,7 @@ mod tests {
         assert_eq!(c.mean_latency_ns(), 100.0);
         assert_eq!((c.prune_ns, c.scan_ns, c.observe_ns), (10, 160, 30));
         assert_eq!(c.max_threads_used, 4);
+        assert_eq!(c.plan_fallbacks, 2);
         c.absorb(&QueryMetrics::default());
         assert_eq!(c.max_threads_used, 4, "max, not last");
     }

@@ -1,0 +1,355 @@
+//! Cost-based probe planning for multi-column conjunctions.
+//!
+//! The paper's core warning — skipping hurts when metadata reads outcost
+//! the scan work they save — is enforced here *before* execution: each
+//! conjunct's index reports a [`PruneStats`] summary (zone count, estimated
+//! skip fraction, history depth), and the planner decides which indexes to
+//! consult, in what order, and when consulting any of them is a predicted
+//! net loss (fall back to scan-and-filter).
+//!
+//! The schedule itself is deliberately simple:
+//!
+//! * conjuncts with history are probed best-estimate-first, so the most
+//!   selective metadata shrinks the alive row set before anyone else pays
+//!   a probe bill;
+//! * later probes run restricted to the surviving rows
+//!   ([`SkippingIndex::prune_within`]), so they only examine metadata
+//!   entries that still matter;
+//! * conjuncts without history are probed unconditionally (after the known
+//!   ones) — a cold index must be exercised to earn an estimate;
+//! * a conjunct whose predicted saving does not clear its predicted probe
+//!   cost is skipped entirely and handled by the residual filter.
+//!
+//! [`SkippingIndex::prune_within`]: ads_core::SkippingIndex::prune_within
+
+use ads_core::{CostModel, PruneStats};
+use std::cmp::Ordering;
+
+/// How [`TableSession`](crate::TableSession) chooses and gates the probe
+/// order of a conjunction.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum PlanMode {
+    /// Cost-based: order by estimated benefit, restrict later probes to
+    /// surviving rows, and skip probes the model predicts unprofitable.
+    #[default]
+    Planned,
+    /// Caller order with full-map probes and no gating — the behaviour
+    /// before the planner existed, kept as the comparison baseline.
+    FixedOrder,
+    /// Caller order reversed, restricted probes, no gating.
+    Reversed,
+    /// An explicit probe order (a permutation of conjunct indices),
+    /// restricted probes, no gating. Used by the oracle search in E18.
+    ForcedOrder(Vec<usize>),
+    /// Probe no index at all: scan-and-filter every conjunct.
+    ForcedFallback,
+}
+
+/// Why a query fell back to scan-and-filter without probing any index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FallbackReason {
+    /// No conjunct's predicted saving cleared its predicted probe cost.
+    NoProfitableProbe,
+    /// The session was pinned to [`PlanMode::ForcedFallback`].
+    Forced,
+}
+
+/// One conjunct's entry in a [`PlanTrace`], in the order the plan visited
+/// them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanStep {
+    /// Column the conjunct filters.
+    pub column: String,
+    /// Whether the index was actually probed.
+    pub probed: bool,
+    /// The index's own pre-probe skip-fraction estimate, when it had one.
+    pub est_skip_fraction: Option<f64>,
+    /// Predicted net saving of the probe in tuple-scan equivalents at the
+    /// moment the plan considered it (0.0 when ungated).
+    pub est_benefit: f64,
+    /// Metadata entries the probe examined (0 when skipped).
+    pub zones_probed: usize,
+    /// Zones the probe excluded.
+    pub zones_skipped: usize,
+    /// Rows alive before this step.
+    pub alive_before: usize,
+    /// Rows alive after this step (equals `alive_before` when skipped).
+    pub alive_after: usize,
+}
+
+impl PlanStep {
+    /// Fraction of the rows alive before this step that the probe
+    /// excluded; 0.0 for skipped steps or an already-empty alive set.
+    pub fn actual_skip_fraction(&self) -> f64 {
+        if self.alive_before == 0 {
+            0.0
+        } else {
+            1.0 - self.alive_after as f64 / self.alive_before as f64
+        }
+    }
+}
+
+/// The decision record of one conjunction query: what was probed, in what
+/// order, what the estimates said, and what actually happened.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PlanTrace {
+    /// Steps in plan order.
+    pub steps: Vec<PlanStep>,
+    /// Set when the query probed no index at all.
+    pub fallback: Option<FallbackReason>,
+}
+
+impl PlanTrace {
+    /// Number of conjuncts whose index was probed.
+    pub fn conjuncts_probed(&self) -> usize {
+        self.steps.iter().filter(|s| s.probed).count()
+    }
+}
+
+/// A resolved probe schedule for one conjunction query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProbePlan {
+    /// Conjunct indices in probe order; always a permutation of `0..k`.
+    pub order: Vec<usize>,
+    /// Later probes see only rows still alive (`prune_within`).
+    pub restricted: bool,
+    /// Probes may be skipped when predicted unprofitable.
+    pub gated: bool,
+    /// Probe nothing at all.
+    pub forced_fallback: bool,
+}
+
+/// Builds the probe schedule for `mode` over conjuncts whose pre-probe
+/// stats are `stats` (one entry per conjunct, caller order).
+///
+/// # Errors
+/// Returns a message when a [`PlanMode::ForcedOrder`] is not a permutation
+/// of `0..stats.len()`.
+pub fn build_probe_plan(
+    mode: &PlanMode,
+    stats: &[Option<PruneStats>],
+) -> Result<ProbePlan, String> {
+    let k = stats.len();
+    let plan = match mode {
+        PlanMode::FixedOrder => ProbePlan {
+            order: (0..k).collect(),
+            restricted: false,
+            gated: false,
+            forced_fallback: false,
+        },
+        PlanMode::Reversed => ProbePlan {
+            order: (0..k).rev().collect(),
+            restricted: true,
+            gated: false,
+            forced_fallback: false,
+        },
+        PlanMode::ForcedFallback => ProbePlan {
+            order: (0..k).collect(),
+            restricted: true,
+            gated: false,
+            forced_fallback: true,
+        },
+        PlanMode::ForcedOrder(order) => {
+            let mut seen = vec![false; k];
+            let valid = order.len() == k
+                && order
+                    .iter()
+                    .all(|&i| i < k && !std::mem::replace(&mut seen[i], true));
+            if !valid {
+                return Err(format!(
+                    "forced order {order:?} is not a permutation of 0..{k}"
+                ));
+            }
+            ProbePlan {
+                order: order.clone(),
+                restricted: true,
+                gated: false,
+                forced_fallback: false,
+            }
+        }
+        PlanMode::Planned => {
+            // Conjuncts with history first, best estimate first; ties and
+            // history-less conjuncts keep caller order (a cold index still
+            // gets probed — it must be exercised to earn an estimate).
+            let mut known: Vec<usize> = Vec::new();
+            let mut unknown: Vec<usize> = Vec::new();
+            for (i, s) in stats.iter().enumerate() {
+                match s {
+                    Some(ps) if ps.queries_observed > 0 => known.push(i),
+                    _ => unknown.push(i),
+                }
+            }
+            known.sort_by(|&a, &b| {
+                let ea = stats[a].map_or(0.0, |s| s.est_skip_fraction);
+                let eb = stats[b].map_or(0.0, |s| s.est_skip_fraction);
+                eb.partial_cmp(&ea)
+                    .unwrap_or(Ordering::Equal)
+                    .then(a.cmp(&b))
+            });
+            let mut order = known;
+            order.extend(unknown);
+            ProbePlan {
+                order,
+                restricted: true,
+                gated: true,
+                forced_fallback: false,
+            }
+        }
+    };
+    Ok(plan)
+}
+
+/// Predicted net saving, in tuple-scan equivalents, of probing an index
+/// summarised by `s` while `alive_rows` of the table's `n` rows survive:
+/// expected rows excluded, minus the predicted cost of a probe restricted
+/// to the metadata entries still overlapping alive rows.
+pub fn probe_benefit(s: &PruneStats, alive_rows: usize, n: usize, cost: &CostModel) -> f64 {
+    let alive_frac = if n == 0 {
+        0.0
+    } else {
+        alive_rows as f64 / n as f64
+    };
+    let probes = s.probe_entries as f64 * alive_frac;
+    s.est_skip_fraction * alive_rows as f64 - probes * cost.probe_cost_tuples
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn st(entries: usize, est: f64, q: u64) -> Option<PruneStats> {
+        Some(PruneStats {
+            probe_entries: entries,
+            est_skip_fraction: est,
+            queries_observed: q,
+        })
+    }
+
+    #[test]
+    fn planned_orders_known_by_estimate_then_unknowns() {
+        let stats = [st(10, 0.2, 5), st(10, 0.9, 5), None, st(10, 0.9, 0)];
+        let p = build_probe_plan(&PlanMode::Planned, &stats).unwrap();
+        assert_eq!(p.order, vec![1, 0, 2, 3]);
+        assert!(p.restricted && p.gated && !p.forced_fallback);
+    }
+
+    #[test]
+    fn planned_ties_keep_caller_order() {
+        let stats = [st(10, 0.5, 1), st(10, 0.5, 1)];
+        let p = build_probe_plan(&PlanMode::Planned, &stats).unwrap();
+        assert_eq!(p.order, vec![0, 1]);
+    }
+
+    #[test]
+    fn fixed_order_is_unrestricted_caller_order() {
+        let stats = [st(10, 0.2, 5), st(10, 0.9, 5)];
+        let p = build_probe_plan(&PlanMode::FixedOrder, &stats).unwrap();
+        assert_eq!(p.order, vec![0, 1]);
+        assert!(!p.restricted && !p.gated);
+    }
+
+    #[test]
+    fn reversed_flips_caller_order() {
+        let stats = [None, None, None];
+        let p = build_probe_plan(&PlanMode::Reversed, &stats).unwrap();
+        assert_eq!(p.order, vec![2, 1, 0]);
+        assert!(p.restricted && !p.gated);
+    }
+
+    #[test]
+    fn forced_order_validates_permutation() {
+        let stats = [None, None];
+        assert!(build_probe_plan(&PlanMode::ForcedOrder(vec![1, 0]), &stats).is_ok());
+        for bad in [vec![0], vec![0, 0], vec![0, 2], vec![0, 1, 1]] {
+            assert!(
+                build_probe_plan(&PlanMode::ForcedOrder(bad.clone()), &stats).is_err(),
+                "{bad:?} accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn forced_fallback_probes_nothing() {
+        let p = build_probe_plan(&PlanMode::ForcedFallback, &[None]).unwrap();
+        assert!(p.forced_fallback);
+    }
+
+    #[test]
+    fn benefit_positive_for_selective_cheap_probe() {
+        let cost = CostModel::new(8.0);
+        let s = PruneStats {
+            probe_entries: 100,
+            est_skip_fraction: 0.9,
+            queries_observed: 10,
+        };
+        // 90% of 100k rows saved vs 100 probes: clearly positive.
+        assert!(probe_benefit(&s, 100_000, 100_000, &cost) > 0.0);
+    }
+
+    #[test]
+    fn benefit_negative_when_probes_outcost_savings() {
+        let cost = CostModel::new(8.0);
+        let s = PruneStats {
+            probe_entries: 1000,
+            est_skip_fraction: 0.0,
+            queries_observed: 10,
+        };
+        assert!(probe_benefit(&s, 100_000, 100_000, &cost) < 0.0);
+        // Empty table: no saving, no cost.
+        assert_eq!(probe_benefit(&s, 0, 0, &cost), 0.0);
+    }
+
+    #[test]
+    fn benefit_scales_probe_cost_by_alive_fraction() {
+        let cost = CostModel::new(8.0);
+        let s = PruneStats {
+            probe_entries: 1000,
+            est_skip_fraction: 0.1,
+            queries_observed: 10,
+        };
+        let full = probe_benefit(&s, 100_000, 100_000, &cost);
+        let tenth = probe_benefit(&s, 10_000, 100_000, &cost);
+        // Restricted probes touch proportionally less metadata.
+        assert!(full < 0.1 * 100_000.0 && tenth < 0.1 * 10_000.0);
+        assert!(tenth > full / 10.0 - 1e-9);
+    }
+
+    #[test]
+    fn trace_helpers() {
+        let step = PlanStep {
+            column: "a".into(),
+            probed: true,
+            est_skip_fraction: Some(0.5),
+            est_benefit: 10.0,
+            zones_probed: 4,
+            zones_skipped: 2,
+            alive_before: 100,
+            alive_after: 25,
+        };
+        assert!((step.actual_skip_fraction() - 0.75).abs() < 1e-12);
+        let trace = PlanTrace {
+            steps: vec![
+                step.clone(),
+                PlanStep {
+                    probed: false,
+                    alive_after: 25,
+                    alive_before: 25,
+                    ..step
+                },
+            ],
+            fallback: None,
+        };
+        assert_eq!(trace.conjuncts_probed(), 1);
+        let empty = PlanStep {
+            column: "b".into(),
+            probed: false,
+            est_skip_fraction: None,
+            est_benefit: 0.0,
+            zones_probed: 0,
+            zones_skipped: 0,
+            alive_before: 0,
+            alive_after: 0,
+        };
+        assert_eq!(empty.actual_skip_fraction(), 0.0);
+    }
+}

@@ -262,6 +262,8 @@ pub fn execute_sharded<T: DataValue>(
         scan_ns: result.phase.scan_ns,
         observe_ns,
         threads_used: result.phase.threads_used,
+        conjuncts_probed: 0,
+        plan_fallback: false,
     };
     (
         result.answer,

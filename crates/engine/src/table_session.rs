@@ -11,8 +11,12 @@
 
 use crate::executor::AggKind;
 use crate::metrics::{CumulativeMetrics, QueryMetrics};
+use crate::planner::{self, FallbackReason, PlanMode, PlanStep, PlanTrace};
 use crate::strategy::Strategy;
-use ads_core::{RangeObservation, RangePredicate, ScanObservation, SkippingIndex};
+use ads_core::{
+    CostModel, PruneOutcome, PruneStats, RangeObservation, RangePredicate, ScanObservation,
+    SkippingIndex,
+};
 use ads_storage::{scan, Bitmap, Column, DataValue, RangeSet, StorageError, Table};
 use std::collections::BTreeMap;
 use std::time::Instant;
@@ -54,6 +58,8 @@ pub enum TableSessionError {
         /// Stored type.
         expected: &'static str,
     },
+    /// A forced probe order was not a permutation of the conjuncts.
+    InvalidPlan(String),
 }
 
 impl std::fmt::Display for TableSessionError {
@@ -70,6 +76,7 @@ impl std::fmt::Display for TableSessionError {
                     "predicate type mismatch on {column}: column is {expected}"
                 )
             }
+            TableSessionError::InvalidPlan(msg) => write!(f, "invalid plan: {msg}"),
         }
     }
 }
@@ -90,6 +97,12 @@ pub struct TableSession {
     table: Table,
     indexes: BTreeMap<String, AnyIndex>,
     totals: CumulativeMetrics,
+    cost: CostModel,
+    plan_mode: PlanMode,
+    last_plan: Option<PlanTrace>,
+    /// Every this-many queries, a gated plan probes every conjunct anyway
+    /// so estimates track a shifting workload; 0 disables exploration.
+    explore_every: u64,
 }
 
 impl TableSession {
@@ -117,6 +130,10 @@ impl TableSession {
                 build_ns: t0.elapsed().as_nanos() as u64,
                 ..Default::default()
             },
+            cost: CostModel::default(),
+            plan_mode: PlanMode::default(),
+            last_plan: None,
+            explore_every: 64,
         })
     }
 
@@ -128,6 +145,41 @@ impl TableSession {
     /// Running totals.
     pub fn totals(&self) -> &CumulativeMetrics {
         &self.totals
+    }
+
+    /// Sets how conjunction queries choose their probe order.
+    pub fn set_plan_mode(&mut self, mode: PlanMode) {
+        self.plan_mode = mode;
+    }
+
+    /// The active plan mode.
+    pub fn plan_mode(&self) -> &PlanMode {
+        &self.plan_mode
+    }
+
+    /// The decision record of the most recent conjunction query.
+    pub fn last_plan(&self) -> Option<&PlanTrace> {
+        self.last_plan.as_ref()
+    }
+
+    /// Sets the exploration period of gated plans (0 = never explore).
+    pub fn set_explore_every(&mut self, every: u64) {
+        self.explore_every = every;
+    }
+
+    /// Replaces the cost model the planner prices probes with.
+    pub fn set_cost_model(&mut self, cost: CostModel) {
+        self.cost = cost;
+    }
+
+    /// Metadata footprint of the named column's index, in bytes.
+    pub fn index_metadata_bytes(&self, column: &str) -> Option<usize> {
+        self.indexes.get(column).map(|idx| match idx {
+            AnyIndex::I32(i) => i.metadata_bytes(),
+            AnyIndex::I64(i) => i.metadata_bytes(),
+            AnyIndex::U64(i) => i.metadata_bytes(),
+            AnyIndex::F64(i) => i.metadata_bytes(),
+        })
     }
 
     /// Counts rows satisfying every conjunct.
@@ -163,40 +215,118 @@ impl TableSession {
         let mut zones_probed = 0usize;
         let mut zones_skipped = 0usize;
 
-        // Phase 1: prune every conjunct.
-        let mut candidates: Option<RangeSet> = None;
-        let mut all_full: Option<RangeSet> = None;
-        let mut outcomes = Vec::with_capacity(conjuncts.len());
+        // Phase 0: validate every conjunct up front — missing-index and
+        // type-mismatch errors must fire even for conjuncts the plan would
+        // not probe — and collect pre-probe stats for the planner.
+        let mut stats: Vec<Option<PruneStats>> = Vec::with_capacity(conjuncts.len());
         for &(name, pred) in conjuncts {
             let idx = self
                 .indexes
-                .get_mut(name)
+                .get(name)
                 .ok_or_else(|| TableSessionError::NoIndex(name.to_string()))?;
-            let out = prune_any(idx, &pred, name)?;
-            zones_probed += out.zones_probed;
-            zones_skipped += out.zones_skipped;
-            let mut cand = out.must_scan.clone();
-            for r in out.full_match.ranges() {
-                // Union by rebuilding: must_scan and full_match are
-                // disjoint, so merging their sorted range lists suffices.
-                cand = union_disjoint(&cand, *r);
-            }
-            candidates = Some(match candidates {
-                None => cand.clone(),
-                Some(prev) => prev.intersect(&cand),
-            });
-            all_full = Some(match all_full {
-                None => out.full_match.clone(),
-                Some(prev) => prev.intersect(&out.full_match),
-            });
-            outcomes.push((name, pred, out));
+            check_predicate_type(idx, &pred, name)?;
+            stats.push(stats_any(idx));
         }
-        let candidates = candidates.unwrap_or_else(|| RangeSet::full(n));
-        let all_full = all_full.unwrap_or_default();
+        let plan = planner::build_probe_plan(&self.plan_mode, &stats)
+            .map_err(TableSessionError::InvalidPlan)?;
+        let explore = plan.gated
+            && self.explore_every > 0
+            && self.totals.queries.is_multiple_of(self.explore_every);
 
-        // Rows in every column's full-match ranges qualify outright.
+        // Phase 1: probe in plan order, intersecting each probed column's
+        // surviving candidates into `alive` before the next probe runs —
+        // restricted probes then only examine metadata still in play.
+        let mut alive = RangeSet::full(n);
+        let mut outcomes: Vec<Option<PruneOutcome>> = conjuncts.iter().map(|_| None).collect();
+        let mut steps: Vec<PlanStep> = Vec::with_capacity(conjuncts.len());
+        for &ci in &plan.order {
+            let (name, pred) = conjuncts[ci];
+            let alive_before = alive.covered_rows();
+            let est = stats[ci].map(|s| s.est_skip_fraction);
+            let (probe, benefit) = if plan.forced_fallback {
+                (false, 0.0)
+            } else if plan.gated && !explore {
+                match &stats[ci] {
+                    // Gating applies only to estimates backed by history;
+                    // cold indexes are always probed so they can learn.
+                    Some(s) if s.queries_observed > 0 => {
+                        let b = planner::probe_benefit(s, alive_before, n, &self.cost);
+                        (b > 0.0, b)
+                    }
+                    _ => (true, 0.0),
+                }
+            } else {
+                (true, 0.0)
+            };
+            if probe {
+                let idx = self
+                    .indexes
+                    .get_mut(name)
+                    // invariant: phase 0 verified the entry exists.
+                    .expect("index validated in phase 0");
+                let out = if plan.restricted && alive_before < n {
+                    prune_any_within(idx, &pred, &alive, name)?
+                } else {
+                    prune_any(idx, &pred, name)?
+                };
+                zones_probed += out.zones_probed;
+                zones_skipped += out.zones_skipped;
+                alive = alive.intersect(&out.must_scan.union(&out.full_match));
+                steps.push(PlanStep {
+                    column: name.to_string(),
+                    probed: true,
+                    est_skip_fraction: est,
+                    est_benefit: benefit,
+                    zones_probed: out.zones_probed,
+                    zones_skipped: out.zones_skipped,
+                    alive_before,
+                    alive_after: alive.covered_rows(),
+                });
+                outcomes[ci] = Some(out);
+            } else {
+                steps.push(PlanStep {
+                    column: name.to_string(),
+                    probed: false,
+                    est_skip_fraction: est,
+                    est_benefit: benefit,
+                    zones_probed: 0,
+                    zones_skipped: 0,
+                    alive_before,
+                    alive_after: alive_before,
+                });
+            }
+        }
+        let conjuncts_probed = outcomes.iter().filter(|o| o.is_some()).count();
+        let fallback = if conjuncts_probed == 0 && !conjuncts.is_empty() {
+            Some(if plan.forced_fallback {
+                FallbackReason::Forced
+            } else {
+                FallbackReason::NoProfitableProbe
+            })
+        } else {
+            None
+        };
+
+        // Rows in every column's full-match ranges qualify outright — but
+        // only when every conjunct was probed: an unprobed conjunct has
+        // certified nothing, so its rows must go through the filter.
+        let all_full = if conjuncts_probed == conjuncts.len() && !conjuncts.is_empty() {
+            let mut af: Option<RangeSet> = None;
+            for out in outcomes.iter().flatten() {
+                af = Some(match af {
+                    None => out.full_match.clone(),
+                    Some(prev) => prev.intersect(&out.full_match),
+                });
+            }
+            af.unwrap_or_default()
+        } else {
+            RangeSet::new()
+        };
+        let prune_ns = t0.elapsed().as_nanos() as u64;
+        let t_scan = Instant::now();
+
         let mut count = all_full.covered_rows() as u64;
-        let to_scan = candidates.intersect(&all_full.complement(n));
+        let to_scan = alive.intersect(&all_full.complement(n));
 
         // Phase 2: scan the remaining candidate ranges, AND-ing per-column
         // qualification bitmaps. Ranges are cut at every column's scan-unit
@@ -204,7 +334,7 @@ impl TableSession {
         // with zone boundaries — without this, adaptive zonemaps could
         // never materialise metadata from multi-column scans.
         let mut cuts: Vec<usize> = Vec::new();
-        for (_, _, out) in &outcomes {
+        for out in outcomes.iter().flatten() {
             for u in out.units() {
                 cuts.push(u.start);
                 cuts.push(u.end);
@@ -229,29 +359,34 @@ impl TableSession {
         }
 
         let mut rows_scanned = 0usize;
-        let mut per_col_obs: BTreeMap<&str, Vec<RangeObservation64>> = BTreeMap::new();
+        let mut per_col_obs: BTreeMap<&str, Vec<ObservationRec>> = BTreeMap::new();
         let mut survivors_per_range: Vec<(usize, Bitmap)> = Vec::new();
         for r in &scan_pieces {
             let mut combined: Option<Bitmap> = None;
-            for &(name, pred, ref out) in &outcomes {
-                // A column whose full-match covers this range entirely
-                // does not constrain it further and needs no scan.
-                if covers(&out.full_match, r.start, r.end) {
-                    continue;
+            for (ci, &(name, pred)) in conjuncts.iter().enumerate() {
+                let probed = outcomes[ci].as_ref();
+                // A probed column whose full-match covers this range
+                // entirely does not constrain it further and needs no
+                // scan; an unprobed column always filters.
+                if let Some(out) = probed {
+                    if out.full_match.covers_span(r.start, r.end) {
+                        continue;
+                    }
                 }
                 let mut bm = Bitmap::new(r.len());
-                let (q, lo_f, hi_f) = fill_any(&self.table, name, &pred, r.start, r.end, &mut bm)?;
+                let (q, bounds) = fill_any(&self.table, name, &pred, r.start, r.end, &mut bm)?;
                 rows_scanned += r.len();
-                per_col_obs
-                    .entry(name)
-                    .or_default()
-                    .push(RangeObservation64 {
+                // Observations feed back only to probed indexes — observe
+                // without the matching prune would desynchronise an
+                // adaptive structure's query clock.
+                if probed.is_some() {
+                    per_col_obs.entry(name).or_default().push(ObservationRec {
                         start: r.start,
                         end: r.end,
                         qualifying: q,
-                        min: lo_f,
-                        max: hi_f,
+                        bounds,
                     });
+                }
                 combined = Some(match combined {
                     None => bm,
                     Some(mut prev) => {
@@ -292,20 +427,27 @@ impl TableSession {
             *sum = total;
         }
 
-        // Phase 4: feed observations back per column (min/max here are of
-        // the scanned range, computed as scan by-products).
-        for (name, pred, _) in outcomes {
+        let scan_ns = t_scan.elapsed().as_nanos() as u64;
+        let t_observe = Instant::now();
+
+        // Phase 4: feed observations back per probed column (min/max here
+        // are of the scanned range, computed as typed scan by-products).
+        for (ci, &(name, pred)) in conjuncts.iter().enumerate() {
+            if outcomes[ci].is_none() {
+                continue;
+            }
             if let Some(obs) = per_col_obs.remove(name) {
                 let idx = self
                     .indexes
                     .get_mut(name)
-                    // invariant: phase 1 iterated the same map without
-                    // removing entries.
-                    .expect("index existed in phase 1");
+                    // invariant: phase 0 verified the entry exists.
+                    .expect("index validated in phase 0");
                 observe_any(idx, &pred, obs);
             }
         }
+        let observe_ns = t_observe.elapsed().as_nanos() as u64;
 
+        self.last_plan = Some(PlanTrace { steps, fallback });
         let metrics = QueryMetrics {
             wall_ns: t0.elapsed().as_nanos() as u64,
             zones_probed,
@@ -314,65 +456,96 @@ impl TableSession {
             rows_full_match: all_full.covered_rows(),
             rows_matched: count,
             adapt_events: 0,
-            ..Default::default()
+            prune_ns,
+            scan_ns,
+            observe_ns,
+            threads_used: 1,
+            conjuncts_probed,
+            plan_fallback: fallback.is_some(),
         };
         self.totals.absorb(&metrics);
         Ok((count, metrics))
     }
 }
 
-/// Type-erased observation carrying `f64` bounds; converted to the typed
-/// observation at the observe step.
-struct RangeObservation64 {
+/// Typed `(min, max)` scan by-products, preserved exactly through the
+/// type-erased observation path. These used to travel through `f64`; for
+/// `i64`/`u64` magnitudes at or above 2^53 the nearest-rounding round-trip
+/// could move a recorded zone max *below* the true max (or a min above the
+/// true min), making a later predicate falsely skip qualifying rows. Keeping
+/// the native type end-to-end removes that failure mode outright.
+enum AnyBounds {
+    I32(i32, i32),
+    I64(i64, i64),
+    U64(u64, u64),
+    F64(f64, f64),
+}
+
+/// Type-erased observation carrying exact typed bounds; converted to the
+/// typed observation at the observe step.
+struct ObservationRec {
     start: usize,
     end: usize,
     qualifying: usize,
-    min: f64,
-    max: f64,
+    bounds: AnyBounds,
 }
 
-fn covers(set: &RangeSet, start: usize, end: usize) -> bool {
-    set.ranges()
-        .iter()
-        .any(|r| r.start <= start && end <= r.end)
-}
-
-/// Union of a canonical range set with one extra disjoint range.
-fn union_disjoint(set: &RangeSet, extra: ads_storage::RowRange) -> RangeSet {
-    let mut out = RangeSet::with_capacity(set.num_ranges() + 1);
-    let mut placed = false;
-    for r in set.ranges() {
-        if !placed && extra.start <= r.start {
-            out.push(extra);
-            placed = true;
-        }
-        out.push(*r);
+/// The error for a predicate whose type does not match the index's column.
+fn type_mismatch(idx: &AnyIndex, _pred: &AnyPredicate, column: &str) -> TableSessionError {
+    TableSessionError::PredicateType {
+        column: column.to_string(),
+        expected: match idx {
+            AnyIndex::I32(_) => "i32",
+            AnyIndex::I64(_) => "i64",
+            AnyIndex::U64(_) => "u64",
+            AnyIndex::F64(_) => "f64",
+        },
     }
-    if !placed {
-        out.push(extra);
-    }
-    out
 }
 
-fn prune_any(
-    idx: &mut AnyIndex,
-    pred: &AnyPredicate,
-    column: &str,
-) -> Result<ads_core::PruneOutcome> {
+/// Validates that `pred`'s type matches the index's column type.
+fn check_predicate_type(idx: &AnyIndex, pred: &AnyPredicate, column: &str) -> Result<()> {
+    match (idx, pred) {
+        (AnyIndex::I32(_), AnyPredicate::I32(_))
+        | (AnyIndex::I64(_), AnyPredicate::I64(_))
+        | (AnyIndex::U64(_), AnyPredicate::U64(_))
+        | (AnyIndex::F64(_), AnyPredicate::F64(_)) => Ok(()),
+        (idx, pred) => Err(type_mismatch(idx, pred, column)),
+    }
+}
+
+/// The index's pre-probe planner summary.
+fn stats_any(idx: &AnyIndex) -> Option<PruneStats> {
+    match idx {
+        AnyIndex::I32(i) => i.prune_stats(),
+        AnyIndex::I64(i) => i.prune_stats(),
+        AnyIndex::U64(i) => i.prune_stats(),
+        AnyIndex::F64(i) => i.prune_stats(),
+    }
+}
+
+fn prune_any(idx: &mut AnyIndex, pred: &AnyPredicate, column: &str) -> Result<PruneOutcome> {
     match (idx, pred) {
         (AnyIndex::I32(i), AnyPredicate::I32(p)) => Ok(i.prune(p)),
         (AnyIndex::I64(i), AnyPredicate::I64(p)) => Ok(i.prune(p)),
         (AnyIndex::U64(i), AnyPredicate::U64(p)) => Ok(i.prune(p)),
         (AnyIndex::F64(i), AnyPredicate::F64(p)) => Ok(i.prune(p)),
-        (idx, _) => Err(TableSessionError::PredicateType {
-            column: column.to_string(),
-            expected: match idx {
-                AnyIndex::I32(_) => "i32",
-                AnyIndex::I64(_) => "i64",
-                AnyIndex::U64(_) => "u64",
-                AnyIndex::F64(_) => "f64",
-            },
-        }),
+        (idx, pred) => Err(type_mismatch(idx, pred, column)),
+    }
+}
+
+fn prune_any_within(
+    idx: &mut AnyIndex,
+    pred: &AnyPredicate,
+    alive: &RangeSet,
+    column: &str,
+) -> Result<PruneOutcome> {
+    match (idx, pred) {
+        (AnyIndex::I32(i), AnyPredicate::I32(p)) => Ok(i.prune_within(p, alive)),
+        (AnyIndex::I64(i), AnyPredicate::I64(p)) => Ok(i.prune_within(p, alive)),
+        (AnyIndex::U64(i), AnyPredicate::U64(p)) => Ok(i.prune_within(p, alive)),
+        (AnyIndex::F64(i), AnyPredicate::F64(p)) => Ok(i.prune_within(p, alive)),
+        (idx, pred) => Err(type_mismatch(idx, pred, column)),
     }
 }
 
@@ -383,41 +556,56 @@ fn fill_any(
     start: usize,
     end: usize,
     bm: &mut Bitmap,
-) -> Result<(usize, f64, f64)> {
+) -> Result<(usize, AnyBounds)> {
     fn go<T: DataValue>(
         col: &Column<T>,
         p: &RangePredicate<T>,
         start: usize,
         end: usize,
         bm: &mut Bitmap,
-    ) -> (usize, f64, f64) {
-        let (q, min, max) =
-            scan::fill_bitmap_in_range_with_minmax(col.slice(start, end), 0, p.lo, p.hi, bm);
-        (q, min.to_f64(), max.to_f64())
+    ) -> (usize, T, T) {
+        scan::fill_bitmap_in_range_with_minmax(col.slice(start, end), 0, p.lo, p.hi, bm)
     }
     match pred {
-        AnyPredicate::I32(p) => Ok(go(table.typed_column::<i32>(name)?, p, start, end, bm)),
-        AnyPredicate::I64(p) => Ok(go(table.typed_column::<i64>(name)?, p, start, end, bm)),
-        AnyPredicate::U64(p) => Ok(go(table.typed_column::<u64>(name)?, p, start, end, bm)),
-        AnyPredicate::F64(p) => Ok(go(table.typed_column::<f64>(name)?, p, start, end, bm)),
+        AnyPredicate::I32(p) => {
+            let (q, lo, hi) = go(table.typed_column::<i32>(name)?, p, start, end, bm);
+            Ok((q, AnyBounds::I32(lo, hi)))
+        }
+        AnyPredicate::I64(p) => {
+            let (q, lo, hi) = go(table.typed_column::<i64>(name)?, p, start, end, bm);
+            Ok((q, AnyBounds::I64(lo, hi)))
+        }
+        AnyPredicate::U64(p) => {
+            let (q, lo, hi) = go(table.typed_column::<u64>(name)?, p, start, end, bm);
+            Ok((q, AnyBounds::U64(lo, hi)))
+        }
+        AnyPredicate::F64(p) => {
+            let (q, lo, hi) = go(table.typed_column::<f64>(name)?, p, start, end, bm);
+            Ok((q, AnyBounds::F64(lo, hi)))
+        }
     }
 }
 
-fn observe_any(idx: &mut AnyIndex, pred: &AnyPredicate, obs: Vec<RangeObservation64>) {
-    fn go<T: DataValue + FromF64>(
+fn observe_any(idx: &mut AnyIndex, pred: &AnyPredicate, obs: Vec<ObservationRec>) {
+    fn go<T: DataValue>(
         idx: &mut Box<dyn SkippingIndex<T>>,
         pred: &RangePredicate<T>,
-        obs: Vec<RangeObservation64>,
+        obs: Vec<ObservationRec>,
+        extract: impl Fn(&AnyBounds) -> Option<(T, T)>,
     ) {
+        // Observations whose bounds are not of the column's type cannot
+        // occur (fill_any produced them from the same predicate), but the
+        // feedback channel is advisory, so dropping beats panicking.
         let ranges = obs
             .into_iter()
-            .map(|o| {
-                RangeObservation::new(
+            .filter_map(|o| {
+                let (min, max) = extract(&o.bounds)?;
+                Some(RangeObservation::new(
                     ads_storage::RowRange::new(o.start, o.end),
                     o.qualifying,
-                    T::from_f64(o.min),
-                    T::from_f64(o.max),
-                )
+                    min,
+                    max,
+                ))
             })
             .collect();
         idx.observe(&ScanObservation {
@@ -426,10 +614,22 @@ fn observe_any(idx: &mut AnyIndex, pred: &AnyPredicate, obs: Vec<RangeObservatio
         });
     }
     match (idx, pred) {
-        (AnyIndex::I32(i), AnyPredicate::I32(p)) => go(i, p, obs),
-        (AnyIndex::I64(i), AnyPredicate::I64(p)) => go(i, p, obs),
-        (AnyIndex::U64(i), AnyPredicate::U64(p)) => go(i, p, obs),
-        (AnyIndex::F64(i), AnyPredicate::F64(p)) => go(i, p, obs),
+        (AnyIndex::I32(i), AnyPredicate::I32(p)) => go(i, p, obs, |b| match b {
+            AnyBounds::I32(lo, hi) => Some((*lo, *hi)),
+            _ => None,
+        }),
+        (AnyIndex::I64(i), AnyPredicate::I64(p)) => go(i, p, obs, |b| match b {
+            AnyBounds::I64(lo, hi) => Some((*lo, *hi)),
+            _ => None,
+        }),
+        (AnyIndex::U64(i), AnyPredicate::U64(p)) => go(i, p, obs, |b| match b {
+            AnyBounds::U64(lo, hi) => Some((*lo, *hi)),
+            _ => None,
+        }),
+        (AnyIndex::F64(i), AnyPredicate::F64(p)) => go(i, p, obs, |b| match b {
+            AnyBounds::F64(lo, hi) => Some((*lo, *hi)),
+            _ => None,
+        }),
         _ => {}
     }
 }
@@ -453,35 +653,6 @@ fn value_as_f64(col: &ads_storage::AnyColumn, row: usize) -> f64 {
         ads_storage::AnyColumn::I64(c) => c.value(row).to_f64(),
         ads_storage::AnyColumn::U64(c) => c.value(row).to_f64(),
         ads_storage::AnyColumn::F64(c) => c.value(row),
-    }
-}
-
-/// Inverse of [`DataValue::to_f64`] for observation round-tripping. Lossy
-/// in the same places `to_f64` is; zone bounds derived this way remain
-/// sound for the workloads here (integers < 2^53).
-trait FromF64 {
-    /// Converts back from the f64 transport representation.
-    fn from_f64(v: f64) -> Self;
-}
-
-impl FromF64 for i32 {
-    fn from_f64(v: f64) -> Self {
-        v as i32
-    }
-}
-impl FromF64 for i64 {
-    fn from_f64(v: f64) -> Self {
-        v as i64
-    }
-}
-impl FromF64 for u64 {
-    fn from_f64(v: f64) -> Self {
-        v as u64
-    }
-}
-impl FromF64 for f64 {
-    fn from_f64(v: f64) -> Self {
-        v
     }
 }
 
@@ -645,5 +816,180 @@ mod tests {
         let (_, m) = ts.count_conjunction(&conjuncts).unwrap();
         // time is sorted, so intersection confines scans to ~1 zone per column.
         assert!(m.rows_scanned <= 4 * 1024, "scanned {}", m.rows_scanned);
+    }
+
+    /// Small adaptive config so metadata materialises within a few queries.
+    fn small_adaptive() -> AdaptiveConfig {
+        AdaptiveConfig {
+            target_zone_rows: 64,
+            min_zone_rows: 8,
+            max_zone_rows: 512,
+            split_after_wasted: 1,
+            maintenance_every: 2,
+            ..AdaptiveConfig::default()
+        }
+    }
+
+    /// Regression for the observation-bounds transport: scan by-product
+    /// min/max used to round-trip through `f64`, which is exact for
+    /// integers only up to 2^53. For a needle value of 2^53 + 1 the
+    /// nearest double is 2^53, so an adaptive zone built from that
+    /// observation recorded max = 2^53 — strictly below the true max —
+    /// and a later point query for the needle was *falsely skipped*.
+    /// Typed [`AnyBounds`] transport keeps the native value end-to-end.
+    #[test]
+    fn u64_bounds_beyond_f64_precision_are_exact() {
+        const P53: u64 = 1 << 53;
+        let n = 4096usize;
+        let mut vals: Vec<u64> = (0..n as u64).map(|i| i * 17 % 1000).collect();
+        vals[100] = P53 + 1; // rounds DOWN to 2^53 as f64
+        vals[2000] = u64::MAX - 1; // not representable as f64 at all
+        let mut t = Table::new("edge");
+        t.add_column("v", Column::from_values(vals)).unwrap();
+        let mut ts = TableSession::new(t, &Strategy::Adaptive(small_adaptive()), &["v"]).unwrap();
+        // FixedOrder always probes, so false skips cannot hide behind the
+        // planner's scan-and-filter fallback.
+        ts.set_plan_mode(PlanMode::FixedOrder);
+        // Warm-up: full-range scans observe every zone, building metadata
+        // whose bounds include the needles.
+        let warm = [("v", AnyPredicate::U64(RangePredicate::between(0, u64::MAX)))];
+        for _ in 0..6 {
+            ts.count_conjunction(&warm).unwrap();
+        }
+        // Point query for each needle: exactly one row. Under the f64
+        // transport the first returned 0 (zone max recorded as 2^53).
+        for needle in [P53 + 1, u64::MAX - 1] {
+            let (c, m) = ts
+                .count_conjunction(&[(
+                    "v",
+                    AnyPredicate::U64(RangePredicate::between(needle, needle)),
+                )])
+                .unwrap();
+            assert_eq!(c, 1, "needle {needle} lost");
+            // The prune must be metadata-driven (skips most zones), or the
+            // test would pass vacuously by scanning everything.
+            assert!(m.zones_skipped > 0, "metadata never engaged");
+        }
+    }
+
+    /// Same failure mode at the negative end: `-(2^53) - 1` rounds toward
+    /// zero to `-(2^53)`, so an f64-transported zone *min* lands above the
+    /// true min and a point query for the needle is falsely skipped.
+    #[test]
+    fn i64_bounds_beyond_negative_f64_precision_are_exact() {
+        const N53: i64 = -(1i64 << 53);
+        let n = 4096usize;
+        let mut vals: Vec<i64> = (0..n as i64).map(|i| i * 13 % 1000).collect();
+        vals[300] = N53 - 1;
+        vals[3000] = i64::MIN + 1;
+        let mut t = Table::new("edge");
+        t.add_column("v", Column::from_values(vals)).unwrap();
+        let mut ts = TableSession::new(t, &Strategy::Adaptive(small_adaptive()), &["v"]).unwrap();
+        ts.set_plan_mode(PlanMode::FixedOrder);
+        let warm = [(
+            "v",
+            AnyPredicate::I64(RangePredicate::between(i64::MIN, i64::MAX)),
+        )];
+        for _ in 0..6 {
+            ts.count_conjunction(&warm).unwrap();
+        }
+        for needle in [N53 - 1, i64::MIN + 1] {
+            let (c, m) = ts
+                .count_conjunction(&[(
+                    "v",
+                    AnyPredicate::I64(RangePredicate::between(needle, needle)),
+                )])
+                .unwrap();
+            assert_eq!(c, 1, "needle {needle} lost");
+            assert!(m.zones_skipped > 0, "metadata never engaged");
+        }
+    }
+
+    #[test]
+    fn phase_timings_and_plan_metrics_populated() {
+        let t = make_table(8000);
+        let conjuncts: Vec<(&str, AnyPredicate)> = vec![
+            (
+                "time",
+                AnyPredicate::I64(RangePredicate::between(1000, 3000)),
+            ),
+            (
+                "value",
+                AnyPredicate::I64(RangePredicate::between(100, 500)),
+            ),
+        ];
+        let mut ts = TableSession::new(
+            t,
+            &Strategy::StaticZonemap { zone_rows: 256 },
+            &["time", "value"],
+        )
+        .unwrap();
+        let (_, m) = ts.count_conjunction(&conjuncts).unwrap();
+        // Satellite fix: these were all zero before the planner rework.
+        assert!(m.prune_ns > 0, "prune phase untimed");
+        assert!(m.scan_ns > 0, "scan phase untimed");
+        assert_eq!(m.threads_used, 1);
+        assert_eq!(m.conjuncts_probed, 2);
+        assert!(!m.plan_fallback);
+        assert!(m.wall_ns >= m.prune_ns);
+        let trace = ts.last_plan().expect("trace recorded");
+        assert_eq!(trace.steps.len(), 2);
+        assert_eq!(trace.conjuncts_probed(), 2);
+        assert!(trace.fallback.is_none());
+        assert!(ts.index_metadata_bytes("time").unwrap() > 0);
+        assert!(ts.index_metadata_bytes("missing").is_none());
+    }
+
+    #[test]
+    fn forced_fallback_scans_and_filters_everything() {
+        let t = make_table(4000);
+        let conjuncts: Vec<(&str, AnyPredicate)> = vec![
+            ("time", AnyPredicate::I64(RangePredicate::between(100, 900))),
+            ("value", AnyPredicate::I64(RangePredicate::between(0, 400))),
+        ];
+        let expected = reference_count(&t, &conjuncts);
+        let mut ts = TableSession::new(
+            t,
+            &Strategy::StaticZonemap { zone_rows: 256 },
+            &["time", "value"],
+        )
+        .unwrap();
+        ts.set_plan_mode(PlanMode::ForcedFallback);
+        let (count, m) = ts.count_conjunction(&conjuncts).unwrap();
+        assert_eq!(count, expected);
+        assert!(m.plan_fallback);
+        assert_eq!(m.conjuncts_probed, 0);
+        assert_eq!(m.zones_probed, 0);
+        assert_eq!(m.rows_scanned, 4000 * 2, "both conjuncts filter every row");
+        assert_eq!(
+            ts.last_plan().unwrap().fallback,
+            Some(FallbackReason::Forced)
+        );
+        assert_eq!(ts.totals().plan_fallbacks, 1);
+    }
+
+    #[test]
+    fn forced_order_must_be_permutation() {
+        let t = make_table(1000);
+        let conjuncts: Vec<(&str, AnyPredicate)> = vec![
+            ("time", AnyPredicate::I64(RangePredicate::between(0, 500))),
+            ("value", AnyPredicate::I64(RangePredicate::between(0, 500))),
+        ];
+        let mut ts = TableSession::new(
+            t,
+            &Strategy::StaticZonemap { zone_rows: 128 },
+            &["time", "value"],
+        )
+        .unwrap();
+        ts.set_plan_mode(PlanMode::ForcedOrder(vec![0, 0]));
+        assert!(matches!(
+            ts.count_conjunction(&conjuncts),
+            Err(TableSessionError::InvalidPlan(_))
+        ));
+        ts.set_plan_mode(PlanMode::ForcedOrder(vec![1, 0]));
+        let (count, _) = ts.count_conjunction(&conjuncts).unwrap();
+        ts.set_plan_mode(PlanMode::FixedOrder);
+        let (count2, _) = ts.count_conjunction(&conjuncts).unwrap();
+        assert_eq!(count, count2, "probe order must not change the answer");
     }
 }

@@ -174,6 +174,56 @@ impl RangeSet {
         out
     }
 
+    /// Union of two range sets via a single sorted merge.
+    ///
+    /// Both inputs are canonical (sorted, disjoint), so one pass over the
+    /// two range lists suffices; `push` coalesces touching spans. This is
+    /// the O(R) replacement for re-sorting per inserted range.
+    pub fn union(&self, other: &RangeSet) -> RangeSet {
+        if self.is_empty() {
+            return other.clone();
+        }
+        if other.is_empty() {
+            return self.clone();
+        }
+        let mut out = RangeSet::with_capacity(self.ranges.len() + other.ranges.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.ranges.len() && j < other.ranges.len() {
+            if self.ranges[i].start <= other.ranges[j].start {
+                out.push(self.ranges[i]);
+                i += 1;
+            } else {
+                out.push(other.ranges[j]);
+                j += 1;
+            }
+        }
+        for r in &self.ranges[i..] {
+            out.push(*r);
+        }
+        for r in &other.ranges[j..] {
+            out.push(*r);
+        }
+        out
+    }
+
+    /// True if the whole span `[start, end)` is covered by a single range.
+    ///
+    /// Ranges are canonical (disjoint, non-adjacent), so a contiguous span
+    /// is covered iff one range contains it; binary search on `start`
+    /// finds the only candidate. An empty span is trivially covered.
+    pub fn covers_span(&self, start: usize, end: usize) -> bool {
+        if start >= end {
+            return true;
+        }
+        // Candidate: last range whose start is <= start.
+        let i = self.ranges.partition_point(|r| r.start <= start);
+        if i == 0 {
+            return false;
+        }
+        let r = self.ranges[i - 1];
+        r.start <= start && end <= r.end
+    }
+
     /// Complement of the set within `[0, n)`.
     pub fn complement(&self, n: usize) -> RangeSet {
         let mut out = RangeSet::new();
@@ -308,6 +358,70 @@ mod tests {
     fn intersect_with_empty() {
         let a = RangeSet::full(50);
         assert!(a.intersect(&RangeSet::new()).is_empty());
+    }
+
+    #[test]
+    fn union_merges_sorted_sets() {
+        let mut a = RangeSet::new();
+        a.push_span(0, 10);
+        a.push_span(20, 30);
+        let mut b = RangeSet::new();
+        b.push_span(5, 25);
+        b.push_span(40, 50);
+        let u = a.union(&b);
+        assert_eq!(u.ranges(), &[RowRange::new(0, 30), RowRange::new(40, 50)]);
+        // Symmetric.
+        assert_eq!(b.union(&a), u);
+    }
+
+    #[test]
+    fn union_with_empty_and_adjacent() {
+        let a = RangeSet::full(10);
+        assert_eq!(a.union(&RangeSet::new()), a);
+        assert_eq!(RangeSet::new().union(&a), a);
+        let mut b = RangeSet::new();
+        b.push_span(10, 20);
+        assert_eq!(a.union(&b).ranges(), &[RowRange::new(0, 20)]);
+    }
+
+    #[test]
+    fn union_interleaved_matches_reference() {
+        // Exhaustive-ish check against a per-row reference on small sets.
+        let mut a = RangeSet::new();
+        for s in [0usize, 8, 16, 32] {
+            a.push_span(s, s + 4);
+        }
+        let mut b = RangeSet::new();
+        for s in [2usize, 12, 20, 36] {
+            b.push_span(s, s + 4);
+        }
+        let u = a.union(&b);
+        for row in 0..48 {
+            assert_eq!(
+                u.contains(row),
+                a.contains(row) || b.contains(row),
+                "row {row}"
+            );
+        }
+    }
+
+    #[test]
+    fn covers_span_binary_search() {
+        let mut rs = RangeSet::new();
+        rs.push_span(10, 20);
+        rs.push_span(30, 40);
+        assert!(rs.covers_span(10, 20));
+        assert!(rs.covers_span(12, 18));
+        assert!(rs.covers_span(30, 31));
+        assert!(!rs.covers_span(9, 11));
+        assert!(!rs.covers_span(15, 25));
+        assert!(!rs.covers_span(20, 30));
+        assert!(!rs.covers_span(0, 5));
+        assert!(!rs.covers_span(40, 41));
+        // Empty spans are trivially covered.
+        assert!(rs.covers_span(25, 25));
+        assert!(RangeSet::new().covers_span(3, 3));
+        assert!(!RangeSet::new().covers_span(3, 4));
     }
 
     #[test]
