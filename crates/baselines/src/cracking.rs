@@ -177,6 +177,7 @@ impl<T: DataValue> SkippingIndex<T> for CrackerColumn<T> {
             scan_units: Vec::new(),
             mask_requests: Vec::new(),
             full_match,
+            reorg_units: Vec::new(),
             zones_probed: 2, // two cracker-index lookups
             zones_skipped: 0,
         }

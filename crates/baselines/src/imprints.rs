@@ -163,6 +163,7 @@ impl<T: DataValue> SkippingIndex<T> for ColumnImprints<T> {
             scan_units: Vec::new(),
             mask_requests: Vec::new(),
             full_match: RangeSet::with_capacity(4),
+            reorg_units: Vec::new(),
             zones_probed: self.runs.len(),
             zones_skipped: 0,
         };

@@ -63,6 +63,7 @@ impl<T: DataValue> SkippingIndex<T> for SortedOracle<T> {
             mask_requests: Vec::new(),
             full_match,
             // Two binary searches; charge one logical probe each.
+            reorg_units: Vec::new(),
             zones_probed: 2,
             zones_skipped: 0,
         }

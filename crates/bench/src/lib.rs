@@ -1,6 +1,6 @@
 //! # ads-bench — the experiment harness
 //!
-//! One runner per table/figure of the reconstructed evaluation (E1–E15 in
+//! One runner per table/figure of the reconstructed evaluation (E1–E19 in
 //! DESIGN.md), plus microbenches under `benches/` built on the local
 //! [`microbench`] timing harness. Run with:
 //!
@@ -18,6 +18,7 @@ pub mod experiments;
 pub mod kernels;
 pub mod microbench;
 pub mod plan_bench;
+pub mod reorg_bench;
 pub mod report;
 pub mod runner;
 pub mod server_bench;

@@ -1,0 +1,353 @@
+//! E19 machinery — zone-local adaptive reorganization, emitted as the
+//! machine-readable `ads-reorg-bench/v1` document
+//! (`results/BENCH_reorg.json`).
+//!
+//! The measurement is the engine's inline loop (prune → scan → observe →
+//! maintain), so each mode pays its adaptation — including promotion
+//! build copies — on the query path, exactly where the paper charges
+//! adaptation cost. Three layout policies run the same column and query
+//! stream:
+//!
+//! * **flat** — metadata-only adaptation (`enable_reorg: false`), the
+//!   paper's baseline;
+//! * **always** — the relative-hotness gate disabled
+//!   (`reorg_hot_factor: 0.0`, one scan suffices): every built zone is
+//!   promoted, the over-eager ablation;
+//! * **adaptive** — the shipped policy (`AdaptiveConfig::with_reorg()`):
+//!   promotion requires amortized scan volume *and* a scan rate that
+//!   stands out against the map-wide mean.
+//!
+//! Two things are under test. **Equivalence** — per-cell answer checksums
+//! (counts plus exact i64-sum bit patterns) must be identical across the
+//! three modes; `run` asserts it, the report re-checks it. **The gate** —
+//! on clustered data with a hot zone, adaptive must convert repeated
+//! partial scans into positional lookups and beat flat on total query
+//! time; on uniform data nothing stands out, promotion must never
+//! trigger, and adaptive must stay within noise of flat.
+
+use ads_core::adaptive::{AdaptiveConfig, AdaptiveZonemap};
+use ads_core::RangePredicate;
+use ads_engine::{execute_with_policy, AggKind, ExecPolicy};
+use ads_workloads::{queries, DataSpec};
+use std::fmt::Write;
+use std::time::Instant;
+
+/// Layout policies each (distribution, drift) pair is swept over.
+pub const MODES: &[&str] = &["flat", "always", "adaptive"];
+
+/// Hotspot drift patterns: a stationary hot zone and one that jumps
+/// between four phase centres (the workload-shift scenario).
+pub const DRIFTS: &[&str] = &["stable", "shifting"];
+
+/// One measured (distribution, drift, mode) cell.
+#[derive(Debug, Clone)]
+pub struct ReorgCell {
+    /// Data distribution label.
+    pub dist: String,
+    /// Hotspot drift label (`stable` or `shifting`).
+    pub drift: String,
+    /// Layout policy label (`flat`, `always`, or `adaptive`).
+    pub mode: String,
+    /// Queries answered.
+    pub queries: u64,
+    /// Total wall time of the query loop, adaptation included.
+    pub elapsed_ns: u64,
+    /// Rows the scan phase actually touched across all queries
+    /// (full-match and positional-match rows excluded).
+    pub rows_scanned: u64,
+    /// Zones promoted to the reorganized layout.
+    pub zones_promoted: u64,
+    /// Zones demoted back to flat.
+    pub zones_demoted: u64,
+    /// Payload bytes copied by promotion builds and crack passes.
+    pub bytes_moved: u64,
+    /// Nanoseconds spent inside reorganization passes.
+    pub reorg_ns: u64,
+    /// Order-independent answer checksum (counts + i64-exact sum bits);
+    /// must agree across modes within a (dist, drift) pair.
+    pub checksum: u64,
+}
+
+/// The full E19 result set.
+#[derive(Debug, Clone)]
+pub struct ReorgBenchReport {
+    /// Rows per column.
+    pub rows: usize,
+    /// Queries per cell.
+    pub queries_per_cell: usize,
+    /// Value domain.
+    pub domain: i64,
+    /// Measured cells, mode-major within each (distribution, drift).
+    pub cells: Vec<ReorgCell>,
+}
+
+impl ReorgBenchReport {
+    /// Cell lookup by coordinates.
+    fn cell(&self, dist: &str, drift: &str, mode: &str) -> Option<&ReorgCell> {
+        self.cells
+            .iter()
+            .find(|c| c.dist == dist && c.drift == drift && c.mode == mode)
+    }
+
+    /// Acceptance: on at least one clustered/skewed hot-zone cell,
+    /// adaptive reorganization beats metadata-only skipping on total
+    /// query time.
+    pub fn adaptive_beats_flat_on_hot(&self) -> bool {
+        self.cells.iter().any(|c| {
+            c.mode == "adaptive"
+                && c.dist != "uniform"
+                && c.zones_promoted > 0
+                && self
+                    .cell(&c.dist, &c.drift, "flat")
+                    .is_some_and(|flat| c.elapsed_ns < flat.elapsed_ns)
+        })
+    }
+
+    /// Acceptance: on uniform data the relative-hotness gate declines —
+    /// the adaptive mode promotes nothing in any drift pattern.
+    pub fn uniform_never_promotes(&self) -> bool {
+        let uniform: Vec<_> = self
+            .cells
+            .iter()
+            .filter(|c| c.dist == "uniform" && c.mode == "adaptive")
+            .collect();
+        !uniform.is_empty() && uniform.iter().all(|c| c.zones_promoted == 0)
+    }
+
+    /// Acceptance: on uniform data adaptive stays within `factor` of
+    /// flat's total query time (the gate's bookkeeping is noise).
+    pub fn uniform_within_noise_of_flat(&self, factor: f64) -> bool {
+        self.cells
+            .iter()
+            .filter(|c| c.dist == "uniform" && c.mode == "adaptive")
+            .all(|c| {
+                self.cell(&c.dist, &c.drift, "flat")
+                    .is_some_and(|flat| c.elapsed_ns as f64 <= factor * flat.elapsed_ns as f64)
+            })
+    }
+
+    /// Acceptance: answer checksums agree across all three modes in
+    /// every (distribution, drift) pair.
+    pub fn answers_identical_across_modes(&self) -> bool {
+        self.cells.iter().all(|c| {
+            MODES
+                .iter()
+                .filter_map(|m| self.cell(&c.dist, &c.drift, m))
+                .all(|other| other.checksum == c.checksum)
+        })
+    }
+
+    /// Renders the `ads-reorg-bench/v1` JSON document.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(4096);
+        s.push_str("{\n");
+        s.push_str("  \"schema\": \"ads-reorg-bench/v1\",\n");
+        let _ = writeln!(s, "  \"rows\": {},", self.rows);
+        let _ = writeln!(s, "  \"queries_per_cell\": {},", self.queries_per_cell);
+        let _ = writeln!(s, "  \"domain\": {},", self.domain);
+        let _ = writeln!(
+            s,
+            "  \"adaptive_beats_flat_on_hot\": {},",
+            self.adaptive_beats_flat_on_hot()
+        );
+        let _ = writeln!(
+            s,
+            "  \"uniform_never_promotes\": {},",
+            self.uniform_never_promotes()
+        );
+        let _ = writeln!(
+            s,
+            "  \"answers_identical_across_modes\": {},",
+            self.answers_identical_across_modes()
+        );
+        s.push_str("  \"cells\": [\n");
+        for (i, c) in self.cells.iter().enumerate() {
+            let _ = write!(
+                s,
+                "    {{\"dist\": \"{}\", \"drift\": \"{}\", \"mode\": \"{}\", \
+                 \"queries\": {}, \"elapsed_ns\": {}, \"rows_scanned\": {}, \
+                 \"zones_promoted\": {}, \"zones_demoted\": {}, \
+                 \"bytes_moved\": {}, \"reorg_ns\": {}, \"checksum\": {}}}",
+                c.dist,
+                c.drift,
+                c.mode,
+                c.queries,
+                c.elapsed_ns,
+                c.rows_scanned,
+                c.zones_promoted,
+                c.zones_demoted,
+                c.bytes_moved,
+                c.reorg_ns,
+                c.checksum,
+            );
+            s.push_str(if i + 1 < self.cells.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// Renders the README's reorganization table.
+    pub fn to_markdown(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "| Distribution | Drift | Mode | total ms | Mrows scanned | \
+             promoted | demoted | MB moved |"
+        );
+        let _ = writeln!(s, "|---|---|---|---:|---:|---:|---:|---:|");
+        for c in &self.cells {
+            let _ = writeln!(
+                s,
+                "| {} | {} | {} | {:.1} | {:.2} | {} | {} | {:.1} |",
+                c.dist,
+                c.drift,
+                c.mode,
+                c.elapsed_ns as f64 / 1e6,
+                c.rows_scanned as f64 / 1e6,
+                c.zones_promoted,
+                c.zones_demoted,
+                c.bytes_moved as f64 / 1e6,
+            );
+        }
+        s
+    }
+}
+
+/// The three layout policies as zonemap configurations.
+fn mode_config(mode: &str) -> AdaptiveConfig {
+    match mode {
+        "flat" => AdaptiveConfig::default(),
+        "always" => AdaptiveConfig {
+            enable_reorg: true,
+            reorg_after_scans: 1,
+            reorg_hot_factor: 0.0,
+            ..AdaptiveConfig::default()
+        },
+        "adaptive" => AdaptiveConfig::with_reorg(),
+        other => unreachable!("unknown mode {other}"),
+    }
+}
+
+/// Runs one (data, query stream, mode) cell through the engine's inline
+/// loop, alternating COUNT and SUM so both the positional count path and
+/// the order-sensitive aggregation path are exercised.
+fn run_cell(
+    data: &[i64],
+    stream: &[queries::RangeQuery],
+    dist: &str,
+    drift: &str,
+    mode: &str,
+) -> ReorgCell {
+    let mut zm = AdaptiveZonemap::new(data.len(), mode_config(mode));
+    let policy = ExecPolicy::sequential();
+    let mut checksum = 0u64;
+    let mut rows_scanned = 0u64;
+    let t0 = Instant::now();
+    for (i, q) in stream.iter().enumerate() {
+        let pred = RangePredicate::between(q.lo, q.hi);
+        let agg = if i % 2 == 0 {
+            AggKind::Count
+        } else {
+            AggKind::Sum
+        };
+        let (ans, m) = execute_with_policy(data, &mut zm, pred, agg, &policy);
+        checksum = checksum
+            .wrapping_mul(0x0100_0000_01B3)
+            .wrapping_add(ans.count)
+            .wrapping_add(ans.sum.map_or(0, f64::to_bits));
+        rows_scanned += m.rows_scanned as u64;
+    }
+    let elapsed_ns = t0.elapsed().as_nanos() as u64;
+    let st = zm.reorg_stats();
+    ReorgCell {
+        dist: dist.to_string(),
+        drift: drift.to_string(),
+        mode: mode.to_string(),
+        queries: stream.len() as u64,
+        elapsed_ns,
+        rows_scanned,
+        zones_promoted: st.zones_promoted,
+        zones_demoted: st.zones_demoted,
+        bytes_moved: st.bytes_moved,
+        reorg_ns: st.reorg_ns,
+        checksum,
+    }
+}
+
+/// Runs the full grid: {clustered, zipf, uniform} × [`DRIFTS`] ×
+/// [`MODES`], asserting answer equivalence across modes in every
+/// (distribution, drift) pair.
+pub fn run(rows: usize, queries_per_cell: usize, domain: i64, seed: u64) -> ReorgBenchReport {
+    let mut report = ReorgBenchReport {
+        rows,
+        queries_per_cell,
+        domain,
+        cells: Vec::new(),
+    };
+
+    for spec in [
+        DataSpec::Clustered { clusters: 64 },
+        DataSpec::Zipf { theta: 0.99 },
+        DataSpec::Uniform,
+    ] {
+        let data = spec.generate(rows, domain, seed);
+        let dist = spec.label();
+        for &drift in DRIFTS {
+            let stream = match drift {
+                "stable" => queries::hotspot_ranges(queries_per_cell, domain, 0.02, 0.3, 0.1, seed),
+                "shifting" => {
+                    queries::shifting_hotspot(queries_per_cell, domain, 0.02, 4, 0.1, seed)
+                }
+                other => unreachable!("unknown drift {other}"),
+            };
+            let mut reference: Option<u64> = None;
+            for &mode in MODES {
+                eprintln!("  e19: {dist} {drift} {mode}");
+                let cell = run_cell(&data, &stream, &dist, drift, mode);
+                match reference {
+                    Some(want) => assert_eq!(
+                        cell.checksum, want,
+                        "{dist}/{drift}/{mode}: answers diverged from flat"
+                    ),
+                    None => reference = Some(cell.checksum),
+                }
+                report.cells.push(cell);
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_grid_runs_and_serialises() {
+        // Multi-zone even at the default 4096-row zone target: single-zone
+        // maps bypass the relative-hotness gate by design.
+        let report = run(40_000, 16, 10_000, 7);
+        assert_eq!(report.cells.len(), 3 * DRIFTS.len() * MODES.len());
+        assert!(report.answers_identical_across_modes());
+        assert!(
+            report.uniform_never_promotes(),
+            "gate must decline on uniform data even at tiny scale"
+        );
+        let json = report.to_json();
+        assert!(json.contains("\"schema\": \"ads-reorg-bench/v1\""));
+        assert!(json.contains("\"mode\": \"adaptive\""));
+        assert!(!report.to_markdown().is_empty());
+        for c in &report.cells {
+            assert_eq!(c.queries, 16);
+            assert!(c.elapsed_ns > 0);
+            if c.mode == "flat" {
+                assert_eq!(c.zones_promoted, 0, "flat mode must never promote");
+                assert_eq!(c.bytes_moved, 0);
+            }
+        }
+    }
+}

@@ -42,8 +42,9 @@ const HELP: &str = "\
 commands:
   load <dist> <rows>         load a column: sorted | semi | clustered | uniform |
                              zipf | sawtooth | mixed
-  strategy <name> [param]    fullscan | static [zone_rows] | adaptive | lazy |
-                             imprints | cracking | oracle | activated-static [zone_rows]
+  strategy <name> [param]    fullscan | static [zone_rows] | adaptive | reorg |
+                             lazy | imprints | cracking | oracle |
+                             activated-static [zone_rows]
   count <lo> <hi>            COUNT rows with lo <= v <= hi
   sum <lo> <hi>              SUM of qualifying values
   workload <kind> <n> <sel%> replay n queries: uniform | hotspot | shift | sweep
@@ -87,6 +88,7 @@ impl Repl {
             "fullscan" | "none" => Strategy::FullScan,
             "static" => Strategy::StaticZonemap { zone_rows },
             "adaptive" => Strategy::Adaptive(AdaptiveConfig::default()),
+            "reorg" => Strategy::Adaptive(AdaptiveConfig::with_reorg()),
             "lazy" => Strategy::Adaptive(AdaptiveConfig::lazy_only()),
             "imprints" => Strategy::Imprints {
                 values_per_line: 8,
@@ -195,7 +197,7 @@ impl Repl {
             "strategy" => {
                 let Some(strategy) = words.get(1).and_then(|_| Self::parse_strategy(&words[1..]))
                 else {
-                    return Err("usage: strategy <fullscan|static|adaptive|lazy|imprints|cracking|oracle|activated-static> [zone_rows]".into());
+                    return Err("usage: strategy <fullscan|static|adaptive|reorg|lazy|imprints|cracking|oracle|activated-static> [zone_rows]".into());
                 };
                 self.strategy = strategy;
                 if let Some(session) = self.session.take() {
@@ -398,7 +400,7 @@ impl Repl {
                 let session = self.session()?;
                 let t = session.totals();
                 let (meta, copy) = session.index_bytes();
-                Ok(format!(
+                let mut out = format!(
                     "column: {} rows of {}\nindex:  {} ({} metadata B, {} copied B)\nqueries: {} | total {:.1}ms | mean {:.3}ms | build {:.2}ms\nscanned {} rows | probed {} zones | skipped {} | adapt events {}\nphases: prune {:.2}ms | scan {:.2}ms | observe {:.2}ms | max threads {}",
                     session.len(),
                     data_label,
@@ -417,7 +419,24 @@ impl Repl {
                     t.scan_ns as f64 / 1e6,
                     t.observe_ns as f64 / 1e6,
                     t.max_threads_used
-                ))
+                );
+                if let Some(zm) = session
+                    .index()
+                    .as_any()
+                    .downcast_ref::<AdaptiveZonemap<i64>>()
+                {
+                    let r = zm.reorg_stats();
+                    let _ = write!(
+                        out,
+                        "\nreorg:  promoted {} | demoted {} | reorganized now {} | moved {} B | {:.2}ms",
+                        r.zones_promoted,
+                        r.zones_demoted,
+                        zm.zones_reorganized(),
+                        r.bytes_moved,
+                        r.reorg_ns as f64 / 1e6
+                    );
+                }
+                Ok(out)
             }
             "threads" => {
                 let Some(n) = words.get(1).and_then(|w| w.parse::<usize>().ok()) else {
@@ -627,6 +646,31 @@ mod tests {
         assert!(out.contains("sum ="), "{out}");
         let stats = r.handle("stats").expect("stats works");
         assert!(stats.contains("queries: 1"), "{stats}");
+    }
+
+    #[test]
+    fn reorg_strategy_promotes_and_stats_reports_it() {
+        let mut r = Repl::new();
+        r.handle("load clustered 100000").expect("load works");
+        r.handle("strategy reorg").expect("strategy works");
+        // A hot-zone workload: repeated ranges over one narrow value band
+        // keep rescanning the same zones until they are promoted.
+        let out = r.handle("workload hotspot 64 2").expect("workload works");
+        assert!(out.contains("64 queries"), "{out}");
+        let stats = r.handle("stats").expect("stats works");
+        assert!(stats.contains("reorg:  promoted"), "{stats}");
+        let promoted: u64 = stats
+            .split("reorg:  promoted ")
+            .nth(1)
+            .and_then(|s| s.split_whitespace().next())
+            .and_then(|s| s.parse().ok())
+            .expect("stats must carry a promoted count");
+        assert!(promoted > 0, "hot workload must promote zones: {stats}");
+        // The plain adaptive strategy reports the counters too — at zero.
+        r.handle("strategy adaptive").expect("strategy works");
+        r.handle("count 0 9999").expect("count works");
+        let stats = r.handle("stats").expect("stats works");
+        assert!(stats.contains("reorg:  promoted 0"), "{stats}");
     }
 
     #[test]

@@ -53,6 +53,29 @@ pub struct AdaptiveConfig {
     pub enable_mask: bool,
     /// Events retained in the adaptation trace ring.
     pub trace_capacity: usize,
+    /// Enable zone-local physical reorganization: hot zones are promoted
+    /// to a sorted/cracked layout so in-zone skipping becomes positional.
+    /// Off by default — the paper's adaptation reshapes metadata only.
+    pub enable_reorg: bool,
+    /// Partial scans a built zone must absorb before promotion to the
+    /// reorganized layout. Each partial scan reads the whole zone, so
+    /// after `k` scans the zone has already paid `k` times the one-off
+    /// copy cost of reorganizing — the amortization threshold.
+    pub reorg_after_scans: u32,
+    /// Consecutive probes that skip a reorganized zone outright before it
+    /// is demoted back to flat (the hotspot has moved; the payload is
+    /// dead weight).
+    pub reorg_demote_idle: u32,
+    /// Relative-hotness gate: a zone is promoted only when its scan
+    /// *rate* (scans per probe, bounded `[0,1]`) is at least this
+    /// multiple of the map-wide mean scan rate. On a uniform workload
+    /// every probe scans every zone, the mean rate sits near `1.0`, and
+    /// no zone can clear the bar — promotion (correctly) never triggers;
+    /// on a hot-zone workload the skipped zones drag the mean down and
+    /// the hotspot's rate towers over it. `0.0` disables the gate
+    /// (always-reorg ablation). Single-zone maps bypass the gate — there
+    /// is no population to compare against.
+    pub reorg_hot_factor: f64,
 }
 
 impl Default for AdaptiveConfig {
@@ -85,6 +108,18 @@ impl AdaptiveConfig {
             enable_deactivate: true,
             enable_mask: true,
             trace_capacity: 4096,
+            enable_reorg: false,
+            reorg_after_scans: 4,
+            reorg_demote_idle: 64,
+            reorg_hot_factor: 2.0,
+        }
+    }
+
+    /// Preset: everything on, including zone-local reorganization.
+    pub fn with_reorg() -> Self {
+        AdaptiveConfig {
+            enable_reorg: true,
+            ..AdaptiveConfig::default()
         }
     }
 
@@ -162,6 +197,18 @@ impl AdaptiveConfig {
             self.maintenance_every >= 1,
             "maintenance_every must be >= 1"
         );
+        assert!(
+            self.reorg_after_scans >= 1,
+            "reorg_after_scans must be >= 1"
+        );
+        assert!(
+            self.reorg_demote_idle >= 1,
+            "reorg_demote_idle must be >= 1"
+        );
+        assert!(
+            self.reorg_hot_factor.is_finite() && self.reorg_hot_factor >= 0.0,
+            "reorg_hot_factor must be finite and >= 0"
+        );
     }
 }
 
@@ -191,6 +238,14 @@ mod tests {
         let nom = AdaptiveConfig::no_mask();
         nom.validate();
         assert!(nom.enable_split && !nom.enable_mask);
+
+        let reorg = AdaptiveConfig::with_reorg();
+        reorg.validate();
+        assert!(reorg.enable_reorg);
+        assert!(
+            !AdaptiveConfig::default().enable_reorg,
+            "reorg must be opt-in"
+        );
     }
 
     #[test]

@@ -46,6 +46,9 @@ impl<T: DataValue> AdaptiveZonemap<T> {
         let cfg = &self.config;
         let mergeable = |z: &AdaptiveZone<T>| {
             z.is_built()
+                // A reorganized zone's payload covers exactly its row
+                // range; merging would orphan it. Demotion happens first.
+                && !z.is_reorganized()
                 && z.stats.probes >= cfg.merge_after_probes
                 && z.stats.skip_rate() <= cfg.merge_max_skip_rate
         };
@@ -120,6 +123,9 @@ impl<T: DataValue> AdaptiveZonemap<T> {
         let mut deactivated: Vec<RowRange> = Vec::new();
         for zone in &mut self.zones {
             if zone.is_built()
+                // Reorganized zones answer positionally; killing their
+                // metadata would strand the payload. Demote-then-retire.
+                && !zone.is_reorganized()
                 && zone.len() >= threshold_rows
                 && zone.stats.probes >= cfg.deactivate_after_probes
                 && zone.stats.skip_rate() <= cfg.deactivate_max_skip_rate

@@ -7,13 +7,15 @@
 mod config;
 mod maintenance;
 mod plane;
+mod reorg;
 mod sharded;
 mod zone;
 mod zonemap;
 
 pub use config::AdaptiveConfig;
+pub use reorg::{ReorgReport, ReorgStats};
 pub use sharded::ShardedZonemap;
-pub use zone::{AdaptiveZone, ZoneState};
+pub use zone::{AdaptiveZone, ZoneLayout, ZoneState};
 pub use zonemap::AdaptiveZonemap;
 
 #[cfg(test)]

@@ -35,6 +35,10 @@ pub(crate) struct PrunePlane<T: DataValue> {
     pub(crate) maxs: Vec<T>,
     /// Bit `z` set iff zone `z` is `Built`.
     pub(crate) built: Vec<u64>,
+    /// Bit `z` set iff zone `z` carries a reorganized payload. Checked
+    /// only for zones that survive the bounds test, so the flat fast
+    /// path never reads it.
+    pub(crate) reorg: Vec<u64>,
     /// Deferred `record_skip()` calls per zone. The hot skip path bumps
     /// this dense counter instead of the zone's `ZoneStats` (which would
     /// drag the cold AoS record through cache); the counts are flushed
@@ -50,6 +54,7 @@ impl<T: DataValue> PrunePlane<T> {
             mins: Vec::new(),
             maxs: Vec::new(),
             built: Vec::new(),
+            reorg: Vec::new(),
             pending_skips: Vec::new(),
         };
         plane.rebuild(zones);
@@ -66,9 +71,11 @@ impl<T: DataValue> PrunePlane<T> {
         self.mins.clear();
         self.maxs.clear();
         self.built.clear();
+        self.reorg.clear();
         self.mins.reserve(zones.len());
         self.maxs.reserve(zones.len());
         self.built.resize(zones.len().div_ceil(64), 0);
+        self.reorg.resize(zones.len().div_ceil(64), 0);
         self.pending_skips.clear();
         self.pending_skips.resize(zones.len(), 0);
         for (z, zone) in zones.iter().enumerate() {
@@ -82,6 +89,9 @@ impl<T: DataValue> PrunePlane<T> {
                     self.mins.push(T::MAX_VALUE);
                     self.maxs.push(T::MIN_VALUE);
                 }
+            }
+            if zone.is_reorganized() {
+                self.reorg[z / 64] |= 1u64 << (z % 64);
             }
         }
     }
@@ -101,6 +111,21 @@ impl<T: DataValue> PrunePlane<T> {
         self.built[z / 64] |= 1u64 << (z % 64);
     }
 
+    /// True iff zone `z` carries a reorganized payload.
+    #[inline]
+    pub(crate) fn is_reorg(&self, z: usize) -> bool {
+        self.reorg[z / 64] & (1u64 << (z % 64)) != 0
+    }
+
+    /// Records zone `z`'s layout flag — promotion sets, demotion clears.
+    pub(crate) fn set_reorg(&mut self, z: usize, reorganized: bool) {
+        if reorganized {
+            self.reorg[z / 64] |= 1u64 << (z % 64);
+        } else {
+            self.reorg[z / 64] &= !(1u64 << (z % 64));
+        }
+    }
+
     /// Appends one unbuilt zone at the end — the append path.
     pub(crate) fn push_unbuilt(&mut self) {
         let z = self.mins.len();
@@ -109,6 +134,9 @@ impl<T: DataValue> PrunePlane<T> {
         self.pending_skips.push(0);
         if z / 64 >= self.built.len() {
             self.built.push(0);
+        }
+        if z / 64 >= self.reorg.len() {
+            self.reorg.push(0);
         }
     }
 
@@ -129,6 +157,7 @@ impl<T: DataValue> PrunePlane<T> {
         self.mins.capacity() * std::mem::size_of::<T>()
             + self.maxs.capacity() * std::mem::size_of::<T>()
             + self.built.capacity() * std::mem::size_of::<u64>()
+            + self.reorg.capacity() * std::mem::size_of::<u64>()
             + self.pending_skips.capacity() * std::mem::size_of::<u32>()
     }
 
@@ -139,6 +168,7 @@ impl<T: DataValue> PrunePlane<T> {
             || self.maxs.len() != zones.len()
             || self.pending_skips.len() != zones.len()
             || self.built.len() < zones.len().div_ceil(64)
+            || self.reorg.len() < zones.len().div_ceil(64)
         {
             return false;
         }
@@ -146,11 +176,14 @@ impl<T: DataValue> PrunePlane<T> {
         // (a zone containing NaN has max = NaN under totalOrder) and must
         // still compare equal to their plane copy.
         let same = |a: T, b: T| a.total_cmp(&b) == std::cmp::Ordering::Equal;
-        zones.iter().enumerate().all(|(z, zone)| match zone.state {
-            ZoneState::Built { min, max, .. } => {
-                self.is_built(z) && same(self.mins[z], min) && same(self.maxs[z], max)
-            }
-            _ => !self.is_built(z),
+        zones.iter().enumerate().all(|(z, zone)| {
+            let state_ok = match zone.state {
+                ZoneState::Built { min, max, .. } => {
+                    self.is_built(z) && same(self.mins[z], min) && same(self.maxs[z], max)
+                }
+                _ => !self.is_built(z),
+            };
+            state_ok && self.is_reorg(z) == zone.is_reorganized()
         })
     }
 }

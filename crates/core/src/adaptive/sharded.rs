@@ -15,6 +15,7 @@
 //! recovered by offsetting lane-local ranges with the shard's `start`.
 
 use crate::adaptive::config::AdaptiveConfig;
+use crate::adaptive::reorg::ReorgStats;
 use crate::adaptive::zonemap::AdaptiveZonemap;
 use crate::cost::CostModel;
 use crate::index::SkippingIndex;
@@ -131,6 +132,23 @@ impl<T: DataValue> ShardedZonemap<T> {
     /// Total zone entries across all lanes.
     pub fn num_zones(&self) -> usize {
         self.lanes.iter().map(AdaptiveZonemap::num_zones).sum()
+    }
+
+    /// Lifetime reorganization counters summed across all lanes.
+    pub fn reorg_stats(&self) -> ReorgStats {
+        let mut total = ReorgStats::default();
+        for lane in &self.lanes {
+            total.merge(&lane.reorg_stats());
+        }
+        total
+    }
+
+    /// Zones currently in the reorganized layout, across all lanes.
+    pub fn zones_reorganized(&self) -> usize {
+        self.lanes
+            .iter()
+            .map(AdaptiveZonemap::zones_reorganized)
+            .sum()
     }
 
     /// Metadata bytes across all lanes.

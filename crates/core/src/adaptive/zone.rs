@@ -2,7 +2,8 @@
 
 use crate::outcome::MaskRequest;
 use crate::stats::ZoneStats;
-use ads_storage::{DataValue, RowRange};
+use ads_storage::{DataValue, ReorgZone, RowRange};
+use std::sync::Arc;
 
 /// Secondary zone metadata: a 64-bin value-presence mask, used when a zone
 /// can refine no further positionally (outliers pin its min/max wide) but
@@ -42,6 +43,33 @@ pub enum ZoneState<T: DataValue> {
     },
 }
 
+/// Physical layout of one zone's rows.
+///
+/// `Flat` is the paper's world: the zone is a contiguous slice of the
+/// base column and qualifying zones are scanned row by row.
+/// `Reorganized` holds a [`ReorgZone`] payload — a sorted/cracked copy
+/// of the zone with its rowid permutation — so range predicates resolve
+/// positionally. The payload sits behind an `Arc`: published snapshots
+/// share it immutably, and the owning (maintenance-side) zonemap cracks
+/// it copy-on-write via `Arc::make_mut`, which is what makes a payload
+/// immutable-until-republished.
+#[derive(Debug, Clone, Default)]
+pub enum ZoneLayout<T: DataValue> {
+    /// Contiguous slice of the base column (the default).
+    #[default]
+    Flat,
+    /// Sorted/cracked permuted copy; predicates resolve positionally.
+    Reorganized {
+        /// The shared payload (values + rowid permutation + pieces).
+        payload: Arc<ReorgZone<T>>,
+        /// Queries answered positionally since promotion.
+        hits: u64,
+        /// Consecutive probes that did not use the payload (the zone was
+        /// skipped outright); drives demotion when the hotspot moves.
+        idle: u32,
+    },
+}
+
 /// One zone: a row range plus its metadata state and statistics.
 #[derive(Debug, Clone)]
 pub struct AdaptiveZone<T: DataValue> {
@@ -71,6 +99,8 @@ pub struct AdaptiveZone<T: DataValue> {
     /// Optional secondary value mask (see [`ZoneMask`]). Dropped on any
     /// structural change to the zone's row range.
     pub mask: Option<ZoneMask>,
+    /// Physical layout of the zone's rows (see [`ZoneLayout`]).
+    pub layout: ZoneLayout<T>,
 }
 
 impl<T: DataValue> AdaptiveZone<T> {
@@ -85,6 +115,7 @@ impl<T: DataValue> AdaptiveZone<T> {
             no_resplit: false,
             split_generation: 0,
             mask: None,
+            layout: ZoneLayout::Flat,
         }
     }
 
@@ -111,6 +142,19 @@ impl<T: DataValue> AdaptiveZone<T> {
     /// True if the zone is retired.
     pub fn is_dead(&self) -> bool {
         matches!(self.state, ZoneState::Dead { .. })
+    }
+
+    /// True if the zone currently carries a reorganized payload.
+    pub fn is_reorganized(&self) -> bool {
+        matches!(self.layout, ZoneLayout::Reorganized { .. })
+    }
+
+    /// The reorganized payload, when present.
+    pub fn reorg_payload(&self) -> Option<&Arc<ReorgZone<T>>> {
+        match &self.layout {
+            ZoneLayout::Reorganized { payload, .. } => Some(payload),
+            ZoneLayout::Flat => None,
+        }
     }
 }
 

@@ -19,14 +19,16 @@
 
 use crate::adaptive::config::AdaptiveConfig;
 use crate::adaptive::plane::PrunePlane;
-use crate::adaptive::zone::{AdaptiveZone, ZoneMask, ZoneState};
+use crate::adaptive::reorg::ReorgStats;
+use crate::adaptive::zone::{AdaptiveZone, ZoneLayout, ZoneMask, ZoneState};
 use crate::cost::CostModel;
 use crate::index::SkippingIndex;
-use crate::outcome::{MaskRequest, PruneOutcome, ScanObservation};
+use crate::outcome::{MaskRequest, PruneOutcome, ReorgUnit, ScanObservation};
 use crate::predicate::RangePredicate;
 use crate::stats::{IndexStats, PruneStats, ZoneStats};
 use crate::trace::{AdaptEvent, AdaptTrace};
 use ads_storage::{DataValue, RangeSet, RowRange};
+use std::sync::Arc;
 
 /// An adaptive zonemap over one column of `len` rows.
 ///
@@ -48,12 +50,16 @@ pub struct AdaptiveZonemap<T: DataValue> {
     /// check; `u64::MAX` when none are dead or revival is disabled.
     pub(crate) next_revival_check: u64,
     /// Counts reader-visible metadata mutations: zone builds/tightenings,
-    /// structural maintenance that changed something, revivals, appends.
+    /// structural maintenance that changed something, revivals, appends,
+    /// reorganization promotions/demotions and payload cracks.
     /// Publication layers compare epochs to skip republishing unchanged
     /// state; per-query stat drift (probe/skip tallies) deliberately does
     /// NOT bump it — staleness there costs adaptation bookkeeping
     /// freshness, never answer correctness.
     pub(crate) mutation_epoch: u64,
+    /// Lifetime reorganization counters (promotions, demotions, bytes
+    /// moved, time spent); see [`ReorgStats`].
+    pub(crate) reorg_lifetime: ReorgStats,
 }
 
 impl<T: DataValue> AdaptiveZonemap<T> {
@@ -88,6 +94,7 @@ impl<T: DataValue> AdaptiveZonemap<T> {
             len,
             next_revival_check: u64::MAX,
             mutation_epoch: 0,
+            reorg_lifetime: ReorgStats::default(),
         };
         zm.assert_invariants();
         zm
@@ -146,6 +153,9 @@ impl<T: DataValue> AdaptiveZonemap<T> {
             .enumerate()
             .map(|(i, z)| {
                 let label = match z.state {
+                    // The layout lane outranks the exactness distinction:
+                    // a reorganized zone is always Built with exact bounds.
+                    ZoneState::Built { .. } if z.is_reorganized() => "reorg",
                     ZoneState::Unbuilt => "unbuilt",
                     ZoneState::Built { exact: true, .. } => "built",
                     ZoneState::Built { exact: false, .. } => "built~",
@@ -215,6 +225,9 @@ impl<T: DataValue> SkippingIndex<T> for AdaptiveZonemap<T> {
         if self.config.enable_mask {
             flags.push('v'); // value masks
         }
+        if self.config.enable_reorg {
+            flags.push('r'); // zone-local reorganization
+        }
         if flags.is_empty() {
             flags.push_str("lazy");
         }
@@ -254,6 +267,23 @@ impl<T: DataValue> SkippingIndex<T> for AdaptiveZonemap<T> {
                 // Deferred record_skip(): one dense counter bump instead
                 // of a read-modify-write on the cold AoS zone record.
                 self.plane.defer_skip(idx);
+                // Reorganized zones additionally age their idle clock — a
+                // single dense-bitset word test, zero for flat maps.
+                if self.plane.is_reorg(idx) {
+                    if let ZoneLayout::Reorganized { idle, .. } = &mut self.zones[idx].layout {
+                        *idle = idle.saturating_add(1);
+                    }
+                }
+                continue;
+            }
+            if self.plane.is_reorg(idx) {
+                let moved = probe_reorg_zone(&mut self.zones[idx], pred, min, max, &mut out);
+                if moved > 0 {
+                    // A crack relocated payload rows — reader-visible, so
+                    // publication layers must pick it up.
+                    self.reorg_lifetime.bytes_moved += moved;
+                    self.mutation_epoch += 1;
+                }
                 continue;
             }
             probe_overlapping_zone(
@@ -346,6 +376,10 @@ impl<T: DataValue> SkippingIndex<T> for AdaptiveZonemap<T> {
                         .saturating_mul(1 << zone.split_generation.min(16));
                     if self.config.enable_split
                         && !zone.no_resplit
+                        // A reorganized zone already resolves positionally
+                        // inside itself; splitting would discard the
+                        // payload for a weaker form of refinement.
+                        && !zone.is_reorganized()
                         && zone.stats.wasted_scans >= waste_needed
                         && zone.len() >= 2 * self.config.min_zone_rows
                         // Children below the cost model's break-even size
@@ -527,6 +561,15 @@ impl<T: DataValue> SkippingIndex<T> for AdaptiveZonemap<T> {
         self.prune_epilogue(&out);
         out
     }
+
+    fn maintain(&mut self, base: &[T]) {
+        // Reorganization rides the same amortization clock as structural
+        // maintenance; when the feature is off this is a branch and out.
+        if self.config.enable_reorg && self.query_seq.is_multiple_of(self.config.maintenance_every)
+        {
+            let _ = self.apply_reorg(base);
+        }
+    }
 }
 
 /// What pruning decided for a built zone whose `(min, max)` the predicate
@@ -611,6 +654,57 @@ fn probe_overlapping_zone<T: DataValue>(
     }
 }
 
+/// Probes a reorganized zone the predicate overlaps: cracks the payload
+/// around the predicate bounds (copy-on-write, so published snapshots
+/// never observe rows moving), resolves the bounds positionally, and
+/// emits either a plain full-match span or a positional [`ReorgUnit`].
+/// Returns the payload bytes moved by the crack (0 when the piece
+/// structure already covered both bounds).
+///
+/// Full matches deliberately bypass the positional path: a plain
+/// base-coordinate `full_match` span folds in the same order as the flat
+/// layout, which keeps aggregate results bit-identical across layouts.
+fn probe_reorg_zone<T: DataValue>(
+    zone: &mut AdaptiveZone<T>,
+    pred: &RangePredicate<T>,
+    min: T,
+    max: T,
+    out: &mut PruneOutcome,
+) -> u64 {
+    zone.stats.record_no_skip();
+    let range = zone.range();
+    let ZoneLayout::Reorganized {
+        payload,
+        hits,
+        idle,
+    } = &mut zone.layout
+    else {
+        unreachable!("probe_reorg_zone on a flat zone");
+    };
+    *hits += 1;
+    *idle = 0;
+    if pred.contains_zone(min, max) {
+        out.full_match.push_span(range.start, range.end);
+        return 0;
+    }
+    // COW crack: if a published snapshot still shares this payload,
+    // make_mut clones before partitioning — the snapshot's copy stays
+    // immutable until the next republication swaps it out.
+    let moved = Arc::make_mut(payload).crack(pred.lo, pred.hi);
+    let spans = payload.lookup(pred.lo, pred.hi);
+    let as_range = |r: &std::ops::Range<usize>| RowRange::new(r.start, r.end);
+    out.reorg_units.push(ReorgUnit {
+        zone: range,
+        full: as_range(&spans.full),
+        edges: [
+            spans.edges[0].as_ref().map(as_range),
+            spans.edges[1].as_ref().map(as_range),
+        ],
+        payload: Arc::clone(payload) as Arc<dyn std::any::Any + Send + Sync>,
+    });
+    moved
+}
+
 impl<T: DataValue> AdaptiveZonemap<T> {
     /// The bookkeeping every prune variant runs first: advance the query
     /// clock, revive dead zones that are due, and set up the outcome.
@@ -627,6 +721,7 @@ impl<T: DataValue> AdaptiveZonemap<T> {
             scan_units: Vec::with_capacity(32),
             mask_requests: Vec::new(),
             full_match: RangeSet::with_capacity(8),
+            reorg_units: Vec::new(),
             zones_probed: 0,
             zones_skipped: 0,
         }
@@ -656,6 +751,7 @@ impl<T: DataValue> AdaptiveZonemap<T> {
             scan_units: Vec::with_capacity(32),
             mask_requests: Vec::new(),
             full_match: RangeSet::with_capacity(8),
+            reorg_units: Vec::new(),
             zones_probed: 0,
             zones_skipped: 0,
         };
@@ -677,6 +773,28 @@ impl<T: DataValue> AdaptiveZonemap<T> {
                 continue;
             }
             let zone = &self.zones[idx];
+            if let Some(payload) = zone.reorg_payload() {
+                if pred.contains_zone(min, max) {
+                    out.full_match.push_span(zone.start, zone.end);
+                } else {
+                    // Read-only positional resolution: no crack on the
+                    // shared path, so uncracked bounds surface as edge
+                    // pieces the executor predicate-tests. The owner's
+                    // replayed prune (apply_feedback) cracks later.
+                    let spans = payload.lookup(pred.lo, pred.hi);
+                    let as_range = |r: &std::ops::Range<usize>| RowRange::new(r.start, r.end);
+                    out.reorg_units.push(ReorgUnit {
+                        zone: zone.range(),
+                        full: as_range(&spans.full),
+                        edges: [
+                            spans.edges[0].as_ref().map(as_range),
+                            spans.edges[1].as_ref().map(as_range),
+                        ],
+                        payload: Arc::clone(payload) as Arc<dyn std::any::Any + Send + Sync>,
+                    });
+                }
+                continue;
+            }
             match classify_overlapping_zone(zone, pred, min, max, &self.config, min_split_rows) {
                 OverlapAction::FullMatch => out.full_match.push_span(zone.start, zone.end),
                 OverlapAction::MaskSkip => out.zones_skipped += 1,
@@ -756,6 +874,7 @@ impl<T: DataValue> AdaptiveZonemap<T> {
 
         let min_split_rows =
             (2 * self.config.min_zone_rows).max(2 * self.cost.min_profitable_zone_rows());
+        let mut moved_total = 0u64;
         for zone in &mut self.zones {
             out.zones_probed += 1;
             match zone.state {
@@ -768,6 +887,13 @@ impl<T: DataValue> AdaptiveZonemap<T> {
                     if !pred.overlaps(min, max) {
                         out.zones_skipped += 1;
                         zone.stats.record_skip();
+                        if let ZoneLayout::Reorganized { idle, .. } = &mut zone.layout {
+                            *idle = idle.saturating_add(1);
+                        }
+                        continue;
+                    }
+                    if zone.is_reorganized() {
+                        moved_total += probe_reorg_zone(zone, pred, min, max, &mut out);
                         continue;
                     }
                     probe_overlapping_zone(
@@ -781,6 +907,10 @@ impl<T: DataValue> AdaptiveZonemap<T> {
                     );
                 }
             }
+        }
+        if moved_total > 0 {
+            self.reorg_lifetime.bytes_moved += moved_total;
+            self.mutation_epoch += 1;
         }
 
         self.prune_epilogue(&out);
@@ -836,6 +966,9 @@ impl<T: DataValue> AdaptiveZonemap<T> {
                 split_generation: zone.split_generation.saturating_add(1),
                 // The parent's mask covered a different row range.
                 mask: None,
+                // Reorganized zones are never queued for splitting; any
+                // parent reaching here is flat.
+                layout: ZoneLayout::Flat,
             });
             start = end;
         }

@@ -95,6 +95,12 @@ pub trait SkippingIndex<T: DataValue>: Send {
     fn prune_within(&mut self, pred: &RangePredicate<T>, alive: &RangeSet) -> PruneOutcome {
         self.prune(pred).restrict_to(alive)
     }
+
+    /// Periodic self-maintenance hook, called by executors after feedback
+    /// with the current base column. Adaptive structures that physically
+    /// reorganize data (zone promotion/demotion) act here; everything
+    /// else inherits the no-op.
+    fn maintain(&mut self, _base: &[T]) {}
 }
 
 impl<T: DataValue> SkippingIndex<T> for Box<dyn SkippingIndex<T>> {
@@ -148,6 +154,10 @@ impl<T: DataValue> SkippingIndex<T> for Box<dyn SkippingIndex<T>> {
 
     fn prune_within(&mut self, pred: &RangePredicate<T>, alive: &RangeSet) -> PruneOutcome {
         self.as_mut().prune_within(pred, alive)
+    }
+
+    fn maintain(&mut self, base: &[T]) {
+        self.as_mut().maintain(base)
     }
 }
 

@@ -3,6 +3,7 @@
 
 use crate::predicate::RangePredicate;
 use ads_storage::{DataValue, RangeSet, RowRange};
+use std::sync::Arc;
 
 /// A request for the scan to also collect a 64-bin value mask over a
 /// scanned unit, using equal-width bins over `[lo_f, hi_f]` (values
@@ -43,12 +44,68 @@ impl MaskRequest {
     }
 }
 
+/// A positional scan unit over one reorganized zone.
+///
+/// The prune resolved the predicate against the zone's sorted/cracked
+/// payload: every view position in `full` qualifies, the up-to-two
+/// `edges` pieces must still be predicate-tested, and the payload's
+/// rowid permutation maps view positions back to base rows. The payload
+/// `Arc` travels *inside* the outcome so decision and data are published
+/// atomically — an executor can never pair these spans with a different
+/// payload generation (no torn zones by construction).
+///
+/// The payload is type-erased (`dyn Any`) so `PruneOutcome` stays
+/// non-generic; executors downcast it to `ReorgZone<T>` for the column's
+/// value type.
+#[derive(Clone)]
+pub struct ReorgUnit {
+    /// The zone's row range in base coordinates.
+    pub zone: RowRange,
+    /// View positions (into the payload) that all qualify.
+    pub full: RowRange,
+    /// Boundary pieces (view positions) to scan with the predicate.
+    pub edges: [Option<RowRange>; 2],
+    /// The reorganized payload; downcast to `ads_storage::ReorgZone<T>`.
+    pub payload: Arc<dyn std::any::Any + Send + Sync>,
+}
+
+impl ReorgUnit {
+    /// View rows the executor must still test one by one.
+    pub fn edge_rows(&self) -> usize {
+        self.edges.iter().flatten().map(RowRange::len).sum()
+    }
+
+    /// View rows known to qualify without any test.
+    pub fn full_rows(&self) -> usize {
+        self.full.len()
+    }
+}
+
+impl std::fmt::Debug for ReorgUnit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReorgUnit")
+            .field("zone", &self.zone)
+            .field("full", &self.full)
+            .field("edges", &self.edges)
+            .finish_non_exhaustive()
+    }
+}
+
+impl PartialEq for ReorgUnit {
+    fn eq(&self, other: &Self) -> bool {
+        self.zone == other.zone
+            && self.full == other.full
+            && self.edges == other.edges
+            && Arc::ptr_eq(&self.payload, &other.payload)
+    }
+}
+
 /// What a skipping index tells the executor after pruning a predicate.
 ///
-/// Soundness contract: every qualifying row lies in `must_scan` or
-/// `full_match` (in the index's scan coordinates — base-table positions for
-/// positional indexes, view positions for indexes that answer from their own
-/// reorganised copy, such as cracking).
+/// Soundness contract: every qualifying row lies in `must_scan`,
+/// `full_match`, or a `reorg_units` zone (in the index's scan coordinates
+/// — base-table positions for positional indexes, view positions for
+/// indexes that answer from their own reorganised copy, such as cracking).
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct PruneOutcome {
     /// Ranges the executor must scan and filter. Disjoint from `full_match`.
@@ -67,6 +124,11 @@ pub struct PruneOutcome {
     /// Ranges known to contain *only* qualifying rows (predicate contains
     /// the zone's value range). COUNT-style queries take these for free.
     pub full_match: RangeSet,
+    /// Positional units over reorganized zones, one per overlapping
+    /// reorganized zone, disjoint from `must_scan` and `full_match`.
+    /// Executors that cannot handle positional units demote them via
+    /// [`PruneOutcome::demote_reorg_units`].
+    pub reorg_units: Vec<ReorgUnit>,
     /// Zone-metadata entries examined to produce this outcome — the
     /// "metadata reads" whose cost the paper warns about.
     pub zones_probed: usize,
@@ -82,6 +144,7 @@ impl PruneOutcome {
             scan_units: Vec::new(),
             mask_requests: Vec::new(),
             full_match: RangeSet::new(),
+            reorg_units: Vec::new(),
             zones_probed: 0,
             zones_skipped: 0,
         }
@@ -112,6 +175,13 @@ impl PruneOutcome {
         self.full_match.covered_rows()
     }
 
+    /// Rows resolved positionally from reorganized payloads without
+    /// per-row predicate tests — the reorg analogue of
+    /// [`PruneOutcome::rows_full_match`].
+    pub fn rows_positional_match(&self) -> usize {
+        self.reorg_units.iter().map(ReorgUnit::full_rows).sum()
+    }
+
     /// Fraction of an `n`-row table the scan avoids touching
     /// (full-match rows count as avoided for COUNT-style work).
     pub fn skip_fraction(&self, n: usize) -> f64 {
@@ -122,6 +192,43 @@ impl PruneOutcome {
         }
     }
 
+    /// Folds positional reorg units back into plain scan units over their
+    /// zones' base row ranges, dropping the positional spans and payload.
+    ///
+    /// Sound (the zone's base rows cover every row its payload permutes)
+    /// but slower: the executor re-tests the predicate row by row. Used
+    /// by paths that cannot carry positional units — conjunction
+    /// restriction and the type-erased table path. Mask alignment is
+    /// preserved by inserting `None` requests for the demoted units.
+    pub fn demote_reorg_units(&self) -> PruneOutcome {
+        if self.reorg_units.is_empty() {
+            return self.clone();
+        }
+        let mut units: Vec<(RowRange, Option<MaskRequest>)> = self
+            .units()
+            .iter()
+            .enumerate()
+            .map(|(i, u)| (*u, self.mask_request(i)))
+            .collect();
+        let mut must_scan = self.must_scan.clone();
+        for ru in &self.reorg_units {
+            units.push((ru.zone, None));
+            let mut zone = RangeSet::new();
+            zone.push_span(ru.zone.start, ru.zone.end);
+            must_scan = must_scan.union(&zone);
+        }
+        units.sort_by_key(|(u, _)| u.start);
+        PruneOutcome {
+            must_scan,
+            scan_units: units.iter().map(|(u, _)| *u).collect(),
+            mask_requests: units.iter().map(|(_, m)| *m).collect(),
+            full_match: self.full_match.clone(),
+            reorg_units: Vec::new(),
+            zones_probed: self.zones_probed,
+            zones_skipped: self.zones_skipped,
+        }
+    }
+
     /// Restricts the outcome to rows still `alive` after earlier conjuncts.
     ///
     /// `must_scan` and `full_match` are intersected with `alive`; scan
@@ -129,8 +236,13 @@ impl PruneOutcome {
     /// is still a subrange of exactly one original unit (observation
     /// alignment stays per-unit exact). Mask requests are dropped — a
     /// fragment's value mask would no longer describe the original unit.
-    /// Probe counters are kept: the metadata reads already happened.
+    /// Reorg units are demoted to plain units first: a positional span is
+    /// meaningless under a base-coordinate restriction. Probe counters
+    /// are kept: the metadata reads already happened.
     pub fn restrict_to(&self, alive: &RangeSet) -> PruneOutcome {
+        if !self.reorg_units.is_empty() {
+            return self.demote_reorg_units().restrict_to(alive);
+        }
         let mut units = Vec::new();
         let alive_ranges = alive.ranges();
         let mut j = 0;
@@ -154,6 +266,7 @@ impl PruneOutcome {
             scan_units: units,
             mask_requests: Vec::new(),
             full_match: self.full_match.intersect(alive),
+            reorg_units: Vec::new(),
             zones_probed: self.zones_probed,
             zones_skipped: self.zones_skipped,
         }

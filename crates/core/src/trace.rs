@@ -44,6 +44,16 @@ pub enum AdaptEvent {
         /// The zone's row range.
         range: RowRange,
     },
+    /// A hot zone was promoted to the reorganized (sorted/cracked) layout.
+    Promoted {
+        /// The zone's row range.
+        range: RowRange,
+    },
+    /// A reorganized zone was demoted back to the flat layout.
+    Demoted {
+        /// The zone's row range.
+        range: RowRange,
+    },
 }
 
 impl AdaptEvent {
@@ -56,6 +66,8 @@ impl AdaptEvent {
             AdaptEvent::Deactivated { .. } => "deactivated",
             AdaptEvent::Revived { .. } => "revived",
             AdaptEvent::MaskBuilt { .. } => "mask-built",
+            AdaptEvent::Promoted { .. } => "promoted",
+            AdaptEvent::Demoted { .. } => "demoted",
         }
     }
 }
@@ -70,8 +82,8 @@ pub struct AdaptTrace {
     capacity: usize,
     head: usize,
     /// Total events of each kind: built, split, merged, deactivated,
-    /// revived, mask-built.
-    counts: [u64; 6],
+    /// revived, mask-built, promoted, demoted.
+    counts: [u64; 8],
 }
 
 impl AdaptTrace {
@@ -81,7 +93,7 @@ impl AdaptTrace {
             events: Vec::with_capacity(capacity.min(1024)),
             capacity: capacity.max(1),
             head: 0,
-            counts: [0; 6],
+            counts: [0; 8],
         }
     }
 
@@ -94,6 +106,8 @@ impl AdaptTrace {
             AdaptEvent::Deactivated { .. } => 3,
             AdaptEvent::Revived { .. } => 4,
             AdaptEvent::MaskBuilt { .. } => 5,
+            AdaptEvent::Promoted { .. } => 6,
+            AdaptEvent::Demoted { .. } => 7,
         };
         self.counts[idx] += 1;
         if self.events.len() < self.capacity {
@@ -119,6 +133,8 @@ impl AdaptTrace {
             deactivated: self.counts[3],
             revived: self.counts[4],
             mask_built: self.counts[5],
+            promoted: self.counts[6],
+            demoted: self.counts[7],
         }
     }
 
@@ -143,14 +159,25 @@ pub struct TraceTotals {
     pub revived: u64,
     /// Secondary masks attached.
     pub mask_built: u64,
+    /// Zones promoted to the reorganized layout.
+    pub promoted: u64,
+    /// Zones demoted back to the flat layout.
+    pub demoted: u64,
 }
 
 impl std::fmt::Display for TraceTotals {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "built={} split={} merged={} deactivated={} revived={} masks={}",
-            self.built, self.split, self.merged, self.deactivated, self.revived, self.mask_built
+            "built={} split={} merged={} deactivated={} revived={} masks={} promoted={} demoted={}",
+            self.built,
+            self.split,
+            self.merged,
+            self.deactivated,
+            self.revived,
+            self.mask_built,
+            self.promoted,
+            self.demoted
         )
     }
 }

@@ -105,6 +105,7 @@ impl<T: DataValue> SkippingIndex<T> for StaticZonemap<T> {
             scan_units: Vec::new(),
             mask_requests: Vec::new(),
             full_match: RangeSet::with_capacity(16),
+            reorg_units: Vec::new(),
             zones_probed: self.mins.len(),
             zones_skipped: 0,
         };
@@ -145,6 +146,7 @@ impl<T: DataValue> SkippingIndex<T> for StaticZonemap<T> {
             scan_units: Vec::new(),
             mask_requests: Vec::new(),
             full_match: RangeSet::with_capacity(16),
+            reorg_units: Vec::new(),
             zones_probed: 0,
             zones_skipped: 0,
         };

@@ -75,12 +75,17 @@ pub(crate) enum WorkItem {
     Full(RowRange),
     /// One scan unit of the prune outcome, with its optional mask request.
     Unit(RowRange, Option<MaskRequest>),
+    /// One positional unit over a reorganized zone: index into the
+    /// outcome's `reorg_units`, plus the qualifying+edge row count for
+    /// load balancing (the zone's other rows are never touched).
+    Reorg { idx: usize, rows: usize },
 }
 
 impl WorkItem {
     pub(crate) fn rows(&self) -> usize {
         match self {
             WorkItem::Full(r) | WorkItem::Unit(r, _) => r.len(),
+            WorkItem::Reorg { rows, .. } => *rows,
         }
     }
 }
@@ -153,9 +158,12 @@ pub fn execute_with_policy<T: DataValue>(
         }
     }
 
-    // The inline path is "execute, then immediately apply the feedback".
+    // The inline path is "execute, then immediately apply the feedback",
+    // then give the index its periodic self-maintenance slot (zone
+    // promotion/demotion for reorg-enabled adaptive zonemaps).
     let t_obs = Instant::now();
     index.observe(&observation);
+    index.maintain(data);
     let observe_ns = t_obs.elapsed().as_nanos() as u64;
 
     let metrics = QueryMetrics {
@@ -163,7 +171,7 @@ pub fn execute_with_policy<T: DataValue>(
         zones_probed: outcome.zones_probed,
         zones_skipped: outcome.zones_skipped,
         rows_scanned: phase.rows_scanned,
-        rows_full_match: outcome.rows_full_match(),
+        rows_full_match: outcome.rows_full_match() + outcome.rows_positional_match(),
         rows_matched: answer.count,
         adapt_events: index.adapt_events() - events_before,
         prune_ns,
@@ -217,7 +225,7 @@ pub fn scan_pruned<T: DataValue>(
 
     let results: Vec<ItemResult<T>> =
         parallel::par_map_weighted(&items, threads_used, WorkItem::rows, |_, item| {
-            scan_item(target, pred, agg, item)
+            scan_item(target, &outcome.reorg_units, pred, agg, item)
         });
 
     let (answer, observation, rows_scanned) =
@@ -236,9 +244,12 @@ pub fn scan_pruned<T: DataValue>(
 }
 
 /// Builds the work list of one prune outcome: full-match ranges first
-/// (only when their values must be read), then the scan units — the order
-/// the answer fold visits them, which keeps f64 accumulation bit-identical
-/// between sequential and parallel execution.
+/// (only when their values must be read), then the scan units and
+/// positional reorg units merged by ascending zone start — the order the
+/// answer fold visits them, which keeps f64 accumulation bit-identical
+/// between sequential and parallel execution *and* between the flat and
+/// reorganized layouts (a reorg item folds exactly where the same zone's
+/// flat unit would).
 pub(crate) fn build_work_items(outcome: &PruneOutcome, agg: AggKind) -> Vec<WorkItem> {
     let reads_full_values = matches!(agg, AggKind::Sum | AggKind::Min | AggKind::Max);
     let fulls = if reads_full_values {
@@ -246,15 +257,28 @@ pub(crate) fn build_work_items(outcome: &PruneOutcome, agg: AggKind) -> Vec<Work
     } else {
         &[]
     };
-    let mut items: Vec<WorkItem> = Vec::with_capacity(fulls.len() + outcome.units().len());
+    let units = outcome.units();
+    let reorg = &outcome.reorg_units;
+    let mut items: Vec<WorkItem> = Vec::with_capacity(fulls.len() + units.len() + reorg.len());
     items.extend(fulls.iter().map(|r| WorkItem::Full(*r)));
-    items.extend(
-        outcome
-            .units()
-            .iter()
-            .enumerate()
-            .map(|(i, u)| WorkItem::Unit(*u, outcome.mask_request(i))),
-    );
+    let (mut ui, mut ri) = (0usize, 0usize);
+    while ui < units.len() || ri < reorg.len() {
+        let take_unit = match (units.get(ui), reorg.get(ri)) {
+            (Some(u), Some(r)) => u.start < r.zone.start,
+            (Some(_), None) => true,
+            _ => false,
+        };
+        if take_unit {
+            items.push(WorkItem::Unit(units[ui], outcome.mask_request(ui)));
+            ui += 1;
+        } else {
+            items.push(WorkItem::Reorg {
+                idx: ri,
+                rows: reorg[ri].full_rows() + reorg[ri].edge_rows(),
+            });
+            ri += 1;
+        }
+    }
     items
 }
 
@@ -281,8 +305,12 @@ pub(crate) fn merge_item_results<T: DataValue>(
         sum += r.sum;
         mmin = mmin.min_total(r.match_min);
         mmax = mmax.max_total(r.match_max);
-        if matches!(item, WorkItem::Unit(..)) {
-            rows_scanned += item.rows();
+        match item {
+            WorkItem::Unit(..) => rows_scanned += item.rows(),
+            // Positional units only touch (and predicate-test) their edge
+            // pieces; the full span is answered without per-row tests.
+            WorkItem::Reorg { idx, .. } => rows_scanned += outcome.reorg_units[*idx].edge_rows(),
+            WorkItem::Full(_) => {}
         }
     }
     match agg {
@@ -294,31 +322,37 @@ pub(crate) fn merge_item_results<T: DataValue>(
         AggKind::Min => answer.min = (answer.count > 0).then_some(mmin),
         AggKind::Max => answer.max = (answer.count > 0).then_some(mmax),
         AggKind::Positions => {
-            // POSITIONS items are all units, aligned 1:1 with results:
-            // merge-walk full-match ranges and per-unit position lists
-            // by start so base-coordinate output comes out sorted.
+            // POSITIONS items are units and reorg units in ascending
+            // start order, aligned 1:1 with results: merge-walk the
+            // full-match ranges against the item stream so
+            // base-coordinate output comes out sorted.
             let full_ranges = outcome.full_match.ranges();
-            let units = outcome.units();
             let mut positions: Vec<u32> =
                 Vec::with_capacity(results.iter().map(|r| r.positions.len()).sum::<usize>());
-            let (mut fi, mut ui) = (0usize, 0usize);
-            while fi < full_ranges.len() || ui < units.len() {
-                let take_full = match (full_ranges.get(fi), units.get(ui)) {
-                    (Some(f), Some(u)) => f.start < u.start,
-                    (Some(_), None) => true,
-                    _ => false,
+            let mut fi = 0usize;
+            for (item, r) in items.iter().zip(&results) {
+                let item_start = match item {
+                    WorkItem::Unit(u, _) => u.start,
+                    WorkItem::Reorg { idx, .. } => outcome.reorg_units[*idx].zone.start,
+                    // Full items are never built for POSITIONS.
+                    WorkItem::Full(_) => continue,
                 };
-                if take_full {
+                while fi < full_ranges.len() && full_ranges[fi].start < item_start {
                     let f = full_ranges[fi];
                     // narrowing: row ids are u32 by the storage contract
                     // (columns are bounded to u32::MAX rows).
                     positions.extend(f.start as u32..f.end as u32);
                     answer.count += f.len() as u64;
                     fi += 1;
-                } else {
-                    positions.extend_from_slice(&results[ui].positions);
-                    ui += 1;
                 }
+                positions.extend_from_slice(&r.positions);
+            }
+            while fi < full_ranges.len() {
+                let f = full_ranges[fi];
+                // narrowing: row ids are u32 by the storage contract.
+                positions.extend(f.start as u32..f.end as u32);
+                answer.count += f.len() as u64;
+                fi += 1;
             }
             answer.positions = Some(positions);
         }
@@ -336,10 +370,58 @@ pub(crate) fn merge_item_results<T: DataValue>(
     )
 }
 
+/// Marks the base rows qualifying inside one reorg unit in a zone-local
+/// bitmap (bit `i` = base row `zone.start + i`): the full span's rowids
+/// wholesale plus edge rows passing the predicate. Replaying the bitmap
+/// with [`for_each_set_row`] recovers ascending base order in O(zone)
+/// word scans instead of the O(k log k) sort a rowid list would need —
+/// and ascending base order is what makes downstream f64 accumulation
+/// match the flat scan bit for bit.
+fn reorg_unit_bitmap<T: DataValue>(
+    unit: &ads_core::ReorgUnit,
+    values: &[T],
+    rowids: &[u32],
+    pred: RangePredicate<T>,
+) -> (Vec<u64>, usize) {
+    let zone_start = unit.zone.start;
+    let mut bits = vec![0u64; (unit.zone.end - zone_start).div_ceil(64)];
+    let mut count = unit.full_rows();
+    for &r in &rowids[unit.full.start..unit.full.end] {
+        // narrowing: u32 row id to usize is lossless on 32/64-bit hosts.
+        let off = r as usize - zone_start;
+        bits[off / 64] |= 1 << (off % 64);
+    }
+    for e in unit.edges.iter().flatten() {
+        for (i, v) in values[e.start..e.end].iter().enumerate() {
+            if pred.matches(*v) {
+                // narrowing: u32 row id to usize is lossless here too.
+                let off = rowids[e.start + i] as usize - zone_start;
+                bits[off / 64] |= 1 << (off % 64);
+                count += 1;
+            }
+        }
+    }
+    (bits, count)
+}
+
+/// Visits the base rows of a zone-local bitmap in ascending order.
+fn for_each_set_row(bits: &[u64], zone_start: usize, mut f: impl FnMut(usize)) {
+    for (w, &packed) in bits.iter().enumerate() {
+        let mut word = packed;
+        while word != 0 {
+            // narrowing: trailing_zeros of a u64 is at most 64.
+            f(zone_start + w * 64 + word.trailing_zeros() as usize);
+            word &= word - 1;
+        }
+    }
+}
+
 /// Scans one work item. Pure with respect to shared state: reads
-/// `target`, writes only its own result — safe to run on any thread.
+/// `target` (and, for reorg items, the outcome's payloads), writes only
+/// its own result — safe to run on any thread.
 pub(crate) fn scan_item<T: DataValue>(
     target: &[T],
+    reorg_units: &[ads_core::ReorgUnit],
     pred: RangePredicate<T>,
     agg: AggKind,
     item: &WorkItem,
@@ -409,6 +491,73 @@ pub(crate) fn scan_item<T: DataValue>(
                     out.obs = Some(RangeObservation::new(u, q, min, max));
                 }
             }
+        }
+        WorkItem::Reorg { idx, .. } => {
+            let unit = &reorg_units[idx];
+            let payload = unit
+                .payload
+                .downcast_ref::<ads_storage::ReorgZone<T>>()
+                // invariant: the prune that emitted this unit built the
+                // payload from the same column, so T always matches.
+                .expect("reorg payload downcasts to the column's value type");
+            let values = payload.values();
+            let rowids = payload.rowids();
+            let (zmin, zmax) = payload.min_max();
+            match agg {
+                AggKind::Count => {
+                    let mut q = unit.full_rows();
+                    for e in unit.edges.iter().flatten() {
+                        q += values[e.start..e.end]
+                            .iter()
+                            .filter(|v| pred.matches(**v))
+                            .count();
+                    }
+                    out.count = q;
+                }
+                AggKind::Sum => {
+                    let (bits, count) = reorg_unit_bitmap(unit, values, rowids, pred);
+                    out.count = count;
+                    // Ascending base-row accumulation: the exact order a
+                    // flat scan of this zone adds in, so the partial sum
+                    // is bit-identical across layouts.
+                    let mut sum = 0.0;
+                    for_each_set_row(&bits, unit.zone.start, |r| sum += target[r].to_f64());
+                    out.sum = sum;
+                }
+                AggKind::Min | AggKind::Max => {
+                    let mut q = unit.full_rows();
+                    for &v in &values[unit.full.start..unit.full.end] {
+                        out.match_min = out.match_min.min_total(v);
+                        out.match_max = out.match_max.max_total(v);
+                    }
+                    // min_total/max_total folds are order-independent at
+                    // the bit level (total-order ties have identical bit
+                    // patterns), so view order is as good as base order.
+                    for e in unit.edges.iter().flatten() {
+                        for &v in &values[e.start..e.end] {
+                            if pred.matches(v) {
+                                q += 1;
+                                out.match_min = out.match_min.min_total(v);
+                                out.match_max = out.match_max.max_total(v);
+                            }
+                        }
+                    }
+                    out.count = q;
+                }
+                AggKind::Positions => {
+                    let (bits, count) = reorg_unit_bitmap(unit, values, rowids, pred);
+                    out.count = count;
+                    out.positions.reserve(count);
+                    for_each_set_row(&bits, unit.zone.start, |r| {
+                        // narrowing: row ids are u32 by storage-wide
+                        // contract (columns are bounded below 2^32 rows).
+                        out.positions.push(r as u32);
+                    });
+                }
+            }
+            // The payload's build-time (min, max) covers every zone row —
+            // the same exact metadata a flat scan would feed back.
+            out.obs = Some(RangeObservation::new(unit.zone, out.count, zmin, zmax));
         }
     }
     out

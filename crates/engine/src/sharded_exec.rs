@@ -124,7 +124,15 @@ pub fn scan_sharded<T: DataValue>(
         &tagged,
         threads_used,
         |(_, it)| it.rows(),
-        |_, (s, item)| scan_item(inputs[*s].data, pred, agg, item),
+        |_, (s, item)| {
+            scan_item(
+                inputs[*s].data,
+                &inputs[*s].outcome.reorg_units,
+                pred,
+                agg,
+                item,
+            )
+        },
     );
 
     // Split results back into per-shard runs (they are contiguous because
@@ -178,7 +186,8 @@ pub fn scan_sharded<T: DataValue>(
             zones_probed: input.outcome.zones_probed,
             zones_skipped: input.outcome.zones_skipped,
             rows_scanned: lane_rows_scanned,
-            rows_full_match: input.outcome.rows_full_match(),
+            rows_full_match: input.outcome.rows_full_match()
+                + input.outcome.rows_positional_match(),
             rows_matched: lane_answer.count,
         });
         observations.push(lane_obs);
@@ -245,7 +254,9 @@ pub fn execute_sharded<T: DataValue>(
 
     let t_obs = Instant::now();
     for (s, obs) in result.observations.iter().enumerate() {
-        zonemap.lane_mut(s).observe(obs);
+        let lane = zonemap.lane_mut(s);
+        lane.observe(obs);
+        SkippingIndex::maintain(lane, column.shard(s).as_slice());
     }
     let observe_ns = t_obs.elapsed().as_nanos() as u64;
 

@@ -524,12 +524,23 @@ fn stats_any(idx: &AnyIndex) -> Option<PruneStats> {
     }
 }
 
+/// The table path derives its alive set from `must_scan ∪ full_match`
+/// and re-tests predicates row by row, so positional reorg units must be
+/// folded back into plain scan units before the outcome is consumed.
+fn demote_if_reorg(out: PruneOutcome) -> PruneOutcome {
+    if out.reorg_units.is_empty() {
+        out
+    } else {
+        out.demote_reorg_units()
+    }
+}
+
 fn prune_any(idx: &mut AnyIndex, pred: &AnyPredicate, column: &str) -> Result<PruneOutcome> {
     match (idx, pred) {
-        (AnyIndex::I32(i), AnyPredicate::I32(p)) => Ok(i.prune(p)),
-        (AnyIndex::I64(i), AnyPredicate::I64(p)) => Ok(i.prune(p)),
-        (AnyIndex::U64(i), AnyPredicate::U64(p)) => Ok(i.prune(p)),
-        (AnyIndex::F64(i), AnyPredicate::F64(p)) => Ok(i.prune(p)),
+        (AnyIndex::I32(i), AnyPredicate::I32(p)) => Ok(demote_if_reorg(i.prune(p))),
+        (AnyIndex::I64(i), AnyPredicate::I64(p)) => Ok(demote_if_reorg(i.prune(p))),
+        (AnyIndex::U64(i), AnyPredicate::U64(p)) => Ok(demote_if_reorg(i.prune(p))),
+        (AnyIndex::F64(i), AnyPredicate::F64(p)) => Ok(demote_if_reorg(i.prune(p))),
         (idx, pred) => Err(type_mismatch(idx, pred, column)),
     }
 }
@@ -541,10 +552,10 @@ fn prune_any_within(
     column: &str,
 ) -> Result<PruneOutcome> {
     match (idx, pred) {
-        (AnyIndex::I32(i), AnyPredicate::I32(p)) => Ok(i.prune_within(p, alive)),
-        (AnyIndex::I64(i), AnyPredicate::I64(p)) => Ok(i.prune_within(p, alive)),
-        (AnyIndex::U64(i), AnyPredicate::U64(p)) => Ok(i.prune_within(p, alive)),
-        (AnyIndex::F64(i), AnyPredicate::F64(p)) => Ok(i.prune_within(p, alive)),
+        (AnyIndex::I32(i), AnyPredicate::I32(p)) => Ok(demote_if_reorg(i.prune_within(p, alive))),
+        (AnyIndex::I64(i), AnyPredicate::I64(p)) => Ok(demote_if_reorg(i.prune_within(p, alive))),
+        (AnyIndex::U64(i), AnyPredicate::U64(p)) => Ok(demote_if_reorg(i.prune_within(p, alive))),
+        (AnyIndex::F64(i), AnyPredicate::F64(p)) => Ok(demote_if_reorg(i.prune_within(p, alive))),
         (idx, pred) => Err(type_mismatch(idx, pred, column)),
     }
 }

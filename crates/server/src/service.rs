@@ -60,7 +60,7 @@ use crate::queue::{Bounded, PushError};
 use crate::snapshot::{ShardSnapshot, ShardedCell};
 use crate::stats::{ServerStats, StatsCollector};
 use crate::sync::{Arc, Mutex};
-use ads_core::adaptive::ShardedZonemap;
+use ads_core::adaptive::{ReorgReport, ShardedZonemap};
 use ads_core::{RangePredicate, ScanObservation, SkippingIndex};
 use ads_engine::{execute_sharded, scan_sharded, AggKind, QueryAnswer, ShardScanInput};
 use ads_storage::{DataValue, RowRange, ShardedColumn, SharedColumn};
@@ -354,7 +354,24 @@ impl<T: DataValue> QueryService<T> {
 
     /// A point-in-time stats report.
     pub fn stats(&self) -> ServerStats {
-        self.shared.stats.snapshot(self.shared.queue.len())
+        self.stats_at_depth(self.shared.queue.len())
+    }
+
+    fn stats_at_depth(&self, queue_depth: usize) -> ServerStats {
+        let mut stats = self.shared.stats.snapshot(queue_depth);
+        // Inline mode reorganizes inside the query path (no maintenance
+        // thread records deltas), so its lifetime totals come straight
+        // from the authoritative zonemap.
+        if let Engine::Inline(state) = &self.shared.engine {
+            // invariant: see append — poisoning is unrecoverable.
+            let st = state.lock().expect("inline state poisoned");
+            let r = st.zonemap.reorg_stats();
+            stats.zones_promoted = r.zones_promoted;
+            stats.zones_demoted = r.zones_demoted;
+            stats.reorg_bytes_moved = r.bytes_moved;
+            stats.reorg_ns = r.reorg_ns;
+        }
+        stats
     }
 
     /// Time since [`QueryService::start`].
@@ -428,7 +445,7 @@ impl<T: DataValue> QueryService<T> {
     /// request, apply all queued feedback, then return the final stats.
     pub fn shutdown(mut self) -> ServerStats {
         self.shutdown_inner();
-        self.shared.stats.snapshot(0)
+        self.stats_at_depth(0)
     }
 
     fn shutdown_inner(&mut self) {
@@ -609,6 +626,29 @@ fn maintenance_loop<T: DataValue>(
                     acks.push(ack);
                 }
             }
+        }
+
+        // Reorganization rides the same maintenance cadence: each lane
+        // promotes hot zones / demotes cold ones against its own shard
+        // slice. Any layout change bumps the lane's mutation epoch, so the
+        // epoch diff below republishes exactly the lanes that moved —
+        // readers keep their old snapshot Arc until then and never see a
+        // half-reorganized zone.
+        let mut reorg = ReorgReport::default();
+        for s in 0..num_shards {
+            let rep = zonemap.lane_mut(s).apply_reorg(column.shard(s).as_slice());
+            reorg.promoted += rep.promoted;
+            reorg.demoted += rep.demoted;
+            reorg.bytes_moved += rep.bytes_moved;
+            reorg.reorg_ns += rep.reorg_ns;
+        }
+        if reorg.changed() {
+            shared.stats.record_reorg(
+                reorg.promoted,
+                reorg.demoted,
+                reorg.bytes_moved,
+                reorg.reorg_ns,
+            );
         }
 
         // Run the revival check the next query's prune would run, so the

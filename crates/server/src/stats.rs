@@ -37,6 +37,14 @@ pub struct StatsCollector {
     whole_map_bytes: AtomicU64,
     /// Append batches applied.
     appends: AtomicU64,
+    /// Zones promoted to the reorganized layout by maintenance.
+    zones_promoted: AtomicU64,
+    /// Reorganized zones demoted back to the flat layout.
+    zones_demoted: AtomicU64,
+    /// Value+rowid bytes moved by reorganization (sorts and cracks).
+    reorg_bytes_moved: AtomicU64,
+    /// Wall time spent inside reorganization passes.
+    reorg_ns: AtomicU64,
     /// One latency shard per worker, locked only by that worker (and by
     /// the occasional stats reader).
     latency_shards: Vec<Mutex<LatencyHistogram>>,
@@ -57,6 +65,10 @@ impl StatsCollector {
             republish_bytes: AtomicU64::new(0),
             whole_map_bytes: AtomicU64::new(0),
             appends: AtomicU64::new(0),
+            zones_promoted: AtomicU64::new(0),
+            zones_demoted: AtomicU64::new(0),
+            reorg_bytes_moved: AtomicU64::new(0),
+            reorg_ns: AtomicU64::new(0),
             latency_shards: (0..workers.max(1))
                 .map(|_| Mutex::new(LatencyHistogram::new()))
                 .collect(),
@@ -129,6 +141,19 @@ impl StatsCollector {
         self.appends.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one reorganization pass's deltas (no-op rounds pass zeros).
+    pub(crate) fn record_reorg(&self, promoted: u64, demoted: u64, bytes_moved: u64, ns: u64) {
+        // ordering: Relaxed — monotone counter; see record_query.
+        self.zones_promoted.fetch_add(promoted, Ordering::Relaxed);
+        // ordering: Relaxed — monotone counter; see record_query.
+        self.zones_demoted.fetch_add(demoted, Ordering::Relaxed);
+        // ordering: Relaxed — monotone counter; see record_query.
+        self.reorg_bytes_moved
+            .fetch_add(bytes_moved, Ordering::Relaxed);
+        // ordering: Relaxed — monotone counter; see record_query.
+        self.reorg_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
     /// Folds the counters and shards into one immutable report.
     /// `queue_depth` is sampled by the caller (the service knows its queue).
     pub fn snapshot(&self, queue_depth: usize) -> ServerStats {
@@ -169,6 +194,14 @@ impl StatsCollector {
             whole_map_bytes: self.whole_map_bytes.load(Ordering::Relaxed),
             // ordering: Relaxed — see the struct-literal comment above.
             appends: self.appends.load(Ordering::Relaxed),
+            // ordering: Relaxed — see the struct-literal comment above.
+            zones_promoted: self.zones_promoted.load(Ordering::Relaxed),
+            // ordering: Relaxed — see the struct-literal comment above.
+            zones_demoted: self.zones_demoted.load(Ordering::Relaxed),
+            // ordering: Relaxed — see the struct-literal comment above.
+            reorg_bytes_moved: self.reorg_bytes_moved.load(Ordering::Relaxed),
+            // ordering: Relaxed — see the struct-literal comment above.
+            reorg_ns: self.reorg_ns.load(Ordering::Relaxed),
             queue_depth,
             latency,
         }
@@ -207,6 +240,15 @@ pub struct ServerStats {
     pub whole_map_bytes: u64,
     /// Append batches applied.
     pub appends: u64,
+    /// Zones promoted to the reorganized (sorted/cracked) layout.
+    pub zones_promoted: u64,
+    /// Reorganized zones demoted back to the flat layout after going
+    /// cold.
+    pub zones_demoted: u64,
+    /// Value+rowid bytes moved by reorganization sorts and cracks.
+    pub reorg_bytes_moved: u64,
+    /// Wall time spent inside reorganization passes.
+    pub reorg_ns: u64,
     /// Request-queue depth at sampling time.
     pub queue_depth: usize,
     /// Merged end-to-end latency distribution (submit-to-reply is up to
@@ -230,6 +272,7 @@ impl ServerStats {
         format!(
             "queries={} shed={} deadline_missed={} feedback_applied={} lag={} \
              snapshots={} shards_republished={} republish_bytes={} appends={} \
+             reorg_promoted={} reorg_demoted={} reorg_bytes_moved={} \
              p50={}ns p95={}ns p99={}ns",
             self.queries,
             self.shed,
@@ -240,6 +283,9 @@ impl ServerStats {
             self.shards_republished,
             self.republish_bytes,
             self.appends,
+            self.zones_promoted,
+            self.zones_demoted,
+            self.reorg_bytes_moved,
             self.latency.p50_ns(),
             self.latency.p95_ns(),
             self.latency.p99_ns(),

@@ -245,3 +245,58 @@ fn inline_mode_matches_the_plain_executor() {
     assert_eq!(stats.queries, 100);
     assert_eq!(stats.snapshots_published, 0, "inline mode never publishes");
 }
+
+#[test]
+fn reorg_enabled_service_answers_exactly_and_counts_promotions() {
+    // Hot clustered workload with reorganization on: both service modes
+    // must produce exact answers while zones get promoted, and the stats
+    // surface must report the promotions.
+    let column = data::clustered(ROWS, 80, 0.05, DOMAIN, 42);
+    let preds = queries::hotspot_ranges(QUERIES, DOMAIN, 0.05, 0.3, 0.2, 7);
+    let adaptive = AdaptiveConfig {
+        reorg_after_scans: 2,
+        maintenance_every: 1,
+        ..AdaptiveConfig::with_reorg()
+    };
+    let expected: Vec<u64> = preds
+        .iter()
+        .map(|q| column.iter().filter(|&&v| v >= q.lo && v <= q.hi).count() as u64)
+        .collect();
+
+    for mode in [AdaptationMode::Inline, AdaptationMode::Async] {
+        let svc = QueryService::start(
+            column.clone(),
+            ServerConfig {
+                adaptive: adaptive.clone(),
+                ..config(mode)
+            },
+        );
+        for (q, &want) in preds.iter().zip(&expected) {
+            let pred = RangePredicate::between(q.lo, q.hi);
+            let reply = svc.query(pred, AggKind::Count).expect("admitted");
+            assert_eq!(
+                reply.answer().expect("no deadline").count,
+                want,
+                "wrong count in {mode:?} mode"
+            );
+            if mode == AdaptationMode::Async {
+                // Serialize so the maintenance thread's reorg pass runs
+                // between queries and republishes promoted lanes.
+                svc.flush();
+            }
+        }
+        let stats = svc.shutdown();
+        assert!(
+            stats.zones_promoted > 0,
+            "hot workload promoted no zones in {mode:?} mode"
+        );
+        assert!(
+            stats.reorg_bytes_moved > 0,
+            "promotion moved no bytes in {mode:?} mode"
+        );
+        assert!(
+            stats.summary().contains("reorg_promoted="),
+            "summary must surface reorg counters"
+        );
+    }
+}

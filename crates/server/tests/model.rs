@@ -20,6 +20,7 @@ use ads_check::sync::atomic::{AtomicU64, Ordering};
 use ads_check::sync::{thread, Arc};
 use ads_check::{model, try_model, Config};
 use ads_core::adaptive::{AdaptiveConfig, AdaptiveZonemap};
+use ads_core::{RangeObservation, RangePredicate, ScanObservation, SkippingIndex};
 use ads_server::{Bounded, PushError, ShardSnapshot, ShardedCell, SnapshotCell, StatsCollector};
 use ads_storage::SharedColumn;
 
@@ -360,5 +361,141 @@ fn corrected_acquire_generation_read_is_clean() {
             assert_eq!(payload.load(Ordering::Relaxed), 1);
         }
         writer.join().unwrap();
+    });
+}
+
+// ------------------------------------------- Reorg publication protocol
+
+/// The 4-row column every reorg-protocol snapshot is built over.
+fn reorg_data() -> Vec<i64> {
+    vec![3, 1, 2, 0]
+}
+
+/// A lane over [`reorg_data`] whose single zone has been promoted to the
+/// reorganized layout: one inline query builds the zone, `apply_reorg`
+/// promotes it (both on the owner's side, before any publication).
+fn reorg_snap(version: u64) -> ShardSnapshot<i64> {
+    let data = reorg_data();
+    let mut zm = AdaptiveZonemap::new(
+        data.len(),
+        AdaptiveConfig {
+            reorg_after_scans: 1,
+            reorg_demote_idle: 1,
+            ..AdaptiveConfig::with_reorg()
+        },
+    );
+    let pred = RangePredicate::between(1, 2);
+    let outcome = SkippingIndex::prune(&mut zm, &pred);
+    let ranges = outcome
+        .units()
+        .iter()
+        .map(|u| {
+            let (q, min, max) =
+                ads_storage::scan::count_in_range_with_minmax(&data[u.start..u.end], 1, 2);
+            RangeObservation::new(*u, q, min, max)
+        })
+        .collect();
+    zm.observe(&ScanObservation {
+        predicate: pred,
+        ranges,
+    });
+    let rep = zm.apply_reorg(&data);
+    assert_eq!(rep.promoted, 1, "setup must promote the zone");
+    ShardSnapshot {
+        data: SharedColumn::new(data),
+        zonemap: zm,
+        start: 0,
+        version,
+    }
+}
+
+/// Promotion publishes layout flag and positional payload as ONE snapshot
+/// swap: under every interleaving a refreshing reader sees either the old
+/// all-flat lane or the new lane with exactly its promoted zone + payload
+/// — never a torn mixture (version/state coupling proves atomicity).
+#[test]
+fn reorg_promotion_publishes_layout_and_payload_atomically() {
+    model(|| {
+        let cell = Arc::new(ShardedCell::new(vec![shard_snap(0, 4, 0)]));
+        let c2 = Arc::clone(&cell);
+        let writer = thread::spawn(move || c2.publish_shard(0, reorg_snap(1)));
+        let mut cache = cell.cache();
+        cache.refresh(&cell);
+        let snap = cache.lanes()[0].current();
+        if snap.version == 0 {
+            assert_eq!(
+                snap.zonemap.zones_reorganized(),
+                0,
+                "pre-reorg snapshot carries a reorganized layout flag"
+            );
+        } else {
+            assert_eq!(
+                snap.zonemap.zones_reorganized(),
+                1,
+                "post-reorg snapshot lost its payload"
+            );
+            // The flag is backed by a live payload: a shared prune
+            // resolves the predicate positionally, with the right rows.
+            let out = snap.zonemap.prune_shared(&RangePredicate::between(1, 2));
+            assert_eq!(out.reorg_units.len(), 1, "layout flag without payload");
+        }
+        writer.join().unwrap();
+        cache.refresh(&cell);
+        assert_eq!(cache.lanes()[0].current().zonemap.zones_reorganized(), 1);
+    });
+}
+
+/// Demotion on the owner's authoritative copy cannot race a reader's held
+/// snapshot: the payload Arc is shared copy-on-write, so dropping the
+/// owner's reference (and republishing a flat lane) leaves the reader's
+/// positional zone fully usable under every interleaving.
+#[test]
+fn reorg_demotion_cannot_invalidate_a_held_snapshot() {
+    model(|| {
+        let snap = reorg_snap(1);
+        // The owner's authoritative copy shares the payload Arc with the
+        // snapshot about to be published.
+        let owner_zm = snap.zonemap.clone();
+        let cell = Arc::new(ShardedCell::new(vec![snap]));
+        let mut cache = cell.cache();
+        cache.refresh(&cell);
+        let held = std::sync::Arc::clone(cache.lanes()[0].current());
+
+        let c2 = Arc::clone(&cell);
+        let writer = thread::spawn(move || {
+            let mut zm = owner_zm;
+            let data = reorg_data();
+            // A bounds-skipping prune ages the zone past the idle
+            // threshold; the next reorg pass demotes it, dropping the
+            // owner's payload reference.
+            let miss = RangePredicate::between(100, 200);
+            let _ = SkippingIndex::prune(&mut zm, &miss);
+            let rep = zm.apply_reorg(&data);
+            assert_eq!(rep.demoted, 1, "owner must demote the idle zone");
+            c2.publish_shard(
+                0,
+                ShardSnapshot {
+                    data: SharedColumn::new(data),
+                    zonemap: zm,
+                    start: 0,
+                    version: 2,
+                },
+            );
+        });
+
+        // Concurrent with the demotion: the held snapshot keeps answering
+        // positionally, with correct row coverage.
+        assert_eq!(held.zonemap.zones_reorganized(), 1);
+        let out = held.zonemap.prune_shared(&RangePredicate::between(1, 2));
+        assert_eq!(out.reorg_units.len(), 1);
+        let unit = &out.reorg_units[0];
+        assert_eq!(unit.zone.start, 0);
+        assert_eq!(unit.zone.end, 4);
+
+        writer.join().unwrap();
+        cache.refresh(&cell);
+        let fresh = cache.lanes()[0].current();
+        assert_eq!(fresh.version, 2);
+        assert_eq!(fresh.zonemap.zones_reorganized(), 0, "demotion published");
     });
 }

@@ -26,6 +26,7 @@ pub mod column;
 pub mod error;
 pub mod parallel;
 pub mod ranges;
+pub mod reorg;
 pub mod scan;
 pub mod sharded;
 pub mod shared;
@@ -38,6 +39,7 @@ pub use catalog::Catalog;
 pub use column::Column;
 pub use error::{Result, StorageError};
 pub use ranges::{RangeSet, RowRange};
+pub use reorg::{ReorgSpans, ReorgZone};
 pub use sharded::ShardedColumn;
 pub use shared::SharedColumn;
 pub use strings::{AppendEffect, DictColumn};
