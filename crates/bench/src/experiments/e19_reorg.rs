@@ -1,0 +1,66 @@
+//! E19 — zone-local adaptive reorganization: flat vs always vs adaptive.
+//!
+//! CSV-parity wrapper over [`crate::reorg_bench`] (the JSON emitter is
+//! `reorg_json` → `results/BENCH_reorg.json`): hot zones may sort in
+//! place for positional skipping; the relative-hotness gate decides
+//! per zone. Answers are checksummed across the three layout policies
+//! per (distribution, drift) pair, so all speedups are for identical
+//! work.
+
+use crate::reorg_bench;
+use crate::report::{fmt_ms, Report};
+use crate::runner::Scale;
+
+/// Runs the experiment.
+pub fn run(scale: Scale) -> Report {
+    let mut report = Report::new(
+        "e19",
+        "adaptive reorganization: hot zones sort in place for positional skipping",
+        &[
+            "distribution",
+            "drift",
+            "mode",
+            "total ms",
+            "vs flat",
+            "rows scanned (M)",
+            "promoted",
+            "demoted",
+            "reorg ms",
+        ],
+    );
+    report.note(format!(
+        "{} rows, {} queries/cell; checksums asserted equal across modes",
+        scale.rows, scale.queries
+    ));
+
+    let bench = reorg_bench::run(scale.rows, scale.queries, scale.domain, scale.seed ^ 0xE19);
+    for c in &bench.cells {
+        let flat_ns = bench
+            .cells
+            .iter()
+            .find(|f| f.dist == c.dist && f.drift == c.drift && f.mode == "flat")
+            .map_or(c.elapsed_ns, |f| f.elapsed_ns);
+        report.row(vec![
+            c.dist.clone(),
+            c.drift.clone(),
+            c.mode.clone(),
+            fmt_ms(c.elapsed_ns),
+            format!("{:.2}x", flat_ns as f64 / c.elapsed_ns.max(1) as f64),
+            format!("{:.2}", c.rows_scanned as f64 / 1e6),
+            c.zones_promoted.to_string(),
+            c.zones_demoted.to_string(),
+            fmt_ms(c.reorg_ns),
+        ]);
+    }
+    report.note(if bench.adaptive_beats_flat_on_hot() {
+        "adaptive reorganization beats flat skipping on a hot-zone cell".to_string()
+    } else {
+        "WARNING: adaptive reorganization did not beat flat on this host".to_string()
+    });
+    report.note(if bench.uniform_never_promotes() {
+        "the hotness gate promoted nothing on uniform data".to_string()
+    } else {
+        "WARNING: the hotness gate promoted zones on uniform data".to_string()
+    });
+    report
+}

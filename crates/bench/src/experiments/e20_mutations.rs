@@ -1,0 +1,63 @@
+//! E20 — query throughput over a mutating store: churn scenarios ×
+//! {frozen, adaptive} × mutation rates.
+//!
+//! CSV-parity wrapper over [`crate::mutation_bench`] (the JSON emitter
+//! is `mutations_json` → `results/BENCH_mutations.json`): every answer
+//! in every cell is asserted bit-identical against a naive recompute
+//! mirror, before and after compaction, and checksums are asserted
+//! equal across modes, shard counts and reader counts — the speedups
+//! below are for proven-identical work.
+
+use crate::mutation_bench;
+use crate::report::Report;
+use crate::runner::Scale;
+
+/// Runs the experiment.
+pub fn run(scale: Scale) -> Report {
+    let mut report = Report::new(
+        "e20",
+        "mutation subsystem: out-of-place updates/deletes under query load",
+        &[
+            "scenario",
+            "mode",
+            "shards",
+            "readers",
+            "rate",
+            "kq/s",
+            "vs frozen",
+            "applied",
+            "tombstone ppm",
+            "reclaimed",
+        ],
+    );
+    report.note(format!(
+        "{} rows (sorted), {} verified queries/cell, mutations batched per query; \
+         every answer checked against a naive mirror pre- and post-compaction",
+        scale.rows, scale.queries
+    ));
+
+    let bench = mutation_bench::run(scale.rows, scale.queries, scale.domain, scale.seed ^ 0xE20);
+    for c in &bench.cells {
+        let base = bench
+            .qps_of(c.scenario, "frozen", c.shards, c.rate)
+            .unwrap_or(c.qps);
+        report.row(vec![
+            c.scenario.to_string(),
+            c.mode.to_string(),
+            c.shards.to_string(),
+            c.readers.to_string(),
+            c.rate.to_string(),
+            format!("{:.1}", c.qps / 1e3),
+            format!("{:.2}x", c.qps / base.max(1e-9)),
+            c.mutations_applied.to_string(),
+            c.tombstone_ppm.to_string(),
+            c.rows_reclaimed.to_string(),
+        ]);
+    }
+    report.note(if bench.adaptive_beats_frozen_on_update_hotspot() {
+        "adaptive beats frozen on the update-hotspot scenario".to_string()
+    } else {
+        "WARNING: adaptive did not beat frozen on update-hotspot on this host".to_string()
+    });
+    report
+}

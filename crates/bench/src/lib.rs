@@ -17,6 +17,7 @@
 pub mod experiments;
 pub mod kernels;
 pub mod microbench;
+pub mod mutation_bench;
 pub mod plan_bench;
 pub mod reorg_bench;
 pub mod report;

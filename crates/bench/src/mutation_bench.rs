@@ -1,0 +1,532 @@
+//! E20 machinery — query throughput over a mutating store, emitted as
+//! the machine-readable `ads-mutation-bench/v1` document
+//! (`results/BENCH_mutations.json`).
+//!
+//! Three churn scenarios × {frozen, adaptive} × mutation rates, over
+//! sorted data (the case where skipping can win, so frozen-vs-adaptive
+//! is a real comparison rather than two full scans):
+//!
+//! * **update-hotspot** — a hotspot query workload over a store churned
+//!   by out-of-place updates (tombstone + tail append).
+//! * **delete-storm** — uniform queries over a store losing rows to a
+//!   sustained stream of deletes.
+//! * **moving-hotspot-over-churn** — a shifting hotspot workload over
+//!   mixed update/delete churn with periodic bulk appends.
+//!
+//! The driver is a single closed loop: every query blocks for its
+//! answer, every mutation batch blocks for its publication ack, so each
+//! query observes exactly the mutations issued before it. A naive
+//! mirror model (plain `Vec` + tombstone flags) recomputes every answer
+//! and every batch's applied count; the cell **asserts** equality —
+//! count, bit-pattern of the f64 sum, min, max — on every single query,
+//! then folds the answers into a checksum that must agree across modes,
+//! shard counts, and reader counts. After the timed loop the cell
+//! compacts, mirrors the compaction in the model, and re-verifies: value
+//! aggregates must not change when tombstones are physically reclaimed.
+//!
+//! Sums stay bit-identical across prune decisions because every partial
+//! sum of in-domain i64 values is an exact integer far below 2^53;
+//! addition order cannot perturb them.
+
+use ads_core::RangePredicate;
+use ads_engine::AggKind;
+use ads_rng::StdRng;
+use ads_server::{AdaptationMode, Mutation, QueryService, ServerConfig, ServerStats};
+use ads_workloads::queries::RangeQuery;
+use ads_workloads::{queries, DataSpec};
+use std::fmt::Write;
+use std::time::Instant;
+
+/// The benchmarked churn scenarios.
+pub const SCENARIOS: &[&str] = &[
+    "update-hotspot",
+    "delete-storm",
+    "moving-hotspot-over-churn",
+];
+
+/// Mutations issued after each query.
+pub const RATES: &[usize] = &[1, 8];
+
+/// The (mode, shards, readers) grid each (scenario, rate) runs over.
+/// Frozen and adaptive appear at matched shapes so speedups compare
+/// like with like; the two shapes double as the cross-shard and
+/// cross-thread checksum witnesses.
+pub const CONFIGS: &[(AdaptationMode, usize, usize)] = &[
+    (AdaptationMode::Frozen, 1, 1),
+    (AdaptationMode::Frozen, 4, 4),
+    (AdaptationMode::Async, 1, 1),
+    (AdaptationMode::Async, 4, 4),
+];
+
+/// One measured (scenario, mode, shards, readers, rate) cell.
+#[derive(Debug, Clone)]
+pub struct MutationCell {
+    /// Scenario label (see [`SCENARIOS`]).
+    pub scenario: &'static str,
+    /// Adaptation mode label.
+    pub mode: &'static str,
+    /// Shards of the store.
+    pub shards: usize,
+    /// Reader threads of the service.
+    pub readers: usize,
+    /// Mutations issued after each query.
+    pub rate: usize,
+    /// Queries answered in the timed loop.
+    pub queries: u64,
+    /// Mutations that took effect (no-ops on dead rows excluded).
+    pub mutations_applied: u64,
+    /// Wall time of the timed query+mutation loop.
+    pub elapsed_ns: u64,
+    /// Queries per second through the mutating store.
+    pub qps: f64,
+    /// Fold of every verified answer; equal across configs of one
+    /// (scenario, rate) by construction — asserted by [`run`].
+    pub checksum: u64,
+    /// Rows reclaimed by the end-of-cell compaction.
+    pub rows_reclaimed: u64,
+    /// Tombstone density (ppm) just before that compaction.
+    pub tombstone_ppm: u64,
+}
+
+/// The full E20 result set.
+#[derive(Debug, Clone)]
+pub struct MutationBenchReport {
+    /// Rows per column at load.
+    pub rows: usize,
+    /// Queries per cell.
+    pub queries_per_cell: usize,
+    /// Host cores (context for the scaling numbers).
+    pub host_cores: usize,
+    /// Measured cells, in [`SCENARIOS`] × [`RATES`] × [`CONFIGS`] order.
+    pub cells: Vec<MutationCell>,
+}
+
+impl MutationBenchReport {
+    /// Throughput of a cell, or `None` if it was not measured.
+    pub fn qps_of(&self, scenario: &str, mode: &str, shards: usize, rate: usize) -> Option<f64> {
+        self.cells
+            .iter()
+            .find(|c| {
+                c.scenario == scenario && c.mode == mode && c.shards == shards && c.rate == rate
+            })
+            .map(|c| c.qps)
+    }
+
+    /// The headline acceptance check: on the update-hotspot scenario the
+    /// adaptive service out-runs frozen on at least one matched
+    /// (shards, rate) shape.
+    pub fn adaptive_beats_frozen_on_update_hotspot(&self) -> bool {
+        RATES.iter().any(|&rate| {
+            [1usize, 4].iter().any(|&shards| {
+                match (
+                    self.qps_of("update-hotspot", "async", shards, rate),
+                    self.qps_of("update-hotspot", "frozen", shards, rate),
+                ) {
+                    (Some(a), Some(f)) => a > f,
+                    _ => false,
+                }
+            })
+        })
+    }
+
+    /// Renders the `ads-mutation-bench/v1` JSON document.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(4096);
+        s.push_str("{\n");
+        s.push_str("  \"schema\": \"ads-mutation-bench/v1\",\n");
+        let _ = writeln!(s, "  \"rows\": {},", self.rows);
+        let _ = writeln!(s, "  \"queries_per_cell\": {},", self.queries_per_cell);
+        let _ = writeln!(s, "  \"host_cores\": {},", self.host_cores);
+        s.push_str("  \"cells\": [\n");
+        for (i, c) in self.cells.iter().enumerate() {
+            let _ = write!(
+                s,
+                "    {{\"scenario\": \"{}\", \"mode\": \"{}\", \"shards\": {}, \"readers\": {}, \
+                 \"rate\": {}, \"queries\": {}, \"mutations_applied\": {}, \"elapsed_ns\": {}, \
+                 \"qps\": {:.1}, \"checksum\": {}, \"rows_reclaimed\": {}, \"tombstone_ppm\": {}}}",
+                c.scenario,
+                c.mode,
+                c.shards,
+                c.readers,
+                c.rate,
+                c.queries,
+                c.mutations_applied,
+                c.elapsed_ns,
+                c.qps,
+                c.checksum,
+                c.rows_reclaimed,
+                c.tombstone_ppm,
+            );
+            s.push_str(if i + 1 < self.cells.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// Renders the README's mutation-throughput table.
+    pub fn to_markdown(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "| Scenario | Mode | Shards | Rate | kq/s | vs frozen | Tombstones (ppm) | Reclaimed |"
+        );
+        let _ = writeln!(s, "|---|---|---:|---:|---:|---:|---:|---:|");
+        for c in &self.cells {
+            let base = self
+                .qps_of(c.scenario, "frozen", c.shards, c.rate)
+                .unwrap_or(c.qps);
+            let _ = writeln!(
+                s,
+                "| {} | {} | {} | {} | {:.1} | {:.2}x | {} | {} |",
+                c.scenario,
+                c.mode,
+                c.shards,
+                c.rate,
+                c.qps / 1e3,
+                c.qps / base.max(1e-9),
+                c.tombstone_ppm,
+                c.rows_reclaimed,
+            );
+        }
+        s
+    }
+}
+
+/// The naive mirror: the store's semantics replayed on a plain `Vec`.
+/// Out-of-place exactly like the service — an update tombstones the old
+/// row and appends the new value — so global rowids stay aligned with
+/// the service's coordinate system until both compact together.
+struct NaiveModel {
+    rows: Vec<i64>,
+    dead: Vec<bool>,
+    dead_count: usize,
+}
+
+impl NaiveModel {
+    fn new(data: &[i64]) -> Self {
+        NaiveModel {
+            rows: data.to_vec(),
+            dead: vec![false; data.len()],
+            dead_count: 0,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    fn apply(&mut self, m: Mutation<i64>) -> bool {
+        match m {
+            Mutation::Delete(row) => {
+                if self.dead[row] {
+                    return false;
+                }
+                self.dead[row] = true;
+                self.dead_count += 1;
+                true
+            }
+            Mutation::Update(row, v) => {
+                if self.dead[row] {
+                    return false;
+                }
+                self.dead[row] = true;
+                self.dead_count += 1;
+                self.rows.push(v);
+                self.dead.push(false);
+                true
+            }
+        }
+    }
+
+    fn append(&mut self, vals: &[i64]) {
+        self.rows.extend_from_slice(vals);
+        self.dead.resize(self.rows.len(), false);
+    }
+
+    /// COUNT/SUM/MIN/MAX over live rows in `[lo, hi]`, recomputed from
+    /// scratch. The f64 sum is exact (integer partials below 2^53), so
+    /// comparing its bit pattern against the engine is meaningful.
+    fn answer(&self, lo: i64, hi: i64) -> (u64, f64, Option<i64>, Option<i64>) {
+        let mut count = 0u64;
+        let mut sum = 0.0f64;
+        let mut min = None;
+        let mut max = None;
+        for (i, &v) in self.rows.iter().enumerate() {
+            if self.dead[i] || v < lo || v > hi {
+                continue;
+            }
+            count += 1;
+            sum += v as f64;
+            min = Some(match min {
+                None => v,
+                Some(m) => std::cmp::min(m, v),
+            });
+            max = Some(match max {
+                None => v,
+                Some(m) => std::cmp::max(m, v),
+            });
+        }
+        (count, sum, min, max)
+    }
+
+    /// Mirrors compaction: dead rows drop out, live order is preserved.
+    fn compact(&mut self) -> usize {
+        let reclaimed = self.dead_count;
+        let mut keep = Vec::with_capacity(self.rows.len() - self.dead_count);
+        for (i, &v) in self.rows.iter().enumerate() {
+            if !self.dead[i] {
+                keep.push(v);
+            }
+        }
+        self.rows = keep;
+        self.dead = vec![false; self.rows.len()];
+        self.dead_count = 0;
+        reclaimed
+    }
+}
+
+/// Asks the service for SUM (which carries COUNT) plus MIN and MAX over
+/// `q`, asserts all four against the model, and folds them into `sum`.
+fn verify_query(
+    svc: &QueryService<i64>,
+    model: &NaiveModel,
+    q: RangeQuery,
+    checksum: &mut u64,
+    ctx: &str,
+) {
+    let pred = RangePredicate::between(q.lo, q.hi);
+    let (want_count, want_sum, want_min, want_max) = model.answer(q.lo, q.hi);
+
+    let reply = svc.query(pred, AggKind::Sum).expect("closed loop");
+    let ans = reply.answer().expect("no deadline set");
+    assert_eq!(ans.count, want_count, "{ctx}: COUNT diverged on {q:?}");
+    let got_sum = ans.sum.expect("sum aggregate carries a sum");
+    assert_eq!(
+        got_sum.to_bits(),
+        want_sum.to_bits(),
+        "{ctx}: SUM diverged on {q:?} ({got_sum} vs {want_sum})"
+    );
+
+    let reply = svc.query(pred, AggKind::Min).expect("closed loop");
+    let got_min = reply.answer().expect("no deadline set").min;
+    assert_eq!(got_min, want_min, "{ctx}: MIN diverged on {q:?}");
+    let reply = svc.query(pred, AggKind::Max).expect("closed loop");
+    let got_max = reply.answer().expect("no deadline set").max;
+    assert_eq!(got_max, want_max, "{ctx}: MAX diverged on {q:?}");
+
+    *checksum = checksum
+        .rotate_left(7)
+        .wrapping_add(want_count)
+        .wrapping_add(want_sum.to_bits())
+        .wrapping_add(want_min.unwrap_or(-1) as u64)
+        .wrapping_add(want_max.unwrap_or(-1) as u64);
+}
+
+/// The next mutation batch of a scenario; deterministic in `rng` and the
+/// (mirrored, hence config-independent) model length.
+fn next_batch(
+    scenario: &str,
+    rate: usize,
+    domain: i64,
+    model: &NaiveModel,
+    rng: &mut StdRng,
+) -> Vec<Mutation<i64>> {
+    (0..rate)
+        .map(|_| {
+            let row = rng.gen_range(0..model.len());
+            match scenario {
+                "update-hotspot" => Mutation::Update(row, rng.gen_range(0..domain)),
+                "delete-storm" => Mutation::Delete(row),
+                _ => {
+                    if rng.gen_range(0..2u32) == 0 {
+                        Mutation::Delete(row)
+                    } else {
+                        Mutation::Update(row, rng.gen_range(0..domain))
+                    }
+                }
+            }
+        })
+        .collect()
+}
+
+/// Runs the closed loop for one cell and returns (stats, elapsed,
+/// checksum, applied, reclaimed).
+#[allow(clippy::too_many_arguments)]
+fn run_cell(
+    data: &[i64],
+    scenario: &'static str,
+    mode: AdaptationMode,
+    shards: usize,
+    readers: usize,
+    rate: usize,
+    queries_per_cell: usize,
+    domain: i64,
+    seed: u64,
+) -> (ServerStats, u64, u64, u64, u64) {
+    let svc = QueryService::start(
+        data.to_vec(),
+        ServerConfig {
+            readers,
+            shards,
+            adaptation: mode,
+            // The checksum loop owns compaction: it happens exactly once,
+            // at the end, mirrored by the model.
+            compact_tombstone_ratio: None,
+            ..ServerConfig::default()
+        },
+    );
+    let mut model = NaiveModel::new(data);
+    // The mutation stream depends only on (scenario, rate, seed) and the
+    // mirrored model length, so every config of one (scenario, rate)
+    // sees the identical stream.
+    let mut mut_rng = StdRng::seed_from_u64(seed ^ (rate as u64).wrapping_mul(0x9E37_79B9));
+    let qs = scenario_queries(scenario, queries_per_cell, domain, seed);
+    let ctx = format!("{scenario}/{}/s{shards}/r{rate}", mode.label());
+
+    let mut checksum = 0u64;
+    let mut applied_total = 0u64;
+    let t0 = Instant::now();
+    for (i, &q) in qs.iter().enumerate() {
+        verify_query(&svc, &model, q, &mut checksum, &ctx);
+
+        let batch = next_batch(scenario, rate, domain, &model, &mut mut_rng);
+        let want_applied: usize = batch.iter().map(|&m| usize::from(model.apply(m))).sum();
+        let applied = svc.mutate(batch).expect("maintenance thread lives");
+        assert_eq!(applied, want_applied, "{ctx}: applied count diverged");
+        applied_total += applied as u64;
+
+        if scenario == "moving-hotspot-over-churn" && i % 32 == 31 {
+            let rows: Vec<i64> = (0..64).map(|_| mut_rng.gen_range(0..domain)).collect();
+            model.append(&rows);
+            svc.append(rows);
+        }
+    }
+    let elapsed_ns = t0.elapsed().as_nanos() as u64;
+
+    // Compaction epilogue: reclaim tombstones on both sides, then prove
+    // the value aggregates did not move.
+    let tombstone_ppm = svc.stats().tombstone_ppm;
+    let reclaimed = svc.compact().expect("maintenance thread lives");
+    assert_eq!(reclaimed, model.dead_count, "{ctx}: reclaimed diverged");
+    model.compact();
+    for &q in qs.iter().take(32) {
+        verify_query(&svc, &model, q, &mut checksum, &ctx);
+    }
+
+    let mut stats = svc.shutdown();
+    stats.tombstone_ppm = tombstone_ppm;
+    (stats, elapsed_ns, checksum, applied_total, reclaimed as u64)
+}
+
+/// The query stream of a scenario (value-domain hotspots; the store is
+/// sorted, so hotspots touch few zones once the zonemap adapts).
+fn scenario_queries(scenario: &str, count: usize, domain: i64, seed: u64) -> Vec<RangeQuery> {
+    match scenario {
+        "update-hotspot" => queries::hotspot_ranges(count, domain, 0.02, 0.5, 0.1, seed),
+        "delete-storm" => queries::uniform_ranges(count, domain, 0.02, seed),
+        _ => queries::shifting_hotspot(count, domain, 0.02, 4, 0.1, seed),
+    }
+}
+
+/// Runs the full grid: [`SCENARIOS`] × [`RATES`] × [`CONFIGS`] over
+/// sorted data, asserting checksum equality across the configs of every
+/// (scenario, rate).
+pub fn run(rows: usize, queries_per_cell: usize, domain: i64, seed: u64) -> MutationBenchReport {
+    let data = DataSpec::Sorted.generate(rows, domain, seed);
+    let mut report = MutationBenchReport {
+        rows,
+        queries_per_cell,
+        host_cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        cells: Vec::new(),
+    };
+
+    for &scenario in SCENARIOS {
+        for &rate in RATES {
+            let mut reference: Option<u64> = None;
+            for &(mode, shards, readers) in CONFIGS {
+                eprintln!(
+                    "  e20: {scenario} {} x{shards} shards x{readers} readers rate {rate}",
+                    mode.label()
+                );
+                let (stats, elapsed_ns, checksum, applied, reclaimed) = run_cell(
+                    &data,
+                    scenario,
+                    mode,
+                    shards,
+                    readers,
+                    rate,
+                    queries_per_cell,
+                    domain,
+                    seed,
+                );
+                match reference {
+                    Some(want) => assert_eq!(
+                        checksum, want,
+                        "{scenario}/r{rate}: checksums diverged across configs"
+                    ),
+                    None => reference = Some(checksum),
+                }
+                report.cells.push(MutationCell {
+                    scenario,
+                    mode: mode.label(),
+                    shards,
+                    readers,
+                    rate,
+                    queries: queries_per_cell as u64,
+                    mutations_applied: applied,
+                    elapsed_ns,
+                    qps: queries_per_cell as f64 / (elapsed_ns.max(1) as f64 / 1e9),
+                    checksum,
+                    rows_reclaimed: reclaimed,
+                    tombstone_ppm: stats.tombstone_ppm,
+                });
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_grid_runs_and_serialises() {
+        let report = run(4_000, 12, 10_000, 7);
+        assert_eq!(
+            report.cells.len(),
+            SCENARIOS.len() * RATES.len() * CONFIGS.len()
+        );
+        let json = report.to_json();
+        assert!(json.contains("\"schema\": \"ads-mutation-bench/v1\""));
+        assert!(json.contains("\"scenario\": \"delete-storm\""));
+        assert!(!report.to_markdown().is_empty());
+        for c in &report.cells {
+            assert_eq!(c.queries, 12);
+            assert!(c.qps > 0.0);
+            assert!(
+                c.mutations_applied > 0,
+                "{}: no mutation took effect",
+                c.scenario
+            );
+        }
+        // Every (scenario, rate) produced one shared checksum across its
+        // four configs (run() asserts it; spot-check the fold here).
+        for sc in SCENARIOS {
+            for &rate in RATES {
+                let sums: Vec<u64> = report
+                    .cells
+                    .iter()
+                    .filter(|c| c.scenario == *sc && c.rate == rate)
+                    .map(|c| c.checksum)
+                    .collect();
+                assert_eq!(sums.len(), CONFIGS.len());
+                assert!(sums.windows(2).all(|w| w[0] == w[1]));
+            }
+        }
+    }
+}

@@ -97,6 +97,34 @@ impl<T: DataValue> ShardedZonemap<T> {
         self.starts[s]
     }
 
+    /// Replaces lane `s` wholesale and re-derives every lane's start from
+    /// `shard_lens` — the compaction path: shard `s`'s rows were densely
+    /// repacked (so its metadata is rebuilt from scratch against the new
+    /// layout) and every downstream shard's first global row shifted by
+    /// the rows reclaimed.
+    ///
+    /// # Panics
+    /// Panics when `shard_lens` does not have one entry per lane or
+    /// `shard_lens[s]` differs from the replacement lane's length.
+    pub fn replace_lane(&mut self, s: usize, lane: AdaptiveZonemap<T>, shard_lens: &[usize]) {
+        assert_eq!(
+            shard_lens.len(),
+            self.lanes.len(),
+            "lane count is fixed for the zonemap's lifetime"
+        );
+        assert_eq!(
+            shard_lens[s],
+            lane.len(),
+            "replacement lane must cover exactly its shard's rows"
+        );
+        self.lanes[s] = lane;
+        let mut at = 0usize;
+        for (start, &len) in self.starts.iter_mut().zip(shard_lens) {
+            *start = at;
+            at += len;
+        }
+    }
+
     /// Routes an append to the tail lane, mirroring
     /// [`ShardedColumn::append`]'s tail routing. `tail_base` is the tail
     /// shard's column slice *after* the append.
@@ -236,6 +264,24 @@ mod tests {
         assert_eq!(zm.lane(0).len(), 100);
         assert_eq!(zm.lane(1).len(), 130);
         assert_eq!(zm.len(), 230);
+    }
+
+    #[test]
+    fn replace_lane_swaps_metadata_and_shifts_downstream_starts() {
+        let mut zm: ShardedZonemap<i64> = ShardedZonemap::new(&[100, 100, 100], cfg());
+        assert_eq!((zm.start(1), zm.start(2)), (100, 200));
+        // Compaction shrank shard 1 from 100 to 60 rows.
+        zm.replace_lane(1, AdaptiveZonemap::new(60, cfg()), &[100, 60, 100]);
+        assert_eq!(zm.lane(1).len(), 60);
+        assert_eq!((zm.start(0), zm.start(1), zm.start(2)), (0, 100, 160));
+        assert_eq!(zm.len(), 260);
+    }
+
+    #[test]
+    #[should_panic(expected = "must cover exactly")]
+    fn replace_lane_rejects_mismatched_length() {
+        let mut zm: ShardedZonemap<i64> = ShardedZonemap::new(&[100, 100], cfg());
+        zm.replace_lane(0, AdaptiveZonemap::new(50, cfg()), &[100, 100]);
     }
 
     #[test]

@@ -23,7 +23,7 @@ use ads_core::{
     PruneOutcome, RangeObservation, RangePredicate, ScanCoords, ScanObservation, SkippingIndex,
 };
 use ads_storage::DataValue;
-use ads_storage::{parallel, scan, RowRange};
+use ads_storage::{parallel, scan, DeleteVector, RowRange};
 use std::time::Instant;
 
 /// Which aggregate a scan query computes over the qualifying rows.
@@ -217,19 +217,43 @@ pub fn scan_pruned<T: DataValue>(
     agg: AggKind,
     policy: &ExecPolicy,
 ) -> (QueryAnswer<T>, ScanObservation<T>, ScanPhase) {
+    scan_pruned_with_deletes(target, outcome, pred, agg, policy, None)
+}
+
+/// As [`scan_pruned`], masking tombstoned rows via `live` when given.
+///
+/// With a delete vector present, every kernel dispatch switches to its
+/// masked variant: `count`/`sum`/MIN/MAX/positions cover live rows only,
+/// while the observations fed back still carry `(min, max)` over all rows
+/// — deleted rows keep zone bounds conservative (sound, never wrong)
+/// until compaction rebuilds them. An all-live vector takes the unmasked
+/// fast path, so the masking cost is zero until the first delete lands.
+/// `live` is addressed in the same coordinates as `target`.
+pub fn scan_pruned_with_deletes<T: DataValue>(
+    target: &[T],
+    outcome: &PruneOutcome,
+    pred: RangePredicate<T>,
+    agg: AggKind,
+    policy: &ExecPolicy,
+    live: Option<&DeleteVector>,
+) -> (QueryAnswer<T>, ScanObservation<T>, ScanPhase) {
     let t_scan = Instant::now();
     let items = build_work_items(outcome, agg);
+
+    // An all-live vector is answer-identical to no vector; drop it here so
+    // every kernel below takes the unmasked path.
+    let live = live.filter(|dv| dv.has_deletes());
 
     let scan_rows: usize = items.iter().map(WorkItem::rows).sum();
     let threads_used = policy.effective_threads(scan_rows);
 
     let results: Vec<ItemResult<T>> =
         parallel::par_map_weighted(&items, threads_used, WorkItem::rows, |_, item| {
-            scan_item(target, &outcome.reorg_units, pred, agg, item)
+            scan_item(target, &outcome.reorg_units, pred, agg, item, live)
         });
 
     let (answer, observation, rows_scanned) =
-        merge_item_results(outcome, pred, agg, &items, results);
+        merge_item_results(outcome, pred, agg, &items, results, live);
     let scan_ns = t_scan.elapsed().as_nanos() as u64;
 
     (
@@ -292,6 +316,7 @@ pub(crate) fn merge_item_results<T: DataValue>(
     agg: AggKind,
     items: &[WorkItem],
     results: Vec<ItemResult<T>>,
+    live: Option<&DeleteVector>,
 ) -> (QueryAnswer<T>, ScanObservation<T>, usize) {
     let mut answer = QueryAnswer::default();
     let mut rows_scanned = 0usize;
@@ -315,8 +340,18 @@ pub(crate) fn merge_item_results<T: DataValue>(
     }
     match agg {
         AggKind::Count => {
-            // Full-match rows are answered from metadata alone.
-            answer.count += outcome.rows_full_match() as u64;
+            // Full-match rows are answered from metadata alone — under
+            // deletes, from the delete vector's live popcount instead of
+            // the range length.
+            answer.count += match live {
+                Some(dv) => outcome
+                    .full_match
+                    .ranges()
+                    .iter()
+                    .map(|r| dv.live_count_in_range(r.start, r.end))
+                    .sum::<usize>() as u64,
+                None => outcome.rows_full_match() as u64,
+            };
         }
         AggKind::Sum => answer.sum = Some(sum),
         AggKind::Min => answer.min = (answer.count > 0).then_some(mmin),
@@ -329,6 +364,21 @@ pub(crate) fn merge_item_results<T: DataValue>(
             let full_ranges = outcome.full_match.ranges();
             let mut positions: Vec<u32> =
                 Vec::with_capacity(results.iter().map(|r| r.positions.len()).sum::<usize>());
+            // Under deletes a full-match range contributes only its live
+            // rows; otherwise the whole range extends wholesale.
+            let push_full = |f: RowRange, positions: &mut Vec<u32>, count: &mut u64| match live {
+                Some(dv) => {
+                    let before = positions.len();
+                    scan::collect_live_positions(dv, f.start, f.end, positions);
+                    *count += (positions.len() - before) as u64;
+                }
+                None => {
+                    // narrowing: row ids are u32 by the storage contract
+                    // (columns are bounded to u32::MAX rows).
+                    positions.extend(f.start as u32..f.end as u32);
+                    *count += f.len() as u64;
+                }
+            };
             let mut fi = 0usize;
             for (item, r) in items.iter().zip(&results) {
                 let item_start = match item {
@@ -338,20 +388,13 @@ pub(crate) fn merge_item_results<T: DataValue>(
                     WorkItem::Full(_) => continue,
                 };
                 while fi < full_ranges.len() && full_ranges[fi].start < item_start {
-                    let f = full_ranges[fi];
-                    // narrowing: row ids are u32 by the storage contract
-                    // (columns are bounded to u32::MAX rows).
-                    positions.extend(f.start as u32..f.end as u32);
-                    answer.count += f.len() as u64;
+                    push_full(full_ranges[fi], &mut positions, &mut answer.count);
                     fi += 1;
                 }
                 positions.extend_from_slice(&r.positions);
             }
             while fi < full_ranges.len() {
-                let f = full_ranges[fi];
-                // narrowing: row ids are u32 by the storage contract.
-                positions.extend(f.start as u32..f.end as u32);
-                answer.count += f.len() as u64;
+                push_full(full_ranges[fi], &mut positions, &mut answer.count);
                 fi += 1;
             }
             answer.positions = Some(positions);
@@ -425,6 +468,7 @@ pub(crate) fn scan_item<T: DataValue>(
     pred: RangePredicate<T>,
     agg: AggKind,
     item: &WorkItem,
+    live: Option<&DeleteVector>,
 ) -> ItemResult<T> {
     let mut out = ItemResult {
         obs: None,
@@ -436,18 +480,40 @@ pub(crate) fn scan_item<T: DataValue>(
     };
     match *item {
         WorkItem::Full(r) => {
-            // Every row qualifies: no predicate re-evaluation, values only.
+            // Every row qualifies: no predicate re-evaluation, values only
+            // — under deletes, live values only.
             let slice = &target[r.start..r.end];
-            out.count = slice.len();
-            match agg {
-                AggKind::Sum => out.sum = scan::sum_all(slice),
-                AggKind::Min | AggKind::Max => {
-                    if let Some((lo, hi)) = scan::min_max(slice) {
-                        out.match_min = lo;
-                        out.match_max = hi;
+            match live {
+                Some(dv) => {
+                    match agg {
+                        AggKind::Sum => {
+                            let (c, s) = scan::sum_all_live(slice, dv, r.start);
+                            out.count = c;
+                            out.sum = s;
+                        }
+                        AggKind::Min | AggKind::Max => {
+                            out.count = dv.live_count_in_range(r.start, r.end);
+                            if let Some((lo, hi)) = scan::min_max_live(slice, dv, r.start) {
+                                out.match_min = lo;
+                                out.match_max = hi;
+                            }
+                        }
+                        _ => out.count = dv.live_count_in_range(r.start, r.end),
+                    };
+                }
+                None => {
+                    out.count = slice.len();
+                    match agg {
+                        AggKind::Sum => out.sum = scan::sum_all(slice),
+                        AggKind::Min | AggKind::Max => {
+                            if let Some((lo, hi)) = scan::min_max(slice) {
+                                out.match_min = lo;
+                                out.match_max = hi;
+                            }
+                        }
+                        _ => {}
                     }
                 }
-                _ => {}
             }
         }
         WorkItem::Unit(u, mask_req) => {
@@ -457,22 +523,36 @@ pub(crate) fn scan_item<T: DataValue>(
                     let obs = if let Some(req) = mask_req {
                         // The index asked for a value mask over this unit;
                         // collect it in the same pass.
-                        let (q, min, max, mask) = scan::count_in_range_with_minmax_and_mask(
-                            slice, pred.lo, pred.hi, req.lo_f, req.hi_f,
-                        );
+                        let (q, min, max, mask) = match live {
+                            Some(dv) => scan::count_in_range_with_minmax_and_mask_live(
+                                slice, pred.lo, pred.hi, req.lo_f, req.hi_f, dv, u.start,
+                            ),
+                            None => scan::count_in_range_with_minmax_and_mask(
+                                slice, pred.lo, pred.hi, req.lo_f, req.hi_f,
+                            ),
+                        };
                         let mut o = RangeObservation::new(u, q, min, max);
                         o.mask = Some(mask);
                         o
                     } else {
-                        let (q, min, max) =
-                            scan::count_in_range_with_minmax(slice, pred.lo, pred.hi);
+                        let (q, min, max) = match live {
+                            Some(dv) => scan::count_in_range_with_minmax_live(
+                                slice, pred.lo, pred.hi, dv, u.start,
+                            ),
+                            None => scan::count_in_range_with_minmax(slice, pred.lo, pred.hi),
+                        };
                         RangeObservation::new(u, q, min, max)
                     };
                     out.count = obs.qualifying;
                     out.obs = Some(obs);
                 }
                 AggKind::Sum | AggKind::Min | AggKind::Max => {
-                    let a = scan::aggregate_in_range(slice, pred.lo, pred.hi);
+                    let a = match live {
+                        Some(dv) => {
+                            scan::aggregate_in_range_live(slice, pred.lo, pred.hi, dv, u.start)
+                        }
+                        None => scan::aggregate_in_range(slice, pred.lo, pred.hi),
+                    };
                     out.count = a.count;
                     out.sum = a.sum;
                     out.match_min = a.match_min;
@@ -480,13 +560,23 @@ pub(crate) fn scan_item<T: DataValue>(
                     out.obs = Some(RangeObservation::new(u, a.count, a.range_min, a.range_max));
                 }
                 AggKind::Positions => {
-                    let (q, min, max) = scan::collect_in_range_with_minmax(
-                        slice,
-                        u.start,
-                        pred.lo,
-                        pred.hi,
-                        &mut out.positions,
-                    );
+                    let (q, min, max) = match live {
+                        Some(dv) => scan::collect_in_range_with_minmax_live(
+                            slice,
+                            u.start,
+                            pred.lo,
+                            pred.hi,
+                            dv,
+                            &mut out.positions,
+                        ),
+                        None => scan::collect_in_range_with_minmax(
+                            slice,
+                            u.start,
+                            pred.lo,
+                            pred.hi,
+                            &mut out.positions,
+                        ),
+                    };
                     out.count = q;
                     out.obs = Some(RangeObservation::new(u, q, min, max));
                 }
@@ -503,6 +593,50 @@ pub(crate) fn scan_item<T: DataValue>(
             let values = payload.values();
             let rowids = payload.rowids();
             let (zmin, zmax) = payload.min_max();
+            if let Some(dv) = live {
+                // Under deletes every aggregate routes through the
+                // zone-local qualifying bitmap ANDed word-wise with the
+                // live windows: positional full spans can no longer be
+                // answered from counts alone, and replaying the masked
+                // bitmap in ascending base order keeps SUM bit-identical
+                // to the masked flat scan.
+                let (mut bits, _) = reorg_unit_bitmap(unit, values, rowids, pred);
+                let zone_start = unit.zone.start;
+                let mut count = 0usize;
+                for (w, word) in bits.iter_mut().enumerate() {
+                    *word &= dv.live_window(zone_start + w * 64);
+                    // narrowing: count_ones of a u64 is at most 64.
+                    count += word.count_ones() as usize;
+                }
+                out.count = count;
+                match agg {
+                    AggKind::Count => {}
+                    AggKind::Sum => {
+                        let mut sum = 0.0;
+                        for_each_set_row(&bits, zone_start, |r| sum += target[r].to_f64());
+                        out.sum = sum;
+                    }
+                    AggKind::Min | AggKind::Max => {
+                        // Reading base values: identical bit patterns to
+                        // the view copies, and min/max folds are
+                        // order-independent.
+                        for_each_set_row(&bits, zone_start, |r| {
+                            out.match_min = out.match_min.min_total(target[r]);
+                            out.match_max = out.match_max.max_total(target[r]);
+                        });
+                    }
+                    AggKind::Positions => {
+                        out.positions.reserve(count);
+                        for_each_set_row(&bits, zone_start, |r| {
+                            // narrowing: row ids are u32 by storage-wide
+                            // contract (columns bounded below 2^32 rows).
+                            out.positions.push(r as u32);
+                        });
+                    }
+                }
+                out.obs = Some(RangeObservation::new(unit.zone, out.count, zmin, zmax));
+                return out;
+            }
             match agg {
                 AggKind::Count => {
                     let mut q = unit.full_rows();
@@ -606,6 +740,48 @@ pub fn execute_reference<T: DataValue>(
             answer.count = positions.len() as u64;
             answer.positions = Some(positions);
         }
+    }
+    answer
+}
+
+/// Delete-aware reference: answers the query with a naive per-row loop
+/// over the live rows, no index and no block kernels involved. The f64
+/// SUM accumulates in ascending row order, so masked execution must match
+/// it bit for bit; positions come back in original row coordinates.
+pub fn execute_reference_with_deletes<T: DataValue>(
+    data: &[T],
+    live: &DeleteVector,
+    pred: RangePredicate<T>,
+    agg: AggKind,
+) -> QueryAnswer<T> {
+    assert_eq!(data.len(), live.len(), "delete vector must cover the data");
+    let mut answer = QueryAnswer::default();
+    let mut sum = 0.0f64;
+    let mut mmin = T::MAX_VALUE;
+    let mut mmax = T::MIN_VALUE;
+    let mut positions = Vec::new();
+    for (i, &v) in data.iter().enumerate() {
+        if live.is_deleted(i) || !pred.matches(v) {
+            continue;
+        }
+        answer.count += 1;
+        match agg {
+            AggKind::Sum => sum += v.to_f64(),
+            AggKind::Min | AggKind::Max => {
+                mmin = mmin.min_total(v);
+                mmax = mmax.max_total(v);
+            }
+            // narrowing: row ids are u32 by the storage-wide contract.
+            AggKind::Positions => positions.push(i as u32),
+            AggKind::Count => {}
+        }
+    }
+    match agg {
+        AggKind::Count => {}
+        AggKind::Sum => answer.sum = Some(sum),
+        AggKind::Min => answer.min = (answer.count > 0).then_some(mmin),
+        AggKind::Max => answer.max = (answer.count > 0).then_some(mmax),
+        AggKind::Positions => answer.positions = Some(positions),
     }
     answer
 }

@@ -32,15 +32,16 @@ pub mod table_session;
 pub use disjunction::{execute_disjunction, in_list, normalize_ranges};
 pub use exec_policy::ExecPolicy;
 pub use executor::{
-    execute, execute_reference, execute_with_policy, scan_pruned, AggKind, QueryAnswer, ScanPhase,
+    execute, execute_reference, execute_reference_with_deletes, execute_with_policy, scan_pruned,
+    scan_pruned_with_deletes, AggKind, QueryAnswer, ScanPhase,
 };
 pub use histogram::LatencyHistogram;
 pub use metrics::{CumulativeMetrics, QueryMetrics};
 pub use planner::{FallbackReason, PlanMode, PlanStep, PlanTrace};
 pub use session::ColumnSession;
 pub use sharded_exec::{
-    execute_sharded, scan_sharded, ShardLaneMetrics, ShardScanInput, ShardedQueryMetrics,
-    ShardedScanResult,
+    execute_sharded, execute_sharded_with_deletes, scan_sharded, ShardLaneMetrics, ShardScanInput,
+    ShardedQueryMetrics, ShardedScanResult,
 };
 pub use strategy::Strategy;
 pub use string_session::StringColumnSession;

@@ -28,7 +28,7 @@ use crate::executor::{
 use crate::metrics::QueryMetrics;
 use ads_core::adaptive::ShardedZonemap;
 use ads_core::{PruneOutcome, RangePredicate, ScanObservation, SkippingIndex};
-use ads_storage::{parallel, DataValue, ShardedColumn};
+use ads_storage::{parallel, DataValue, DeleteVector, ShardedColumn};
 use std::time::Instant;
 
 /// What one shard's lane contributed to a query.
@@ -70,6 +70,9 @@ pub struct ShardScanInput<'a, T: DataValue> {
     pub outcome: &'a PruneOutcome,
     /// Global row id of the shard's first row (offsets POSITIONS output).
     pub start: usize,
+    /// The shard's tombstones, in shard-local row coordinates; `None` (or
+    /// an all-live vector) scans unmasked.
+    pub live: Option<&'a DeleteVector>,
 }
 
 /// What [`scan_sharded`] produced.
@@ -131,6 +134,7 @@ pub fn scan_sharded<T: DataValue>(
                 pred,
                 agg,
                 item,
+                inputs[*s].live.filter(|dv| dv.has_deletes()),
             )
         },
     );
@@ -159,8 +163,14 @@ pub fn scan_sharded<T: DataValue>(
         .zip(lane_items.iter().zip(per_lane))
         .enumerate()
     {
-        let (lane_answer, lane_obs, lane_rows_scanned) =
-            merge_item_results(input.outcome, pred, agg, items, lane_results);
+        let (lane_answer, lane_obs, lane_rows_scanned) = merge_item_results(
+            input.outcome,
+            pred,
+            agg,
+            items,
+            lane_results,
+            input.live.filter(|dv| dv.has_deletes()),
+        );
         answer.count += lane_answer.count;
         if let Some(lane_sum) = lane_answer.sum {
             sum += lane_sum;
@@ -224,11 +234,46 @@ pub fn execute_sharded<T: DataValue>(
     agg: AggKind,
     policy: &ExecPolicy,
 ) -> (QueryAnswer<T>, ShardedQueryMetrics) {
+    execute_sharded_with_deletes(column, zonemap, None, pred, agg, policy)
+}
+
+/// As [`execute_sharded`], masking each shard's tombstoned rows via
+/// `deletes` when given (one [`DeleteVector`] per shard, in shard-local
+/// coordinates). This is the inline-adaptation mutation path: answers
+/// cover live rows only, while the observations applied to each lane keep
+/// `(min, max)` over all rows so zone bounds stay conservative over
+/// tombstones.
+///
+/// # Panics
+/// Panics if shard layouts differ, or `deletes` is `Some` with a vector
+/// count or per-shard length not matching the column.
+pub fn execute_sharded_with_deletes<T: DataValue>(
+    column: &ShardedColumn<T>,
+    zonemap: &mut ShardedZonemap<T>,
+    deletes: Option<&[DeleteVector]>,
+    pred: RangePredicate<T>,
+    agg: AggKind,
+    policy: &ExecPolicy,
+) -> (QueryAnswer<T>, ShardedQueryMetrics) {
     assert_eq!(
         column.num_shards(),
         zonemap.num_shards(),
         "column and zonemap shard layouts differ"
     );
+    if let Some(dvs) = deletes {
+        assert_eq!(
+            dvs.len(),
+            column.num_shards(),
+            "one delete vector per shard required"
+        );
+        for (s, dv) in dvs.iter().enumerate() {
+            assert_eq!(
+                dv.len(),
+                column.shard(s).len(),
+                "shard {s} delete vector length mismatch"
+            );
+        }
+    }
     let t0 = Instant::now();
     let events_before: u64 = zonemap.lanes().iter().map(|l| l.adapt_events()).sum();
 
@@ -247,6 +292,7 @@ pub fn execute_sharded<T: DataValue>(
             data: column.shard(s).as_slice(),
             outcome,
             start: column.start(s),
+            live: deletes.map(|dvs| &dvs[s]),
         })
         .collect();
     let result = scan_sharded(&inputs, pred, agg, policy);
@@ -333,6 +379,88 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    #[test]
+    fn masked_sharded_matches_delete_aware_reference() {
+        use crate::executor::execute_reference_with_deletes;
+        let data: Vec<i64> = (0..5003).map(|i| (i * 2654435761i64) % 4000).collect();
+        for shards in [1, 4] {
+            for threads in [1, 4] {
+                let column = ShardedColumn::new(data.clone(), shards);
+                // Shard-local delete vectors tombstoning every 5th global
+                // row, plus a mirrored global vector for the reference.
+                let mut global = DeleteVector::new(data.len(), 1);
+                let mut per_shard: Vec<DeleteVector> = (0..shards)
+                    .map(|s| DeleteVector::new(column.shard(s).len(), 1))
+                    .collect();
+                for r in (0..data.len()).step_by(5) {
+                    global.delete(r);
+                    let s = (0..shards)
+                        .rfind(|&s| column.start(s) <= r)
+                        .expect("row maps to a shard");
+                    per_shard[s].delete(r - column.start(s));
+                }
+                let mut zm = ShardedZonemap::for_column(&column, cfg());
+                let policy = ExecPolicy {
+                    threads,
+                    min_rows_per_thread: 1,
+                };
+                for q in 0..15 {
+                    let lo = (q * 307) % 3500;
+                    let pred = RangePredicate::between(lo, lo + 500);
+                    let agg = ALL_AGGS[q as usize % ALL_AGGS.len()];
+                    let (got, _) = execute_sharded_with_deletes(
+                        &column,
+                        &mut zm,
+                        Some(&per_shard),
+                        pred,
+                        agg,
+                        &policy,
+                    );
+                    let want = execute_reference_with_deletes(&data, &global, pred, agg);
+                    assert_eq!(
+                        got.count, want.count,
+                        "s={shards} t={threads} q={q} {agg:?}"
+                    );
+                    assert_eq!(
+                        got.sum.map(f64::to_bits),
+                        want.sum.map(f64::to_bits),
+                        "s={shards} t={threads} q={q} {agg:?}: sum bits diverged"
+                    );
+                    assert_eq!(got.min, want.min, "s={shards} t={threads} q={q} {agg:?}");
+                    assert_eq!(got.max, want.max, "s={shards} t={threads} q={q} {agg:?}");
+                    assert_eq!(
+                        got.positions, want.positions,
+                        "s={shards} t={threads} q={q} {agg:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_live_vectors_scan_identically_to_no_vectors() {
+        let data: Vec<i64> = (0..3000).map(|i| (i * 97) % 1000).collect();
+        let column = ShardedColumn::new(data.clone(), 3);
+        let empty: Vec<DeleteVector> = (0..3)
+            .map(|s| DeleteVector::new(column.shard(s).len(), 0))
+            .collect();
+        let mut zm1 = ShardedZonemap::for_column(&column, cfg());
+        let mut zm2 = ShardedZonemap::for_column(&column, cfg());
+        let pred = RangePredicate::between(100, 400);
+        for agg in ALL_AGGS {
+            let (a, _) = execute_sharded(&column, &mut zm1, pred, agg, &ExecPolicy::sequential());
+            let (b, _) = execute_sharded_with_deletes(
+                &column,
+                &mut zm2,
+                Some(&empty),
+                pred,
+                agg,
+                &ExecPolicy::sequential(),
+            );
+            assert_eq!(a, b, "{agg:?}");
         }
     }
 

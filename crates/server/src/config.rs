@@ -62,6 +62,13 @@ pub struct ServerConfig {
     pub exec_policy: ExecPolicy,
     /// Zonemap configuration.
     pub adaptive: AdaptiveConfig,
+    /// Tombstone fraction (deleted rows / total rows, per shard) beyond
+    /// which the maintenance thread compacts that shard in its next
+    /// round: live rows are densely repacked, the delete vector reset,
+    /// and the shard's zonemap rebuilt with tight bounds. `None` disables
+    /// automatic compaction; [`crate::QueryService::compact`] still
+    /// compacts on demand.
+    pub compact_tombstone_ratio: Option<f64>,
 }
 
 impl Default for ServerConfig {
@@ -76,6 +83,7 @@ impl Default for ServerConfig {
             adaptation: AdaptationMode::Async,
             exec_policy: ExecPolicy::sequential(),
             adaptive: AdaptiveConfig::default(),
+            compact_tombstone_ratio: None,
         }
     }
 }
@@ -95,6 +103,12 @@ impl ServerConfig {
             "feedback_capacity must be >= 1"
         );
         assert!(self.batch_max >= 1, "batch_max must be >= 1");
+        if let Some(r) = self.compact_tombstone_ratio {
+            assert!(
+                r > 0.0 && r <= 1.0,
+                "compact_tombstone_ratio must be in (0, 1]"
+            );
+        }
         self.adaptive.validate();
     }
 }
@@ -116,6 +130,16 @@ mod tests {
     fn zero_readers_rejected() {
         ServerConfig {
             readers: 0,
+            ..ServerConfig::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "compact_tombstone_ratio")]
+    fn out_of_range_compaction_ratio_rejected() {
+        ServerConfig {
+            compact_tombstone_ratio: Some(1.5),
             ..ServerConfig::default()
         }
         .validate();

@@ -33,6 +33,14 @@
 //! equivalence proof and `tests/stress.rs` for answer exactness under
 //! concurrency.
 //!
+//! **Mutations** are out-of-place: [`Mutation`] batches (deletes and
+//! updates) ride the maintenance channel like appends, tombstone rows in
+//! per-shard delete vectors, and are acknowledged only after the changed
+//! shards republish — data and tombstones travel in one immutable
+//! snapshot, so readers never see torn mutation state. Background
+//! compaction densely repacks tombstoned shards and rebuilds their
+//! zonemap lanes with tight bounds (see `service` module docs).
+//!
 //! Service mechanics: a bounded request queue with shed-on-full admission
 //! ([`SubmitError::Shed`]), per-request deadlines, graceful drain on
 //! [`QueryService::shutdown`], and a stats surface ([`ServerStats`]) with
@@ -49,6 +57,6 @@ pub mod sync;
 
 pub use config::{AdaptationMode, ServerConfig};
 pub use queue::{Bounded, PushError};
-pub use service::{QueryService, Reply, Request, SubmitError, Ticket};
+pub use service::{Mutation, MutationError, QueryService, Reply, Request, SubmitError, Ticket};
 pub use snapshot::{ShardSnapshot, ShardedCache, ShardedCell, SnapshotCache, SnapshotCell};
 pub use stats::{ServerStats, StatsCollector};

@@ -46,6 +46,26 @@
 //! the metadata that changed, not to the whole map
 //! (`ServerStats::republish_bytes` vs `ServerStats::whole_map_bytes`).
 //!
+//! ## Mutations
+//!
+//! Deletes and updates are out-of-place: a [`Mutation`] batch rides the
+//! maintenance channel like an append, the maintenance thread tombstones
+//! rows in per-shard [`DeleteVector`]s (an update tombstones the old row
+//! and re-appends the new value to the tail shard under a fresh rowid),
+//! and the changed shards are republished with data + delete vector in one
+//! immutable snapshot — a reader either sees a delete with its epoch or
+//! neither, never torn state. The ack is sent only after publication, so a
+//! confirmed mutation is visible to every subsequent query. Zone bounds
+//! are left untouched by deletes (sound but conservative over tombstones);
+//! **compaction** — on demand via [`QueryService::compact`] or automatic
+//! past [`ServerConfig::compact_tombstone_ratio`] — densely repacks the
+//! live rows, resets the shard's delete vector, and rebuilds its zonemap
+//! lane with tight bounds. Compaction shifts downstream shard starts, so
+//! those lanes republish in the same round; a reader holding older lanes
+//! still answers exactly (each lane's values are masked by that lane's own
+//! delete vector), though POSITIONS rowids are interpreted against the
+//! snapshot they were computed from.
+//!
 //! ## Backpressure and shutdown
 //!
 //! Admission sheds when the bounded request queue is full ([`SubmitError::
@@ -60,10 +80,12 @@ use crate::queue::{Bounded, PushError};
 use crate::snapshot::{ShardSnapshot, ShardedCell};
 use crate::stats::{ServerStats, StatsCollector};
 use crate::sync::{Arc, Mutex};
-use ads_core::adaptive::{ReorgReport, ShardedZonemap};
-use ads_core::{RangePredicate, ScanObservation, SkippingIndex};
-use ads_engine::{execute_sharded, scan_sharded, AggKind, QueryAnswer, ShardScanInput};
-use ads_storage::{DataValue, RowRange, ShardedColumn, SharedColumn};
+use ads_core::adaptive::{AdaptiveConfig, AdaptiveZonemap, ReorgReport, ShardedZonemap};
+use ads_core::{RangeObservation, RangePredicate, ScanObservation, SkippingIndex};
+use ads_engine::{
+    execute_sharded_with_deletes, scan_sharded, AggKind, QueryAnswer, ShardScanInput,
+};
+use ads_storage::{DataValue, DeleteVector, RowRange, ShardedColumn, SharedColumn};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -128,6 +150,30 @@ pub enum SubmitError<T: DataValue> {
     ShuttingDown(Request<T>),
 }
 
+/// One out-of-place mutation, addressed by global row id — the same
+/// rowid space query POSITIONS answers use (`shard start + local row`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Mutation<T: DataValue> {
+    /// Tombstone the row: queries stop counting it as soon as the
+    /// mutation is acknowledged; the bytes are physically reclaimed at
+    /// the next compaction. Deleting an already-dead row is a no-op.
+    Delete(usize),
+    /// Tombstone the row and append the new value to the tail shard
+    /// under a fresh rowid. Updating an already-deleted row is a no-op
+    /// (the delete won, so no new version is written).
+    Update(usize, T),
+}
+
+/// Why a mutation batch or compaction request could not be confirmed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MutationError {
+    /// The maintenance thread is gone — the service is tearing down or
+    /// the thread died — so no acknowledgement will arrive. The caller
+    /// must treat the batch as lost; it is reported, never silently
+    /// dropped.
+    Lost,
+}
+
 /// A pending reply; redeem with [`Ticket::wait`].
 #[derive(Debug)]
 pub struct Ticket<T: DataValue> {
@@ -161,6 +207,13 @@ enum MaintMsg<T: DataValue> {
     /// order, shard-local coordinates.
     Feedback(Vec<ScanObservation<T>>),
     Append(Vec<T>, SyncSender<()>),
+    /// One client's mutation batch; the ack carries how many mutations
+    /// took effect and is sent only after the changed shards republish.
+    Mutate(Vec<Mutation<T>>, SyncSender<usize>),
+    /// Compact every tombstoned shard this round; the ack carries the
+    /// rows reclaimed and is sent only after the repacked shards (and
+    /// the start-shifted lanes downstream of them) republish.
+    Compact(SyncSender<usize>),
     Flush(SyncSender<()>),
 }
 
@@ -168,6 +221,10 @@ enum MaintMsg<T: DataValue> {
 struct InlineState<T: DataValue> {
     data: ShardedColumn<T>,
     zonemap: ShardedZonemap<T>,
+    /// One delete vector per shard, shard-local coordinates.
+    deletes: Vec<DeleteVector>,
+    /// Mutation batches applied; stamps the delete vectors' epochs.
+    epoch: u64,
 }
 
 /// How queries reach data, per adaptation mode.
@@ -211,15 +268,21 @@ impl<T: DataValue> QueryService<T> {
         // In snapshot modes the maintenance thread owns the authoritative
         // column + zonemap; the cells only ever hold published clones.
         let (engine, maint_state) = if inline {
+            let deletes = (0..column.num_shards())
+                .map(|s| DeleteVector::new(column.shard(s).len(), 0))
+                .collect();
             let engine = Engine::Inline(Box::new(Mutex::new(InlineState {
                 data: column,
                 zonemap,
+                deletes,
+                epoch: 0,
             })));
             (engine, None)
         } else {
             let initial = (0..column.num_shards())
                 .map(|s| ShardSnapshot {
                     data: column.shard(s).clone(),
+                    delete: Arc::new(DeleteVector::new(column.shard(s).len(), 0)),
                     zonemap: zonemap.lane(s).clone(),
                     start: column.start(s),
                     version: 0,
@@ -316,10 +379,16 @@ impl<T: DataValue> QueryService<T> {
                 // invariant: the inline engine never panics mid-update;
                 // poisoning means the process is already torn.
                 let mut st = state.lock().expect("inline state poisoned");
-                let InlineState { data, zonemap } = &mut *st;
+                let InlineState {
+                    data,
+                    zonemap,
+                    deletes,
+                    ..
+                } = &mut *st;
                 *data = data.append(&rows);
                 let tail = data.num_shards() - 1;
                 zonemap.on_append_tail(&rows, data.shard(tail).as_slice());
+                deletes[tail].grow(data.shard(tail).len());
                 self.shared.stats.record_append();
             }
             (Engine::Snapshot(_), Some(tx)) => {
@@ -331,6 +400,116 @@ impl<T: DataValue> QueryService<T> {
                 // invariant: see above — the ack sender is never dropped
                 // unsent while the maintenance thread lives.
                 ack_rx.recv().expect("maintenance thread gone");
+            }
+            (Engine::Snapshot(_), None) => unreachable!("snapshot mode without maintenance"),
+        }
+    }
+
+    /// Tombstones one row (global rowid). See [`QueryService::mutate`].
+    pub fn delete(&self, row: usize) -> Result<usize, MutationError> {
+        self.mutate(vec![Mutation::Delete(row)])
+    }
+
+    /// Replaces one row out-of-place (global rowid): the old row is
+    /// tombstoned, the new value appended to the tail shard. See
+    /// [`QueryService::mutate`].
+    pub fn update(&self, row: usize, value: T) -> Result<usize, MutationError> {
+        self.mutate(vec![Mutation::Update(row, value)])
+    }
+
+    /// Applies one batch of out-of-place mutations and blocks until they
+    /// are visible to new queries (inline: immediately; async/frozen:
+    /// once the maintenance thread has republished the changed shards).
+    /// Returns how many mutations took effect — deleting or updating an
+    /// already-dead row is a counted-out no-op.
+    ///
+    /// # Errors
+    /// [`MutationError::Lost`] when the maintenance thread is gone and no
+    /// acknowledgement will arrive; the batch must be treated as lost.
+    ///
+    /// # Panics
+    /// Panics on a rowid at or past the current column length.
+    pub fn mutate(&self, mutations: Vec<Mutation<T>>) -> Result<usize, MutationError> {
+        self.shared
+            .stats
+            .record_mutations_queued(mutations.len() as u64);
+        match (&self.shared.engine, &self.maint_tx) {
+            (Engine::Inline(state), _) => {
+                // invariant: see append — poisoning is unrecoverable.
+                let mut st = state.lock().expect("inline state poisoned");
+                let n = mutations.len() as u64;
+                let InlineState {
+                    data,
+                    zonemap,
+                    deletes,
+                    epoch,
+                } = &mut *st;
+                *epoch += 1;
+                let mut dirty = vec![false; data.num_shards()];
+                let applied =
+                    apply_mutations(&mutations, data, zonemap, deletes, &mut dirty, *epoch);
+                self.shared.stats.record_mutation_batch(n, applied as u64);
+                if let Some(ratio) = self.shared.config.compact_tombstone_ratio {
+                    compact_shards(
+                        data,
+                        zonemap,
+                        deletes,
+                        &mut dirty,
+                        *epoch,
+                        Some(ratio),
+                        &self.shared.config.adaptive,
+                        &self.shared.stats,
+                    );
+                }
+                Ok(applied)
+            }
+            (Engine::Snapshot(_), Some(tx)) => {
+                let (ack_tx, ack_rx) = sync_channel(1);
+                tx.send(MaintMsg::Mutate(mutations, ack_tx))
+                    .map_err(|_| MutationError::Lost)?;
+                ack_rx.recv().map_err(|_| MutationError::Lost)
+            }
+            (Engine::Snapshot(_), None) => unreachable!("snapshot mode without maintenance"),
+        }
+    }
+
+    /// Compacts every shard holding tombstones: live rows are densely
+    /// repacked (shifting downstream shard starts and rowids), delete
+    /// vectors reset, and each repacked shard's zonemap lane is rebuilt
+    /// with tight bounds. Blocks until the compacted state is published;
+    /// returns the rows reclaimed.
+    ///
+    /// # Errors
+    /// [`MutationError::Lost`] when the maintenance thread is gone.
+    pub fn compact(&self) -> Result<usize, MutationError> {
+        match (&self.shared.engine, &self.maint_tx) {
+            (Engine::Inline(state), _) => {
+                // invariant: see append — poisoning is unrecoverable.
+                let mut st = state.lock().expect("inline state poisoned");
+                let InlineState {
+                    data,
+                    zonemap,
+                    deletes,
+                    epoch,
+                } = &mut *st;
+                *epoch += 1;
+                let mut dirty = vec![false; data.num_shards()];
+                Ok(compact_shards(
+                    data,
+                    zonemap,
+                    deletes,
+                    &mut dirty,
+                    *epoch,
+                    None,
+                    &self.shared.config.adaptive,
+                    &self.shared.stats,
+                ))
+            }
+            (Engine::Snapshot(_), Some(tx)) => {
+                let (ack_tx, ack_rx) = sync_channel(1);
+                tx.send(MaintMsg::Compact(ack_tx))
+                    .map_err(|_| MutationError::Lost)?;
+                ack_rx.recv().map_err(|_| MutationError::Lost)
             }
             (Engine::Snapshot(_), None) => unreachable!("snapshot mode without maintenance"),
         }
@@ -370,6 +549,7 @@ impl<T: DataValue> QueryService<T> {
             stats.zones_demoted = r.zones_demoted;
             stats.reorg_bytes_moved = r.bytes_moved;
             stats.reorg_ns = r.reorg_ns;
+            stats.tombstone_ppm = tombstone_ppm(&st.deletes);
         }
         stats
     }
@@ -495,11 +675,17 @@ fn worker_loop<T: DataValue>(
                 // the seed's single-writer architecture as a service mode.
                 // invariant: see append — poisoning is unrecoverable.
                 let mut st = state.lock().expect("inline state poisoned");
-                let InlineState { data, zonemap } = &mut *st;
-                let version = data.shards().iter().map(SharedColumn::version).sum();
-                let (answer, metrics) = execute_sharded(
+                let InlineState {
                     data,
                     zonemap,
+                    deletes,
+                    ..
+                } = &mut *st;
+                let version = data.shards().iter().map(SharedColumn::version).sum();
+                let (answer, metrics) = execute_sharded_with_deletes(
+                    data,
+                    zonemap,
+                    Some(deletes.as_slice()),
                     job.request.predicate,
                     job.request.agg,
                     &shared.config.exec_policy,
@@ -534,6 +720,7 @@ fn worker_loop<T: DataValue>(
                             data: snap.data.as_slice(),
                             outcome,
                             start: snap.start,
+                            live: Some(snap.delete.as_ref()),
                         }
                     })
                     .collect();
@@ -586,6 +773,21 @@ fn maintenance_loop<T: DataValue>(
     // Epoch of each lane at its last publication; a lane is republished
     // when its current epoch differs (or a flush forces it).
     let mut published_epochs = zonemap.mutation_epochs();
+    // Authoritative per-shard tombstones, shard-local coordinates.
+    let mut deletes: Vec<DeleteVector> = (0..num_shards)
+        .map(|s| DeleteVector::new(column.shard(s).len(), 0))
+        .collect();
+    // The Arc each lane last published; re-Arc'd only when that shard's
+    // tombstones changed, so a zonemap-only republish shares the bitmap.
+    let mut published_deletes: Vec<Arc<DeleteVector>> =
+        deletes.iter().map(|d| Arc::new(d.clone())).collect();
+    // Lanes that must republish this round regardless of zonemap epochs:
+    // their tombstones changed, or compaction shifted their start.
+    let mut dirty = vec![false; num_shards];
+    // Bumped once per mutation batch; stamps the delete vectors so a
+    // published snapshot always carries the epoch of the batch that last
+    // changed its tombstones.
+    let mut mutation_epoch = 0u64;
 
     while let Ok(first) = rx.recv() {
         // Drain opportunistically up to the batch bound: one publication
@@ -600,8 +802,11 @@ fn maintenance_loop<T: DataValue>(
         }
 
         let mut acks: Vec<SyncSender<()>> = Vec::new();
+        let mut mutation_acks: Vec<(SyncSender<usize>, usize)> = Vec::new();
+        let mut compact_acks: Vec<SyncSender<usize>> = Vec::new();
         let mut applied = 0u64;
         let mut force_all = false;
+        let mut explicit_compact = false;
         for msg in batch {
             match msg {
                 MaintMsg::Feedback(observations) => {
@@ -615,8 +820,33 @@ fn maintenance_loop<T: DataValue>(
                     column = column.append(&rows);
                     let tail = num_shards - 1;
                     zonemap.on_append_tail(&rows, column.shard(tail).as_slice());
+                    deletes[tail].grow(column.shard(tail).len());
+                    dirty[tail] = true;
                     shared.stats.record_append();
                     acks.push(ack);
+                }
+                MaintMsg::Mutate(muts, ack) => {
+                    mutation_epoch += 1;
+                    let took = apply_mutations(
+                        &muts,
+                        &mut column,
+                        &mut zonemap,
+                        &mut deletes,
+                        &mut dirty,
+                        mutation_epoch,
+                    );
+                    shared
+                        .stats
+                        .record_mutation_batch(muts.len() as u64, took as u64);
+                    mutation_acks.push((ack, took));
+                }
+                // Compaction is deferred to the end of the batch: every
+                // message in this batch was sent before this round's acks,
+                // so all its rowids are pre-compaction coordinates and
+                // FIFO-applying them first is exact.
+                MaintMsg::Compact(ack) => {
+                    explicit_compact = true;
+                    compact_acks.push(ack);
                 }
                 // A flush publishes every lane regardless of epochs:
                 // post-flush readers must see exact current lane state,
@@ -627,6 +857,29 @@ fn maintenance_loop<T: DataValue>(
                 }
             }
         }
+
+        // Compaction: an explicit request repacks every tombstoned shard;
+        // otherwise the config ratio triggers automatic repacking of the
+        // shards past it.
+        let min_ratio = if explicit_compact {
+            None
+        } else {
+            shared.config.compact_tombstone_ratio
+        };
+        let reclaimed = if explicit_compact || min_ratio.is_some() {
+            compact_shards(
+                &mut column,
+                &mut zonemap,
+                &mut deletes,
+                &mut dirty,
+                mutation_epoch,
+                min_ratio,
+                &shared.config.adaptive,
+                &shared.stats,
+            )
+        } else {
+            0
+        };
 
         // Reorganization rides the same maintenance cadence: each lane
         // promotes hot zones / demotes cold ones against its own shard
@@ -661,13 +914,18 @@ fn maintenance_loop<T: DataValue>(
         let mut whole_map_bytes = 0u64;
         for s in 0..num_shards {
             whole_map_bytes += zonemap.lane(s).metadata_bytes() as u64;
-            if force_all || epochs[s] != published_epochs[s] {
+            if force_all || dirty[s] || epochs[s] != published_epochs[s] {
                 lane_versions[s] += 1;
                 republish_bytes += zonemap.lane(s).metadata_bytes() as u64;
+                if dirty[s] {
+                    published_deletes[s] = Arc::new(deletes[s].clone());
+                    dirty[s] = false;
+                }
                 cell.publish_shard(
                     s,
                     ShardSnapshot {
                         data: column.shard(s).clone(),
+                        delete: Arc::clone(&published_deletes[s]),
                         zonemap: zonemap.lane(s).clone(),
                         start: column.start(s),
                         version: lane_versions[s],
@@ -689,10 +947,173 @@ fn maintenance_loop<T: DataValue>(
         if applied > 0 {
             shared.stats.record_feedback_applied(applied);
         }
-        // Acks only after the publications: an acked append/flush is
-        // visible to every subsequent query.
+        shared.stats.set_tombstone_ppm(tombstone_ppm(&deletes));
+        // Acks only after the publications: an acked append/flush/
+        // mutation/compaction is visible to every subsequent query.
         for ack in acks {
             let _ = ack.send(());
         }
+        for (ack, took) in mutation_acks {
+            let _ = ack.send(took);
+        }
+        for ack in compact_acks {
+            let _ = ack.send(reclaimed);
+        }
+    }
+}
+
+/// Locates the shard holding global row `row`.
+///
+/// Callers guarantee `row < column.len()`, so the last shard whose start
+/// is at or below `row` holds it (empty shards share their successor's
+/// start and are skipped by taking the last).
+fn shard_of_row<T: DataValue>(column: &ShardedColumn<T>, row: usize) -> usize {
+    let s = (0..column.num_shards())
+        .rfind(|&s| column.start(s) <= row)
+        // invariant: shard 0 starts at row 0, so some start is <= row.
+        .expect("shard 0 covers row 0");
+    debug_assert!(row - column.start(s) < column.shard(s).len());
+    s
+}
+
+/// Applies one client mutation batch out-of-place: deletes tombstone
+/// their row; updates tombstone the old row and append the new value to
+/// the tail shard (rowids are resolved against the column *before* any
+/// of this batch's appends land, so a batch cannot address its own new
+/// rows). Shards whose tombstones changed get their `dirty` flag raised.
+/// Returns how many mutations took effect.
+fn apply_mutations<T: DataValue>(
+    mutations: &[Mutation<T>],
+    column: &mut ShardedColumn<T>,
+    zonemap: &mut ShardedZonemap<T>,
+    deletes: &mut [DeleteVector],
+    dirty: &mut [bool],
+    epoch: u64,
+) -> usize {
+    let mut applied = 0usize;
+    let mut tail_appends: Vec<T> = Vec::new();
+    for m in mutations {
+        let (row, update) = match m {
+            Mutation::Delete(row) => (*row, None),
+            Mutation::Update(row, value) => (*row, Some(*value)),
+        };
+        assert!(
+            row < column.len(),
+            "mutation rowid {row} out of range ({} rows)",
+            column.len()
+        );
+        let s = shard_of_row(column, row);
+        if deletes[s].delete(row - column.start(s)) {
+            deletes[s].set_epoch(epoch);
+            dirty[s] = true;
+            applied += 1;
+            if let Some(value) = update {
+                tail_appends.push(value);
+            }
+        }
+    }
+    if !tail_appends.is_empty() {
+        *column = column.append(&tail_appends);
+        let tail = column.num_shards() - 1;
+        zonemap.on_append_tail(&tail_appends, column.shard(tail).as_slice());
+        deletes[tail].grow(column.shard(tail).len());
+        deletes[tail].set_epoch(epoch);
+        dirty[tail] = true;
+    }
+    applied
+}
+
+/// Densely repacks every shard whose tombstone ratio reaches `min_ratio`
+/// (every tombstoned shard when `None`): live rows are rewritten in
+/// order via [`SharedColumn::replace`], the shard's delete vector resets
+/// to all-live at `epoch`, and its zonemap lane is rebuilt with bounds
+/// tightened by a synthetic zone-aligned observation. Downstream lanes'
+/// starts shift, so their `dirty` flags are raised alongside the
+/// repacked shard's. Returns the total rows reclaimed.
+#[allow(clippy::too_many_arguments)]
+fn compact_shards<T: DataValue>(
+    column: &mut ShardedColumn<T>,
+    zonemap: &mut ShardedZonemap<T>,
+    deletes: &mut [DeleteVector],
+    dirty: &mut [bool],
+    epoch: u64,
+    min_ratio: Option<f64>,
+    config: &AdaptiveConfig,
+    stats: &StatsCollector,
+) -> usize {
+    let mut reclaimed_total = 0usize;
+    for s in 0..column.num_shards() {
+        if !deletes[s].has_deletes() {
+            continue;
+        }
+        if let Some(ratio) = min_ratio {
+            if deletes[s].tombstone_ratio() < ratio {
+                continue;
+            }
+        }
+        let shard = column.shard(s);
+        let mut live_rows = Vec::with_capacity(deletes[s].live_count());
+        for (i, v) in shard.as_slice().iter().enumerate() {
+            if !deletes[s].is_deleted(i) {
+                live_rows.push(*v);
+            }
+        }
+        let reclaimed = shard.len() - live_rows.len();
+        let mut shards = column.shards().to_vec();
+        shards[s] = shards[s].replace(live_rows);
+        *column = ShardedColumn::from_shards(shards);
+        deletes[s] = DeleteVector::new(column.shard(s).len(), epoch);
+        zonemap.replace_lane(
+            s,
+            rebuilt_lane(column.shard(s).as_slice(), config),
+            &column.shard_lens(),
+        );
+        // The repacked lane and every lane downstream of it (their global
+        // starts shifted by `reclaimed`) must republish this round.
+        for flag in dirty.iter_mut().skip(s) {
+            *flag = true;
+        }
+        stats.record_compaction(reclaimed as u64);
+        reclaimed_total += reclaimed;
+    }
+    reclaimed_total
+}
+
+/// A fresh zonemap lane over a compacted shard, its zones eagerly built
+/// with tight bounds: one synthetic all-matching observation walks the
+/// lane's own zone-aligned prune units, so the rebuilt metadata is
+/// exactly what a full scan would have observed — no query traffic is
+/// needed to re-tighten bounds after compaction.
+fn rebuilt_lane<T: DataValue>(data: &[T], config: &AdaptiveConfig) -> AdaptiveZonemap<T> {
+    let mut lane = AdaptiveZonemap::new(data.len(), config.clone());
+    let Some(&first) = data.first() else {
+        return lane;
+    };
+    let (lo, hi) = data.iter().fold((first, first), |(lo, hi), &v| {
+        (lo.min_total(v), hi.max_total(v))
+    });
+    let predicate = RangePredicate::between(lo, hi);
+    let outcome = SkippingIndex::prune(&mut lane, &predicate);
+    let ranges = outcome
+        .units()
+        .iter()
+        .map(|unit| {
+            let (q, mn, mx) =
+                ads_storage::scan::count_in_range_with_minmax(&data[unit.start..unit.end], lo, hi);
+            RangeObservation::new(*unit, q, mn, mx)
+        })
+        .collect();
+    lane.observe(&ScanObservation { predicate, ranges });
+    lane
+}
+
+/// The column's tombstoned fraction in parts per million.
+fn tombstone_ppm(deletes: &[DeleteVector]) -> u64 {
+    let total: usize = deletes.iter().map(DeleteVector::len).sum();
+    let dead: usize = deletes.iter().map(DeleteVector::deleted_count).sum();
+    if total == 0 {
+        0
+    } else {
+        (dead as u64).saturating_mul(1_000_000) / total as u64
     }
 }

@@ -27,19 +27,27 @@
 use crate::sync::atomic::{AtomicU64, Ordering};
 use crate::sync::{Arc, Mutex};
 use ads_core::adaptive::AdaptiveZonemap;
-use ads_storage::{DataValue, SharedColumn};
+use ads_storage::{DataValue, DeleteVector, SharedColumn};
 
 /// One shard's immutable, internally consistent unit of query state.
 #[derive(Debug, Clone)]
 pub struct ShardSnapshot<T: DataValue> {
     /// The shard's column version this snapshot answers against.
     pub data: SharedColumn<T>,
+    /// The shard's tombstones, frozen at publication together with the
+    /// column version they describe and stamped with the mutation epoch
+    /// of the batch that last changed them. Publishing data and deletes
+    /// as one `Arc`'d unit is what makes mutation visibility untearable:
+    /// a reader either sees a delete with its epoch or neither.
+    pub delete: Arc<DeleteVector>,
     /// The shard lane's zonemap state frozen at publication, in
     /// shard-local row coordinates; readers prune it via
     /// [`AdaptiveZonemap::prune_shared`].
     pub zonemap: AdaptiveZonemap<T>,
-    /// Global row id of the shard's first row (fixed for the service's
-    /// lifetime: appends route to the tail shard and never shift starts).
+    /// Global row id of the shard's first row. Appends route to the tail
+    /// shard and never shift starts; compaction densely repacks a shard
+    /// and therefore *does* shift every downstream start, republishing
+    /// those lanes in the same maintenance round.
     pub start: usize,
     /// Monotone per-lane publication number (0 = the initial snapshot).
     pub version: u64,
@@ -234,6 +242,7 @@ mod tests {
     fn shard_snap(start: usize, rows: usize, version: u64) -> ShardSnapshot<i64> {
         ShardSnapshot {
             data: SharedColumn::new((0..rows as i64).collect()),
+            delete: Arc::new(DeleteVector::new(rows, version)),
             zonemap: AdaptiveZonemap::new(rows, AdaptiveConfig::default()),
             start,
             version,

@@ -37,6 +37,24 @@ pub struct StatsCollector {
     whole_map_bytes: AtomicU64,
     /// Append batches applied.
     appends: AtomicU64,
+    /// Individual mutations (deletes + updates) accepted into the
+    /// maintenance channel, whether or not they end up taking effect.
+    mutations_queued: AtomicU64,
+    /// Individual mutations the maintenance thread has processed (every
+    /// entry of every processed batch, no-ops included).
+    mutations_processed: AtomicU64,
+    /// Individual mutations that took effect (deleting a dead row or
+    /// updating a dead row is a no-op and is not counted).
+    mutations_applied: AtomicU64,
+    /// Mutation batches processed.
+    mutation_batches: AtomicU64,
+    /// Shards densely repacked by compaction.
+    compactions_run: AtomicU64,
+    /// Tombstoned rows physically reclaimed by compaction.
+    rows_reclaimed: AtomicU64,
+    /// Gauge: current tombstoned fraction of the column, in parts per
+    /// million (stored, not accumulated).
+    tombstone_ppm: AtomicU64,
     /// Zones promoted to the reorganized layout by maintenance.
     zones_promoted: AtomicU64,
     /// Reorganized zones demoted back to the flat layout.
@@ -65,6 +83,13 @@ impl StatsCollector {
             republish_bytes: AtomicU64::new(0),
             whole_map_bytes: AtomicU64::new(0),
             appends: AtomicU64::new(0),
+            mutations_queued: AtomicU64::new(0),
+            mutations_processed: AtomicU64::new(0),
+            mutations_applied: AtomicU64::new(0),
+            mutation_batches: AtomicU64::new(0),
+            compactions_run: AtomicU64::new(0),
+            rows_reclaimed: AtomicU64::new(0),
+            tombstone_ppm: AtomicU64::new(0),
             zones_promoted: AtomicU64::new(0),
             zones_demoted: AtomicU64::new(0),
             reorg_bytes_moved: AtomicU64::new(0),
@@ -141,6 +166,38 @@ impl StatsCollector {
         self.appends.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub(crate) fn record_mutations_queued(&self, n: u64) {
+        // ordering: Relaxed — monotone counter; see record_query.
+        self.mutations_queued.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records one processed mutation batch of `processed` entries, of
+    /// which `applied` took effect.
+    pub(crate) fn record_mutation_batch(&self, processed: u64, applied: u64) {
+        // ordering: Relaxed — monotone counter; see record_query.
+        self.mutation_batches.fetch_add(1, Ordering::Relaxed);
+        // ordering: Relaxed — monotone counter; see record_query.
+        self.mutations_processed
+            .fetch_add(processed, Ordering::Relaxed);
+        // ordering: Relaxed — monotone counter; see record_query.
+        self.mutations_applied.fetch_add(applied, Ordering::Relaxed);
+    }
+
+    /// Records one shard compaction that reclaimed `reclaimed` rows.
+    pub(crate) fn record_compaction(&self, reclaimed: u64) {
+        // ordering: Relaxed — monotone counter; see record_query.
+        self.compactions_run.fetch_add(1, Ordering::Relaxed);
+        // ordering: Relaxed — monotone counter; see record_query.
+        self.rows_reclaimed.fetch_add(reclaimed, Ordering::Relaxed);
+    }
+
+    /// Stores the current tombstone gauge (parts per million of rows).
+    pub(crate) fn set_tombstone_ppm(&self, ppm: u64) {
+        // ordering: Relaxed — last-writer-wins gauge read only by the
+        // stats snapshot; no other memory is published through it.
+        self.tombstone_ppm.store(ppm, Ordering::Relaxed);
+    }
+
     /// Records one reorganization pass's deltas (no-op rounds pass zeros).
     pub(crate) fn record_reorg(&self, promoted: u64, demoted: u64, bytes_moved: u64, ns: u64) {
         // ordering: Relaxed — monotone counter; see record_query.
@@ -170,6 +227,11 @@ impl StatsCollector {
         let feedback_queued = self.feedback_queued.load(Ordering::Relaxed);
         // ordering: Relaxed — see above; saturating_sub absorbs the race.
         let feedback_applied = self.feedback_applied.load(Ordering::Relaxed);
+        // ordering: Relaxed — same queued/applied race as feedback: the
+        // pending gauge can read low mid-batch, never underflows.
+        let mutations_queued = self.mutations_queued.load(Ordering::Relaxed);
+        // ordering: Relaxed — see above.
+        let mutations_processed = self.mutations_processed.load(Ordering::Relaxed);
         ServerStats {
             // ordering: Relaxed (this load and every one below) — each
             // counter is read independently for a monitoring report;
@@ -194,6 +256,17 @@ impl StatsCollector {
             whole_map_bytes: self.whole_map_bytes.load(Ordering::Relaxed),
             // ordering: Relaxed — see the struct-literal comment above.
             appends: self.appends.load(Ordering::Relaxed),
+            // ordering: Relaxed — see the struct-literal comment above.
+            mutations_applied: self.mutations_applied.load(Ordering::Relaxed),
+            // ordering: Relaxed — see the struct-literal comment above.
+            mutation_batches: self.mutation_batches.load(Ordering::Relaxed),
+            deltas_pending: mutations_queued.saturating_sub(mutations_processed),
+            // ordering: Relaxed — see the struct-literal comment above.
+            compactions_run: self.compactions_run.load(Ordering::Relaxed),
+            // ordering: Relaxed — see the struct-literal comment above.
+            rows_reclaimed: self.rows_reclaimed.load(Ordering::Relaxed),
+            // ordering: Relaxed — see the struct-literal comment above.
+            tombstone_ppm: self.tombstone_ppm.load(Ordering::Relaxed),
             // ordering: Relaxed — see the struct-literal comment above.
             zones_promoted: self.zones_promoted.load(Ordering::Relaxed),
             // ordering: Relaxed — see the struct-literal comment above.
@@ -240,6 +313,22 @@ pub struct ServerStats {
     pub whole_map_bytes: u64,
     /// Append batches applied.
     pub appends: u64,
+    /// Individual mutations (deletes + updates) that took effect;
+    /// re-deleting or updating an already-dead row is a no-op and is
+    /// excluded.
+    pub mutations_applied: u64,
+    /// Mutation batches the maintenance thread has processed.
+    pub mutation_batches: u64,
+    /// Mutations accepted into the channel but not yet processed — how
+    /// far the delta pipeline lags behind submission right now.
+    pub deltas_pending: u64,
+    /// Shards densely repacked by compaction.
+    pub compactions_run: u64,
+    /// Tombstoned rows physically reclaimed by compaction.
+    pub rows_reclaimed: u64,
+    /// Currently tombstoned fraction of the column, in parts per million
+    /// (a gauge sampled at the last maintenance round).
+    pub tombstone_ppm: u64,
     /// Zones promoted to the reorganized (sorted/cracked) layout.
     pub zones_promoted: u64,
     /// Reorganized zones demoted back to the flat layout after going
@@ -272,6 +361,8 @@ impl ServerStats {
         format!(
             "queries={} shed={} deadline_missed={} feedback_applied={} lag={} \
              snapshots={} shards_republished={} republish_bytes={} appends={} \
+             mutations_applied={} deltas_pending={} compactions={} \
+             rows_reclaimed={} tombstone_ppm={} \
              reorg_promoted={} reorg_demoted={} reorg_bytes_moved={} \
              p50={}ns p95={}ns p99={}ns",
             self.queries,
@@ -283,6 +374,11 @@ impl ServerStats {
             self.shards_republished,
             self.republish_bytes,
             self.appends,
+            self.mutations_applied,
+            self.deltas_pending,
+            self.compactions_run,
+            self.rows_reclaimed,
+            self.tombstone_ppm,
             self.zones_promoted,
             self.zones_demoted,
             self.reorg_bytes_moved,
@@ -314,6 +410,10 @@ mod tests {
         c.record_republish_bytes(1_024);
         c.record_whole_map_bytes(4_096);
         c.record_append();
+        c.record_mutations_queued(10);
+        c.record_mutation_batch(7, 6);
+        c.record_compaction(4);
+        c.set_tombstone_ppm(2_500);
 
         let s = c.snapshot(5);
         assert_eq!(s.queries, 3);
@@ -327,6 +427,12 @@ mod tests {
         assert_eq!(s.republish_bytes, 1_024);
         assert_eq!(s.whole_map_bytes, 4_096);
         assert_eq!(s.appends, 1);
+        assert_eq!(s.mutations_applied, 6);
+        assert_eq!(s.mutation_batches, 1);
+        assert_eq!(s.deltas_pending, 3, "10 queued - 7 processed");
+        assert_eq!(s.compactions_run, 1);
+        assert_eq!(s.rows_reclaimed, 4);
+        assert_eq!(s.tombstone_ppm, 2_500);
         assert_eq!(s.queue_depth, 5);
         assert_eq!(s.latency.count(), 3);
         assert!(s.latency.max_ns() >= 3_000 * 7 / 8);

@@ -1,5 +1,8 @@
-//! Model-checked protocol suites: the four concurrency protocols of the
-//! server, exhaustively verified at small scale by `ads-check`.
+//! Model-checked protocol suites: the concurrency protocols of the
+//! server — snapshot publish/read, lane isolation, queue admission,
+//! shutdown drain, stats, reorg publication, and mutation
+//! (delta-publication and compaction) — exhaustively verified at small
+//! scale by `ads-check`.
 //!
 //! Built only under `--features check`, which swaps every primitive the
 //! server imports through `src/sync.rs` for the recording shims — these
@@ -22,7 +25,7 @@ use ads_check::{model, try_model, Config};
 use ads_core::adaptive::{AdaptiveConfig, AdaptiveZonemap};
 use ads_core::{RangeObservation, RangePredicate, ScanObservation, SkippingIndex};
 use ads_server::{Bounded, PushError, ShardSnapshot, ShardedCell, SnapshotCell, StatsCollector};
-use ads_storage::SharedColumn;
+use ads_storage::{DeleteVector, SharedColumn};
 
 // ------------------------------------------------- SnapshotCell publish/read
 
@@ -111,6 +114,7 @@ fn cell3_refresh_once(cell: &SnapshotCell<u64>) -> ads_server::SnapshotCache<u64
 fn shard_snap(start: usize, rows: usize, version: u64) -> ShardSnapshot<i64> {
     ShardSnapshot {
         data: SharedColumn::new((0..rows as i64).collect()),
+        delete: Arc::new(DeleteVector::new(rows, version)),
         zonemap: AdaptiveZonemap::new(rows, AdaptiveConfig::default()),
         start,
         version,
@@ -402,6 +406,7 @@ fn reorg_snap(version: u64) -> ShardSnapshot<i64> {
     let rep = zm.apply_reorg(&data);
     assert_eq!(rep.promoted, 1, "setup must promote the zone");
     ShardSnapshot {
+        delete: Arc::new(DeleteVector::new(data.len(), 0)),
         data: SharedColumn::new(data),
         zonemap: zm,
         start: 0,
@@ -475,6 +480,7 @@ fn reorg_demotion_cannot_invalidate_a_held_snapshot() {
             c2.publish_shard(
                 0,
                 ShardSnapshot {
+                    delete: Arc::new(DeleteVector::new(data.len(), 0)),
                     data: SharedColumn::new(data),
                     zonemap: zm,
                     start: 0,
@@ -497,5 +503,129 @@ fn reorg_demotion_cannot_invalidate_a_held_snapshot() {
         let fresh = cache.lanes()[0].current();
         assert_eq!(fresh.version, 2);
         assert_eq!(fresh.zonemap.zones_reorganized(), 0, "demotion published");
+    });
+}
+
+// ------------------------------------------------ Mutation delta publication
+
+/// Builds the post-mutation snapshot of the delta-publication protocol:
+/// same four rows, row 1 tombstoned, delete vector stamped with mutation
+/// epoch 1, column republished as version 1.
+fn deleted_snap() -> ShardSnapshot<i64> {
+    let mut dv = DeleteVector::new(4, 0);
+    assert!(dv.delete(1));
+    dv.set_epoch(1);
+    ShardSnapshot {
+        data: SharedColumn::new(vec![10, 11, 12, 13]),
+        delete: Arc::new(dv),
+        zonemap: AdaptiveZonemap::new(4, AdaptiveConfig::default()),
+        start: 0,
+        version: 1,
+    }
+}
+
+/// The delta-publication protocol: data and tombstones travel in ONE
+/// snapshot swap, so a reader never observes a delete without the
+/// mutation epoch that explains it (or vice versa). Under every
+/// interleaving the reader sees exactly the pre state (all live, epoch
+/// 0) or exactly the post state (row 1 dead, epoch 1) — never a torn
+/// mixture such as a tombstone still stamped epoch 0.
+#[test]
+fn mutation_delta_publishes_deletes_with_their_epoch() {
+    let explored = model(|| {
+        let cell = Arc::new(ShardedCell::new(vec![shard_snap(0, 4, 0)]));
+        let c2 = Arc::clone(&cell);
+        let writer = thread::spawn(move || c2.publish_shard(0, deleted_snap()));
+
+        let mut cache = cell.cache();
+        cache.refresh(&cell);
+        let snap = cache.lanes()[0].current();
+        if snap.version == 0 {
+            assert_eq!(snap.delete.epoch(), 0, "pre snapshot with future epoch");
+            assert!(!snap.delete.has_deletes(), "delete leaked into version 0");
+            assert_eq!(snap.delete.live_count(), 4);
+        } else {
+            assert_eq!(snap.version, 1);
+            assert_eq!(
+                snap.delete.epoch(),
+                1,
+                "reader observed a delete batch without its epoch"
+            );
+            assert!(snap.delete.is_deleted(1), "epoch moved without its delete");
+            assert_eq!(snap.delete.live_count(), 3);
+        }
+        // Either way the pair is internally consistent: the vector covers
+        // exactly the rows of the column it was published with.
+        assert_eq!(snap.delete.len(), snap.data.as_slice().len());
+
+        writer.join().unwrap();
+        cache.refresh(&cell);
+        let fin = cache.lanes()[0].current();
+        assert_eq!(fin.version, 1);
+        assert_eq!(fin.delete.epoch(), 1);
+        assert_eq!(fin.delete.live_count(), 3);
+    });
+    assert!(explored.executions > 1, "explored {explored:?}");
+}
+
+// ------------------------------------------------------ Compaction snapshots
+
+/// The compaction protocol: compaction repacks live rows into a fresh
+/// column + all-live delete vector and publishes the result as a new
+/// snapshot; a reader holding the pre-compaction Arc keeps a fully
+/// consistent view (4 rows, 1 tombstone, 3 live) under every
+/// interleaving — compaction can never invalidate a held snapshot.
+#[test]
+fn compaction_cannot_invalidate_a_held_snapshot() {
+    model(|| {
+        let cell = Arc::new(ShardedCell::new(vec![deleted_snap()]));
+        let mut cache = cell.cache();
+        cache.refresh(&cell);
+        let held = std::sync::Arc::clone(cache.lanes()[0].current());
+
+        let c2 = Arc::clone(&cell);
+        let writer = thread::spawn(move || {
+            // Dense repack of the live rows; tombstones reset, epoch kept.
+            let mut dv = DeleteVector::new(3, 2);
+            dv.set_epoch(2);
+            c2.publish_shard(
+                0,
+                ShardSnapshot {
+                    data: SharedColumn::new(vec![10, 12, 13]),
+                    delete: Arc::new(dv),
+                    zonemap: AdaptiveZonemap::new(3, AdaptiveConfig::default()),
+                    start: 0,
+                    version: 2,
+                },
+            );
+        });
+
+        // Concurrent with compaction: the held snapshot still answers in
+        // its own coordinate system, tombstone mask intact.
+        assert_eq!(held.data.as_slice(), &[10, 11, 12, 13]);
+        assert_eq!(held.delete.len(), 4);
+        assert!(held.delete.is_deleted(1));
+        assert_eq!(held.delete.live_count(), 3);
+        let live: Vec<i64> = held
+            .data
+            .as_slice()
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !held.delete.is_deleted(*i))
+            .map(|(_, &v)| v)
+            .collect();
+        assert_eq!(live, vec![10, 12, 13]);
+
+        writer.join().unwrap();
+        cache.refresh(&cell);
+        let fresh = cache.lanes()[0].current();
+        assert_eq!(fresh.version, 2);
+        assert_eq!(fresh.data.as_slice(), &[10, 12, 13]);
+        assert!(!fresh.delete.has_deletes(), "compaction left tombstones");
+        assert_eq!(fresh.delete.len(), 3);
+        // The compacted live set is exactly the live set the held
+        // snapshot answers with: compaction changed coordinates, not
+        // content.
+        assert_eq!(fresh.data.as_slice(), live.as_slice());
     });
 }

@@ -189,22 +189,56 @@ impl Bitmap {
         }
     }
 
-    /// In-place intersection with `other` (alias of
-    /// [`Bitmap::intersect_with`], kept for existing call sites).
-    ///
-    /// # Panics
-    /// Panics if lengths differ.
-    pub fn and_assign(&mut self, other: &Bitmap) {
-        self.intersect_with(other);
+    /// Reads the 64-bit window starting at bit `bit`: result bit `i` is
+    /// bitmap bit `bit + i`, with bits at or past `len` reading as zero.
+    /// The unaligned companion of [`Bitmap::or_mask_at`], used by the
+    /// delete-vector masking path to cover one 64-row scan block in two
+    /// word reads.
+    #[inline]
+    pub fn window_at(&self, bit: usize) -> u64 {
+        if bit >= self.len {
+            return 0;
+        }
+        let (word_idx, shift) = (bit / 64, bit % 64);
+        let lo = self.words[word_idx] >> shift;
+        let hi = if shift == 0 {
+            0
+        } else {
+            self.words.get(word_idx + 1).copied().unwrap_or(0) << (64 - shift)
+        };
+        let mut window = lo | hi;
+        // Bits past len read as zero even when the backing word has slack.
+        let remaining = self.len - bit;
+        if remaining < 64 {
+            window &= u64::MAX >> (64 - remaining);
+        }
+        window
     }
 
-    /// In-place union with `other` (alias of [`Bitmap::union_with`], kept
-    /// for existing call sites).
+    /// Number of set bits in `start..end`, computed word-at-a-time.
     ///
     /// # Panics
-    /// Panics if lengths differ.
-    pub fn or_assign(&mut self, other: &Bitmap) {
-        self.union_with(other);
+    /// Panics if `end > len` or `start > end`.
+    pub fn count_ones_in_range(&self, start: usize, end: usize) -> usize {
+        assert!(
+            start <= end && end <= self.len,
+            "range {start}..{end} out of bounds"
+        );
+        if start == end {
+            return 0;
+        }
+        let (first_word, first_bit) = (start / 64, start % 64);
+        let (last_word, last_bit) = ((end - 1) / 64, (end - 1) % 64);
+        if first_word == last_word {
+            return (self.words[first_word] & Self::word_mask(first_bit, last_bit)).count_ones()
+                as usize;
+        }
+        let mut total =
+            (self.words[first_word] & Self::word_mask(first_bit, 63)).count_ones() as usize;
+        for w in &self.words[first_word + 1..last_word] {
+            total += w.count_ones() as usize;
+        }
+        total + (self.words[last_word] & Self::word_mask(0, last_bit)).count_ones() as usize
     }
 
     /// In-place complement.
@@ -389,11 +423,11 @@ mod tests {
         b.set_range(30, 70);
 
         let mut and = a.clone();
-        and.and_assign(&b);
+        and.intersect_with(&b);
         assert_eq!(and.count_ones(), 10);
 
         let mut or = a.clone();
-        or.or_assign(&b);
+        or.union_with(&b);
         assert_eq!(or.count_ones(), 70);
 
         a.not_assign();
@@ -504,6 +538,41 @@ mod tests {
         bm.set(130);
         let words: Vec<(usize, u64)> = bm.iter_set_words().collect();
         assert_eq!(words, vec![(0, 1 << 2), (2, 1 << 2)]);
+    }
+
+    #[test]
+    fn window_at_matches_per_bit_reference() {
+        let mut bm = Bitmap::new(150);
+        for i in (0..150).step_by(7) {
+            bm.set(i);
+        }
+        for start in [0usize, 1, 63, 64, 65, 100, 140, 149, 150, 200] {
+            let window = bm.window_at(start);
+            for i in 0..64 {
+                let want = start + i < 150 && bm.get(start + i);
+                assert_eq!((window >> i) & 1 == 1, want, "start={start} bit={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn window_at_zero_pads_past_len() {
+        let bm = Bitmap::ones(70);
+        assert_eq!(bm.window_at(64), u64::MAX >> 58); // 6 live bits
+        assert_eq!(bm.window_at(70), 0);
+        assert_eq!(bm.window_at(1000), 0);
+    }
+
+    #[test]
+    fn count_ones_in_range_matches_reference() {
+        let mut bm = Bitmap::new(300);
+        for i in (0..300).step_by(3) {
+            bm.set(i);
+        }
+        for (start, end) in [(0, 0), (0, 300), (5, 70), (63, 65), (64, 128), (297, 300)] {
+            let want = (start..end).filter(|&i| bm.get(i)).count();
+            assert_eq!(bm.count_ones_in_range(start, end), want, "{start}..{end}");
+        }
     }
 
     #[test]

@@ -12,6 +12,9 @@
 //!   currency in which skipping indexes tell scans what they may skip;
 //! * order-preserving dictionary-encoded string columns ([`DictColumn`])
 //!   that turn string predicates into integer code ranges;
+//! * out-of-place mutation primitives ([`mutation`]): epoch-stamped
+//!   tombstone vectors and tail delta buffers, so updates and deletes
+//!   never rewrite a published column version;
 //! * optional [`parallel`] scan helpers for full-table baselines.
 //!
 //! Nothing here knows about zonemaps: the skipping logic lives in
@@ -24,6 +27,7 @@ pub mod bitmap;
 pub mod catalog;
 pub mod column;
 pub mod error;
+pub mod mutation;
 pub mod parallel;
 pub mod ranges;
 pub mod reorg;
@@ -38,6 +42,7 @@ pub use bitmap::Bitmap;
 pub use catalog::Catalog;
 pub use column::Column;
 pub use error::{Result, StorageError};
+pub use mutation::{DeleteVector, DeltaBuffer};
 pub use ranges::{RangeSet, RowRange};
 pub use reorg::{ReorgSpans, ReorgZone};
 pub use sharded::ShardedColumn;

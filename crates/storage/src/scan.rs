@@ -20,6 +20,7 @@
 //! speedups over.
 
 use crate::bitmap::Bitmap;
+use crate::mutation::DeleteVector;
 use crate::types::DataValue;
 
 /// Lanes per block: one qualifying bit per lane fills exactly one `u64`.
@@ -433,6 +434,280 @@ pub fn min_max_in_range<T: DataValue>(data: &[T], lo: T, hi: T) -> Option<(T, T)
     found.then_some((min, max))
 }
 
+// --------------------------------------------------------------- masked
+// Delete-aware kernel variants. Each takes a [`DeleteVector`] plus the
+// row offset of `data[0]` in the vector's coordinate space, and ANDs the
+// per-block qualifying mask with [`DeleteVector::live_window`] — one load
+// and one AND per 64-row block, preserving the block structure of the
+// unmasked kernels. The contract mirrors the observation split: `count`,
+// `sum`, `match_min`/`match_max`, and positions cover **live** qualifying
+// rows only (the answer), while `range_min`/`range_max` still cover *all*
+// rows including tombstones (the zone-metadata by-product), so zonemap
+// bounds stay sound-but-conservative over deleted rows until compaction
+// re-tightens them.
+
+/// Guards a masked kernel: every row of `data` must be addressed by `live`.
+#[inline]
+fn assert_live_covers(base: usize, len: usize, live: &DeleteVector) {
+    assert!(
+        base + len <= live.len(),
+        "rows {base}..{} exceed delete vector of {} rows",
+        base + len,
+        live.len()
+    );
+}
+
+/// Masked [`count_in_range_with_minmax`]: counts **live** qualifying
+/// values; `(min, max)` still covers all rows of the slice.
+#[inline]
+pub fn count_in_range_with_minmax_live<T: DataValue>(
+    data: &[T],
+    lo: T,
+    hi: T,
+    live: &DeleteVector,
+    base: usize,
+) -> (usize, T, T) {
+    assert_live_covers(base, data.len(), live);
+    let mut chunks = data.chunks_exact(LANES);
+    let mut count = 0usize;
+    let mut min = T::MAX_VALUE;
+    let mut max = T::MIN_VALUE;
+    let mut bit = base;
+    for block in chunks.by_ref() {
+        let mask = lane_mask(block, lo, hi) & live.live_window(bit);
+        count += mask.count_ones() as usize;
+        for &v in block {
+            min = min.min_total(v);
+            max = max.max_total(v);
+        }
+        bit += LANES;
+    }
+    for (i, &v) in chunks.remainder().iter().enumerate() {
+        count += (v.in_range_total(&lo, &hi) && !live.is_deleted(bit + i)) as usize;
+        min = min.min_total(v);
+        max = max.max_total(v);
+    }
+    (count, min, max)
+}
+
+/// Masked [`aggregate_in_range`]: `count`/`sum`/`match_min`/`match_max`
+/// cover live qualifying rows; `range_min`/`range_max` cover all rows.
+/// Sum accumulation stays in ascending row order, so results are
+/// bit-identical to a scalar recompute over the live rows.
+#[inline]
+pub fn aggregate_in_range_live<T: DataValue>(
+    data: &[T],
+    lo: T,
+    hi: T,
+    live: &DeleteVector,
+    base: usize,
+) -> RangeAggregates<T> {
+    assert_live_covers(base, data.len(), live);
+    let mut agg: RangeAggregates<T> = RangeAggregates::identity();
+    let mut chunks = data.chunks_exact(LANES);
+    let mut bit = base;
+    for block in chunks.by_ref() {
+        let mask = lane_mask(block, lo, hi) & live.live_window(bit);
+        agg.count += mask.count_ones() as usize;
+        for &v in block {
+            agg.range_min = agg.range_min.min_total(v);
+            agg.range_max = agg.range_max.max_total(v);
+        }
+        let mut m = mask;
+        while m != 0 {
+            let v = block[m.trailing_zeros() as usize];
+            agg.sum += v.to_f64();
+            agg.match_min = agg.match_min.min_total(v);
+            agg.match_max = agg.match_max.max_total(v);
+            m &= m - 1;
+        }
+        bit += LANES;
+    }
+    for (i, &v) in chunks.remainder().iter().enumerate() {
+        let q = v.in_range_total(&lo, &hi) && !live.is_deleted(bit + i);
+        agg.count += q as usize;
+        agg.sum += if q { v.to_f64() } else { 0.0 };
+        agg.range_min = agg.range_min.min_total(v);
+        agg.range_max = agg.range_max.max_total(v);
+        if q {
+            agg.match_min = agg.match_min.min_total(v);
+            agg.match_max = agg.match_max.max_total(v);
+        }
+    }
+    agg
+}
+
+/// Masked [`collect_in_range_with_minmax`]: positions of **live**
+/// qualifying rows (`base + offset`); `(min, max)` covers all rows.
+///
+/// # Panics
+/// Panics if `base + data.len()` exceeds [`MAX_ADDRESSABLE_ROWS`] or the
+/// delete vector's length.
+#[inline]
+pub fn collect_in_range_with_minmax_live<T: DataValue>(
+    data: &[T],
+    base: usize,
+    lo: T,
+    hi: T,
+    live: &DeleteVector,
+    out: &mut Vec<u32>,
+) -> (usize, T, T) {
+    assert_positions_addressable(base, data.len());
+    assert_live_covers(base, data.len(), live);
+    let before = out.len();
+    let mut min = T::MAX_VALUE;
+    let mut max = T::MIN_VALUE;
+    let mut chunks = data.chunks_exact(LANES);
+    let mut bit = base;
+    for block in chunks.by_ref() {
+        let mut mask = lane_mask(block, lo, hi) & live.live_window(bit);
+        while mask != 0 {
+            // narrowing: bit + 63 < MAX_ADDRESSABLE_ROWS by the guard above.
+            out.push(bit as u32 + mask.trailing_zeros());
+            mask &= mask - 1;
+        }
+        for &v in block {
+            min = min.min_total(v);
+            max = max.max_total(v);
+        }
+        bit += LANES;
+    }
+    for (i, &v) in chunks.remainder().iter().enumerate() {
+        if v.in_range_total(&lo, &hi) && !live.is_deleted(bit + i) {
+            // narrowing: bit + i < MAX_ADDRESSABLE_ROWS by the guard above.
+            out.push((bit + i) as u32);
+        }
+        min = min.min_total(v);
+        max = max.max_total(v);
+    }
+    (out.len() - before, min, max)
+}
+
+/// Masked [`sum_all`] for ranges already proven to fully match: sums the
+/// **live** rows and returns `(live count, sum)`, one `live_window` per
+/// 64-row block.
+#[inline]
+pub fn sum_all_live<T: DataValue>(data: &[T], live: &DeleteVector, base: usize) -> (usize, f64) {
+    assert_live_covers(base, data.len(), live);
+    let mut chunks = data.chunks_exact(LANES);
+    let mut count = 0usize;
+    let mut sum = 0.0f64;
+    let mut bit = base;
+    for block in chunks.by_ref() {
+        let mask = live.live_window(bit);
+        count += mask.count_ones() as usize;
+        if mask == u64::MAX {
+            for &v in block {
+                sum += v.to_f64();
+            }
+        } else {
+            let mut m = mask;
+            while m != 0 {
+                sum += block[m.trailing_zeros() as usize].to_f64();
+                m &= m - 1;
+            }
+        }
+        bit += LANES;
+    }
+    for (i, &v) in chunks.remainder().iter().enumerate() {
+        if !live.is_deleted(bit + i) {
+            count += 1;
+            sum += v.to_f64();
+        }
+    }
+    (count, sum)
+}
+
+/// Masked [`min_max`]: `(min, max)` of the **live** rows only, or `None`
+/// when every row of the slice is tombstoned. For full-match ranges under
+/// MIN/MAX aggregates, where the unmasked path reads the whole slice.
+#[inline]
+pub fn min_max_live<T: DataValue>(data: &[T], live: &DeleteVector, base: usize) -> Option<(T, T)> {
+    assert_live_covers(base, data.len(), live);
+    let mut found = false;
+    let mut min = T::MAX_VALUE;
+    let mut max = T::MIN_VALUE;
+    let mut chunks = data.chunks_exact(LANES);
+    let mut bit = base;
+    for block in chunks.by_ref() {
+        let mut m = live.live_window(bit);
+        found |= m != 0;
+        while m != 0 {
+            let v = block[m.trailing_zeros() as usize];
+            min = min.min_total(v);
+            max = max.max_total(v);
+            m &= m - 1;
+        }
+        bit += LANES;
+    }
+    for (i, &v) in chunks.remainder().iter().enumerate() {
+        if !live.is_deleted(bit + i) {
+            min = min.min_total(v);
+            max = max.max_total(v);
+            found = true;
+        }
+    }
+    found.then_some((min, max))
+}
+
+/// Masked [`count_in_range_with_minmax_and_mask`]: the value-mask scan
+/// with tombstoned rows excluded from the count. Dead rows still feed
+/// `(min, max)` and the bin mask — both are conservative-only metadata,
+/// and a dead row's bin bit can at worst under-skip, never corrupt.
+#[inline]
+pub fn count_in_range_with_minmax_and_mask_live<T: DataValue>(
+    data: &[T],
+    lo: T,
+    hi: T,
+    bin_lo: f64,
+    bin_hi: f64,
+    live: &DeleteVector,
+    base: usize,
+) -> (usize, T, T, u64) {
+    assert_live_covers(base, data.len(), live);
+    let mut count = 0usize;
+    let mut min = T::MAX_VALUE;
+    let mut max = T::MIN_VALUE;
+    let mut mask = 0u64;
+    let span = bin_hi - bin_lo;
+    let scale = if span > 0.0 { 64.0 / span } else { 0.0 };
+    for (i, &v) in data.iter().enumerate() {
+        count += (v.in_range_total(&lo, &hi) && !live.is_deleted(base + i)) as usize;
+        min = min.min_total(v);
+        max = max.max_total(v);
+        // narrowing: clamp(0, 63) bounds the bin index below 64.
+        let bin = ((v.to_f64() - bin_lo) * scale).clamp(0.0, 63.0) as u32;
+        mask |= 1u64 << bin;
+    }
+    (count, min, max, mask)
+}
+
+/// Appends the row positions in `start..end` that are live to `out` — the
+/// full-match POSITIONS path under deletes, where the unmasked kernel
+/// extends the whole range wholesale.
+///
+/// # Panics
+/// Panics if `end` exceeds [`MAX_ADDRESSABLE_ROWS`] or the vector length.
+#[inline]
+pub fn collect_live_positions(live: &DeleteVector, start: usize, end: usize, out: &mut Vec<u32>) {
+    assert_positions_addressable(start, end - start);
+    assert_live_covers(start, end - start, live);
+    let mut bit = start;
+    while bit < end {
+        let span = (end - bit).min(LANES);
+        let mut mask = live.live_window(bit);
+        if span < LANES {
+            mask &= u64::MAX >> (64 - span);
+        }
+        while mask != 0 {
+            // narrowing: bit + 63 < MAX_ADDRESSABLE_ROWS by the guard above.
+            out.push(bit as u32 + mask.trailing_zeros());
+            mask &= mask - 1;
+        }
+        bit += span;
+    }
+}
+
 /// The pre-block scalar kernels, retained verbatim.
 ///
 /// Two consumers keep these alive: the property tests assert every block
@@ -813,6 +1088,143 @@ mod tests {
             scalar::fill_bitmap_in_range(&data, 7, lo, hi, &mut scalar_bm);
             assert_eq!(block_bm, scalar_bm, "n={n}");
         }
+    }
+
+    /// A delete vector over 300 rows with every 7th row tombstoned, plus
+    /// the live-row predicate reference the masked kernels must match.
+    fn masked_fixture() -> (Vec<i64>, DeleteVector) {
+        let data: Vec<i64> = (0..300).map(|i| (i * 13) % 97).collect();
+        let mut live = DeleteVector::new(300, 1);
+        for i in (0..300).step_by(7) {
+            live.delete(i);
+        }
+        (data, live)
+    }
+
+    #[test]
+    fn masked_count_matches_per_row_reference() {
+        let (data, live) = masked_fixture();
+        for (start, end) in [(0usize, 300usize), (5, 70), (63, 129), (250, 300)] {
+            let (c, min, max) =
+                count_in_range_with_minmax_live(&data[start..end], 10, 60, &live, start);
+            let want = (start..end)
+                .filter(|&i| !live.is_deleted(i) && (10..=60).contains(&data[i]))
+                .count();
+            assert_eq!(c, want, "{start}..{end}");
+            // min/max still cover ALL rows, tombstoned included.
+            let (_, rmin, rmax) = count_in_range_with_minmax(&data[start..end], 10, 60);
+            assert_eq!((min, max), (rmin, rmax), "{start}..{end}");
+        }
+    }
+
+    #[test]
+    fn masked_aggregate_matches_live_scalar_recompute() {
+        let (data, live) = masked_fixture();
+        for (start, end) in [(0usize, 300usize), (1, 64), (64, 200), (199, 300)] {
+            let a = aggregate_in_range_live(&data[start..end], 10, 60, &live, start);
+            let live_vals: Vec<i64> = (start..end)
+                .filter(|&i| !live.is_deleted(i))
+                .map(|i| data[i])
+                .collect();
+            let want = scalar::aggregate_in_range(&live_vals, 10, 60);
+            assert_eq!(a.count, want.count, "{start}..{end}");
+            assert_eq!(a.sum.to_bits(), want.sum.to_bits(), "{start}..{end}");
+            assert_eq!((a.match_min, a.match_max), (want.match_min, want.match_max));
+            // range extremes still from all rows.
+            let (all_min, all_max) = min_max(&data[start..end]).unwrap();
+            assert_eq!((a.range_min, a.range_max), (all_min, all_max));
+        }
+    }
+
+    #[test]
+    fn masked_collect_skips_tombstones() {
+        let (data, live) = masked_fixture();
+        let mut out = Vec::new();
+        let (n, _, _) =
+            collect_in_range_with_minmax_live(&data[60..130], 60, 0, 96, &live, &mut out);
+        let want: Vec<u32> = (60..130)
+            .filter(|&i| !live.is_deleted(i) && (0..=96).contains(&data[i]))
+            .map(|i| i as u32)
+            .collect();
+        assert_eq!(out, want);
+        assert_eq!(n, want.len());
+    }
+
+    #[test]
+    fn masked_sum_all_and_min_max() {
+        let (data, live) = masked_fixture();
+        let (count, sum) = sum_all_live(&data[0..130], &live, 0);
+        let live_vals: Vec<i64> = (0..130)
+            .filter(|&i| !live.is_deleted(i))
+            .map(|i| data[i])
+            .collect();
+        assert_eq!(count, live_vals.len());
+        assert_eq!(sum.to_bits(), sum_all(&live_vals).to_bits());
+        let (min, max) = min_max_live(&data[0..130], &live, 0).unwrap();
+        assert_eq!(Some((min, max)), min_max(&live_vals));
+    }
+
+    #[test]
+    fn masked_min_max_none_when_all_dead() {
+        let data = [5i64, 6, 7];
+        let mut live = DeleteVector::new(3, 0);
+        for i in 0..3 {
+            live.delete(i);
+        }
+        assert_eq!(min_max_live(&data, &live, 0), None);
+        assert_eq!(sum_all_live(&data, &live, 0), (0, 0.0));
+    }
+
+    #[test]
+    fn masked_value_mask_kernel_counts_live_only() {
+        let (data, live) = masked_fixture();
+        let (c, min, max, mask) =
+            count_in_range_with_minmax_and_mask_live(&data[0..100], 10, 60, 0.0, 97.0, &live, 0);
+        let want = (0..100)
+            .filter(|&i| !live.is_deleted(i) && (10..=60).contains(&data[i]))
+            .count();
+        assert_eq!(c, want);
+        let (_, rmin, rmax, rmask) =
+            count_in_range_with_minmax_and_mask(&data[0..100], 10, 60, 0.0, 97.0);
+        assert_eq!((min, max, mask), (rmin, rmax, rmask), "metadata unchanged");
+    }
+
+    #[test]
+    fn collect_live_positions_matches_filter() {
+        let (_, live) = masked_fixture();
+        let mut out = Vec::new();
+        collect_live_positions(&live, 50, 200, &mut out);
+        let want: Vec<u32> = (50..200)
+            .filter(|&i| !live.is_deleted(i))
+            .map(|i| i as u32)
+            .collect();
+        assert_eq!(out, want);
+        let mut empty = Vec::new();
+        collect_live_positions(&live, 70, 70, &mut empty);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn masked_kernels_with_all_live_vector_match_unmasked() {
+        let data: Vec<i64> = (0..200).map(|i| (i * 31) % 83).collect();
+        let live = DeleteVector::new(200, 0);
+        let (c, min, max) = count_in_range_with_minmax_live(&data, 20, 70, &live, 0);
+        assert_eq!((c, min, max), count_in_range_with_minmax(&data, 20, 70));
+        let a = aggregate_in_range_live(&data, 20, 70, &live, 0);
+        let b = aggregate_in_range(&data, 20, 70);
+        assert_eq!(a.count, b.count);
+        assert_eq!(a.sum.to_bits(), b.sum.to_bits());
+        let (n, s) = sum_all_live(&data, &live, 0);
+        assert_eq!(n, 200);
+        assert_eq!(s.to_bits(), sum_all(&data).to_bits());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed delete vector")]
+    fn masked_kernel_rejects_short_delete_vector() {
+        let data = [1i64, 2, 3];
+        let live = DeleteVector::new(2, 0);
+        count_in_range_with_minmax_live(&data, 0, 10, &live, 0);
     }
 
     #[test]

@@ -65,6 +65,18 @@ impl<T: DataValue> SharedColumn<T> {
         }
     }
 
+    /// Produces the next version with `data` as its rows — the compaction
+    /// path: live rows densely repacked replace this version wholesale,
+    /// and the version number still advances so consumers that sum shard
+    /// versions into a monotone snapshot number keep their invariant
+    /// (`new()` would restart at 0 and make the sum go backwards).
+    pub fn replace(&self, data: Vec<T>) -> SharedColumn<T> {
+        SharedColumn {
+            data: Arc::new(data),
+            version: self.version + 1,
+        }
+    }
+
     /// Bytes of column data this version holds.
     pub fn data_bytes(&self) -> usize {
         self.data.len() * std::mem::size_of::<T>()
@@ -91,6 +103,16 @@ mod tests {
         assert_eq!(v1.as_slice(), &[1, 2, 3, 4, 5]);
         assert_eq!((v0.version(), v1.version()), (0, 1));
         assert_eq!((v0.len(), v1.len()), (3, 5));
+    }
+
+    #[test]
+    fn replace_swaps_rows_and_advances_version() {
+        let v0 = SharedColumn::new(vec![1i64, 2, 3, 4]);
+        let v1 = v0.append(&[5]);
+        let compacted = v1.replace(vec![2, 4, 5]);
+        assert_eq!(compacted.as_slice(), &[2, 4, 5]);
+        assert_eq!(compacted.version(), 2);
+        assert_eq!(v1.as_slice(), &[1, 2, 3, 4, 5], "old version untouched");
     }
 
     #[test]

@@ -1,11 +1,17 @@
 //! Failure injection: the observe channel is driven with degenerate,
-//! misaligned, or stale feedback, and the indexes must stay sound.
+//! misaligned, or stale feedback, and the indexes must stay sound; the
+//! service's mutation path is driven through backpressure, deadline
+//! expiry, barrier races, and shutdown, and must stay exact.
 //!
 //! The executor always feeds honest observations, but the framework's
 //! public API cannot assume every caller does (the multi-column path
 //! already produces non-zone-aligned ranges by design). These tests pin
 //! the defensive behaviour: misaligned feedback is ignored, never
-//! incorporated.
+//! incorporated. The server-side cases pin the mutation contract under
+//! duress: a shed or expired request never returns a wrong answer, a
+//! flush barrier racing a compaction blocks both callers until exact
+//! state is published, and every mutation batch is either acknowledged
+//! (and visible) or reported lost — never silently dropped.
 
 use adaptive_data_skipping::core::adaptive::{AdaptiveConfig, AdaptiveZonemap};
 use adaptive_data_skipping::core::{
@@ -14,6 +20,10 @@ use adaptive_data_skipping::core::{
 use adaptive_data_skipping::engine::{execute, execute_reference, AggKind};
 use adaptive_data_skipping::storage::RowRange;
 use adaptive_data_skipping::workloads::data;
+use ads_server::{
+    AdaptationMode, Mutation, QueryService, Reply, Request, ServerConfig, SubmitError,
+};
+use std::time::Instant;
 
 fn config() -> AdaptiveConfig {
     AdaptiveConfig {
@@ -142,4 +152,209 @@ fn observation_with_wrong_qualifying_count_cannot_break_answers() {
         ranges: lying,
     });
     assert_sound(&mut zm, &column);
+}
+
+// --------------------------------------------------- server mutation path
+
+/// Shed admission and deadline expiry during a delete storm: a request
+/// is answered exactly, handed back as [`SubmitError::Shed`], or
+/// replied [`Reply::DeadlineMissed`] — never answered wrongly, and the
+/// storm's tombstones are never miscounted into any reply.
+#[test]
+fn shed_and_deadline_during_delete_storm() {
+    let base = data::uniform(60_000, 50_000, 7);
+    let svc = QueryService::start(
+        base.clone(),
+        ServerConfig {
+            readers: 1,
+            shards: 4,
+            queue_capacity: 2,
+            // Frozen: the zonemap never builds, every query is a full
+            // scan — the slow-consumer regime where shedding happens.
+            adaptation: AdaptationMode::Frozen,
+            ..ServerConfig::default()
+        },
+    );
+    let mut dead = vec![false; base.len()];
+    let pred = RangePredicate::between(0i64, 25_000);
+    let in_range = |v: i64| (0..=25_000).contains(&v);
+
+    let mut answered = 0u64;
+    let mut shed = 0u64;
+    for round in 0..6usize {
+        // One storm batch between bursts, acked before the next query is
+        // submitted, so every answered burst query sees exactly it.
+        let batch: Vec<Mutation<i64>> = (round * 600..round * 600 + 400)
+            .map(Mutation::Delete)
+            .collect();
+        assert_eq!(svc.mutate(batch).expect("maintenance lives"), 400);
+        for d in dead.iter_mut().skip(round * 600).take(400) {
+            *d = true;
+        }
+        let want = base
+            .iter()
+            .zip(&dead)
+            .filter(|&(&v, &d)| !d && in_range(v))
+            .count() as u64;
+
+        // A burst into a 2-slot queue with one slow reader: some of these
+        // are shed; the rest must answer exactly.
+        let mut tickets = Vec::new();
+        for _ in 0..24 {
+            match svc.submit(Request::new(pred, AggKind::Count)) {
+                Ok(t) => tickets.push(t),
+                Err(SubmitError::Shed(_)) => shed += 1,
+                Err(SubmitError::ShuttingDown(_)) => panic!("not shutting down"),
+            }
+        }
+        for t in tickets {
+            match t.wait() {
+                Reply::Answer { answer, .. } => {
+                    assert_eq!(answer.count, want, "round {round}: storm miscounted");
+                    answered += 1;
+                }
+                Reply::DeadlineMissed => panic!("no deadline set"),
+            }
+        }
+    }
+    assert!(answered > 0, "no burst query was ever answered");
+
+    // An already-expired deadline is reported, not answered — and never
+    // wrongly: the service keeps answering exactly afterwards.
+    let expired = Request {
+        predicate: pred,
+        agg: AggKind::Count,
+        deadline: Some(Instant::now()),
+    };
+    match svc.submit(expired).expect("queue is idle").wait() {
+        Reply::DeadlineMissed => {}
+        Reply::Answer { .. } => panic!("expired request was scanned anyway"),
+    }
+    let want = base
+        .iter()
+        .zip(&dead)
+        .filter(|&(&v, &d)| !d && in_range(v))
+        .count() as u64;
+    let reply = svc.query(pred, AggKind::Count).expect("closed loop");
+    assert_eq!(reply.answer().expect("no deadline").count, want);
+
+    let stats = svc.shutdown();
+    assert_eq!(stats.shed, shed, "every shed must be counted");
+    assert!(stats.deadline_missed >= 1);
+    assert_eq!(stats.deltas_pending, 0, "acked deltas left pending");
+}
+
+/// A flush barrier racing an explicit compaction: both block until
+/// their state is published, queries concurrent with the race answer
+/// exactly throughout (value aggregates are invariant under
+/// compaction), and afterwards the store is fully reclaimed.
+#[test]
+fn flush_barrier_racing_compaction_stays_exact() {
+    let base = data::sorted(40_000, 50_000);
+    let svc = QueryService::start(
+        base.clone(),
+        ServerConfig {
+            readers: 2,
+            shards: 4,
+            ..ServerConfig::default()
+        },
+    );
+    // Tombstone a contiguous band, acked before the race starts.
+    let batch: Vec<Mutation<i64>> = (1_000..3_000).map(Mutation::Delete).collect();
+    assert_eq!(svc.mutate(batch).expect("maintenance lives"), 2_000);
+    let pred = RangePredicate::between(0i64, 20_000);
+    let want: u64 = base
+        .iter()
+        .enumerate()
+        .filter(|&(i, &v)| !(1_000..3_000).contains(&i) && (0..=20_000).contains(&v))
+        .count() as u64;
+
+    std::thread::scope(|scope| {
+        let compactor = scope.spawn(|| svc.compact().expect("maintenance lives"));
+        let flusher = scope.spawn(|| svc.flush());
+        // Queries racing both barriers: compaction moves rows, never
+        // answers.
+        for _ in 0..20 {
+            let reply = svc.query(pred, AggKind::Count).expect("closed loop");
+            assert_eq!(
+                reply.answer().expect("no deadline").count,
+                want,
+                "answer drifted during the flush/compaction race"
+            );
+        }
+        assert_eq!(compactor.join().expect("no panic"), 2_000);
+        flusher.join().expect("no panic");
+    });
+
+    // The race settled into a fully-reclaimed store: nothing left to
+    // compact, answers unchanged.
+    assert_eq!(svc.compact().expect("maintenance lives"), 0);
+    let reply = svc.query(pred, AggKind::Count).expect("closed loop");
+    assert_eq!(reply.answer().expect("no deadline").count, want);
+    let stats = svc.shutdown();
+    assert_eq!(stats.rows_reclaimed, 2_000);
+    assert_eq!(stats.deltas_pending, 0);
+}
+
+/// Shutdown after concurrent mutators: every batch a mutator submitted
+/// was acknowledged with its exact applied count before `mutate`
+/// returned — so at shutdown nothing is pending, nothing was silently
+/// dropped, and the survivors are exactly the undeleted rows.
+#[test]
+fn shutdown_accounts_for_every_queued_mutation() {
+    let base = data::uniform(30_000, 50_000, 11);
+    let rows = base.len();
+    let svc = QueryService::start(
+        base,
+        ServerConfig {
+            readers: 2,
+            shards: 8,
+            ..ServerConfig::default()
+        },
+    );
+
+    // Four mutators over disjoint rowid bands (so applied counts are
+    // deterministic), racing a reader thread.
+    std::thread::scope(|scope| {
+        for t in 0..4usize {
+            let svc = &svc;
+            scope.spawn(move || {
+                for chunk in 0..10 {
+                    let start = t * 1_000 + chunk * 100;
+                    let batch: Vec<Mutation<i64>> =
+                        (start..start + 50).map(Mutation::Delete).collect();
+                    // The ack-or-Lost contract: a live service always
+                    // acks, and with the exact applied count.
+                    assert_eq!(svc.mutate(batch).expect("maintenance lives"), 50);
+                }
+            });
+        }
+        let svc = &svc;
+        scope.spawn(move || {
+            for _ in 0..30 {
+                let reply = svc
+                    .query(RangePredicate::all(), AggKind::Count)
+                    .expect("closed loop");
+                // Racing deletes: the count is some prefix of the storm,
+                // never more than the store or less than the survivors.
+                let count = reply.answer().expect("no deadline").count;
+                assert!(count <= rows as u64);
+                assert!(count >= (rows - 2_000) as u64);
+            }
+        });
+    });
+
+    // All mutators acked: the survivors are exact.
+    let reply = svc
+        .query(RangePredicate::all(), AggKind::Count)
+        .expect("closed loop");
+    assert_eq!(
+        reply.answer().expect("no deadline").count,
+        (rows - 2_000) as u64
+    );
+
+    let stats = svc.shutdown();
+    assert_eq!(stats.mutations_applied, 2_000);
+    assert_eq!(stats.deltas_pending, 0, "unacked mutations at shutdown");
+    assert_eq!(stats.tombstone_ppm, (2_000 * 1_000_000 / rows) as u64);
 }
