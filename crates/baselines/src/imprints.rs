@@ -1,37 +1,23 @@
 //! Column imprints (Sidirourgos & Kersten, SIGMOD 2013): cache-line-level
 //! bit sketches over a value histogram.
 //!
-//! For every cache line of the column, an *imprint* records — as a 64-bit
-//! mask — which histogram bins the line's values fall into. A predicate
-//! maps to a bin mask; lines whose imprint does not intersect the mask are
-//! skipped. Consecutive identical imprints are run-length compressed, which
-//! both shrinks metadata and lets pruning decide whole runs at once.
-//!
-//! This is the main non-adaptive alternative to zonemaps for in-memory
-//! skipping and serves as a baseline in the evaluation.
+//! The bit machinery (histogram bins, per-line imprints, RLE runs, run
+//! classification) lives in [`ads_storage::Imprints`], where the adaptive
+//! zonemap's per-zone imprint tier shares it. This wrapper is the
+//! whole-column, eagerly-built baseline: it translates run verdicts into
+//! the [`SkippingIndex`] prune protocol and serves as the main
+//! non-adaptive alternative to zonemaps in the evaluation.
 
 use ads_core::{PruneOutcome, RangePredicate, SkippingIndex};
-use ads_storage::{DataValue, RangeSet};
+use ads_storage::{DataValue, Imprints, RangeSet, RunVerdict};
 
 /// Maximum number of histogram bins (one bit each in a 64-bit imprint).
-pub const MAX_BINS: usize = 64;
-
-/// A run of consecutive cache lines sharing one imprint.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct ImprintRun {
-    imprint: u64,
-    lines: u32,
-}
+pub const MAX_BINS: usize = ads_storage::imprint::MAX_BINS;
 
 /// Column imprints over one column.
 #[derive(Debug, Clone)]
 pub struct ColumnImprints<T: DataValue> {
-    /// Ascending bin boundaries; `boundaries.len() + 1` bins. Bin `k` holds
-    /// values `v` with exactly `k` boundaries `<= v`.
-    boundaries: Vec<T>,
-    values_per_line: usize,
-    runs: Vec<ImprintRun>,
-    len: usize,
+    sketch: Imprints<T>,
 }
 
 impl<T: DataValue> ColumnImprints<T> {
@@ -41,94 +27,21 @@ impl<T: DataValue> ColumnImprints<T> {
     /// # Panics
     /// Panics if `values_per_line == 0` or `num_bins` is not in `2..=64`.
     pub fn build(data: &[T], values_per_line: usize, num_bins: usize) -> Self {
-        assert!(values_per_line > 0, "values_per_line must be positive");
-        assert!(
-            (2..=MAX_BINS).contains(&num_bins),
-            "num_bins must be in 2..=64"
-        );
-        let boundaries = equi_depth_boundaries(data, num_bins);
-        let mut imp = ColumnImprints {
-            boundaries,
-            values_per_line,
-            runs: Vec::new(),
-            len: 0,
-        };
-        imp.extend_lines_from(0, data);
-        imp
+        ColumnImprints {
+            sketch: Imprints::build(data, values_per_line, num_bins),
+        }
     }
 
     /// Default parameters: 8-value lines (one i64 cache line), 64 bins.
     pub fn with_defaults(data: &[T]) -> Self {
-        ColumnImprints::build(data, 8, MAX_BINS)
+        ColumnImprints {
+            sketch: Imprints::with_defaults(data),
+        }
     }
 
     /// Number of compressed imprint runs (probe cost per query).
     pub fn num_runs(&self) -> usize {
-        self.runs.len()
-    }
-
-    /// Bin index of a value: the number of boundaries `<= v`.
-    fn bin_of(&self, v: T) -> usize {
-        self.boundaries.partition_point(|b| b.le_total(&v))
-    }
-
-    /// Imprint of the rows in `[start, end)`.
-    fn line_imprint(&self, data: &[T], start: usize, end: usize) -> u64 {
-        let mut imp = 0u64;
-        for &v in &data[start..end] {
-            imp |= 1u64 << self.bin_of(v);
-        }
-        imp
-    }
-
-    /// Appends an imprint run for one line, RLE-merging with the tail.
-    fn rle_push(&mut self, imprint: u64) {
-        match self.runs.last_mut() {
-            Some(run) if run.imprint == imprint && run.lines < u32::MAX => run.lines += 1,
-            _ => self.runs.push(ImprintRun { imprint, lines: 1 }),
-        }
-    }
-
-    /// Recomputes imprints for all lines from line `first_line` to the end
-    /// of `base`, replacing whatever runs covered them.
-    fn extend_lines_from(&mut self, first_line: usize, base: &[T]) {
-        // Truncate runs down to exactly `first_line` lines.
-        let mut kept_lines = 0usize;
-        let mut kept_runs = 0usize;
-        for run in &self.runs {
-            if kept_lines + run.lines as usize <= first_line {
-                kept_lines += run.lines as usize;
-                kept_runs += 1;
-            } else {
-                break;
-            }
-        }
-        self.runs.truncate(kept_runs);
-        assert_eq!(
-            kept_lines, first_line,
-            "first_line must fall on a run boundary (callers split first)"
-        );
-
-        let vpl = self.values_per_line;
-        let mut start = first_line * vpl;
-        while start < base.len() {
-            let end = (start + vpl).min(base.len());
-            let imprint = self.line_imprint(base, start, end);
-            self.rle_push(imprint);
-            start = end;
-        }
-        self.len = base.len();
-    }
-
-    /// Bit mask with bits `a..=b` set.
-    fn bits_between(a: usize, b: usize) -> u64 {
-        debug_assert!(a <= b && b < 64);
-        let width = b - a + 1;
-        if width == 64 {
-            u64::MAX
-        } else {
-            ((1u64 << width) - 1) << a
-        }
+        self.sketch.num_runs()
     }
 }
 
@@ -136,8 +49,8 @@ impl<T: DataValue> SkippingIndex<T> for ColumnImprints<T> {
     fn name(&self) -> String {
         format!(
             "imprints({}x{})",
-            self.values_per_line,
-            self.boundaries.len() + 1
+            self.sketch.values_per_line(),
+            self.sketch.num_bins()
         )
     }
 
@@ -146,110 +59,33 @@ impl<T: DataValue> SkippingIndex<T> for ColumnImprints<T> {
     }
 
     fn prune(&mut self, pred: &RangePredicate<T>) -> PruneOutcome {
-        let lo_bin = self.bin_of(pred.lo);
-        let hi_bin = self.bin_of(pred.hi);
-        let mask = Self::bits_between(lo_bin, hi_bin);
-        // Bins strictly between the predicate's edge bins hold only
-        // qualifying values; lines composed purely of interior bins match
-        // in full.
-        let interior = if hi_bin >= lo_bin + 2 {
-            Self::bits_between(lo_bin + 1, hi_bin - 1)
-        } else {
-            0
-        };
-
         let mut out = PruneOutcome {
             must_scan: RangeSet::with_capacity(16),
             scan_units: Vec::new(),
             mask_requests: Vec::new(),
             full_match: RangeSet::with_capacity(4),
             reorg_units: Vec::new(),
-            zones_probed: self.runs.len(),
+            zones_probed: self.sketch.num_runs(),
             zones_skipped: 0,
         };
-        let vpl = self.values_per_line;
-        let mut line = 0usize;
-        for run in &self.runs {
-            let start = (line * vpl).min(self.len);
-            line += run.lines as usize;
-            let end = (line * vpl).min(self.len);
-            if run.imprint & mask == 0 {
-                out.zones_skipped += 1;
-            } else if run.imprint & !interior == 0 {
-                out.full_match.push_span(start, end);
-            } else {
-                out.must_scan.push_span(start, end);
-            }
-        }
+        self.sketch
+            .classify(pred.lo, pred.hi, |range, verdict| match verdict {
+                RunVerdict::Skip => out.zones_skipped += 1,
+                RunVerdict::FullMatch => out.full_match.push_span(range.start, range.end),
+                RunVerdict::Scan => out.must_scan.push_span(range.start, range.end),
+            });
         out
     }
 
     fn on_append(&mut self, _appended: &[T], base: &[T]) {
-        // The line containing the old tail may have been partial; rebuild
-        // from that line onward. Bin boundaries stay fixed — imprints do
-        // not adapt to domain drift, which E9 reports honestly.
-        let first_dirty_line = self.len / self.values_per_line;
-        // extend_lines_from requires a run boundary at first_dirty_line;
-        // ensure it by splitting the tail run if needed.
-        self.split_runs_at_line(first_dirty_line);
-        self.extend_lines_from(first_dirty_line, base);
+        // Bin boundaries stay fixed — imprints do not adapt to domain
+        // drift, which E9 reports honestly.
+        self.sketch.extend(base);
     }
 
     fn metadata_bytes(&self) -> usize {
-        self.runs.capacity() * std::mem::size_of::<ImprintRun>()
-            + self.boundaries.capacity() * std::mem::size_of::<T>()
+        self.sketch.metadata_bytes()
     }
-}
-
-impl<T: DataValue> ColumnImprints<T> {
-    /// Splits whichever run straddles `line` so that a run boundary exists
-    /// exactly there.
-    fn split_runs_at_line(&mut self, line: usize) {
-        let mut acc = 0usize;
-        for i in 0..self.runs.len() {
-            let run_lines = self.runs[i].lines as usize;
-            if acc + run_lines > line {
-                let before = (line - acc) as u32;
-                if before > 0 {
-                    let imprint = self.runs[i].imprint;
-                    self.runs[i].lines -= before;
-                    self.runs.insert(
-                        i,
-                        ImprintRun {
-                            imprint,
-                            lines: before,
-                        },
-                    );
-                }
-                return;
-            }
-            acc += run_lines;
-        }
-    }
-}
-
-/// Approximate equi-depth bin boundaries from a (possibly sampled) copy of
-/// the data. Returns strictly increasing boundaries, at most `num_bins - 1`.
-fn equi_depth_boundaries<T: DataValue>(data: &[T], num_bins: usize) -> Vec<T> {
-    if data.is_empty() {
-        return Vec::new();
-    }
-    const SAMPLE_CAP: usize = 8192;
-    let step = data.len().div_ceil(SAMPLE_CAP).max(1);
-    let mut sample: Vec<T> = data.iter().step_by(step).copied().collect();
-    sample.sort_unstable_by(|a, b| a.total_cmp(b));
-    let mut boundaries = Vec::with_capacity(num_bins - 1);
-    for k in 1..num_bins {
-        let idx = k * sample.len() / num_bins;
-        let candidate = sample[idx.min(sample.len() - 1)];
-        if boundaries
-            .last()
-            .is_none_or(|last: &T| last.lt_total(&candidate))
-        {
-            boundaries.push(candidate);
-        }
-    }
-    boundaries
 }
 
 #[cfg(test)]
@@ -347,28 +183,6 @@ mod tests {
         imp.on_append(&newvals, &data);
         check_sound(&mut imp, &data, RangePredicate::between(900_000, 1_000_000));
         check_sound(&mut imp, &data, RangePredicate::point(5));
-    }
-
-    #[test]
-    fn bin_of_boundaries() {
-        let data: Vec<i64> = (0..1024).collect();
-        let imp = ColumnImprints::build(&data, 8, 4);
-        // Monotone non-decreasing bin assignment.
-        let mut prev = 0;
-        for v in [0i64, 100, 500, 900, 1023] {
-            let b = imp.bin_of(v);
-            assert!(b >= prev);
-            prev = b;
-        }
-        assert!(imp.bin_of(i64::MIN) == 0);
-        assert_eq!(imp.bin_of(i64::MAX), imp.boundaries.len());
-    }
-
-    #[test]
-    fn bits_between_edges() {
-        assert_eq!(ColumnImprints::<i64>::bits_between(0, 63), u64::MAX);
-        assert_eq!(ColumnImprints::<i64>::bits_between(0, 0), 1);
-        assert_eq!(ColumnImprints::<i64>::bits_between(3, 5), 0b111000);
     }
 
     #[test]

@@ -1,0 +1,76 @@
+//! Emits the machine-readable metadata-tier baseline (E21).
+//!
+//! ```text
+//! sketches_json                               # 2M rows, 600 q/cell -> results/BENCH_sketches.json
+//! sketches_json --rows 20000 --queries 40     # smoke scale
+//! sketches_json --out path.json --markdown    # custom path + README table on stdout
+//! ```
+
+#![forbid(unsafe_code)]
+
+use ads_bench::sketch_bench;
+use std::path::PathBuf;
+
+fn usage() -> ! {
+    eprintln!("usage: sketches_json [--rows N] [--queries N] [--out PATH] [--markdown]");
+    std::process::exit(2)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut rows: usize = 2_000_000;
+    let mut queries: usize = 600;
+    let mut out_path = PathBuf::from("results/BENCH_sketches.json");
+    let mut markdown = false;
+
+    let mut i = 0;
+    while i < args.len() {
+        let take_value = |i: &mut usize| -> String {
+            *i += 1;
+            args.get(*i).cloned().unwrap_or_else(|| usage())
+        };
+        match args[i].as_str() {
+            "--rows" => rows = take_value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--queries" => queries = take_value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--out" => out_path = PathBuf::from(take_value(&mut i)),
+            "--markdown" => markdown = true,
+            _ => usage(),
+        }
+        i += 1;
+    }
+    if rows == 0 || queries == 0 {
+        usage();
+    }
+
+    let report = sketch_bench::run(rows, queries, 1_000_000, 42);
+
+    if let Some(dir) = out_path.parent() {
+        if !dir.as_os_str().is_empty() {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("error: could not create {}: {e}", dir.display());
+                std::process::exit(1);
+            }
+        }
+    }
+    if let Err(e) = std::fs::write(&out_path, report.to_json()) {
+        eprintln!("error: could not write {}: {e}", out_path.display());
+        std::process::exit(1);
+    }
+    println!("\nwrote {}", out_path.display());
+
+    if markdown {
+        println!("\n{}", report.to_markdown());
+    }
+    if !report.bloom_wins_a_cell() {
+        eprintln!("note: the bloom tier did not win any cell");
+    }
+    if !report.imprint_wins_a_cell() {
+        eprintln!("note: the imprint tier did not win any cell");
+    }
+    if !report.adaptive_within_factor(1.25) {
+        eprintln!("note: the adaptive chooser exceeded 1.25x the per-cell best");
+    }
+    if !report.useless_tiers_dropped() {
+        eprintln!("note: tiers survived the null cell");
+    }
+}

@@ -1,6 +1,6 @@
 //! # ads-bench — the experiment harness
 //!
-//! One runner per table/figure of the reconstructed evaluation (E1–E19 in
+//! One runner per table/figure of the reconstructed evaluation (E1–E21 in
 //! DESIGN.md), plus microbenches under `benches/` built on the local
 //! [`microbench`] timing harness. Run with:
 //!
@@ -24,6 +24,7 @@ pub mod report;
 pub mod runner;
 pub mod server_bench;
 pub mod shard_bench;
+pub mod sketch_bench;
 
 pub use report::Report;
 pub use runner::{replay, replay_agg, replay_with_policy, ReplayResult, Scale};

@@ -1,0 +1,417 @@
+//! E21 machinery — per-zone metadata tiers (bloom sketches and column
+//! imprints), emitted as the machine-readable `ads-sketch-bench/v1`
+//! document (`results/BENCH_sketches.json`).
+//!
+//! The measurement is the engine's inline loop (prune → scan → observe →
+//! maintain), so every mode pays its tier builds, probes, and drops on
+//! the query path. Four workload cells are each swept over four tier
+//! policies:
+//!
+//! * **points** — equality probes on uniform data: zone bounds are wide,
+//!   so `(min, max)` never skips, but almost no zone actually holds the
+//!   probed value. The bloom tier's home turf.
+//! * **ranges-sawtooth** — mid-selectivity ranges on sawtooth data whose
+//!   ascending runs are much shorter than a zone: zone bounds cover the
+//!   whole domain, but per-cache-line bounds are tight. The imprint
+//!   tier's home turf.
+//! * **mixed** — points and ranges interleaved 3:2 on uniform data; the
+//!   per-zone chooser must read the predicate shape and pick the paying
+//!   tier.
+//! * **ranges-uniform** — mid-selectivity ranges on uniform data: no
+//!   sub-zone structure exists for any tier to exploit. The null cell —
+//!   tiers must be dropped and the drop-side overhead must stay noise.
+//!
+//! Tier modes: `off` (plain adaptive zonemap), `bloom` / `imprint`
+//! (forced single-tier ablations), and `adaptive` (the shipped
+//! shape-driven chooser). Two things are under test. **Equivalence** —
+//! per-cell answer checksums (counts plus exact sum bit patterns) must
+//! be identical across all four modes; `run` asserts it, the report
+//! re-checks it. **The policy** — each tier must win the cell built for
+//! it, the chooser must stay within a small factor of the best forced
+//! mode everywhere, and the null cell must drop its tiers.
+
+use ads_core::adaptive::{AdaptiveConfig, AdaptiveZonemap, TierMode};
+use ads_core::RangePredicate;
+use ads_engine::{execute_with_policy, AggKind, ExecPolicy};
+use ads_workloads::{data, queries};
+use std::fmt::Write;
+use std::time::Instant;
+
+/// Tier policies each workload cell is swept over.
+pub const MODES: &[&str] = &["off", "bloom", "imprint", "adaptive"];
+
+/// Workload cell labels, in grid order.
+pub const WORKLOADS: &[&str] = &["points", "ranges-sawtooth", "mixed", "ranges-uniform"];
+
+/// One measured (workload, mode) cell.
+#[derive(Debug, Clone)]
+pub struct SketchCell {
+    /// Workload label (see [`WORKLOADS`]).
+    pub workload: String,
+    /// Tier policy label (see [`MODES`]).
+    pub mode: String,
+    /// Queries answered.
+    pub queries: u64,
+    /// Total wall time of the query loop, tier maintenance included.
+    pub elapsed_ns: u64,
+    /// Rows the scan phase actually touched across all queries.
+    pub rows_scanned: u64,
+    /// Bloom sketches built.
+    pub blooms_built: u64,
+    /// Imprint sketches built.
+    pub imprints_built: u64,
+    /// Tiers dropped by the feedback policy.
+    pub tiers_dropped: u64,
+    /// Tier consultations that excluded at least one row.
+    pub tier_skips: u64,
+    /// Rows excluded by tiers that `(min, max)` bounds could not.
+    pub tier_rows_excluded: u64,
+    /// Zones still carrying a tier when the stream ended.
+    pub zones_tiered_end: u64,
+    /// Order-independent answer checksum (counts + exact sum bits);
+    /// must agree across modes within a workload.
+    pub checksum: u64,
+}
+
+/// The full E21 result set.
+#[derive(Debug, Clone)]
+pub struct SketchBenchReport {
+    /// Rows per column.
+    pub rows: usize,
+    /// Queries per cell.
+    pub queries_per_cell: usize,
+    /// Value domain.
+    pub domain: i64,
+    /// Measured cells, mode-major within each workload.
+    pub cells: Vec<SketchCell>,
+}
+
+impl SketchBenchReport {
+    /// Cell lookup by coordinates.
+    fn cell(&self, workload: &str, mode: &str) -> Option<&SketchCell> {
+        self.cells
+            .iter()
+            .find(|c| c.workload == workload && c.mode == mode)
+    }
+
+    /// True when the forced `mode` is strictly faster than `off` and the
+    /// other forced tier on at least one workload cell — with the skip
+    /// counters showing the win came from the tier, not timing noise.
+    /// The `adaptive` chooser is excluded from the comparison: on a
+    /// cell's home turf it picks the same tier and does identical work,
+    /// so forced-vs-adaptive ordering is a coin flip.
+    fn wins_some_cell(&self, mode: &str) -> bool {
+        WORKLOADS.iter().any(|w| {
+            self.cell(w, mode).is_some_and(|c| {
+                c.tier_skips > 0
+                    && MODES
+                        .iter()
+                        .filter(|&&m| m != mode && m != "adaptive")
+                        .filter_map(|m| self.cell(w, m))
+                        .all(|other| c.elapsed_ns < other.elapsed_ns)
+            })
+        })
+    }
+
+    /// Acceptance: the bloom tier wins at least one cell outright.
+    pub fn bloom_wins_a_cell(&self) -> bool {
+        self.wins_some_cell("bloom")
+    }
+
+    /// Acceptance: the imprint tier wins at least one cell outright.
+    pub fn imprint_wins_a_cell(&self) -> bool {
+        self.wins_some_cell("imprint")
+    }
+
+    /// Acceptance: in every workload cell the shape-driven chooser stays
+    /// within `factor` of the best policy for that cell.
+    pub fn adaptive_within_factor(&self, factor: f64) -> bool {
+        WORKLOADS.iter().all(|w| {
+            let Some(adaptive) = self.cell(w, "adaptive") else {
+                return false;
+            };
+            let best = MODES
+                .iter()
+                .filter_map(|m| self.cell(w, m))
+                .map(|c| c.elapsed_ns)
+                .min()
+                .unwrap_or(0);
+            adaptive.elapsed_ns as f64 <= factor * best as f64
+        })
+    }
+
+    /// Acceptance: on the null cell (uniform ranges) every enabled mode
+    /// builds tiers, finds them hitless, and drops them.
+    pub fn useless_tiers_dropped(&self) -> bool {
+        MODES.iter().filter(|&&m| m != "off").all(|m| {
+            self.cell("ranges-uniform", m)
+                .is_some_and(|c| c.tiers_dropped > 0)
+        })
+    }
+
+    /// Acceptance: answer checksums agree across all four modes in
+    /// every workload cell.
+    pub fn answers_identical_across_modes(&self) -> bool {
+        self.cells.iter().all(|c| {
+            MODES
+                .iter()
+                .filter_map(|m| self.cell(&c.workload, m))
+                .all(|other| other.checksum == c.checksum)
+        })
+    }
+
+    /// Renders the `ads-sketch-bench/v1` JSON document.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(4096);
+        s.push_str("{\n");
+        s.push_str("  \"schema\": \"ads-sketch-bench/v1\",\n");
+        let _ = writeln!(s, "  \"rows\": {},", self.rows);
+        let _ = writeln!(s, "  \"queries_per_cell\": {},", self.queries_per_cell);
+        let _ = writeln!(s, "  \"domain\": {},", self.domain);
+        let _ = writeln!(s, "  \"bloom_wins_a_cell\": {},", self.bloom_wins_a_cell());
+        let _ = writeln!(
+            s,
+            "  \"imprint_wins_a_cell\": {},",
+            self.imprint_wins_a_cell()
+        );
+        let _ = writeln!(
+            s,
+            "  \"adaptive_within_1_25_of_best\": {},",
+            self.adaptive_within_factor(1.25)
+        );
+        let _ = writeln!(
+            s,
+            "  \"useless_tiers_dropped\": {},",
+            self.useless_tiers_dropped()
+        );
+        let _ = writeln!(
+            s,
+            "  \"answers_identical_across_modes\": {},",
+            self.answers_identical_across_modes()
+        );
+        s.push_str("  \"cells\": [\n");
+        for (i, c) in self.cells.iter().enumerate() {
+            let _ = write!(
+                s,
+                "    {{\"workload\": \"{}\", \"mode\": \"{}\", \"queries\": {}, \
+                 \"elapsed_ns\": {}, \"rows_scanned\": {}, \"blooms_built\": {}, \
+                 \"imprints_built\": {}, \"tiers_dropped\": {}, \"tier_skips\": {}, \
+                 \"tier_rows_excluded\": {}, \"zones_tiered_end\": {}, \"checksum\": {}}}",
+                c.workload,
+                c.mode,
+                c.queries,
+                c.elapsed_ns,
+                c.rows_scanned,
+                c.blooms_built,
+                c.imprints_built,
+                c.tiers_dropped,
+                c.tier_skips,
+                c.tier_rows_excluded,
+                c.zones_tiered_end,
+                c.checksum,
+            );
+            s.push_str(if i + 1 < self.cells.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// Renders the README's metadata-tier table.
+    pub fn to_markdown(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "| Workload | Mode | total ms | Mrows scanned | built (b/i) | \
+             dropped | tier skips | Mrows excluded |"
+        );
+        let _ = writeln!(s, "|---|---|---:|---:|---:|---:|---:|---:|");
+        for c in &self.cells {
+            let _ = writeln!(
+                s,
+                "| {} | {} | {:.1} | {:.2} | {}/{} | {} | {} | {:.2} |",
+                c.workload,
+                c.mode,
+                c.elapsed_ns as f64 / 1e6,
+                c.rows_scanned as f64 / 1e6,
+                c.blooms_built,
+                c.imprints_built,
+                c.tiers_dropped,
+                c.tier_skips,
+                c.tier_rows_excluded as f64 / 1e6,
+            );
+        }
+        s
+    }
+}
+
+/// The four tier policies as zonemap configurations. Structural
+/// adaptation (split / merge / deactivate) is pinned off in *every*
+/// mode: these workloads are built so `(min, max)` bounds cannot skip,
+/// which makes the structural policies churn the layout (merging
+/// never-skipping zones, splitting without bound improvement) and clear
+/// tiers mid-window — identically in all modes, but drowning the tier
+/// signal the grid exists to measure. The tier × structural-adaptation
+/// interplay is covered by `tests/metadata_tiers.rs`, which runs with
+/// structural adaptation on.
+fn mode_config(mode: &str) -> AdaptiveConfig {
+    let tier_mode = match mode {
+        "off" => TierMode::Off,
+        "bloom" => TierMode::Bloom,
+        "imprint" => TierMode::Imprint,
+        "adaptive" => TierMode::Adaptive,
+        other => unreachable!("unknown mode {other}"),
+    };
+    AdaptiveConfig {
+        tier_mode,
+        enable_split: false,
+        enable_merge: false,
+        enable_deactivate: false,
+        ..AdaptiveConfig::default()
+    }
+}
+
+/// The query stream for one workload cell.
+fn stream_for(workload: &str, count: usize, domain: i64, seed: u64) -> Vec<queries::RangeQuery> {
+    match workload {
+        "points" => queries::point_queries(count, domain, seed),
+        // Mid-selectivity ranges; zone bounds on sawtooth/uniform data
+        // cover the whole domain, so skipping must come from tiers.
+        "ranges-sawtooth" | "ranges-uniform" => queries::uniform_ranges(count, domain, 0.05, seed),
+        // 3:2 points to ranges, so the per-zone point fraction sits
+        // robustly above the chooser threshold where bloom pays.
+        "mixed" => {
+            let points = queries::point_queries(count, domain, seed);
+            let ranges = queries::uniform_ranges(count, domain, 0.05, seed ^ 0x9E37);
+            (0..count)
+                .map(|i| if i % 5 < 3 { points[i] } else { ranges[i] })
+                .collect()
+        }
+        other => unreachable!("unknown workload {other}"),
+    }
+}
+
+/// The column for one workload cell.
+fn data_for(workload: &str, rows: usize, domain: i64, seed: u64) -> Vec<i64> {
+    match workload {
+        // Ascending runs of ~400 rows: far shorter than a zone, far
+        // longer than an imprint cache line — zone bounds are useless,
+        // line bounds are tight.
+        "ranges-sawtooth" => data::sawtooth(rows, (rows / 400).max(2), domain),
+        "points" | "mixed" | "ranges-uniform" => data::uniform(rows, domain, seed),
+        other => unreachable!("unknown workload {other}"),
+    }
+}
+
+/// Runs one (workload, mode) cell through the engine's inline loop,
+/// alternating COUNT and SUM so both the count path and the
+/// order-sensitive aggregation path are exercised.
+fn run_cell(
+    data: &[i64],
+    stream: &[queries::RangeQuery],
+    workload: &str,
+    mode: &str,
+) -> SketchCell {
+    let mut zm = AdaptiveZonemap::new(data.len(), mode_config(mode));
+    let policy = ExecPolicy::sequential();
+    let mut checksum = 0u64;
+    let mut rows_scanned = 0u64;
+    let t0 = Instant::now();
+    for (i, q) in stream.iter().enumerate() {
+        let pred = RangePredicate::between(q.lo, q.hi);
+        let agg = if i % 2 == 0 {
+            AggKind::Count
+        } else {
+            AggKind::Sum
+        };
+        let (ans, m) = execute_with_policy(data, &mut zm, pred, agg, &policy);
+        checksum = checksum
+            .wrapping_mul(0x0100_0000_01B3)
+            .wrapping_add(ans.count)
+            .wrapping_add(ans.sum.map_or(0, f64::to_bits));
+        rows_scanned += m.rows_scanned as u64;
+    }
+    let elapsed_ns = t0.elapsed().as_nanos() as u64;
+    let st = zm.tier_stats();
+    SketchCell {
+        workload: workload.to_string(),
+        mode: mode.to_string(),
+        queries: stream.len() as u64,
+        elapsed_ns,
+        rows_scanned,
+        blooms_built: st.blooms_built,
+        imprints_built: st.imprints_built,
+        tiers_dropped: st.tiers_dropped,
+        tier_skips: st.tier_skips,
+        tier_rows_excluded: st.tier_rows_excluded,
+        zones_tiered_end: zm.zones_tiered() as u64,
+        checksum,
+    }
+}
+
+/// Runs the full grid: [`WORKLOADS`] × [`MODES`], asserting answer
+/// equivalence across modes in every workload cell.
+pub fn run(rows: usize, queries_per_cell: usize, domain: i64, seed: u64) -> SketchBenchReport {
+    let mut report = SketchBenchReport {
+        rows,
+        queries_per_cell,
+        domain,
+        cells: Vec::new(),
+    };
+
+    for &workload in WORKLOADS {
+        let data = data_for(workload, rows, domain, seed);
+        let stream = stream_for(workload, queries_per_cell, domain, seed.wrapping_add(1));
+        let mut reference: Option<u64> = None;
+        for &mode in MODES {
+            eprintln!("  e21: {workload} {mode}");
+            let cell = run_cell(&data, &stream, workload, mode);
+            match reference {
+                Some(want) => assert_eq!(
+                    cell.checksum, want,
+                    "{workload}/{mode}: answers diverged from off"
+                ),
+                None => reference = Some(cell.checksum),
+            }
+            report.cells.push(cell);
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_grid_runs_and_serialises() {
+        let report = run(40_000, 24, 10_000, 7);
+        assert_eq!(report.cells.len(), WORKLOADS.len() * MODES.len());
+        assert!(report.answers_identical_across_modes());
+        let json = report.to_json();
+        assert!(json.contains("\"schema\": \"ads-sketch-bench/v1\""));
+        assert!(json.contains("\"mode\": \"adaptive\""));
+        assert!(!report.to_markdown().is_empty());
+        for c in &report.cells {
+            assert_eq!(c.queries, 24);
+            assert!(c.elapsed_ns > 0);
+            if c.mode == "off" {
+                assert_eq!(
+                    c.blooms_built + c.imprints_built,
+                    0,
+                    "off mode built a tier"
+                );
+                assert_eq!(c.tier_skips, 0);
+            }
+            if c.mode == "bloom" {
+                assert_eq!(c.imprints_built, 0, "forced bloom built an imprint");
+            }
+            if c.mode == "imprint" {
+                assert_eq!(c.blooms_built, 0, "forced imprint built a bloom");
+            }
+        }
+    }
+}

@@ -43,7 +43,7 @@ commands:
   load <dist> <rows>         load a column: sorted | semi | clustered | uniform |
                              zipf | sawtooth | mixed
   strategy <name> [param]    fullscan | static [zone_rows] | adaptive | reorg |
-                             lazy | imprints | cracking | oracle |
+                             tiers | lazy | imprints | cracking | oracle |
                              activated-static [zone_rows]
   count <lo> <hi>            COUNT rows with lo <= v <= hi
   sum <lo> <hi>              SUM of qualifying values
@@ -89,6 +89,7 @@ impl Repl {
             "static" => Strategy::StaticZonemap { zone_rows },
             "adaptive" => Strategy::Adaptive(AdaptiveConfig::default()),
             "reorg" => Strategy::Adaptive(AdaptiveConfig::with_reorg()),
+            "tiers" => Strategy::Adaptive(AdaptiveConfig::with_tiers()),
             "lazy" => Strategy::Adaptive(AdaptiveConfig::lazy_only()),
             "imprints" => Strategy::Imprints {
                 values_per_line: 8,
@@ -197,7 +198,7 @@ impl Repl {
             "strategy" => {
                 let Some(strategy) = words.get(1).and_then(|_| Self::parse_strategy(&words[1..]))
                 else {
-                    return Err("usage: strategy <fullscan|static|adaptive|reorg|lazy|imprints|cracking|oracle|activated-static> [zone_rows]".into());
+                    return Err("usage: strategy <fullscan|static|adaptive|reorg|tiers|lazy|imprints|cracking|oracle|activated-static> [zone_rows]".into());
                 };
                 self.strategy = strategy;
                 if let Some(session) = self.session.take() {
@@ -435,6 +436,18 @@ impl Repl {
                         r.bytes_moved,
                         r.reorg_ns as f64 / 1e6
                     );
+                    let t = zm.tier_stats();
+                    let _ = write!(
+                        out,
+                        "\ntiers:  built {} (bloom {} / imprint {}) | dropped {} | tiered now {} | skips {} | rows excluded {}",
+                        t.tiers_built(),
+                        t.blooms_built,
+                        t.imprints_built,
+                        t.tiers_dropped,
+                        zm.zones_tiered(),
+                        t.tier_skips,
+                        t.tier_rows_excluded
+                    );
                 }
                 Ok(out)
             }
@@ -671,6 +684,31 @@ mod tests {
         r.handle("count 0 9999").expect("count works");
         let stats = r.handle("stats").expect("stats works");
         assert!(stats.contains("reorg:  promoted 0"), "{stats}");
+    }
+
+    #[test]
+    fn tiers_strategy_builds_and_stats_reports_it() {
+        let mut r = Repl::new();
+        r.handle("load clustered 100000").expect("load works");
+        r.handle("strategy tiers").expect("strategy works");
+        // A hot-zone workload keeps rescanning the same zones until their
+        // scan volume amortises a tier build.
+        let out = r.handle("workload hotspot 64 2").expect("workload works");
+        assert!(out.contains("64 queries"), "{out}");
+        let stats = r.handle("stats").expect("stats works");
+        assert!(stats.contains("tiers:  built"), "{stats}");
+        let built: u64 = stats
+            .split("tiers:  built ")
+            .nth(1)
+            .and_then(|s| s.split_whitespace().next())
+            .and_then(|s| s.parse().ok())
+            .expect("stats must carry a tier build count");
+        assert!(built > 0, "hot workload must earn tiers: {stats}");
+        // The plain adaptive strategy reports the counters too — at zero.
+        r.handle("strategy adaptive").expect("strategy works");
+        r.handle("count 0 9999").expect("count works");
+        let stats = r.handle("stats").expect("stats works");
+        assert!(stats.contains("tiers:  built 0"), "{stats}");
     }
 
     #[test]

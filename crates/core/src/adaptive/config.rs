@@ -2,6 +2,29 @@
 
 use crate::cost::CostModel;
 
+/// Which secondary metadata tier zones may earn (see
+/// [`crate::adaptive::zone::ZoneTier`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TierMode {
+    /// No tiers — zones carry `(min, max)` bounds (and masks) only.
+    #[default]
+    Off,
+    /// Every eligible zone builds a bloom value-set sketch.
+    Bloom,
+    /// Every eligible zone builds a column-imprint sketch.
+    Imprint,
+    /// Per-zone choice from observed predicate shape: point-heavy zones
+    /// get a bloom sketch, range-heavy zones get imprints.
+    Adaptive,
+}
+
+impl TierMode {
+    /// True unless tiers are disabled.
+    pub fn enabled(self) -> bool {
+        self != TierMode::Off
+    }
+}
+
 /// Configuration for an [`crate::adaptive::AdaptiveZonemap`].
 ///
 /// The defaults are derived from the [`CostModel`] and behave well across
@@ -76,6 +99,29 @@ pub struct AdaptiveConfig {
     /// (always-reorg ablation). Single-zone maps bypass the gate — there
     /// is no population to compare against.
     pub reorg_hot_factor: f64,
+    /// Which secondary metadata tier zones may earn. Off by default — the
+    /// paper's zones carry `(min, max)` bounds only.
+    pub tier_mode: TierMode,
+    /// Scans a built flat zone must absorb before a tier is built over it.
+    /// Each scan read the whole zone, so after `k` scans the zone has
+    /// paid `k` times the one-off cost of the tier build pass — the same
+    /// amortization argument as `reorg_after_scans`.
+    pub tier_after_scans: u32,
+    /// Point-predicate fraction at or above which the [`TierMode::Adaptive`]
+    /// chooser picks a bloom sketch over imprints.
+    pub tier_point_fraction: f64,
+    /// Tier consultations per drop-policy window: once a tier has been
+    /// consulted this many times, its hit rate is judged.
+    pub tier_drop_after: u32,
+    /// Hit rate at or below which a judged tier is dropped (it is pure
+    /// probe overhead); above it the window simply resets.
+    pub tier_drop_min_hit_rate: f64,
+    /// Bloom sizing: filter bits per zone row.
+    pub tier_bloom_bits_per_row: usize,
+    /// Hard cap on any single tier payload's byte size.
+    pub tier_max_bytes: usize,
+    /// Imprint sizing: rows per imprint line (sub-zone skip granularity).
+    pub tier_imprint_line_rows: usize,
 }
 
 impl Default for AdaptiveConfig {
@@ -112,6 +158,14 @@ impl AdaptiveConfig {
             reorg_after_scans: 4,
             reorg_demote_idle: 64,
             reorg_hot_factor: 2.0,
+            tier_mode: TierMode::Off,
+            tier_after_scans: 4,
+            tier_point_fraction: 0.5,
+            tier_drop_after: 16,
+            tier_drop_min_hit_rate: 0.05,
+            tier_bloom_bits_per_row: 8,
+            tier_max_bytes: 1 << 16,
+            tier_imprint_line_rows: 64,
         }
     }
 
@@ -119,6 +173,24 @@ impl AdaptiveConfig {
     pub fn with_reorg() -> Self {
         AdaptiveConfig {
             enable_reorg: true,
+            ..AdaptiveConfig::default()
+        }
+    }
+
+    /// Preset: adaptive per-zone metadata tiers (bloom sketches on
+    /// point-heavy zones, imprints on range-heavy ones).
+    pub fn with_tiers() -> Self {
+        AdaptiveConfig {
+            tier_mode: TierMode::Adaptive,
+            ..AdaptiveConfig::default()
+        }
+    }
+
+    /// Preset: the given tier on every eligible zone (or tiers off) —
+    /// the forced modes the equivalence harness and E21 grid sweep.
+    pub fn with_tier_mode(mode: TierMode) -> Self {
+        AdaptiveConfig {
+            tier_mode: mode,
             ..AdaptiveConfig::default()
         }
     }
@@ -209,6 +281,25 @@ impl AdaptiveConfig {
             self.reorg_hot_factor.is_finite() && self.reorg_hot_factor >= 0.0,
             "reorg_hot_factor must be finite and >= 0"
         );
+        assert!(self.tier_after_scans >= 1, "tier_after_scans must be >= 1");
+        assert!(self.tier_drop_after >= 1, "tier_drop_after must be >= 1");
+        assert!(
+            (0.0..=1.0).contains(&self.tier_point_fraction),
+            "tier_point_fraction out of [0,1]"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.tier_drop_min_hit_rate),
+            "tier_drop_min_hit_rate out of [0,1]"
+        );
+        assert!(
+            self.tier_bloom_bits_per_row >= 1,
+            "tier_bloom_bits_per_row must be >= 1"
+        );
+        assert!(self.tier_max_bytes >= 8, "tier_max_bytes must be >= 8");
+        assert!(
+            self.tier_imprint_line_rows >= 1,
+            "tier_imprint_line_rows must be >= 1"
+        );
     }
 }
 
@@ -246,6 +337,28 @@ mod tests {
             !AdaptiveConfig::default().enable_reorg,
             "reorg must be opt-in"
         );
+
+        let tiers = AdaptiveConfig::with_tiers();
+        tiers.validate();
+        assert_eq!(tiers.tier_mode, TierMode::Adaptive);
+        let forced = AdaptiveConfig::with_tier_mode(TierMode::Bloom);
+        forced.validate();
+        assert!(forced.tier_mode.enabled());
+        assert_eq!(
+            AdaptiveConfig::default().tier_mode,
+            TierMode::Off,
+            "tiers must be opt-in"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "tier_point_fraction out of [0,1]")]
+    fn validate_catches_bad_tier_fraction() {
+        AdaptiveConfig {
+            tier_point_fraction: 1.5,
+            ..AdaptiveConfig::default()
+        }
+        .validate();
     }
 
     #[test]

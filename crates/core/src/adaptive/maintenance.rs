@@ -103,6 +103,10 @@ impl<T: DataValue> AdaptiveZonemap<T> {
                 // fresh one (earned later if the merged zone still wastes
                 // scans).
                 prev.mask = None;
+                // Likewise tiers: a sketch over the old row range would
+                // be unsound for the union. The merged zone re-earns one.
+                prev.tier = None;
+                prev.tier_stats = Default::default();
             } else {
                 merged.push(zone);
             }
@@ -136,6 +140,9 @@ impl<T: DataValue> AdaptiveZonemap<T> {
                 zone.deactivations = zone.deactivations.saturating_add(1);
                 zone.stats.reset();
                 zone.mask = None;
+                // A dead zone is never probed; its tier is dead weight.
+                zone.tier = None;
+                zone.tier_stats = Default::default();
                 deactivated.push(zone.range());
             }
         }

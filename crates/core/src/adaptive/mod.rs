@@ -9,13 +9,15 @@ mod maintenance;
 mod plane;
 mod reorg;
 mod sharded;
+mod tier;
 mod zone;
 mod zonemap;
 
-pub use config::AdaptiveConfig;
+pub use config::{AdaptiveConfig, TierMode};
 pub use reorg::{ReorgReport, ReorgStats};
 pub use sharded::ShardedZonemap;
-pub use zone::{AdaptiveZone, ZoneLayout, ZoneState};
+pub use tier::{TierReport, TierStats};
+pub use zone::{AdaptiveZone, TierTelemetry, ZoneLayout, ZoneState, ZoneTier};
 pub use zonemap::AdaptiveZonemap;
 
 #[cfg(test)]

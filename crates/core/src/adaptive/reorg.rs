@@ -131,6 +131,10 @@ impl<T: DataValue> AdaptiveZonemap<T> {
                         exact: true,
                     };
                     zone.mask = None;
+                    // A metadata tier is superseded the same way: the
+                    // payload resolves predicates positionally.
+                    zone.tier = None;
+                    zone.tier_stats = Default::default();
                     // Hysteresis: a demoted zone must re-earn promotion
                     // with fresh scans, not replay pre-promotion history.
                     zone.stats.scans = 0;

@@ -16,6 +16,7 @@
 
 use crate::adaptive::config::AdaptiveConfig;
 use crate::adaptive::reorg::ReorgStats;
+use crate::adaptive::tier::TierStats;
 use crate::adaptive::zonemap::AdaptiveZonemap;
 use crate::cost::CostModel;
 use crate::index::SkippingIndex;
@@ -177,6 +178,20 @@ impl<T: DataValue> ShardedZonemap<T> {
             .iter()
             .map(AdaptiveZonemap::zones_reorganized)
             .sum()
+    }
+
+    /// Aggregated lifetime tier counters across all lanes.
+    pub fn tier_stats(&self) -> TierStats {
+        let mut total = TierStats::default();
+        for lane in &self.lanes {
+            total.merge(&lane.tier_stats());
+        }
+        total
+    }
+
+    /// Zones currently carrying a metadata tier, across all lanes.
+    pub fn zones_tiered(&self) -> usize {
+        self.lanes.iter().map(AdaptiveZonemap::zones_tiered).sum()
     }
 
     /// Metadata bytes across all lanes.

@@ -569,3 +569,175 @@ fn masks_keep_paying_on_uniform_data_with_narrow_predicates() {
         "mask skips should fire on narrow predicates over uniform data"
     );
 }
+
+#[test]
+fn bloom_tier_skips_point_misses_inside_wide_bounds() {
+    use crate::adaptive::TierMode;
+    // Even values scattered over the domain: every zone's (min, max)
+    // spans nearly everything, so bounds can never skip a point probe —
+    // exactly the gap a value-set sketch closes.
+    let data: Vec<i64> = (0..2048)
+        .map(|i| ((i * 2654435761i64) % 1000) * 2)
+        .collect();
+    let cfg = AdaptiveConfig {
+        tier_mode: TierMode::Bloom,
+        tier_after_scans: 1,
+        // Splits and merges reset scan counters (and clear tiers); pin the
+        // layout so the test exercises the tier lifecycle, not zone
+        // adaptation.
+        enable_split: false,
+        enable_merge: false,
+        enable_deactivate: false,
+        ..small_config()
+    };
+    let mut zm = AdaptiveZonemap::new(data.len(), cfg);
+    for v in [0i64, 400, 800, 1200] {
+        run_query(&mut zm, &data, RangePredicate::point(v));
+    }
+    assert!(zm.apply_tiers(&data).built > 0, "tiers should amortise");
+    assert!(zm.zones_tiered() > 0);
+    assert!(zm.trace().totals().tier_built > 0);
+
+    // Odd values are absent everywhere; the sketches should exclude
+    // most zones despite overlapping bounds.
+    let mut scanned_total = 0;
+    for q in 0..30i64 {
+        let pred = RangePredicate::point(q * 66 + 1);
+        let (count, scanned) = run_query(&mut zm, &data, pred);
+        assert_eq!(count, 0, "absent value produced rows");
+        scanned_total += scanned;
+    }
+    assert!(zm.tier_stats().tier_skips > 0, "no bloom skip ever fired");
+    assert!(
+        scanned_total < 30 * data.len() / 2,
+        "blooms should cut scans, scanned {scanned_total}"
+    );
+    assert!(zm.name().contains('t'));
+}
+
+#[test]
+fn imprint_tier_fragments_zone_into_line_runs() {
+    use crate::adaptive::TierMode;
+    // Sorted data: within one zone, a narrow predicate touches only a
+    // couple of imprint lines; the rest of the zone's lines miss the
+    // predicate's bins and are excluded without scanning.
+    let data: Vec<i64> = (0..1024).collect();
+    let cfg = AdaptiveConfig {
+        tier_mode: TierMode::Imprint,
+        tier_imprint_line_rows: 16,
+        target_zone_rows: 512,
+        max_zone_rows: 512,
+        enable_merge: false,
+        enable_deactivate: false,
+        ..small_config()
+    };
+    let mut zm = AdaptiveZonemap::new(data.len(), cfg);
+    let pred = RangePredicate::between(100, 119);
+    for _ in 0..4 {
+        run_query(&mut zm, &data, pred);
+    }
+    assert!(zm.apply_tiers(&data).built > 0);
+
+    let (count, scanned) = run_query(&mut zm, &data, pred);
+    assert_eq!(count, 20);
+    assert!(
+        scanned < 512,
+        "imprints should exclude line runs inside the zone, scanned {scanned}"
+    );
+    assert!(zm.tier_stats().tier_rows_excluded > 0);
+}
+
+#[test]
+fn adaptive_chooser_matches_tier_to_predicate_shape() {
+    use crate::adaptive::TierMode;
+    let data: Vec<i64> = (0..2048)
+        .map(|i| ((i * 2654435761i64) % 1000) * 2)
+        .collect();
+
+    // Point-heavy workload -> bloom sketches.
+    let mut zm = AdaptiveZonemap::new(
+        data.len(),
+        AdaptiveConfig {
+            tier_mode: TierMode::Adaptive,
+            tier_after_scans: 1,
+            enable_split: false,
+            enable_merge: false,
+            enable_deactivate: false,
+            ..small_config()
+        },
+    );
+    for v in 0..6i64 {
+        run_query(&mut zm, &data, RangePredicate::point(v * 200));
+    }
+    zm.apply_tiers(&data);
+    let stats = zm.tier_stats();
+    assert!(stats.blooms_built > 0, "point workload should pick blooms");
+    assert_eq!(stats.imprints_built, 0);
+
+    // Range-heavy workload -> imprints.
+    let mut zm = AdaptiveZonemap::new(
+        data.len(),
+        AdaptiveConfig {
+            tier_mode: TierMode::Adaptive,
+            tier_after_scans: 1,
+            enable_split: false,
+            enable_merge: false,
+            enable_deactivate: false,
+            ..small_config()
+        },
+    );
+    for q in 0..6i64 {
+        run_query(
+            &mut zm,
+            &data,
+            RangePredicate::between(q * 100, q * 100 + 80),
+        );
+    }
+    zm.apply_tiers(&data);
+    let stats = zm.tier_stats();
+    assert!(
+        stats.imprints_built > 0,
+        "range workload should pick imprints"
+    );
+    assert_eq!(stats.blooms_built, 0);
+}
+
+#[test]
+fn useless_tier_is_dropped_with_rebuild_backoff() {
+    use crate::adaptive::TierMode;
+    let data: Vec<i64> = (0..1024).map(|i| (i * 2654435761i64) % 1000).collect();
+    // Bloom sketches answer only point predicates; a pure range workload
+    // consults them for nothing, so the drop window must retire them.
+    let cfg = AdaptiveConfig {
+        tier_mode: TierMode::Bloom,
+        tier_after_scans: 1,
+        tier_drop_after: 8,
+        // Merges would clear the tier before its drop window is judged.
+        enable_split: false,
+        enable_merge: false,
+        enable_deactivate: false,
+        ..small_config()
+    };
+    let mut zm = AdaptiveZonemap::new(data.len(), cfg);
+    let pred = RangePredicate::between(200, 400);
+    for _ in 0..4 {
+        run_query(&mut zm, &data, pred);
+    }
+    assert!(zm.apply_tiers(&data).built > 0);
+    let epoch_after_build = zm.mutation_epoch();
+
+    for _ in 0..8 {
+        run_query(&mut zm, &data, pred);
+    }
+    let report = zm.apply_tiers(&data);
+    assert!(report.dropped > 0, "hitless tier survived its window");
+    assert_eq!(zm.zones_tiered(), 0);
+    assert!(zm.trace().totals().tier_dropped > 0);
+    assert!(
+        zm.mutation_epoch() > epoch_after_build,
+        "tier drop must be reader-visible"
+    );
+
+    // Backoff: the very next pass must not rebuild immediately.
+    assert_eq!(zm.apply_tiers(&data).built, 0, "rebuild ignored backoff");
+}

@@ -2,7 +2,7 @@
 
 use crate::outcome::MaskRequest;
 use crate::stats::ZoneStats;
-use ads_storage::{DataValue, ReorgZone, RowRange};
+use ads_storage::{BloomSketch, DataValue, Imprints, ReorgZone, RowRange};
 use std::sync::Arc;
 
 /// Secondary zone metadata: a 64-bin value-presence mask, used when a zone
@@ -70,6 +70,80 @@ pub enum ZoneLayout<T: DataValue> {
     },
 }
 
+/// An optional secondary metadata tier attached to one zone: a value-set
+/// sketch for equality-heavy zones or a per-cache-line imprint for
+/// wide-range zones. Both are earned lazily (built by [`apply_tiers`]
+/// once the zone's scan volume amortises the build pass) and dropped
+/// under the same observe/deactivate feedback the zones themselves use.
+/// Payloads sit behind `Arc`s so published zonemap snapshots share them
+/// immutably, exactly like reorganized-zone payloads.
+///
+/// [`apply_tiers`]: crate::adaptive::AdaptiveZonemap::apply_tiers
+#[derive(Debug, Clone)]
+pub enum ZoneTier<T: DataValue> {
+    /// Word-packed bloom filter over the zone's value set; excludes point
+    /// predicates that fall inside the zone's `[min, max]` but hit no
+    /// actual value.
+    Bloom(Arc<BloomSketch>),
+    /// Column-imprint histogram sketch over the zone's rows; excludes or
+    /// full-matches sub-zone line runs for range predicates.
+    Imprint(Arc<Imprints<T>>),
+}
+
+impl<T: DataValue> ZoneTier<T> {
+    /// Short kind label for snapshots and reports.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ZoneTier::Bloom(_) => "bloom",
+            ZoneTier::Imprint(_) => "imprint",
+        }
+    }
+
+    /// Heap bytes held by the tier payload.
+    pub fn metadata_bytes(&self) -> usize {
+        match self {
+            ZoneTier::Bloom(s) => s.metadata_bytes(),
+            ZoneTier::Imprint(s) => s.metadata_bytes(),
+        }
+    }
+}
+
+/// Per-zone tier bookkeeping: predicate-shape telemetry feeding the tier
+/// chooser, plus the probe/hit window driving the drop policy. Lives
+/// outside [`ZoneStats`] because its lifecycle follows the *tier*, not
+/// the zone's adaptation history.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TierTelemetry {
+    /// Overlapping probes whose predicate was a point (`lo == hi`).
+    pub point_preds: u32,
+    /// Overlapping probes whose predicate was a proper range.
+    pub range_preds: u32,
+    /// Tier consultations in the current drop window.
+    pub tier_probes: u32,
+    /// Consultations that excluded rows (full skip or sub-zone skip).
+    pub tier_hits: u32,
+    /// Times a tier was dropped here; drives exponential rebuild backoff.
+    pub drops: u8,
+    /// Scan count the zone must reach before the next (re)build attempt.
+    pub next_build_scans: u32,
+}
+
+impl TierTelemetry {
+    /// Fraction of observed overlapping predicates that were points;
+    /// `None` before any sample.
+    pub fn point_fraction(&self) -> Option<f64> {
+        let total = self.point_preds + self.range_preds;
+        (total > 0).then(|| f64::from(self.point_preds) / f64::from(total))
+    }
+
+    /// Resets the probe/hit drop window (kept across windows: shape
+    /// counters and backoff state).
+    pub fn reset_window(&mut self) {
+        self.tier_probes = 0;
+        self.tier_hits = 0;
+    }
+}
+
 /// One zone: a row range plus its metadata state and statistics.
 #[derive(Debug, Clone)]
 pub struct AdaptiveZone<T: DataValue> {
@@ -101,6 +175,12 @@ pub struct AdaptiveZone<T: DataValue> {
     pub mask: Option<ZoneMask>,
     /// Physical layout of the zone's rows (see [`ZoneLayout`]).
     pub layout: ZoneLayout<T>,
+    /// Optional secondary metadata tier (see [`ZoneTier`]). Dropped on
+    /// any structural change to the zone's row range, on reorganization
+    /// promotion, and by the tier drop policy.
+    pub tier: Option<ZoneTier<T>>,
+    /// Tier chooser/drop bookkeeping (see [`TierTelemetry`]).
+    pub tier_stats: TierTelemetry,
 }
 
 impl<T: DataValue> AdaptiveZone<T> {
@@ -116,6 +196,8 @@ impl<T: DataValue> AdaptiveZone<T> {
             split_generation: 0,
             mask: None,
             layout: ZoneLayout::Flat,
+            tier: None,
+            tier_stats: TierTelemetry::default(),
         }
     }
 
@@ -154,6 +236,19 @@ impl<T: DataValue> AdaptiveZone<T> {
         match &self.layout {
             ZoneLayout::Reorganized { payload, .. } => Some(payload),
             ZoneLayout::Flat => None,
+        }
+    }
+
+    /// True if the zone currently carries a metadata tier.
+    pub fn has_tier(&self) -> bool {
+        self.tier.is_some()
+    }
+
+    /// Drops the tier and its drop window, remembering the drop for
+    /// rebuild backoff. No-op when no tier is attached.
+    pub fn drop_tier(&mut self) {
+        if self.tier.take().is_some() {
+            self.tier_stats.reset_window();
         }
     }
 }

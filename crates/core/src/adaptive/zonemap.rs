@@ -20,14 +20,17 @@
 use crate::adaptive::config::AdaptiveConfig;
 use crate::adaptive::plane::PrunePlane;
 use crate::adaptive::reorg::ReorgStats;
-use crate::adaptive::zone::{AdaptiveZone, ZoneLayout, ZoneMask, ZoneState};
+use crate::adaptive::tier::TierStats;
+use crate::adaptive::zone::{
+    AdaptiveZone, TierTelemetry, ZoneLayout, ZoneMask, ZoneState, ZoneTier,
+};
 use crate::cost::CostModel;
 use crate::index::SkippingIndex;
 use crate::outcome::{MaskRequest, PruneOutcome, ReorgUnit, ScanObservation};
 use crate::predicate::RangePredicate;
 use crate::stats::{IndexStats, PruneStats, ZoneStats};
 use crate::trace::{AdaptEvent, AdaptTrace};
-use ads_storage::{DataValue, RangeSet, RowRange};
+use ads_storage::{DataValue, RangeSet, RowRange, RunVerdict};
 use std::sync::Arc;
 
 /// An adaptive zonemap over one column of `len` rows.
@@ -60,6 +63,9 @@ pub struct AdaptiveZonemap<T: DataValue> {
     /// Lifetime reorganization counters (promotions, demotions, bytes
     /// moved, time spent); see [`ReorgStats`].
     pub(crate) reorg_lifetime: ReorgStats,
+    /// Lifetime metadata-tier counters (builds, drops, skip benefit);
+    /// see [`TierStats`].
+    pub(crate) tier_lifetime: TierStats,
 }
 
 impl<T: DataValue> AdaptiveZonemap<T> {
@@ -95,6 +101,7 @@ impl<T: DataValue> AdaptiveZonemap<T> {
             next_revival_check: u64::MAX,
             mutation_epoch: 0,
             reorg_lifetime: ReorgStats::default(),
+            tier_lifetime: TierStats::default(),
         };
         zm.assert_invariants();
         zm
@@ -156,6 +163,14 @@ impl<T: DataValue> AdaptiveZonemap<T> {
                     // The layout lane outranks the exactness distinction:
                     // a reorganized zone is always Built with exact bounds.
                     ZoneState::Built { .. } if z.is_reorganized() => "reorg",
+                    // A tier likewise outranks it — the tier is the
+                    // zone's defining metadata investment.
+                    ZoneState::Built { .. } if matches!(z.tier, Some(ZoneTier::Bloom(_))) => {
+                        "built+bloom"
+                    }
+                    ZoneState::Built { .. } if matches!(z.tier, Some(ZoneTier::Imprint(_))) => {
+                        "built+imprint"
+                    }
                     ZoneState::Unbuilt => "unbuilt",
                     ZoneState::Built { exact: true, .. } => "built",
                     ZoneState::Built { exact: false, .. } => "built~",
@@ -228,6 +243,9 @@ impl<T: DataValue> SkippingIndex<T> for AdaptiveZonemap<T> {
         if self.config.enable_reorg {
             flags.push('r'); // zone-local reorganization
         }
+        if self.config.tier_mode.enabled() {
+            flags.push('t'); // per-zone metadata tiers
+        }
         if flags.is_empty() {
             flags.push_str("lazy");
         }
@@ -293,6 +311,7 @@ impl<T: DataValue> SkippingIndex<T> for AdaptiveZonemap<T> {
                 max,
                 &self.config,
                 min_split_rows,
+                &mut self.tier_lifetime,
                 &mut out,
             );
         }
@@ -438,7 +457,13 @@ impl<T: DataValue> SkippingIndex<T> for AdaptiveZonemap<T> {
     }
 
     fn metadata_bytes(&self) -> usize {
-        self.zones.capacity() * std::mem::size_of::<AdaptiveZone<T>>() + self.plane.heap_bytes()
+        self.zones.capacity() * std::mem::size_of::<AdaptiveZone<T>>()
+            + self.plane.heap_bytes()
+            + self
+                .zones
+                .iter()
+                .filter_map(|z| z.tier.as_ref().map(ZoneTier::metadata_bytes))
+                .sum::<usize>()
     }
 
     fn adapt_events(&self) -> u64 {
@@ -472,8 +497,12 @@ impl<T: DataValue> SkippingIndex<T> for AdaptiveZonemap<T> {
         } else {
             weighted / self.len as f64
         };
+        // A tiered zone costs an extra metadata read per probe (the
+        // sketch consultation), so it weighs as two probe entries in the
+        // planner's probe-cost model.
+        let tiered = self.zones.iter().filter(|z| z.has_tier()).count();
         Some(PruneStats {
-            probe_entries: self.zones.len(),
+            probe_entries: self.zones.len() + tiered,
             est_skip_fraction: est,
             queries_observed: self.stats.queries,
         })
@@ -525,15 +554,26 @@ impl<T: DataValue> SkippingIndex<T> for AdaptiveZonemap<T> {
                                         self.zones[idx].stats.record_no_skip();
                                         Decision::Full
                                     }
-                                    OverlapAction::MaskSkip => {
+                                    // A tier skip is sound under the alive
+                                    // restriction: no *base* row of the
+                                    // zone qualifies, so no alive subset
+                                    // does either.
+                                    OverlapAction::MaskSkip | OverlapAction::TierSkip => {
                                         out.zones_skipped += 1;
                                         self.zones[idx].stats.record_skip();
                                         Decision::Skip
                                     }
+                                    // Tier sub-units are demoted to a
+                                    // conservative whole-zone scan here:
+                                    // intersecting two fragmentations
+                                    // (tier runs x alive ranges) would
+                                    // break the per-unit observation
+                                    // alignment this path maintains.
+                                    //
                                     // Mask requests are not issued on the
                                     // restricted path: a fragment's mask
                                     // would not describe the whole zone.
-                                    OverlapAction::Scan(_) => {
+                                    OverlapAction::Scan(_) | OverlapAction::TierUnits(_) => {
                                         self.zones[idx].stats.record_no_skip();
                                         Decision::Scan
                                     }
@@ -563,13 +603,34 @@ impl<T: DataValue> SkippingIndex<T> for AdaptiveZonemap<T> {
     }
 
     fn maintain(&mut self, base: &[T]) {
-        // Reorganization rides the same amortization clock as structural
-        // maintenance; when the feature is off this is a branch and out.
-        if self.config.enable_reorg && self.query_seq.is_multiple_of(self.config.maintenance_every)
-        {
-            let _ = self.apply_reorg(base);
+        // Reorganization and tier maintenance ride the same amortization
+        // clock as structural maintenance; when the features are off
+        // this is two branches and out.
+        if self.query_seq.is_multiple_of(self.config.maintenance_every) {
+            if self.config.enable_reorg {
+                let _ = self.apply_reorg(base);
+            }
+            if self.config.tier_mode.enabled() {
+                let _ = self.apply_tiers(base);
+            }
         }
     }
+}
+
+/// An imprint consultation must resolve (exclude or full-match) at
+/// least `1/TIER_MIN_BENEFIT_DENOM` of the zone's rows to fragment the
+/// zone into line runs — and to count as a tier hit. Weaker outcomes
+/// scan the whole zone as one unit and feed the drop window as misses.
+const TIER_MIN_BENEFIT_DENOM: usize = 8;
+
+/// One sub-zone row span resolved by an imprint tier: either a run of
+/// lines the executor must scan-and-filter, or a run proven to contain
+/// only qualifying rows.
+struct TierSpan {
+    /// The span's row range in base coordinates.
+    range: RowRange,
+    /// True when every row in the span qualifies (no scan needed).
+    full: bool,
 }
 
 /// What pruning decided for a built zone whose `(min, max)` the predicate
@@ -580,6 +641,16 @@ enum OverlapAction {
     /// The secondary value mask excludes the zone despite overlapping
     /// bounds — the outlier case.
     MaskSkip,
+    /// The zone's metadata tier excludes every row despite overlapping
+    /// bounds: a bloom miss on a point predicate, or imprints whose runs
+    /// all miss the predicate's bins.
+    TierSkip,
+    /// The imprint tier fragmented the zone: scan only the listed spans
+    /// (the omitted rows are proven non-qualifying, the `full` spans
+    /// proven all-qualifying). Emitted only when the tier actually
+    /// excluded or full-matched something — otherwise a plain `Scan` is
+    /// cheaper for the executor.
+    TierUnits(Vec<TierSpan>),
     /// The zone must be scanned, optionally collecting a value mask.
     Scan(Option<MaskRequest>),
 }
@@ -612,6 +683,52 @@ fn classify_overlapping_zone<T: DataValue>(
             return OverlapAction::MaskSkip;
         }
     }
+    // Metadata tier, consulted only when the cheap checks above could
+    // not resolve the zone. Both tiers are sound-but-conservative: they
+    // may over-admit (scan a zone for nothing) but never exclude a row
+    // that qualifies — deleted rows in particular are still present in
+    // the base column the tier was built over, so delete churn can only
+    // make a tier admit *more* than necessary.
+    match &zone.tier {
+        // A value-set sketch answers only equality probes; range
+        // predicates (and admitted points) fall through to a plain scan
+        // via the catch-all arm.
+        Some(ZoneTier::Bloom(sketch)) if pred.is_point() && !sketch.may_contain(pred.lo) => {
+            return OverlapAction::TierSkip;
+        }
+        Some(ZoneTier::Imprint(imp)) => {
+            let mut spans: Vec<TierSpan> = Vec::new();
+            let mut resolved_rows = 0usize;
+            imp.classify(pred.lo, pred.hi, |r, verdict| {
+                let range = RowRange::new(zone.start + r.start, zone.start + r.end);
+                match verdict {
+                    RunVerdict::Skip => resolved_rows += range.len(),
+                    RunVerdict::FullMatch => {
+                        resolved_rows += range.len();
+                        spans.push(TierSpan { range, full: true });
+                    }
+                    RunVerdict::Scan => spans.push(TierSpan { range, full: false }),
+                }
+            });
+            if spans.is_empty() {
+                // Every line run missed the predicate's bins.
+                return OverlapAction::TierSkip;
+            }
+            // Fragmenting the zone into line runs trades one scan unit
+            // for many; that only pays when the runs resolve (exclude or
+            // full-match) a meaningful share of the zone. Below the
+            // threshold the consultation is also *recorded* as a miss —
+            // an imprint that shaves a line or two per probe costs more
+            // in fragmentation than it saves, and the drop window should
+            // see through it.
+            if resolved_rows * TIER_MIN_BENEFIT_DENOM >= zone.len() {
+                return OverlapAction::TierUnits(spans);
+            }
+            // Too little resolved: a single whole-zone scan unit beats
+            // many fragments, so fall through.
+        }
+        _ => {}
+    }
     // Ask the scan to collect a mask for zones that keep wasting scans
     // but can refine no further positionally.
     let can_split = config.enable_split && !zone.no_resplit && zone.len() >= min_split_rows;
@@ -626,7 +743,10 @@ fn classify_overlapping_zone<T: DataValue>(
 }
 
 /// Applies an [`OverlapAction`] to the outcome being assembled, with the
-/// zone-stat side effects the mutable prune paths perform.
+/// zone-stat side effects the mutable prune paths perform: probe/skip
+/// feedback, predicate-shape telemetry for the tier chooser, and the
+/// tier consultation window plus lifetime benefit counters.
+#[allow(clippy::too_many_arguments)]
 fn probe_overlapping_zone<T: DataValue>(
     zone: &mut AdaptiveZone<T>,
     pred: &RangePredicate<T>,
@@ -634,9 +754,28 @@ fn probe_overlapping_zone<T: DataValue>(
     max: T,
     config: &AdaptiveConfig,
     min_split_rows: usize,
+    tier_life: &mut TierStats,
     out: &mut PruneOutcome,
 ) {
-    match classify_overlapping_zone(zone, pred, min, max, config, min_split_rows) {
+    // Shape telemetry: every overlapping probe is a sample of what a
+    // tier here would have to answer.
+    if pred.is_point() {
+        zone.tier_stats.point_preds = zone.tier_stats.point_preds.saturating_add(1);
+    } else {
+        zone.tier_stats.range_preds = zone.tier_stats.range_preds.saturating_add(1);
+    }
+    let action = classify_overlapping_zone(zone, pred, min, max, config, min_split_rows);
+    // The tier was consulted unless a cheaper check resolved the zone
+    // first (full-match containment or a mask skip).
+    if zone.has_tier()
+        && matches!(
+            action,
+            OverlapAction::TierSkip | OverlapAction::TierUnits(_) | OverlapAction::Scan(_)
+        )
+    {
+        zone.tier_stats.tier_probes = zone.tier_stats.tier_probes.saturating_add(1);
+    }
+    match action {
         OverlapAction::FullMatch => {
             out.full_match.push_span(zone.start, zone.end);
             zone.stats.record_no_skip();
@@ -644,6 +783,32 @@ fn probe_overlapping_zone<T: DataValue>(
         OverlapAction::MaskSkip => {
             out.zones_skipped += 1;
             zone.stats.record_skip();
+        }
+        OverlapAction::TierSkip => {
+            out.zones_skipped += 1;
+            zone.stats.record_skip();
+            zone.tier_stats.tier_hits = zone.tier_stats.tier_hits.saturating_add(1);
+            tier_life.tier_skips += 1;
+            tier_life.tier_rows_excluded += zone.len() as u64;
+        }
+        OverlapAction::TierUnits(spans) => {
+            // The zone is read (partially), so for zone-level adaptation
+            // this is a scan, not a skip.
+            zone.stats.record_no_skip();
+            zone.tier_stats.tier_hits = zone.tier_stats.tier_hits.saturating_add(1);
+            tier_life.tier_skips += 1;
+            let mut covered = 0usize;
+            for span in spans {
+                covered += span.range.len();
+                if span.full {
+                    out.full_match.push_span(span.range.start, span.range.end);
+                } else {
+                    out.must_scan.push_span(span.range.start, span.range.end);
+                    out.scan_units.push(span.range);
+                    out.mask_requests.push(None);
+                }
+            }
+            tier_life.tier_rows_excluded += (zone.len() - covered) as u64;
         }
         OverlapAction::Scan(req) => {
             out.must_scan.push_span(zone.start, zone.end);
@@ -797,7 +962,21 @@ impl<T: DataValue> AdaptiveZonemap<T> {
             }
             match classify_overlapping_zone(zone, pred, min, max, &self.config, min_split_rows) {
                 OverlapAction::FullMatch => out.full_match.push_span(zone.start, zone.end),
-                OverlapAction::MaskSkip => out.zones_skipped += 1,
+                OverlapAction::MaskSkip | OverlapAction::TierSkip => out.zones_skipped += 1,
+                OverlapAction::TierUnits(spans) => {
+                    // Same spans the mutable prune emits; the stat and
+                    // telemetry bumps it performs are replayed later by
+                    // `apply_feedback`.
+                    for span in spans {
+                        if span.full {
+                            out.full_match.push_span(span.range.start, span.range.end);
+                        } else {
+                            out.must_scan.push_span(span.range.start, span.range.end);
+                            out.scan_units.push(span.range);
+                            out.mask_requests.push(None);
+                        }
+                    }
+                }
                 OverlapAction::Scan(req) => {
                     out.must_scan.push_span(zone.start, zone.end);
                     out.scan_units.push(zone.range());
@@ -875,6 +1054,9 @@ impl<T: DataValue> AdaptiveZonemap<T> {
         let min_split_rows =
             (2 * self.config.min_zone_rows).max(2 * self.cost.min_profitable_zone_rows());
         let mut moved_total = 0u64;
+        // Accumulated locally and merged after the loop: the loop holds
+        // the `zones` borrow, and the lifetime block lives next to it.
+        let mut tier_delta = TierStats::default();
         for zone in &mut self.zones {
             out.zones_probed += 1;
             match zone.state {
@@ -903,11 +1085,13 @@ impl<T: DataValue> AdaptiveZonemap<T> {
                         max,
                         &self.config,
                         min_split_rows,
+                        &mut tier_delta,
                         &mut out,
                     );
                 }
             }
         }
+        self.tier_lifetime.merge(&tier_delta);
         if moved_total > 0 {
             self.reorg_lifetime.bytes_moved += moved_total;
             self.mutation_epoch += 1;
@@ -969,6 +1153,10 @@ impl<T: DataValue> AdaptiveZonemap<T> {
                 // Reorganized zones are never queued for splitting; any
                 // parent reaching here is flat.
                 layout: ZoneLayout::Flat,
+                // Likewise the parent's tier: built over different rows,
+                // so children re-earn their own.
+                tier: None,
+                tier_stats: TierTelemetry::default(),
             });
             start = end;
         }

@@ -55,6 +55,15 @@ impl<T: DataValue> RangePredicate<T> {
         }
     }
 
+    /// True when the predicate selects exactly one value under the total
+    /// order (`lo == hi` via [`DataValue::eq_total`]) — the shape bloom
+    /// sketches can answer and the single-compare scan kernel serves.
+    /// Note `[-0.0, 0.0]` is *not* a point: it spans two distinct values.
+    #[inline]
+    pub fn is_point(&self) -> bool {
+        self.lo.eq_total(&self.hi)
+    }
+
     /// True if value `v` satisfies the predicate.
     #[inline]
     pub fn matches(&self, v: T) -> bool {
@@ -130,6 +139,17 @@ mod tests {
         assert!(p.contains_zone(12, 18));
         assert!(!p.contains_zone(9, 20));
         assert!(!p.contains_zone(10, 21));
+    }
+
+    #[test]
+    fn is_point_uses_total_order_equality() {
+        assert!(RangePredicate::point(5i64).is_point());
+        assert!(!RangePredicate::between(3i64, 7).is_point());
+        assert!(RangePredicate::point(f64::NAN).is_point());
+        assert!(RangePredicate::point(-0.0f64).is_point());
+        // -0.0 and 0.0 are distinct under the total order: a two-value
+        // interval, not a point.
+        assert!(!RangePredicate::between(-0.0f64, 0.0).is_point());
     }
 
     #[test]

@@ -54,6 +54,18 @@ pub enum AdaptEvent {
         /// The zone's row range.
         range: RowRange,
     },
+    /// A metadata tier (bloom sketch or imprints) was built over a zone.
+    TierBuilt {
+        /// The zone's row range.
+        range: RowRange,
+        /// Tier kind label ("bloom" or "imprint").
+        kind: &'static str,
+    },
+    /// A zone's metadata tier was dropped by the feedback policy.
+    TierDropped {
+        /// The zone's row range.
+        range: RowRange,
+    },
 }
 
 impl AdaptEvent {
@@ -68,6 +80,8 @@ impl AdaptEvent {
             AdaptEvent::MaskBuilt { .. } => "mask-built",
             AdaptEvent::Promoted { .. } => "promoted",
             AdaptEvent::Demoted { .. } => "demoted",
+            AdaptEvent::TierBuilt { .. } => "tier-built",
+            AdaptEvent::TierDropped { .. } => "tier-dropped",
         }
     }
 }
@@ -82,8 +96,8 @@ pub struct AdaptTrace {
     capacity: usize,
     head: usize,
     /// Total events of each kind: built, split, merged, deactivated,
-    /// revived, mask-built, promoted, demoted.
-    counts: [u64; 8],
+    /// revived, mask-built, promoted, demoted, tier-built, tier-dropped.
+    counts: [u64; 10],
 }
 
 impl AdaptTrace {
@@ -93,7 +107,7 @@ impl AdaptTrace {
             events: Vec::with_capacity(capacity.min(1024)),
             capacity: capacity.max(1),
             head: 0,
-            counts: [0; 8],
+            counts: [0; 10],
         }
     }
 
@@ -108,6 +122,8 @@ impl AdaptTrace {
             AdaptEvent::MaskBuilt { .. } => 5,
             AdaptEvent::Promoted { .. } => 6,
             AdaptEvent::Demoted { .. } => 7,
+            AdaptEvent::TierBuilt { .. } => 8,
+            AdaptEvent::TierDropped { .. } => 9,
         };
         self.counts[idx] += 1;
         if self.events.len() < self.capacity {
@@ -135,6 +151,8 @@ impl AdaptTrace {
             mask_built: self.counts[5],
             promoted: self.counts[6],
             demoted: self.counts[7],
+            tier_built: self.counts[8],
+            tier_dropped: self.counts[9],
         }
     }
 
@@ -163,13 +181,18 @@ pub struct TraceTotals {
     pub promoted: u64,
     /// Zones demoted back to the flat layout.
     pub demoted: u64,
+    /// Metadata tiers built over zones.
+    pub tier_built: u64,
+    /// Metadata tiers dropped by the feedback policy.
+    pub tier_dropped: u64,
 }
 
 impl std::fmt::Display for TraceTotals {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "built={} split={} merged={} deactivated={} revived={} masks={} promoted={} demoted={}",
+            "built={} split={} merged={} deactivated={} revived={} masks={} promoted={} \
+             demoted={} tiers={} tiers_dropped={}",
             self.built,
             self.split,
             self.merged,
@@ -177,7 +200,9 @@ impl std::fmt::Display for TraceTotals {
             self.revived,
             self.mask_built,
             self.promoted,
-            self.demoted
+            self.demoted,
+            self.tier_built,
+            self.tier_dropped
         )
     }
 }

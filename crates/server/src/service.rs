@@ -80,7 +80,9 @@ use crate::queue::{Bounded, PushError};
 use crate::snapshot::{ShardSnapshot, ShardedCell};
 use crate::stats::{ServerStats, StatsCollector};
 use crate::sync::{Arc, Mutex};
-use ads_core::adaptive::{AdaptiveConfig, AdaptiveZonemap, ReorgReport, ShardedZonemap};
+use ads_core::adaptive::{
+    AdaptiveConfig, AdaptiveZonemap, ReorgReport, ShardedZonemap, TierReport,
+};
 use ads_core::{RangeObservation, RangePredicate, ScanObservation, SkippingIndex};
 use ads_engine::{
     execute_sharded_with_deletes, scan_sharded, AggKind, QueryAnswer, ShardScanInput,
@@ -549,6 +551,10 @@ impl<T: DataValue> QueryService<T> {
             stats.zones_demoted = r.zones_demoted;
             stats.reorg_bytes_moved = r.bytes_moved;
             stats.reorg_ns = r.reorg_ns;
+            let t = st.zonemap.tier_stats();
+            stats.tiers_built = t.tiers_built();
+            stats.tiers_dropped = t.tiers_dropped;
+            stats.tier_skips = t.tier_skips;
             stats.tombstone_ppm = tombstone_ppm(&st.deletes);
         }
         stats
@@ -788,6 +794,10 @@ fn maintenance_loop<T: DataValue>(
     // published snapshot always carries the epoch of the batch that last
     // changed its tombstones.
     let mut mutation_epoch = 0u64;
+    // Lifetime tier skips at the last stats report; tier skips accrue on
+    // the authoritative map through feedback replay, so each round reports
+    // the delta since the previous one.
+    let mut reported_tier_skips = 0u64;
 
     while let Ok(first) = rx.recv() {
         // Drain opportunistically up to the batch bound: one publication
@@ -902,6 +912,26 @@ fn maintenance_loop<T: DataValue>(
                 reorg.bytes_moved,
                 reorg.reorg_ns,
             );
+        }
+
+        // Metadata tiers ride the same cadence: each lane judges its drop
+        // windows and builds sketches over zones whose replayed feedback
+        // has amortised one. Builds and drops bump the lane's epoch, so
+        // the diff below republishes them atomically — a reader never
+        // sees a tier flag without its payload.
+        let mut tiers = TierReport::default();
+        for s in 0..num_shards {
+            let rep = zonemap.lane_mut(s).apply_tiers(column.shard(s).as_slice());
+            tiers.built += rep.built;
+            tiers.dropped += rep.dropped;
+        }
+        let tier_skips = zonemap.tier_stats().tier_skips;
+        let skip_delta = tier_skips.saturating_sub(reported_tier_skips);
+        if tiers.changed() || skip_delta > 0 {
+            shared
+                .stats
+                .record_tiers(tiers.built, tiers.dropped, skip_delta);
+            reported_tier_skips = tier_skips;
         }
 
         // Run the revival check the next query's prune would run, so the

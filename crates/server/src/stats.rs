@@ -63,6 +63,12 @@ pub struct StatsCollector {
     reorg_bytes_moved: AtomicU64,
     /// Wall time spent inside reorganization passes.
     reorg_ns: AtomicU64,
+    /// Metadata tiers (bloom sketches + imprints) built by maintenance.
+    tiers_built: AtomicU64,
+    /// Metadata tiers dropped by the feedback policy.
+    tiers_dropped: AtomicU64,
+    /// Tier consultations that excluded rows the zone bounds could not.
+    tier_skips: AtomicU64,
     /// One latency shard per worker, locked only by that worker (and by
     /// the occasional stats reader).
     latency_shards: Vec<Mutex<LatencyHistogram>>,
@@ -94,6 +100,9 @@ impl StatsCollector {
             zones_demoted: AtomicU64::new(0),
             reorg_bytes_moved: AtomicU64::new(0),
             reorg_ns: AtomicU64::new(0),
+            tiers_built: AtomicU64::new(0),
+            tiers_dropped: AtomicU64::new(0),
+            tier_skips: AtomicU64::new(0),
             latency_shards: (0..workers.max(1))
                 .map(|_| Mutex::new(LatencyHistogram::new()))
                 .collect(),
@@ -211,6 +220,17 @@ impl StatsCollector {
         self.reorg_ns.fetch_add(ns, Ordering::Relaxed);
     }
 
+    /// Records one tier maintenance pass's deltas plus the tier skips
+    /// observed since the previous pass (no-op rounds pass zeros).
+    pub(crate) fn record_tiers(&self, built: u64, dropped: u64, skips: u64) {
+        // ordering: Relaxed — monotone counter; see record_query.
+        self.tiers_built.fetch_add(built, Ordering::Relaxed);
+        // ordering: Relaxed — monotone counter; see record_query.
+        self.tiers_dropped.fetch_add(dropped, Ordering::Relaxed);
+        // ordering: Relaxed — monotone counter; see record_query.
+        self.tier_skips.fetch_add(skips, Ordering::Relaxed);
+    }
+
     /// Folds the counters and shards into one immutable report.
     /// `queue_depth` is sampled by the caller (the service knows its queue).
     pub fn snapshot(&self, queue_depth: usize) -> ServerStats {
@@ -275,6 +295,12 @@ impl StatsCollector {
             reorg_bytes_moved: self.reorg_bytes_moved.load(Ordering::Relaxed),
             // ordering: Relaxed — see the struct-literal comment above.
             reorg_ns: self.reorg_ns.load(Ordering::Relaxed),
+            // ordering: Relaxed — see the struct-literal comment above.
+            tiers_built: self.tiers_built.load(Ordering::Relaxed),
+            // ordering: Relaxed — see the struct-literal comment above.
+            tiers_dropped: self.tiers_dropped.load(Ordering::Relaxed),
+            // ordering: Relaxed — see the struct-literal comment above.
+            tier_skips: self.tier_skips.load(Ordering::Relaxed),
             queue_depth,
             latency,
         }
@@ -338,6 +364,13 @@ pub struct ServerStats {
     pub reorg_bytes_moved: u64,
     /// Wall time spent inside reorganization passes.
     pub reorg_ns: u64,
+    /// Metadata tiers (bloom sketches + imprints) built by maintenance.
+    pub tiers_built: u64,
+    /// Metadata tiers dropped by the feedback policy after a hitless
+    /// consultation window.
+    pub tiers_dropped: u64,
+    /// Tier consultations that excluded rows the zone bounds could not.
+    pub tier_skips: u64,
     /// Request-queue depth at sampling time.
     pub queue_depth: usize,
     /// Merged end-to-end latency distribution (submit-to-reply is up to
@@ -364,6 +397,7 @@ impl ServerStats {
              mutations_applied={} deltas_pending={} compactions={} \
              rows_reclaimed={} tombstone_ppm={} \
              reorg_promoted={} reorg_demoted={} reorg_bytes_moved={} \
+             tiers_built={} tiers_dropped={} tier_skips={} \
              p50={}ns p95={}ns p99={}ns",
             self.queries,
             self.shed,
@@ -382,6 +416,9 @@ impl ServerStats {
             self.zones_promoted,
             self.zones_demoted,
             self.reorg_bytes_moved,
+            self.tiers_built,
+            self.tiers_dropped,
+            self.tier_skips,
             self.latency.p50_ns(),
             self.latency.p95_ns(),
             self.latency.p99_ns(),
@@ -414,6 +451,8 @@ mod tests {
         c.record_mutation_batch(7, 6);
         c.record_compaction(4);
         c.set_tombstone_ppm(2_500);
+        c.record_reorg(2, 1, 512, 9_000);
+        c.record_tiers(3, 1, 8);
 
         let s = c.snapshot(5);
         assert_eq!(s.queries, 3);
@@ -433,6 +472,13 @@ mod tests {
         assert_eq!(s.compactions_run, 1);
         assert_eq!(s.rows_reclaimed, 4);
         assert_eq!(s.tombstone_ppm, 2_500);
+        assert_eq!(s.zones_promoted, 2);
+        assert_eq!(s.zones_demoted, 1);
+        assert_eq!(s.reorg_bytes_moved, 512);
+        assert_eq!(s.reorg_ns, 9_000);
+        assert_eq!(s.tiers_built, 3);
+        assert_eq!(s.tiers_dropped, 1);
+        assert_eq!(s.tier_skips, 8);
         assert_eq!(s.queue_depth, 5);
         assert_eq!(s.latency.count(), 3);
         assert!(s.latency.max_ns() >= 3_000 * 7 / 8);

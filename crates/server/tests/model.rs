@@ -22,7 +22,7 @@
 use ads_check::sync::atomic::{AtomicU64, Ordering};
 use ads_check::sync::{thread, Arc};
 use ads_check::{model, try_model, Config};
-use ads_core::adaptive::{AdaptiveConfig, AdaptiveZonemap};
+use ads_core::adaptive::{AdaptiveConfig, AdaptiveZonemap, TierMode};
 use ads_core::{RangeObservation, RangePredicate, ScanObservation, SkippingIndex};
 use ads_server::{Bounded, PushError, ShardSnapshot, ShardedCell, SnapshotCell, StatsCollector};
 use ads_storage::{DeleteVector, SharedColumn};
@@ -503,6 +503,141 @@ fn reorg_demotion_cannot_invalidate_a_held_snapshot() {
         let fresh = cache.lanes()[0].current();
         assert_eq!(fresh.version, 2);
         assert_eq!(fresh.zonemap.zones_reorganized(), 0, "demotion published");
+    });
+}
+
+// ------------------------------------------- Tier publication protocol
+
+/// A lane over [`reorg_data`] whose single zone carries a bloom sketch
+/// tier: one inline query earns the scan, `apply_tiers` builds the
+/// sketch (both on the owner's side, before any publication). Value 7 is
+/// absent from the data and verified rejected by the sketch, so a tier
+/// probe for it must skip the zone.
+fn tier_snap(version: u64) -> ShardSnapshot<i64> {
+    let data = reorg_data();
+    let mut zm = AdaptiveZonemap::new(
+        data.len(),
+        AdaptiveConfig {
+            tier_after_scans: 1,
+            tier_drop_after: 1,
+            ..AdaptiveConfig::with_tier_mode(TierMode::Bloom)
+        },
+    );
+    let pred = RangePredicate::point(2);
+    let outcome = SkippingIndex::prune(&mut zm, &pred);
+    let ranges = outcome
+        .units()
+        .iter()
+        .map(|u| {
+            let (q, min, max) =
+                ads_storage::scan::count_in_range_with_minmax(&data[u.start..u.end], 2, 2);
+            RangeObservation::new(*u, q, min, max)
+        })
+        .collect();
+    zm.observe(&ScanObservation {
+        predicate: pred,
+        ranges,
+    });
+    let rep = zm.apply_tiers(&data);
+    assert_eq!(rep.built, 1, "setup must build the sketch");
+    ShardSnapshot {
+        delete: Arc::new(DeleteVector::new(data.len(), 0)),
+        data: SharedColumn::new(data),
+        zonemap: zm,
+        start: 0,
+        version,
+    }
+}
+
+/// Tier build publishes flag and sketch payload as ONE snapshot swap:
+/// under every interleaving a refreshing reader sees either the old
+/// untiered lane or the new lane whose sketch actually answers — never a
+/// tier flag without its payload.
+#[test]
+fn tier_build_publishes_flag_and_sketch_atomically() {
+    model(|| {
+        let cell = Arc::new(ShardedCell::new(vec![shard_snap(0, 4, 0)]));
+        let c2 = Arc::clone(&cell);
+        let writer = thread::spawn(move || c2.publish_shard(0, tier_snap(1)));
+        let mut cache = cell.cache();
+        cache.refresh(&cell);
+        let snap = cache.lanes()[0].current();
+        if snap.version == 0 {
+            assert_eq!(
+                snap.zonemap.zones_tiered(),
+                0,
+                "pre-tier snapshot carries a tier flag"
+            );
+        } else {
+            assert_eq!(
+                snap.zonemap.zones_tiered(),
+                1,
+                "published lane lost its tier"
+            );
+            // The flag is backed by a live sketch: a shared prune for the
+            // absent value 7 is excluded by the tier, not scanned (the
+            // zone's [0, 3] bounds overlap the probe, so only the sketch
+            // can have skipped it).
+            let out = snap.zonemap.prune_shared(&RangePredicate::point(7));
+            assert_eq!(out.zones_skipped, 1, "tier flag without a payload");
+            assert!(out.units().is_empty(), "sketch present but not consulted");
+        }
+        writer.join().unwrap();
+        cache.refresh(&cell);
+        assert_eq!(cache.lanes()[0].current().zonemap.zones_tiered(), 1);
+    });
+}
+
+/// Dropping a tier on the owner's authoritative copy cannot race a
+/// reader's held snapshot: the sketch Arc is shared copy-on-write, so
+/// the owner retiring its reference (and republishing an untiered lane)
+/// leaves the reader's sketch fully usable under every interleaving.
+#[test]
+fn tier_drop_cannot_invalidate_a_held_snapshot() {
+    model(|| {
+        let snap = tier_snap(1);
+        // The owner's authoritative copy shares the sketch Arc with the
+        // snapshot about to be published.
+        let owner_zm = snap.zonemap.clone();
+        let cell = Arc::new(ShardedCell::new(vec![snap]));
+        let mut cache = cell.cache();
+        cache.refresh(&cell);
+        let held = std::sync::Arc::clone(cache.lanes()[0].current());
+
+        let c2 = Arc::clone(&cell);
+        let writer = thread::spawn(move || {
+            let mut zm = owner_zm;
+            let data = reorg_data();
+            // A hitless consultation: value 3 is present, so the sketch
+            // admits it and the zone scans anyway. The 1-probe drop
+            // window then judges the tier useless and retires it.
+            let _ = SkippingIndex::prune(&mut zm, &RangePredicate::point(3));
+            let rep = zm.apply_tiers(&data);
+            assert_eq!(rep.dropped, 1, "owner must drop the hitless tier");
+            c2.publish_shard(
+                0,
+                ShardSnapshot {
+                    delete: Arc::new(DeleteVector::new(data.len(), 0)),
+                    data: SharedColumn::new(data),
+                    zonemap: zm,
+                    start: 0,
+                    version: 2,
+                },
+            );
+        });
+
+        // Concurrent with the drop: the held snapshot keeps consulting
+        // its sketch, still excluding the absent value.
+        assert_eq!(held.zonemap.zones_tiered(), 1);
+        let out = held.zonemap.prune_shared(&RangePredicate::point(7));
+        assert_eq!(out.zones_skipped, 1);
+        assert!(out.units().is_empty());
+
+        writer.join().unwrap();
+        cache.refresh(&cell);
+        let fresh = cache.lanes()[0].current();
+        assert_eq!(fresh.version, 2);
+        assert_eq!(fresh.zonemap.zones_tiered(), 0, "drop published");
     });
 }
 

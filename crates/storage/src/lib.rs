@@ -15,6 +15,9 @@
 //! * out-of-place mutation primitives ([`mutation`]): epoch-stamped
 //!   tombstone vectors and tail delta buffers, so updates and deletes
 //!   never rewrite a published column version;
+//! * value-set and histogram sketches over row ranges ([`sketch`],
+//!   [`imprint`]) — the metadata tiers skipping indexes layer on top of
+//!   plain `(min, max)` bounds;
 //! * optional [`parallel`] scan helpers for full-table baselines.
 //!
 //! Nothing here knows about zonemaps: the skipping logic lives in
@@ -27,6 +30,7 @@ pub mod bitmap;
 pub mod catalog;
 pub mod column;
 pub mod error;
+pub mod imprint;
 pub mod mutation;
 pub mod parallel;
 pub mod ranges;
@@ -34,6 +38,7 @@ pub mod reorg;
 pub mod scan;
 pub mod sharded;
 pub mod shared;
+pub mod sketch;
 pub mod strings;
 pub mod table;
 pub mod types;
@@ -42,11 +47,13 @@ pub use bitmap::Bitmap;
 pub use catalog::Catalog;
 pub use column::Column;
 pub use error::{Result, StorageError};
+pub use imprint::{Imprints, RunVerdict};
 pub use mutation::{DeleteVector, DeltaBuffer};
 pub use ranges::{RangeSet, RowRange};
 pub use reorg::{ReorgSpans, ReorgZone};
 pub use sharded::ShardedColumn;
 pub use shared::SharedColumn;
+pub use sketch::BloomSketch;
 pub use strings::{AppendEffect, DictColumn};
 pub use table::{AnyColumn, ColumnAccess, Table};
 pub use types::DataValue;

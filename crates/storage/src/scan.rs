@@ -48,6 +48,19 @@ fn assert_positions_addressable(base: usize, len: usize) {
 /// value at bit `i` of the top byte (the portable movemask trick).
 const PACK_MUL: u64 = 0x0102_0408_1020_4080;
 
+/// Folds 64 0/1 lane bytes into the per-block qualifying bitmask via
+/// eight multiply-packs.
+#[inline]
+fn pack_lanes(lanes: &[u8; LANES]) -> u64 {
+    let mut mask = 0u64;
+    for (w, group) in lanes.chunks_exact(8).enumerate() {
+        // invariant: chunks_exact(8) yields exactly 8 bytes per group.
+        let word = u64::from_le_bytes(group.try_into().expect("chunks_exact(8)"));
+        mask |= (word.wrapping_mul(PACK_MUL) >> 56) << (8 * w);
+    }
+    mask
+}
+
 /// The per-block predicate kernel: bit `i` of the result is set when
 /// `block[i]` lies in `[lo, hi]` under the total order.
 ///
@@ -56,20 +69,32 @@ const PACK_MUL: u64 = 0x0102_0408_1020_4080;
 /// into packed SIMD compares — and then eight multiply-packs fold each
 /// 8-byte group into 8 mask bits. A single-pass `mask |= q << i` loop
 /// is a 64-deep dependent OR chain that defeats vectorisation.
+///
+/// Point predicates (`lo` total-order-equal to `hi`, the lowering of
+/// equality queries) dispatch to a single-compare pass — one predictable
+/// branch per block buys every kernel the equality fast path at once.
 #[inline]
 fn lane_mask<T: DataValue>(block: &[T], lo: T, hi: T) -> u64 {
     debug_assert_eq!(block.len(), LANES);
+    if lo.eq_total(&hi) {
+        return lane_mask_point(block, lo);
+    }
     let mut lanes = [0u8; LANES];
     for (b, v) in lanes.iter_mut().zip(block) {
         *b = v.in_range_total(&lo, &hi) as u8;
     }
-    let mut mask = 0u64;
-    for (w, group) in lanes.chunks_exact(8).enumerate() {
-        // invariant: chunks_exact(8) yields exactly 8 bytes per group.
-        let word = u64::from_le_bytes(group.try_into().expect("chunks_exact(8)"));
-        mask |= (word.wrapping_mul(PACK_MUL) >> 56) << (8 * w);
+    pack_lanes(&lanes)
+}
+
+/// Equality kernel: one compare per lane instead of two.
+#[inline]
+fn lane_mask_point<T: DataValue>(block: &[T], v: T) -> u64 {
+    debug_assert_eq!(block.len(), LANES);
+    let mut lanes = [0u8; LANES];
+    for (b, x) in lanes.iter_mut().zip(block) {
+        *b = x.eq_total(&v) as u8;
     }
-    mask
+    pack_lanes(&lanes)
 }
 
 /// Counts values `v` in `data` with `lo <= v <= hi`.

@@ -1,0 +1,150 @@
+//! Word-packed set sketches (blocked bloom filters) for equality-heavy
+//! zones.
+//!
+//! A [`BloomSketch`] summarises the *value set* of a contiguous row range
+//! so an equality probe can prove "no row here equals `v`" without
+//! touching a row. Min/max zone metadata cannot skip point predicates
+//! that fall inside a wide `[min, max]` interval; a set sketch can.
+//!
+//! Soundness is one-sided by construction: a probe may report a value as
+//! present when it is not (hash collision — the zone gets scanned and
+//! the scan finds nothing), but can never report an inserted value as
+//! absent. Keys come from [`DataValue::sketch_key`], which maps
+//! total-order-equal values to equal keys, so a predicate bound equal to
+//! a stored value always probes the bits that value set.
+
+use crate::types::DataValue;
+
+/// Probes per key: two derived bit positions from one 64-bit mix.
+const PROBES: u32 = 2;
+
+/// A fixed-size bloom filter over the values of one row range.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BloomSketch {
+    /// Bit array, packed little-endian into 64-bit words.
+    words: Box<[u64]>,
+    /// `words.len() * 64`, cached as a power-of-two mask-friendly count.
+    bits: u64,
+}
+
+impl BloomSketch {
+    /// Builds a sketch over `data` with roughly `bits_per_row` filter
+    /// bits per row, capped at `max_bytes` of bit array. The word count
+    /// is rounded up to a power of two so probe positions reduce with a
+    /// mask instead of a modulo.
+    ///
+    /// # Panics
+    /// Panics when `bits_per_row == 0` or `max_bytes < 8`.
+    pub fn build<T: DataValue>(data: &[T], bits_per_row: usize, max_bytes: usize) -> Self {
+        assert!(bits_per_row > 0, "bits_per_row must be positive");
+        assert!(max_bytes >= 8, "need at least one 64-bit word");
+        let want_bits = data.len().saturating_mul(bits_per_row).max(64);
+        let max_bits = max_bytes * 8;
+        let words = (want_bits.min(max_bits).div_ceil(64)).next_power_of_two();
+        let mut sketch = BloomSketch {
+            words: vec![0u64; words].into_boxed_slice(),
+            bits: (words * 64) as u64,
+        };
+        for &v in data {
+            sketch.insert(v);
+        }
+        sketch
+    }
+
+    /// Inserts one value.
+    fn insert<T: DataValue>(&mut self, v: T) {
+        let mut h = splitmix64(v.sketch_key());
+        for _ in 0..PROBES {
+            let bit = h % self.bits;
+            self.words[(bit / 64) as usize] |= 1u64 << (bit % 64);
+            h = splitmix64(h);
+        }
+    }
+
+    /// True when `v` may have been inserted; false proves it was not.
+    #[inline]
+    pub fn may_contain<T: DataValue>(&self, v: T) -> bool {
+        let mut h = splitmix64(v.sketch_key());
+        for _ in 0..PROBES {
+            let bit = h % self.bits;
+            if self.words[(bit / 64) as usize] & (1u64 << (bit % 64)) == 0 {
+                return false;
+            }
+            h = splitmix64(h);
+        }
+        true
+    }
+
+    /// Heap bytes held by the bit array.
+    pub fn metadata_bytes(&self) -> usize {
+        self.words.len() * std::mem::size_of::<u64>()
+    }
+
+    /// Fraction of set bits — a saturation gauge; past ~0.5 the false
+    /// positive rate makes the sketch near-useless.
+    pub fn fill_ratio(&self) -> f64 {
+        let set: u32 = self.words.iter().map(|w| w.count_ones()).sum();
+        set as f64 / self.bits as f64
+    }
+}
+
+/// The splitmix64 finaliser: a cheap, well-distributed 64-bit mix.
+#[inline]
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn never_false_negative() {
+        let data: Vec<i64> = (0..4096).map(|i| (i * 2654435761i64) % 100_000).collect();
+        let sketch = BloomSketch::build(&data, 8, 1 << 20);
+        for &v in &data {
+            assert!(sketch.may_contain(v), "inserted {v} reported absent");
+        }
+    }
+
+    #[test]
+    fn mostly_rejects_absent_values() {
+        let data: Vec<i64> = (0..1000).collect();
+        let sketch = BloomSketch::build(&data, 8, 1 << 20);
+        let misses = (1_000_000..1_001_000)
+            .filter(|&v| !sketch.may_contain(v))
+            .count();
+        assert!(misses > 800, "false positive rate too high: {misses}/1000");
+    }
+
+    #[test]
+    fn float_keys_respect_total_order_equality() {
+        let data = [1.5f64, -0.0, f64::NAN];
+        let sketch = BloomSketch::build(&data, 8, 1024);
+        assert!(sketch.may_contain(1.5));
+        assert!(sketch.may_contain(-0.0));
+        assert!(sketch.may_contain(f64::NAN), "same-pattern NaN must hit");
+    }
+
+    #[test]
+    fn size_cap_is_respected() {
+        let data: Vec<i64> = (0..100_000).collect();
+        let sketch = BloomSketch::build(&data, 8, 256);
+        assert!(sketch.metadata_bytes() <= 256);
+        // Saturated but still sound.
+        for &v in &data[..1000] {
+            assert!(sketch.may_contain(v));
+        }
+        assert!(sketch.fill_ratio() > 0.5);
+    }
+
+    #[test]
+    fn empty_slice_rejects_everything_cheaply() {
+        let sketch = BloomSketch::build(&[] as &[i64], 8, 1024);
+        assert!(!sketch.may_contain(0i64));
+        assert_eq!(sketch.metadata_bytes(), 8);
+    }
+}

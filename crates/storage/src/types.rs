@@ -30,6 +30,20 @@ pub trait DataValue: Copy + Send + Sync + fmt::Debug + fmt::Display + PartialEq 
     /// integers up to 2^53, which covers the workloads in this repository.
     fn to_f64(self) -> f64;
 
+    /// Hash key for value sketches (bloom filters): values equal under
+    /// [`DataValue::total_cmp`] must map to the same key, so a sketch
+    /// probe keyed on a predicate bound can never miss an equal stored
+    /// value. Distinct values may collide — collisions only over-admit.
+    fn sketch_key(self) -> u64;
+
+    /// `self == other` under the total order (for floats: bit equality
+    /// modulo nothing — `totalOrder` distinguishes `-0.0` from `0.0` and
+    /// NaN payloads from each other).
+    #[inline]
+    fn eq_total(&self, other: &Self) -> bool {
+        self.total_cmp(other) == Ordering::Equal
+    }
+
     /// `self <= other` under the total order.
     #[inline]
     fn le_total(&self, other: &Self) -> bool {
@@ -98,6 +112,18 @@ macro_rules! impl_data_value_int {
             }
 
             #[inline]
+            fn sketch_key(self) -> u64 {
+                // Sign-extending (or zero-extending) cast: equal integers
+                // always produce equal keys, exactly as required.
+                self as u64
+            }
+
+            #[inline]
+            fn eq_total(&self, other: &Self) -> bool {
+                *self == *other
+            }
+
+            #[inline]
             fn in_range_total(&self, lo: &Self, hi: &Self) -> bool {
                 (*lo <= *self) & (*self <= *hi)
             }
@@ -124,6 +150,19 @@ impl DataValue for f64 {
     #[inline]
     fn to_f64(self) -> f64 {
         self
+    }
+
+    #[inline]
+    fn sketch_key(self) -> u64 {
+        // Bit pattern: totalOrder-equal floats are bit-identical, so
+        // equal values share a key; `-0.0` and `0.0` differ under
+        // totalOrder and correctly get distinct keys.
+        self.to_bits()
+    }
+
+    #[inline]
+    fn eq_total(&self, other: &Self) -> bool {
+        self.to_bits() == other.to_bits()
     }
 
     #[inline]
@@ -163,6 +202,16 @@ impl DataValue for f32 {
     #[inline]
     fn to_f64(self) -> f64 {
         self as f64
+    }
+
+    #[inline]
+    fn sketch_key(self) -> u64 {
+        self.to_bits() as u64
+    }
+
+    #[inline]
+    fn eq_total(&self, other: &Self) -> bool {
+        self.to_bits() == other.to_bits()
     }
 
     #[inline]
@@ -266,6 +315,34 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn eq_total_is_total_order_equality() {
+        assert!(5i64.eq_total(&5));
+        assert!(!5i64.eq_total(&6));
+        assert!(f64::NAN.eq_total(&f64::NAN));
+        assert!(!(-0.0f64).eq_total(&0.0), "totalOrder splits the zeros");
+        assert!(
+            !f64::NAN.eq_total(&-f64::NAN),
+            "totalOrder splits NaN signs"
+        );
+        assert!(2.5f32.eq_total(&2.5));
+    }
+
+    #[test]
+    fn sketch_key_agrees_with_eq_total() {
+        // The soundness contract: eq_total values share a key.
+        let floats = [0.0f64, -0.0, 1.5, f64::NAN, f64::INFINITY];
+        for &a in &floats {
+            for &b in &floats {
+                if a.eq_total(&b) {
+                    assert_eq!(a.sketch_key(), b.sketch_key());
+                }
+            }
+        }
+        assert_eq!((-3i8).sketch_key(), (-3i64).sketch_key());
+        assert_ne!((-0.0f64).sketch_key(), 0.0f64.sketch_key());
     }
 
     #[test]
