@@ -174,12 +174,9 @@ impl<T: DataValue> SkippingIndex<T> for CrackerColumn<T> {
         }
         PruneOutcome {
             must_scan,
-            scan_units: Vec::new(),
-            mask_requests: Vec::new(),
             full_match,
-            reorg_units: Vec::new(),
             zones_probed: 2, // two cracker-index lookups
-            zones_skipped: 0,
+            ..Default::default()
         }
     }
 

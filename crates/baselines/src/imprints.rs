@@ -9,7 +9,7 @@
 //! non-adaptive alternative to zonemaps in the evaluation.
 
 use ads_core::{PruneOutcome, RangePredicate, SkippingIndex};
-use ads_storage::{DataValue, Imprints, RangeSet, RunVerdict};
+use ads_storage::{DataValue, Imprints, RunVerdict};
 
 /// Maximum number of histogram bins (one bit each in a 64-bit imprint).
 pub const MAX_BINS: usize = ads_storage::imprint::MAX_BINS;
@@ -59,15 +59,8 @@ impl<T: DataValue> SkippingIndex<T> for ColumnImprints<T> {
     }
 
     fn prune(&mut self, pred: &RangePredicate<T>) -> PruneOutcome {
-        let mut out = PruneOutcome {
-            must_scan: RangeSet::with_capacity(16),
-            scan_units: Vec::new(),
-            mask_requests: Vec::new(),
-            full_match: RangeSet::with_capacity(4),
-            reorg_units: Vec::new(),
-            zones_probed: self.sketch.num_runs(),
-            zones_skipped: 0,
-        };
+        let mut out = PruneOutcome::for_prune();
+        out.zones_probed = self.sketch.num_runs();
         self.sketch
             .classify(pred.lo, pred.hi, |range, verdict| match verdict {
                 RunVerdict::Skip => out.zones_skipped += 1,

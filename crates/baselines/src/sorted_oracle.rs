@@ -58,14 +58,10 @@ impl<T: DataValue> SkippingIndex<T> for SortedOracle<T> {
             full_match.push_span(lo, hi);
         }
         PruneOutcome {
-            must_scan: RangeSet::new(),
-            scan_units: Vec::new(),
-            mask_requests: Vec::new(),
             full_match,
             // Two binary searches; charge one logical probe each.
-            reorg_units: Vec::new(),
             zones_probed: 2,
-            zones_skipped: 0,
+            ..Default::default()
         }
     }
 

@@ -1,0 +1,71 @@
+//! E21 — per-zone metadata tiers: workload grid × tier policies.
+//!
+//! CSV-parity wrapper over [`crate::sketch_bench`] (the JSON emitter is
+//! `sketches_json` → `results/BENCH_sketches.json`): bloom sketches and
+//! column imprints are built lazily per zone, chosen from observed
+//! predicate shape, and dropped when hitless. Answer checksums are
+//! asserted identical across all four tier policies per workload, so
+//! every speedup below is for proven-identical work.
+
+use crate::report::{fmt_ms, Report};
+use crate::runner::Scale;
+use crate::sketch_bench;
+
+/// Runs the experiment.
+pub fn run(scale: Scale) -> Report {
+    let mut report = Report::new(
+        "e21",
+        "per-zone metadata tiers: bloom and imprint sketches, adaptively chosen",
+        &[
+            "workload",
+            "mode",
+            "total ms",
+            "vs off",
+            "rows scanned (M)",
+            "built (b/i)",
+            "dropped",
+            "tier skips",
+            "rows excluded (M)",
+        ],
+    );
+    report.note(format!(
+        "{} rows, {} queries/cell; checksums asserted equal across modes",
+        scale.rows, scale.queries
+    ));
+
+    let bench = sketch_bench::run(scale.rows, scale.queries, scale.domain, scale.seed ^ 0xE21);
+    for c in &bench.cells {
+        let off_ns = bench
+            .cells
+            .iter()
+            .find(|o| o.workload == c.workload && o.mode == "off")
+            .map_or(c.elapsed_ns, |o| o.elapsed_ns);
+        report.row(vec![
+            c.workload.clone(),
+            c.mode.clone(),
+            fmt_ms(c.elapsed_ns),
+            format!("{:.2}x", off_ns as f64 / c.elapsed_ns.max(1) as f64),
+            format!("{:.2}", c.rows_scanned as f64 / 1e6),
+            format!("{}/{}", c.blooms_built, c.imprints_built),
+            c.tiers_dropped.to_string(),
+            c.tier_skips.to_string(),
+            format!("{:.2}", c.tier_rows_excluded as f64 / 1e6),
+        ]);
+    }
+    report.note(if bench.bloom_wins_a_cell() {
+        "the bloom tier wins its home cell outright".to_string()
+    } else {
+        "WARNING: the bloom tier won no cell on this host".to_string()
+    });
+    report.note(if bench.imprint_wins_a_cell() {
+        "the imprint tier wins its home cell outright".to_string()
+    } else {
+        "WARNING: the imprint tier won no cell on this host".to_string()
+    });
+    report.note(if bench.useless_tiers_dropped() {
+        "the null cell dropped every tier it built".to_string()
+    } else {
+        "WARNING: useless tiers survived the null cell".to_string()
+    });
+    report
+}

@@ -35,6 +35,10 @@ impl<T: DataValue> AdaptiveZonemap<T> {
         // Every pass above may renumber or retire zones; one rebuild
         // restores the SoA prune plane's mirroring invariant.
         self.plane.rebuild(&self.zones);
+        // epoch: one conditional bump covers all structural passes — the
+        // trace-event/zone-count diff is true exactly when a pass changed
+        // anything reader-visible; a no-op maintenance tick must NOT bump,
+        // or every tick would force a full lane republication.
         if self.trace.total_events() != events_before || self.zones.len() != zones_before {
             self.mutation_epoch += 1;
         }
@@ -42,6 +46,10 @@ impl<T: DataValue> AdaptiveZonemap<T> {
 
     /// Merges runs of adjacent Built zones whose metadata never causes
     /// skips, halving (or better) the probe bill for that region.
+    ///
+    /// epoch: the caller (`run_maintenance`) bumps once when any pass
+    /// left trace events — every merge records one, so merges are never
+    /// published without a bump.
     fn merge_pass(&mut self) {
         let cfg = &self.config;
         let mergeable = |z: &AdaptiveZone<T>| {
@@ -120,6 +128,9 @@ impl<T: DataValue> AdaptiveZonemap<T> {
 
     /// Retires Built zones that have grown to (near) the size ceiling and
     /// still never skip: their metadata is a strict loss.
+    ///
+    /// epoch: the caller (`run_maintenance`) bumps once when any pass
+    /// left trace events — every deactivation records one.
     fn deactivate_pass(&mut self) {
         let cfg = &self.config;
         let threshold_rows = cfg.max_zone_rows / 2;
@@ -154,6 +165,14 @@ impl<T: DataValue> AdaptiveZonemap<T> {
     }
 
     /// Coalesces adjacent dead zones into single entries.
+    ///
+    /// epoch: the caller (`run_maintenance`) bumps when the zone count
+    /// changed — which is exactly when this pass removed an entry.
+    ///
+    /// lifecycle: only `Dead` zones are folded together, and
+    /// `deactivate_pass` already cleared `tier`/`mask` when it killed
+    /// them (a reorganized zone is never deactivated, so `layout` is
+    /// `Flat` here by construction — `assert_invariants` checks this).
     fn coalesce_dead(&mut self) {
         let mut i = 0;
         while i + 1 < self.zones.len() {

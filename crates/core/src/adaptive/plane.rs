@@ -49,6 +49,9 @@ pub(crate) struct PrunePlane<T: DataValue> {
 
 impl<T: DataValue> PrunePlane<T> {
     /// Builds the plane from scratch to mirror `zones`.
+    ///
+    /// epoch: constructor — the plane it assembles is not reachable by
+    /// any reader until the owning zonemap is published.
     pub(crate) fn from_zones(zones: &[AdaptiveZone<T>]) -> Self {
         let mut plane = PrunePlane {
             mins: Vec::new(),

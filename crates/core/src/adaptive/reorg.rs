@@ -75,6 +75,10 @@ impl<T: DataValue> AdaptiveZonemap<T> {
     /// after a query, or on the server's maintenance thread — never on a
     /// shared snapshot. Readers observe layout changes only through the
     /// next republication, as one atomic snapshot swap.
+    ///
+    /// epoch: bumps once at the end under `report.changed()` — true
+    /// exactly when a zone was promoted or demoted; a pass that only
+    /// read counters is reader-invisible.
     pub fn apply_reorg(&mut self, base: &[T]) -> ReorgReport {
         if !self.config.enable_reorg {
             return ReorgReport::default();

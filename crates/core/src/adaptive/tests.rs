@@ -741,3 +741,78 @@ fn useless_tier_is_dropped_with_rebuild_backoff() {
     // Backoff: the very next pass must not rebuild immediately.
     assert_eq!(zm.apply_tiers(&data).built, 0, "rebuild ignored backoff");
 }
+
+/// Seeded protocol bug: a bloom sketch built over the *wrong* value set
+/// makes the tier exclude a zone that holds a qualifying row — the
+/// classic widened-miss false skip. The shadow oracle must abort and
+/// name the bloom decision that caused it.
+#[cfg(feature = "audit")]
+#[test]
+fn audit_catches_seeded_bloom_false_skip() {
+    use crate::adaptive::zone::ZoneTier;
+    use crate::adaptive::TierMode;
+    use ads_storage::BloomSketch;
+    use std::sync::Arc;
+
+    let data: Vec<i64> = (0..2048)
+        .map(|i| ((i * 2654435761i64) % 1000) * 2)
+        .collect();
+    let cfg = AdaptiveConfig {
+        tier_mode: TierMode::Bloom,
+        tier_after_scans: 1,
+        enable_split: false,
+        enable_merge: false,
+        enable_deactivate: false,
+        enable_mask: false,
+        ..small_config()
+    };
+    let mut zm = AdaptiveZonemap::new(data.len(), cfg);
+    for v in [0i64, 400, 800, 1200] {
+        run_query(&mut zm, &data, RangePredicate::point(v));
+    }
+    assert!(zm.apply_tiers(&data).built > 0, "tiers should amortise");
+
+    // Sanity: with honest sketches, probing a present value never trips
+    // the oracle.
+    let present = data[17];
+    let honest = zm.prune(&RangePredicate::point(present));
+    crate::audit::verify_outcome(
+        &data,
+        None,
+        &RangePredicate::point(present),
+        &honest,
+        None,
+        "seeded-bloom",
+    );
+
+    // Seed the bug: every bloom tier is replaced by one built over a
+    // disjoint value set, so present values now probe as absent.
+    let wrong = [999_983i64];
+    let mut swapped = 0;
+    for z in zm.zones.iter_mut() {
+        if matches!(z.tier, Some(ZoneTier::Bloom(_))) {
+            z.tier = Some(ZoneTier::Bloom(Arc::new(BloomSketch::build(
+                &wrong,
+                8,
+                1 << 16,
+            ))));
+            swapped += 1;
+        }
+    }
+    assert!(swapped > 0, "no bloom tier to corrupt");
+
+    let pred = RangePredicate::point(present);
+    let outcome = zm.prune(&pred);
+    let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        crate::audit::verify_outcome(&data, None, &pred, &outcome, None, "seeded-bloom");
+    }))
+    .expect_err("corrupted bloom sketch must be caught as a false skip");
+    let msg = err
+        .downcast_ref::<String>()
+        .expect("panic carries a message");
+    assert!(msg.contains("FALSE SKIP"), "unexpected abort: {msg}");
+    assert!(
+        msg.contains("skip:bloom"),
+        "trace must name the bloom decision: {msg}"
+    );
+}

@@ -95,6 +95,10 @@ impl<T: DataValue> AdaptiveZonemap<T> {
     /// Runs on the owner's side of the publication protocol — inline via
     /// [`maintain`](crate::index::SkippingIndex::maintain) or on the
     /// server's maintenance thread — never on a shared snapshot.
+    ///
+    /// epoch: bumps once at the end under `report.changed()` — true
+    /// exactly when a tier was built or dropped; a pass that only
+    /// adjusted windows/backoff counters is reader-invisible.
     pub fn apply_tiers(&mut self, base: &[T]) -> TierReport {
         let mode = self.config.tier_mode;
         if !mode.enabled() {

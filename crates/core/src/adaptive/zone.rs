@@ -246,6 +246,10 @@ impl<T: DataValue> AdaptiveZone<T> {
 
     /// Drops the tier and its drop window, remembering the drop for
     /// rebuild backoff. No-op when no tier is attached.
+    ///
+    /// epoch: zone-level helper — the zonemap-level callers
+    /// (`apply_tiers`' drop path, the lifecycle passes) own the bump;
+    /// a zone cannot see the map's epoch counter from here.
     pub fn drop_tier(&mut self) {
         if self.tier.take().is_some() {
             self.tier_stats.reset_window();

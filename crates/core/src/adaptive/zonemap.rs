@@ -78,6 +78,9 @@ impl<T: DataValue> AdaptiveZonemap<T> {
     }
 
     /// As [`AdaptiveZonemap::new`] with an explicit cost model.
+    ///
+    /// epoch: constructor — starts at epoch 0 and is unreachable by
+    /// readers until first published.
     pub fn with_cost(len: usize, config: AdaptiveConfig, cost: CostModel) -> Self {
         config.validate();
         let mut zones = Vec::with_capacity(len.div_ceil(config.target_zone_rows.max(1)));
@@ -259,6 +262,11 @@ impl<T: DataValue> SkippingIndex<T> for AdaptiveZonemap<T> {
         self
     }
 
+    // epoch: the only reader-visible write on this path is a reorg
+    // payload crack, bumped below under `moved > 0`; everything else
+    // the probe loop touches (skip/probe counters, idle clocks, tier
+    // telemetry) is per-query stat drift that must NOT bump, or every
+    // query would force a full lane republication.
     fn prune(&mut self, pred: &RangePredicate<T>) -> PruneOutcome {
         let mut out = self.prune_prologue();
 
@@ -276,12 +284,14 @@ impl<T: DataValue> SkippingIndex<T> for AdaptiveZonemap<T> {
                 out.must_scan.push_span(zone.start, zone.end);
                 out.scan_units.push(zone.range());
                 out.mask_requests.push(None);
+                out.record_decision(zone.range(), "scan:unbuilt");
                 continue;
             }
             let min = self.plane.mins[idx];
             let max = self.plane.maxs[idx];
             if !pred.overlaps(min, max) {
                 out.zones_skipped += 1;
+                out.record_decision(self.zones[idx].range(), "skip:bounds");
                 // Deferred record_skip(): one dense counter bump instead
                 // of a read-modify-write on the cold AoS zone record.
                 self.plane.defer_skip(idx);
@@ -320,6 +330,9 @@ impl<T: DataValue> SkippingIndex<T> for AdaptiveZonemap<T> {
         out
     }
 
+    // epoch: structural writes (bounds built/tightened, splits, mask
+    // attach) set `mutated` at each site and are covered by one bump at
+    // the end; the remaining writes are selectivity/yield stat drift.
     fn observe(&mut self, obs: &ScanObservation<T>) {
         let low_yield = self.config.split_low_yield;
         let mut split_queue: Vec<usize> = Vec::new();
@@ -778,14 +791,17 @@ fn probe_overlapping_zone<T: DataValue>(
     match action {
         OverlapAction::FullMatch => {
             out.full_match.push_span(zone.start, zone.end);
+            out.record_decision(zone.range(), "full:bounds");
             zone.stats.record_no_skip();
         }
         OverlapAction::MaskSkip => {
             out.zones_skipped += 1;
+            out.record_decision(zone.range(), "skip:mask");
             zone.stats.record_skip();
         }
         OverlapAction::TierSkip => {
             out.zones_skipped += 1;
+            out.record_decision(zone.range(), tier_skip_label(zone));
             zone.stats.record_skip();
             zone.tier_stats.tier_hits = zone.tier_stats.tier_hits.saturating_add(1);
             tier_life.tier_skips += 1;
@@ -809,13 +825,27 @@ fn probe_overlapping_zone<T: DataValue>(
                 }
             }
             tier_life.tier_rows_excluded += (zone.len() - covered) as u64;
+            out.record_decision(zone.range(), "tier-units");
         }
         OverlapAction::Scan(req) => {
             out.must_scan.push_span(zone.start, zone.end);
             out.scan_units.push(zone.range());
             out.mask_requests.push(req);
+            out.record_decision(zone.range(), "scan");
             zone.stats.record_no_skip();
         }
+    }
+}
+
+/// Decision-trace label for a [`OverlapAction::TierSkip`], naming which
+/// sketch kind excluded the zone.
+fn tier_skip_label<T: DataValue>(zone: &AdaptiveZone<T>) -> &'static str {
+    match &zone.tier {
+        Some(ZoneTier::Bloom(_)) => "skip:bloom",
+        Some(ZoneTier::Imprint(_)) => "skip:imprint",
+        // TierSkip is only produced by a tier probe, but keep the
+        // fallback total rather than panicking inside diagnostics.
+        None => "skip:tier",
     }
 }
 
@@ -829,6 +859,10 @@ fn probe_overlapping_zone<T: DataValue>(
 /// Full matches deliberately bypass the positional path: a plain
 /// base-coordinate `full_match` span folds in the same order as the flat
 /// layout, which keeps aggregate results bit-identical across layouts.
+///
+/// epoch: returns the cracked byte count so the calling prune loop can
+/// bump `mutation_epoch` when it is non-zero; the hit/idle writes here
+/// are stat drift.
 fn probe_reorg_zone<T: DataValue>(
     zone: &mut AdaptiveZone<T>,
     pred: &RangePredicate<T>,
@@ -850,6 +884,7 @@ fn probe_reorg_zone<T: DataValue>(
     *idle = 0;
     if pred.contains_zone(min, max) {
         out.full_match.push_span(range.start, range.end);
+        out.record_decision(range, "full:bounds");
         return 0;
     }
     // COW crack: if a published snapshot still shares this payload,
@@ -867,6 +902,7 @@ fn probe_reorg_zone<T: DataValue>(
         ],
         payload: Arc::clone(payload) as Arc<dyn std::any::Any + Send + Sync>,
     });
+    out.record_decision(range, "positional");
     moved
 }
 
@@ -881,15 +917,7 @@ impl<T: DataValue> AdaptiveZonemap<T> {
             self.revive_due_zones();
         }
 
-        PruneOutcome {
-            must_scan: RangeSet::with_capacity(32),
-            scan_units: Vec::with_capacity(32),
-            mask_requests: Vec::new(),
-            full_match: RangeSet::with_capacity(8),
-            reorg_units: Vec::new(),
-            zones_probed: 0,
-            zones_skipped: 0,
-        }
+        PruneOutcome::for_prune()
     }
 
     /// Folds one prune's tallies into the lifetime statistics.
@@ -911,15 +939,7 @@ impl<T: DataValue> AdaptiveZonemap<T> {
     /// mutable path performs inline is applied later, centrally, when the
     /// executed query's feedback reaches [`AdaptiveZonemap::apply_feedback`].
     pub fn prune_shared(&self, pred: &RangePredicate<T>) -> PruneOutcome {
-        let mut out = PruneOutcome {
-            must_scan: RangeSet::with_capacity(32),
-            scan_units: Vec::with_capacity(32),
-            mask_requests: Vec::new(),
-            full_match: RangeSet::with_capacity(8),
-            reorg_units: Vec::new(),
-            zones_probed: 0,
-            zones_skipped: 0,
-        };
+        let mut out = PruneOutcome::for_prune();
         let min_split_rows =
             (2 * self.config.min_zone_rows).max(2 * self.cost.min_profitable_zone_rows());
         for idx in 0..self.zones.len() {
@@ -929,18 +949,21 @@ impl<T: DataValue> AdaptiveZonemap<T> {
                 out.must_scan.push_span(zone.start, zone.end);
                 out.scan_units.push(zone.range());
                 out.mask_requests.push(None);
+                out.record_decision(zone.range(), "scan:unbuilt");
                 continue;
             }
             let min = self.plane.mins[idx];
             let max = self.plane.maxs[idx];
             if !pred.overlaps(min, max) {
                 out.zones_skipped += 1;
+                out.record_decision(self.zones[idx].range(), "skip:bounds");
                 continue;
             }
             let zone = &self.zones[idx];
             if let Some(payload) = zone.reorg_payload() {
                 if pred.contains_zone(min, max) {
                     out.full_match.push_span(zone.start, zone.end);
+                    out.record_decision(zone.range(), "full:bounds");
                 } else {
                     // Read-only positional resolution: no crack on the
                     // shared path, so uncracked bounds surface as edge
@@ -957,12 +980,23 @@ impl<T: DataValue> AdaptiveZonemap<T> {
                         ],
                         payload: Arc::clone(payload) as Arc<dyn std::any::Any + Send + Sync>,
                     });
+                    out.record_decision(zone.range(), "positional");
                 }
                 continue;
             }
             match classify_overlapping_zone(zone, pred, min, max, &self.config, min_split_rows) {
-                OverlapAction::FullMatch => out.full_match.push_span(zone.start, zone.end),
-                OverlapAction::MaskSkip | OverlapAction::TierSkip => out.zones_skipped += 1,
+                OverlapAction::FullMatch => {
+                    out.full_match.push_span(zone.start, zone.end);
+                    out.record_decision(zone.range(), "full:bounds");
+                }
+                OverlapAction::MaskSkip => {
+                    out.zones_skipped += 1;
+                    out.record_decision(zone.range(), "skip:mask");
+                }
+                OverlapAction::TierSkip => {
+                    out.zones_skipped += 1;
+                    out.record_decision(zone.range(), tier_skip_label(zone));
+                }
                 OverlapAction::TierUnits(spans) => {
                     // Same spans the mutable prune emits; the stat and
                     // telemetry bumps it performs are replayed later by
@@ -976,11 +1010,13 @@ impl<T: DataValue> AdaptiveZonemap<T> {
                             out.mask_requests.push(None);
                         }
                     }
+                    out.record_decision(zone.range(), "tier-units");
                 }
                 OverlapAction::Scan(req) => {
                     out.must_scan.push_span(zone.start, zone.end);
                     out.scan_units.push(zone.range());
                     out.mask_requests.push(req);
+                    out.record_decision(zone.range(), "scan");
                 }
             }
         }
@@ -1048,6 +1084,10 @@ impl<T: DataValue> AdaptiveZonemap<T> {
     /// reference implementation, kept as the baseline the kernel
     /// benchmark (`kernels_json`) measures the SoA plane against and as
     /// the oracle for the plane's equivalence tests.
+    ///
+    /// epoch: mirrors [`SkippingIndex::prune`] exactly — bumps under
+    /// `moved_total > 0` (payload cracks); all other probe-loop writes
+    /// are per-query stat drift.
     pub fn prune_via_zones(&mut self, pred: &RangePredicate<T>) -> PruneOutcome {
         let mut out = self.prune_prologue();
 
@@ -1064,10 +1104,12 @@ impl<T: DataValue> AdaptiveZonemap<T> {
                     out.must_scan.push_span(zone.start, zone.end);
                     out.scan_units.push(zone.range());
                     out.mask_requests.push(None);
+                    out.record_decision(zone.range(), "scan:unbuilt");
                 }
                 ZoneState::Built { min, max, .. } => {
                     if !pred.overlaps(min, max) {
                         out.zones_skipped += 1;
+                        out.record_decision(zone.range(), "skip:bounds");
                         zone.stats.record_skip();
                         if let ZoneLayout::Reorganized { idle, .. } = &mut zone.layout {
                             *idle = idle.saturating_add(1);
@@ -1105,6 +1147,10 @@ impl<T: DataValue> AdaptiveZonemap<T> {
     /// zeroes them. Must run before anything reads or resets `ZoneStats`
     /// probes/skips (maintenance, revival) and before any structural
     /// change renumbers zones.
+    ///
+    /// epoch: moves already-counted stat drift between two owner-side
+    /// homes (plane counters → zone stats); nothing reader-visible
+    /// changes.
     pub(crate) fn flush_pending_skips(&mut self) {
         for (z, p) in self.plane.pending_skips.iter_mut().enumerate() {
             if *p > 0 {
@@ -1117,6 +1163,13 @@ impl<T: DataValue> AdaptiveZonemap<T> {
     /// Splits zone `idx` into parts, inheriting the parent's bounds as
     /// conservative (non-exact) metadata so skipping keeps working until
     /// the next scan tightens each part.
+    ///
+    /// epoch: the only caller (`observe`'s split-queue drain) sets
+    /// `mutated` for every queued split and bumps once at its end.
+    ///
+    /// lifecycle: children are constructed with `mask: None`,
+    /// `layout: Flat`, `tier: None` below — the parent's metadata
+    /// covered a different row range and must not survive the split.
     pub(crate) fn split_zone(&mut self, idx: usize) {
         self.flush_pending_skips();
         let zone = self.zones[idx].clone();

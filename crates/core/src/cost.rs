@@ -58,6 +58,8 @@ impl CostModel {
 
         // Scan cost per tuple.
         let t0 = Instant::now();
+        // live: synthetic calibration data generated just above — no
+        // delete vector exists for it.
         let hits = ads_storage::scan::count_in_range(&data, 0, i64::MAX / 2);
         let scan_ns_per_tuple = t0.elapsed().as_nanos() as f64 / sample as f64;
         std::hint::black_box(hits);
@@ -67,6 +69,7 @@ impl CostModel {
             .chunks(64)
             .map(|c| {
                 // invariant: chunks() never yields an empty slice.
+                // live: same synthetic delete-free calibration data.
                 let (min, max) = ads_storage::scan::min_max(c).expect("non-empty chunk");
                 (min, max)
             })

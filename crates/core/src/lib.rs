@@ -66,6 +66,8 @@
 
 pub mod activation;
 pub mod adaptive;
+#[cfg(feature = "audit")]
+pub mod audit;
 pub mod cost;
 pub mod index;
 pub mod outcome;

@@ -106,7 +106,9 @@ impl PartialEq for ReorgUnit {
 /// `full_match`, or a `reorg_units` zone (in the index's scan coordinates
 /// — base-table positions for positional indexes, view positions for
 /// indexes that answer from their own reorganised copy, such as cracking).
-#[derive(Debug, Clone, Default, PartialEq)]
+/// The `audit` feature checks this contract at runtime: see
+/// [`crate::audit`].
+#[derive(Debug, Clone, Default)]
 pub struct PruneOutcome {
     /// Ranges the executor must scan and filter. Disjoint from `full_match`.
     pub must_scan: RangeSet,
@@ -134,6 +136,26 @@ pub struct PruneOutcome {
     pub zones_probed: usize,
     /// Zones excluded by metadata.
     pub zones_skipped: usize,
+    /// Per-zone decision trace for the shadow-oracle auditor. Excluded
+    /// from equality: outcomes are decision-equal when they describe the
+    /// same scan work, however the decisions were labelled (the
+    /// prune ≡ prune_shared ≡ prune_via_zones property tests compare
+    /// outcomes across paths with different trace granularity).
+    #[cfg(feature = "audit")]
+    pub audit_trace: Vec<crate::audit::AuditDecision>,
+}
+
+/// Manual impl: every field except the cfg-gated `audit_trace`.
+impl PartialEq for PruneOutcome {
+    fn eq(&self, other: &Self) -> bool {
+        self.must_scan == other.must_scan
+            && self.scan_units == other.scan_units
+            && self.mask_requests == other.mask_requests
+            && self.full_match == other.full_match
+            && self.reorg_units == other.reorg_units
+            && self.zones_probed == other.zones_probed
+            && self.zones_skipped == other.zones_skipped
+    }
 }
 
 impl PruneOutcome {
@@ -141,14 +163,33 @@ impl PruneOutcome {
     pub fn scan_all(rows: usize) -> Self {
         PruneOutcome {
             must_scan: RangeSet::full(rows),
-            scan_units: Vec::new(),
-            mask_requests: Vec::new(),
-            full_match: RangeSet::new(),
-            reorg_units: Vec::new(),
-            zones_probed: 0,
-            zones_skipped: 0,
+            ..Default::default()
         }
     }
+
+    /// An empty outcome with the working capacities a zone-walking prune
+    /// loop wants pre-reserved.
+    pub fn for_prune() -> Self {
+        PruneOutcome {
+            must_scan: RangeSet::with_capacity(32),
+            scan_units: Vec::with_capacity(32),
+            full_match: RangeSet::with_capacity(8),
+            ..Default::default()
+        }
+    }
+
+    /// Records one per-zone decision for the shadow-oracle auditor.
+    #[cfg(feature = "audit")]
+    #[inline]
+    pub fn record_decision(&mut self, zone: RowRange, action: &'static str) {
+        self.audit_trace
+            .push(crate::audit::AuditDecision { zone, action });
+    }
+
+    /// Without the `audit` feature, decision recording compiles away.
+    #[cfg(not(feature = "audit"))]
+    #[inline(always)]
+    pub fn record_decision(&mut self, _zone: RowRange, _action: &'static str) {}
 
     /// The mask request for scan unit `i`, if any.
     pub fn mask_request(&self, i: usize) -> Option<MaskRequest> {
@@ -218,15 +259,21 @@ impl PruneOutcome {
             must_scan = must_scan.union(&zone);
         }
         units.sort_by_key(|(u, _)| u.start);
-        PruneOutcome {
+        #[cfg_attr(not(feature = "audit"), allow(unused_mut))]
+        let mut out = PruneOutcome {
             must_scan,
             scan_units: units.iter().map(|(u, _)| *u).collect(),
             mask_requests: units.iter().map(|(_, m)| *m).collect(),
             full_match: self.full_match.clone(),
-            reorg_units: Vec::new(),
             zones_probed: self.zones_probed,
             zones_skipped: self.zones_skipped,
+            ..Default::default()
+        };
+        #[cfg(feature = "audit")]
+        {
+            out.audit_trace = self.audit_trace.clone();
         }
+        out
     }
 
     /// Restricts the outcome to rows still `alive` after earlier conjuncts.
@@ -261,15 +308,20 @@ impl PruneOutcome {
                 k += 1;
             }
         }
-        PruneOutcome {
+        #[cfg_attr(not(feature = "audit"), allow(unused_mut))]
+        let mut out = PruneOutcome {
             must_scan: self.must_scan.intersect(alive),
             scan_units: units,
-            mask_requests: Vec::new(),
             full_match: self.full_match.intersect(alive),
-            reorg_units: Vec::new(),
             zones_probed: self.zones_probed,
             zones_skipped: self.zones_skipped,
+            ..Default::default()
+        };
+        #[cfg(feature = "audit")]
+        {
+            out.audit_trace = self.audit_trace.clone();
         }
+        out
     }
 }
 

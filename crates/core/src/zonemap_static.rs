@@ -11,7 +11,7 @@ use crate::index::SkippingIndex;
 use crate::outcome::PruneOutcome;
 use crate::predicate::RangePredicate;
 use crate::stats::PruneStats;
-use ads_storage::{scan, DataValue, RangeSet};
+use ads_storage::{scan, DataValue, RangeSet, RowRange};
 
 /// A fixed-granularity, eagerly-built zonemap.
 ///
@@ -61,6 +61,8 @@ impl<T: DataValue> StaticZonemap<T> {
         };
         for c in data.chunks(zone_rows) {
             // invariant: chunks() never yields an empty slice.
+            // live: zone bounds built over all rows (tombstones
+            // included) are conservatively wide — sound for skipping.
             let (min, max) = scan::min_max(c).expect("chunks are non-empty");
             zm.mins.push(min);
             zm.maxs.push(max);
@@ -100,23 +102,19 @@ impl<T: DataValue> SkippingIndex<T> for StaticZonemap<T> {
     }
 
     fn prune(&mut self, pred: &RangePredicate<T>) -> PruneOutcome {
-        let mut out = PruneOutcome {
-            must_scan: RangeSet::with_capacity(16),
-            scan_units: Vec::new(),
-            mask_requests: Vec::new(),
-            full_match: RangeSet::with_capacity(16),
-            reorg_units: Vec::new(),
-            zones_probed: self.mins.len(),
-            zones_skipped: 0,
-        };
+        let mut out = PruneOutcome::for_prune();
+        out.zones_probed = self.mins.len();
         for (z, (&min, &max)) in self.mins.iter().zip(&self.maxs).enumerate() {
             let (start, end) = self.zone_span(z);
             if !pred.overlaps(min, max) {
                 out.zones_skipped += 1;
+                out.record_decision(RowRange::new(start, end), "skip:bounds");
             } else if pred.contains_zone(min, max) {
                 out.full_match.push_span(start, end);
+                out.record_decision(RowRange::new(start, end), "full:bounds");
             } else {
                 out.must_scan.push_span(start, end);
+                out.record_decision(RowRange::new(start, end), "scan");
             }
         }
         self.queries += 1;
@@ -141,15 +139,7 @@ impl<T: DataValue> SkippingIndex<T> for StaticZonemap<T> {
     }
 
     fn prune_within(&mut self, pred: &RangePredicate<T>, alive: &RangeSet) -> PruneOutcome {
-        let mut out = PruneOutcome {
-            must_scan: RangeSet::with_capacity(16),
-            scan_units: Vec::new(),
-            mask_requests: Vec::new(),
-            full_match: RangeSet::with_capacity(16),
-            reorg_units: Vec::new(),
-            zones_probed: 0,
-            zones_skipped: 0,
-        };
+        let mut out = PruneOutcome::for_prune();
         if self.mins.is_empty() {
             self.queries += 1;
             return out;
@@ -172,10 +162,13 @@ impl<T: DataValue> SkippingIndex<T> for StaticZonemap<T> {
                     if fresh {
                         out.zones_skipped += 1;
                     }
+                    out.record_decision(RowRange::new(frag_start, frag_end), "skip:bounds");
                 } else if pred.contains_zone(min, max) {
                     out.full_match.push_span(frag_start, frag_end);
+                    out.record_decision(RowRange::new(frag_start, frag_end), "full:bounds");
                 } else {
                     out.must_scan.push_span(frag_start, frag_end);
+                    out.record_decision(RowRange::new(frag_start, frag_end), "scan");
                 }
             }
         }
@@ -194,6 +187,8 @@ impl<T: DataValue> SkippingIndex<T> for StaticZonemap<T> {
             let end = (start + self.zone_rows).min(base.len());
             // invariant: start < base.len() here, so the partial zone
             // slice is non-empty.
+            // live: bounds over all rows (tombstones included) are
+            // conservatively wide — sound for skipping.
             let (min, max) = scan::min_max(&base[start..end]).expect("partial zone is non-empty");
             self.mins[last] = min;
             self.maxs[last] = max;
@@ -202,6 +197,7 @@ impl<T: DataValue> SkippingIndex<T> for StaticZonemap<T> {
         if base.len() > covered {
             for c in base[covered..].chunks(self.zone_rows) {
                 // invariant: chunks() never yields an empty slice.
+                // live: same conservative tombstone-inclusive bounds.
                 let (min, max) = scan::min_max(c).expect("chunks are non-empty");
                 self.mins.push(min);
                 self.maxs.push(max);

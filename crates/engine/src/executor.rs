@@ -244,6 +244,14 @@ pub fn scan_pruned_with_deletes<T: DataValue>(
     // every kernel below takes the unmasked path.
     let live = live.filter(|dv| dv.has_deletes());
 
+    // Shadow oracle: recompute ground truth row by row and abort on any
+    // zone the prune excluded that still holds a qualifying live row.
+    // Sitting on the one executor path every engine and server scan
+    // funnels through, this turns the whole test suite into a
+    // false-skip hunt when the feature is on.
+    #[cfg(feature = "audit")]
+    ads_core::audit::verify_outcome(target, live, &pred, outcome, None, "scan_pruned");
+
     let scan_rows: usize = items.iter().map(WorkItem::rows).sum();
     let threads_used = policy.effective_threads(scan_rows);
 
@@ -504,8 +512,11 @@ pub(crate) fn scan_item<T: DataValue>(
                 None => {
                     out.count = slice.len();
                     match agg {
+                        // live: this arm has no delete vector — every row
+                        // of the slice is live by definition.
                         AggKind::Sum => out.sum = scan::sum_all(slice),
                         AggKind::Min | AggKind::Max => {
+                            // live: same delete-free arm.
                             if let Some((lo, hi)) = scan::min_max(slice) {
                                 out.match_min = lo;
                                 out.match_max = hi;
@@ -527,6 +538,7 @@ pub(crate) fn scan_item<T: DataValue>(
                             Some(dv) => scan::count_in_range_with_minmax_and_mask_live(
                                 slice, pred.lo, pred.hi, req.lo_f, req.hi_f, dv, u.start,
                             ),
+                            // live: `live` is None — every row is live.
                             None => scan::count_in_range_with_minmax_and_mask(
                                 slice, pred.lo, pred.hi, req.lo_f, req.hi_f,
                             ),
@@ -539,6 +551,7 @@ pub(crate) fn scan_item<T: DataValue>(
                             Some(dv) => scan::count_in_range_with_minmax_live(
                                 slice, pred.lo, pred.hi, dv, u.start,
                             ),
+                            // live: `live` is None — every row is live.
                             None => scan::count_in_range_with_minmax(slice, pred.lo, pred.hi),
                         };
                         RangeObservation::new(u, q, min, max)
@@ -551,6 +564,7 @@ pub(crate) fn scan_item<T: DataValue>(
                         Some(dv) => {
                             scan::aggregate_in_range_live(slice, pred.lo, pred.hi, dv, u.start)
                         }
+                        // live: `live` is None — every row is live.
                         None => scan::aggregate_in_range(slice, pred.lo, pred.hi),
                     };
                     out.count = a.count;
@@ -569,6 +583,7 @@ pub(crate) fn scan_item<T: DataValue>(
                             dv,
                             &mut out.positions,
                         ),
+                        // live: `live` is None — every row is live.
                         None => scan::collect_in_range_with_minmax(
                             slice,
                             u.start,
@@ -708,14 +723,18 @@ pub fn execute_reference<T: DataValue>(
     let mut answer = QueryAnswer::default();
     match agg {
         AggKind::Count => {
+            // live: delete-free reference by contract — callers with
+            // tombstones use `execute_reference_with_deletes`.
             answer.count = scan::count_in_range(data, pred.lo, pred.hi) as u64;
         }
         AggKind::Sum => {
+            // live: same delete-free reference contract.
             let (c, s) = scan::sum_in_range(data, pred.lo, pred.hi);
             answer.count = c as u64;
             answer.sum = Some(s);
         }
         AggKind::Min | AggKind::Max => {
+            // live: same delete-free reference contract.
             let a = scan::aggregate_in_range(data, pred.lo, pred.hi);
             answer.count = a.count as u64;
             if a.count > 0 {
@@ -729,6 +748,7 @@ pub fn execute_reference<T: DataValue>(
         AggKind::Positions => {
             let mut positions = Vec::new();
             for r in outcome.must_scan.ranges() {
+                // live: same delete-free reference contract.
                 scan::collect_in_range(
                     &data[r.start..r.end],
                     r.start,

@@ -269,6 +269,11 @@ impl TableSession {
                 } else {
                     prune_any(idx, &pred, name)?
                 };
+                // Shadow oracle: rows outside `alive` were excluded by
+                // earlier conjuncts, so this outcome is only accountable
+                // for the candidates still in play.
+                #[cfg(feature = "audit")]
+                audit_verify_any(&self.table, name, &pred, &out, &alive)?;
                 zones_probed += out.zones_probed;
                 zones_skipped += out.zones_skipped;
                 alive = alive.intersect(&out.must_scan.union(&out.full_match));
@@ -560,6 +565,42 @@ fn prune_any_within(
     }
 }
 
+/// Cross-checks one conjunct's prune outcome against the base column
+/// (see [`ads_core::audit`]). The table path is append-only, so there is
+/// no delete vector to thread through; `within` carries the candidate
+/// set surviving earlier conjuncts.
+#[cfg(feature = "audit")]
+fn audit_verify_any(
+    table: &Table,
+    name: &str,
+    pred: &AnyPredicate,
+    out: &PruneOutcome,
+    within: &RangeSet,
+) -> Result<()> {
+    fn go<T: DataValue>(
+        col: &Column<T>,
+        p: &RangePredicate<T>,
+        out: &PruneOutcome,
+        within: &RangeSet,
+    ) {
+        ads_core::audit::verify_outcome(
+            col.as_slice(),
+            None,
+            p,
+            out,
+            Some(within),
+            "run_conjunction",
+        );
+    }
+    match pred {
+        AnyPredicate::I32(p) => go(table.typed_column::<i32>(name)?, p, out, within),
+        AnyPredicate::I64(p) => go(table.typed_column::<i64>(name)?, p, out, within),
+        AnyPredicate::U64(p) => go(table.typed_column::<u64>(name)?, p, out, within),
+        AnyPredicate::F64(p) => go(table.typed_column::<f64>(name)?, p, out, within),
+    }
+    Ok(())
+}
+
 fn fill_any(
     table: &Table,
     name: &str,
@@ -575,6 +616,8 @@ fn fill_any(
         end: usize,
         bm: &mut Bitmap,
     ) -> (usize, T, T) {
+        // live: the table path is append-only — `TableSession` carries
+        // no delete vector, so every row is live.
         scan::fill_bitmap_in_range_with_minmax(col.slice(start, end), 0, p.lo, p.hi, bm)
     }
     match pred {
@@ -647,6 +690,7 @@ fn observe_any(idx: &mut AnyIndex, pred: &AnyPredicate, obs: Vec<ObservationRec>
 
 fn sum_any_range(col: &ads_storage::AnyColumn, start: usize, end: usize) -> f64 {
     fn go<T: DataValue>(c: &Column<T>, start: usize, end: usize) -> f64 {
+        // live: append-only table path — no delete vector exists.
         let (_, s) = scan::sum_in_range(c.slice(start, end), T::MIN_VALUE, T::MAX_VALUE);
         s
     }

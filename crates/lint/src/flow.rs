@@ -1,0 +1,431 @@
+//! Function-body parsing and the intra-function dataflow layer.
+//!
+//! The protocol passes need more than token matching: the
+//! epoch-discipline rule asks whether a function that writes
+//! reader-visible zone state bumps `mutation_epoch` **on every path**.
+//! Answering that requires a control-flow view of the body, so this
+//! module parses each `fn` item's token range into a statement tree —
+//!
+//! * [`Node::Leaf`]: a straight-line statement (token positions);
+//! * [`Node::Seq`]: a block, statements in order;
+//! * [`Node::Branch`]: `if`/`else` chains and `match` arms, with an
+//!   exhaustiveness flag (`if` without `else` is not exhaustive);
+//! * [`Node::Loop`]: `loop`/`while`/`for` bodies (may run zero times);
+//!
+//! — and evaluates path predicates over it by branch join: a `Seq`
+//! satisfies "on every path" if any statement does; a `Branch` only if
+//! it is exhaustive and **all** alternatives do; a `Loop` never does
+//! (zero iterations is a path).
+//!
+//! Deliberate approximations, chosen to be cheap and predictable:
+//! expression-position control flow (`let x = if c { .. } else { .. }`)
+//! is a single leaf, so a bump anywhere inside counts as unconditional;
+//! early `return`s are not separate exit paths. Sites these misjudge
+//! carry `// epoch:` justifications instead — the pass's escape hatch.
+
+use crate::lexer::{Tok, TokKind};
+
+/// A parsed statement tree node. Token positions index into the *code*
+/// token vector (comments filtered out) the parser was given.
+#[derive(Debug)]
+pub enum Node {
+    /// Straight-line statement: the positions of its tokens.
+    Leaf(Vec<usize>),
+    /// Block: child statements in source order.
+    Seq(Vec<Node>),
+    /// Alternatives (`if`/`else` chain or `match` arms). `exhaustive`
+    /// is false for `if` without a final `else`.
+    Branch(Vec<Node>, bool),
+    /// Loop body — may execute zero times.
+    Loop(Box<Node>),
+}
+
+/// One `fn` item found in a file.
+#[derive(Debug)]
+pub struct FnItem {
+    /// The function's name.
+    pub name: String,
+    /// Line of the `fn` keyword.
+    pub header_line: usize,
+    /// Last line of the body (closing brace).
+    pub end_line: usize,
+    /// Code-token positions of the body, outer braces excluded.
+    pub body: (usize, usize),
+    /// Parsed statement tree of the body.
+    pub tree: Node,
+}
+
+/// A file lexed once, with the comment tokens split out so the parser
+/// sees pure code while the justification rules keep comment text and
+/// positions.
+pub struct TokenFile {
+    /// Code tokens only (no comments), in source order.
+    pub code: Vec<Tok>,
+    /// `(line, text)` of every comment token.
+    pub comments: Vec<(usize, String)>,
+}
+
+impl TokenFile {
+    /// Splits a raw lexer stream into the code/comment views.
+    pub fn new(toks: Vec<Tok>) -> TokenFile {
+        let mut code = Vec::with_capacity(toks.len());
+        let mut comments = Vec::new();
+        for t in toks {
+            if t.kind == TokKind::Comment {
+                comments.push((t.line, t.text));
+            } else {
+                code.push(t);
+            }
+        }
+        TokenFile { code, comments }
+    }
+
+    /// True when any comment on a line in `[lo, hi]` contains `marker`.
+    pub fn comment_in_lines(&self, lo: usize, hi: usize, marker: &str) -> bool {
+        self.comments
+            .iter()
+            .any(|(line, text)| *line >= lo && *line <= hi && text.contains(marker))
+    }
+
+    /// Parses every `fn` item in the file. Nested fns parse as their
+    /// own items too (their bodies are also inside the outer item's
+    /// tree — harmless double coverage).
+    pub fn functions(&self) -> Vec<FnItem> {
+        let code = &self.code;
+        let mut items = Vec::new();
+        let mut i = 0usize;
+        while i < code.len() {
+            if code[i].kind == TokKind::Ident && code[i].text == "fn" {
+                if let Some(item) = self.parse_fn(i) {
+                    i = item.body.1 + 1;
+                    items.push(item);
+                    continue;
+                }
+            }
+            i += 1;
+        }
+        items
+    }
+
+    /// Parses one `fn` starting at the `fn` keyword position, or None
+    /// for declarations without a body (`fn f();` in traits) and
+    /// `fn`-pointer types (`fn(i64) -> T`).
+    fn parse_fn(&self, fn_pos: usize) -> Option<FnItem> {
+        let code = &self.code;
+        let name_tok = code.get(fn_pos + 1)?;
+        if name_tok.kind != TokKind::Ident {
+            return None;
+        }
+        let name = name_tok.text.clone();
+        // Scan for the body's `{` at bracket depth 0; a `;` first means
+        // a bodyless declaration.
+        let mut depth = 0i32;
+        let mut j = fn_pos + 2;
+        loop {
+            let t = code.get(j)?;
+            if t.kind == TokKind::Punct {
+                match t.text.as_str() {
+                    "(" | "[" => depth += 1,
+                    ")" | "]" => depth -= 1,
+                    "{" if depth == 0 => break,
+                    ";" if depth == 0 => return None,
+                    _ => {}
+                }
+            }
+            j += 1;
+        }
+        let open = j;
+        let close = self.matching_brace(open)?;
+        let body = (open + 1, close);
+        let mut pos = body.0;
+        let stmts = self.parse_seq(&mut pos, body.1);
+        Some(FnItem {
+            name,
+            header_line: code[fn_pos].line,
+            end_line: code[close].line,
+            body: (open, close),
+            tree: Node::Seq(stmts),
+        })
+    }
+
+    /// Position of the `}` matching the `{` at `open`.
+    fn matching_brace(&self, open: usize) -> Option<usize> {
+        let code = &self.code;
+        let mut depth = 0i32;
+        for (j, t) in code.iter().enumerate().skip(open) {
+            if t.kind == TokKind::Punct {
+                match t.text.as_str() {
+                    "{" => depth += 1,
+                    "}" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            return Some(j);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        None
+    }
+
+    /// Parses statements from `*pos` until `end` (exclusive) or an
+    /// unmatched `}`.
+    fn parse_seq(&self, pos: &mut usize, end: usize) -> Vec<Node> {
+        let code = &self.code;
+        let mut out = Vec::new();
+        while *pos < end {
+            let t = &code[*pos];
+            if t.kind == TokKind::Punct && t.text == "}" {
+                break;
+            }
+            if t.kind == TokKind::Ident {
+                match t.text.as_str() {
+                    "if" => {
+                        out.extend(self.parse_if(pos, end));
+                        continue;
+                    }
+                    "match" => {
+                        out.extend(self.parse_match(pos, end));
+                        continue;
+                    }
+                    "loop" | "while" | "for" => {
+                        *pos += 1;
+                        let header = self.collect_until_block(pos, end);
+                        if !header.is_empty() {
+                            out.push(Node::Leaf(header));
+                        }
+                        let body = self.parse_block(pos, end);
+                        out.push(Node::Loop(Box::new(body)));
+                        continue;
+                    }
+                    "unsafe" if self.peek_is(*pos + 1, "{") => {
+                        *pos += 1;
+                        out.push(self.parse_block(pos, end));
+                        continue;
+                    }
+                    _ => {}
+                }
+            }
+            if t.kind == TokKind::Punct && t.text == "{" {
+                out.push(self.parse_block(pos, end));
+                continue;
+            }
+            out.push(Node::Leaf(self.collect_stmt(pos, end)));
+        }
+        out
+    }
+
+    fn peek_is(&self, pos: usize, text: &str) -> bool {
+        self.code.get(pos).is_some_and(|t| t.text == text)
+    }
+
+    /// Parses a `{ ... }` block at `*pos` into a `Seq`. If the token at
+    /// `*pos` is not `{`, returns an empty Seq (malformed input
+    /// degrades to nothing rather than looping).
+    fn parse_block(&self, pos: &mut usize, end: usize) -> Node {
+        if !self.peek_is(*pos, "{") {
+            return Node::Seq(Vec::new());
+        }
+        *pos += 1; // consume `{`
+        let stmts = self.parse_seq(pos, end);
+        if self.peek_is(*pos, "}") {
+            *pos += 1;
+        }
+        Node::Seq(stmts)
+    }
+
+    /// `if cond { .. } [else if .. ] [else { .. }]` → condition leaf +
+    /// Branch node.
+    fn parse_if(&self, pos: &mut usize, end: usize) -> Vec<Node> {
+        *pos += 1; // consume `if`
+        let cond = self.collect_until_block(pos, end);
+        let mut nodes = Vec::new();
+        if !cond.is_empty() {
+            nodes.push(Node::Leaf(cond));
+        }
+        let then = self.parse_block(pos, end);
+        let mut alts = vec![then];
+        let mut exhaustive = false;
+        if self.code.get(*pos).is_some_and(|t| t.text == "else") {
+            *pos += 1;
+            if self.code.get(*pos).is_some_and(|t| t.text == "if") {
+                let mut tail = self.parse_if(pos, end);
+                // The nested chain's own exhaustiveness propagates.
+                if let Some(Node::Branch(inner, inner_ex)) = tail.pop() {
+                    nodes.extend(tail); // nested condition leaf
+                    exhaustive = inner_ex;
+                    alts.push(Node::Branch(inner, inner_ex));
+                }
+            } else {
+                alts.push(self.parse_block(pos, end));
+                exhaustive = true;
+            }
+        }
+        nodes.push(Node::Branch(alts, exhaustive));
+        nodes
+    }
+
+    /// `match scrutinee { pat => body, ... }` → scrutinee leaf +
+    /// exhaustive Branch over arm bodies. Pattern tokens are dropped:
+    /// they bind, they don't write.
+    fn parse_match(&self, pos: &mut usize, end: usize) -> Vec<Node> {
+        *pos += 1; // consume `match`
+        let scrutinee = self.collect_until_block(pos, end);
+        let mut nodes = Vec::new();
+        if !scrutinee.is_empty() {
+            nodes.push(Node::Leaf(scrutinee));
+        }
+        if !self.peek_is(*pos, "{") {
+            nodes.push(Node::Branch(Vec::new(), false));
+            return nodes;
+        }
+        let close = self.matching_brace(*pos).unwrap_or(end).min(end);
+        *pos += 1;
+        let mut arms = Vec::new();
+        while *pos < close {
+            // Pattern (and optional guard) up to `=>` at depth 0.
+            let mut depth = 0i32;
+            while *pos < close {
+                let t = &self.code[*pos];
+                if t.kind == TokKind::Punct {
+                    match t.text.as_str() {
+                        "(" | "[" | "{" => depth += 1,
+                        ")" | "]" | "}" => depth -= 1,
+                        "=>" if depth == 0 => break,
+                        _ => {}
+                    }
+                }
+                *pos += 1;
+            }
+            if *pos >= close {
+                break;
+            }
+            *pos += 1; // consume `=>`
+            if self.peek_is(*pos, "{") {
+                arms.push(self.parse_block(pos, close));
+                if self.peek_is(*pos, ",") {
+                    *pos += 1;
+                }
+            } else {
+                // Expression arm: tokens to the `,` at depth 0 (or the
+                // match's closing brace).
+                let mut leaf = Vec::new();
+                let mut d = 0i32;
+                while *pos < close {
+                    let t = &self.code[*pos];
+                    if t.kind == TokKind::Punct {
+                        match t.text.as_str() {
+                            "(" | "[" | "{" => d += 1,
+                            ")" | "]" | "}" => d -= 1,
+                            "," if d == 0 => break,
+                            _ => {}
+                        }
+                    }
+                    leaf.push(*pos);
+                    *pos += 1;
+                }
+                if self.peek_is(*pos, ",") {
+                    *pos += 1;
+                }
+                arms.push(Node::Leaf(leaf));
+            }
+        }
+        if self.peek_is(*pos, "}") {
+            *pos += 1;
+        }
+        // Rust matches are exhaustive by construction.
+        nodes.push(Node::Branch(arms, true));
+        nodes
+    }
+
+    /// Collects tokens until a `{` at bracket depth 0 (not consumed) —
+    /// the condition of an `if`/`while`/`for`/`match` header. Struct
+    /// literals cannot appear brace-free in these positions, so the
+    /// first depth-0 `{` is always the block.
+    fn collect_until_block(&self, pos: &mut usize, end: usize) -> Vec<usize> {
+        let code = &self.code;
+        let mut depth = 0i32;
+        let mut out = Vec::new();
+        while *pos < end {
+            let t = &code[*pos];
+            if t.kind == TokKind::Punct {
+                match t.text.as_str() {
+                    "(" | "[" => depth += 1,
+                    ")" | "]" => depth -= 1,
+                    "{" if depth == 0 => break,
+                    _ => {}
+                }
+            }
+            out.push(*pos);
+            *pos += 1;
+        }
+        out
+    }
+
+    /// Collects a straight-line statement: tokens to the `;` at depth 0
+    /// (consumed), with depth-0 `{...}` groups (struct literals,
+    /// trailing closures, `let..else` blocks, expression-position
+    /// control flow) folded into the leaf.
+    fn collect_stmt(&self, pos: &mut usize, end: usize) -> Vec<usize> {
+        let code = &self.code;
+        let mut depth = 0i32;
+        let mut out = Vec::new();
+        while *pos < end {
+            let t = &code[*pos];
+            if t.kind == TokKind::Punct {
+                match t.text.as_str() {
+                    "(" | "[" | "{" => depth += 1,
+                    ")" | "]" => depth -= 1,
+                    "}" => {
+                        if depth == 0 {
+                            // Enclosing block closes: leaf ends here.
+                            return out;
+                        }
+                        depth -= 1;
+                    }
+                    ";" if depth == 0 => {
+                        out.push(*pos);
+                        *pos += 1;
+                        return out;
+                    }
+                    _ => {}
+                }
+            }
+            out.push(*pos);
+            *pos += 1;
+        }
+        out
+    }
+}
+
+/// Evaluates "does `pred` hold on every path through `node`", where
+/// `pred` tests a single leaf.
+pub fn on_every_path(node: &Node, pred: &dyn Fn(&[usize]) -> bool) -> bool {
+    match node {
+        Node::Leaf(toks) => pred(toks),
+        Node::Seq(stmts) => stmts.iter().any(|s| on_every_path(s, pred)),
+        Node::Branch(alts, exhaustive) => {
+            *exhaustive && !alts.is_empty() && alts.iter().all(|a| on_every_path(a, pred))
+        }
+        Node::Loop(_) => false,
+    }
+}
+
+/// Collects every leaf of the tree, in source order, into `out`.
+pub fn leaves<'a>(node: &'a Node, out: &mut Vec<&'a Vec<usize>>) {
+    match node {
+        Node::Leaf(toks) => out.push(toks),
+        Node::Seq(stmts) => {
+            for s in stmts {
+                leaves(s, out);
+            }
+        }
+        Node::Branch(alts, _) => {
+            for a in alts {
+                leaves(a, out);
+            }
+        }
+        Node::Loop(body) => leaves(body, out),
+    }
+}

@@ -1,0 +1,366 @@
+//! Token-stream lexer: the primary IR for v2 rules and protocol passes.
+//!
+//! The v1 scanner reduced source to per-line (code, comment) strings,
+//! which is exact for string/comment stripping but forces every rule
+//! into substring matching. v2 lexes the same character stream into a
+//! token vector — identifiers, multi-char operators, literals, and
+//! comments, each carrying its source line — so rules match token
+//! sequences (`Ordering` `::` `Relaxed`, `as` `u32`) instead of
+//! substrings, and the dataflow passes can parse function bodies.
+//!
+//! The lexer handles the constructs that defeat naive scanners:
+//! nested block comments, raw strings (`r#"..."#`, any hash depth,
+//! plus `b"`/`br#"` byte forms), escaped char literals, and the
+//! lifetime-vs-char-literal ambiguity (`'a` vs `'a'`).
+
+/// Token class. Comments are kept in the stream (the justification
+/// rules need their text and position); rules that only care about
+/// executable code filter on kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `zones`, `Ordering`).
+    Ident,
+    /// Lifetime (`'a`, `'static`) — distinguished from char literals.
+    Lifetime,
+    /// Char literal (`'x'`, `'\n'`).
+    CharLit,
+    /// String literal (ordinary, raw, or byte), contents included.
+    StrLit,
+    /// Numeric literal, suffix included (`1_000u64`, `0.5`).
+    NumLit,
+    /// Operator or delimiter; multi-char operators are one token.
+    Punct,
+    /// Line, block, or doc comment; text excludes the delimiters.
+    Comment,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: usize,
+}
+
+/// Multi-char operators, longest first so maximal munch is a prefix
+/// scan. `..=` and the shift-assigns are three chars; everything else
+/// two.
+const MULTI_PUNCT: [&str; 21] = [
+    "..=", "<<=", ">>=", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "::", "..", "+=", "-=",
+    "*=", "/=", "%=", "&=", "|=", "^=",
+];
+
+/// Assignment operators (the `=` family, excluding comparisons and
+/// `=>`): what the dataflow passes treat as a write.
+pub const ASSIGN_OPS: [&str; 11] = [
+    "=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>=",
+];
+
+/// Lexes `src` into a token stream. Never fails: unrecognised bytes
+/// become single-char `Punct` tokens, so a malformed file degrades to
+/// noise rather than a crash.
+pub fn lex(src: &str) -> Vec<Tok> {
+    let chars: Vec<char> = src.chars().collect();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied().unwrap_or('\0');
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments first: they shadow every operator start.
+        if c == '/' && next == '/' {
+            let start = i + 2;
+            let mut j = start;
+            while j < chars.len() && chars[j] != '\n' {
+                j += 1;
+            }
+            toks.push(Tok {
+                kind: TokKind::Comment,
+                text: chars[start..j].iter().collect(),
+                line,
+            });
+            i = j;
+            continue;
+        }
+        if c == '/' && next == '*' {
+            let tok_line = line;
+            let start = i + 2;
+            let mut depth = 1u32;
+            let mut j = start;
+            while j < chars.len() && depth > 0 {
+                if chars[j] == '\n' {
+                    line += 1;
+                    j += 1;
+                } else if chars[j] == '/' && chars.get(j + 1) == Some(&'*') {
+                    depth += 1;
+                    j += 2;
+                } else if chars[j] == '*' && chars.get(j + 1) == Some(&'/') {
+                    depth -= 1;
+                    j += 2;
+                } else {
+                    j += 1;
+                }
+            }
+            let end = j.saturating_sub(2).max(start);
+            toks.push(Tok {
+                kind: TokKind::Comment,
+                text: chars[start..end].iter().collect(),
+                line: tok_line,
+            });
+            i = j;
+            continue;
+        }
+        // Raw / byte string starts: r", r#", b", br#", rb is not Rust.
+        if (c == 'r' || c == 'b') && !prev_is_ident_char(&toks) {
+            if let Some((tok, consumed, newlines)) = try_raw_or_byte_string(&chars, i, line) {
+                toks.push(tok);
+                i += consumed;
+                line += newlines;
+                continue;
+            }
+        }
+        if c == '"' {
+            let tok_line = line;
+            let mut j = i + 1;
+            let mut text = String::new();
+            while j < chars.len() {
+                let s = chars[j];
+                if s == '\\' {
+                    j += 2;
+                    continue;
+                }
+                if s == '"' {
+                    break;
+                }
+                if s == '\n' {
+                    line += 1;
+                }
+                text.push(s);
+                j += 1;
+            }
+            toks.push(Tok {
+                kind: TokKind::StrLit,
+                text,
+                line: tok_line,
+            });
+            i = (j + 1).min(chars.len());
+            continue;
+        }
+        if c == '\'' {
+            // Char literal or lifetime. `'\...'` and `'X'` are chars;
+            // anything else (`'a`, `'static`, `'_`) is a lifetime.
+            if next == '\\' {
+                let mut j = i + 2;
+                while j < chars.len() && chars[j] != '\'' && chars[j] != '\n' {
+                    j += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::CharLit,
+                    text: chars[i..(j + 1).min(chars.len())].iter().collect(),
+                    line,
+                });
+                i = (j + 1).min(chars.len());
+                continue;
+            }
+            if chars.get(i + 2) == Some(&'\'') {
+                toks.push(Tok {
+                    kind: TokKind::CharLit,
+                    text: chars[i..i + 3].iter().collect(),
+                    line,
+                });
+                i += 3;
+                continue;
+            }
+            let mut j = i + 1;
+            while j < chars.len() && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                j += 1;
+            }
+            toks.push(Tok {
+                kind: TokKind::Lifetime,
+                text: chars[i..j].iter().collect(),
+                line,
+            });
+            i = j;
+            continue;
+        }
+        if c.is_alphabetic() || c == '_' {
+            let mut j = i + 1;
+            while j < chars.len() && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                j += 1;
+            }
+            toks.push(Tok {
+                kind: TokKind::Ident,
+                text: chars[i..j].iter().collect(),
+                line,
+            });
+            i = j;
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let mut j = i + 1;
+            let mut seen_dot = false;
+            while j < chars.len() {
+                let d = chars[j];
+                if d.is_alphanumeric() || d == '_' {
+                    j += 1;
+                } else if d == '.'
+                    && !seen_dot
+                    && chars.get(j + 1).is_some_and(|n| n.is_ascii_digit())
+                {
+                    // `1.5` continues the number; `0..10` does not.
+                    seen_dot = true;
+                    j += 1;
+                } else {
+                    break;
+                }
+            }
+            toks.push(Tok {
+                kind: TokKind::NumLit,
+                text: chars[i..j].iter().collect(),
+                line,
+            });
+            i = j;
+            continue;
+        }
+        // Operators: maximal munch over the multi-char table.
+        let mut matched = None;
+        for op in MULTI_PUNCT {
+            let n = op.len();
+            if i + n <= chars.len() && chars[i..i + n].iter().collect::<String>() == op {
+                matched = Some(op);
+                break;
+            }
+        }
+        if let Some(op) = matched {
+            toks.push(Tok {
+                kind: TokKind::Punct,
+                text: op.to_string(),
+                line,
+            });
+            i += op.len();
+        } else {
+            toks.push(Tok {
+                kind: TokKind::Punct,
+                text: c.to_string(),
+                line,
+            });
+            i += 1;
+        }
+    }
+    toks
+}
+
+/// True when the previous token could glue onto an `r`/`b` prefix —
+/// i.e. we are mid-identifier (`for` ends in `r` but was already lexed
+/// whole, so this only guards pathological splits).
+fn prev_is_ident_char(toks: &[Tok]) -> bool {
+    // The ident lexer consumes maximally, so a fresh `r`/`b` at this
+    // point is always token-initial; nothing to guard.
+    let _ = toks;
+    false
+}
+
+/// Attempts to lex a raw or byte string at `chars[i]` (which is `r` or
+/// `b`). Returns `(token, chars_consumed, newlines_inside)` or `None`
+/// when it is just an identifier starting with r/b.
+fn try_raw_or_byte_string(chars: &[char], i: usize, line: usize) -> Option<(Tok, usize, usize)> {
+    let mut j = i;
+    if chars[j] == 'b' {
+        j += 1;
+        if chars.get(j) == Some(&'"') {
+            // b"..." — ordinary escapes apply.
+            let mut k = j + 1;
+            let mut newlines = 0usize;
+            while k < chars.len() {
+                match chars[k] {
+                    '\\' => k += 2,
+                    '"' => break,
+                    c => {
+                        if c == '\n' {
+                            newlines += 1;
+                        }
+                        k += 1;
+                    }
+                }
+            }
+            let text: String = chars[j + 1..k.min(chars.len())].iter().collect();
+            return Some((
+                Tok {
+                    kind: TokKind::StrLit,
+                    text,
+                    line,
+                },
+                (k + 1).min(chars.len()) - i,
+                newlines,
+            ));
+        }
+        if chars.get(j) != Some(&'r') {
+            return None;
+        }
+        j += 1;
+    } else {
+        j += 1; // past 'r'
+    }
+    let mut hashes = 0usize;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if chars.get(j) != Some(&'"') {
+        return None;
+    }
+    let body_start = j + 1;
+    let mut k = body_start;
+    let mut newlines = 0usize;
+    loop {
+        if k >= chars.len() {
+            break;
+        }
+        if chars[k] == '\n' {
+            newlines += 1;
+            k += 1;
+            continue;
+        }
+        if chars[k] == '"' {
+            let mut seen = 0usize;
+            let mut m = k + 1;
+            while seen < hashes && chars.get(m) == Some(&'#') {
+                seen += 1;
+                m += 1;
+            }
+            if seen == hashes {
+                let text: String = chars[body_start..k].iter().collect();
+                return Some((
+                    Tok {
+                        kind: TokKind::StrLit,
+                        text,
+                        line,
+                    },
+                    m - i,
+                    newlines,
+                ));
+            }
+        }
+        k += 1;
+    }
+    // Unterminated raw string: consume to EOF.
+    let text: String = chars[body_start..].iter().collect();
+    Some((
+        Tok {
+            kind: TokKind::StrLit,
+            text,
+            line,
+        },
+        chars.len() - i,
+        newlines,
+    ))
+}

@@ -1,31 +1,49 @@
-//! `ads-lint`: repo-invariant static analysis.
+//! `ads-lint`: repo-invariant static analysis, v2.
 //!
-//! A std-only source scanner enforcing the workspace's machine-checked
-//! concurrency and robustness conventions. It is deliberately a
-//! line/token scanner, not a parser: the rules are chosen so that a
-//! comment- and string-aware lexer decides them exactly, which keeps
-//! the tool dependency-free (the offline build forbids syn/clippy
-//! plugins) and fast enough to gate CI.
+//! A std-only analyzer enforcing the workspace's machine-checked
+//! concurrency, robustness, and skipping-protocol conventions. v1 was
+//! a line scanner; v2 lexes every file into a token stream
+//! ([`lexer`]), parses function bodies into statement trees with a
+//! branch-join dataflow layer ([`flow`]), and runs both the original
+//! style rules (now token-exact) and four protocol passes
+//! ([`passes`]) over that IR. The tool stays dependency-free (the
+//! offline build forbids syn/clippy plugins) and fast enough to gate
+//! CI.
 //!
 //! Rules (see DESIGN.md "Correctness tooling" for rationale):
 //!
 //! | rule               | requirement                                          |
 //! |--------------------|------------------------------------------------------|
-//! | `ordering-comment` | every atomic `Ordering::` use carries `// ordering:` |
+//! | `ordering-comment` | every atomic `Ordering::` use carries `// ordering:` (match-pattern positions exempt) |
 //! | `unwrap-invariant` | no `unwrap()`/`expect(` in non-test code unless `// invariant:`-tagged |
 //! | `cast-narrowing`   | no bare `as u32`/`as usize` unless `// narrowing:`-tagged |
 //! | `atomic-import`    | crates/server must import atomics via its `sync` module |
 //! | `unsafe-allow`     | `allow(unsafe_code)` requires a DESIGN.md pointer    |
 //! | `forbid-unsafe`    | every crate root declares `#![forbid(unsafe_code)]`  |
 //!
+//! Protocol passes (the v2 additions):
+//!
+//! | pass                     | protocol it guards                              |
+//! |--------------------------|-------------------------------------------------|
+//! | `epoch-discipline`       | zone-structure writes bump `mutation_epoch` on every path (else `// epoch:`) |
+//! | `publication-discipline` | `publish*` fns store payload before the generation bump, nothing after |
+//! | `live-mask`              | non-`_live` kernels only with `// live:` outside the scalar oracle/tests |
+//! | `lifecycle-symmetry`     | tier/layout/mask promotions cleared on split/merge/deactivate/coalesce/compact paths |
+//!
 //! False-positive escape hatches, in order of preference: a
 //! justification comment at the site, or a `rule path-prefix` line in
-//! the allowlist file (for whole modules where the rule does not apply,
-//! e.g. the model checker matching `Ordering` variants in its own
-//! semantics code).
+//! the allowlist file (for whole modules where the rule does not
+//! apply).
 
 #![forbid(unsafe_code)]
 
+pub mod flow;
+pub mod lexer;
+pub mod passes;
+
+use flow::TokenFile;
+use lexer::{lex, TokKind};
+use passes::FileScan;
 use std::fmt;
 
 /// One finding: `path:line: [rule] message`.
@@ -48,8 +66,11 @@ impl fmt::Display for Diagnostic {
 }
 
 /// A source line split into executable code and comment text by the
-/// lexer: string/char literal contents are blanked out of `code`, and
-/// comments (line, doc, and block) land in `comment`.
+/// line lexer: string/char literal contents are blanked out of `code`,
+/// and comments (line, doc, and block) land in `comment`. The token
+/// stream is the primary IR; this view remains for justification
+/// markers and the test-region mask, which are inherently line
+/// concepts.
 #[derive(Debug, Clone)]
 pub struct Line {
     pub num: usize,
@@ -278,7 +299,7 @@ impl FileCtx {
 
     /// Whole-file test/bench/example context: exempt from the
     /// robustness rules (panicking on bad input is fine there).
-    fn is_test_file(&self) -> bool {
+    pub(crate) fn is_test_file(&self) -> bool {
         let p = &self.path;
         p.contains("/tests/")
             || p.contains("/benches/")
@@ -307,23 +328,27 @@ impl FileCtx {
 /// `marker` in a comment — i.e. the site is justified. The block rule
 /// lets a multi-line justification keep its marker on the first line
 /// without the fixed window cutting it off.
-fn has_marker(lines: &[Line], idx: usize, marker: &str, window: usize) -> bool {
+pub(crate) fn has_marker(lines: &[Line], idx: usize, marker: &str, window: usize) -> bool {
     let lo = idx.saturating_sub(window - 1);
     if lines[lo..=idx].iter().any(|l| l.comment.contains(marker)) {
         return true;
     }
-    // Walk the comment-only block directly above the site.
+    // Walk the attached block directly above the site: comment lines,
+    // plus attribute lines (`#[allow(...)]` between a justification and
+    // its site must not orphan the comment).
     let mut i = idx;
     while i > 0 {
         i -= 1;
         let l = &lines[i];
-        if !l.code.trim().is_empty() {
+        let code = l.code.trim();
+        let is_attr = code.starts_with("#[") || code.starts_with("#!");
+        if !code.is_empty() && !is_attr {
             return false;
         }
         if l.comment.contains(marker) {
             return true;
         }
-        if l.comment.is_empty() {
+        if l.comment.is_empty() && !is_attr {
             // A blank line ends the attached block.
             return false;
         }
@@ -331,47 +356,62 @@ fn has_marker(lines: &[Line], idx: usize, marker: &str, window: usize) -> bool {
     false
 }
 
-const ATOMIC_ORDERINGS: [&str; 5] = [
-    "Ordering::Relaxed",
-    "Ordering::Acquire",
-    "Ordering::Release",
-    "Ordering::AcqRel",
-    "Ordering::SeqCst",
-];
+const ATOMIC_ORDERING_VARIANTS: [&str; 5] = ["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
 
-/// Finds `as u32` / `as usize` with token boundaries on the `as`.
-fn has_narrowing_cast(code: &str) -> bool {
-    for target in ["u32", "usize"] {
-        let mut search_from = 0;
-        while let Some(pos) = code[search_from..].find("as") {
-            let abs = search_from + pos;
-            let before_ok = abs == 0
-                || code[..abs]
-                    .chars()
-                    .next_back()
-                    .is_some_and(|c| !c.is_alphanumeric() && c != '_');
-            let after = &code[abs + 2..];
-            let trimmed = after.trim_start();
-            let after_ok = after.len() != trimmed.len() // whitespace followed `as`
-                && trimmed.starts_with(target)
-                && trimmed[target.len()..]
-                    .chars()
-                    .next()
-                    .is_none_or(|c| !c.is_alphanumeric() && c != '_');
-            if before_ok && after_ok {
-                return true;
-            }
-            search_from = abs + 2;
-        }
-    }
-    false
-}
-
-/// Runs every rule over one file. Allowlisting happens in the caller
-/// (see [`Allowlist`]).
+/// Runs every file-local rule and pass over one file. Allowlisting and
+/// the cross-file lifecycle pass happen in the caller (see
+/// [`Allowlist`] and [`scan_repo`]).
 pub fn scan_file(ctx: &FileCtx, src: &str) -> Vec<Diagnostic> {
     let lines = strip_source(src);
     let mask = test_mask(&lines);
+    let tf = TokenFile::new(lex(src));
+    let fs = FileScan {
+        ctx,
+        lines: &lines,
+        mask: &mask,
+        tf: &tf,
+    };
+    let mut out = scan_one(&fs);
+    out.sort_by_key(|d| d.line);
+    out
+}
+
+/// Runs the whole suite — file-local rules plus the cross-file
+/// lifecycle pass — over a set of `(ctx, source)` pairs.
+pub fn scan_repo(files: &[(FileCtx, String)]) -> Vec<Diagnostic> {
+    let parsed: Vec<(usize, Vec<Line>, Vec<bool>, TokenFile)> = files
+        .iter()
+        .enumerate()
+        .map(|(i, (_, src))| {
+            let lines = strip_source(src);
+            let mask = test_mask(&lines);
+            (i, lines, mask, TokenFile::new(lex(src)))
+        })
+        .collect();
+    let scans: Vec<FileScan<'_>> = parsed
+        .iter()
+        .map(|(i, lines, mask, tf)| FileScan {
+            ctx: &files[*i].0,
+            lines,
+            mask,
+            tf,
+        })
+        .collect();
+    let mut out = Vec::new();
+    for fs in &scans {
+        out.extend(scan_one(fs));
+    }
+    passes::lifecycle_pass(&scans, &mut out);
+    out.sort_by(|a, b| a.path.cmp(&b.path).then(a.line.cmp(&b.line)));
+    out
+}
+
+/// The file-local rules + passes over one prepared [`FileScan`].
+fn scan_one(fs: &FileScan<'_>) -> Vec<Diagnostic> {
+    let ctx = fs.ctx;
+    let lines = fs.lines;
+    let mask = fs.mask;
+    let code = &fs.tf.code;
     let mut out = Vec::new();
     let diag = |rule: &'static str, line: usize, msg: String| Diagnostic {
         rule,
@@ -379,32 +419,76 @@ pub fn scan_file(ctx: &FileCtx, src: &str) -> Vec<Diagnostic> {
         line,
         msg,
     };
+    let masked = |line: usize| mask.get(line.saturating_sub(1)).copied().unwrap_or(false);
+    let justified = |line: usize, marker: &str| {
+        let idx = line.saturating_sub(1);
+        idx < lines.len() && has_marker(lines, idx, marker, 3)
+    };
 
-    for (idx, line) in lines.iter().enumerate() {
-        let code = line.code.as_str();
+    for i in 0..code.len() {
+        let t = &code[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let next = |k: usize| code.get(i + k).map(|n| n.text.as_str());
+        let prev = |k: usize| i.checked_sub(k).map(|j| code[j].text.as_str());
 
-        // ordering-comment: atomic Ordering uses need a justification.
-        // Matching the five variant literals keeps std::cmp::Ordering
-        // (Less/Equal/Greater) out of scope.
-        if let Some(ord) = ATOMIC_ORDERINGS.iter().find(|o| code.contains(*o)) {
-            if !has_marker(&lines, idx, "ordering:", 3) {
-                out.push(diag(
-                    "ordering-comment",
-                    line.num,
-                    format!("`{ord}` without an adjacent `// ordering:` justification"),
-                ));
+        // ordering-comment: atomic `Ordering::Variant` uses need a
+        // justification. The five variant names keep std::cmp::Ordering
+        // (Less/Equal/Greater) out of scope; match-pattern positions
+        // (`Ordering::Relaxed => ...`, `A | B`, the second argument of
+        // `matches!`) are semantics code inspecting an ordering, not an
+        // atomic access site.
+        if t.text == "Ordering" && next(1) == Some("::") {
+            if let Some(variant) = next(2) {
+                if ATOMIC_ORDERING_VARIANTS.contains(&variant) {
+                    // Inside `matches!(expr, pat)`: walk back to the
+                    // unmatched `(` and check what invoked it.
+                    let in_matches_macro = || {
+                        let mut depth = 0i32;
+                        for j in (0..i).rev().take(40) {
+                            match code[j].text.as_str() {
+                                ")" | "]" | "}" => depth += 1,
+                                "(" | "[" | "{" if depth > 0 => depth -= 1,
+                                "(" => {
+                                    return j >= 2
+                                        && code[j - 1].text == "!"
+                                        && code[j - 2].text == "matches";
+                                }
+                                "[" | "{" => return false,
+                                _ => {}
+                            }
+                        }
+                        false
+                    };
+                    let in_pattern = matches!(next(3), Some("=>") | Some("|"))
+                        || prev(1) == Some("|")
+                        || in_matches_macro();
+                    if !in_pattern && !justified(t.line, "ordering:") {
+                        out.push(diag(
+                            "ordering-comment",
+                            t.line,
+                            format!(
+                                "`Ordering::{variant}` without an adjacent \
+                                 `// ordering:` justification"
+                            ),
+                        ));
+                    }
+                }
             }
         }
 
         // unwrap-invariant: production code must not panic casually.
         if !ctx.is_test_file()
-            && !mask[idx]
-            && (code.contains(".unwrap()") || code.contains(".expect("))
-            && !has_marker(&lines, idx, "invariant:", 3)
+            && !masked(t.line)
+            && prev(1) == Some(".")
+            && ((t.text == "unwrap" && next(1) == Some("(") && next(2) == Some(")"))
+                || (t.text == "expect" && next(1) == Some("(")))
+            && !justified(t.line, "invariant:")
         {
             out.push(diag(
                 "unwrap-invariant",
-                line.num,
+                t.line,
                 "`unwrap()`/`expect(` in non-test code without an \
                  adjacent `// invariant:` justification"
                     .into(),
@@ -413,13 +497,14 @@ pub fn scan_file(ctx: &FileCtx, src: &str) -> Vec<Diagnostic> {
 
         // cast-narrowing: silent truncation needs a guard note.
         if !ctx.is_test_file()
-            && !mask[idx]
-            && has_narrowing_cast(code)
-            && !has_marker(&lines, idx, "narrowing:", 3)
+            && !masked(t.line)
+            && t.text == "as"
+            && matches!(next(1), Some("u32") | Some("usize"))
+            && !justified(t.line, "narrowing:")
         {
             out.push(diag(
                 "cast-narrowing",
-                line.num,
+                t.line,
                 "bare `as u32`/`as usize` without an adjacent \
                  `// narrowing:` justification"
                     .into(),
@@ -428,10 +513,16 @@ pub fn scan_file(ctx: &FileCtx, src: &str) -> Vec<Diagnostic> {
 
         // atomic-import: crates/server goes through its sync module so
         // the model-check build swaps in the shims everywhere at once.
-        if ctx.is_server_non_sync() && code.contains("std::sync::atomic") {
+        if ctx.is_server_non_sync()
+            && t.text == "std"
+            && next(1) == Some("::")
+            && next(2) == Some("sync")
+            && next(3) == Some("::")
+            && next(4) == Some("atomic")
+        {
             out.push(diag(
                 "atomic-import",
-                line.num,
+                t.line,
                 "direct `std::sync::atomic` use in crates/server; \
                  import via `crate::sync` so model checking covers it"
                     .into(),
@@ -439,14 +530,13 @@ pub fn scan_file(ctx: &FileCtx, src: &str) -> Vec<Diagnostic> {
         }
 
         // unsafe-allow: re-enabling unsafe needs a design rationale.
-        if code.contains("allow(unsafe_code)") {
-            let pointed = lines[idx.saturating_sub(2)..=idx]
-                .iter()
-                .any(|l| l.comment.contains("DESIGN.md"));
+        if t.text == "allow" && next(1) == Some("(") && next(2) == Some("unsafe_code") {
+            let lo = t.line.saturating_sub(2);
+            let pointed = fs.tf.comment_in_lines(lo, t.line, "DESIGN.md");
             if !pointed {
                 out.push(diag(
                     "unsafe-allow",
-                    line.num,
+                    t.line,
                     "`allow(unsafe_code)` without a `// see DESIGN.md` pointer".into(),
                 ));
             }
@@ -454,18 +544,27 @@ pub fn scan_file(ctx: &FileCtx, src: &str) -> Vec<Diagnostic> {
     }
 
     // forbid-unsafe: crate roots must carry the attribute.
-    if ctx.is_crate_root()
-        && !lines
-            .iter()
-            .any(|l| l.code.contains("#![forbid(unsafe_code)]"))
-    {
-        out.push(diag(
-            "forbid-unsafe",
-            1,
-            "crate root missing `#![forbid(unsafe_code)]`".into(),
-        ));
+    if ctx.is_crate_root() {
+        let has_forbid = code.windows(6).any(|w| {
+            w[0].text == "#"
+                && w[1].text == "!"
+                && w[2].text == "["
+                && w[3].text == "forbid"
+                && w[4].text == "("
+                && w[5].text == "unsafe_code"
+        });
+        if !has_forbid {
+            out.push(diag(
+                "forbid-unsafe",
+                1,
+                "crate root missing `#![forbid(unsafe_code)]`".into(),
+            ));
+        }
     }
 
+    passes::epoch_pass(fs, &mut out);
+    passes::publication_pass(fs, &mut out);
+    passes::live_mask_pass(fs, &mut out);
     out
 }
 

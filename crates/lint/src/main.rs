@@ -10,7 +10,7 @@
 
 #![forbid(unsafe_code)]
 
-use ads_lint::{scan_file, Allowlist, FileCtx};
+use ads_lint::{scan_repo, Allowlist, FileCtx};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -65,8 +65,9 @@ fn main() -> ExitCode {
     collect_rs_files(&root, &mut files);
     files.sort();
 
-    let mut shown = 0usize;
-    let mut suppressed = 0usize;
+    // Read everything up front: the lifecycle pass pairs promotion
+    // sites with clears across files, so scanning is repo-at-once.
+    let mut sources: Vec<(FileCtx, String)> = Vec::with_capacity(files.len());
     for file in &files {
         let src = match std::fs::read_to_string(file) {
             Ok(s) => s,
@@ -75,14 +76,17 @@ fn main() -> ExitCode {
                 return ExitCode::from(2);
             }
         };
-        let rel = relative_slash_path(&root, file);
-        for d in scan_file(&FileCtx::new(rel), &src) {
-            if allowlist.permits(&d) {
-                suppressed += 1;
-            } else {
-                println!("{d}");
-                shown += 1;
-            }
+        sources.push((FileCtx::new(relative_slash_path(&root, file)), src));
+    }
+
+    let mut shown = 0usize;
+    let mut suppressed = 0usize;
+    for d in scan_repo(&sources) {
+        if allowlist.permits(&d) {
+            suppressed += 1;
+        } else {
+            println!("{d}");
+            shown += 1;
         }
     }
 

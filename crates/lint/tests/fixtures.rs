@@ -3,7 +3,7 @@
 //! (the rule fires at the right line) and negative cases (justified or
 //! out-of-scope code stays clean).
 
-use ads_lint::{scan_file, strip_source, test_mask, Allowlist, Diagnostic, FileCtx};
+use ads_lint::{scan_file, scan_repo, strip_source, test_mask, Allowlist, Diagnostic, FileCtx};
 
 fn rules_at(diags: &[Diagnostic]) -> Vec<(&'static str, usize)> {
     diags.iter().map(|d| (d.rule, d.line)).collect()
@@ -11,6 +11,17 @@ fn rules_at(diags: &[Diagnostic]) -> Vec<(&'static str, usize)> {
 
 fn scan(path: &str, src: &str) -> Vec<Diagnostic> {
     scan_file(&FileCtx::new(path), src)
+}
+
+/// Diagnostics of one rule only — pass fixtures often trip a second
+/// rule on purpose (an unjustified write is usually also an epoch
+/// finding), and each test asserts on its own pass.
+fn only(diags: Vec<Diagnostic>, rule: &str) -> Vec<(String, usize)> {
+    diags
+        .into_iter()
+        .filter(|d| d.rule == rule)
+        .map(|d| (d.path, d.line))
+        .collect()
 }
 
 // ---------------------------------------------------------------- lexer
@@ -241,6 +252,311 @@ fn allowlist_suppresses_by_rule_and_prefix() {
 fn allowlist_rejects_malformed_lines() {
     assert!(Allowlist::parse("just-one-field\n").is_err());
     assert!(Allowlist::parse("rule path extra-field\n").is_err());
+}
+
+// ------------------------------------------------------ epoch-discipline
+
+const ADAPTIVE: &str = "crates/core/src/adaptive/x.rs";
+
+#[test]
+fn epoch_fires_on_seeded_missing_bump() {
+    // Seeded protocol bug: a structural write with no epoch bump means
+    // the sharded republication diff never sees the change.
+    let src = "impl M {\n\
+                   fn grow(&mut self) {\n\
+                       self.zones.push(z);\n\
+                   }\n\
+               }\n";
+    let diags = only(scan(ADAPTIVE, src), "epoch-discipline");
+    assert_eq!(diags, vec![(ADAPTIVE.to_string(), 3)]);
+}
+
+#[test]
+fn epoch_accepts_unconditional_bump() {
+    let src = "impl M {\n\
+                   fn grow(&mut self) {\n\
+                       self.zones.push(z);\n\
+                       self.mutation_epoch += 1;\n\
+                   }\n\
+               }\n";
+    assert!(only(scan(ADAPTIVE, src), "epoch-discipline").is_empty());
+}
+
+#[test]
+fn epoch_fires_on_seeded_conditional_bump() {
+    // The bump exists but only on one path: the dataflow join must
+    // still flag the function.
+    let src = "impl M {\n\
+                   fn grow(&mut self, big: bool) {\n\
+                       self.zones.push(z);\n\
+                       if big {\n\
+                           self.mutation_epoch += 1;\n\
+                       }\n\
+                   }\n\
+               }\n";
+    let diags = only(scan(ADAPTIVE, src), "epoch-discipline");
+    assert_eq!(diags, vec![(ADAPTIVE.to_string(), 3)]);
+}
+
+#[test]
+fn epoch_joins_exhaustive_branches() {
+    // A bump in BOTH arms of an if/else covers every path.
+    let src = "impl M {\n\
+                   fn grow(&mut self, big: bool) {\n\
+                       self.zones.push(z);\n\
+                       if big {\n\
+                           self.mutation_epoch += 1;\n\
+                       } else {\n\
+                           self.bump_epoch();\n\
+                       }\n\
+                   }\n\
+               }\n";
+    assert!(only(scan(ADAPTIVE, src), "epoch-discipline").is_empty());
+}
+
+#[test]
+fn epoch_accepts_doc_justification() {
+    let src = "impl M {\n\
+                   /// epoch: constructor — not reader-reachable yet.\n\
+                   fn with_zones(&mut self) {\n\
+                       self.zones.push(z);\n\
+                   }\n\
+               }\n";
+    assert!(only(scan(ADAPTIVE, src), "epoch-discipline").is_empty());
+}
+
+#[test]
+fn epoch_out_of_scope_elsewhere() {
+    let src = "fn grow(&mut self) { self.zones.push(z); }\n";
+    assert!(only(scan("crates/engine/src/x.rs", src), "epoch-discipline").is_empty());
+    assert!(only(
+        scan("crates/core/src/adaptive/tests.rs", src),
+        "epoch-discipline"
+    )
+    .is_empty());
+}
+
+// ------------------------------------------------ publication-discipline
+
+const SERVER: &str = "crates/server/src/publish.rs";
+
+#[test]
+fn publication_fires_on_seeded_store_after_bump() {
+    // Seeded protocol bug: the payload store lands after the
+    // generation bump, so a reader acquiring the new generation can
+    // read the old payload.
+    let src = "fn publish_map(&self) {\n\
+                   self.generation.store(2);\n\
+                   self.slot.store(p);\n\
+               }\n";
+    let diags = only(scan(SERVER, src), "publication-discipline");
+    assert_eq!(diags, vec![(SERVER.to_string(), 3)]);
+}
+
+#[test]
+fn publication_accepts_store_before_bump() {
+    let src = "fn publish_map(&self) {\n\
+                   self.slot.store(p);\n\
+                   self.generation.store(2);\n\
+               }\n";
+    assert!(only(scan(SERVER, src), "publication-discipline").is_empty());
+}
+
+#[test]
+fn publication_allows_reads_and_lets_after_bump() {
+    // Local bindings and pure reads after the bump publish nothing.
+    let src = "fn publish_map(&self) {\n\
+                   self.slot.store(p);\n\
+                   self.generation.fetch_add(1);\n\
+                   let published = self.slot.len();\n\
+                   trace(published);\n\
+               }\n";
+    assert!(only(scan(SERVER, src), "publication-discipline").is_empty());
+}
+
+#[test]
+fn publication_scopes_to_publish_fns_in_server() {
+    let src = "fn rotate(&self) {\n\
+                   self.generation.store(2);\n\
+                   self.slot.store(p);\n\
+               }\n";
+    // Not a publish* fn: out of scope.
+    assert!(only(scan(SERVER, src), "publication-discipline").is_empty());
+    // publish* fn outside crates/server: out of scope.
+    let pub_src = "fn publish_map(&self) {\n\
+                       self.generation.store(2);\n\
+                       self.slot.store(p);\n\
+                   }\n";
+    assert!(only(
+        scan("crates/engine/src/x.rs", pub_src),
+        "publication-discipline"
+    )
+    .is_empty());
+}
+
+// --------------------------------------------------------------- live-mask
+
+const ENGINE: &str = "crates/engine/src/x.rs";
+
+#[test]
+fn live_mask_fires_on_seeded_nonlive_kernel() {
+    // Seeded protocol bug: a delete-blind kernel on a path that can
+    // carry tombstones silently counts dead rows.
+    let src = "fn f(data: &[i64]) {\n\
+                   let c = count_in_range(data, lo, hi);\n\
+               }\n";
+    let diags = only(scan(ENGINE, src), "live-mask");
+    assert_eq!(diags, vec![(ENGINE.to_string(), 2)]);
+}
+
+#[test]
+fn live_mask_accepts_justification() {
+    let src = "fn f(data: &[i64]) {\n\
+                   // live: data is freshly generated — no delete vector.\n\
+                   let c = count_in_range(data, lo, hi);\n\
+               }\n";
+    assert!(only(scan(ENGINE, src), "live-mask").is_empty());
+}
+
+#[test]
+fn live_mask_skips_methods_definitions_and_oracle() {
+    // `payload.min_max()` is a method on another type, `fn min_max` is
+    // a definition, and `scalar::` calls ARE the ground-truth oracle.
+    let src = "fn min_max(c: &[i64]) -> (i64, i64) { todo() }\n\
+               fn g(payload: &P) {\n\
+                   let b = payload.min_max();\n\
+                   let c = scalar::count_in_range(d, lo, hi);\n\
+               }\n";
+    assert!(only(scan(ENGINE, src), "live-mask").is_empty());
+}
+
+#[test]
+fn live_mask_out_of_scope_in_kernels_and_tests() {
+    let src = "fn f(data: &[i64]) { let c = count_in_range(data, lo, hi); }\n";
+    // The kernel module itself defines and composes these.
+    assert!(only(scan("crates/storage/src/scan.rs", src), "live-mask").is_empty());
+    assert!(only(scan("crates/engine/tests/t.rs", src), "live-mask").is_empty());
+    assert!(only(scan("crates/core/src/adaptive/tests.rs", src), "live-mask").is_empty());
+}
+
+// ------------------------------------------------------ lifecycle-symmetry
+
+fn scan_pair(a: (&str, &str), b: (&str, &str)) -> Vec<Diagnostic> {
+    scan_repo(&[
+        (FileCtx::new(a.0), a.1.to_string()),
+        (FileCtx::new(b.0), b.1.to_string()),
+    ])
+}
+
+const PROMOTER: &str = "crates/core/src/adaptive/tier.rs";
+const LIFECYCLE: &str = "crates/core/src/adaptive/maintenance.rs";
+
+// A promotion site (with its epoch bump, so only the pass under test
+// fires) shared by the lifecycle fixtures below.
+const PROMOTE_SRC: &str = "fn promote(&mut self) {\n\
+                               zone.tier = Some(t);\n\
+                               self.mutation_epoch += 1;\n\
+                           }\n";
+
+#[test]
+fn lifecycle_fires_on_seeded_missing_clear() {
+    // Seeded protocol bug: merge restructures zones but leaves the
+    // promoted tier of the absorbed zone dangling.
+    let merge = "fn merge_zones(&mut self) {\n\
+                     self.zones.remove(i);\n\
+                     self.mutation_epoch += 1;\n\
+                 }\n";
+    let diags = only(
+        scan_pair((PROMOTER, PROMOTE_SRC), (LIFECYCLE, merge)),
+        "lifecycle-symmetry",
+    );
+    assert_eq!(diags, vec![(LIFECYCLE.to_string(), 1)]);
+}
+
+#[test]
+fn lifecycle_accepts_clear_take_or_drop() {
+    for clear in [
+        "zone.tier = None;",
+        "zone.tier.take();",
+        "zone.drop_tier();",
+    ] {
+        let merge = format!(
+            "fn merge_zones(&mut self) {{\n\
+                 {clear}\n\
+                 self.zones.remove(i);\n\
+                 self.mutation_epoch += 1;\n\
+             }}\n"
+        );
+        let diags = only(
+            scan_pair((PROMOTER, PROMOTE_SRC), (LIFECYCLE, &merge)),
+            "lifecycle-symmetry",
+        );
+        assert!(diags.is_empty(), "{clear} should count as a clear");
+    }
+}
+
+#[test]
+fn lifecycle_accepts_justification() {
+    let merge = "/// lifecycle: only Dead zones merge; tier cleared at death.\n\
+                 fn merge_zones(&mut self) {\n\
+                     self.zones.remove(i);\n\
+                     self.mutation_epoch += 1;\n\
+                 }\n";
+    assert!(only(
+        scan_pair((PROMOTER, PROMOTE_SRC), (LIFECYCLE, merge)),
+        "lifecycle-symmetry"
+    )
+    .is_empty());
+}
+
+#[test]
+fn lifecycle_exempts_read_only_deciders() {
+    // `should_split` matches a lifecycle name but writes nothing.
+    let decider = "fn should_split(&self) -> bool {\n\
+                       self.zones.len() > 1\n\
+                   }\n";
+    assert!(only(
+        scan_pair((PROMOTER, PROMOTE_SRC), (LIFECYCLE, decider)),
+        "lifecycle-symmetry"
+    )
+    .is_empty());
+}
+
+#[test]
+fn lifecycle_silent_without_promotions() {
+    // No file promotes: lifecycle fns owe nothing.
+    let merge = "fn merge_zones(&mut self) {\n\
+                     self.zones.remove(i);\n\
+                     self.mutation_epoch += 1;\n\
+                 }\n";
+    let plain = "fn observe(&mut self) { self.n += 1; }\n";
+    assert!(only(
+        scan_pair((PROMOTER, plain), (LIFECYCLE, merge)),
+        "lifecycle-symmetry"
+    )
+    .is_empty());
+}
+
+// -------------------------------------------- token-matcher regressions
+
+#[test]
+fn ordering_comment_exempts_matches_macro() {
+    // `matches!(ord, Ordering::SeqCst)` inspects an ordering value —
+    // it IS a match pattern, not an atomic access site.
+    let src = "fn f(ord: Ordering) -> bool { matches!(ord, Ordering::SeqCst) }\n";
+    assert!(scan("crates/check/src/x.rs", src).is_empty());
+}
+
+#[test]
+fn marker_survives_intervening_attribute() {
+    // An `#[allow(...)]` between the justification and its site must
+    // not orphan the comment.
+    let src = "fn f(a: &AtomicU64) {\n\
+                   // ordering: Relaxed — single unobserved cell.\n\
+                   #[allow(clippy::redundant_closure_call)]\n\
+                   (cb)(a.load(Ordering::Relaxed));\n\
+               }\n";
+    assert!(scan("crates/core/src/x.rs", src).is_empty());
 }
 
 // ------------------------------------------------------------ end-to-end

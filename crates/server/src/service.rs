@@ -1128,6 +1128,7 @@ fn rebuilt_lane<T: DataValue>(data: &[T], config: &AdaptiveConfig) -> AdaptiveZo
         .units()
         .iter()
         .map(|unit| {
+            // live: freshly compacted shard — every tombstone dropped.
             let (q, mn, mx) =
                 ads_storage::scan::count_in_range_with_minmax(&data[unit.start..unit.end], lo, hi);
             RangeObservation::new(*unit, q, mn, mx)

@@ -109,10 +109,13 @@ where
 pub fn par_count_in_range<T: DataValue>(data: &[T], lo: T, hi: T, threads: usize) -> usize {
     let usable = effective_threads(data.len(), threads, MIN_ROWS_PER_THREAD);
     if usable <= 1 {
+        // live: delete-unaware helper by contract — documented to match
+        // `scan::count_in_range`; delete-aware callers mask upstream.
         return scan::count_in_range(data, lo, hi);
     }
     let chunk = data.len().div_ceil(usable);
     let chunks: Vec<&[T]> = data.chunks(chunk).collect();
+    // live: same delete-unaware contract.
     par_map(&chunks, usable, |_, c| scan::count_in_range(c, lo, hi))
         .into_iter()
         .sum()
@@ -122,10 +125,13 @@ pub fn par_count_in_range<T: DataValue>(data: &[T], lo: T, hi: T, threads: usize
 pub fn par_sum_in_range<T: DataValue>(data: &[T], lo: T, hi: T, threads: usize) -> (usize, f64) {
     let usable = effective_threads(data.len(), threads, MIN_ROWS_PER_THREAD);
     if usable <= 1 {
+        // live: delete-unaware helper by contract, like
+        // `par_count_in_range` above.
         return scan::sum_in_range(data, lo, hi);
     }
     let chunk = data.len().div_ceil(usable);
     let chunks: Vec<&[T]> = data.chunks(chunk).collect();
+    // live: same delete-unaware contract.
     par_map(&chunks, usable, |_, c| scan::sum_in_range(c, lo, hi))
         .into_iter()
         .fold((0usize, 0.0f64), |(ac, asum), (c, sum)| {

@@ -1,0 +1,172 @@
+//! End-to-end shadow-oracle tests (run with `--features audit`).
+//!
+//! The auditor's value is negative evidence: an index that lies about
+//! its coverage must crash the executor, not return a silently wrong
+//! answer. These tests drive the real engine entry points — the same
+//! hook every suite exercises when the feature is on — against both an
+//! adversarial index and honest strategies under deletes.
+
+#![cfg(feature = "audit")]
+
+use ads_core::{PruneOutcome, RangePredicate, SkippingIndex};
+use ads_engine::{execute, scan_pruned_with_deletes, AggKind, ExecPolicy, Strategy};
+use ads_storage::{DeleteVector, RangeSet};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// An index that silently drops the upper half of the column from its
+/// candidates — the exact bug class the oracle exists to catch.
+struct EvilIndex {
+    rows: usize,
+}
+
+impl SkippingIndex<i64> for EvilIndex {
+    fn name(&self) -> String {
+        "evil".into()
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn prune(&mut self, _pred: &RangePredicate<i64>) -> PruneOutcome {
+        let mut out = PruneOutcome::default();
+        out.must_scan.push_span(0, self.rows / 2);
+        out.record_decision(ads_storage::RowRange::new(0, self.rows / 2), "scan");
+        out.record_decision(
+            ads_storage::RowRange::new(self.rows / 2, self.rows),
+            "skip:bounds",
+        );
+        out
+    }
+
+    fn on_append(&mut self, _appended: &[i64], base: &[i64]) {
+        self.rows = base.len();
+    }
+
+    fn metadata_bytes(&self) -> usize {
+        0
+    }
+}
+
+#[test]
+fn executor_aborts_on_lying_index() {
+    let data: Vec<i64> = (0..1000).collect();
+    let mut idx = EvilIndex { rows: data.len() };
+    // Qualifying rows live in the dropped half.
+    let err = catch_unwind(AssertUnwindSafe(|| {
+        execute(
+            &data,
+            &mut idx,
+            RangePredicate::between(900, 950),
+            AggKind::Count,
+        )
+    }))
+    .expect_err("executor must abort on a false skip");
+    let msg = err
+        .downcast_ref::<String>()
+        .expect("panic carries a message");
+    assert!(msg.contains("FALSE SKIP"), "unexpected abort: {msg}");
+    assert!(
+        msg.contains("scan_pruned"),
+        "hook must name its site: {msg}"
+    );
+    assert!(
+        msg.contains("skip:bounds"),
+        "abort must surface the decision trace: {msg}"
+    );
+}
+
+#[test]
+fn executor_accepts_lying_index_when_predicate_misses_the_gap() {
+    let data: Vec<i64> = (0..1000).collect();
+    let mut idx = EvilIndex { rows: data.len() };
+    // All qualifying rows sit in the half the index does admit, so the
+    // (still unsound in general) outcome happens to be sound here.
+    let (answer, _) = execute(
+        &data,
+        &mut idx,
+        RangePredicate::between(100, 150),
+        AggKind::Count,
+    );
+    assert_eq!(answer.count, 51);
+}
+
+#[test]
+fn honest_strategies_sweep_clean_under_deletes() {
+    let data: Vec<i64> = (0..20_000).map(|i| (i * 37) % 5000).collect();
+    let mut live = DeleteVector::new(data.len(), 0);
+    for row in (0..data.len()).step_by(13) {
+        live.delete(row);
+    }
+    let policy = ExecPolicy::default();
+    for strategy in [
+        Strategy::StaticZonemap { zone_rows: 512 },
+        Strategy::Adaptive(Default::default()),
+        Strategy::Imprints {
+            values_per_line: 8,
+            bins: 64,
+        },
+    ] {
+        let mut idx = strategy.build_index(&data);
+        for q in 0..40i64 {
+            let pred = RangePredicate::between(q * 100, q * 100 + 250);
+            let out = idx.prune(&pred);
+            // The audit hook inside the scan cross-checks every decision.
+            let (_, obs, _) =
+                scan_pruned_with_deletes(&data, &out, pred, AggKind::Count, &policy, Some(&live));
+            idx.observe(&obs);
+            idx.maintain(&data);
+        }
+    }
+}
+
+#[test]
+fn conjunction_path_audits_each_conjunct() {
+    use ads_engine::{AnyPredicate, TableSession};
+    use ads_storage::{Column, Table};
+
+    let mut table = Table::new("t");
+    let a: Vec<i64> = (0..10_000).collect();
+    let b: Vec<i64> = (0..10_000).map(|i| (i * 7) % 1000).collect();
+    table.add_column("a", Column::from_values(a)).unwrap();
+    table.add_column("b", Column::from_values(b)).unwrap();
+    let mut session =
+        TableSession::new(table, &Strategy::Adaptive(Default::default()), &["a", "b"]).unwrap();
+    // Restricted probes hand the auditor a non-trivial `within` set; a
+    // pass here means no conjunct's outcome dropped surviving candidates.
+    for q in 0..25i64 {
+        let (count, _) = session
+            .count_conjunction(&[
+                (
+                    "a",
+                    AnyPredicate::I64(RangePredicate::between(q * 50, q * 50 + 2000)),
+                ),
+                ("b", AnyPredicate::I64(RangePredicate::between(0, 400))),
+            ])
+            .unwrap();
+        let expected = (q * 50..=q * 50 + 2000)
+            .filter(|&i| i < 10_000 && (i * 7) % 1000 <= 400)
+            .count() as u64;
+        assert_eq!(count, expected, "query {q}");
+    }
+}
+
+/// The sound-skip direction: deleted rows are fair game to exclude, and
+/// the oracle must not flag them.
+#[test]
+fn oracle_tolerates_skipping_tombstoned_rows() {
+    let data: Vec<i64> = (0..1000).collect();
+    let mut live = DeleteVector::new(data.len(), 0);
+    for row in 500..1000 {
+        live.delete(row);
+    }
+    let out = PruneOutcome {
+        must_scan: RangeSet::full(500),
+        ..Default::default()
+    };
+    let pred = RangePredicate::between(600, 700);
+    let policy = ExecPolicy::default();
+    let (answer, _, _) =
+        scan_pruned_with_deletes(&data, &out, pred, AggKind::Count, &policy, Some(&live));
+    assert_eq!(answer.count, 0);
+}
